@@ -1,0 +1,51 @@
+//! Ablation benches for the design choices DESIGN.md §5 calls out:
+//! pipeline depth, warp specialization on/off, and copy-elimination
+//! pattern ordering — each also printed as simulated GEMM cycles, the
+//! number that shows the effect (criterion itself measures host time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cypress_core::compile::{CompilerOptions, CypressCompiler};
+use cypress_core::kernels::gemm::{self, GemmConfig};
+use cypress_sim::{MachineConfig, Simulator};
+
+fn simulated_cycles(machine: &MachineConfig, cfg: GemmConfig, spill_first: bool) -> f64 {
+    let (reg, mapping, args) = gemm::build_with(4096, 4096, 4096, cfg).unwrap();
+    let compiler = CypressCompiler::new(CompilerOptions {
+        machine: machine.clone(),
+        spill_first,
+        dump_ir: false,
+    });
+    let compiled = compiler.compile(&reg, &mapping, "gemm", &args).unwrap();
+    Simulator::new(machine.clone()).run_timing(&compiled.kernel).unwrap().cycles
+}
+
+fn bench(c: &mut Criterion) {
+    let machine = MachineConfig::h100_sxm5();
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+
+    for pipe in [1usize, 2, 3] {
+        let cfg = GemmConfig { pipeline: pipe, ..GemmConfig::h100() };
+        g.bench_function(format!("pipeline_depth_{pipe}"), |b| {
+            b.iter(|| simulated_cycles(&machine, cfg, true))
+        });
+    }
+    let no_ws = GemmConfig { warpspecialize: false, ..GemmConfig::h100() };
+    g.bench_function("no_warp_specialization", |b| {
+        b.iter(|| simulated_cycles(&machine, no_ws, true))
+    });
+    g.bench_function("spill_patterns_last", |b| {
+        b.iter(|| simulated_cycles(&machine, GemmConfig::h100(), false))
+    });
+    g.finish();
+
+    println!("\nablation: simulated GEMM 4096^3 cycles");
+    for pipe in [1usize, 2, 3] {
+        let cfg = GemmConfig { pipeline: pipe, ..GemmConfig::h100() };
+        println!("  pipeline={pipe}: {:.0}", simulated_cycles(&machine, cfg, true));
+    }
+    println!("  no warp specialization: {:.0}", simulated_cycles(&machine, no_ws, true));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

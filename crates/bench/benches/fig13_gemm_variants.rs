@@ -1,0 +1,21 @@
+//! Criterion benches for Fig. 13a-13d: wall-clock cost of compiling each
+//! Cypress program and simulating the resulting schedule (one size per
+//! variant; the `figures` binary sweeps the full size range).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cypress_bench::{fig13a, fig13b, fig13c, fig13d};
+use cypress_sim::MachineConfig;
+
+fn bench(c: &mut Criterion) {
+    let machine = MachineConfig::h100_sxm5();
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    g.bench_function("13a_gemm", |b| b.iter(|| fig13a(&machine)));
+    g.bench_function("13b_batched", |b| b.iter(|| fig13b(&machine)));
+    g.bench_function("13c_dual", |b| b.iter(|| fig13c(&machine)));
+    g.bench_function("13d_reduction", |b| b.iter(|| fig13d(&machine)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

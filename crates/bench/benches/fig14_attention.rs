@@ -1,0 +1,16 @@
+//! Criterion bench for Fig. 14: the full attention comparison sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cypress_bench::fig14;
+use cypress_sim::MachineConfig;
+
+fn bench(c: &mut Criterion) {
+    let machine = MachineConfig::h100_sxm5();
+    let mut g = c.benchmark_group("fig14");
+    g.sample_size(10);
+    g.bench_function("attention_sweep", |b| b.iter(|| fig14(&machine)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Regenerate every evaluation figure of the paper as text tables, with
+//! the paper's reported ratio bands printed next to the measured ratios.
+//!
+//! Run with `cargo run --release -p cypress-bench --bin figures`.
+
+use cypress_bench::{fig13a, fig13b, fig13c, fig13d, fig14, ratio, Row, GEMM_SIZES, SEQ_LENS};
+use cypress_sim::MachineConfig;
+
+fn print_rows(title: &str, rows: &[Row]) {
+    println!("\n=== {title} ===");
+    let mut systems: Vec<&str> = Vec::new();
+    for r in rows {
+        if !systems.contains(&r.system.as_str()) {
+            systems.push(&r.system);
+        }
+    }
+    print!("{:>24}", "size");
+    let sizes: Vec<usize> = {
+        let mut s: Vec<usize> = rows.iter().map(|r| r.size).collect();
+        s.dedup();
+        s
+    };
+    for s in &sizes {
+        print!("{s:>10}");
+    }
+    println!();
+    for sys in systems {
+        print!("{sys:>24}");
+        for s in &sizes {
+            let t = rows
+                .iter()
+                .find(|r| r.system == sys && r.size == *s)
+                .map(|r| r.tflops)
+                .unwrap_or(f64::NAN);
+            print!("{t:>10.0}");
+        }
+        println!("  TFLOP/s");
+    }
+}
+
+fn main() {
+    let machine = MachineConfig::h100_sxm5();
+    println!("Cypress evaluation on simulated {} ({:.0} TFLOP/s FP16 peak)", machine.name, machine.peak_tflops());
+
+    let a = fig13a(&machine);
+    print_rows("Fig. 13a: GEMM (FP16, M=N=K)", &a);
+    for s in GEMM_SIZES {
+        println!(
+            "  size {s}: Cypress/cuBLAS = {:.2} (paper band 0.88-1.06), Cypress/Triton = {:.2} (paper band 1.05-1.11)",
+            ratio(&a, "Cypress", "cuBLAS", s),
+            ratio(&a, "Cypress", "Triton", s)
+        );
+    }
+
+    let b = fig13b(&machine);
+    print_rows("Fig. 13b: Batched-GEMM (L=4)", &b);
+    println!(
+        "  largest size: Cypress/cuBLAS = {:.2} (paper: Cypress slightly ahead at the largest size)",
+        ratio(&b, "Cypress", "cuBLAS", 8192)
+    );
+
+    let c = fig13c(&machine);
+    print_rows("Fig. 13c: Dual-GEMM", &c);
+    for s in GEMM_SIZES {
+        println!(
+            "  size {s}: Cypress/Triton = {:.2} (paper band 1.36-1.40)",
+            ratio(&c, "Cypress", "Triton", s)
+        );
+    }
+
+    let d = fig13d(&machine);
+    print_rows("Fig. 13d: GEMM+Reduction", &d);
+    for s in GEMM_SIZES {
+        println!(
+            "  size {s}: Cypress/Triton = {:.2} (paper band 2.02-2.18)",
+            ratio(&d, "Cypress", "Triton", s)
+        );
+    }
+
+    let f = fig14(&machine);
+    print_rows("Fig. 14: FlashAttention (FP16, head dim 128)", &f);
+    for s in SEQ_LENS {
+        println!(
+            "  seq {s}: CypressFA3/FA3ref = {:.2} (paper band 0.80-0.98), CypressFA2/TK = {:.2} (paper band 0.87-1.06)",
+            ratio(&f, "Cypress (FA3)", "Flash Attention 3", s),
+            ratio(&f, "Cypress (FA2)", "ThunderKittens (FA2)", s)
+        );
+    }
+}

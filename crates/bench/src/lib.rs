@@ -1,0 +1,159 @@
+//! Benchmark harness regenerating every table and figure of the Cypress
+//! evaluation (paper §5). Each `figNN` function returns the series the
+//! paper plots; the `figures` binary prints them side by side with the
+//! paper's reported ratios.
+
+use cypress_baselines::{cublas, cudnn, fa3, thunderkittens, triton};
+use cypress_core::compile::{CompilerOptions, CypressCompiler};
+use cypress_core::kernels::{attention, batched, dual_gemm, gemm, gemm_reduction};
+use cypress_sim::{Kernel, MachineConfig, Simulator};
+
+/// One measured point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// System name (Cypress, Triton, cuBLAS, ...).
+    pub system: String,
+    /// Problem size label (M=N=K or sequence length).
+    pub size: usize,
+    /// Measured throughput.
+    pub tflops: f64,
+}
+
+/// Simulate `kernel` and convert to TFLOP/s for `flops`.
+fn measure(machine: &MachineConfig, kernel: &Kernel, flops: f64) -> f64 {
+    let sim = Simulator::new(machine.clone());
+    let report = sim.run_timing(kernel).expect("kernel must simulate");
+    report.tflops_for(flops)
+}
+
+fn compile_cypress(
+    machine: &MachineConfig,
+    reg: &cypress_core::TaskRegistry,
+    mapping: &cypress_core::MappingSpec,
+    name: &str,
+    args: &[cypress_core::EntryArg],
+) -> Kernel {
+    let compiler =
+        CypressCompiler::new(CompilerOptions { machine: machine.clone(), ..Default::default() });
+    compiler.compile(reg, mapping, name, args).expect("evaluation kernels compile").kernel
+}
+
+/// The evaluation sizes of Fig. 13.
+pub const GEMM_SIZES: [usize; 3] = [4096, 6144, 8192];
+/// The evaluation sequence lengths of Fig. 14.
+pub const SEQ_LENS: [usize; 4] = [2048, 4096, 8192, 16384];
+/// Heads used for Fig. 14 (batch x heads at head dim 128).
+pub const HEADS: usize = 16;
+/// Head dimension of Fig. 14.
+pub const HEAD_DIM: usize = 128;
+
+/// Fig. 13a: GEMM — Cypress vs Triton vs cuBLAS.
+#[must_use]
+pub fn fig13a(machine: &MachineConfig) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for size in GEMM_SIZES {
+        let fl = gemm::flops(size, size, size);
+        let (reg, mapping, args) = gemm::build(size, size, size, machine);
+        let cy = compile_cypress(machine, &reg, &mapping, "gemm", &args);
+        rows.push(Row { system: "Cypress".into(), size, tflops: measure(machine, &cy, fl) });
+        let tr = triton::gemm(size, size, size);
+        rows.push(Row { system: "Triton".into(), size, tflops: measure(machine, &tr, fl) });
+        let cb = cublas::gemm(size, size, size, machine);
+        rows.push(Row { system: "cuBLAS".into(), size, tflops: measure(machine, &cb, fl) });
+    }
+    rows
+}
+
+/// Fig. 13b: Batched-GEMM (L = 4).
+#[must_use]
+pub fn fig13b(machine: &MachineConfig) -> Vec<Row> {
+    let l = 4;
+    let mut rows = Vec::new();
+    for size in GEMM_SIZES {
+        let fl = batched::flops(l, size, size, size);
+        let (reg, mapping, args) = batched::build(l, size, size, size, machine);
+        let cy = compile_cypress(machine, &reg, &mapping, "bgemm", &args);
+        rows.push(Row { system: "Cypress".into(), size, tflops: measure(machine, &cy, fl) });
+        let tr = triton::batched_gemm(l, size, size, size);
+        rows.push(Row { system: "Triton".into(), size, tflops: measure(machine, &tr, fl) });
+        let cb = cublas::batched_gemm(l, size, size, size);
+        rows.push(Row { system: "cuBLAS".into(), size, tflops: measure(machine, &cb, fl) });
+    }
+    rows
+}
+
+/// Fig. 13c: Dual-GEMM — Cypress vs Triton.
+#[must_use]
+pub fn fig13c(machine: &MachineConfig) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for size in GEMM_SIZES {
+        let fl = dual_gemm::flops(size, size, size);
+        let (reg, mapping, args) = dual_gemm::build(size, size, size, machine);
+        let cy = compile_cypress(machine, &reg, &mapping, "dual", &args);
+        rows.push(Row { system: "Cypress".into(), size, tflops: measure(machine, &cy, fl) });
+        let tr = triton::dual_gemm(size, size, size);
+        rows.push(Row { system: "Triton".into(), size, tflops: measure(machine, &tr, fl) });
+    }
+    rows
+}
+
+/// Fig. 13d: GEMM+Reduction — Cypress vs Triton.
+#[must_use]
+pub fn fig13d(machine: &MachineConfig) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for size in GEMM_SIZES {
+        let fl = gemm_reduction::flops(size, size, size);
+        let (reg, mapping, args) = gemm_reduction::build(size, size, size, machine);
+        let cy = compile_cypress(machine, &reg, &mapping, "gr", &args);
+        rows.push(Row { system: "Cypress".into(), size, tflops: measure(machine, &cy, fl) });
+        let tr = triton::gemm_reduction(size, size, size);
+        rows.push(Row { system: "Triton".into(), size, tflops: measure(machine, &tr, fl) });
+    }
+    rows
+}
+
+/// Fig. 14: FlashAttention (FP16, head dim 128).
+#[must_use]
+pub fn fig14(machine: &MachineConfig) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for seq in SEQ_LENS {
+        let fl = attention::flops(HEADS, seq, HEAD_DIM);
+        for (name, alg) in [
+            ("Cypress (FA2)", attention::Algorithm::Fa2),
+            ("Cypress (FA3)", attention::Algorithm::Fa3),
+        ] {
+            let (reg, mapping, args) = attention::build(alg, HEADS, seq, HEAD_DIM, machine);
+            let k = compile_cypress(machine, &reg, &mapping, "fa", &args);
+            rows.push(Row { system: name.into(), size: seq, tflops: measure(machine, &k, fl) });
+        }
+        let tr = triton::attention(HEADS, seq, HEAD_DIM, machine.sms);
+        rows.push(Row { system: "Triton (FA2)".into(), size: seq, tflops: measure(machine, &tr, fl) });
+        let tk = thunderkittens::attention(HEADS, seq, HEAD_DIM, machine.sms);
+        rows.push(Row {
+            system: "ThunderKittens (FA2)".into(),
+            size: seq,
+            tflops: measure(machine, &tk, fl),
+        });
+        let f3 = fa3::attention(HEADS, seq, HEAD_DIM, machine.sms);
+        rows.push(Row {
+            system: "Flash Attention 3".into(),
+            size: seq,
+            tflops: measure(machine, &f3, fl),
+        });
+        let cd = cudnn::attention(HEADS, seq, HEAD_DIM, machine);
+        rows.push(Row { system: "cuDNN".into(), size: seq, tflops: measure(machine, &cd, fl) });
+    }
+    rows
+}
+
+/// Helper: the measured ratio of `a` over `b` at `size`.
+#[must_use]
+pub fn ratio(rows: &[Row], a: &str, b: &str, size: usize) -> f64 {
+    let get = |s: &str| {
+        rows.iter()
+            .find(|r| r.system == s && r.size == size)
+            .map(|r| r.tflops)
+            .unwrap_or(f64::NAN)
+    };
+    get(a) / get(b)
+}

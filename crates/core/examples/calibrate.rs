@@ -1,0 +1,20 @@
+use cypress_core::compile::{CompilerOptions, CypressCompiler};
+use cypress_core::kernels::gemm;
+use cypress_sim::{MachineConfig, Simulator};
+
+fn main() {
+    let machine = MachineConfig::h100_sxm5();
+    let sim = Simulator::new(machine.clone());
+    let compiler = CypressCompiler::new(CompilerOptions { machine: machine.clone(), ..Default::default() });
+    for size in [4096usize, 6144, 8192] {
+        let (reg, mapping, args) = gemm::build(size, size, size, &machine);
+        let compiled = compiler.compile(&reg, &mapping, "gemm", &args).unwrap();
+        let r = sim.run_timing(&compiled.kernel).unwrap();
+        println!(
+            "gemm {size}: {:.0} TFLOP/s  tc={:.2} tma={:.2} cycles={:.0} ctas={} waves~{:.1}",
+            r.tflops_for(gemm::flops(size, size, size)),
+            r.tc_utilization, r.tma_utilization, r.cycles, r.ctas,
+            r.ctas as f64 / r.active_sms as f64
+        );
+    }
+}

@@ -1,0 +1,15 @@
+use cypress_core::kernels::gemm;
+use cypress_core::passes::{copyelim, depan, vectorize};
+use cypress_core::ir::printer::print_program;
+use cypress_sim::MachineConfig;
+
+fn main() {
+    let machine = MachineConfig::test_gpu();
+    let (reg, mapping, args) = gemm::build(128, 128, 64, &machine);
+    let mut prog = depan::analyze(&reg, &mapping, "gemm", &args).unwrap();
+    vectorize::run(&mut prog);
+    vectorize::normalize_ranks(&mut prog);
+    let r = copyelim::run(&mut prog, copyelim::Options::default());
+    println!("copyelim: {r:?}");
+    println!("{}", print_program(&prog));
+}

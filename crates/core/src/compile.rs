@@ -1,0 +1,112 @@
+//! The compiler driver: runs the pass pipeline of Fig. 6.
+
+use crate::error::CompileError;
+use crate::front::mapping::MappingSpec;
+use crate::front::task::TaskRegistry;
+use crate::ir::printer::print_program;
+use crate::passes::depan::EntryArg;
+use crate::passes::{alloc, copyelim, depan, vectorize, warpspec};
+use cypress_sim::{Kernel, MachineConfig};
+
+/// Compiler configuration.
+#[derive(Debug, Clone)]
+pub struct CompilerOptions {
+    /// Target machine (used for shared-memory budgets and validation).
+    pub machine: MachineConfig,
+    /// Copy-elimination pattern ordering (§4.2.3); the ablation flips it.
+    pub spill_first: bool,
+    /// Keep per-pass IR dumps in the result.
+    pub dump_ir: bool,
+}
+
+impl Default for CompilerOptions {
+    fn default() -> Self {
+        CompilerOptions { machine: MachineConfig::h100_sxm5(), spill_first: true, dump_ir: false }
+    }
+}
+
+/// A compiled Cypress program.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The device kernel, ready for [`cypress_sim::Simulator`].
+    pub kernel: Kernel,
+    /// Pseudo-CUDA rendering of the kernel.
+    pub cuda: String,
+    /// IR dumps per pass (`depan`, `vectorize`, `copyelim`), if requested.
+    pub ir_dumps: Vec<(String, String)>,
+    /// Copy-elimination statistics.
+    pub copyelim_stats: copyelim::Stats,
+    /// Shared-memory bytes allocated per CTA.
+    pub smem_bytes: usize,
+}
+
+/// The Cypress compiler.
+#[derive(Debug, Clone, Default)]
+pub struct CypressCompiler {
+    opts: CompilerOptions,
+}
+
+impl CypressCompiler {
+    /// A compiler with default options (H100 target).
+    #[must_use]
+    pub fn new(opts: CompilerOptions) -> Self {
+        CypressCompiler { opts }
+    }
+
+    /// Compile a logical description + mapping specification into a device
+    /// kernel (paper Fig. 6: dependence analysis → vectorization → copy
+    /// elimination → resource allocation → warp specialization → codegen).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] from any pass; backend validation
+    /// failures are wrapped in [`CompileError::Backend`].
+    pub fn compile(
+        &self,
+        registry: &TaskRegistry,
+        mapping: &MappingSpec,
+        name: &str,
+        entry_args: &[EntryArg],
+    ) -> Result<Compiled, CompileError> {
+        let mut dumps = Vec::new();
+
+        // 1. Dependence analysis (§4.2.1).
+        let mut prog = depan::analyze(registry, mapping, name, entry_args)?;
+        if self.opts.dump_ir {
+            dumps.push(("depan".to_string(), print_program(&prog)));
+        }
+
+        // 2. Vectorization (§4.2.2).
+        vectorize::run(&mut prog);
+        vectorize::normalize_ranks(&mut prog);
+        if self.opts.dump_ir {
+            dumps.push(("vectorize".to_string(), print_program(&prog)));
+        }
+
+        // 3. Copy elimination (§4.2.3).
+        let ce_opts = copyelim::Options { spill_first: self.opts.spill_first, ..Default::default() };
+        let stats = copyelim::run(&mut prog, ce_opts)?;
+        if self.opts.dump_ir {
+            dumps.push(("copyelim".to_string(), print_program(&prog)));
+        }
+
+        // 4. Resource allocation (§4.2.4).
+        let limit = mapping.smem_limit.unwrap_or(self.opts.machine.smem_per_sm);
+        let allocation = alloc::run(&prog, limit)?;
+
+        // 5/6. Warp specialization, pipelining, and code generation
+        // (§4.2.5, §4.2.6).
+        let sched = warpspec::SchedOptions {
+            warpspecialize: mapping.iter().any(|i| i.warpspecialize),
+            pipeline: mapping.iter().map(|i| i.pipeline).max().unwrap_or(0).max(1),
+        };
+        let kernel = warpspec::lower(&prog, &allocation, sched)?;
+        kernel
+            .validate(&self.opts.machine)
+            .map_err(|e| CompileError::Backend(e.to_string()))?;
+
+        let cuda = crate::codegen::cuda::render(&kernel);
+        let smem_bytes = kernel.smem_bytes();
+        Ok(Compiled { kernel, cuda, ir_dumps: dumps, copyelim_stats: stats, smem_bytes })
+    }
+}

@@ -1,0 +1,197 @@
+//! The mapping specification (paper §3.3, Fig. 5b).
+//!
+//! A mapping statically instantiates the task tree: each
+//! [`TaskMapping`] *instance* selects a task variant, a processor level,
+//! per-parameter memories, tunable bindings, and the instances child
+//! launches dispatch to. Instances also carry the processor-specific
+//! controls the paper describes: `warpspecialize`, `pipeline` depth, and a
+//! shared-memory budget for the resource allocator (§4.2.4).
+
+use crate::error::CompileError;
+use crate::front::machine::{MemLevel, ProcLevel};
+use std::collections::HashMap;
+
+/// One task-mapping instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskMapping {
+    /// Instance name (referenced by other instances' `calls`).
+    pub instance: String,
+    /// Task variant executed by this instance.
+    pub variant: String,
+    /// Processor level the variant runs on.
+    pub proc: ProcLevel,
+    /// Memory for each tensor parameter, in signature order.
+    pub mems: Vec<MemLevel>,
+    /// Tunable bindings.
+    pub tunables: HashMap<String, i64>,
+    /// Instances child task launches dispatch to (one per child task name).
+    pub calls: Vec<String>,
+    /// Request warp specialization of this instance's body (§4.2.5).
+    pub warpspecialize: bool,
+    /// Software pipeline depth for this instance's sequential loop (0 = no
+    /// pipelining; the paper's GEMM uses 3).
+    pub pipeline: usize,
+    /// `true` for the root of the task tree.
+    pub entrypoint: bool,
+}
+
+impl TaskMapping {
+    /// A builder-style constructor with no tunables or calls.
+    #[must_use]
+    pub fn new(instance: &str, variant: &str, proc: ProcLevel, mems: Vec<MemLevel>) -> Self {
+        TaskMapping {
+            instance: instance.to_string(),
+            variant: variant.to_string(),
+            proc,
+            mems,
+            tunables: HashMap::new(),
+            calls: Vec::new(),
+            warpspecialize: false,
+            pipeline: 0,
+            entrypoint: false,
+        }
+    }
+
+    /// Bind a tunable.
+    #[must_use]
+    pub fn tunable(mut self, name: &str, value: i64) -> Self {
+        self.tunables.insert(name.to_string(), value);
+        self
+    }
+
+    /// Add child dispatch targets.
+    #[must_use]
+    pub fn calls(mut self, instances: &[&str]) -> Self {
+        self.calls = instances.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Request warp specialization.
+    #[must_use]
+    pub fn warpspecialize(mut self) -> Self {
+        self.warpspecialize = true;
+        self
+    }
+
+    /// Set the pipeline depth.
+    #[must_use]
+    pub fn pipeline(mut self, depth: usize) -> Self {
+        self.pipeline = depth;
+        self
+    }
+
+    /// Mark as the entrypoint.
+    #[must_use]
+    pub fn entrypoint(mut self) -> Self {
+        self.entrypoint = true;
+        self
+    }
+}
+
+/// A full mapping specification: a set of instances, exactly one of which
+/// is the entrypoint.
+#[derive(Debug, Clone, Default)]
+pub struct MappingSpec {
+    instances: HashMap<String, TaskMapping>,
+    /// Shared-memory budget per thread block for the resource allocator;
+    /// `None` uses the machine's full per-SM capacity.
+    pub smem_limit: Option<usize>,
+}
+
+impl MappingSpec {
+    /// Build from a list of instances.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::BadEntrypoint`] unless exactly one instance
+    /// is marked `entrypoint`, or [`CompileError::UnknownInstance`] if a
+    /// `calls` target is missing.
+    pub fn new(instances: Vec<TaskMapping>) -> Result<Self, CompileError> {
+        let mut map = HashMap::new();
+        let mut entry = 0usize;
+        for i in instances {
+            if i.entrypoint {
+                entry += 1;
+            }
+            map.insert(i.instance.clone(), i);
+        }
+        if entry != 1 {
+            return Err(CompileError::BadEntrypoint);
+        }
+        let spec = MappingSpec { instances: map, smem_limit: None };
+        for inst in spec.instances.values() {
+            for c in &inst.calls {
+                if !spec.instances.contains_key(c) {
+                    return Err(CompileError::UnknownInstance(c.clone()));
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Set the shared-memory budget per thread block.
+    #[must_use]
+    pub fn with_smem_limit(mut self, bytes: usize) -> Self {
+        self.smem_limit = Some(bytes);
+        self
+    }
+
+    /// The entrypoint instance.
+    #[must_use]
+    pub fn entry(&self) -> &TaskMapping {
+        self.instances.values().find(|i| i.entrypoint).expect("validated on construction")
+    }
+
+    /// Look up an instance by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::UnknownInstance`] if absent.
+    pub fn instance(&self, name: &str) -> Result<&TaskMapping, CompileError> {
+        self.instances.get(name).ok_or_else(|| CompileError::UnknownInstance(name.to_string()))
+    }
+
+    /// Iterate all instances.
+    pub fn iter(&self) -> impl Iterator<Item = &TaskMapping> {
+        self.instances.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inst(name: &str, entry: bool) -> TaskMapping {
+        let m = TaskMapping::new(name, "v", ProcLevel::Block, vec![MemLevel::Global]);
+        if entry {
+            m.entrypoint()
+        } else {
+            m
+        }
+    }
+
+    #[test]
+    fn exactly_one_entrypoint() {
+        assert!(MappingSpec::new(vec![inst("a", false)]).is_err());
+        assert!(MappingSpec::new(vec![inst("a", true), inst("b", true)]).is_err());
+        let ok = MappingSpec::new(vec![inst("a", true), inst("b", false)]).unwrap();
+        assert_eq!(ok.entry().instance, "a");
+    }
+
+    #[test]
+    fn calls_must_resolve() {
+        let a = inst("a", true).calls(&["missing"]);
+        assert!(matches!(MappingSpec::new(vec![a]), Err(CompileError::UnknownInstance(_))));
+    }
+
+    #[test]
+    fn builder_setters() {
+        let m = TaskMapping::new("i", "v", ProcLevel::Block, vec![])
+            .tunable("W", 64)
+            .warpspecialize()
+            .pipeline(3);
+        assert_eq!(m.tunables["W"], 64);
+        assert!(m.warpspecialize);
+        assert_eq!(m.pipeline, 3);
+    }
+}

@@ -1,0 +1,636 @@
+//! FlashAttention-2 and FlashAttention-3 (paper §5.3, Fig. 14) in the
+//! Cypress model.
+//!
+//! FA2: per K/V tile, one `Q Kᵀ` GEMM, an online-softmax update, and a
+//! `P V` GEMM — the Tensor Core serializes against the SIMT softmax within
+//! a warpgroup, and throughput comes from interleaving multiple consumer
+//! warpgroups (the paper's observation that FA2 with extra warpgroups
+//! rivals FA3).
+//!
+//! FA3: the main loop is rewritten (as §5.3 describes) to process two K/V
+//! tiles per iteration with two score buffers, issuing the second `Q Kᵀ`
+//! *before* the first softmax; the compiler's hazard analysis then only
+//! group-waits the first GEMM, overlapping softmax with Tensor Core work.
+
+use crate::error::CompileError;
+use crate::front::ast::{LeafFn, Privilege, SExpr, Stmt};
+use crate::front::machine::{MemLevel, ProcLevel};
+use crate::front::mapping::{MappingSpec, TaskMapping};
+use crate::front::task::{TaskRegistry, TaskVariant, VariantKind};
+use crate::kernels::common::{self, p, piece, t, v};
+use crate::passes::depan::EntryArg;
+use cypress_sim::MachineConfig;
+use cypress_tensor::DType;
+
+/// Which attention algorithm to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// FlashAttention-2.
+    Fa2,
+    /// FlashAttention-3 (two-tile software pipelining).
+    Fa3,
+}
+
+/// Mapping configuration for attention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttentionConfig {
+    /// Row tile (`Br`); `wgs` warpgroups of 64 rows each.
+    pub br: usize,
+    /// Column (K/V) tile (`Bc`).
+    pub bc: usize,
+    /// Consumer warpgroups.
+    pub wgs: usize,
+    /// Pipeline depth for K/V loads.
+    pub pipeline: usize,
+}
+
+impl AttentionConfig {
+    /// H100 FA2 mapping (two consumer warpgroups, 128-row tiles).
+    #[must_use]
+    pub fn fa2_h100() -> Self {
+        AttentionConfig { br: 128, bc: 128, wgs: 2, pipeline: 2 }
+    }
+
+    /// H100 FA3 mapping (smaller K/V tiles, two in flight).
+    #[must_use]
+    pub fn fa3_h100() -> Self {
+        AttentionConfig { br: 128, bc: 64, wgs: 2, pipeline: 2 }
+    }
+
+    /// Small mapping for the unit-test machine.
+    #[must_use]
+    pub fn test() -> Self {
+        AttentionConfig { br: 128, bc: 64, wgs: 2, pipeline: 1 }
+    }
+}
+
+/// Algorithmic FLOPs of forward attention (Fig. 14's convention):
+/// `4 · heads · seq² · head_dim`.
+#[must_use]
+pub fn flops(heads: usize, seq: usize, head_dim: usize) -> f64 {
+    4.0 * heads as f64 * seq as f64 * seq as f64 * head_dim as f64
+}
+
+/// Build attention with the default mapping for `machine`.
+///
+/// # Panics
+///
+/// Panics if the statically well-formed program fails to register.
+#[must_use]
+pub fn build(
+    algorithm: Algorithm,
+    heads: usize,
+    seq: usize,
+    head_dim: usize,
+    machine: &MachineConfig,
+) -> (TaskRegistry, MappingSpec, Vec<EntryArg>) {
+    let cfg = if machine.smem_per_sm >= 200 * 1024 {
+        match algorithm {
+            Algorithm::Fa2 => AttentionConfig::fa2_h100(),
+            Algorithm::Fa3 => AttentionConfig::fa3_h100(),
+        }
+    } else {
+        AttentionConfig::test()
+    };
+    build_with(algorithm, heads, seq, head_dim, cfg).expect("attention program is well-formed")
+}
+
+/// Build with an explicit configuration.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on malformed trees or indivisible tilings.
+#[allow(clippy::too_many_lines)]
+pub fn build_with(
+    algorithm: Algorithm,
+    heads: usize,
+    seq: usize,
+    head_dim: usize,
+    cfg: AttentionConfig,
+) -> Result<(TaskRegistry, MappingSpec, Vec<EntryArg>), CompileError> {
+    let mut reg = TaskRegistry::new();
+    common::register_clear(&mut reg, "clear")?;
+    common::register_store(&mut reg, "store")?;
+    common::register_vec_clear(&mut reg, "vclear", 0.0)?;
+    common::register_vec_clear(&mut reg, "nclear", -30000.0)?;
+
+    // Elementwise leaf tasks of the online softmax.
+    let scale = 1.0 / (head_dim as f64).sqrt() as f32;
+    common::register_leaf(
+        &mut reg,
+        "szero",
+        vec![p("X", Privilege::Write)],
+        LeafFn::Fill(0.0),
+        &["X"],
+    )?;
+    common::register_leaf(
+        &mut reg,
+        "qk",
+        vec![p("S", Privilege::ReadWrite), p("Q", Privilege::Read), p("K", Privilege::Read)],
+        LeafFn::MmaAccumBT,
+        &["Q", "K", "S"],
+    )?;
+    common::register_leaf(
+        &mut reg,
+        "sscale",
+        vec![p("X", Privilege::ReadWrite)],
+        LeafFn::Scale(scale),
+        &["X", "X"],
+    )?;
+    common::register_leaf(
+        &mut reg,
+        "vcopy",
+        vec![p("S", Privilege::Read), p("D", Privilege::Write)],
+        LeafFn::CopyExt,
+        &["S", "D"],
+    )?;
+    common::register_leaf(
+        &mut reg,
+        "rmax",
+        vec![p("M", Privilege::ReadWrite), p("S", Privilege::Read)],
+        LeafFn::RowMaxAccum,
+        &["S", "M"],
+    )?;
+    common::register_leaf(
+        &mut reg,
+        "vsub",
+        vec![p("X", Privilege::ReadWrite), p("R", Privilege::Read)],
+        LeafFn::SubRow,
+        &["X", "R", "X"],
+    )?;
+    common::register_leaf(
+        &mut reg,
+        "vexp",
+        vec![p("X", Privilege::ReadWrite)],
+        LeafFn::Exp,
+        &["X", "X"],
+    )?;
+    common::register_leaf(
+        &mut reg,
+        "vmul",
+        vec![p("X", Privilege::ReadWrite), p("R", Privilege::Read)],
+        LeafFn::MulRow,
+        &["X", "R", "X"],
+    )?;
+    common::register_leaf(
+        &mut reg,
+        "rsum",
+        vec![p("Y", Privilege::ReadWrite), p("A", Privilege::Read)],
+        LeafFn::RowSumAccum,
+        &["A", "Y"],
+    )?;
+    common::register_leaf(
+        &mut reg,
+        "pv",
+        vec![p("O", Privilege::ReadWrite), p("P", Privilege::Read), p("V", Privilege::Read)],
+        LeafFn::MmaAccum,
+        &["P", "V", "O"],
+    )?;
+    common::register_leaf(
+        &mut reg,
+        "fin",
+        vec![p("O", Privilege::ReadWrite), p("L", Privilege::Read)],
+        LeafFn::DivRow,
+        &["O", "L", "O"],
+    )?;
+
+    // finish tree: divide O by the softmax denominator, per warpgroup row
+    // band.
+    reg.register(TaskVariant {
+        task: "finish".into(),
+        name: "finish_tile".into(),
+        kind: VariantKind::Inner,
+        params: vec![p("O", Privilege::ReadWrite), p("L", Privilege::Read)],
+        body: vec![
+            Stmt::Tunable { name: "WGS".into() },
+            Stmt::Let { name: "M".into(), value: SExpr::shape("O", 0) },
+            Stmt::Let { name: "D".into(), value: SExpr::shape("O", 1) },
+            Stmt::PartitionBlocks {
+                name: "Op".into(),
+                tensor: "O".into(),
+                tile_rows: v("M") / v("WGS"),
+                tile_cols: v("D"),
+            },
+            Stmt::PartitionBlocks {
+                name: "Lp".into(),
+                tensor: "L".into(),
+                tile_rows: v("M") / v("WGS"),
+                tile_cols: SExpr::lit(1),
+            },
+            Stmt::PRange {
+                vars: vec!["w".into()],
+                extents: vec![v("WGS")],
+                body: vec![Stmt::Launch {
+                    task: "fin".into(),
+                    args: vec![
+                        piece("Op", vec![v("w"), SExpr::lit(0)]),
+                        piece("Lp", vec![v("w"), SExpr::lit(0)]),
+                    ],
+                }],
+            },
+        ],
+    })?;
+
+    // The per-warpgroup online-softmax step (FA2: one tile; FA3: two).
+    let softmax_block = |sname: &str| -> Vec<Stmt> {
+        vec![
+            // Scale the scores, save the old max, fold in the tile max.
+            Stmt::Launch { task: "sscale".into(), args: vec![t(sname)] },
+            Stmt::Launch { task: "vcopy".into(), args: vec![t("m"), t("tm")] },
+            Stmt::Launch { task: "rmax".into(), args: vec![t("m"), t(sname)] },
+            // alpha = exp(m_old - m_new), stored in tm.
+            Stmt::Launch { task: "vsub".into(), args: vec![t("tm"), t("m")] },
+            Stmt::Launch { task: "vexp".into(), args: vec![t("tm")] },
+            // Rescale running denominator and output.
+            Stmt::Launch { task: "vmul".into(), args: vec![t("l"), t("tm")] },
+            Stmt::Launch { task: "vmul".into(), args: vec![t("O"), t("tm")] },
+            // P = exp(S - m), fold into l.
+            Stmt::Launch { task: "vsub".into(), args: vec![t(sname), t("m")] },
+            Stmt::Launch { task: "vexp".into(), args: vec![t(sname)] },
+            Stmt::Launch { task: "rsum".into(), args: vec![t("l"), t(sname)] },
+        ]
+    };
+
+    let step_params_fa2 = vec![
+        p("O", Privilege::ReadWrite),
+        p("m", Privilege::ReadWrite),
+        p("l", Privilege::ReadWrite),
+        p("Q", Privilege::Read),
+        p("K", Privilege::Read),
+        p("V", Privilege::Read),
+    ];
+    let mut fa2_wg_body = vec![
+        Stmt::MakeTensor { name: "Sc".into(), rows: SExpr::lit(64), cols: SExpr::lit(cfg.bc as i64), dtype: DType::F16 },
+        Stmt::MakeTensor { name: "tm".into(), rows: SExpr::lit(64), cols: SExpr::lit(1), dtype: DType::F16 },
+        Stmt::Launch { task: "szero".into(), args: vec![t("Sc")] },
+        Stmt::Launch { task: "qk".into(), args: vec![t("Sc"), t("Q"), t("K")] },
+    ];
+    fa2_wg_body.extend(softmax_block("Sc"));
+    fa2_wg_body.push(Stmt::Launch { task: "pv".into(), args: vec![t("O"), t("Sc"), t("V")] });
+    reg.register(TaskVariant {
+        task: "fstep".into(),
+        name: "fstep_wg".into(),
+        kind: VariantKind::Inner,
+        params: step_params_fa2.clone(),
+        body: fa2_wg_body,
+    })?;
+
+    let step_params_fa3 = vec![
+        p("O", Privilege::ReadWrite),
+        p("m", Privilege::ReadWrite),
+        p("l", Privilege::ReadWrite),
+        p("Q", Privilege::Read),
+        p("K0", Privilege::Read),
+        p("V0", Privilege::Read),
+        p("K1", Privilege::Read),
+        p("V1", Privilege::Read),
+    ];
+    let mut fa3_wg_body = vec![
+        Stmt::MakeTensor { name: "S0".into(), rows: SExpr::lit(64), cols: SExpr::lit(cfg.bc as i64), dtype: DType::F16 },
+        Stmt::MakeTensor { name: "S1".into(), rows: SExpr::lit(64), cols: SExpr::lit(cfg.bc as i64), dtype: DType::F16 },
+        Stmt::MakeTensor { name: "tm".into(), rows: SExpr::lit(64), cols: SExpr::lit(1), dtype: DType::F16 },
+        // Both QK^T GEMMs issue before the first softmax: the compiler's
+        // group-wait analysis retires only the first when its scores are
+        // read, leaving the second in flight (FA3's overlap).
+        Stmt::Launch { task: "szero".into(), args: vec![t("S0")] },
+        Stmt::Launch { task: "qk".into(), args: vec![t("S0"), t("Q"), t("K0")] },
+        Stmt::Launch { task: "szero".into(), args: vec![t("S1")] },
+        Stmt::Launch { task: "qk".into(), args: vec![t("S1"), t("Q"), t("K1")] },
+    ];
+    fa3_wg_body.extend(softmax_block("S0"));
+    fa3_wg_body.push(Stmt::Launch { task: "pv".into(), args: vec![t("O"), t("S0"), t("V0")] });
+    fa3_wg_body.extend(softmax_block("S1"));
+    fa3_wg_body.push(Stmt::Launch { task: "pv".into(), args: vec![t("O"), t("S1"), t("V1")] });
+    reg.register(TaskVariant {
+        task: "fstep3".into(),
+        name: "fstep3_wg".into(),
+        kind: VariantKind::Inner,
+        params: step_params_fa3.clone(),
+        body: fa3_wg_body,
+    })?;
+
+    // BLOCK-level step: split rows across warpgroups.
+    let make_step_tile = |task: &str, params: &[crate::front::task::ParamSig], kv: usize| {
+        let mut body = vec![
+            Stmt::Tunable { name: "WGS".into() },
+            Stmt::Let { name: "BR".into(), value: SExpr::shape("O", 0) },
+            Stmt::Let { name: "D".into(), value: SExpr::shape("O", 1) },
+            Stmt::PartitionBlocks {
+                name: "Op".into(),
+                tensor: "O".into(),
+                tile_rows: v("BR") / v("WGS"),
+                tile_cols: v("D"),
+            },
+            Stmt::PartitionBlocks {
+                name: "mp".into(),
+                tensor: "m".into(),
+                tile_rows: v("BR") / v("WGS"),
+                tile_cols: SExpr::lit(1),
+            },
+            Stmt::PartitionBlocks {
+                name: "lp".into(),
+                tensor: "l".into(),
+                tile_rows: v("BR") / v("WGS"),
+                tile_cols: SExpr::lit(1),
+            },
+            Stmt::PartitionBlocks {
+                name: "Qp".into(),
+                tensor: "Q".into(),
+                tile_rows: v("BR") / v("WGS"),
+                tile_cols: v("D"),
+            },
+        ];
+        let mut args = vec![
+            piece("Op", vec![v("w"), SExpr::lit(0)]),
+            piece("mp", vec![v("w"), SExpr::lit(0)]),
+            piece("lp", vec![v("w"), SExpr::lit(0)]),
+            piece("Qp", vec![v("w"), SExpr::lit(0)]),
+        ];
+        for i in 0..kv {
+            args.push(t(&format!("K{i}")));
+            args.push(t(&format!("V{i}")));
+        }
+        body.push(Stmt::PRange {
+            vars: vec!["w".into()],
+            extents: vec![v("WGS")],
+            body: vec![Stmt::Launch { task: task.into(), args }],
+        });
+        (body, params.to_vec())
+    };
+
+    // FA2 tile step: rename K/V params to K0/V0 for uniformity.
+    let mut fa2_tile_params = step_params_fa2.clone();
+    fa2_tile_params[4].name = "K0".into();
+    fa2_tile_params[5].name = "V0".into();
+    let (fa2_tile_body, fa2_tile_params) = make_step_tile("fstep", &fa2_tile_params, 1);
+    reg.register(TaskVariant {
+        task: "ftile".into(),
+        name: "ftile_fa2".into(),
+        kind: VariantKind::Inner,
+        params: fa2_tile_params,
+        body: fa2_tile_body,
+    })?;
+    let mut fa3_tile_params = step_params_fa3.clone();
+    fa3_tile_params[4].name = "K0".into();
+    fa3_tile_params[5].name = "V0".into();
+    let (fa3_tile_body, fa3_tile_params) = make_step_tile("fstep3", &fa3_tile_params, 2);
+    reg.register(TaskVariant {
+        task: "ftile3".into(),
+        name: "ftile_fa3".into(),
+        kind: VariantKind::Inner,
+        params: fa3_tile_params,
+        body: fa3_tile_body,
+    })?;
+
+    // BLOCK-level attention over one Q row-band.
+    let fa_params = vec![
+        p("O", Privilege::ReadWrite),
+        p("Q", Privilege::Read),
+        p("K", Privilege::Read),
+        p("V", Privilege::Read),
+    ];
+    let mut fa_block_body = vec![
+        Stmt::Tunable { name: "BC".into() },
+        Stmt::Let { name: "BR".into(), value: SExpr::shape("Q", 0) },
+        Stmt::Let { name: "D".into(), value: SExpr::shape("Q", 1) },
+        Stmt::Let { name: "SEQ".into(), value: SExpr::shape("K", 0) },
+        Stmt::PartitionBlocks {
+            name: "Kp".into(),
+            tensor: "K".into(),
+            tile_rows: v("BC"),
+            tile_cols: v("D"),
+        },
+        Stmt::PartitionBlocks {
+            name: "Vp".into(),
+            tensor: "V".into(),
+            tile_rows: v("BC"),
+            tile_cols: v("D"),
+        },
+        Stmt::MakeTensor { name: "m".into(), rows: v("BR"), cols: SExpr::lit(1), dtype: DType::F16 },
+        Stmt::MakeTensor { name: "l".into(), rows: v("BR"), cols: SExpr::lit(1), dtype: DType::F16 },
+        Stmt::MakeTensor { name: "Oa".into(), rows: v("BR"), cols: v("D"), dtype: DType::F16 },
+        Stmt::Launch { task: "nclear".into(), args: vec![t("m")] },
+        Stmt::Launch { task: "vclear".into(), args: vec![t("l")] },
+        Stmt::Launch { task: "clear".into(), args: vec![t("Oa")] },
+    ];
+    match algorithm {
+        Algorithm::Fa2 => {
+            fa_block_body.push(Stmt::SRange {
+                var: "j".into(),
+                extent: v("SEQ") / v("BC"),
+                body: vec![Stmt::Launch {
+                    task: "ftile".into(),
+                    args: vec![
+                        t("Oa"),
+                        t("m"),
+                        t("l"),
+                        t("Q"),
+                        piece("Kp", vec![v("j"), SExpr::lit(0)]),
+                        piece("Vp", vec![v("j"), SExpr::lit(0)]),
+                    ],
+                }],
+            });
+        }
+        Algorithm::Fa3 => {
+            fa_block_body.push(Stmt::SRange {
+                var: "j".into(),
+                extent: v("SEQ") / (v("BC") * SExpr::lit(2)),
+                body: vec![Stmt::Launch {
+                    task: "ftile3".into(),
+                    args: vec![
+                        t("Oa"),
+                        t("m"),
+                        t("l"),
+                        t("Q"),
+                        piece("Kp", vec![v("j") * SExpr::lit(2), SExpr::lit(0)]),
+                        piece("Vp", vec![v("j") * SExpr::lit(2), SExpr::lit(0)]),
+                        piece("Kp", vec![v("j") * SExpr::lit(2) + SExpr::lit(1), SExpr::lit(0)]),
+                        piece("Vp", vec![v("j") * SExpr::lit(2) + SExpr::lit(1), SExpr::lit(0)]),
+                    ],
+                }],
+            });
+        }
+    }
+    fa_block_body.push(Stmt::Launch { task: "finish".into(), args: vec![t("Oa"), t("l")] });
+    fa_block_body.push(Stmt::Launch { task: "store".into(), args: vec![t("Oa"), t("O")] });
+    reg.register(TaskVariant {
+        task: "fa".into(),
+        name: "fa_block".into(),
+        kind: VariantKind::Inner,
+        params: fa_params.clone(),
+        body: fa_block_body,
+    })?;
+
+    // Head level: row bands of Q/O.
+    reg.register(TaskVariant {
+        task: "fa".into(),
+        name: "fa_head".into(),
+        kind: VariantKind::Inner,
+        params: fa_params.clone(),
+        body: vec![
+            Stmt::Tunable { name: "BR".into() },
+            Stmt::Let { name: "SEQ".into(), value: SExpr::shape("Q", 0) },
+            Stmt::Let { name: "D".into(), value: SExpr::shape("Q", 1) },
+            Stmt::PartitionBlocks {
+                name: "Qp".into(),
+                tensor: "Q".into(),
+                tile_rows: v("BR"),
+                tile_cols: v("D"),
+            },
+            Stmt::PartitionBlocks {
+                name: "Op".into(),
+                tensor: "O".into(),
+                tile_rows: v("BR"),
+                tile_cols: v("D"),
+            },
+            Stmt::PRange {
+                vars: vec!["i".into()],
+                extents: vec![v("SEQ") / v("BR")],
+                body: vec![Stmt::Launch {
+                    task: "fa".into(),
+                    args: vec![
+                        piece("Op", vec![v("i"), SExpr::lit(0)]),
+                        piece("Qp", vec![v("i"), SExpr::lit(0)]),
+                        t("K"),
+                        t("V"),
+                    ],
+                }],
+            },
+        ],
+    })?;
+
+    // Host level: one band of rows per head.
+    reg.register(TaskVariant {
+        task: "fa".into(),
+        name: "fa_host".into(),
+        kind: VariantKind::Inner,
+        params: fa_params,
+        body: vec![
+            Stmt::Tunable { name: "H".into() },
+            Stmt::Let { name: "SEQ".into(), value: SExpr::shape("Q", 0) / v("H") },
+            Stmt::Let { name: "D".into(), value: SExpr::shape("Q", 1) },
+            Stmt::PartitionBlocks {
+                name: "Qh".into(),
+                tensor: "Q".into(),
+                tile_rows: v("SEQ"),
+                tile_cols: v("D"),
+            },
+            Stmt::PartitionBlocks {
+                name: "Oh".into(),
+                tensor: "O".into(),
+                tile_rows: v("SEQ"),
+                tile_cols: v("D"),
+            },
+            Stmt::PartitionBlocks {
+                name: "Kh".into(),
+                tensor: "K".into(),
+                tile_rows: v("SEQ"),
+                tile_cols: v("D"),
+            },
+            Stmt::PartitionBlocks {
+                name: "Vh".into(),
+                tensor: "V".into(),
+                tile_rows: v("SEQ"),
+                tile_cols: v("D"),
+            },
+            Stmt::PRange {
+                vars: vec!["h".into()],
+                extents: vec![v("H")],
+                body: vec![Stmt::Launch {
+                    task: "fa".into(),
+                    args: vec![
+                        piece("Oh", vec![v("h"), SExpr::lit(0)]),
+                        piece("Qh", vec![v("h"), SExpr::lit(0)]),
+                        piece("Kh", vec![v("h"), SExpr::lit(0)]),
+                        piece("Vh", vec![v("h"), SExpr::lit(0)]),
+                    ],
+                }],
+            },
+        ],
+    })?;
+
+    // ---- mapping ----------------------------------------------------------
+    let g4 = vec![MemLevel::Global; 4];
+    let reg_mem = MemLevel::Register;
+    let sh = MemLevel::Shared;
+    let (tile_task, tile_var, step_task, step_var, kv) = match algorithm {
+        Algorithm::Fa2 => ("ftile", "ftile_fa2", "fstep", "fstep_wg", 1usize),
+        Algorithm::Fa3 => ("ftile3", "ftile_fa3", "fstep3", "fstep3_wg", 2usize),
+    };
+    let mut step_tile_mems = vec![MemLevel::None, MemLevel::None, MemLevel::None, sh];
+    for _ in 0..kv {
+        step_tile_mems.push(sh);
+        step_tile_mems.push(sh);
+    }
+    let mut step_wg_mems = vec![reg_mem, reg_mem, reg_mem, sh];
+    for _ in 0..kv {
+        step_wg_mems.push(sh);
+        step_wg_mems.push(sh);
+    }
+
+    let mut instances = vec![
+        TaskMapping::new("fa_host", "fa_host", ProcLevel::Host, g4.clone())
+            .tunable("H", heads as i64)
+            .calls(&["fa_head"])
+            .entrypoint(),
+        TaskMapping::new("fa_head", "fa_head", ProcLevel::Block, g4.clone())
+            .tunable("BR", cfg.br as i64)
+            .calls(&["fa_block"]),
+        TaskMapping::new("fa_block", "fa_block", ProcLevel::Block, g4)
+            .tunable("BC", cfg.bc as i64)
+            .calls(&[
+                "nclear_tile",
+                "vclear_tile",
+                "clear_tile",
+                &format!("{tile_task}_tile"),
+                "finish_tile",
+                "store_tile",
+            ])
+            .warpspecialize()
+            .pipeline(cfg.pipeline),
+        TaskMapping::new(&format!("{tile_task}_tile"), tile_var, ProcLevel::Block, step_tile_mems)
+            .tunable("WGS", cfg.wgs as i64)
+            .calls(&[&format!("{step_task}_wg")]),
+        TaskMapping::new(
+            &format!("{step_task}_wg"),
+            step_var,
+            ProcLevel::Warpgroup,
+            step_wg_mems,
+        )
+        .calls(&[
+            "szero_leaf", "qk_leaf", "sscale_leaf", "vcopy_leaf", "rmax_leaf", "vsub_leaf",
+            "vexp_leaf", "vmul_leaf", "rsum_leaf", "pv_leaf",
+        ]),
+        TaskMapping::new("finish_tile", "finish_tile", ProcLevel::Block, vec![
+            MemLevel::None,
+            MemLevel::None,
+        ])
+        .tunable("WGS", cfg.wgs as i64)
+        .calls(&["fin_leaf"]),
+        common::leaf_mapping("fin", vec![reg_mem, reg_mem]),
+        common::leaf_mapping("szero", vec![reg_mem]),
+        common::leaf_mapping("qk", vec![reg_mem, sh, sh]),
+        common::leaf_mapping("sscale", vec![reg_mem]),
+        common::leaf_mapping("vcopy", vec![reg_mem, reg_mem]),
+        common::leaf_mapping("rmax", vec![reg_mem, reg_mem]),
+        common::leaf_mapping("vsub", vec![reg_mem, reg_mem]),
+        common::leaf_mapping("vexp", vec![reg_mem]),
+        common::leaf_mapping("vmul", vec![reg_mem, reg_mem]),
+        common::leaf_mapping("rsum", vec![reg_mem, reg_mem]),
+        common::leaf_mapping("pv", vec![reg_mem, reg_mem, sh]),
+    ];
+    instances.extend(common::clear_mappings("clear", cfg.wgs as i64));
+    instances.extend(common::store_mappings("store", cfg.wgs as i64));
+    instances.extend(common::vec_clear_mappings("vclear", cfg.wgs as i64));
+    instances.extend(common::vec_clear_mappings("nclear", cfg.wgs as i64));
+    let mapping = MappingSpec::new(instances)?;
+
+    let rows = heads * seq;
+    let args = vec![
+        EntryArg { name: "O".into(), rows, cols: head_dim, dtype: DType::F16 },
+        EntryArg { name: "Q".into(), rows, cols: head_dim, dtype: DType::F16 },
+        EntryArg { name: "K".into(), rows, cols: head_dim, dtype: DType::F16 },
+        EntryArg { name: "V".into(), rows, cols: head_dim, dtype: DType::F16 },
+    ];
+    Ok((reg, mapping, args))
+}

@@ -1,0 +1,169 @@
+//! Batched GEMM (paper Fig. 13b): `L` independent GEMMs in one launch.
+//!
+//! Batch dimensions are folded into rows (tensors are rank-2 in this
+//! reproduction); the host level peels the batch with a `blocks` partition
+//! and a BLOCK-level `prange`, which the scheduler maps onto the third
+//! grid dimension.
+
+use crate::error::CompileError;
+use crate::front::ast::{Privilege, SExpr, Stmt};
+use crate::front::machine::{MemLevel, ProcLevel};
+use crate::front::mapping::{MappingSpec, TaskMapping};
+use crate::front::task::{TaskRegistry, TaskVariant, VariantKind};
+use crate::kernels::common::{self, p, piece, v};
+use crate::kernels::gemm::GemmConfig;
+use crate::passes::depan::EntryArg;
+use cypress_sim::MachineConfig;
+use cypress_tensor::DType;
+
+/// Algorithmic FLOPs (Fig. 13b reports `L` GEMMs).
+#[must_use]
+pub fn flops(l: usize, m: usize, n: usize, k: usize) -> f64 {
+    2.0 * l as f64 * m as f64 * n as f64 * k as f64
+}
+
+/// Build the batched GEMM program: `C[l] = A[l] @ B[l]` for `l < batch`.
+///
+/// # Panics
+///
+/// Panics if the statically well-formed program fails to register.
+#[must_use]
+pub fn build(
+    batch: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    machine: &MachineConfig,
+) -> (TaskRegistry, MappingSpec, Vec<EntryArg>) {
+    build_with(batch, m, n, k, GemmConfig::for_machine(machine))
+        .expect("batched gemm program is well-formed")
+}
+
+/// Build with an explicit mapping configuration.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on malformed trees or indivisible tilings.
+pub fn build_with(
+    batch: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    cfg: GemmConfig,
+) -> Result<(TaskRegistry, MappingSpec, Vec<EntryArg>), CompileError> {
+    let mut reg = TaskRegistry::new();
+    // The per-matrix levels are exactly the plain GEMM tree.
+    crate::kernels::gemm::register_gemm_tasks(&mut reg)?;
+    common::register_clear(&mut reg, "clear")?;
+    common::register_store(&mut reg, "store")?;
+    common::register_mma_chain(&mut reg, "gemm", crate::front::ast::LeafFn::MmaAccum)?;
+
+    // Host level: peel the batch.
+    reg.register(TaskVariant {
+        task: "bgemm".into(),
+        name: "bgemm_host".into(),
+        kind: VariantKind::Inner,
+        params: vec![
+            p("C", Privilege::ReadWrite),
+            p("A", Privilege::Read),
+            p("B", Privilege::Read),
+        ],
+        body: vec![
+            Stmt::Tunable { name: "L".into() },
+            Stmt::Let { name: "M".into(), value: SExpr::shape("C", 0) / v("L") },
+            Stmt::Let { name: "N".into(), value: SExpr::shape("C", 1) },
+            Stmt::Let { name: "K".into(), value: SExpr::shape("A", 1) },
+            Stmt::Let { name: "KL".into(), value: SExpr::shape("B", 0) / v("L") },
+            Stmt::PartitionBlocks {
+                name: "Cb".into(),
+                tensor: "C".into(),
+                tile_rows: v("M"),
+                tile_cols: v("N"),
+            },
+            Stmt::PartitionBlocks {
+                name: "Ab".into(),
+                tensor: "A".into(),
+                tile_rows: v("M"),
+                tile_cols: v("K"),
+            },
+            Stmt::PartitionBlocks {
+                name: "Bb".into(),
+                tensor: "B".into(),
+                tile_rows: v("KL"),
+                tile_cols: v("N"),
+            },
+            Stmt::PRange {
+                vars: vec!["l".into()],
+                extents: vec![v("L")],
+                body: vec![Stmt::Launch {
+                    task: "gemm".into(),
+                    args: vec![
+                        piece("Cb", vec![v("l"), SExpr::lit(0)]),
+                        piece("Ab", vec![v("l"), SExpr::lit(0)]),
+                        piece("Bb", vec![v("l"), SExpr::lit(0)]),
+                    ],
+                }],
+            },
+        ],
+    })?;
+
+    let mut instances = vec![TaskMapping::new(
+        "bgemm_host",
+        "bgemm_host",
+        ProcLevel::Host,
+        vec![MemLevel::Global, MemLevel::Global, MemLevel::Global],
+    )
+    .tunable("L", batch as i64)
+    .calls(&["gemm_grid"])
+    .entrypoint()];
+    // The per-matrix grid reuses the `gemm_host` *variant* at BLOCK level —
+    // the same logical description bound to a different machine point, the
+    // reuse §3.2 promises.
+    instances.push(
+        TaskMapping::new(
+            "gemm_grid",
+            "gemm_host",
+            ProcLevel::Block,
+            vec![MemLevel::Global, MemLevel::Global, MemLevel::Global],
+        )
+        .tunable("U", cfg.u as i64)
+        .tunable("V", cfg.v as i64)
+        .calls(&["gemm_block"]),
+    );
+    instances.push({
+        let mut mm = TaskMapping::new(
+            "gemm_block",
+            "gemm_block",
+            ProcLevel::Block,
+            vec![MemLevel::Global, MemLevel::Global, MemLevel::Global],
+        )
+        .tunable("W", cfg.w as i64)
+        .calls(&["clear_tile", "gemm_tile", "store_tile"])
+        .pipeline(cfg.pipeline);
+        if cfg.warpspecialize {
+            mm = mm.warpspecialize();
+        }
+        mm
+    });
+    instances.push(
+        TaskMapping::new(
+            "gemm_tile",
+            "gemm_tile",
+            ProcLevel::Block,
+            vec![MemLevel::None, MemLevel::Shared, MemLevel::Shared],
+        )
+        .tunable("WGS", cfg.wgs as i64)
+        .calls(&["gemm_wgmma"]),
+    );
+    instances.extend(common::mma_chain_mappings("gemm", MemLevel::Shared));
+    instances.extend(common::clear_mappings("clear", cfg.wgs as i64));
+    instances.extend(common::store_mappings("store", cfg.wgs as i64));
+    let mapping = MappingSpec::new(instances)?;
+
+    let args = vec![
+        EntryArg { name: "C".into(), rows: batch * m, cols: n, dtype: DType::F16 },
+        EntryArg { name: "A".into(), rows: batch * m, cols: k, dtype: DType::F16 },
+        EntryArg { name: "B".into(), rows: batch * k, cols: n, dtype: DType::F16 },
+    ];
+    Ok((reg, mapping, args))
+}

@@ -1,0 +1,579 @@
+//! Shared task trees used by every evaluation kernel: the `clear` tree
+//! (zero-initialize an accumulator down to per-thread register fragments)
+//! and the `store` tree (stage an accumulator through shared memory and
+//! out to global memory). Both follow the Fig. 5 pattern: block-level
+//! decomposition across warpgroups, then the Tensor-Core-mandated `mma`
+//! partitions at warp and thread level.
+
+use crate::error::CompileError;
+use crate::front::ast::{ArgExpr, LeafFn, Privilege, SExpr, Stmt};
+use crate::front::machine::{MemLevel, ProcLevel};
+use crate::front::mapping::TaskMapping;
+use crate::front::task::{ParamSig, TaskRegistry, TaskVariant, VariantKind};
+use cypress_tensor::partition::{MmaLevel, MmaOperand};
+use cypress_tensor::DType;
+
+/// Shorthand: tensor parameter signature.
+pub(crate) fn p(name: &str, privilege: Privilege) -> ParamSig {
+    ParamSig { name: name.to_string(), dtype: DType::F16, privilege }
+}
+
+/// Shorthand: whole-tensor argument.
+pub(crate) fn t(name: &str) -> ArgExpr {
+    ArgExpr::tensor(name)
+}
+
+/// Shorthand: partition piece argument.
+pub(crate) fn piece(part: &str, idx: Vec<SExpr>) -> ArgExpr {
+    ArgExpr::piece(part, idx)
+}
+
+/// Shorthand: variable expression.
+pub(crate) fn v(name: &str) -> SExpr {
+    SExpr::var(name)
+}
+
+/// Register the `clear` task tree (prefix allows several independent trees
+/// in one program, e.g. clearing both an accumulator and a row-statistic).
+pub(crate) fn register_clear(reg: &mut TaskRegistry, task: &str) -> Result<(), CompileError> {
+    reg.register(TaskVariant {
+        task: task.into(),
+        name: format!("{task}_tile"),
+        kind: VariantKind::Inner,
+        params: vec![p("C", Privilege::Write)],
+        body: vec![
+            Stmt::Tunable { name: "WGS".into() },
+            Stmt::Let { name: "M".into(), value: SExpr::shape("C", 0) },
+            Stmt::Let { name: "N".into(), value: SExpr::shape("C", 1) },
+            Stmt::PartitionBlocks {
+                name: "Cp".into(),
+                tensor: "C".into(),
+                tile_rows: v("M") / v("WGS"),
+                tile_cols: v("N"),
+            },
+            Stmt::PRange {
+                vars: vec!["w".into()],
+                extents: vec![v("WGS")],
+                body: vec![Stmt::Launch {
+                    task: task.into(),
+                    args: vec![piece("Cp", vec![v("w"), SExpr::lit(0)])],
+                }],
+            },
+        ],
+    })?;
+    reg.register(TaskVariant {
+        task: task.into(),
+        name: format!("{task}_wg"),
+        kind: VariantKind::Inner,
+        params: vec![p("C", Privilege::Write)],
+        body: vec![
+            Stmt::PartitionMma {
+                name: "Cp".into(),
+                tensor: "C".into(),
+                level: MmaLevel::Warp,
+                operand: MmaOperand::C,
+            },
+            Stmt::PRange {
+                vars: vec!["q".into()],
+                extents: vec![SExpr::lit(4)],
+                body: vec![Stmt::Launch {
+                    task: task.into(),
+                    args: vec![piece("Cp", vec![v("q")])],
+                }],
+            },
+        ],
+    })?;
+    reg.register(TaskVariant {
+        task: task.into(),
+        name: format!("{task}_warp"),
+        kind: VariantKind::Inner,
+        params: vec![p("C", Privilege::Write)],
+        body: vec![
+            Stmt::PartitionMma {
+                name: "Cp".into(),
+                tensor: "C".into(),
+                level: MmaLevel::Thread,
+                operand: MmaOperand::C,
+            },
+            Stmt::PRange {
+                vars: vec!["l".into()],
+                extents: vec![SExpr::lit(32)],
+                body: vec![Stmt::Launch {
+                    task: task.into(),
+                    args: vec![piece("Cp", vec![v("l")])],
+                }],
+            },
+        ],
+    })?;
+    reg.register(TaskVariant {
+        task: task.into(),
+        name: format!("{task}_leaf"),
+        kind: VariantKind::Leaf,
+        params: vec![p("C", Privilege::Write)],
+        body: vec![Stmt::CallExternal { f: LeafFn::Fill(0.0), args: vec![t("C")] }],
+    })?;
+    Ok(())
+}
+
+/// Mapping instances for a `clear` tree rooted at the BLOCK level.
+pub(crate) fn clear_mappings(task: &str, wgs: i64) -> Vec<TaskMapping> {
+    vec![
+        TaskMapping::new(
+            &format!("{task}_tile"),
+            &format!("{task}_tile"),
+            ProcLevel::Block,
+            vec![MemLevel::None],
+        )
+        .tunable("WGS", wgs)
+        .calls(&[&format!("{task}_wg")]),
+        TaskMapping::new(
+            &format!("{task}_wg"),
+            &format!("{task}_wg"),
+            ProcLevel::Warpgroup,
+            vec![MemLevel::Register],
+        )
+        .calls(&[&format!("{task}_warp")]),
+        TaskMapping::new(
+            &format!("{task}_warp"),
+            &format!("{task}_warp"),
+            ProcLevel::Warp,
+            vec![MemLevel::Register],
+        )
+        .calls(&[&format!("{task}_leaf")]),
+        TaskMapping::new(
+            &format!("{task}_leaf"),
+            &format!("{task}_leaf"),
+            ProcLevel::Thread,
+            vec![MemLevel::Register],
+        ),
+    ]
+}
+
+/// Register the `store` task tree: accumulator → shared staging → global.
+pub(crate) fn register_store(reg: &mut TaskRegistry, task: &str) -> Result<(), CompileError> {
+    let params = vec![p("S", Privilege::Read), p("D", Privilege::Write)];
+    reg.register(TaskVariant {
+        task: task.into(),
+        name: format!("{task}_tile"),
+        kind: VariantKind::Inner,
+        params: params.clone(),
+        body: vec![
+            Stmt::Tunable { name: "WGS".into() },
+            Stmt::Let { name: "M".into(), value: SExpr::shape("S", 0) },
+            Stmt::Let { name: "N".into(), value: SExpr::shape("S", 1) },
+            Stmt::PartitionBlocks {
+                name: "Sp".into(),
+                tensor: "S".into(),
+                tile_rows: v("M") / v("WGS"),
+                tile_cols: v("N"),
+            },
+            Stmt::PartitionBlocks {
+                name: "Dp".into(),
+                tensor: "D".into(),
+                tile_rows: v("M") / v("WGS"),
+                tile_cols: v("N"),
+            },
+            Stmt::PRange {
+                vars: vec!["w".into()],
+                extents: vec![v("WGS")],
+                body: vec![Stmt::Launch {
+                    task: task.into(),
+                    args: vec![
+                        piece("Sp", vec![v("w"), SExpr::lit(0)]),
+                        piece("Dp", vec![v("w"), SExpr::lit(0)]),
+                    ],
+                }],
+            },
+        ],
+    })?;
+    reg.register(TaskVariant {
+        task: task.into(),
+        name: format!("{task}_wg"),
+        kind: VariantKind::Inner,
+        params: params.clone(),
+        body: vec![
+            Stmt::PartitionMma {
+                name: "Sp".into(),
+                tensor: "S".into(),
+                level: MmaLevel::Warp,
+                operand: MmaOperand::C,
+            },
+            Stmt::PartitionMma {
+                name: "Dp".into(),
+                tensor: "D".into(),
+                level: MmaLevel::Warp,
+                operand: MmaOperand::C,
+            },
+            Stmt::PRange {
+                vars: vec!["q".into()],
+                extents: vec![SExpr::lit(4)],
+                body: vec![Stmt::Launch {
+                    task: task.into(),
+                    args: vec![piece("Sp", vec![v("q")]), piece("Dp", vec![v("q")])],
+                }],
+            },
+        ],
+    })?;
+    reg.register(TaskVariant {
+        task: task.into(),
+        name: format!("{task}_warp"),
+        kind: VariantKind::Inner,
+        params: params.clone(),
+        body: vec![
+            Stmt::PartitionMma {
+                name: "Sp".into(),
+                tensor: "S".into(),
+                level: MmaLevel::Thread,
+                operand: MmaOperand::C,
+            },
+            Stmt::PartitionMma {
+                name: "Dp".into(),
+                tensor: "D".into(),
+                level: MmaLevel::Thread,
+                operand: MmaOperand::C,
+            },
+            Stmt::PRange {
+                vars: vec!["l".into()],
+                extents: vec![SExpr::lit(32)],
+                body: vec![Stmt::Launch {
+                    task: task.into(),
+                    args: vec![piece("Sp", vec![v("l")]), piece("Dp", vec![v("l")])],
+                }],
+            },
+        ],
+    })?;
+    reg.register(TaskVariant {
+        task: task.into(),
+        name: format!("{task}_leaf"),
+        kind: VariantKind::Leaf,
+        params,
+        body: vec![Stmt::CallExternal { f: LeafFn::CopyExt, args: vec![t("S"), t("D")] }],
+    })?;
+    Ok(())
+}
+
+/// Mapping instances for a `store` tree rooted at the BLOCK level. The
+/// destination is staged through shared memory, which the compiler's
+/// copy-out turns into a TMA store.
+pub(crate) fn store_mappings(task: &str, wgs: i64) -> Vec<TaskMapping> {
+    vec![
+        TaskMapping::new(
+            &format!("{task}_tile"),
+            &format!("{task}_tile"),
+            ProcLevel::Block,
+            vec![MemLevel::None, MemLevel::Shared],
+        )
+        .tunable("WGS", wgs)
+        .calls(&[&format!("{task}_wg")]),
+        TaskMapping::new(
+            &format!("{task}_wg"),
+            &format!("{task}_wg"),
+            ProcLevel::Warpgroup,
+            vec![MemLevel::Register, MemLevel::Shared],
+        )
+        .calls(&[&format!("{task}_warp")]),
+        TaskMapping::new(
+            &format!("{task}_warp"),
+            &format!("{task}_warp"),
+            ProcLevel::Warp,
+            vec![MemLevel::Register, MemLevel::Shared],
+        )
+        .calls(&[&format!("{task}_leaf")]),
+        TaskMapping::new(
+            &format!("{task}_leaf"),
+            &format!("{task}_leaf"),
+            ProcLevel::Thread,
+            vec![MemLevel::Register, MemLevel::Shared],
+        ),
+    ]
+}
+
+/// Register a column-vector clear tree (`fill` down to per-warpgroup
+/// register pieces, no Tensor Core partitioning): used for row statistics
+/// and the GEMM+Reduction partial sums.
+pub(crate) fn register_vec_clear(
+    reg: &mut TaskRegistry,
+    task: &str,
+    value: f32,
+) -> Result<(), CompileError> {
+    reg.register(TaskVariant {
+        task: task.into(),
+        name: format!("{task}_tile"),
+        kind: VariantKind::Inner,
+        params: vec![p("C", Privilege::Write)],
+        body: vec![
+            Stmt::Tunable { name: "WGS".into() },
+            Stmt::Let { name: "M".into(), value: SExpr::shape("C", 0) },
+            Stmt::Let { name: "N".into(), value: SExpr::shape("C", 1) },
+            Stmt::PartitionBlocks {
+                name: "Cp".into(),
+                tensor: "C".into(),
+                tile_rows: v("M") / v("WGS"),
+                tile_cols: v("N"),
+            },
+            Stmt::PRange {
+                vars: vec!["w".into()],
+                extents: vec![v("WGS")],
+                body: vec![Stmt::Launch {
+                    task: task.into(),
+                    args: vec![piece("Cp", vec![v("w"), SExpr::lit(0)])],
+                }],
+            },
+        ],
+    })?;
+    reg.register(TaskVariant {
+        task: task.into(),
+        name: format!("{task}_leaf"),
+        kind: VariantKind::Leaf,
+        params: vec![p("C", Privilege::Write)],
+        body: vec![Stmt::CallExternal { f: LeafFn::Fill(value), args: vec![t("C")] }],
+    })?;
+    Ok(())
+}
+
+/// Mapping instances for a vector-clear tree.
+pub(crate) fn vec_clear_mappings(task: &str, wgs: i64) -> Vec<TaskMapping> {
+    vec![
+        TaskMapping::new(
+            &format!("{task}_tile"),
+            &format!("{task}_tile"),
+            ProcLevel::Block,
+            vec![MemLevel::None],
+        )
+        .tunable("WGS", wgs)
+        .calls(&[&format!("{task}_leaf")]),
+        TaskMapping::new(
+            &format!("{task}_leaf"),
+            &format!("{task}_leaf"),
+            ProcLevel::Warpgroup,
+            vec![MemLevel::Register],
+        ),
+    ]
+}
+
+/// Register a column-vector store tree (register pieces → shared staging →
+/// global), the vector analogue of `register_store`.
+pub(crate) fn register_vec_store(reg: &mut TaskRegistry, task: &str) -> Result<(), CompileError> {
+    let params = vec![p("S", Privilege::Read), p("D", Privilege::Write)];
+    reg.register(TaskVariant {
+        task: task.into(),
+        name: format!("{task}_tile"),
+        kind: VariantKind::Inner,
+        params: params.clone(),
+        body: vec![
+            Stmt::Tunable { name: "WGS".into() },
+            Stmt::Let { name: "M".into(), value: SExpr::shape("S", 0) },
+            Stmt::Let { name: "N".into(), value: SExpr::shape("S", 1) },
+            Stmt::PartitionBlocks {
+                name: "Sp".into(),
+                tensor: "S".into(),
+                tile_rows: v("M") / v("WGS"),
+                tile_cols: v("N"),
+            },
+            Stmt::PartitionBlocks {
+                name: "Dp".into(),
+                tensor: "D".into(),
+                tile_rows: v("M") / v("WGS"),
+                tile_cols: v("N"),
+            },
+            Stmt::PRange {
+                vars: vec!["w".into()],
+                extents: vec![v("WGS")],
+                body: vec![Stmt::Launch {
+                    task: task.into(),
+                    args: vec![
+                        piece("Sp", vec![v("w"), SExpr::lit(0)]),
+                        piece("Dp", vec![v("w"), SExpr::lit(0)]),
+                    ],
+                }],
+            },
+        ],
+    })?;
+    reg.register(TaskVariant {
+        task: task.into(),
+        name: format!("{task}_leaf"),
+        kind: VariantKind::Leaf,
+        params,
+        body: vec![Stmt::CallExternal { f: LeafFn::CopyExt, args: vec![t("S"), t("D")] }],
+    })?;
+    Ok(())
+}
+
+/// Mapping instances for a vector-store tree.
+pub(crate) fn vec_store_mappings(task: &str, wgs: i64) -> Vec<TaskMapping> {
+    vec![
+        TaskMapping::new(
+            &format!("{task}_tile"),
+            &format!("{task}_tile"),
+            ProcLevel::Block,
+            vec![MemLevel::None, MemLevel::Shared],
+        )
+        .tunable("WGS", wgs)
+        .calls(&[&format!("{task}_leaf")]),
+        TaskMapping::new(
+            &format!("{task}_leaf"),
+            &format!("{task}_leaf"),
+            ProcLevel::Warpgroup,
+            vec![MemLevel::Register, MemLevel::Shared],
+        ),
+    ]
+}
+
+/// Register a one-leaf task: `name` with the given parameter privileges
+/// and a single `call-external`. Argument order for the call is given by
+/// `arg_names` (destination last).
+pub(crate) fn register_leaf(
+    reg: &mut TaskRegistry,
+    task: &str,
+    params: Vec<ParamSig>,
+    f: LeafFn,
+    arg_names: &[&str],
+) -> Result<(), CompileError> {
+    reg.register(TaskVariant {
+        task: task.into(),
+        name: format!("{task}_leaf"),
+        kind: VariantKind::Leaf,
+        params,
+        body: vec![Stmt::CallExternal {
+            f,
+            args: arg_names.iter().map(|n| t(n)).collect(),
+        }],
+    })
+}
+
+/// Mapping instance for a warpgroup-level leaf task.
+pub(crate) fn leaf_mapping(task: &str, mems: Vec<MemLevel>) -> TaskMapping {
+    TaskMapping::new(
+        &format!("{task}_leaf"),
+        &format!("{task}_leaf"),
+        ProcLevel::Warpgroup,
+        mems,
+    )
+}
+
+/// Register the warpgroup→warp→thread `mma` decomposition of a GEMM-like
+/// task named `task` (paper Fig. 5a `gemm_inner`/`gemm_thread`), with the
+/// given leaf function (plain MMA or transposed-B for attention).
+pub(crate) fn register_mma_chain(
+    reg: &mut TaskRegistry,
+    task: &str,
+    leaf: LeafFn,
+) -> Result<(), CompileError> {
+    let params = vec![
+        p("C", Privilege::ReadWrite),
+        p("A", Privilege::Read),
+        p("B", Privilege::Read),
+    ];
+    reg.register(TaskVariant {
+        task: task.into(),
+        name: format!("{task}_wgmma"),
+        kind: VariantKind::Inner,
+        params: params.clone(),
+        body: vec![
+            Stmt::PartitionMma {
+                name: "Cp".into(),
+                tensor: "C".into(),
+                level: MmaLevel::Warp,
+                operand: MmaOperand::C,
+            },
+            Stmt::PartitionMma {
+                name: "Ap".into(),
+                tensor: "A".into(),
+                level: MmaLevel::Warp,
+                operand: MmaOperand::A,
+            },
+            Stmt::PartitionMma {
+                name: "Bp".into(),
+                tensor: "B".into(),
+                level: MmaLevel::Warp,
+                operand: MmaOperand::B,
+            },
+            Stmt::PRange {
+                vars: vec!["q".into()],
+                extents: vec![SExpr::lit(4)],
+                body: vec![Stmt::Launch {
+                    task: task.into(),
+                    args: vec![
+                        piece("Cp", vec![v("q")]),
+                        piece("Ap", vec![v("q")]),
+                        piece("Bp", vec![v("q")]),
+                    ],
+                }],
+            },
+        ],
+    })?;
+    reg.register(TaskVariant {
+        task: task.into(),
+        name: format!("{task}_warp"),
+        kind: VariantKind::Inner,
+        params: params.clone(),
+        body: vec![
+            Stmt::PartitionMma {
+                name: "Cp".into(),
+                tensor: "C".into(),
+                level: MmaLevel::Thread,
+                operand: MmaOperand::C,
+            },
+            Stmt::PartitionMma {
+                name: "Ap".into(),
+                tensor: "A".into(),
+                level: MmaLevel::Thread,
+                operand: MmaOperand::A,
+            },
+            Stmt::PartitionMma {
+                name: "Bp".into(),
+                tensor: "B".into(),
+                level: MmaLevel::Thread,
+                operand: MmaOperand::B,
+            },
+            Stmt::PRange {
+                vars: vec!["l".into()],
+                extents: vec![SExpr::lit(32)],
+                body: vec![Stmt::Launch {
+                    task: task.into(),
+                    args: vec![
+                        piece("Cp", vec![v("l")]),
+                        piece("Ap", vec![v("l")]),
+                        piece("Bp", vec![v("l")]),
+                    ],
+                }],
+            },
+        ],
+    })?;
+    reg.register(TaskVariant {
+        task: task.into(),
+        name: format!("{task}_leaf"),
+        kind: VariantKind::Leaf,
+        params,
+        body: vec![Stmt::CallExternal { f: leaf, args: vec![t("A"), t("B"), t("C")] }],
+    })?;
+    Ok(())
+}
+
+/// Mapping instances for an `mma` chain rooted at the WARPGROUP level.
+/// `a_mem` lets attention place the left operand in registers (the `P`
+/// matrix lives in fragments).
+pub(crate) fn mma_chain_mappings(task: &str, a_mem: MemLevel) -> Vec<TaskMapping> {
+    vec![
+        TaskMapping::new(
+            &format!("{task}_wgmma"),
+            &format!("{task}_wgmma"),
+            ProcLevel::Warpgroup,
+            vec![MemLevel::Register, a_mem, MemLevel::Shared],
+        )
+        .calls(&[&format!("{task}_warp")]),
+        TaskMapping::new(
+            &format!("{task}_warp"),
+            &format!("{task}_warp"),
+            ProcLevel::Warp,
+            vec![MemLevel::Register, a_mem, MemLevel::Shared],
+        )
+        .calls(&[&format!("{task}_leaf")]),
+        TaskMapping::new(
+            &format!("{task}_leaf"),
+            &format!("{task}_leaf"),
+            ProcLevel::Thread,
+            vec![MemLevel::Register, a_mem, MemLevel::Shared],
+        ),
+    ]
+}

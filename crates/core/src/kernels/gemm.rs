@@ -1,0 +1,310 @@
+//! The Hopper GEMM of paper Fig. 5, written in the Cypress programming
+//! model: hierarchical blocking HOST → BLOCK → WARPGROUP → WARP → THREAD,
+//! with the mapping specification carrying tile sizes, memory placement,
+//! warp specialization and pipeline depth.
+
+use crate::error::CompileError;
+use crate::front::ast::{SExpr, Stmt};
+use crate::front::machine::{MemLevel, ProcLevel};
+use crate::front::mapping::{MappingSpec, TaskMapping};
+use crate::front::task::{TaskRegistry, TaskVariant, VariantKind};
+use crate::kernels::common::{self, p, piece, v};
+use crate::passes::depan::EntryArg;
+use cypress_sim::MachineConfig;
+use cypress_tensor::DType;
+
+/// Tunable configuration of the GEMM mapping (Fig. 5b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmConfig {
+    /// Block tile rows (`U`).
+    pub u: usize,
+    /// Block tile columns (`V`).
+    pub v: usize,
+    /// K-reduction tile width (`W`).
+    pub w: usize,
+    /// Consumer warpgroups per block (`WGS`).
+    pub wgs: usize,
+    /// Software pipeline depth.
+    pub pipeline: usize,
+    /// Warp-specialize the block-level task.
+    pub warpspecialize: bool,
+}
+
+impl GemmConfig {
+    /// The paper's hand-tuned H100 mapping.
+    #[must_use]
+    pub fn h100() -> Self {
+        GemmConfig { u: 128, v: 256, w: 64, wgs: 2, pipeline: 3, warpspecialize: true }
+    }
+
+    /// A small mapping that fits the unit-test machine.
+    #[must_use]
+    pub fn test() -> Self {
+        GemmConfig { u: 64, v: 64, w: 32, wgs: 1, pipeline: 2, warpspecialize: true }
+    }
+
+    /// Pick a mapping appropriate for `machine`.
+    #[must_use]
+    pub fn for_machine(machine: &MachineConfig) -> Self {
+        if machine.smem_per_sm >= 200 * 1024 {
+            GemmConfig::h100()
+        } else {
+            GemmConfig::test()
+        }
+    }
+}
+
+/// Algorithmic FLOPs of a GEMM (what Fig. 13 reports).
+#[must_use]
+pub fn flops(m: usize, n: usize, k: usize) -> f64 {
+    2.0 * m as f64 * n as f64 * k as f64
+}
+
+/// Build the GEMM program for `C[m,n] = A[m,k] @ B[k,n]` with the default
+/// mapping for `machine`.
+///
+/// # Panics
+///
+/// Panics if registration fails (the program is statically well-formed).
+#[must_use]
+pub fn build(
+    m: usize,
+    n: usize,
+    k: usize,
+    machine: &MachineConfig,
+) -> (TaskRegistry, MappingSpec, Vec<EntryArg>) {
+    build_with(m, n, k, GemmConfig::for_machine(machine)).expect("gemm program is well-formed")
+}
+
+/// Build the GEMM program with an explicit mapping configuration.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] if the task tree or mapping is malformed
+/// (e.g. tile sizes that do not divide the problem).
+pub fn build_with(
+    m: usize,
+    n: usize,
+    k: usize,
+    cfg: GemmConfig,
+) -> Result<(TaskRegistry, MappingSpec, Vec<EntryArg>), CompileError> {
+    let mut reg = TaskRegistry::new();
+    register_gemm_tasks(&mut reg)?;
+    common::register_clear(&mut reg, "clear")?;
+    common::register_store(&mut reg, "store")?;
+    common::register_mma_chain(&mut reg, "gemm", crate::front::ast::LeafFn::MmaAccum)?;
+
+    let mapping = gemm_mapping(cfg)?;
+    let args = vec![
+        EntryArg { name: "C".into(), rows: m, cols: n, dtype: DType::F16 },
+        EntryArg { name: "A".into(), rows: m, cols: k, dtype: DType::F16 },
+        EntryArg { name: "B".into(), rows: k, cols: n, dtype: DType::F16 },
+    ];
+    Ok((reg, mapping, args))
+}
+
+/// Register the host/block/tile levels of the `gemm` task (the `mma` chain
+/// below the warpgroup level is shared with other kernels).
+pub(crate) fn register_gemm_tasks(reg: &mut TaskRegistry) -> Result<(), CompileError> {
+    use crate::front::ast::Privilege;
+    let params = vec![
+        p("C", Privilege::ReadWrite),
+        p("A", Privilege::Read),
+        p("B", Privilege::Read),
+    ];
+
+    // Fig. 5a `gemm_host`: tile C into U x V blocks, launch a parallel grid.
+    reg.register(TaskVariant {
+        task: "gemm".into(),
+        name: "gemm_host".into(),
+        kind: VariantKind::Inner,
+        params: params.clone(),
+        body: vec![
+            Stmt::Tunable { name: "U".into() },
+            Stmt::Tunable { name: "V".into() },
+            Stmt::Let { name: "M".into(), value: SExpr::shape("C", 0) },
+            Stmt::Let { name: "N".into(), value: SExpr::shape("C", 1) },
+            Stmt::Let { name: "K".into(), value: SExpr::shape("A", 1) },
+            Stmt::PartitionBlocks {
+                name: "Cp".into(),
+                tensor: "C".into(),
+                tile_rows: v("U"),
+                tile_cols: v("V"),
+            },
+            Stmt::PartitionBlocks {
+                name: "Ap".into(),
+                tensor: "A".into(),
+                tile_rows: v("U"),
+                tile_cols: v("K"),
+            },
+            Stmt::PartitionBlocks {
+                name: "Bp".into(),
+                tensor: "B".into(),
+                tile_rows: v("K"),
+                tile_cols: v("V"),
+            },
+            Stmt::PRange {
+                vars: vec!["i".into(), "j".into()],
+                extents: vec![v("M") / v("U"), v("N") / v("V")],
+                body: vec![Stmt::Launch {
+                    task: "gemm".into(),
+                    args: vec![
+                        piece("Cp", vec![v("i"), v("j")]),
+                        piece("Ap", vec![v("i"), SExpr::lit(0)]),
+                        piece("Bp", vec![SExpr::lit(0), v("j")]),
+                    ],
+                }],
+            },
+        ],
+    })?;
+
+    // Fig. 5a `gemm_block`: accumulator + sequential K-reduction.
+    reg.register(TaskVariant {
+        task: "gemm".into(),
+        name: "gemm_block".into(),
+        kind: VariantKind::Inner,
+        params: params.clone(),
+        body: vec![
+            Stmt::Tunable { name: "W".into() },
+            Stmt::Let { name: "M".into(), value: SExpr::shape("C", 0) },
+            Stmt::Let { name: "N".into(), value: SExpr::shape("C", 1) },
+            Stmt::Let { name: "K".into(), value: SExpr::shape("A", 1) },
+            Stmt::PartitionBlocks {
+                name: "Ap".into(),
+                tensor: "A".into(),
+                tile_rows: v("M"),
+                tile_cols: v("W"),
+            },
+            Stmt::PartitionBlocks {
+                name: "Bp".into(),
+                tensor: "B".into(),
+                tile_rows: v("W"),
+                tile_cols: v("N"),
+            },
+            Stmt::MakeTensor {
+                name: "Cacc".into(),
+                rows: v("M"),
+                cols: v("N"),
+                dtype: DType::F16,
+            },
+            Stmt::Launch { task: "clear".into(), args: vec![common::t("Cacc")] },
+            Stmt::SRange {
+                var: "k".into(),
+                extent: SExpr::cdiv(v("K"), v("W")),
+                body: vec![Stmt::Launch {
+                    task: "gemm".into(),
+                    args: vec![
+                        common::t("Cacc"),
+                        piece("Ap", vec![SExpr::lit(0), v("k")]),
+                        piece("Bp", vec![v("k"), SExpr::lit(0)]),
+                    ],
+                }],
+            },
+            Stmt::Launch { task: "store".into(), args: vec![common::t("Cacc"), common::t("C")] },
+        ],
+    })?;
+
+    // Fig. 5a `gemm_tile`: split rows across warpgroups.
+    reg.register(TaskVariant {
+        task: "gemm".into(),
+        name: "gemm_tile".into(),
+        kind: VariantKind::Inner,
+        params,
+        body: vec![
+            Stmt::Tunable { name: "WGS".into() },
+            Stmt::Let { name: "M".into(), value: SExpr::shape("C", 0) },
+            Stmt::Let { name: "N".into(), value: SExpr::shape("C", 1) },
+            Stmt::Let { name: "K".into(), value: SExpr::shape("A", 1) },
+            Stmt::PartitionBlocks {
+                name: "Cp".into(),
+                tensor: "C".into(),
+                tile_rows: v("M") / v("WGS"),
+                tile_cols: v("N"),
+            },
+            Stmt::PartitionBlocks {
+                name: "Ap".into(),
+                tensor: "A".into(),
+                tile_rows: v("M") / v("WGS"),
+                tile_cols: v("K"),
+            },
+            Stmt::PRange {
+                vars: vec!["w".into()],
+                extents: vec![v("WGS")],
+                body: vec![Stmt::Launch {
+                    task: "gemm".into(),
+                    args: vec![
+                        piece("Cp", vec![v("w"), SExpr::lit(0)]),
+                        piece("Ap", vec![v("w"), SExpr::lit(0)]),
+                        common::t("B"),
+                    ],
+                }],
+            },
+        ],
+    })?;
+    Ok(())
+}
+
+/// Assemble the GEMM mapping specification (Fig. 5b).
+pub(crate) fn gemm_mapping(cfg: GemmConfig) -> Result<MappingSpec, CompileError> {
+    let mut instances = vec![
+        TaskMapping::new(
+            "gemm_host",
+            "gemm_host",
+            ProcLevel::Host,
+            vec![MemLevel::Global, MemLevel::Global, MemLevel::Global],
+        )
+        .tunable("U", cfg.u as i64)
+        .tunable("V", cfg.v as i64)
+        .calls(&["gemm_block"])
+        .entrypoint(),
+        {
+            let mut m = TaskMapping::new(
+                "gemm_block",
+                "gemm_block",
+                ProcLevel::Block,
+                vec![MemLevel::Global, MemLevel::Global, MemLevel::Global],
+            )
+            .tunable("W", cfg.w as i64)
+            .calls(&["clear_tile", "gemm_tile", "store_tile"])
+            .pipeline(cfg.pipeline);
+            if cfg.warpspecialize {
+                m = m.warpspecialize();
+            }
+            m
+        },
+        TaskMapping::new(
+            "gemm_tile",
+            "gemm_tile",
+            ProcLevel::Block,
+            vec![MemLevel::None, MemLevel::Shared, MemLevel::Shared],
+        )
+        .tunable("WGS", cfg.wgs as i64)
+        .calls(&["gemm_wgmma"]),
+    ];
+    instances.extend(common::mma_chain_mappings("gemm", MemLevel::Shared));
+    instances.extend(common::clear_mappings("clear", cfg.wgs as i64));
+    instances.extend(common::store_mappings("store", cfg.wgs as i64));
+    MappingSpec::new(instances)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_presets() {
+        assert_eq!(GemmConfig::h100().wgs, 2);
+        assert_eq!(GemmConfig::for_machine(&MachineConfig::h100_sxm5()), GemmConfig::h100());
+        assert_eq!(GemmConfig::for_machine(&MachineConfig::test_gpu()), GemmConfig::test());
+    }
+
+    #[test]
+    fn builds_registry_and_mapping() {
+        let (reg, mapping, args) = build(128, 128, 64, &MachineConfig::test_gpu());
+        assert!(reg.variant("gemm_host").is_ok());
+        assert!(reg.variant("gemm_wgmma").is_ok());
+        assert_eq!(mapping.entry().instance, "gemm_host");
+        assert_eq!(args.len(), 3);
+        assert_eq!(flops(2, 3, 4), 48.0);
+    }
+}

@@ -1,0 +1,278 @@
+//! GEMM+Reduction (paper Fig. 13d): `C = A·B` fused with
+//! `y(i) = Σ_k A(i,k)` in one kernel. The row-sum runs on the SIMT units
+//! while the Tensor Core computes asynchronously; Cypress overlaps them
+//! because no event orders them — the behaviour Triton misses by waiting
+//! on the Tensor Core and by placing the accumulator in shared memory
+//! (§5.2).
+//!
+//! The reduction output is materialized as per-block-column partials
+//! `Y[M, N/V]` (each CTA column writes its own partial sum), preserving
+//! the prange no-aliasing rule; a negligible final pass would combine the
+//! `N/V` columns.
+
+use crate::error::CompileError;
+use crate::front::ast::{LeafFn, Privilege, SExpr, Stmt};
+use crate::front::machine::{MemLevel, ProcLevel};
+use crate::front::mapping::{MappingSpec, TaskMapping};
+use crate::front::task::{TaskRegistry, TaskVariant, VariantKind};
+use crate::kernels::common::{self, p, piece, t, v};
+use crate::kernels::gemm::GemmConfig;
+use crate::passes::depan::EntryArg;
+use cypress_sim::MachineConfig;
+use cypress_tensor::DType;
+
+/// Algorithmic FLOPs (the figure reports GEMM FLOPs; the reduction is
+/// O(MK) and not counted, as in the paper).
+#[must_use]
+pub fn flops(m: usize, n: usize, k: usize) -> f64 {
+    2.0 * m as f64 * n as f64 * k as f64
+}
+
+/// Build the fused GEMM+Reduction program.
+///
+/// # Panics
+///
+/// Panics if the statically well-formed program fails to register.
+#[must_use]
+pub fn build(
+    m: usize,
+    n: usize,
+    k: usize,
+    machine: &MachineConfig,
+) -> (TaskRegistry, MappingSpec, Vec<EntryArg>) {
+    build_with(m, n, k, GemmConfig::for_machine(machine)).expect("gemm+reduction is well-formed")
+}
+
+/// Build with an explicit mapping configuration.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on malformed trees or indivisible tilings.
+pub fn build_with(
+    m: usize,
+    n: usize,
+    k: usize,
+    cfg: GemmConfig,
+) -> Result<(TaskRegistry, MappingSpec, Vec<EntryArg>), CompileError> {
+    let mut reg = TaskRegistry::new();
+    common::register_clear(&mut reg, "clear")?;
+    common::register_store(&mut reg, "store")?;
+    common::register_vec_clear(&mut reg, "vclear", 0.0)?;
+    common::register_vec_store(&mut reg, "vstore")?;
+    common::register_mma_chain(&mut reg, "gemm", LeafFn::MmaAccum)?;
+    common::register_leaf(
+        &mut reg,
+        "rsum",
+        vec![p("Y", Privilege::ReadWrite), p("A", Privilege::Read)],
+        LeafFn::RowSumAccum,
+        &["A", "Y"],
+    )?;
+
+    let params = vec![
+        p("C", Privilege::ReadWrite),
+        p("Y", Privilege::ReadWrite),
+        p("A", Privilege::Read),
+        p("B", Privilege::Read),
+    ];
+
+    reg.register(TaskVariant {
+        task: "gr".into(),
+        name: "gr_host".into(),
+        kind: VariantKind::Inner,
+        params: params.clone(),
+        body: vec![
+            Stmt::Tunable { name: "U".into() },
+            Stmt::Tunable { name: "V".into() },
+            Stmt::Let { name: "M".into(), value: SExpr::shape("C", 0) },
+            Stmt::Let { name: "N".into(), value: SExpr::shape("C", 1) },
+            Stmt::Let { name: "K".into(), value: SExpr::shape("A", 1) },
+            Stmt::PartitionBlocks {
+                name: "Cp".into(),
+                tensor: "C".into(),
+                tile_rows: v("U"),
+                tile_cols: v("V"),
+            },
+            Stmt::PartitionBlocks {
+                name: "Yp".into(),
+                tensor: "Y".into(),
+                tile_rows: v("U"),
+                tile_cols: SExpr::lit(1),
+            },
+            Stmt::PartitionBlocks {
+                name: "Ap".into(),
+                tensor: "A".into(),
+                tile_rows: v("U"),
+                tile_cols: v("K"),
+            },
+            Stmt::PartitionBlocks {
+                name: "Bp".into(),
+                tensor: "B".into(),
+                tile_rows: v("K"),
+                tile_cols: v("V"),
+            },
+            Stmt::PRange {
+                vars: vec!["i".into(), "j".into()],
+                extents: vec![v("M") / v("U"), v("N") / v("V")],
+                body: vec![Stmt::Launch {
+                    task: "gr".into(),
+                    args: vec![
+                        piece("Cp", vec![v("i"), v("j")]),
+                        piece("Yp", vec![v("i"), v("j")]),
+                        piece("Ap", vec![v("i"), SExpr::lit(0)]),
+                        piece("Bp", vec![SExpr::lit(0), v("j")]),
+                    ],
+                }],
+            },
+        ],
+    })?;
+
+    reg.register(TaskVariant {
+        task: "gr".into(),
+        name: "gr_block".into(),
+        kind: VariantKind::Inner,
+        params: params.clone(),
+        body: vec![
+            Stmt::Tunable { name: "W".into() },
+            Stmt::Let { name: "M".into(), value: SExpr::shape("C", 0) },
+            Stmt::Let { name: "N".into(), value: SExpr::shape("C", 1) },
+            Stmt::Let { name: "K".into(), value: SExpr::shape("A", 1) },
+            Stmt::PartitionBlocks {
+                name: "Ap".into(),
+                tensor: "A".into(),
+                tile_rows: v("M"),
+                tile_cols: v("W"),
+            },
+            Stmt::PartitionBlocks {
+                name: "Bp".into(),
+                tensor: "B".into(),
+                tile_rows: v("W"),
+                tile_cols: v("N"),
+            },
+            Stmt::MakeTensor { name: "Cacc".into(), rows: v("M"), cols: v("N"), dtype: DType::F16 },
+            Stmt::MakeTensor { name: "Yacc".into(), rows: v("M"), cols: SExpr::lit(1), dtype: DType::F16 },
+            Stmt::Launch { task: "clear".into(), args: vec![t("Cacc")] },
+            Stmt::Launch { task: "vclear".into(), args: vec![t("Yacc")] },
+            Stmt::SRange {
+                var: "k".into(),
+                extent: SExpr::cdiv(v("K"), v("W")),
+                body: vec![Stmt::Launch {
+                    task: "gr".into(),
+                    args: vec![
+                        t("Cacc"),
+                        t("Yacc"),
+                        piece("Ap", vec![SExpr::lit(0), v("k")]),
+                        piece("Bp", vec![v("k"), SExpr::lit(0)]),
+                    ],
+                }],
+            },
+            Stmt::Launch { task: "store".into(), args: vec![t("Cacc"), t("C")] },
+            Stmt::Launch { task: "vstore".into(), args: vec![t("Yacc"), t("Y")] },
+        ],
+    })?;
+
+    reg.register(TaskVariant {
+        task: "gr".into(),
+        name: "gr_tile".into(),
+        kind: VariantKind::Inner,
+        params: params.clone(),
+        body: vec![
+            Stmt::Tunable { name: "WGS".into() },
+            Stmt::Let { name: "M".into(), value: SExpr::shape("C", 0) },
+            Stmt::Let { name: "N".into(), value: SExpr::shape("C", 1) },
+            Stmt::Let { name: "K".into(), value: SExpr::shape("A", 1) },
+            Stmt::PartitionBlocks {
+                name: "Cp".into(),
+                tensor: "C".into(),
+                tile_rows: v("M") / v("WGS"),
+                tile_cols: v("N"),
+            },
+            Stmt::PartitionBlocks {
+                name: "Yp".into(),
+                tensor: "Y".into(),
+                tile_rows: v("M") / v("WGS"),
+                tile_cols: SExpr::lit(1),
+            },
+            Stmt::PartitionBlocks {
+                name: "Ap".into(),
+                tensor: "A".into(),
+                tile_rows: v("M") / v("WGS"),
+                tile_cols: v("K"),
+            },
+            Stmt::PRange {
+                vars: vec!["w".into()],
+                extents: vec![v("WGS")],
+                body: vec![Stmt::Launch {
+                    task: "gr".into(),
+                    args: vec![
+                        piece("Cp", vec![v("w"), SExpr::lit(0)]),
+                        piece("Yp", vec![v("w"), SExpr::lit(0)]),
+                        piece("Ap", vec![v("w"), SExpr::lit(0)]),
+                        t("B"),
+                    ],
+                }],
+            },
+        ],
+    })?;
+
+    // Per-warpgroup: the Tensor Core GEMM and the SIMT row-sum, unordered
+    // with respect to each other (they only read A).
+    reg.register(TaskVariant {
+        task: "gr".into(),
+        name: "gr_wg".into(),
+        kind: VariantKind::Inner,
+        params,
+        body: vec![
+            Stmt::Launch { task: "gemm".into(), args: vec![t("C"), t("A"), t("B")] },
+            Stmt::Launch { task: "rsum".into(), args: vec![t("Y"), t("A")] },
+        ],
+    })?;
+
+    let g4 = vec![MemLevel::Global; 4];
+    let mut instances = vec![
+        TaskMapping::new("gr_host", "gr_host", ProcLevel::Host, g4.clone())
+            .tunable("U", cfg.u as i64)
+            .tunable("V", cfg.v as i64)
+            .calls(&["gr_block"])
+            .entrypoint(),
+        {
+            let mut mm = TaskMapping::new("gr_block", "gr_block", ProcLevel::Block, g4)
+                .tunable("W", cfg.w as i64)
+                .calls(&["clear_tile", "vclear_tile", "gr_tile", "store_tile", "vstore_tile"])
+                .pipeline(cfg.pipeline);
+            if cfg.warpspecialize {
+                mm = mm.warpspecialize();
+            }
+            mm
+        },
+        TaskMapping::new(
+            "gr_tile",
+            "gr_tile",
+            ProcLevel::Block,
+            vec![MemLevel::None, MemLevel::None, MemLevel::Shared, MemLevel::Shared],
+        )
+        .tunable("WGS", cfg.wgs as i64)
+        .calls(&["gr_wg"]),
+        TaskMapping::new(
+            "gr_wg",
+            "gr_wg",
+            ProcLevel::Warpgroup,
+            vec![MemLevel::Register, MemLevel::Register, MemLevel::Shared, MemLevel::Shared],
+        )
+        .calls(&["gemm_wgmma", "rsum_leaf"]),
+        common::leaf_mapping("rsum", vec![MemLevel::Register, MemLevel::Shared]),
+    ];
+    instances.extend(common::mma_chain_mappings("gemm", MemLevel::Shared));
+    instances.extend(common::clear_mappings("clear", cfg.wgs as i64));
+    instances.extend(common::store_mappings("store", cfg.wgs as i64));
+    instances.extend(common::vec_clear_mappings("vclear", cfg.wgs as i64));
+    instances.extend(common::vec_store_mappings("vstore", cfg.wgs as i64));
+    let mapping = MappingSpec::new(instances)?;
+
+    let args = vec![
+        EntryArg { name: "C".into(), rows: m, cols: n, dtype: DType::F16 },
+        EntryArg { name: "Y".into(), rows: m, cols: n / cfg.v, dtype: DType::F16 },
+        EntryArg { name: "A".into(), rows: m, cols: k, dtype: DType::F16 },
+        EntryArg { name: "B".into(), rows: k, cols: n, dtype: DType::F16 },
+    ];
+    Ok((reg, mapping, args))
+}

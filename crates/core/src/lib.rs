@@ -1,0 +1,56 @@
+//! The Cypress programming model and compiler.
+//!
+//! This crate reproduces the primary contribution of *Task-Based Tensor
+//! Computations on Modern GPUs* (PLDI 2025): a task-based programming
+//! model with sequential semantics for GPUs with asynchronous
+//! fixed-function units, and a compiler that lowers task trees to
+//! warp-specialized device code with all communication and synchronization
+//! inferred.
+//!
+//! A Cypress program has two parts (§3):
+//!
+//! - the **logical description** ([`front::task`], [`front::ast`]): tasks
+//!   over tensors with declared privileges, decomposed via `srange` /
+//!   `prange` and the `blocks` / `mma` partitioning operators;
+//! - the **mapping specification** ([`front::mapping`]): which variant
+//!   runs at which processor level, where each tensor lives, tunable
+//!   values, warp specialization and pipeline depth.
+//!
+//! [`compile::CypressCompiler`] runs the pass pipeline of Fig. 6 —
+//! dependence analysis, vectorization, copy elimination, resource
+//! allocation, warp specialization — and emits a [`cypress_sim::Kernel`]
+//! plus pseudo-CUDA. [`kernels`] contains the evaluation programs (GEMM,
+//! batched/dual GEMM, GEMM+reduction, FlashAttention-2/3).
+//!
+//! # Example
+//!
+//! ```
+//! use cypress_core::kernels::gemm;
+//! use cypress_core::compile::{CompilerOptions, CypressCompiler};
+//! use cypress_sim::MachineConfig;
+//!
+//! let (registry, mapping, args) = gemm::build(256, 256, 128, &MachineConfig::test_gpu());
+//! let compiler = CypressCompiler::new(CompilerOptions {
+//!     machine: MachineConfig::test_gpu(),
+//!     ..Default::default()
+//! });
+//! let compiled = compiler.compile(&registry, &mapping, "gemm", &args)?;
+//! assert!(compiled.kernel.has_dma_warp());
+//! # Ok::<(), cypress_core::CompileError>(())
+//! ```
+
+pub mod codegen;
+pub mod compile;
+pub mod error;
+pub mod front;
+pub mod ir;
+pub mod kernels;
+pub mod passes;
+
+pub use compile::{Compiled, CompilerOptions, CypressCompiler};
+pub use error::CompileError;
+pub use front::{
+    ArgExpr, LeafFn, MappingSpec, MemLevel, ParamSig, Privilege, ProcLevel, SExpr, Stmt,
+    TaskMapping, TaskRegistry, TaskVariant, VariantKind,
+};
+pub use passes::depan::EntryArg;

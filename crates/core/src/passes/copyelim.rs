@@ -1,0 +1,697 @@
+//! Copy elimination (paper §4.2.3, Fig. 10).
+//!
+//! The copy-in/copy-out discipline of dependence analysis introduces a
+//! fresh allocation and a pair of copies at every launch site; this pass
+//! removes the ones that imply no real data movement, leaving exactly the
+//! copies that cross memory levels (which code generation turns into TMA
+//! transfers and register↔shared staging). The rewrite patterns are:
+//!
+//! - **self-copy elimination** (Fig. 10d): `copy(t, t)` is erased,
+//! - **duplicate elimination** (Fig. 10c): a repeated identical copy with
+//!   no intervening write is erased,
+//! - **copy propagation** (the engine behind Fig. 10a spill elimination):
+//!   `copy(a, X); copy(X, b)` forwards to `copy(a, b)`,
+//! - **allocation forwarding** (Fig. 10a/10b generalized): a fresh
+//!   allocation whose only external partner is a single reference `r`
+//!   — via copy-ins, copy-outs, or both — is replaced by `r` everywhere,
+//!   provided the forwarding implies no memory-level change (`none`-mapped
+//!   tensors, or equal memories),
+//! - **piece identification**: a `none`-mapped parent tensor used only
+//!   through structurally identical per-processor pieces is identified
+//!   with the (register) allocation those pieces are copied to/from —
+//!   this is how the block-level accumulator of Fig. 5 ends up existing
+//!   only as per-warpgroup register fragments,
+//! - **dead-copy elimination**: copies into tensors never read again.
+//!
+//! Per §4.2.3, event-eliminating (spill-style) patterns run before
+//! dependence-preserving ones; `Options::spill_first` exposes the ordering
+//! for the ablation benchmark.
+
+use crate::error::CompileError;
+use crate::front::machine::{MemLevel, ProcLevel};
+use crate::ir::{Block, EventId, EventRef, IdxExpr, IrProgram, Op, OpKind, TensorId, TensorRef};
+use std::collections::{HashMap, HashSet};
+
+/// Pass options.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Apply event-eliminating patterns before dependence-preserving ones
+    /// (the paper's ordering heuristic; disable for the ablation).
+    pub spill_first: bool,
+    /// Maximum fixpoint rounds (safety bound).
+    pub max_rounds: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { spill_first: true, max_rounds: 512 }
+    }
+}
+
+/// Statistics for reporting and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Copies removed.
+    pub removed_copies: usize,
+    /// Fixpoint rounds executed.
+    pub rounds: usize,
+}
+
+/// Run copy elimination to fixpoint.
+///
+/// # Errors
+///
+/// Returns [`CompileError::NoneMemoryMaterialized`] if a `none`-mapped
+/// tensor survives (§3.3 requires the user to adjust the mapping).
+pub fn run(prog: &mut IrProgram, opts: Options) -> Result<Stats, CompileError> {
+    let mut stats = Stats::default();
+    for round in 0..opts.max_rounds {
+        stats.rounds = round + 1;
+        let before = prog.copy_count();
+        let mut changed = false;
+        if opts.spill_first {
+            changed |= copy_propagation(prog);
+            changed |= forward_allocations(prog);
+            changed |= materialize_none(prog);
+            changed |= identify_pieces(prog);
+            changed |= hoist_invariant_copies(prog);
+            changed |= self_copies(prog);
+            changed |= duplicate_copies(prog);
+            changed |= dead_copies(prog);
+        } else {
+            changed |= self_copies(prog);
+            changed |= duplicate_copies(prog);
+            changed |= dead_copies(prog);
+            changed |= copy_propagation(prog);
+            changed |= forward_allocations(prog);
+            changed |= materialize_none(prog);
+            changed |= identify_pieces(prog);
+            changed |= hoist_invariant_copies(prog);
+        }
+        stats.removed_copies += before.saturating_sub(prog.copy_count());
+        if !changed {
+            break;
+        }
+    }
+    check_none_memory(prog)?;
+    Ok(stats)
+}
+
+// ---- canonical references -------------------------------------------------
+
+/// Canonical index: processor-level variables of the same level compare
+/// equal (two warpgroup-level `pfor` variables denote the same processor
+/// index after vectorization).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum CanonIdx {
+    Const(i64),
+    Loop(usize, i64, i64),
+    Proc(ProcLevel, i64, i64),
+}
+
+fn canon_idx(prog: &IrProgram, i: &IdxExpr) -> CanonIdx {
+    match i.var {
+        None => CanonIdx::Const(i.offset),
+        Some(v) => match prog.proc_vars.get(&v) {
+            Some(p) => CanonIdx::Proc(*p, i.scale, i.offset),
+            None => CanonIdx::Loop(v, i.scale, i.offset),
+        },
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CanonRef {
+    tensor: TensorId,
+    path: Vec<(CanonPart, Vec<CanonIdx>)>,
+}
+
+/// Partitions compare structurally: two partitions of the same parent with
+/// the same decomposition are the same partition.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum CanonPart {
+    Blocks(usize, usize),
+    Mma(usize, usize, usize, bool),
+}
+
+fn canon_part(prog: &IrProgram, p: usize) -> CanonPart {
+    match &prog.parts[p].kind {
+        crate::ir::PartKind::Blocks { tile_rows, tile_cols, .. } => {
+            CanonPart::Blocks(*tile_rows, *tile_cols)
+        }
+        crate::ir::PartKind::Mma { pieces, piece_rows, piece_cols, replicated, .. } => {
+            CanonPart::Mma(*pieces, *piece_rows, *piece_cols, *replicated)
+        }
+    }
+}
+
+fn canon_ref(prog: &IrProgram, r: &TensorRef) -> CanonRef {
+    CanonRef {
+        tensor: r.tensor,
+        path: r
+            .path
+            .iter()
+            .map(|(p, idx)| {
+                (canon_part(prog, *p), idx.iter().map(|i| canon_idx(prog, i)).collect())
+            })
+            .collect(),
+    }
+}
+
+// ---- generic traversal helpers ---------------------------------------------
+
+fn for_each_op<'b>(block: &'b Block, f: &mut impl FnMut(&'b Op)) {
+    for op in &block.ops {
+        f(op);
+        match &op.kind {
+            OpKind::For { body, .. } | OpKind::Pfor { body, .. } => for_each_op(body, f),
+            _ => {}
+        }
+    }
+}
+
+fn for_each_op_mut(block: &mut Block, f: &mut impl FnMut(&mut Op)) {
+    for op in &mut block.ops {
+        f(op);
+        match &mut op.kind {
+            OpKind::For { body, .. } | OpKind::Pfor { body, .. } => for_each_op_mut(body, f),
+            _ => {}
+        }
+    }
+}
+
+/// All tensor references of an op (reads and writes), excluding loop bodies.
+fn op_refs(op: &Op) -> Vec<&TensorRef> {
+    match &op.kind {
+        OpKind::Copy { src, dst } => vec![src, dst],
+        OpKind::Call { args, .. } => args.iter().collect(),
+        _ => vec![],
+    }
+}
+
+fn op_refs_mut(op: &mut Op) -> Vec<&mut TensorRef> {
+    match &mut op.kind {
+        OpKind::Copy { src, dst } => vec![src, dst],
+        OpKind::Call { args, .. } => args.iter_mut().collect(),
+        _ => vec![],
+    }
+}
+
+/// Tensors an op reads / writes (base tensors).
+fn op_reads_writes(op: &Op) -> (Vec<TensorId>, Vec<TensorId>) {
+    match &op.kind {
+        OpKind::Copy { src, dst } => (vec![src.tensor], vec![dst.tensor]),
+        OpKind::Call { f, args } => {
+            let dst = args.last().expect("calls have a destination").tensor;
+            let mut reads: Vec<TensorId> =
+                args[..args.len() - 1].iter().map(|r| r.tensor).collect();
+            if f.dst_reads() {
+                reads.push(dst);
+            }
+            (reads, vec![dst])
+        }
+        _ => (vec![], vec![]),
+    }
+}
+
+/// Remove ops whose result event is listed, substituting references to
+/// their events with each op's own preconditions.
+fn remove_ops(prog: &mut IrProgram, remove: &HashSet<EventId>) {
+    if remove.is_empty() {
+        return;
+    }
+    // Collect substitutions first.
+    let mut subst: HashMap<EventId, Vec<EventRef>> = HashMap::new();
+    for_each_op(&prog.body.clone(), &mut |op| {
+        if remove.contains(&op.result) {
+            subst.insert(op.result, op.pre.clone());
+        }
+    });
+    // Filter blocks.
+    fn filter(block: &mut Block, remove: &HashSet<EventId>) {
+        block.ops.retain(|o| !remove.contains(&o.result));
+        for op in &mut block.ops {
+            match &mut op.kind {
+                OpKind::For { body, .. } | OpKind::Pfor { body, .. } => filter(body, remove),
+                _ => {}
+            }
+        }
+    }
+    let mut body = std::mem::take(&mut prog.body);
+    filter(&mut body, remove);
+    prog.body = body;
+    // Substitute events (chasing chains).
+    let mut body = std::mem::take(&mut prog.body);
+    for_each_op_mut(&mut body, &mut |op| {
+        let mut new_pre = Vec::new();
+        for pre in op.pre.drain(..) {
+            expand(&pre, &subst, &mut new_pre, 0);
+        }
+        // Deduplicate.
+        let mut seen = Vec::new();
+        for p in new_pre {
+            if !seen.contains(&p) {
+                seen.push(p);
+            }
+        }
+        op.pre = seen;
+    });
+    prog.body = body;
+}
+
+fn expand(
+    e: &EventRef,
+    subst: &HashMap<EventId, Vec<EventRef>>,
+    out: &mut Vec<EventRef>,
+    depth: usize,
+) {
+    if depth > 64 {
+        return;
+    }
+    match subst.get(&e.event) {
+        None => out.push(e.clone()),
+        Some(replacements) => {
+            for r in replacements {
+                expand(r, subst, out, depth + 1);
+            }
+        }
+    }
+}
+
+/// Rewrite every reference with base tensor `t` to compose with `r`.
+fn rewrite_base(prog: &mut IrProgram, t: TensorId, r: &TensorRef) {
+    let mut body = std::mem::take(&mut prog.body);
+    for_each_op_mut(&mut body, &mut |op| {
+        for rf in op_refs_mut(op) {
+            if rf.tensor == t {
+                let suffix = std::mem::take(&mut rf.path);
+                rf.tensor = r.tensor;
+                rf.path = r.path.clone();
+                rf.path.extend(suffix);
+            }
+        }
+    });
+    prog.body = body;
+}
+
+// ---- patterns ---------------------------------------------------------------
+
+/// Fig. 10d: `copy(t, t)` (canonically equal references) is erased.
+fn self_copies(prog: &mut IrProgram) -> bool {
+    let mut remove = HashSet::new();
+    for_each_op(&prog.body.clone(), &mut |op| {
+        if let OpKind::Copy { src, dst } = &op.kind {
+            if canon_ref(prog, src) == canon_ref(prog, dst) {
+                remove.insert(op.result);
+            }
+        }
+    });
+    let changed = !remove.is_empty();
+    remove_ops(prog, &remove);
+    changed
+}
+
+/// Fig. 10c: duplicate copies within one block with no intervening write.
+fn duplicate_copies(prog: &mut IrProgram) -> bool {
+    let mut remove = HashSet::new();
+    fn scan(prog: &IrProgram, block: &Block, remove: &mut HashSet<EventId>) {
+        for (i, op) in block.ops.iter().enumerate() {
+            if let OpKind::Copy { src, dst } = &op.kind {
+                let (cs, cd) = (canon_ref(prog, src), canon_ref(prog, dst));
+                for later in &block.ops[i + 1..] {
+                    let (_, writes) = op_reads_writes(later);
+                    if let OpKind::Copy { src: s2, dst: d2 } = &later.kind {
+                        if canon_ref(prog, s2) == cs && canon_ref(prog, d2) == cd {
+                            remove.insert(later.result);
+                            continue;
+                        }
+                    }
+                    if writes.contains(&src.tensor) || writes.contains(&dst.tensor) {
+                        break;
+                    }
+                    if matches!(later.kind, OpKind::For { .. } | OpKind::Pfor { .. }) {
+                        break;
+                    }
+                }
+            }
+            match &op.kind {
+                OpKind::For { body, .. } | OpKind::Pfor { body, .. } => scan(prog, body, remove),
+                _ => {}
+            }
+        }
+    }
+    scan(prog, &prog.body.clone(), &mut remove);
+    let changed = !remove.is_empty();
+    remove_ops(prog, &remove);
+    changed
+}
+
+/// `copy(a, X); ...; copy(X, b)` with no intervening write to `X` or `a`
+/// forwards the second copy's source to `a` (the spill-elimination engine).
+fn copy_propagation(prog: &mut IrProgram) -> bool {
+    let mut changed = false;
+    fn scan(prog_ro: &IrProgram, block: &mut Block, changed: &mut bool) {
+        for i in 0..block.ops.len() {
+            if let OpKind::Copy { src: a, dst: x } = &block.ops[i].kind {
+                let (a, x) = (a.clone(), x.clone());
+                let (ca, cx) = (canon_ref(prog_ro, &a), canon_ref(prog_ro, &x));
+                if ca == cx {
+                    continue;
+                }
+                let mut j = i + 1;
+                while j < block.ops.len() {
+                    let (_, writes) = op_reads_writes(&block.ops[j]);
+                    if let OpKind::Copy { src: s2, .. } = &block.ops[j].kind {
+                        if canon_ref(prog_ro, s2) == cx {
+                            if let OpKind::Copy { src: s2m, .. } = &mut block.ops[j].kind {
+                                *s2m = a.clone();
+                                *changed = true;
+                            }
+                            j += 1;
+                            continue;
+                        }
+                    }
+                    if writes.contains(&x.tensor)
+                        || writes.contains(&a.tensor)
+                        || matches!(block.ops[j].kind, OpKind::For { .. } | OpKind::Pfor { .. })
+                    {
+                        break;
+                    }
+                    j += 1;
+                }
+            }
+            match &mut block.ops[i].kind {
+                OpKind::For { body, .. } | OpKind::Pfor { body, .. } => {
+                    scan(prog_ro, body, changed)
+                }
+                _ => {}
+            }
+        }
+    }
+    let prog_ro = prog.clone();
+    let mut body = std::mem::take(&mut prog.body);
+    scan(&prog_ro, &mut body, &mut changed);
+    prog.body = body;
+    changed
+}
+
+/// Allocation forwarding: a fresh tensor whose copy partners all name the
+/// same external reference `r` is replaced by `r` when no memory-level
+/// change is implied.
+fn forward_allocations(prog: &mut IrProgram) -> bool {
+    // Gather, per tensor: copy-in/out partner refs and whether other uses
+    // exist as whole-tensor copies.
+    #[derive(Default)]
+    struct Uses {
+        partners: Vec<(TensorRef, EventId)>,
+        other_whole_copies: usize,
+    }
+    let mut uses: HashMap<TensorId, Uses> = HashMap::new();
+    for_each_op(&prog.body.clone(), &mut |op| {
+        if let OpKind::Copy { src, dst } = &op.kind {
+            if dst.path.is_empty() && src.tensor != dst.tensor {
+                uses.entry(dst.tensor)
+                    .or_default()
+                    .partners
+                    .push((src.clone(), op.result));
+            } else if dst.path.is_empty() {
+                uses.entry(dst.tensor).or_default().other_whole_copies += 1;
+            }
+            if src.path.is_empty() && src.tensor != dst.tensor {
+                uses.entry(src.tensor)
+                    .or_default()
+                    .partners
+                    .push((dst.clone(), op.result));
+            } else if src.path.is_empty() {
+                uses.entry(src.tensor).or_default().other_whole_copies += 1;
+            }
+        }
+    });
+
+    // Forward at most one allocation per invocation: a rewrite invalidates
+    // the collected partner references, so the fixpoint loop recomputes
+    // them before the next forwarding.
+    let candidates: Vec<TensorId> = (0..prog.tensors.len()).collect();
+    for t in candidates {
+        let decl = &prog.tensors[t];
+        if decl.param.is_some() {
+            continue;
+        }
+        let Some(u) = uses.get(&t) else { continue };
+        if u.other_whole_copies > 0 {
+            continue;
+        }
+        // Only *upstream* partners qualify: the reference the launch site's
+        // copy-in/copy-out named, which belongs to the caller's frame and
+        // was therefore created before `t`. Copies where `t` feeds a later
+        // child allocation are downstream and collapse on later rounds.
+        let upstream: Vec<&(TensorRef, EventId)> =
+            u.partners.iter().filter(|(p, _)| p.tensor < t).collect();
+        let Some((first_ref, _)) = upstream.first().map(|x| (*x).clone()) else { continue };
+        let first = canon_ref(prog, &first_ref);
+        if !upstream.iter().all(|(p, _)| canon_ref(prog, p) == first) {
+            continue;
+        }
+        let r = first_ref;
+        if r.tensor == t {
+            continue;
+        }
+        let r_mem = prog.tensors[r.tensor].mem;
+        let ok_mem = decl.mem == MemLevel::None || decl.mem == r_mem;
+        if !ok_mem {
+            continue;
+        }
+        // Forward: rewrite refs, turning the partner copies into self-copies
+        // removed on the next self-copy sweep.
+        rewrite_base(prog, t, &r);
+        return true;
+    }
+    false
+}
+
+/// Piece identification: a `none`-mapped parent used exclusively through
+/// canonically identical per-processor pieces is identified with the
+/// materialized tensor those pieces are copied to/from.
+fn identify_pieces(prog: &mut IrProgram) -> bool {
+    // One identification per invocation (see `forward_allocations`).
+    for t in 0..prog.tensors.len() {
+        if prog.tensors[t].mem != MemLevel::None || prog.tensors[t].param.is_some() {
+            continue;
+        }
+        // Collect all refs with base t and copy partners of piece refs.
+        let mut piece_canons: HashSet<Vec<(CanonPart, Vec<CanonIdx>)>> = HashSet::new();
+        let mut whole_uses = 0usize;
+        let mut any_use = false;
+        let mut partner: Option<TensorRef> = None;
+        for_each_op(&prog.body.clone(), &mut |op| {
+            let refs = op_refs(op);
+            let uses_t: Vec<&&TensorRef> = refs.iter().filter(|r| r.tensor == t).collect();
+            if uses_t.is_empty() {
+                return;
+            }
+            any_use = true;
+            for r in &uses_t {
+                if r.path.is_empty() {
+                    whole_uses += 1;
+                } else {
+                    // Only the first path entry must be the per-processor
+                    // piece; deeper entries ride along.
+                    let c = canon_ref(prog, &TensorRef {
+                        tensor: t,
+                        path: vec![r.path[0].clone()],
+                    });
+                    piece_canons.insert(c.path);
+                }
+            }
+            // Copy between a single-level piece of t and a whole tensor:
+            // candidate identification partner. Several distinct partners
+            // are fine — the remaining ones collapse into the chosen one
+            // by allocation forwarding on later rounds.
+            if let OpKind::Copy { src, dst } = &op.kind {
+                let pair = if src.tensor == t && src.path.len() == 1 && dst.path.is_empty() {
+                    Some(dst)
+                } else if dst.tensor == t && dst.path.len() == 1 && src.path.is_empty() {
+                    Some(src)
+                } else {
+                    None
+                };
+                if let Some(p) = pair {
+                    if partner.is_none()
+                        && prog.tensors[p.tensor].mem != MemLevel::None
+                        && p.tensor != t
+                    {
+                        partner = Some((*p).clone());
+                    }
+                }
+            }
+        });
+        let Some(r) = partner else { continue };
+        if !any_use || whole_uses > 0 || piece_canons.len() != 1 {
+            continue;
+        }
+        // Identify: strip the leading piece entry and redirect to r.
+        let mut body = std::mem::take(&mut prog.body);
+        for_each_op_mut(&mut body, &mut |op| {
+            for rf in op_refs_mut(op) {
+                if rf.tensor == t {
+                    let mut suffix = std::mem::take(&mut rf.path);
+                    suffix.remove(0);
+                    rf.tensor = r.tensor;
+                    rf.path = r.path.clone();
+                    rf.path.extend(suffix);
+                }
+            }
+        });
+        prog.body = body;
+        return true;
+    }
+    false
+}
+
+/// A `none`-mapped tensor used only through whole-tensor copies is
+/// identified with its first materialized copy partner (the whole-tensor
+/// analogue of `identify_pieces`; attention's score matrix `S` takes this
+/// route into a register fragment).
+fn materialize_none(prog: &mut IrProgram) -> bool {
+    for t in 0..prog.tensors.len() {
+        if prog.tensors[t].mem != MemLevel::None || prog.tensors[t].param.is_some() {
+            continue;
+        }
+        let mut partner: Option<TensorId> = None;
+        let mut piece_uses = 0usize;
+        let mut any = false;
+        for_each_op(&prog.body.clone(), &mut |op| {
+            for r in op_refs(op) {
+                if r.tensor == t {
+                    any = true;
+                    if !r.path.is_empty() {
+                        piece_uses += 1;
+                    }
+                }
+            }
+            if let OpKind::Copy { src, dst } = &op.kind {
+                let other = if src.tensor == t && src.path.is_empty() && dst.path.is_empty() {
+                    Some(dst.tensor)
+                } else if dst.tensor == t && dst.path.is_empty() && src.path.is_empty() {
+                    Some(src.tensor)
+                } else {
+                    None
+                };
+                if let Some(o) = other {
+                    if partner.is_none() && o != t && prog.tensors[o].mem != MemLevel::None {
+                        let same_shape = prog.tensors[o].rows == prog.tensors[t].rows
+                            && prog.tensors[o].cols == prog.tensors[t].cols;
+                        if same_shape {
+                            partner = Some(o);
+                        }
+                    }
+                }
+            }
+        });
+        let Some(o) = partner else { continue };
+        if !any || piece_uses > 0 {
+            continue;
+        }
+        rewrite_base(prog, t, &TensorRef::whole(o));
+        return true;
+    }
+    false
+}
+
+/// Fig. 10b (spill hoisting, simplified to the loop-invariant case):
+/// a copy inside a `for` whose references do not use the loop variable,
+/// whose source is never written, and whose destination is written only by
+/// this copy, moves to the loop preamble. This hoists attention's Q-tile
+/// load out of the K/V loop.
+fn hoist_invariant_copies(prog: &mut IrProgram) -> bool {
+    // Tensors written anywhere (by op kind).
+    let mut writers: HashMap<TensorId, usize> = HashMap::new();
+    for_each_op(&prog.body.clone(), &mut |op| {
+        let (_, writes) = op_reads_writes(op);
+        for w in writes {
+            *writers.entry(w).or_default() += 1;
+        }
+    });
+    let mut hoisted = false;
+    fn scan(
+        prog_names: &IrProgram,
+        block: &mut Block,
+        writers: &HashMap<TensorId, usize>,
+        hoisted: &mut bool,
+    ) {
+        let mut i = 0;
+        while i < block.ops.len() {
+            let mut lift: Option<Op> = None;
+            if let OpKind::For { var, body, .. } = &mut block.ops[i].kind {
+                let var = *var;
+                // Recurse first.
+                scan(prog_names, body, writers, hoisted);
+                if let Some(pos) = body.ops.iter().position(|op| {
+                    if let OpKind::Copy { src, dst } = &op.kind {
+                        !src.uses_var(var)
+                            && !dst.uses_var(var)
+                            && writers.get(&src.tensor).copied().unwrap_or(0) == 0
+                            && writers.get(&dst.tensor).copied().unwrap_or(0) == 1
+                            && dst.path.is_empty()
+                    } else {
+                        false
+                    }
+                }) {
+                    let mut op = body.ops.remove(pos);
+                    // The hoisted copy keeps no intra-loop preconditions.
+                    op.pre.clear();
+                    lift = Some(op);
+                }
+            }
+            if let Some(op) = lift {
+                block.ops.insert(i, op);
+                *hoisted = true;
+                i += 1;
+            }
+            i += 1;
+        }
+    }
+    let prog_ro = prog.clone();
+    let mut body = std::mem::take(&mut prog.body);
+    scan(&prog_ro, &mut body, &writers, &mut hoisted);
+    prog.body = body;
+    hoisted
+}
+
+/// Remove copies into tensors that are never read and are not parameters.
+fn dead_copies(prog: &mut IrProgram) -> bool {
+    let mut read: HashSet<TensorId> = HashSet::new();
+    for_each_op(&prog.body.clone(), &mut |op| {
+        let (reads, _) = op_reads_writes(op);
+        read.extend(reads);
+    });
+    let mut remove = HashSet::new();
+    for_each_op(&prog.body.clone(), &mut |op| {
+        if let OpKind::Copy { dst, .. } = &op.kind {
+            if prog.tensors[dst.tensor].param.is_none() && !read.contains(&dst.tensor) {
+                remove.insert(op.result);
+            }
+        }
+    });
+    let changed = !remove.is_empty();
+    remove_ops(prog, &remove);
+    changed
+}
+
+/// §3.3: every tensor mapped to the `none` memory must have been
+/// eliminated entirely.
+fn check_none_memory(prog: &IrProgram) -> Result<(), CompileError> {
+    let mut surviving: HashSet<TensorId> = HashSet::new();
+    for_each_op(&prog.body.clone(), &mut |op| {
+        for r in op_refs(op) {
+            surviving.insert(r.tensor);
+        }
+    });
+    for t in surviving {
+        if prog.tensors[t].mem == MemLevel::None {
+            return Err(CompileError::NoneMemoryMaterialized {
+                tensor: prog.tensors[t].name.clone(),
+            });
+        }
+    }
+    Ok(())
+}

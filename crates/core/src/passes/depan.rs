@@ -1,0 +1,818 @@
+//! Dependence analysis (paper §4.2.1).
+//!
+//! An in-order traversal of the instantiated task tree, starting at the
+//! mapping's entrypoint. Scalars, tunables, shapes and partitions are all
+//! evaluated statically (Cypress is "amenable to a fully static analysis",
+//! §3). Each launch site follows the copy-in/copy-out discipline:
+//!
+//! 1. allocate a fresh tensor per argument in the callee's mapped memory,
+//! 2. copy-in read arguments,
+//! 3. recursively lower the callee variant,
+//! 4. copy-out written arguments,
+//!
+//! with privilege-driven event chaining throughout. `srange` lowers to a
+//! sequential `for`, `prange` to `pfor` loops whose iterations must not
+//! perform aliasing writes — enforced here, which is what makes mapping
+//! decisions unable to affect correctness (§3.3).
+
+use crate::error::CompileError;
+use crate::front::ast::{ArgExpr, LeafFn, Privilege, SExpr, Stmt};
+use crate::front::machine::MemLevel;
+use crate::front::mapping::{MappingSpec, TaskMapping};
+use crate::front::task::{TaskRegistry, TaskVariant};
+use crate::ir::{
+    Block, EvIdx, EventRef, EventType, IdxExpr, IrProgram, Op, OpKind, PartId, PartKind, TensorId,
+    TensorRef, VarId,
+};
+use cypress_tensor::partition::{MmaLevel, MmaOperand};
+use cypress_tensor::DType;
+use std::collections::{HashMap, HashSet};
+
+/// A global tensor bound to the entrypoint task.
+#[derive(Debug, Clone)]
+pub struct EntryArg {
+    /// Name (for diagnostics).
+    pub name: String,
+    /// Rows.
+    pub rows: usize,
+    /// Columns.
+    pub cols: usize,
+    /// Element type.
+    pub dtype: DType,
+}
+
+/// Run dependence analysis: instantiate the task tree into event IR.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] for unknown tasks/instances, privilege or
+/// task-kind violations, aliasing parallel writes, arity mismatches,
+/// unbound tunables, or partition failures.
+pub fn analyze(
+    registry: &TaskRegistry,
+    mapping: &MappingSpec,
+    name: &str,
+    entry_args: &[EntryArg],
+) -> Result<IrProgram, CompileError> {
+    let mut a = Analyzer {
+        reg: registry,
+        map: mapping,
+        prog: IrProgram::new(name),
+        last_write: HashMap::new(),
+        readers: HashMap::new(),
+        scopes: vec![Scope::top()],
+    };
+    let entry = mapping.entry().clone();
+    let variant = registry.variant(&entry.variant)?;
+    if variant.params.len() != entry_args.len() {
+        return Err(CompileError::ArityMismatch {
+            task: variant.task.clone(),
+            expected: variant.params.len(),
+            actual: entry_args.len(),
+        });
+    }
+    let mut frame = Frame::default();
+    for (i, (arg, p)) in entry_args.iter().zip(variant.params.iter()).enumerate() {
+        let mem = entry.mems.get(i).copied().unwrap_or(MemLevel::Global);
+        let id = a.prog.add_tensor(arg.name.clone(), arg.rows, arg.cols, arg.dtype, mem, Some(i));
+        frame.tensors.insert(p.name.clone(), id);
+        frame.privs.insert(id, p.privilege);
+    }
+    let body = a.lower_body(&entry, variant, &mut frame)?;
+    a.prog.body = body;
+    Ok(a.prog)
+}
+
+/// Affine scalar value `scale·var + offset`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SVal {
+    var: Option<VarId>,
+    scale: i64,
+    offset: i64,
+}
+
+impl SVal {
+    fn constant(v: i64) -> Self {
+        SVal { var: None, scale: 0, offset: v }
+    }
+
+    fn var(v: VarId) -> Self {
+        SVal { var: Some(v), scale: 1, offset: 0 }
+    }
+
+    fn as_const(&self) -> Option<i64> {
+        if self.var.is_none() {
+            Some(self.offset)
+        } else {
+            None
+        }
+    }
+
+    fn to_idx(self) -> IdxExpr {
+        IdxExpr { var: self.var, scale: self.scale, offset: self.offset }
+    }
+}
+
+/// Per-task-variant lexical frame.
+#[derive(Debug, Clone, Default)]
+struct Frame {
+    scalars: HashMap<String, SVal>,
+    tensors: HashMap<String, TensorId>,
+    parts: HashMap<String, PartId>,
+    privs: HashMap<TensorId, Privilege>,
+}
+
+/// One loop scope during lowering.
+#[derive(Debug)]
+struct Scope {
+    /// Events created at or after this id belong to the scope.
+    first_event: usize,
+    /// Parallel-loop variable, if this scope is a `pfor`.
+    pfor_var: Option<VarId>,
+    /// Dependencies on events outside the scope, lifted to the loop op.
+    lifted: Vec<EventRef>,
+    /// Tensors created inside the scope.
+    created: HashSet<TensorId>,
+    /// Tensors written inside the scope.
+    writes: HashSet<TensorId>,
+    /// Tensors read inside the scope.
+    reads: HashSet<TensorId>,
+}
+
+impl Scope {
+    fn top() -> Self {
+        Scope {
+            first_event: 0,
+            pfor_var: None,
+            lifted: Vec::new(),
+            created: HashSet::new(),
+            writes: HashSet::new(),
+            reads: HashSet::new(),
+        }
+    }
+
+    fn for_loop(first_event: usize, pfor_var: Option<VarId>) -> Self {
+        Scope {
+            first_event,
+            pfor_var,
+            lifted: Vec::new(),
+            created: HashSet::new(),
+            writes: HashSet::new(),
+            reads: HashSet::new(),
+        }
+    }
+}
+
+struct Analyzer<'a> {
+    reg: &'a TaskRegistry,
+    map: &'a MappingSpec,
+    prog: IrProgram,
+    last_write: HashMap<TensorId, EventRef>,
+    readers: HashMap<TensorId, Vec<EventRef>>,
+    scopes: Vec<Scope>,
+}
+
+impl<'a> Analyzer<'a> {
+    // ---- scalar evaluation ------------------------------------------------
+
+    fn eval(&self, frame: &Frame, e: &SExpr) -> Result<SVal, CompileError> {
+        let c = |v: Result<SVal, CompileError>| -> Result<i64, CompileError> {
+            v?.as_const().ok_or_else(|| {
+                CompileError::Scalar("loop variables may only appear affinely".into())
+            })
+        };
+        Ok(match e {
+            SExpr::Lit(v) => SVal::constant(*v),
+            SExpr::Var(n) => *frame
+                .scalars
+                .get(n)
+                .ok_or_else(|| CompileError::UnboundVariable(n.clone()))?,
+            SExpr::ShapeDim(t, d) => {
+                let id = self.resolve_tensor(frame, t)?;
+                let decl = &self.prog.tensors[id];
+                let v = match d {
+                    0 => decl.rows,
+                    1 => decl.cols,
+                    _ => return Err(CompileError::Scalar(format!("shape dim {d} out of range"))),
+                };
+                SVal::constant(v as i64)
+            }
+            SExpr::Add(a, b) => {
+                let (a, b) = (self.eval(frame, a)?, self.eval(frame, b)?);
+                match (a.var, b.var) {
+                    (_, None) => SVal { var: a.var, scale: a.scale, offset: a.offset + b.offset },
+                    (None, _) => SVal { var: b.var, scale: b.scale, offset: a.offset + b.offset },
+                    (Some(x), Some(y)) if x == y => {
+                        SVal { var: Some(x), scale: a.scale + b.scale, offset: a.offset + b.offset }
+                    }
+                    _ => return Err(CompileError::Scalar("sum of two loop variables".into())),
+                }
+            }
+            SExpr::Sub(a, b) => {
+                let (a, b) = (self.eval(frame, a)?, self.eval(frame, b)?);
+                if b.var.is_some() && a.var != b.var {
+                    return Err(CompileError::Scalar("difference of loop variables".into()));
+                }
+                if a.var == b.var {
+                    SVal { var: None, scale: 0, offset: a.offset - b.offset }
+                } else {
+                    SVal { var: a.var, scale: a.scale, offset: a.offset - b.offset }
+                }
+            }
+            SExpr::Mul(a, b) => {
+                let (a, b) = (self.eval(frame, a)?, self.eval(frame, b)?);
+                match (a.as_const(), b.as_const()) {
+                    (Some(x), _) => SVal { var: b.var, scale: b.scale * x, offset: b.offset * x },
+                    (_, Some(y)) => SVal { var: a.var, scale: a.scale * y, offset: a.offset * y },
+                    _ => return Err(CompileError::Scalar("product of loop variables".into())),
+                }
+            }
+            SExpr::Div(a, b) => {
+                let d = c(self.eval(frame, b))?;
+                let n = c(self.eval(frame, a))?;
+                if d == 0 {
+                    return Err(CompileError::Scalar("division by zero".into()));
+                }
+                if n % d != 0 {
+                    return Err(CompileError::Scalar(format!("{n} not divisible by {d}")));
+                }
+                SVal::constant(n / d)
+            }
+            SExpr::CDiv(a, b) => {
+                let d = c(self.eval(frame, b))?;
+                let n = c(self.eval(frame, a))?;
+                if d == 0 {
+                    return Err(CompileError::Scalar("division by zero".into()));
+                }
+                SVal::constant(n.div_euclid(d) + i64::from(n.rem_euclid(d) != 0))
+            }
+            SExpr::Mod(a, b) => {
+                let d = c(self.eval(frame, b))?;
+                let n = c(self.eval(frame, a))?;
+                if d == 0 {
+                    return Err(CompileError::Scalar("modulo by zero".into()));
+                }
+                SVal::constant(n.rem_euclid(d))
+            }
+        })
+    }
+
+    fn resolve_tensor(&self, frame: &Frame, name: &str) -> Result<TensorId, CompileError> {
+        frame.tensors.get(name).copied().ok_or_else(|| CompileError::UnboundName(name.to_string()))
+    }
+
+    fn resolve_arg(&self, frame: &Frame, arg: &ArgExpr) -> Result<TensorRef, CompileError> {
+        match arg {
+            ArgExpr::Tensor(n) => Ok(TensorRef::whole(self.resolve_tensor(frame, n)?)),
+            ArgExpr::Piece { partition, indices } => {
+                let pid = *frame
+                    .parts
+                    .get(partition)
+                    .ok_or_else(|| CompileError::UnboundName(partition.clone()))?;
+                let idx: Vec<IdxExpr> = indices
+                    .iter()
+                    .map(|e| self.eval(frame, e).map(SVal::to_idx))
+                    .collect::<Result<_, _>>()?;
+                let parent = self.prog.parts[pid].parent;
+                Ok(TensorRef { tensor: parent, path: vec![(pid, idx)] })
+            }
+            ArgExpr::Scalar(_) => {
+                Err(CompileError::Unsupported("scalar task arguments".into()))
+            }
+        }
+    }
+
+    /// Shape of a reference (folds piece shapes along the path).
+    fn ref_shape(&self, r: &TensorRef) -> (usize, usize) {
+        match r.path.last() {
+            None => {
+                let t = &self.prog.tensors[r.tensor];
+                (t.rows, t.cols)
+            }
+            Some((p, _)) => self.prog.parts[*p].piece_shape(),
+        }
+    }
+
+    // ---- event bookkeeping ------------------------------------------------
+
+    fn register_read(&mut self, t: TensorId, ev: EventRef) {
+        self.readers.entry(t).or_default().push(ev);
+        for s in &mut self.scopes {
+            s.reads.insert(t);
+        }
+    }
+
+    fn register_write(&mut self, t: TensorId, ev: EventRef) {
+        self.last_write.insert(t, ev);
+        self.readers.remove(&t);
+        for s in &mut self.scopes {
+            s.writes.insert(t);
+        }
+    }
+
+    fn read_deps(&self, t: TensorId) -> Vec<EventRef> {
+        self.last_write.get(&t).cloned().into_iter().collect()
+    }
+
+    fn write_deps(&self, t: TensorId) -> Vec<EventRef> {
+        let mut d = self.read_deps(t);
+        if let Some(rs) = self.readers.get(&t) {
+            d.extend(rs.iter().cloned());
+        }
+        d
+    }
+
+    /// Emit an op into `block`, routing preconditions defined outside the
+    /// current scope to the scope's lifted set (they become the enclosing
+    /// loop's preconditions, as in Fig. 8b).
+    fn emit(&mut self, block: &mut Block, kind: OpKind, pre: Vec<EventRef>) -> EventRef {
+        let scope_start = self.scopes.last().expect("scope stack").first_event;
+        let (inner, outer): (Vec<_>, Vec<_>) =
+            pre.into_iter().partition(|e| e.event >= scope_start);
+        let scope = self.scopes.last_mut().expect("scope stack");
+        for o in outer {
+            if !scope.lifted.contains(&o) {
+                scope.lifted.push(o);
+            }
+        }
+        let result = self.prog.fresh_event();
+        block.ops.push(Op { result, ty: EventType::Unit, pre: inner, kind });
+        EventRef::unit(result)
+    }
+
+    /// Check the prange aliasing-write rule for a write to `r` under every
+    /// enclosing pfor scope.
+    fn check_parallel_write(
+        &self,
+        variant: &str,
+        r: &TensorRef,
+    ) -> Result<(), CompileError> {
+        for (i, s) in self.scopes.iter().enumerate() {
+            let Some(v) = s.pfor_var else { continue };
+            // Created at or below this scope => private per iteration.
+            let created_below =
+                self.scopes[i..].iter().any(|sc| sc.created.contains(&r.tensor));
+            if created_below {
+                continue;
+            }
+            // Otherwise the write must target a piece of a disjoint
+            // partition indexed by the pfor variable.
+            let indexed_disjoint = r.path.iter().any(|(p, idx)| {
+                self.prog.parts[*p].is_disjoint() && idx.iter().any(|e| e.uses(v))
+            });
+            if !indexed_disjoint {
+                return Err(CompileError::AliasingWrites {
+                    variant: variant.to_string(),
+                    tensor: self.prog.tensors[r.tensor].name.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    // ---- statement lowering -----------------------------------------------
+
+    fn lower_body(
+        &mut self,
+        inst: &TaskMapping,
+        variant: &TaskVariant,
+        frame: &mut Frame,
+    ) -> Result<Block, CompileError> {
+        let mut block = Block::default();
+        self.lower_stmts(inst, variant, frame, &variant.body.clone(), &mut block)?;
+        Ok(block)
+    }
+
+    fn lower_stmts(
+        &mut self,
+        inst: &TaskMapping,
+        variant: &TaskVariant,
+        frame: &mut Frame,
+        stmts: &[Stmt],
+        block: &mut Block,
+    ) -> Result<(), CompileError> {
+        for stmt in stmts {
+            self.lower_stmt(inst, variant, frame, stmt, block)?;
+        }
+        Ok(())
+    }
+
+    fn lower_stmt(
+        &mut self,
+        inst: &TaskMapping,
+        variant: &TaskVariant,
+        frame: &mut Frame,
+        stmt: &Stmt,
+        block: &mut Block,
+    ) -> Result<(), CompileError> {
+        match stmt {
+            Stmt::Let { name, value } => {
+                let v = self.eval(frame, value)?;
+                frame.scalars.insert(name.clone(), v);
+            }
+            Stmt::Tunable { name } => {
+                let v = *inst.tunables.get(name).ok_or_else(|| CompileError::UnboundTunable {
+                    variant: variant.name.clone(),
+                    tunable: name.clone(),
+                })?;
+                frame.scalars.insert(name.clone(), SVal::constant(v));
+            }
+            Stmt::MakeTensor { name, rows, cols, dtype } => {
+                let r = self.eval(frame, rows)?.as_const().ok_or_else(|| {
+                    CompileError::Scalar("tensor extents must be loop-invariant".into())
+                })?;
+                let c = self.eval(frame, cols)?.as_const().ok_or_else(|| {
+                    CompileError::Scalar("tensor extents must be loop-invariant".into())
+                })?;
+                if r <= 0 || c <= 0 {
+                    return Err(CompileError::Scalar(format!("degenerate tensor {r}x{c}")));
+                }
+                let id = self.prog.add_tensor(
+                    format!("{}.{}", inst.instance, name),
+                    r as usize,
+                    c as usize,
+                    *dtype,
+                    MemLevel::None,
+                    None,
+                );
+                frame.tensors.insert(name.clone(), id);
+                frame.privs.insert(id, Privilege::ReadWrite);
+                self.scopes.last_mut().expect("scope stack").created.insert(id);
+            }
+            Stmt::PartitionBlocks { name, tensor, tile_rows, tile_cols } => {
+                let t = self.resolve_tensor(frame, tensor)?;
+                let decl = &self.prog.tensors[t];
+                let (rows, cols) = (decl.rows, decl.cols);
+                let tr = self.eval(frame, tile_rows)?.as_const().unwrap_or(0);
+                let tc = self.eval(frame, tile_cols)?.as_const().unwrap_or(0);
+                if tr <= 0 || tc <= 0 {
+                    return Err(CompileError::Partition(format!("bad tile {tr}x{tc}")));
+                }
+                let (tr, tc) = (tr as usize, tc as usize);
+                if rows % tr != 0 || cols % tc != 0 {
+                    return Err(CompileError::Partition(format!(
+                        "tile {tr}x{tc} does not divide {rows}x{cols} (tensor {})",
+                        self.prog.tensors[t].name
+                    )));
+                }
+                let kind = PartKind::Blocks {
+                    tile_rows: tr,
+                    tile_cols: tc,
+                    grid_rows: rows / tr,
+                    grid_cols: cols / tc,
+                };
+                let pid = self.prog.add_part(name.clone(), t, kind);
+                frame.parts.insert(name.clone(), pid);
+            }
+            Stmt::PartitionMma { name, tensor, level, operand } => {
+                let t = self.resolve_tensor(frame, tensor)?;
+                let decl = &self.prog.tensors[t];
+                let (rows, cols) = (decl.rows, decl.cols);
+                // Validate against the architected WGMMA partition rules.
+                let instr = cypress_tensor::MmaInstr::wgmma_64x256x16();
+                cypress_tensor::mma(&[rows, cols], instr, *level, *operand)
+                    .map_err(|e| CompileError::Partition(e.to_string()))?;
+                let kind = match (level, operand) {
+                    (MmaLevel::Warp, MmaOperand::A | MmaOperand::C) => PartKind::Mma {
+                        pieces: 4,
+                        piece_rows: rows / 4,
+                        piece_cols: cols,
+                        replicated: false,
+                        level: crate::front::machine::ProcLevel::Warp,
+                    },
+                    (MmaLevel::Thread, MmaOperand::A | MmaOperand::C) => PartKind::Mma {
+                        pieces: 32,
+                        piece_rows: 2,
+                        piece_cols: cols / 4,
+                        replicated: false,
+                        level: crate::front::machine::ProcLevel::Thread,
+                    },
+                    (MmaLevel::Warp, MmaOperand::B) => PartKind::Mma {
+                        pieces: 4,
+                        piece_rows: rows,
+                        piece_cols: cols,
+                        replicated: true,
+                        level: crate::front::machine::ProcLevel::Warp,
+                    },
+                    (MmaLevel::Thread, MmaOperand::B) => PartKind::Mma {
+                        pieces: 32,
+                        piece_rows: rows,
+                        piece_cols: cols,
+                        replicated: true,
+                        level: crate::front::machine::ProcLevel::Thread,
+                    },
+                };
+                let pid = self.prog.add_part(name.clone(), t, kind);
+                frame.parts.insert(name.clone(), pid);
+            }
+            Stmt::Launch { task, args } => {
+                self.lower_launch(inst, variant, frame, task, args, block)?;
+            }
+            Stmt::SRange { var, extent, body } => {
+                let n = self
+                    .eval(frame, extent)?
+                    .as_const()
+                    .ok_or_else(|| CompileError::Scalar("srange extent must be constant".into()))?;
+                let v = self.prog.fresh_var();
+                frame.scalars.insert(var.clone(), SVal::var(v));
+                self.scopes.push(Scope::for_loop(self.prog.next_event, None));
+                let mut inner = Block::default();
+                self.lower_stmts(inst, variant, frame, body, &mut inner)?;
+                self.close_loop(block, inner, v, n, None)?;
+                frame.scalars.remove(var);
+            }
+            Stmt::PRange { vars, extents, body } => {
+                if vars.len() != extents.len() || vars.is_empty() || vars.len() > 3 {
+                    return Err(CompileError::Scalar("prange takes 1-3 variables".into()));
+                }
+                // Determine the processor level from the dispatched launch.
+                let proc = self.prange_proc(inst, body)?;
+                self.lower_prange(inst, variant, frame, vars, extents, body, proc, block, 0)?;
+            }
+            Stmt::CallExternal { f, args } => {
+                self.lower_call_external(variant, frame, *f, args, block)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn prange_proc(
+        &self,
+        inst: &TaskMapping,
+        body: &[Stmt],
+    ) -> Result<crate::front::machine::ProcLevel, CompileError> {
+        for s in body {
+            if let Stmt::Launch { task, .. } = s {
+                let callee = self.dispatch(inst, task)?;
+                return Ok(callee.proc);
+            }
+        }
+        Err(CompileError::Unsupported("prange body must contain a launch".into()))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn lower_prange(
+        &mut self,
+        inst: &TaskMapping,
+        variant: &TaskVariant,
+        frame: &mut Frame,
+        vars: &[String],
+        extents: &[SExpr],
+        body: &[Stmt],
+        proc: crate::front::machine::ProcLevel,
+        block: &mut Block,
+        depth: usize,
+    ) -> Result<(), CompileError> {
+        if depth == vars.len() {
+            return self.lower_stmts(inst, variant, frame, body, block);
+        }
+        let n = self
+            .eval(frame, &extents[depth])?
+            .as_const()
+            .ok_or_else(|| CompileError::Scalar("prange extent must be constant".into()))?;
+        let v = self.prog.fresh_var();
+        frame.scalars.insert(vars[depth].clone(), SVal::var(v));
+        self.scopes.push(Scope::for_loop(self.prog.next_event, Some(v)));
+        let mut inner = Block::default();
+        self.lower_prange(inst, variant, frame, vars, extents, body, proc, &mut inner, depth + 1)?;
+        self.close_loop(block, inner, v, n, Some(proc))?;
+        frame.scalars.remove(&vars[depth]);
+        Ok(())
+    }
+
+    /// Pop the scope and emit the loop op, propagating event state.
+    fn close_loop(
+        &mut self,
+        block: &mut Block,
+        inner: Block,
+        var: VarId,
+        extent: i64,
+        pfor: Option<crate::front::machine::ProcLevel>,
+    ) -> Result<(), CompileError> {
+        let scope = self.scopes.pop().expect("scope stack");
+        let result = self.prog.fresh_event();
+        let ty = match pfor {
+            Some(proc) => EventType::Array(vec![(extent as usize, proc)]),
+            None => EventType::Unit,
+        };
+        let loop_ref = match pfor {
+            Some(_) => EventRef { event: result, idx: vec![EvIdx::All] },
+            None => EventRef::unit(result),
+        };
+        // Loop preconditions: deps lifted out of the body. Route those that
+        // are outer to the *new* current scope onward.
+        let pre = scope.lifted;
+        let kind = match pfor {
+            Some(proc) => OpKind::Pfor { var, extent, proc, body: inner },
+            None => OpKind::For { var, extent, body: inner },
+        };
+        // Re-route pres through the now-current scope.
+        let scope_start = self.scopes.last().expect("scope stack").first_event;
+        let (inner_pre, outer): (Vec<_>, Vec<_>) =
+            pre.into_iter().partition(|e| e.event >= scope_start);
+        {
+            let cur = self.scopes.last_mut().expect("scope stack");
+            for o in outer {
+                if !cur.lifted.contains(&o) {
+                    cur.lifted.push(o);
+                }
+            }
+        }
+        block.ops.push(Op { result, ty, pre: inner_pre, kind });
+        // Propagate event state: tensors written in the loop now depend on
+        // the whole loop; readers likewise.
+        for t in &scope.writes {
+            self.last_write.insert(*t, loop_ref.clone());
+            self.readers.remove(t);
+            for s in &mut self.scopes {
+                s.writes.insert(*t);
+            }
+        }
+        for t in &scope.reads {
+            if !scope.writes.contains(t) {
+                self.readers.entry(*t).or_default().push(loop_ref.clone());
+                for s in &mut self.scopes {
+                    s.reads.insert(*t);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn dispatch(&self, inst: &TaskMapping, task: &str) -> Result<&'a TaskMapping, CompileError> {
+        for c in &inst.calls {
+            let cand = self.map.instance(c)?;
+            let v = self.reg.variant(&cand.variant)?;
+            if v.task == task {
+                // Safety: instances live as long as the mapping borrow.
+                return self.map.instance(c);
+            }
+        }
+        Err(CompileError::NoDispatch { from: inst.instance.clone(), task: task.to_string() })
+    }
+
+    fn lower_launch(
+        &mut self,
+        inst: &TaskMapping,
+        variant: &TaskVariant,
+        frame: &mut Frame,
+        task: &str,
+        args: &[ArgExpr],
+        block: &mut Block,
+    ) -> Result<(), CompileError> {
+        let callee_inst = self.dispatch(inst, task)?.clone();
+        let callee_var = self.reg.variant(&callee_inst.variant)?.clone();
+        if callee_var.params.len() != args.len() {
+            return Err(CompileError::ArityMismatch {
+                task: task.to_string(),
+                expected: callee_var.params.len(),
+                actual: args.len(),
+            });
+        }
+
+        // Resolve arguments and check privileges against the caller's.
+        let mut resolved = Vec::new();
+        for (arg, p) in args.iter().zip(callee_var.params.iter()) {
+            let r = self.resolve_arg(frame, arg)?;
+            let caller_priv =
+                frame.privs.get(&r.tensor).copied().unwrap_or(Privilege::ReadWrite);
+            if !caller_priv.covers(p.privilege) {
+                return Err(CompileError::PrivilegeViolation {
+                    variant: variant.name.clone(),
+                    param: p.name.clone(),
+                    detail: format!(
+                        "caller holds {caller_priv} but launch of `{task}` requires {}",
+                        p.privilege
+                    ),
+                });
+            }
+            resolved.push(r);
+        }
+
+        // Copy-in/copy-out discipline (§4.2.1 steps 1-4).
+        let mut callee_frame = Frame::default();
+        let mut fresh_ids = Vec::new();
+        for (i, (r, p)) in resolved.iter().zip(callee_var.params.iter()).enumerate() {
+            let (rows, cols) = self.ref_shape(r);
+            let mem = callee_inst.mems.get(i).copied().unwrap_or(MemLevel::None);
+            let fresh = self.prog.add_tensor(
+                format!("{}.{}", callee_inst.instance, p.name),
+                rows,
+                cols,
+                p.dtype,
+                mem,
+                None,
+            );
+            self.scopes.last_mut().expect("scope stack").created.insert(fresh);
+            if p.privilege.can_read() {
+                let pre = self.read_deps(r.tensor);
+                let ev = self.emit(
+                    block,
+                    OpKind::Copy { src: r.clone(), dst: TensorRef::whole(fresh) },
+                    pre,
+                );
+                self.register_read(r.tensor, ev.clone());
+                self.register_write(fresh, ev);
+            }
+            callee_frame.tensors.insert(p.name.clone(), fresh);
+            callee_frame.privs.insert(fresh, p.privilege);
+            fresh_ids.push(fresh);
+        }
+
+        let mut callee_block = self.lower_body(&callee_inst, &callee_var, &mut callee_frame)?;
+        block.ops.append(&mut callee_block.ops);
+
+        for (r, (fresh, p)) in
+            resolved.iter().zip(fresh_ids.iter().zip(callee_var.params.iter()))
+        {
+            if p.privilege.can_write() {
+                self.check_parallel_write(&variant.name, r)?;
+                let mut pre = self.read_deps(*fresh);
+                pre.extend(self.write_deps(r.tensor));
+                let ev = self.emit(
+                    block,
+                    OpKind::Copy { src: TensorRef::whole(*fresh), dst: r.clone() },
+                    pre,
+                );
+                self.register_read(*fresh, ev.clone());
+                self.register_write(r.tensor, ev);
+            }
+        }
+        Ok(())
+    }
+
+    fn lower_call_external(
+        &mut self,
+        variant: &TaskVariant,
+        frame: &mut Frame,
+        f: LeafFn,
+        args: &[ArgExpr],
+        block: &mut Block,
+    ) -> Result<(), CompileError> {
+        let refs: Vec<TensorRef> =
+            args.iter().map(|a| self.resolve_arg(frame, a)).collect::<Result<_, _>>()?;
+        if refs.is_empty() {
+            return Err(CompileError::Unsupported("call-external with no arguments".into()));
+        }
+        let (reads, dst_reads) = leaf_effects(f, refs.len())?;
+        let dst = refs.last().expect("nonempty").clone();
+
+        // Privilege enforcement: the leaf may only write parameters its
+        // task declared writable, and only read readable ones.
+        let dst_priv = frame.privs.get(&dst.tensor).copied().unwrap_or(Privilege::ReadWrite);
+        if !dst_priv.can_write() {
+            return Err(CompileError::PrivilegeViolation {
+                variant: variant.name.clone(),
+                param: self.prog.tensors[dst.tensor].name.clone(),
+                detail: "leaf writes a tensor without write privilege".into(),
+            });
+        }
+        for &i in &reads {
+            let p = frame.privs.get(&refs[i].tensor).copied().unwrap_or(Privilege::ReadWrite);
+            if !p.can_read() {
+                return Err(CompileError::PrivilegeViolation {
+                    variant: variant.name.clone(),
+                    param: self.prog.tensors[refs[i].tensor].name.clone(),
+                    detail: "leaf reads a tensor without read privilege".into(),
+                });
+            }
+        }
+
+        let mut pre = Vec::new();
+        for &i in &reads {
+            pre.extend(self.read_deps(refs[i].tensor));
+        }
+        pre.extend(self.write_deps(dst.tensor));
+        if dst_reads {
+            pre.extend(self.read_deps(dst.tensor));
+        }
+        self.check_parallel_write(&variant.name, &dst)?;
+        let ev = self.emit(block, OpKind::Call { f, args: refs.clone() }, pre);
+        for &i in &reads {
+            self.register_read(refs[i].tensor, ev.clone());
+        }
+        self.register_write(dst.tensor, ev);
+        Ok(())
+    }
+}
+
+/// Read/write behaviour of an external function: `(read positions,
+/// destination-also-read)`. The destination is always the last argument.
+fn leaf_effects(f: LeafFn, arity: usize) -> Result<(Vec<usize>, bool), CompileError> {
+    let (expected, dst_reads): (usize, bool) = match f {
+        LeafFn::Fill(_) => (1, false),
+        LeafFn::CopyExt | LeafFn::Exp | LeafFn::Scale(_) => (2, false),
+        LeafFn::MmaAccum | LeafFn::MmaAccumBT => (3, true),
+        LeafFn::AddExt | LeafFn::MaxExt => (3, false),
+        LeafFn::RowMaxAccum | LeafFn::RowSumAccum => (2, true),
+        LeafFn::SubRow | LeafFn::MulRow | LeafFn::DivRow => (3, false),
+    };
+    if arity != expected {
+        return Err(CompileError::ArityMismatch {
+            task: format!("{f:?}"),
+            expected,
+            actual: arity,
+        });
+    }
+    Ok(((0..arity - 1).collect(), dst_reads))
+}

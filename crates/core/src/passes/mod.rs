@@ -1,0 +1,9 @@
+//! Compiler passes, in the order of the paper's Fig. 6: dependence
+//! analysis, vectorization, copy elimination, resource allocation, and
+//! warp specialization (with pipelining).
+
+pub mod alloc;
+pub mod copyelim;
+pub mod depan;
+pub mod vectorize;
+pub mod warpspec;

@@ -1,0 +1,911 @@
+//! Warp specialization, pipelining, and code generation
+//! (paper §4.2.5 and §4.2.6).
+//!
+//! This pass consumes the optimized IR and produces a
+//! [`cypress_sim::Kernel`]. It performs, in one walk:
+//!
+//! - **grid extraction**: the outer BLOCK-level `pfor` nest becomes the
+//!   kernel grid, its variables become block indices;
+//! - **warp specialization**: the dependence graph is partitioned — every
+//!   global→shared copy goes to the DMA warp, everything else to the
+//!   compute warpgroups (the partition of Fig. 12); dependence edges that
+//!   cross the partition become mbarrier pairs;
+//! - **pipelining**: loops containing DMA loads are software-pipelined to
+//!   the mapping's depth: pipelined buffers gain a stage dimension indexed
+//!   `k % PIPE`, and backwards (write-after-read) dependencies become the
+//!   consumer barriers the DMA warp waits on from iteration `PIPE` onward
+//!   (the dashed edges of Fig. 12, the `PIPE` logic of Fig. 1b);
+//! - **event lowering** (§4.2.6): TMA completion events become mbarrier
+//!   arrivals, Tensor Core events become `wgmma` group waits, cross-warp
+//!   events become shared-memory barriers, and point-wise event-array
+//!   dependencies dissolve into program order;
+//! - **fragment re-aggregation**: warp- and thread-level MMA partition
+//!   path entries are dropped, so the 128 per-thread pieces of Fig. 4
+//!   become one warpgroup-granular instruction (the simulator computes at
+//!   fragment granularity; see DESIGN.md §1).
+
+use crate::error::CompileError;
+use crate::front::machine::{MemLevel, ProcLevel};
+use crate::ir::{
+    Block, EventType, IdxExpr, IrProgram, Op, OpKind, PartKind, TensorId, VarId,
+};
+use crate::passes::alloc::Allocation;
+use cypress_sim::{
+    BinOp, Expr, Instr, Kernel, KernelBuilder, RedOp, RoleKind, SimtOp, Slice, UnOp,
+};
+use std::collections::{HashMap, HashSet};
+
+/// Scheduling options extracted from the mapping specification.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedOptions {
+    /// Split a DMA warp from the compute warpgroups.
+    pub warpspecialize: bool,
+    /// Software-pipeline depth for loops containing DMA loads.
+    pub pipeline: usize,
+}
+
+impl Default for SchedOptions {
+    fn default() -> Self {
+        SchedOptions { warpspecialize: true, pipeline: 2 }
+    }
+}
+
+/// Lower the optimized IR to a device kernel.
+///
+/// # Errors
+///
+/// Returns [`CompileError::Unsupported`] for program shapes outside the
+/// prototype's lowering (the paper's compiler has analogous limits), and
+/// propagates backend validation failures.
+pub fn lower(
+    prog: &IrProgram,
+    alloc: &Allocation,
+    opts: SchedOptions,
+) -> Result<Kernel, CompileError> {
+    let mut s = Scheduler::new(prog, alloc, opts)?;
+    s.build()
+}
+
+struct Scheduler<'a> {
+    prog: &'a IrProgram,
+    opts: SchedOptions,
+    /// Block-level pfor vars -> grid dimension (0 = x, 1 = y, 2 = z).
+    block_vars: HashMap<VarId, usize>,
+    #[allow(dead_code)]
+    grid: [usize; 3],
+    /// CTA-level body.
+    body: &'a Block,
+    n_wgs: usize,
+    builder: KernelBuilder,
+    param_of: HashMap<TensorId, usize>,
+    region_of: HashMap<TensorId, usize>,
+    frag_of: HashMap<TensorId, usize>,
+    /// Pipelined tensors and their stage count.
+    stages_of: HashMap<TensorId, usize>,
+    /// Producer/consumer mbarriers per DMA-loaded smem tensor.
+    prod_bar: HashMap<TensorId, usize>,
+    cons_bar: HashMap<TensorId, usize>,
+    copyout_bar: Option<usize>,
+    /// IR loop var -> sim loop var.
+    var_map: HashMap<VarId, usize>,
+    /// The innermost pipelined loop's variable (stage index source).
+    stage_var: Option<VarId>,
+    _alloc: &'a Allocation,
+}
+
+/// Classification of one IR op for the warp-specialization partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    DmaLoad,
+    DmaStore,
+    Compute,
+    Loop,
+}
+
+fn classify(prog: &IrProgram, op: &Op) -> Class {
+    match &op.kind {
+        OpKind::Copy { src, dst } => {
+            let sm = prog.tensors[src.tensor].mem;
+            let dm = prog.tensors[dst.tensor].mem;
+            match (sm, dm) {
+                (MemLevel::Global, MemLevel::Shared) => Class::DmaLoad,
+                (MemLevel::Shared, MemLevel::Global) => Class::DmaStore,
+                _ => Class::Compute,
+            }
+        }
+        OpKind::Call { .. } => Class::Compute,
+        OpKind::For { .. } | OpKind::Pfor { .. } => Class::Loop,
+    }
+}
+
+impl<'a> Scheduler<'a> {
+    fn new(
+        prog: &'a IrProgram,
+        alloc: &'a Allocation,
+        opts: SchedOptions,
+    ) -> Result<Self, CompileError> {
+        // Unwrap the outer BLOCK pfor nest.
+        let mut block_vars = HashMap::new();
+        let mut grid = [1usize; 3];
+        let mut cur: &Block = &prog.body;
+        let mut dim = 0;
+        loop {
+            if cur.ops.len() == 1 {
+                if let OpKind::Pfor { var, extent, proc: ProcLevel::Block, body } = &cur.ops[0].kind
+                {
+                    if dim >= 3 {
+                        return Err(CompileError::Unsupported("more than 3 grid dimensions".into()));
+                    }
+                    block_vars.insert(*var, dim);
+                    grid[dim] = *extent as usize;
+                    dim += 1;
+                    cur = body;
+                    continue;
+                }
+            }
+            break;
+        }
+        if dim == 0 {
+            return Err(CompileError::Unsupported(
+                "entrypoint must launch a parallel grid of BLOCK-level tasks".into(),
+            ));
+        }
+        // Number of warpgroups: widest WARPGROUP event dimension.
+        let mut n_wgs = 1usize;
+        fn scan_wgs(b: &Block, n: &mut usize) {
+            for op in &b.ops {
+                if let EventType::Array(dims) = &op.ty {
+                    for (e, p) in dims {
+                        if *p == ProcLevel::Warpgroup {
+                            *n = (*n).max(*e);
+                        }
+                    }
+                }
+                match &op.kind {
+                    OpKind::For { body, .. } | OpKind::Pfor { body, .. } => scan_wgs(body, n),
+                    _ => {}
+                }
+            }
+        }
+        scan_wgs(cur, &mut n_wgs);
+
+        let name = prog.name.clone();
+        Ok(Scheduler {
+            prog,
+            opts,
+            block_vars,
+            grid,
+            body: cur,
+            n_wgs,
+            builder: KernelBuilder::new(name, grid),
+            param_of: HashMap::new(),
+            region_of: HashMap::new(),
+            frag_of: HashMap::new(),
+            stages_of: HashMap::new(),
+            prod_bar: HashMap::new(),
+            cons_bar: HashMap::new(),
+            copyout_bar: None,
+            var_map: HashMap::new(),
+            stage_var: None,
+            _alloc: alloc,
+        })
+    }
+
+    fn build(&mut self) -> Result<Kernel, CompileError> {
+        // Declare parameters in declaration order.
+        let mut params: Vec<&crate::ir::TensorDecl> =
+            self.prog.tensors.iter().filter(|t| t.param.is_some()).collect();
+        params.sort_by_key(|t| t.param);
+        for t in params {
+            let idx = self.builder.param(t.name.clone(), t.rows, t.cols, t.dtype);
+            self.param_of.insert(t.id, idx);
+        }
+
+        // Find DMA-loaded tensors (per loop or prologue) to size stages.
+        let mut loaded_in_loop: HashSet<TensorId> = HashSet::new();
+        let mut loaded_outside: HashSet<TensorId> = HashSet::new();
+        fn scan_loads(
+            prog: &IrProgram,
+            b: &Block,
+            in_loop: bool,
+            il: &mut HashSet<TensorId>,
+            ol: &mut HashSet<TensorId>,
+        ) {
+            for op in &b.ops {
+                match &op.kind {
+                    OpKind::Copy { .. } if classify(prog, op) == Class::DmaLoad => {
+                        if let OpKind::Copy { dst, .. } = &op.kind {
+                            if in_loop {
+                                il.insert(dst.tensor);
+                            } else {
+                                ol.insert(dst.tensor);
+                            }
+                        }
+                    }
+                    OpKind::For { body, .. } => scan_loads(prog, body, true, il, ol),
+                    OpKind::Pfor { body, .. } => scan_loads(prog, body, in_loop, il, ol),
+                    _ => {}
+                }
+            }
+        }
+        scan_loads(self.prog, self.body, false, &mut loaded_in_loop, &mut loaded_outside);
+
+        // Declare shared regions and register fragments for every tensor
+        // that survives in the body.
+        let mut used: HashSet<TensorId> = HashSet::new();
+        fn scan_used(b: &Block, used: &mut HashSet<TensorId>) {
+            for op in &b.ops {
+                match &op.kind {
+                    OpKind::Copy { src, dst } => {
+                        used.insert(src.tensor);
+                        used.insert(dst.tensor);
+                    }
+                    OpKind::Call { args, .. } => {
+                        for a in args {
+                            used.insert(a.tensor);
+                        }
+                    }
+                    OpKind::For { body, .. } | OpKind::Pfor { body, .. } => scan_used(body, used),
+                }
+            }
+        }
+        scan_used(self.body, &mut used);
+        let mut used: Vec<TensorId> = used.into_iter().collect();
+        used.sort_unstable();
+        let pipe = self.opts.pipeline.max(1);
+        for &t in &used {
+            let d = &self.prog.tensors[t];
+            match d.mem {
+                MemLevel::Shared => {
+                    let stages = if loaded_in_loop.contains(&t) { pipe } else { 1 };
+                    let r = self.builder.smem(d.name.clone(), d.rows, d.cols, d.dtype, stages);
+                    self.region_of.insert(t, r);
+                    self.stages_of.insert(t, stages);
+                }
+                MemLevel::Register => {
+                    let f = self.builder.frag(d.name.clone(), d.rows, d.cols);
+                    self.frag_of.insert(t, f);
+                }
+                MemLevel::Global => {
+                    if !self.param_of.contains_key(&t) {
+                        return Err(CompileError::Unsupported(format!(
+                            "non-parameter global tensor `{}` survives lowering",
+                            d.name
+                        )));
+                    }
+                }
+                MemLevel::None => {
+                    return Err(CompileError::NoneMemoryMaterialized { tensor: d.name.clone() })
+                }
+            }
+        }
+
+        // Barriers: one prod/cons pair per DMA-loaded smem tensor, plus a
+        // copyout barrier if there is a DMA store fed by compute results.
+        let mut all_loaded: Vec<TensorId> =
+            loaded_in_loop.iter().chain(loaded_outside.iter()).copied().collect();
+        all_loaded.sort_unstable();
+        all_loaded.dedup();
+        for t in &all_loaded {
+            let p = self.builder.mbar(1);
+            self.prod_bar.insert(*t, p);
+        }
+        let mut in_loop_sorted: Vec<TensorId> = loaded_in_loop.iter().copied().collect();
+        in_loop_sorted.sort_unstable();
+        for t in &in_loop_sorted {
+            let c = self.builder.mbar(self.n_wgs);
+            self.cons_bar.insert(*t, c);
+        }
+        let has_store = {
+            let mut any = false;
+            fn scan_store(prog: &IrProgram, b: &Block, any: &mut bool) {
+                for op in &b.ops {
+                    match &op.kind {
+                        OpKind::For { body, .. } | OpKind::Pfor { body, .. } => {
+                            scan_store(prog, body, any)
+                        }
+                        _ => {
+                            if classify(prog, op) == Class::DmaStore {
+                                *any = true;
+                            }
+                        }
+                    }
+                }
+            }
+            scan_store(self.prog, self.body, &mut any);
+            any
+        };
+        if has_store {
+            self.copyout_bar = Some(self.builder.mbar(self.n_wgs));
+        }
+
+        // Pre-allocate sim loop vars for every IR For var.
+        fn scan_fors(b: &Block, vars: &mut Vec<VarId>) {
+            for op in &b.ops {
+                match &op.kind {
+                    OpKind::For { var, body, .. } => {
+                        vars.push(*var);
+                        scan_fors(body, vars);
+                    }
+                    OpKind::Pfor { body, .. } => scan_fors(body, vars),
+                    _ => {}
+                }
+            }
+        }
+        let mut fors = Vec::new();
+        scan_fors(self.body, &mut fors);
+        for v in fors {
+            let sv = self.builder.fresh_var();
+            self.var_map.insert(v, sv);
+        }
+
+        // Emit roles.
+        let wgs = self.n_wgs;
+        if self.opts.warpspecialize {
+            let dma = self.emit_dma(self.body)?;
+            self.builder.role(RoleKind::Dma, dma);
+            for wg in 0..wgs {
+                let body = self.emit_compute(self.body, wg, true)?;
+                self.builder.role(RoleKind::Compute(wg), body);
+            }
+        } else {
+            // Bulk-synchronous: warpgroup 0 issues the data movement inline.
+            for wg in 0..wgs {
+                let body = self.emit_compute(self.body, wg, false)?;
+                self.builder.role(RoleKind::Compute(wg), body);
+            }
+        }
+
+        let b = std::mem::replace(&mut self.builder, KernelBuilder::new("done", [1, 1, 1]));
+        Ok(b.build())
+    }
+
+    // ---- DMA role ---------------------------------------------------------
+
+    fn emit_dma(&mut self, block: &Block) -> Result<Vec<Instr>, CompileError> {
+        let mut out = Vec::new();
+        let mut pending_store = false;
+        for op in &block.ops {
+            match classify(self.prog, op) {
+                Class::DmaLoad => {
+                    let OpKind::Copy { src, dst } = &op.kind else { unreachable!() };
+                    let s = self.slice(src, 0)?;
+                    let d = self.slice(dst, 0)?;
+                    let bar = self.prod_bar[&dst.tensor];
+                    out.push(Instr::TmaLoad { src: s, dst: d, bar });
+                }
+                Class::DmaStore => {
+                    let OpKind::Copy { src, dst } = &op.kind else { unreachable!() };
+                    if let Some(co) = self.copyout_bar {
+                        if !pending_store {
+                            out.push(Instr::MbarWait { bar: co });
+                            pending_store = true;
+                        }
+                    }
+                    let s = self.slice(src, 0)?;
+                    let d = self.slice(dst, 0)?;
+                    out.push(Instr::TmaStore { src: s, dst: d });
+                }
+                Class::Compute => {}
+                Class::Loop => {
+                    let (var, extent, body, parallel) = match &op.kind {
+                        OpKind::For { var, extent, body } => (*var, *extent, body, false),
+                        OpKind::Pfor { var, extent, body, .. } => (*var, *extent, body, true),
+                        _ => unreachable!(),
+                    };
+                    if parallel {
+                        return Err(CompileError::Unsupported(
+                            "nested non-BLOCK pfor survived vectorization".into(),
+                        ));
+                    }
+                    // Does this loop contain DMA loads? Then it is a main
+                    // (pipelined) loop for the DMA warp.
+                    let mut il = HashSet::new();
+                    let mut ol = HashSet::new();
+                    scan_loads_block(self.prog, body, &mut il, &mut ol);
+                    let loads: Vec<TensorId> = {
+                        let mut v: Vec<TensorId> = il.union(&ol).copied().collect();
+                        v.sort_unstable();
+                        v
+                    };
+                    let prev_stage = self.stage_var;
+                    if !loads.is_empty() {
+                        self.stage_var = Some(var);
+                    }
+                    let inner = self.emit_dma(body)?;
+                    self.stage_var = prev_stage;
+                    if inner.is_empty() {
+                        continue;
+                    }
+                    let sv = self.var_map[&var];
+                    let mut guarded = Vec::new();
+                    if !loads.is_empty() {
+                        // Backwards WAR dependencies: from iteration `stages`
+                        // onward, wait for the consumer to free each buffer.
+                        let pipe = self.opts.pipeline.max(1) as i64;
+                        let mut waits = Vec::new();
+                        for t in &loads {
+                            if let Some(c) = self.cons_bar.get(t) {
+                                waits.push(Instr::MbarWait { bar: *c });
+                            }
+                        }
+                        if !waits.is_empty() {
+                            guarded.push(Instr::If {
+                                cond: cypress_sim::Cond::Ge(Expr::var(sv), Expr::lit(pipe)),
+                                then_: waits,
+                                else_: vec![],
+                            });
+                        }
+                    }
+                    guarded.extend(inner);
+                    out.push(Instr::Loop { var: sv, count: Expr::lit(extent), body: guarded });
+                }
+            }
+        }
+        if pending_store {
+            out.push(Instr::TmaStoreWait);
+        }
+        Ok(out)
+    }
+
+    // ---- compute roles ----------------------------------------------------
+
+    fn emit_compute(
+        &mut self,
+        block: &Block,
+        wg: usize,
+        warpspec: bool,
+    ) -> Result<Vec<Instr>, CompileError> {
+        let mut st = ComputeState::default();
+        // Prologue loads (outside any loop) must also be awaited.
+        for op in &block.ops {
+            if classify(self.prog, op) == Class::DmaLoad {
+                if let OpKind::Copy { dst, .. } = &op.kind {
+                    st.dma_loaded.insert(dst.tensor);
+                }
+            }
+        }
+        let mut out = self.emit_compute_block(block, wg, warpspec, &mut st)?;
+        // Final arrivals: release the copyout barrier after all work.
+        if let Some(co) = self.copyout_bar {
+            flush_wgmma(&mut out, &mut st, 0);
+            out.push(Instr::MbarArrive { bar: co });
+        }
+        Ok(out)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn emit_compute_block(
+        &mut self,
+        block: &Block,
+        wg: usize,
+        warpspec: bool,
+        st: &mut ComputeState,
+    ) -> Result<Vec<Instr>, CompileError> {
+        let mut out = Vec::new();
+        for op in &block.ops {
+            match classify(self.prog, op) {
+                Class::DmaLoad => {
+                    if !warpspec && wg == 0 {
+                        // Bulk-synchronous mode: warpgroup 0 issues the load.
+                        let OpKind::Copy { src, dst } = &op.kind else { unreachable!() };
+                        let s = self.slice(src, wg)?;
+                        let d = self.slice(dst, wg)?;
+                        let bar = self.prod_bar[&dst.tensor];
+                        out.push(Instr::TmaLoad { src: s, dst: d, bar });
+                    }
+                }
+                Class::DmaStore => {
+                    if !warpspec && wg == 0 {
+                        let OpKind::Copy { src, dst } = &op.kind else { unreachable!() };
+                        flush_wgmma(&mut out, st, 0);
+                        let s = self.slice(src, wg)?;
+                        let d = self.slice(dst, wg)?;
+                        out.push(Instr::TmaStore { src: s, dst: d });
+                        out.push(Instr::TmaStoreWait);
+                    }
+                }
+                Class::Compute => {
+                    // Skip ops that belong to other warpgroups.
+                    if !self.op_on_wg(op, wg) {
+                        continue;
+                    }
+                    let (reads, writes) = self.op_data(op, wg)?;
+                    // Producer waits: first touch of a DMA-loaded buffer.
+                    for t in reads.iter().chain(writes.iter()) {
+                        self.wait_prod(&mut out, st, *t);
+                    }
+                    // Tensor Core hazards (a wgmma issues asynchronously; a
+                    // subsequent conflicting op must group-wait first).
+                    if !matches!(
+                        &op.kind,
+                        OpKind::Call {
+                            f: crate::front::ast::LeafFn::MmaAccum
+                                | crate::front::ast::LeafFn::MmaAccumBT,
+                            ..
+                        }
+                    ) {
+                        if let Some(i) = st.last_conflict(&writes, &reads) {
+                            let pending = st.outstanding.len() - 1 - i;
+                            flush_wgmma(&mut out, st, pending);
+                        }
+                    }
+                    self.emit_op(op, wg, &mut out, st)?;
+                }
+                Class::Loop => {
+                    let (var, extent, body) = match &op.kind {
+                        OpKind::For { var, extent, body } => (*var, *extent, body),
+                        OpKind::Pfor { .. } => {
+                            return Err(CompileError::Unsupported(
+                                "nested non-BLOCK pfor survived vectorization".into(),
+                            ))
+                        }
+                        _ => unreachable!(),
+                    };
+                    let mut il = HashSet::new();
+                    let mut ol = HashSet::new();
+                    scan_loads_block(self.prog, body, &mut il, &mut ol);
+                    let is_main = !il.is_empty() || !ol.is_empty();
+                    let prev_stage = self.stage_var;
+                    if is_main {
+                        self.stage_var = Some(var);
+                    }
+                    let mut inner_st = ComputeState::default();
+                    if is_main {
+                        // Buffers loaded this iteration need prod waits.
+                        inner_st.dma_loaded = il.union(&ol).copied().collect();
+                    } else {
+                        // Hoist producer waits out of the inner loop — a
+                        // wait inside would consume one phase per inner
+                        // iteration.
+                        let mut touched = HashSet::new();
+                        collect_touched(body, &mut touched);
+                        let mut need: Vec<TensorId> = touched
+                            .iter()
+                            .filter(|t| st.dma_loaded.contains(t) && !st.waited.contains(*t))
+                            .copied()
+                            .collect();
+                        need.sort_unstable();
+                        for t in need {
+                            self.wait_prod(&mut out, st, t);
+                        }
+                        inner_st.dma_loaded = st.dma_loaded.clone();
+                        inner_st.waited = st.waited.clone();
+                        inner_st.outstanding = std::mem::take(&mut st.outstanding);
+                    }
+                    let mut inner = self.emit_compute_block(body, wg, warpspec, &mut inner_st)?;
+                    // End of iteration: retire Tensor Core work that reads
+                    // pipelined buffers, then release them to the DMA warp.
+                    if is_main {
+                        let mut sorted: Vec<TensorId> =
+                            inner_st.dma_loaded.iter().copied().collect();
+                        sorted.sort_unstable();
+                        if let Some(i) = inner_st.last_conflict(&sorted, &[]) {
+                            let pending = inner_st.outstanding.len() - 1 - i;
+                            flush_wgmma(&mut inner, &mut inner_st, pending);
+                        }
+                        for t in &sorted {
+                            if let Some(c) = self.cons_bar.get(t) {
+                                inner.push(Instr::MbarArrive { bar: *c });
+                            }
+                        }
+                    } else {
+                        // Propagate hazards out of the inner loop.
+                        st.outstanding = std::mem::take(&mut inner_st.outstanding);
+                        st.waited = inner_st.waited.clone();
+                    }
+                    self.stage_var = prev_stage;
+                    if inner.is_empty() {
+                        continue;
+                    }
+                    let sv = self.var_map[&var];
+                    out.push(Instr::Loop { var: sv, count: Expr::lit(extent), body: inner });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Does this op execute on warpgroup `wg`? Ops without a warpgroup
+    /// event dimension run on warpgroup 0.
+    fn op_on_wg(&self, op: &Op, wg: usize) -> bool {
+        match &op.ty {
+            EventType::Array(dims) => {
+                for (e, p) in dims {
+                    if *p == ProcLevel::Warpgroup {
+                        return wg < *e;
+                    }
+                }
+                wg == 0
+            }
+            EventType::Unit => wg == 0,
+        }
+    }
+
+    /// Base tensors an op reads/writes after truncation.
+    fn op_data(&self, op: &Op, _wg: usize) -> Result<(Vec<TensorId>, Vec<TensorId>), CompileError> {
+        Ok(match &op.kind {
+            OpKind::Copy { src, dst } => (vec![src.tensor], vec![dst.tensor]),
+            OpKind::Call { f, args } => {
+                let dst = args.last().expect("call has destination").tensor;
+                let mut reads: Vec<TensorId> =
+                    args[..args.len() - 1].iter().map(|r| r.tensor).collect();
+                if f.dst_reads() {
+                    reads.push(dst);
+                }
+                (reads, vec![dst])
+            }
+            _ => (vec![], vec![]),
+        })
+    }
+
+    fn wait_prod(&mut self, out: &mut Vec<Instr>, st: &mut ComputeState, t: TensorId) {
+        if st.dma_loaded.contains(&t) && !st.waited.contains(&t) {
+            if let Some(p) = self.prod_bar.get(&t) {
+                out.push(Instr::MbarWait { bar: *p });
+                st.waited.insert(t);
+            }
+        }
+    }
+
+    fn emit_op(
+        &mut self,
+        op: &Op,
+        wg: usize,
+        out: &mut Vec<Instr>,
+        st: &mut ComputeState,
+    ) -> Result<(), CompileError> {
+        match &op.kind {
+            OpKind::Copy { src, dst } => {
+                let s = self.slice(src, wg)?;
+                let d = self.slice(dst, wg)?;
+                out.push(Instr::Simt(SimtOp::Copy { src: s, dst: d }));
+            }
+            OpKind::Call { f, args } => {
+                use crate::front::ast::LeafFn as L;
+                let sl = |me: &mut Self, i: usize| me.slice(&args[i], wg);
+                match f {
+                    L::MmaAccum | L::MmaAccumBT => {
+                        let a = sl(self, 0)?;
+                        let b = sl(self, 1)?;
+                        let acc = sl(self, 2)?;
+                        let reads = vec![args[0].tensor, args[1].tensor];
+                        let writes = vec![args[2].tensor];
+                        out.push(Instr::Wgmma {
+                            a,
+                            b,
+                            acc,
+                            accumulate: true,
+                            transpose_b: matches!(f, L::MmaAccumBT),
+                        });
+                        st.outstanding.push(WgmmaHazard { reads, writes });
+                    }
+                    L::Fill(v) => {
+                        let d = sl(self, 0)?;
+                        out.push(Instr::Simt(SimtOp::Fill { dst: d, value: *v }));
+                    }
+                    L::CopyExt => {
+                        let s = sl(self, 0)?;
+                        let d = sl(self, 1)?;
+                        out.push(Instr::Simt(SimtOp::Copy { src: s, dst: d }));
+                    }
+                    L::Exp => {
+                        let s = sl(self, 0)?;
+                        let d = sl(self, 1)?;
+                        out.push(Instr::Simt(SimtOp::Map { op: UnOp::Exp, src: s, dst: d }));
+                    }
+                    L::Scale(c) => {
+                        let s = sl(self, 0)?;
+                        let d = sl(self, 1)?;
+                        out.push(Instr::Simt(SimtOp::Map { op: UnOp::Scale(*c), src: s, dst: d }));
+                    }
+                    L::AddExt | L::MaxExt => {
+                        let a = sl(self, 0)?;
+                        let b = sl(self, 1)?;
+                        let d = sl(self, 2)?;
+                        let bin = if matches!(f, L::AddExt) { BinOp::Add } else { BinOp::Max };
+                        out.push(Instr::Simt(SimtOp::Zip { op: bin, a, b, dst: d }));
+                    }
+                    L::RowMaxAccum | L::RowSumAccum => {
+                        let s = sl(self, 0)?;
+                        let d = sl(self, 1)?;
+                        let red = if matches!(f, L::RowMaxAccum) { RedOp::Max } else { RedOp::Sum };
+                        out.push(Instr::Simt(SimtOp::RowReduce {
+                            op: red,
+                            src: s,
+                            dst: d,
+                            include_dst: true,
+                        }));
+                    }
+                    L::SubRow | L::MulRow | L::DivRow => {
+                        let s = sl(self, 0)?;
+                        let r = sl(self, 1)?;
+                        let d = sl(self, 2)?;
+                        let bin = match f {
+                            L::SubRow => BinOp::Sub,
+                            L::MulRow => BinOp::Mul,
+                            _ => BinOp::Div,
+                        };
+                        out.push(Instr::Simt(SimtOp::RowZip { op: bin, src: s, row: r, dst: d }));
+                    }
+                }
+            }
+            _ => unreachable!("loops handled by the caller"),
+        }
+        Ok(())
+    }
+
+    // ---- slices -----------------------------------------------------------
+
+    /// Translate a tensor reference into a simulator slice, truncating the
+    /// path at the first warp/thread-level MMA entry (fragment
+    /// re-aggregation) and accumulating affine offsets.
+    fn slice(&self, r: &crate::ir::TensorRef, wg: usize) -> Result<Slice, CompileError> {
+        let decl = &self.prog.tensors[r.tensor];
+        let mut row0 = Expr::lit(0);
+        let mut col0 = Expr::lit(0);
+        let mut rows = decl.rows;
+        let mut cols = decl.cols;
+        for (pid, idx) in &r.path {
+            let part = &self.prog.parts[*pid];
+            match &part.kind {
+                PartKind::Blocks { tile_rows, tile_cols, .. } => {
+                    if idx.len() != 2 {
+                        return Err(CompileError::Unsupported(
+                            "blocks partitions are indexed with 2 coordinates".into(),
+                        ));
+                    }
+                    let ri = self.tr_idx(&idx[0], wg)?;
+                    let ci = self.tr_idx(&idx[1], wg)?;
+                    row0 = row0 + ri * (*tile_rows as i64);
+                    col0 = col0 + ci * (*tile_cols as i64);
+                    rows = *tile_rows;
+                    cols = *tile_cols;
+                }
+                PartKind::Mma { level, .. }
+                    if matches!(level, ProcLevel::Warp | ProcLevel::Thread) =>
+                {
+                    // Fragment re-aggregation: the collective warpgroup
+                    // operation covers all warp/thread pieces.
+                    break;
+                }
+                PartKind::Mma { .. } => {
+                    return Err(CompileError::Unsupported(
+                        "mma partitions above the warp level".into(),
+                    ));
+                }
+            }
+        }
+        let mut s = if let Some(p) = self.param_of.get(&r.tensor) {
+            Slice::param(*p)
+        } else if let Some(reg) = self.region_of.get(&r.tensor) {
+            let mut s = Slice::smem(*reg);
+            if self.stages_of.get(&r.tensor).copied().unwrap_or(1) > 1 {
+                let v = self.stage_var.ok_or_else(|| {
+                    CompileError::Unsupported("pipelined buffer used outside its loop".into())
+                })?;
+                let sv = self.var_map[&v];
+                let pipe = self.opts.pipeline.max(1) as i64;
+                s = s.stage(Expr::var(sv) % pipe);
+            }
+            s
+        } else if let Some(f) = self.frag_of.get(&r.tensor) {
+            Slice::frag(*f)
+        } else {
+            return Err(CompileError::Unsupported(format!(
+                "tensor `{}` has no physical home",
+                decl.name
+            )));
+        };
+        s = s.at(row0, col0).extent(rows, cols);
+        Ok(s)
+    }
+
+    fn tr_idx(&self, i: &IdxExpr, wg: usize) -> Result<Expr, CompileError> {
+        let base: Expr = match i.var {
+            None => return Ok(Expr::lit(i.offset)),
+            Some(v) => {
+                if let Some(dim) = self.block_vars.get(&v) {
+                    match dim {
+                        0 => Expr::block_x(),
+                        1 => Expr::block_y(),
+                        _ => Expr::block_z(),
+                    }
+                } else if let Some(level) = self.prog.proc_vars.get(&v) {
+                    match level {
+                        ProcLevel::Warpgroup => Expr::lit(wg as i64),
+                        other => {
+                            return Err(CompileError::Unsupported(format!(
+                                "{other}-level index survives fragment re-aggregation"
+                            )))
+                        }
+                    }
+                } else if let Some(sv) = self.var_map.get(&v) {
+                    Expr::var(*sv)
+                } else {
+                    return Err(CompileError::Unsupported(format!("unmapped loop variable i{v}")));
+                }
+            }
+        };
+        Ok(base * i.scale + i.offset)
+    }
+}
+
+fn scan_loads_block(
+    prog: &IrProgram,
+    b: &Block,
+    il: &mut HashSet<TensorId>,
+    ol: &mut HashSet<TensorId>,
+) {
+    for op in &b.ops {
+        match &op.kind {
+            OpKind::Copy { src, dst } => {
+                if prog.tensors[src.tensor].mem == MemLevel::Global
+                    && prog.tensors[dst.tensor].mem == MemLevel::Shared
+                {
+                    ol.insert(dst.tensor);
+                }
+            }
+            OpKind::For { body, .. } | OpKind::Pfor { body, .. } => {
+                scan_loads_block(prog, body, il, ol);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Tensor Core hazard: an outstanding `wgmma`'s read/write sets.
+#[derive(Debug, Clone)]
+struct WgmmaHazard {
+    reads: Vec<TensorId>,
+    writes: Vec<TensorId>,
+}
+
+#[derive(Debug, Default)]
+struct ComputeState {
+    outstanding: Vec<WgmmaHazard>,
+    dma_loaded: HashSet<TensorId>,
+    waited: HashSet<TensorId>,
+}
+
+impl ComputeState {
+    /// Index of the most recent outstanding `wgmma` conflicting with an op
+    /// that reads `reads` and writes `writes`.
+    fn last_conflict(&self, writes: &[TensorId], reads: &[TensorId]) -> Option<usize> {
+        for (i, h) in self.outstanding.iter().enumerate().rev() {
+            let raw = reads.iter().any(|t| h.writes.contains(t));
+            let war = writes.iter().any(|t| h.reads.contains(t) || h.writes.contains(t));
+            if raw || war {
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+/// Emit a `wgmma` group wait leaving at most `pending` outstanding.
+fn flush_wgmma(out: &mut Vec<Instr>, st: &mut ComputeState, pending: usize) {
+    if st.outstanding.len() > pending {
+        out.push(Instr::WgmmaWait { pending });
+        let keep_from = st.outstanding.len() - pending;
+        st.outstanding = st.outstanding.split_off(keep_from);
+    }
+}
+
+/// Base tensors referenced anywhere in a block subtree.
+fn collect_touched(b: &Block, out: &mut HashSet<TensorId>) {
+    for op in &b.ops {
+        match &op.kind {
+            OpKind::Copy { src, dst } => {
+                out.insert(src.tensor);
+                out.insert(dst.tensor);
+            }
+            OpKind::Call { args, .. } => {
+                for a in args {
+                    out.insert(a.tensor);
+                }
+            }
+            OpKind::For { body, .. } | OpKind::Pfor { body, .. } => collect_touched(body, out),
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Simulator error types.
+
+use crate::expr::EvalError;
+use crate::kernel::KernelError;
+use std::fmt;
+
+/// Error raised while launching or executing a kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The kernel failed static validation.
+    Kernel(KernelError),
+    /// An index expression failed to evaluate.
+    Eval {
+        /// Underlying evaluation failure.
+        source: EvalError,
+        /// Where it happened (role, program counter).
+        context: String,
+    },
+    /// A resolved slice fell outside its memory object.
+    OutOfBounds {
+        /// Description of the access.
+        what: String,
+    },
+    /// The number of bound tensors differs from the kernel's parameters.
+    ParamCountMismatch {
+        /// Parameters declared.
+        expected: usize,
+        /// Tensors supplied.
+        actual: usize,
+    },
+    /// A bound tensor's element count differs from its parameter declaration.
+    ParamShapeMismatch {
+        /// Parameter index.
+        index: usize,
+        /// Elements declared.
+        expected: usize,
+        /// Elements supplied.
+        actual: usize,
+    },
+    /// Execution stalled: every unfinished executor is blocked and no event
+    /// is pending. The strings describe each blocked executor, which is the
+    /// compiler developer's primary debugging aid for synchronization bugs.
+    Deadlock {
+        /// One description per blocked executor.
+        blocked: Vec<String>,
+    },
+    /// The event budget was exhausted (runaway program guard).
+    EventLimit,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Kernel(e) => write!(f, "kernel validation failed: {e}"),
+            SimError::Eval { source, context } => {
+                write!(f, "index evaluation failed at {context}: {source}")
+            }
+            SimError::OutOfBounds { what } => write!(f, "out-of-bounds access: {what}"),
+            SimError::ParamCountMismatch { expected, actual } => {
+                write!(f, "expected {expected} parameter tensors, got {actual}")
+            }
+            SimError::ParamShapeMismatch { index, expected, actual } => {
+                write!(f, "parameter {index}: expected {expected} elements, got {actual}")
+            }
+            SimError::Deadlock { blocked } => {
+                write!(f, "deadlock: {} executors blocked [{}]", blocked.len(), blocked.join("; "))
+            }
+            SimError::EventLimit => write!(f, "event budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Kernel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<KernelError> for SimError {
+    fn from(e: KernelError) -> Self {
+        SimError::Kernel(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let e = SimError::Deadlock { blocked: vec!["cta0/wg0 pc=3 waiting mbar 1".into()] };
+        assert!(e.to_string().contains("deadlock"));
+        let e = SimError::ParamCountMismatch { expected: 3, actual: 1 };
+        assert!(e.to_string().contains('3'));
+    }
+}

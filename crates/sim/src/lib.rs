@@ -1,0 +1,129 @@
+//! Discrete-event functional and timing simulator of a Hopper-class GPU.
+//!
+//! This crate is the hardware substrate of the Cypress reproduction (see
+//! DESIGN.md §1): instead of CUDA on an H100, compiled kernels target a
+//! [`Kernel`] device-program representation executed by [`Simulator`]. The
+//! simulated machine has the units the paper's generated code exercises:
+//!
+//! - per-SM **TMA** engines performing asynchronous bulk copies that
+//!   complete on **mbarriers**,
+//! - per-SM **Tensor Cores** executing asynchronous `wgmma` operations
+//!   observed with group waits,
+//! - SIMT ALUs/SFUs for warpgroup math, `cp.async` fallback loads,
+//!   named barriers and `__syncthreads`,
+//! - shared L2/HBM bandwidth, occupancy-limited CTA scheduling, and
+//!   per-CTA launch overheads (which is where the §5.3 persistent-kernel
+//!   effect comes from).
+//!
+//! Two modes (see [`Simulator::run_functional`] and
+//! [`Simulator::run_timing`]): functional runs move real data for
+//! correctness checks; timing runs reproduce the schedule at paper-scale
+//! problem sizes in milliseconds of host time.
+//!
+//! # Example
+//!
+//! ```
+//! use cypress_sim::{KernelBuilder, RoleKind, Instr, Slice, Simulator, MachineConfig};
+//! use cypress_tensor::{Tensor, DType};
+//!
+//! // A kernel whose single warpgroup fills its output with 7.
+//! let mut b = KernelBuilder::new("fill7", [1, 1, 1]);
+//! let out = b.param("out", 8, 8, DType::F32);
+//! let frag = b.frag("f", 8, 8);
+//! b.role(RoleKind::Compute(0), vec![
+//!     Instr::Simt(cypress_sim::SimtOp::Fill { dst: Slice::frag(frag).extent(8, 8), value: 7.0 }),
+//!     Instr::Simt(cypress_sim::SimtOp::Copy {
+//!         src: Slice::frag(frag).extent(8, 8),
+//!         dst: Slice::param(out).extent(8, 8),
+//!     }),
+//! ]);
+//! let kernel = b.build();
+//!
+//! let sim = Simulator::new(MachineConfig::test_gpu());
+//! let run = sim.run_functional(&kernel, vec![Tensor::zeros(DType::F32, &[8, 8])])?;
+//! assert_eq!(run.params[0].get(&[3, 3])?, 7.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod builder;
+pub mod engine;
+pub mod error;
+pub mod expr;
+pub mod flatten;
+pub mod instr;
+pub mod kernel;
+pub mod machine;
+pub mod mem;
+pub mod report;
+
+pub use builder::KernelBuilder;
+pub use error::SimError;
+pub use expr::{Cond, Env, Expr};
+pub use instr::{BinOp, Instr, RedOp, SimtOp, UnOp};
+pub use kernel::{Kernel, KernelError, MbarDecl, Role, RoleKind, StaticTotals};
+pub use machine::MachineConfig;
+pub use mem::{FragDecl, MemRef, ParamDecl, Slice, SmemDecl, Space};
+pub use report::TimingReport;
+
+use cypress_tensor::Tensor;
+use engine::{Engine, Mode};
+
+/// The simulator: a machine configuration plus launch entry points.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    machine: MachineConfig,
+}
+
+/// Result of a functional run: the (mutated) parameter tensors plus the
+/// timing report of the same schedule.
+#[derive(Debug, Clone)]
+pub struct FunctionalRun {
+    /// Parameter tensors after execution, in declaration order.
+    pub params: Vec<Tensor>,
+    /// Timing report for the simulated schedule.
+    pub report: TimingReport,
+}
+
+impl Simulator {
+    /// A simulator for `machine`.
+    #[must_use]
+    pub fn new(machine: MachineConfig) -> Self {
+        Simulator { machine }
+    }
+
+    /// The machine being simulated.
+    #[must_use]
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// Execute `kernel` functionally: every CTA runs and `params` data is
+    /// really moved and computed on. Returns the mutated tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on validation failure, parameter mismatch,
+    /// out-of-bounds access, deadlock, or event-budget exhaustion.
+    pub fn run_functional(
+        &self,
+        kernel: &Kernel,
+        params: Vec<Tensor>,
+    ) -> Result<FunctionalRun, SimError> {
+        let engine = Engine::new(kernel, &self.machine, Mode::Functional, Some(params))?;
+        let (report, params) = engine.run()?;
+        Ok(FunctionalRun { params: params.expect("functional mode returns params"), report })
+    }
+
+    /// Execute `kernel` in timing mode: no data moves; the busiest SM's
+    /// share of CTAs is simulated and the full-launch makespan is derived.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on validation failure, deadlock, or
+    /// event-budget exhaustion.
+    pub fn run_timing(&self, kernel: &Kernel) -> Result<TimingReport, SimError> {
+        let engine = Engine::new(kernel, &self.machine, Mode::Timing, None)?;
+        let (report, _) = engine.run()?;
+        Ok(report)
+    }
+}

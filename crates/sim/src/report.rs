@@ -1,0 +1,115 @@
+//! Timing reports produced by simulation runs.
+
+use std::fmt;
+
+/// Result of a timing (or functional) simulation of one kernel launch.
+///
+/// Utilization figures refer to the simulated (busiest) SM; the benchmark
+/// harness uses [`TimingReport::seconds`] and computes figure-specific
+/// TFLOP/s from the workload's algorithmic FLOP count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    /// Kernel name.
+    pub kernel: String,
+    /// Makespan in cycles, including launch overheads.
+    pub cycles: f64,
+    /// Makespan in seconds at the machine clock.
+    pub seconds: f64,
+    /// Tensor Core FLOPs executed across the whole launch.
+    pub tc_flops: f64,
+    /// SIMT FLOPs executed across the whole launch.
+    pub simt_flops: f64,
+    /// `(tc_flops + simt_flops) / seconds / 1e12`.
+    pub achieved_tflops: f64,
+    /// Tensor Core busy fraction on the simulated SM.
+    pub tc_utilization: f64,
+    /// TMA unit busy fraction on the simulated SM.
+    pub tma_utilization: f64,
+    /// SIMT ALU busy fraction on the simulated SM.
+    pub simt_utilization: f64,
+    /// Logical CTAs launched.
+    pub ctas: usize,
+    /// CTAs actually simulated (the busiest SM's share).
+    pub simulated_ctas: usize,
+    /// SMs with at least one CTA.
+    pub active_sms: usize,
+    /// Resident CTAs per SM (occupancy).
+    pub ctas_per_sm: usize,
+    /// Global bytes loaded across the launch.
+    pub load_bytes: f64,
+    /// Global bytes stored across the launch.
+    pub store_bytes: f64,
+    /// Estimated L2 hit fraction applied to loads.
+    pub l2_hit: f64,
+    /// Discrete events processed.
+    pub events: u64,
+}
+
+impl TimingReport {
+    /// TFLOP/s for an externally supplied algorithmic FLOP count (the
+    /// number a paper figure reports, e.g. `2·M·N·K` for GEMM).
+    #[must_use]
+    pub fn tflops_for(&self, algorithmic_flops: f64) -> f64 {
+        algorithmic_flops / self.seconds / 1e12
+    }
+}
+
+impl fmt::Display for TimingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "kernel {:<24} {:>12.0} cycles  {:>9.3} us", self.kernel, self.cycles, self.seconds * 1e6)?;
+        writeln!(
+            f,
+            "  {:.1} TFLOP/s | util tc {:.2} tma {:.2} simt {:.2} | l2 hit {:.2}",
+            self.achieved_tflops, self.tc_utilization, self.tma_utilization, self.simt_utilization, self.l2_hit
+        )?;
+        write!(
+            f,
+            "  ctas {} (sim {}) on {} sms x{} | {:.1} MB loaded, {:.1} MB stored | {} events",
+            self.ctas,
+            self.simulated_ctas,
+            self.active_sms,
+            self.ctas_per_sm,
+            self.load_bytes / 1e6,
+            self.store_bytes / 1e6,
+            self.events
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TimingReport {
+        TimingReport {
+            kernel: "gemm".into(),
+            cycles: 1000.0,
+            seconds: 1e-6,
+            tc_flops: 2e9,
+            simt_flops: 0.0,
+            achieved_tflops: 2000.0,
+            tc_utilization: 0.9,
+            tma_utilization: 0.5,
+            simt_utilization: 0.1,
+            ctas: 64,
+            simulated_ctas: 4,
+            active_sms: 16,
+            ctas_per_sm: 1,
+            load_bytes: 1e6,
+            store_bytes: 1e5,
+            l2_hit: 0.9,
+            events: 1234,
+        }
+    }
+
+    #[test]
+    fn tflops_for_uses_seconds() {
+        let r = sample();
+        assert!((r.tflops_for(1e12) - 1e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_mentions_kernel() {
+        assert!(sample().to_string().contains("gemm"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests of simulator invariants: expression evaluation,
+//! determinism, and monotonicity of the cost model.
+
+use cypress_sim::{Env, Expr, Instr, KernelBuilder, MachineConfig, RoleKind, Simulator, Slice};
+use cypress_tensor::DType;
+use proptest::prelude::*;
+
+fn copy_kernel(rows: usize, cols: usize, pipe: usize, trips: i64) -> cypress_sim::Kernel {
+    let mut b = KernelBuilder::new("copy", [1, 1, 1]);
+    let a = b.param("A", rows * trips as usize, cols, DType::F16);
+    let sa = b.smem("sA", rows, cols, DType::F16, pipe);
+    let bar = b.mbar(1);
+    let v = b.fresh_var();
+    b.role(
+        RoleKind::Dma,
+        vec![Instr::Loop {
+            var: v,
+            count: Expr::lit(trips),
+            body: vec![
+                Instr::TmaLoad {
+                    src: Slice::param(a).at(Expr::var(v) * rows as i64, 0).extent(rows, cols),
+                    dst: Slice::smem(sa).stage(Expr::var(v) % pipe as i64).extent(rows, cols),
+                    bar,
+                },
+                Instr::MbarWait { bar },
+            ],
+        }],
+    );
+    b.build()
+}
+
+proptest! {
+    /// Expression evaluation matches host arithmetic for affine forms.
+    #[test]
+    fn expr_affine_matches_host(a in -50i64..50, b in -50i64..50, x in 0i64..100) {
+        let mut env = Env::for_block([0, 0, 0]);
+        env.bind(0, x);
+        let e = Expr::var(0) * a + b;
+        prop_assert_eq!(e.eval(&env).unwrap(), a * x + b);
+        if b != 0 {
+            let e = (Expr::var(0) * a) % b;
+            prop_assert_eq!(e.eval(&env).unwrap(), (a * x).rem_euclid(b));
+        }
+    }
+
+    /// Timing simulation is a pure function of the kernel.
+    #[test]
+    fn timing_is_deterministic(trips in 1i64..12, pipe in 1usize..4) {
+        let k = copy_kernel(32, 32, pipe, trips);
+        let sim = Simulator::new(MachineConfig::test_gpu());
+        let a = sim.run_timing(&k).unwrap();
+        let b = sim.run_timing(&k).unwrap();
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.events, b.events);
+    }
+
+    /// More work never takes less time (monotone makespans).
+    #[test]
+    fn makespan_is_monotone_in_trip_count(trips in 1i64..10) {
+        let sim = Simulator::new(MachineConfig::test_gpu());
+        let t1 = sim.run_timing(&copy_kernel(32, 32, 2, trips)).unwrap().cycles;
+        let t2 = sim.run_timing(&copy_kernel(32, 32, 2, trips + 1)).unwrap().cycles;
+        prop_assert!(t2 >= t1);
+    }
+
+    /// The functional engine preserves data it only copies: a load loop is
+    /// a no-op on the parameters.
+    #[test]
+    fn loads_do_not_corrupt_params(trips in 1i64..6) {
+        use cypress_tensor::Tensor;
+        let k = copy_kernel(16, 16, 2, trips);
+        let t = Tensor::full(DType::F16, &[16 * trips as usize, 16], 2.5);
+        let sim = Simulator::new(MachineConfig::test_gpu());
+        let run = sim.run_functional(&k, vec![t.clone()]).unwrap();
+        prop_assert_eq!(run.params[0].data(), t.data());
+    }
+}

@@ -1,0 +1,360 @@
+//! Element types and software half-precision emulation.
+//!
+//! The Cypress evaluation runs entirely in FP16 with FP32 accumulation (the
+//! Tensor Core contract). We have no hardware half support in this
+//! environment, so [`f16`] and [`bf16`] are implemented bit-exactly in
+//! software: values round-trip through the IEEE binary16 / bfloat16 bit
+//! patterns, including subnormals, infinities and NaN.
+
+use std::fmt;
+
+/// Element type of a tensor.
+///
+/// Storage in [`crate::Tensor`] is always `f32`; the dtype controls the
+/// rounding applied when values are stored, mirroring how a GPU kernel would
+/// write half-precision results to memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DType {
+    /// IEEE 754 binary16.
+    #[default]
+    F16,
+    /// bfloat16 (truncated binary32).
+    BF16,
+    /// IEEE 754 binary32.
+    F32,
+}
+
+impl DType {
+    /// Size of one element in bytes, as laid out in (simulated) device memory.
+    #[must_use]
+    pub fn size_bytes(self) -> usize {
+        match self {
+            DType::F16 | DType::BF16 => 2,
+            DType::F32 => 4,
+        }
+    }
+
+    /// Quantize `x` to this dtype's precision (round-to-nearest-even).
+    #[must_use]
+    pub fn quantize(self, x: f32) -> f32 {
+        match self {
+            DType::F16 => f16::from_f32(x).to_f32(),
+            DType::BF16 => bf16::from_f32(x).to_f32(),
+            DType::F32 => x,
+        }
+    }
+
+    /// Relative tolerance appropriate for comparing results computed in this
+    /// dtype against an f32 reference (used by tests and examples).
+    #[must_use]
+    pub fn tolerance(self) -> f32 {
+        match self {
+            DType::F16 => 5e-2,
+            DType::BF16 => 1e-1,
+            DType::F32 => 1e-5,
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::F16 => "f16",
+            DType::BF16 => "bf16",
+            DType::F32 => "f32",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Software IEEE 754 binary16.
+///
+/// The lowercase name mirrors Rust's primitive float naming (`f32`, `f64`);
+/// this is a deliberate, documented deviation from UpperCamelCase since the
+/// type plays the role of a primitive.
+#[allow(non_camel_case_types)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct f16(u16);
+
+impl f16 {
+    /// Positive infinity.
+    pub const INFINITY: f16 = f16(0x7C00);
+    /// The largest finite `f16`, 65504.
+    pub const MAX: f16 = f16(0x7BFF);
+    /// One.
+    pub const ONE: f16 = f16(0x3C00);
+    /// Positive zero.
+    pub const ZERO: f16 = f16(0);
+
+    /// Construct from raw IEEE binary16 bits.
+    #[must_use]
+    pub fn from_bits(bits: u16) -> Self {
+        f16(bits)
+    }
+
+    /// The raw IEEE binary16 bits.
+    #[must_use]
+    pub fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Convert from `f32` with round-to-nearest-even, handling overflow to
+    /// infinity, subnormals, and NaN propagation.
+    #[must_use]
+    pub fn from_f32(x: f32) -> Self {
+        let bits = x.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let mant = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Inf or NaN. Preserve a quiet NaN payload bit.
+            let nan = if mant != 0 { 0x0200 } else { 0 };
+            return f16(sign | 0x7C00 | nan);
+        }
+
+        // Unbiased exponent.
+        let unbiased = exp - 127;
+        if unbiased > 15 {
+            // Overflow to infinity.
+            return f16(sign | 0x7C00);
+        }
+        if unbiased >= -14 {
+            // Normal range. Round the 23-bit mantissa to 10 bits, RNE.
+            let half_exp = ((unbiased + 15) as u16) << 10;
+            let shift = 13;
+            let lsb = (mant >> shift) & 1;
+            let round_bit = (mant >> (shift - 1)) & 1;
+            let sticky = (mant & ((1 << (shift - 1)) - 1)) != 0;
+            let mut half_mant = (mant >> shift) as u16;
+            if round_bit == 1 && (sticky || lsb == 1) {
+                half_mant += 1;
+            }
+            // Mantissa carry may bump the exponent (and can overflow to inf).
+            let magnitude = (half_exp + (half_mant & 0x0400)) | (half_mant & 0x03FF);
+            if half_mant & 0x0400 != 0 {
+                return f16(sign | (half_exp + 0x0400));
+            }
+            return f16(sign | magnitude);
+        }
+        if unbiased >= -24 {
+            // Subnormal half. Implicit leading one becomes explicit.
+            let full = mant | 0x0080_0000;
+            let shift = (-unbiased - 14 + 13) as u32;
+            let shifted = full >> shift;
+            let rem_mask = (1u32 << shift) - 1;
+            let rem = full & rem_mask;
+            let halfway = 1u32 << (shift - 1);
+            let mut half_mant = shifted as u16;
+            if rem > halfway || (rem == halfway && (half_mant & 1) == 1) {
+                half_mant += 1;
+            }
+            return f16(sign | half_mant);
+        }
+        // Underflow to signed zero.
+        f16(sign)
+    }
+
+    /// Convert to `f32` exactly (every binary16 value is representable).
+    #[must_use]
+    pub fn to_f32(self) -> f32 {
+        let sign = u32::from(self.0 >> 15) << 31;
+        let exp = u32::from((self.0 >> 10) & 0x1F);
+        let mant = u32::from(self.0 & 0x03FF);
+
+        let bits = if exp == 0 {
+            if mant == 0 {
+                sign
+            } else {
+                // Subnormal: normalize. The value is mant * 2^-24; after
+                // shifting the leading one up to bit 10 in s steps, the f32
+                // exponent field is 113 - s.
+                let mut e = 0i32;
+                let mut m = mant;
+                while m & 0x0400 == 0 {
+                    m <<= 1;
+                    e -= 1;
+                }
+                let exp32 = ((113 + e) as u32) << 23;
+                sign | exp32 | ((m & 0x03FF) << 13)
+            }
+        } else if exp == 0x1F {
+            sign | 0x7F80_0000 | (mant << 13)
+        } else {
+            sign | ((exp + 127 - 15) << 23) | (mant << 13)
+        };
+        f32::from_bits(bits)
+    }
+
+    /// `true` if this value is NaN.
+    #[must_use]
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7C00) == 0x7C00 && (self.0 & 0x03FF) != 0
+    }
+}
+
+impl From<f16> for f32 {
+    fn from(x: f16) -> f32 {
+        x.to_f32()
+    }
+}
+
+impl fmt::Display for f16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+/// Software bfloat16 (truncated IEEE binary32 with round-to-nearest-even).
+#[allow(non_camel_case_types)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct bf16(u16);
+
+impl bf16 {
+    /// Construct from raw bfloat16 bits.
+    #[must_use]
+    pub fn from_bits(bits: u16) -> Self {
+        bf16(bits)
+    }
+
+    /// The raw bfloat16 bits.
+    #[must_use]
+    pub fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Convert from `f32` with round-to-nearest-even.
+    #[must_use]
+    pub fn from_f32(x: f32) -> Self {
+        let bits = x.to_bits();
+        if x.is_nan() {
+            // Quiet the NaN; keep it a NaN after truncation.
+            return bf16(((bits >> 16) as u16) | 0x0040);
+        }
+        let round_bit = (bits >> 15) & 1;
+        let sticky = bits & 0x7FFF;
+        let lsb = (bits >> 16) & 1;
+        let mut hi = (bits >> 16) as u16;
+        if round_bit == 1 && (sticky != 0 || lsb == 1) {
+            hi = hi.wrapping_add(1);
+        }
+        bf16(hi)
+    }
+
+    /// Convert to `f32` exactly.
+    #[must_use]
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits(u32::from(self.0) << 16)
+    }
+
+    /// `true` if this value is NaN.
+    #[must_use]
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7F80) == 0x7F80 && (self.0 & 0x007F) != 0
+    }
+}
+
+impl From<bf16> for f32 {
+    fn from(x: bf16) -> f32 {
+        x.to_f32()
+    }
+}
+
+impl fmt::Display for bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_round_trips_exact_values() {
+        for x in [0.0f32, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0, 0.099976] {
+            let h = f16::from_f32(x);
+            let back = h.to_f32();
+            assert!((back - x).abs() <= x.abs() * 1e-3 + 1e-7, "{x} -> {back}");
+        }
+    }
+
+    #[test]
+    fn f16_one_has_canonical_bits() {
+        assert_eq!(f16::from_f32(1.0).to_bits(), 0x3C00);
+        assert_eq!(f16::ONE.to_f32(), 1.0);
+    }
+
+    #[test]
+    fn f16_overflow_is_infinity() {
+        assert_eq!(f16::from_f32(70000.0).to_bits(), f16::INFINITY.to_bits());
+        assert_eq!(f16::from_f32(-70000.0).to_bits(), 0xFC00);
+    }
+
+    #[test]
+    fn f16_max_is_65504() {
+        assert_eq!(f16::MAX.to_f32(), 65504.0);
+    }
+
+    #[test]
+    fn f16_nan_propagates() {
+        assert!(f16::from_f32(f32::NAN).is_nan());
+        assert!(f16::from_f32(f32::NAN).to_f32().is_nan());
+    }
+
+    #[test]
+    fn f16_subnormals_round_trip() {
+        // Smallest positive subnormal half is 2^-24.
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(f16::from_f32(tiny).to_bits(), 1);
+        assert_eq!(f16::from_bits(1).to_f32(), tiny);
+        // Below half of the smallest subnormal underflows to zero.
+        assert_eq!(f16::from_f32(2.0f32.powi(-26)).to_bits(), 0);
+    }
+
+    #[test]
+    fn f16_rne_ties_to_even() {
+        // 1.0 + 2^-11 is exactly halfway between 1.0 and the next half value;
+        // round-to-nearest-even keeps 1.0 (even mantissa).
+        let x = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(f16::from_f32(x).to_bits(), 0x3C00);
+        // 1.0 + 3*2^-11 is halfway between odd and even; rounds up to even.
+        let y = 1.0 + 3.0 * 2.0f32.powi(-11);
+        assert_eq!(f16::from_f32(y).to_bits(), 0x3C02);
+    }
+
+    #[test]
+    fn f16_signed_zero() {
+        assert_eq!(f16::from_f32(-0.0).to_bits(), 0x8000);
+        assert_eq!(f16::from_f32(0.0).to_bits(), 0x0000);
+    }
+
+    #[test]
+    fn bf16_round_trips() {
+        for x in [0.0f32, 1.0, -2.5, 3.0e38, 1.0e-38] {
+            let b = bf16::from_f32(x);
+            let back = b.to_f32();
+            assert!((back - x).abs() <= x.abs() * 1e-2 + 1e-40, "{x} -> {back}");
+        }
+    }
+
+    #[test]
+    fn bf16_nan_stays_nan() {
+        assert!(bf16::from_f32(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn dtype_sizes() {
+        assert_eq!(DType::F16.size_bytes(), 2);
+        assert_eq!(DType::BF16.size_bytes(), 2);
+        assert_eq!(DType::F32.size_bytes(), 4);
+    }
+
+    #[test]
+    fn dtype_quantize_is_idempotent() {
+        for dt in [DType::F16, DType::BF16, DType::F32] {
+            let q = dt.quantize(std::f32::consts::PI);
+            assert_eq!(dt.quantize(q), q);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Error types for tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by tensor construction, viewing, and partitioning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// A shape was empty or contained a zero extent where one is not allowed.
+    InvalidShape {
+        /// The offending shape.
+        shape: Vec<usize>,
+    },
+    /// Two shapes that must agree did not.
+    ShapeMismatch {
+        /// Expected shape.
+        expected: Vec<usize>,
+        /// Shape actually supplied.
+        actual: Vec<usize>,
+    },
+    /// An index was out of bounds for the tensor or partition.
+    IndexOutOfBounds {
+        /// Index supplied.
+        index: Vec<usize>,
+        /// Bounds it was checked against.
+        bounds: Vec<usize>,
+    },
+    /// A tile shape does not divide the tensor shape and padding was not
+    /// requested.
+    IndivisibleTiling {
+        /// Tensor shape.
+        shape: Vec<usize>,
+        /// Tile shape.
+        tile: Vec<usize>,
+    },
+    /// Rank of an argument did not match the operation's requirement.
+    RankMismatch {
+        /// Rank required.
+        expected: usize,
+        /// Rank supplied.
+        actual: usize,
+    },
+    /// An MMA partition was requested with a fragment shape the instruction
+    /// does not support.
+    UnsupportedMmaShape {
+        /// Tensor shape supplied.
+        shape: Vec<usize>,
+        /// Human-readable requirement, e.g. "rows divisible by 64".
+        requirement: &'static str,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::InvalidShape { shape } => {
+                write!(f, "invalid tensor shape {shape:?}")
+            }
+            TensorError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected:?}, got {actual:?}")
+            }
+            TensorError::IndexOutOfBounds { index, bounds } => {
+                write!(f, "index {index:?} out of bounds {bounds:?}")
+            }
+            TensorError::IndivisibleTiling { shape, tile } => {
+                write!(f, "tile {tile:?} does not divide shape {shape:?}")
+            }
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "rank mismatch: expected {expected}, got {actual}")
+            }
+            TensorError::UnsupportedMmaShape { shape, requirement } => {
+                write!(f, "unsupported mma fragment shape {shape:?}: {requirement}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<TensorError> = vec![
+            TensorError::InvalidShape { shape: vec![0] },
+            TensorError::ShapeMismatch { expected: vec![1], actual: vec![2] },
+            TensorError::IndexOutOfBounds { index: vec![3], bounds: vec![2] },
+            TensorError::IndivisibleTiling { shape: vec![5], tile: vec![2] },
+            TensorError::RankMismatch { expected: 2, actual: 1 },
+            TensorError::UnsupportedMmaShape { shape: vec![3, 3], requirement: "rows divisible by 64" },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Shape/stride layouts and shared-memory swizzles.
+//!
+//! Layouts map logical multi-dimensional coordinates to linear element
+//! offsets, in the style of CuTe's layout algebra (paper §6, CuTe is used by
+//! Cypress's generated code). A [`Swizzle`] additionally permutes the linear
+//! offset to model the XOR-based shared-memory bank-conflict-avoidance
+//! patterns Hopper kernels rely on.
+
+use crate::error::TensorError;
+use std::fmt;
+
+/// A dense shape/stride layout.
+///
+/// # Example
+///
+/// ```
+/// use cypress_tensor::Layout;
+///
+/// let l = Layout::row_major(&[4, 8]);
+/// assert_eq!(l.offset(&[1, 2]).unwrap(), 10);
+/// let c = Layout::col_major(&[4, 8]);
+/// assert_eq!(c.offset(&[1, 2]).unwrap(), 9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Layout {
+    shape: Vec<usize>,
+    strides: Vec<usize>,
+    swizzle: Swizzle,
+}
+
+impl Layout {
+    /// Row-major (C-order) layout for `shape`.
+    #[must_use]
+    pub fn row_major(shape: &[usize]) -> Self {
+        let mut strides = vec![1usize; shape.len()];
+        for i in (0..shape.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * shape[i + 1];
+        }
+        Layout { shape: shape.to_vec(), strides, swizzle: Swizzle::none() }
+    }
+
+    /// Column-major (Fortran-order) layout for `shape`.
+    #[must_use]
+    pub fn col_major(shape: &[usize]) -> Self {
+        let mut strides = vec![1usize; shape.len()];
+        for i in 1..shape.len() {
+            strides[i] = strides[i - 1] * shape[i - 1];
+        }
+        Layout { shape: shape.to_vec(), strides, swizzle: Swizzle::none() }
+    }
+
+    /// Layout with explicit strides.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if `shape` and `strides` have
+    /// different lengths.
+    pub fn strided(shape: &[usize], strides: &[usize]) -> Result<Self, TensorError> {
+        if shape.len() != strides.len() {
+            return Err(TensorError::RankMismatch { expected: shape.len(), actual: strides.len() });
+        }
+        Ok(Layout { shape: shape.to_vec(), strides: strides.to_vec(), swizzle: Swizzle::none() })
+    }
+
+    /// Attach a swizzle to this layout, returning the swizzled layout.
+    #[must_use]
+    pub fn with_swizzle(mut self, swizzle: Swizzle) -> Self {
+        self.swizzle = swizzle;
+        self
+    }
+
+    /// The logical shape.
+    #[must_use]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The element strides.
+    #[must_use]
+    pub fn strides(&self) -> &[usize] {
+        &self.strides
+    }
+
+    /// The attached swizzle (identity by default).
+    #[must_use]
+    pub fn swizzle(&self) -> Swizzle {
+        self.swizzle
+    }
+
+    /// Number of logical elements.
+    #[must_use]
+    pub fn num_elements(&self) -> usize {
+        self.shape.iter().product()
+    }
+
+    /// Rank (number of dimensions).
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Linear element offset of `coord`, after applying the swizzle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if any coordinate exceeds
+    /// its extent, or [`TensorError::RankMismatch`] on rank disagreement.
+    pub fn offset(&self, coord: &[usize]) -> Result<usize, TensorError> {
+        if coord.len() != self.shape.len() {
+            return Err(TensorError::RankMismatch { expected: self.shape.len(), actual: coord.len() });
+        }
+        let mut off = 0usize;
+        for (i, (&c, (&s, &st))) in
+            coord.iter().zip(self.shape.iter().zip(self.strides.iter())).enumerate()
+        {
+            if c >= s {
+                let _ = i;
+                return Err(TensorError::IndexOutOfBounds {
+                    index: coord.to_vec(),
+                    bounds: self.shape.to_vec(),
+                });
+            }
+            off += c * st;
+        }
+        Ok(self.swizzle.apply(off))
+    }
+
+    /// `true` if iterating coordinates in row-major order visits strictly
+    /// increasing consecutive offsets (i.e. the layout is contiguous
+    /// row-major and unswizzled). TMA-style bulk copies require this of
+    /// global-memory tiles.
+    #[must_use]
+    pub fn is_contiguous_row_major(&self) -> bool {
+        self.swizzle.is_identity() && *self == Layout::row_major(&self.shape)
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}:{:?}", self.shape, self.strides)?;
+        if !self.swizzle.is_identity() {
+            write!(f, " ^{}", self.swizzle)?;
+        }
+        Ok(())
+    }
+}
+
+/// An XOR-based offset swizzle, `Swizzle<B, M, S>` in CuTe notation.
+///
+/// The linear offset's bits `[M+B, M)` are XORed with bits `[M+B+S, M+S)`.
+/// Hopper shared-memory tiles use e.g. `Swizzle::new(3, 3, 3)` (the 128-byte
+/// swizzle) so that column accesses from a warp hit distinct banks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Swizzle {
+    bits: u8,
+    base: u8,
+    shift: u8,
+}
+
+impl Swizzle {
+    /// The identity swizzle.
+    #[must_use]
+    pub fn none() -> Self {
+        Swizzle::default()
+    }
+
+    /// `Swizzle<B, M, S>`: XOR `bits` bits at position `base` with the bits
+    /// `shift` positions above.
+    #[must_use]
+    pub fn new(bits: u8, base: u8, shift: u8) -> Self {
+        Swizzle { bits, base, shift }
+    }
+
+    /// `true` for the identity swizzle.
+    #[must_use]
+    pub fn is_identity(self) -> bool {
+        self.bits == 0
+    }
+
+    /// Apply the swizzle to a linear offset.
+    #[must_use]
+    pub fn apply(self, offset: usize) -> usize {
+        if self.bits == 0 {
+            return offset;
+        }
+        let mask = ((1usize << self.bits) - 1) << (self.base + self.shift);
+        offset ^ ((offset & mask) >> self.shift)
+    }
+}
+
+impl fmt::Display for Swizzle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Swizzle<{},{},{}>", self.bits, self.base, self.shift)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_strides() {
+        let l = Layout::row_major(&[2, 3, 4]);
+        assert_eq!(l.strides(), &[12, 4, 1]);
+        assert_eq!(l.num_elements(), 24);
+    }
+
+    #[test]
+    fn col_major_strides() {
+        let l = Layout::col_major(&[2, 3, 4]);
+        assert_eq!(l.strides(), &[1, 2, 6]);
+    }
+
+    #[test]
+    fn offsets_cover_dense_range_exactly_once() {
+        let l = Layout::row_major(&[3, 5]);
+        let mut seen = vec![false; 15];
+        for i in 0..3 {
+            for j in 0..5 {
+                let o = l.offset(&[i, j]).unwrap();
+                assert!(!seen[o]);
+                seen[o] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn out_of_bounds_is_error() {
+        let l = Layout::row_major(&[2, 2]);
+        assert!(matches!(l.offset(&[2, 0]), Err(TensorError::IndexOutOfBounds { .. })));
+        assert!(matches!(l.offset(&[0]), Err(TensorError::RankMismatch { .. })));
+    }
+
+    #[test]
+    fn swizzle_is_an_involution_permutation() {
+        let sw = Swizzle::new(3, 3, 3);
+        let n = 1 << 10;
+        let mut seen = vec![false; n];
+        for o in 0..n {
+            let s = sw.apply(o);
+            assert!(s < n);
+            assert!(!seen[s], "swizzle must be a permutation");
+            seen[s] = true;
+            assert_eq!(sw.apply(s), o, "xor swizzle is an involution");
+        }
+    }
+
+    #[test]
+    fn swizzled_layout_not_contiguous() {
+        let l = Layout::row_major(&[8, 8]).with_swizzle(Swizzle::new(3, 0, 3));
+        assert!(!l.is_contiguous_row_major());
+        assert!(Layout::row_major(&[8, 8]).is_contiguous_row_major());
+        assert!(!Layout::col_major(&[8, 8]).is_contiguous_row_major());
+    }
+
+    #[test]
+    fn display_formats() {
+        let l = Layout::row_major(&[2, 2]).with_swizzle(Swizzle::new(1, 0, 1));
+        assert_eq!(l.to_string(), "[2, 2]:[2, 1] ^Swizzle<1,0,1>");
+    }
+}

@@ -1,0 +1,267 @@
+//! Sub-tensor views with compacted coordinate systems.
+//!
+//! Partitioning operators (paper §3.2) produce sub-tensors that "need not
+//! contain contiguous sets of elements in the original tensor as each
+//! sub-tensor is given a new compacted, origin-based coordinate system".
+//! [`TensorView`] captures exactly that: a compacted shape plus an
+//! [`IndexMap`] from compacted coordinates to parent coordinates.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+
+/// Map from a view's compacted coordinates to parent-tensor coordinates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexMap {
+    /// `parent[d] = offset[d] + coord[d]` — produced by the `blocks`
+    /// partitioning operator and by warp-level MMA row groups.
+    Affine {
+        /// Per-dimension offset into the parent.
+        offset: Vec<usize>,
+    },
+    /// Arbitrary per-element mapping — produced by the thread-level `mma`
+    /// partitioning swizzle of Fig. 4. `table[i]` is the parent coordinate
+    /// of the view element with row-major linear index `i`.
+    Gather {
+        /// Parent coordinate per linearized view element.
+        table: Vec<Vec<usize>>,
+    },
+}
+
+/// A logically non-contiguous sub-tensor with origin-based coordinates.
+///
+/// # Example
+///
+/// ```
+/// use cypress_tensor::{TensorView, IndexMap};
+///
+/// let v = TensorView::affine(vec![2, 2], vec![4, 8]);
+/// assert_eq!(v.to_parent(&[1, 1]).unwrap(), vec![5, 9]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TensorView {
+    shape: Vec<usize>,
+    map: IndexMap,
+}
+
+impl TensorView {
+    /// An affine view of `shape` rooted at `offset` in the parent.
+    #[must_use]
+    pub fn affine(shape: Vec<usize>, offset: Vec<usize>) -> Self {
+        debug_assert_eq!(shape.len(), offset.len());
+        TensorView { shape, map: IndexMap::Affine { offset } }
+    }
+
+    /// A gather view; `table` must have exactly `shape.iter().product()`
+    /// entries, one parent coordinate per linearized view element.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the table length disagrees with the shape.
+    #[must_use]
+    pub fn gather(shape: Vec<usize>, table: Vec<Vec<usize>>) -> Self {
+        debug_assert_eq!(shape.iter().product::<usize>(), table.len());
+        TensorView { shape, map: IndexMap::Gather { table } }
+    }
+
+    /// A view covering an entire parent of shape `shape` (identity map).
+    #[must_use]
+    pub fn identity(shape: Vec<usize>) -> Self {
+        let offset = vec![0; shape.len()];
+        TensorView::affine(shape, offset)
+    }
+
+    /// The compacted, origin-based shape.
+    #[must_use]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The index map.
+    #[must_use]
+    pub fn index_map(&self) -> &IndexMap {
+        &self.map
+    }
+
+    /// Number of elements in the view.
+    #[must_use]
+    pub fn num_elements(&self) -> usize {
+        self.shape.iter().product()
+    }
+
+    /// `true` if the view is affine (a contiguous box in the parent).
+    #[must_use]
+    pub fn is_affine(&self) -> bool {
+        matches!(self.map, IndexMap::Affine { .. })
+    }
+
+    /// Translate a compacted coordinate to the parent coordinate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] for coordinates outside the
+    /// view and [`TensorError::RankMismatch`] on rank disagreement.
+    pub fn to_parent(&self, coord: &[usize]) -> Result<Vec<usize>, TensorError> {
+        if coord.len() != self.shape.len() {
+            return Err(TensorError::RankMismatch { expected: self.shape.len(), actual: coord.len() });
+        }
+        for (c, s) in coord.iter().zip(self.shape.iter()) {
+            if c >= s {
+                return Err(TensorError::IndexOutOfBounds {
+                    index: coord.to_vec(),
+                    bounds: self.shape.clone(),
+                });
+            }
+        }
+        match &self.map {
+            IndexMap::Affine { offset } => {
+                Ok(coord.iter().zip(offset.iter()).map(|(c, o)| c + o).collect())
+            }
+            IndexMap::Gather { table } => {
+                let mut lin = 0usize;
+                for (c, s) in coord.iter().zip(self.shape.iter()) {
+                    lin = lin * s + c;
+                }
+                Ok(table[lin].clone())
+            }
+        }
+    }
+
+    /// Iterate all `(view_coord, parent_coord)` pairs in row-major order.
+    pub fn iter_coords(&self) -> impl Iterator<Item = (Vec<usize>, Vec<usize>)> + '_ {
+        CoordIter::new(&self.shape).map(move |c| {
+            let p = self.to_parent(&c).expect("iterator stays in bounds");
+            (c, p)
+        })
+    }
+
+    /// Copy the viewed elements out of `parent` into a fresh dense tensor
+    /// with the compacted shape (an explicit "copy-in" in the compiler's
+    /// copy-in/copy-out discipline, §4.2.1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates indexing errors if the view exceeds the parent.
+    pub fn read_from(&self, parent: &Tensor) -> Result<Tensor, TensorError> {
+        let mut out = Tensor::zeros(parent.dtype(), &self.shape);
+        for (vc, pc) in self.iter_coords() {
+            let v = parent.get(&pc)?;
+            out.set(&vc, v)?;
+        }
+        Ok(out)
+    }
+
+    /// Scatter `values` (with the compacted shape) back into `parent`
+    /// through the view (an explicit "copy-out").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `values` does not have the
+    /// compacted shape, and propagates indexing errors.
+    pub fn write_to(&self, values: &Tensor, parent: &mut Tensor) -> Result<(), TensorError> {
+        if values.shape() != self.shape.as_slice() {
+            return Err(TensorError::ShapeMismatch {
+                expected: self.shape.clone(),
+                actual: values.shape().to_vec(),
+            });
+        }
+        for (vc, pc) in self.iter_coords() {
+            let v = values.get(&vc)?;
+            parent.set(&pc, v)?;
+        }
+        Ok(())
+    }
+}
+
+/// Row-major coordinate iterator over a shape.
+struct CoordIter {
+    shape: Vec<usize>,
+    next: Option<Vec<usize>>,
+}
+
+impl CoordIter {
+    fn new(shape: &[usize]) -> Self {
+        let start = if shape.iter().any(|&s| s == 0) { None } else { Some(vec![0; shape.len()]) };
+        CoordIter { shape: shape.to_vec(), next: start }
+    }
+}
+
+impl Iterator for CoordIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        let cur = self.next.clone()?;
+        // Advance odometer-style.
+        let mut n = cur.clone();
+        let mut d = self.shape.len();
+        loop {
+            if d == 0 {
+                self.next = None;
+                break;
+            }
+            d -= 1;
+            n[d] += 1;
+            if n[d] < self.shape[d] {
+                self.next = Some(n);
+                break;
+            }
+            n[d] = 0;
+        }
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::DType;
+
+    #[test]
+    fn affine_translation() {
+        let v = TensorView::affine(vec![2, 3], vec![10, 20]);
+        assert_eq!(v.to_parent(&[1, 2]).unwrap(), vec![11, 22]);
+        assert!(v.to_parent(&[2, 0]).is_err());
+        assert!(v.to_parent(&[0]).is_err());
+    }
+
+    #[test]
+    fn gather_translation() {
+        let v = TensorView::gather(vec![2], vec![vec![5, 5], vec![0, 1]]);
+        assert_eq!(v.to_parent(&[0]).unwrap(), vec![5, 5]);
+        assert_eq!(v.to_parent(&[1]).unwrap(), vec![0, 1]);
+        assert!(!v.is_affine());
+    }
+
+    #[test]
+    fn iter_coords_row_major() {
+        let v = TensorView::identity(vec![2, 2]);
+        let coords: Vec<_> = v.iter_coords().map(|(c, _)| c).collect();
+        assert_eq!(coords, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut parent = Tensor::zeros(DType::F32, &[4, 4]);
+        for i in 0..4 {
+            for j in 0..4 {
+                parent.set(&[i, j], (i * 4 + j) as f32).unwrap();
+            }
+        }
+        let v = TensorView::affine(vec![2, 2], vec![1, 1]);
+        let sub = v.read_from(&parent).unwrap();
+        assert_eq!(sub.data(), &[5.0, 6.0, 9.0, 10.0]);
+
+        let repl = Tensor::full(DType::F32, &[2, 2], -1.0);
+        let mut parent2 = parent.clone();
+        v.write_to(&repl, &mut parent2).unwrap();
+        assert_eq!(parent2.get(&[1, 1]).unwrap(), -1.0);
+        assert_eq!(parent2.get(&[0, 0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn write_validates_shape() {
+        let v = TensorView::identity(vec![2, 2]);
+        let bad = Tensor::zeros(DType::F32, &[3, 3]);
+        let mut parent = Tensor::zeros(DType::F32, &[2, 2]);
+        assert!(v.write_to(&bad, &mut parent).is_err());
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests of the tensor substrate's core invariants.
+
+use cypress_tensor::{blocks, f16, mma, Layout, MmaInstr, Swizzle};
+use cypress_tensor::partition::{MmaLevel, MmaOperand};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every f32 that is exactly a half value round-trips bit-exactly.
+    #[test]
+    fn f16_round_trip_is_identity_on_halfs(bits in 0u16..0x7C00u16) {
+        let h = f16::from_bits(bits);
+        let back = f16::from_f32(h.to_f32());
+        prop_assert_eq!(back.to_bits(), bits);
+    }
+
+    /// Conversion is monotone on positive finite values.
+    #[test]
+    fn f16_conversion_is_monotone(a in 0.0f32..60000.0, b in 0.0f32..60000.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(f16::from_f32(lo).to_f32() <= f16::from_f32(hi).to_f32());
+    }
+
+    /// Rounding error is within half a ULP of the binary16 format.
+    #[test]
+    fn f16_error_is_bounded(x in -60000.0f32..60000.0) {
+        let h = f16::from_f32(x).to_f32();
+        prop_assert!((h - x).abs() <= x.abs() * 0.001 + 6e-8, "{} -> {}", x, h);
+    }
+
+    /// XOR swizzles permute any power-of-two address range.
+    #[test]
+    fn swizzle_is_a_permutation(bits in 1u8..4, base in 0u8..4, shift in 1u8..4) {
+        let sw = Swizzle::new(bits, base, shift);
+        let n = 1usize << (bits + base + shift + 2);
+        let mut seen = vec![false; n];
+        for o in 0..n {
+            let s = sw.apply(o);
+            prop_assert!(s < n);
+            prop_assert!(!seen[s]);
+            seen[s] = true;
+        }
+    }
+
+    /// Row-major layouts enumerate every offset exactly once.
+    #[test]
+    fn layout_is_bijective(r in 1usize..12, c in 1usize..12) {
+        let l = Layout::row_major(&[r, c]);
+        let mut seen = vec![false; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                let o = l.offset(&[i, j]).unwrap();
+                prop_assert!(!seen[o]);
+                seen[o] = true;
+            }
+        }
+    }
+
+    /// Blocks partitions are always disjoint and complete when they divide.
+    #[test]
+    fn blocks_partition_disjoint_complete(
+        gr in 1usize..5, gc in 1usize..5, tr in 1usize..5, tc in 1usize..5
+    ) {
+        let shape = [gr * tr, gc * tc];
+        let p = blocks(&shape, &[tr, tc]).unwrap();
+        prop_assert!(p.is_disjoint());
+        prop_assert!(p.is_complete());
+        prop_assert_eq!(p.num_pieces(), gr * gc);
+    }
+
+    /// The thread-level WGMMA accumulator partition is disjoint, complete,
+    /// and gives every lane the same number of elements, for every legal
+    /// instruction width.
+    #[test]
+    fn mma_thread_partition_invariants(nmul in 1usize..32) {
+        let n = nmul * 8;
+        let instr = MmaInstr::wgmma(n).unwrap();
+        let p = mma(&[16, n], instr, MmaLevel::Thread, MmaOperand::C).unwrap();
+        prop_assert!(p.is_disjoint());
+        prop_assert!(p.is_complete());
+        let per_lane = 16 * n / 32;
+        for piece in p.iter() {
+            prop_assert_eq!(piece.num_elements(), per_lane);
+        }
+    }
+}

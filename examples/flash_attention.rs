@@ -1,0 +1,65 @@
+//! FlashAttention in Cypress: compile FA2 and FA3 task trees, verify both
+//! against the host attention oracle, then compare their simulated H100
+//! throughput with the hand-written baselines of Fig. 14.
+//!
+//! ```sh
+//! cargo run --release --example flash_attention
+//! ```
+
+use cypress::baselines::{fa3, thunderkittens, triton};
+use cypress::core::compile::{CompilerOptions, CypressCompiler};
+use cypress::core::kernels::attention::{self, Algorithm};
+use cypress::sim::{MachineConfig, Simulator};
+use cypress::tensor::{tensor::reference, DType, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Functional check at small scale.
+    let small = MachineConfig::test_gpu();
+    let (heads, seq, d) = (1usize, 256usize, 64usize);
+    let mut rng = StdRng::seed_from_u64(7);
+    let q = Tensor::random(DType::F16, &[heads * seq, d], &mut rng, -1.0, 1.0);
+    let k = Tensor::random(DType::F16, &[heads * seq, d], &mut rng, -1.0, 1.0);
+    let v = Tensor::random(DType::F16, &[heads * seq, d], &mut rng, -1.0, 1.0);
+    let want = reference::attention(&q, &k, &v, DType::F16)?;
+
+    for alg in [Algorithm::Fa2, Algorithm::Fa3] {
+        let (reg, mapping, args) = attention::build(alg, heads, seq, d, &small);
+        let compiler = CypressCompiler::new(CompilerOptions {
+            machine: small.clone(),
+            ..Default::default()
+        });
+        let compiled = compiler.compile(&reg, &mapping, "fa", &args)?;
+        let o = Tensor::zeros(DType::F16, &[heads * seq, d]);
+        let run = Simulator::new(small.clone())
+            .run_functional(&compiled.kernel, vec![o, q.clone(), k.clone(), v.clone()])?;
+        let err = run.params[0].relative_error(&want)?;
+        println!("{alg:?}: relative error {err:.2e}");
+        assert!(err < 3e-2);
+    }
+
+    // Throughput comparison at paper scale (simulated H100).
+    let h100 = MachineConfig::h100_sxm5();
+    let (heads, seq, d) = (16usize, 8192usize, 128usize);
+    let fl = attention::flops(heads, seq, d);
+    let sim = Simulator::new(h100.clone());
+    let compiler =
+        CypressCompiler::new(CompilerOptions { machine: h100.clone(), ..Default::default() });
+    println!("\nFP16 attention, heads={heads}, seq={seq}, head_dim={d}:");
+    for alg in [Algorithm::Fa2, Algorithm::Fa3] {
+        let (reg, mapping, args) = attention::build(alg, heads, seq, d, &h100);
+        let kernel = compiler.compile(&reg, &mapping, "fa", &args)?.kernel;
+        let t = sim.run_timing(&kernel)?;
+        println!("  Cypress {alg:?}: {:.0} TFLOP/s", t.tflops_for(fl));
+    }
+    for (name, kernel) in [
+        ("Triton FA2", triton::attention(heads, seq, d, h100.sms)),
+        ("ThunderKittens FA2", thunderkittens::attention(heads, seq, d, h100.sms)),
+        ("FlashAttention-3", fa3::attention(heads, seq, d, h100.sms)),
+    ] {
+        let t = sim.run_timing(&kernel)?;
+        println!("  {name}: {:.0} TFLOP/s", t.tflops_for(fl));
+    }
+    Ok(())
+}

@@ -1,0 +1,5 @@
+//! Facade crate re-exporting the Cypress workspace.
+pub use cypress_baselines as baselines;
+pub use cypress_core as core;
+pub use cypress_sim as sim;
+pub use cypress_tensor as tensor;

@@ -1,0 +1,103 @@
+//! Workspace-level integration tests: the Cypress compiler's output and the
+//! hand-scheduled baselines must agree functionally (they share the
+//! simulator, so any disagreement is a scheduling bug in one of them), and
+//! the whole stack must behave deterministically.
+
+use cypress::baselines::hand::{gemm_kernel, GemmSchedule};
+use cypress::core::compile::{CompilerOptions, CypressCompiler};
+use cypress::core::kernels::{attention, gemm};
+use cypress::sim::{MachineConfig, Simulator};
+use cypress::tensor::{DType, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn cypress_and_hand_written_gemm_agree() {
+    let machine = MachineConfig::test_gpu();
+    let (m, n, k) = (128, 64, 96);
+    let mut rng = StdRng::seed_from_u64(99);
+    let a = Tensor::random(DType::F16, &[m, k], &mut rng, -1.0, 1.0);
+    let b = Tensor::random(DType::F16, &[k, n], &mut rng, -1.0, 1.0);
+    let sim = Simulator::new(machine.clone());
+
+    // Compiled Cypress kernel.
+    let (reg, mapping, args) = gemm::build(m, n, k, &machine);
+    let compiler =
+        CypressCompiler::new(CompilerOptions { machine: machine.clone(), ..Default::default() });
+    let cy = compiler.compile(&reg, &mapping, "gemm", &args).unwrap();
+    let cy_out = sim
+        .run_functional(
+            &cy.kernel,
+            vec![Tensor::zeros(DType::F16, &[m, n]), a.clone(), b.clone()],
+        )
+        .unwrap();
+
+    // Hand-scheduled expert kernel.
+    let s = GemmSchedule {
+        tm: 64,
+        tn: 64,
+        tk: 32,
+        wgs: 1,
+        pipe: 2,
+        warpspec: true,
+        dual: false,
+        serialize_dual: false,
+        reduction: false,
+        smem_reduction: false,
+    };
+    let hk = gemm_kernel("hand", 1, m, n, k, s);
+    let hand_out = sim
+        .run_functional(&hk, vec![Tensor::zeros(DType::F16, &[m, n]), a, b])
+        .unwrap();
+
+    let diff = cy_out.params[0].max_abs_diff(&hand_out.params[0]).unwrap();
+    assert!(diff < 1e-3, "compiled and hand-written kernels disagree by {diff}");
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    let machine = MachineConfig::h100_sxm5();
+    let compiler =
+        CypressCompiler::new(CompilerOptions { machine: machine.clone(), ..Default::default() });
+    let sim = Simulator::new(machine.clone());
+    let run = || {
+        let (reg, mapping, args) = gemm::build(4096, 4096, 4096, &machine);
+        let c = compiler.compile(&reg, &mapping, "gemm", &args).unwrap();
+        sim.run_timing(&c.kernel).unwrap().cycles
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn fa3_overlaps_more_than_fa2() {
+    // The FA3 restructuring exists to overlap softmax with Tensor Core
+    // work; the schedule must show it (higher TC utilization).
+    let machine = MachineConfig::h100_sxm5();
+    let compiler =
+        CypressCompiler::new(CompilerOptions { machine: machine.clone(), ..Default::default() });
+    let sim = Simulator::new(machine.clone());
+    let mut cycles = Vec::new();
+    for alg in [attention::Algorithm::Fa2, attention::Algorithm::Fa3] {
+        let (reg, mapping, args) = attention::build(alg, 16, 4096, 128, &machine);
+        let c = compiler.compile(&reg, &mapping, "fa", &args).unwrap();
+        cycles.push(sim.run_timing(&c.kernel).unwrap().cycles);
+    }
+    assert!(cycles[1] < cycles[0], "FA3 {} should beat FA2 {}", cycles[1], cycles[0]);
+}
+
+#[test]
+fn pipeline_depth_ablation_shows_latency_hiding() {
+    let machine = MachineConfig::h100_sxm5();
+    let compiler =
+        CypressCompiler::new(CompilerOptions { machine: machine.clone(), ..Default::default() });
+    let sim = Simulator::new(machine.clone());
+    let mut prev = f64::INFINITY;
+    for pipe in [1usize, 3] {
+        let cfg = gemm::GemmConfig { pipeline: pipe, ..gemm::GemmConfig::h100() };
+        let (reg, mapping, args) = gemm::build_with(4096, 4096, 4096, cfg).unwrap();
+        let c = compiler.compile(&reg, &mapping, "gemm", &args).unwrap();
+        let cycles = sim.run_timing(&c.kernel).unwrap().cycles;
+        assert!(cycles < prev, "deeper pipeline must not be slower");
+        prev = cycles;
+    }
+}
