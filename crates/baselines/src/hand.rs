@@ -99,8 +99,11 @@ pub fn gemm_kernel(
     k: usize,
     s: GemmSchedule,
 ) -> Kernel {
-    assert!(m % s.tm == 0 && n % s.tn == 0 && k % s.tk == 0, "tiles must divide the problem");
-    assert!(s.tm % s.wgs == 0);
+    assert!(
+        m.is_multiple_of(s.tm) && n.is_multiple_of(s.tn) && k.is_multiple_of(s.tk),
+        "tiles must divide the problem"
+    );
+    assert!(s.tm.is_multiple_of(s.wgs));
     let wg_rows = s.tm / s.wgs;
     let trips = (k / s.tk) as i64;
     let mut b = KernelBuilder::new(name, [m / s.tm, n / s.tn, batch]);
@@ -109,15 +112,18 @@ pub fn gemm_kernel(
     let ga = b.param("A", batch * m, k, DType::F16);
     let gb1 = b.param("B1", batch * k, n, DType::F16);
     let gb2 = s.dual.then(|| b.param("B2", batch * k, n, DType::F16));
-    let gy = s.reduction.then(|| b.param("Y", batch * m, n / s.tn, DType::F16));
+    let gy = s
+        .reduction
+        .then(|| b.param("Y", batch * m, n / s.tn, DType::F16));
 
     let sa = b.smem("sA", s.tm, s.tk, DType::F16, s.pipe);
     let sb1 = b.smem("sB1", s.tk, s.tn, DType::F16, s.pipe);
-    let sb2 = s.dual.then(|| b.smem("sB2", s.tk, s.tn, DType::F16, s.pipe));
+    let sb2 = s
+        .dual
+        .then(|| b.smem("sB2", s.tk, s.tn, DType::F16, s.pipe));
     let sc = b.smem("sC", s.tm, s.tn, DType::F16, 1);
     let sy = s.reduction.then(|| b.smem("sY", s.tm, 1, DType::F32, 1));
-    let sy_acc = (s.reduction && s.smem_reduction)
-        .then(|| b.smem("sYacc", s.tm, 1, DType::F32, 1));
+    let sy_acc = (s.reduction && s.smem_reduction).then(|| b.smem("sYacc", s.tm, 1, DType::F32, 1));
 
     let acc = b.frag("acc", wg_rows, s.tn);
     let yacc = (s.reduction && !s.smem_reduction).then(|| b.frag("yacc", wg_rows, 1));
@@ -136,7 +142,9 @@ pub fn gemm_kernel(
     let stage = || Expr::var(kvar) % s.pipe as i64;
 
     let load_a = Instr::TmaLoad {
-        src: Slice::param(ga).at(a_row(), kexpr() * s.tk as i64).extent(s.tm, s.tk),
+        src: Slice::param(ga)
+            .at(a_row(), kexpr() * s.tk as i64)
+            .extent(s.tm, s.tk),
         dst: Slice::smem(sa).stage(stage()).extent(s.tm, s.tk),
         bar: prod_a,
     };
@@ -151,7 +159,9 @@ pub fn gemm_kernel(
         src: Slice::param(g)
             .at(b_row(kexpr()), Expr::block_y() * s.tn as i64)
             .extent(s.tk, s.tn),
-        dst: Slice::smem(sb2.expect("dual")).stage(stage()).extent(s.tk, s.tn),
+        dst: Slice::smem(sb2.expect("dual"))
+            .stage(stage())
+            .extent(s.tk, s.tn),
         bar: prod_b2.expect("dual"),
     });
 
@@ -167,7 +177,11 @@ pub fn gemm_kernel(
         if let Some(l) = load_b2.clone() {
             loop_body.push(l);
         }
-        let mut dma = vec![Instr::Loop { var: kvar, count: Expr::lit(trips), body: loop_body }];
+        let mut dma = vec![Instr::Loop {
+            var: kvar,
+            count: Expr::lit(trips),
+            body: loop_body,
+        }];
         dma.push(Instr::MbarWait { bar: copyout });
         dma.push(Instr::TmaStore {
             src: Slice::smem(sc).extent(s.tm, s.tn),
@@ -253,7 +267,9 @@ pub fn gemm_kernel(
                     let mut v = vec![
                         Instr::WgmmaWait { pending: 0 },
                         Instr::CpAsyncLoad {
-                            src: Slice::param(ga).at(a_row(), k2() * s.tk as i64).extent(s.tm, s.tk),
+                            src: Slice::param(ga)
+                                .at(a_row(), k2() * s.tk as i64)
+                                .extent(s.tm, s.tk),
                             dst: Slice::smem(sa).stage(st2()).extent(s.tm, s.tk),
                             bar: prod_a,
                         },
@@ -285,7 +301,10 @@ pub fn gemm_kernel(
         it.push(Instr::MbarWait { bar: prod_b1 });
         // First GEMM.
         it.push(Instr::Wgmma {
-            a: Slice::smem(sa).stage(stage()).at(row0, 0).extent(wg_rows, s.tk),
+            a: Slice::smem(sa)
+                .stage(stage())
+                .at(row0, 0)
+                .extent(wg_rows, s.tk),
             b: Slice::smem(sb1).stage(stage()).extent(s.tk, s.tn),
             acc: Slice::frag(acc).extent(wg_rows, s.tn),
             accumulate: true,
@@ -308,10 +327,17 @@ pub fn gemm_kernel(
                     }
                 }
             }
-            it.push(Instr::MbarWait { bar: prod_b2.expect("dual") });
+            it.push(Instr::MbarWait {
+                bar: prod_b2.expect("dual"),
+            });
             it.push(Instr::Wgmma {
-                a: Slice::smem(sa).stage(stage()).at(row0, 0).extent(wg_rows, s.tk),
-                b: Slice::smem(sb2.expect("dual")).stage(stage()).extent(s.tk, s.tn),
+                a: Slice::smem(sa)
+                    .stage(stage())
+                    .at(row0, 0)
+                    .extent(wg_rows, s.tk),
+                b: Slice::smem(sb2.expect("dual"))
+                    .stage(stage())
+                    .extent(s.tk, s.tn),
                 acc: Slice::frag(acc).extent(wg_rows, s.tn),
                 accumulate: true,
                 transpose_b: false,
@@ -324,8 +350,13 @@ pub fn gemm_kernel(
                 it.push(Instr::WgmmaWait { pending: 0 });
                 it.push(Instr::Simt(SimtOp::RowReduce {
                     op: RedOp::Sum,
-                    src: Slice::smem(sa).stage(stage()).at(row0, 0).extent(wg_rows, s.tk),
-                    dst: Slice::smem(sy_acc.expect("smem reduction")).at(row0, 0).extent(wg_rows, 1),
+                    src: Slice::smem(sa)
+                        .stage(stage())
+                        .at(row0, 0)
+                        .extent(wg_rows, s.tk),
+                    dst: Slice::smem(sy_acc.expect("smem reduction"))
+                        .at(row0, 0)
+                        .extent(wg_rows, 1),
                     include_dst: true,
                 }));
             } else {
@@ -333,7 +364,10 @@ pub fn gemm_kernel(
                 // computes (no wait needed — different units).
                 it.push(Instr::Simt(SimtOp::RowReduce {
                     op: RedOp::Sum,
-                    src: Slice::smem(sa).stage(stage()).at(row0, 0).extent(wg_rows, s.tk),
+                    src: Slice::smem(sa)
+                        .stage(stage())
+                        .at(row0, 0)
+                        .extent(wg_rows, s.tk),
                     dst: Slice::frag(yacc.expect("frag reduction")).extent(wg_rows, 1),
                     include_dst: true,
                 }));
@@ -346,7 +380,11 @@ pub fn gemm_kernel(
             // with block-wide barriers.
             it.push(Instr::Syncthreads);
         }
-        body.push(Instr::Loop { var: kvar, count: Expr::lit(trips), body: it });
+        body.push(Instr::Loop {
+            var: kvar,
+            count: Expr::lit(trips),
+            body: it,
+        });
 
         // Epilogue: stage the accumulator and hand off to the TMA.
         body.push(Instr::Simt(SimtOp::Copy {
@@ -428,10 +466,14 @@ pub fn attention_kernel(
     sms: usize,
     s: AttentionSchedule,
 ) -> Kernel {
-    assert!(seq % s.br == 0 && seq % s.bc == 0);
-    assert!(s.br % s.wgs == 0);
+    assert!(seq.is_multiple_of(s.br) && seq.is_multiple_of(s.bc));
+    assert!(s.br.is_multiple_of(s.wgs));
     let wg_rows = s.br / s.wgs;
-    let tiles_per_band = if s.pingpong { seq / (2 * s.bc) } else { seq / s.bc };
+    let tiles_per_band = if s.pingpong {
+        seq / (2 * s.bc)
+    } else {
+        seq / s.bc
+    };
     let bands = seq / s.br;
     let total_work = heads * bands;
     let (grid, work_per_cta) = if s.persistent {
@@ -452,7 +494,10 @@ pub fn attention_kernel(
     let sk0 = b.smem("sK0", s.bc, d, DType::F16, kv_stage);
     let sv0 = b.smem("sV0", s.bc, d, DType::F16, kv_stage);
     let (sk1, sv1) = if s.pingpong {
-        (Some(b.smem("sK1", s.bc, d, DType::F16, kv_stage)), Some(b.smem("sV1", s.bc, d, DType::F16, kv_stage)))
+        (
+            Some(b.smem("sK1", s.bc, d, DType::F16, kv_stage)),
+            Some(b.smem("sV1", s.bc, d, DType::F16, kv_stage)),
+        )
     } else {
         (None, None)
     };
@@ -468,7 +513,11 @@ pub fn attention_kernel(
     let prod_q = b.mbar(1);
     let prod_k0 = b.mbar(1);
     let prod_v0 = b.mbar(1);
-    let (prod_k1, prod_v1) = if s.pingpong { (Some(b.mbar(1)), Some(b.mbar(1))) } else { (None, None) };
+    let (prod_k1, prod_v1) = if s.pingpong {
+        (Some(b.mbar(1)), Some(b.mbar(1)))
+    } else {
+        (None, None)
+    };
     let cons = b.mbar(s.wgs);
     let copyout = b.mbar(s.wgs);
 
@@ -507,8 +556,18 @@ pub fn attention_kernel(
             mk(gv, sv0, prod_v0, kv_row(j0.clone())),
         ];
         if s.pingpong {
-            v.push(mk(gk, sk1.expect("pp"), prod_k1.expect("pp"), kv_row(j0.clone() + 1)));
-            v.push(mk(gv, sv1.expect("pp"), prod_v1.expect("pp"), kv_row(j0 + 1)));
+            v.push(mk(
+                gk,
+                sk1.expect("pp"),
+                prod_k1.expect("pp"),
+                kv_row(j0.clone() + 1),
+            ));
+            v.push(mk(
+                gv,
+                sv1.expect("pp"),
+                prod_v1.expect("pp"),
+                kv_row(j0 + 1),
+            ));
         }
         v
     };
@@ -555,93 +614,118 @@ pub fn attention_kernel(
         };
         b.role(
             RoleKind::Dma,
-            vec![Instr::Loop { var: wvar, count: Expr::lit(work_per_cta as i64), body: guarded }],
+            vec![Instr::Loop {
+                var: wvar,
+                count: Expr::lit(work_per_cta as i64),
+                body: guarded,
+            }],
         );
     }
 
     for wg in 0..s.wgs {
         let row0 = wg * wg_rows;
         // One softmax + PV block over score buffer `sfrag` against K/V `ki`.
-        let softmax_pv = |sfrag: usize, sk: usize, sv: usize, pk: usize, pv_bar: usize| -> Vec<Instr> {
-            let sref = || Slice::frag(sfrag).extent(wg_rows, s.bc);
-            let mut v = vec![
-                Instr::MbarWait { bar: pk },
-                Instr::Simt(SimtOp::Fill { dst: sref(), value: 0.0 }),
-                Instr::Wgmma {
-                    a: Slice::smem(sq).at(row0, 0).extent(wg_rows, d),
-                    b: Slice::smem(sk).stage(stage()).extent(s.bc, d),
-                    acc: sref(),
-                    accumulate: true,
-                    transpose_b: true,
-                },
-                Instr::WgmmaWait { pending: 0 },
-                Instr::Simt(SimtOp::Map { op: UnOp::Scale(scale), src: sref(), dst: sref() }),
-                Instr::Simt(SimtOp::Copy {
-                    src: Slice::frag(mfr).extent(wg_rows, 1),
-                    dst: Slice::frag(tm).extent(wg_rows, 1),
-                }),
-                Instr::Simt(SimtOp::RowReduce {
-                    op: RedOp::Max,
-                    src: sref(),
-                    dst: Slice::frag(mfr).extent(wg_rows, 1),
-                    include_dst: true,
-                }),
-                Instr::Simt(SimtOp::Zip {
-                    op: BinOp::Sub,
-                    a: Slice::frag(tm).extent(wg_rows, 1),
-                    b: Slice::frag(mfr).extent(wg_rows, 1),
-                    dst: Slice::frag(tm).extent(wg_rows, 1),
-                }),
-                Instr::Simt(SimtOp::Map {
-                    op: UnOp::Exp,
-                    src: Slice::frag(tm).extent(wg_rows, 1),
-                    dst: Slice::frag(tm).extent(wg_rows, 1),
-                }),
-                Instr::Simt(SimtOp::RowZip {
-                    op: BinOp::Mul,
-                    src: Slice::frag(lfr).extent(wg_rows, 1),
-                    row: Slice::frag(tm).extent(wg_rows, 1),
-                    dst: Slice::frag(lfr).extent(wg_rows, 1),
-                }),
-                Instr::Simt(SimtOp::RowZip {
-                    op: BinOp::Mul,
-                    src: Slice::frag(o).extent(wg_rows, d),
-                    row: Slice::frag(tm).extent(wg_rows, 1),
-                    dst: Slice::frag(o).extent(wg_rows, d),
-                }),
-                Instr::Simt(SimtOp::RowZip {
-                    op: BinOp::Sub,
-                    src: sref(),
-                    row: Slice::frag(mfr).extent(wg_rows, 1),
-                    dst: sref(),
-                }),
-                Instr::Simt(SimtOp::Map { op: UnOp::Exp, src: sref(), dst: sref() }),
-                Instr::Simt(SimtOp::RowReduce {
-                    op: RedOp::Sum,
-                    src: sref(),
-                    dst: Slice::frag(lfr).extent(wg_rows, 1),
-                    include_dst: true,
-                }),
-                Instr::MbarWait { bar: pv_bar },
-                Instr::Wgmma {
-                    a: sref(),
-                    b: Slice::smem(sv).stage(stage()).extent(s.bc, d),
-                    acc: Slice::frag(o).extent(wg_rows, d),
-                    accumulate: true,
-                    transpose_b: false,
-                },
-            ];
-            if s.bulk_sync {
-                // Triton separates GEMM and reduction phases block-wide.
-                v.insert(5, Instr::Syncthreads);
-            }
-            v
-        };
+        let softmax_pv =
+            |sfrag: usize, sk: usize, sv: usize, pk: usize, pv_bar: usize| -> Vec<Instr> {
+                let sref = || Slice::frag(sfrag).extent(wg_rows, s.bc);
+                let mut v = vec![
+                    Instr::MbarWait { bar: pk },
+                    Instr::Simt(SimtOp::Fill {
+                        dst: sref(),
+                        value: 0.0,
+                    }),
+                    Instr::Wgmma {
+                        a: Slice::smem(sq).at(row0, 0).extent(wg_rows, d),
+                        b: Slice::smem(sk).stage(stage()).extent(s.bc, d),
+                        acc: sref(),
+                        accumulate: true,
+                        transpose_b: true,
+                    },
+                    Instr::WgmmaWait { pending: 0 },
+                    Instr::Simt(SimtOp::Map {
+                        op: UnOp::Scale(scale),
+                        src: sref(),
+                        dst: sref(),
+                    }),
+                    Instr::Simt(SimtOp::Copy {
+                        src: Slice::frag(mfr).extent(wg_rows, 1),
+                        dst: Slice::frag(tm).extent(wg_rows, 1),
+                    }),
+                    Instr::Simt(SimtOp::RowReduce {
+                        op: RedOp::Max,
+                        src: sref(),
+                        dst: Slice::frag(mfr).extent(wg_rows, 1),
+                        include_dst: true,
+                    }),
+                    Instr::Simt(SimtOp::Zip {
+                        op: BinOp::Sub,
+                        a: Slice::frag(tm).extent(wg_rows, 1),
+                        b: Slice::frag(mfr).extent(wg_rows, 1),
+                        dst: Slice::frag(tm).extent(wg_rows, 1),
+                    }),
+                    Instr::Simt(SimtOp::Map {
+                        op: UnOp::Exp,
+                        src: Slice::frag(tm).extent(wg_rows, 1),
+                        dst: Slice::frag(tm).extent(wg_rows, 1),
+                    }),
+                    Instr::Simt(SimtOp::RowZip {
+                        op: BinOp::Mul,
+                        src: Slice::frag(lfr).extent(wg_rows, 1),
+                        row: Slice::frag(tm).extent(wg_rows, 1),
+                        dst: Slice::frag(lfr).extent(wg_rows, 1),
+                    }),
+                    Instr::Simt(SimtOp::RowZip {
+                        op: BinOp::Mul,
+                        src: Slice::frag(o).extent(wg_rows, d),
+                        row: Slice::frag(tm).extent(wg_rows, 1),
+                        dst: Slice::frag(o).extent(wg_rows, d),
+                    }),
+                    Instr::Simt(SimtOp::RowZip {
+                        op: BinOp::Sub,
+                        src: sref(),
+                        row: Slice::frag(mfr).extent(wg_rows, 1),
+                        dst: sref(),
+                    }),
+                    Instr::Simt(SimtOp::Map {
+                        op: UnOp::Exp,
+                        src: sref(),
+                        dst: sref(),
+                    }),
+                    Instr::Simt(SimtOp::RowReduce {
+                        op: RedOp::Sum,
+                        src: sref(),
+                        dst: Slice::frag(lfr).extent(wg_rows, 1),
+                        include_dst: true,
+                    }),
+                    Instr::MbarWait { bar: pv_bar },
+                    Instr::Wgmma {
+                        a: sref(),
+                        b: Slice::smem(sv).stage(stage()).extent(s.bc, d),
+                        acc: Slice::frag(o).extent(wg_rows, d),
+                        accumulate: true,
+                        transpose_b: false,
+                    },
+                ];
+                if s.bulk_sync {
+                    // Triton separates GEMM and reduction phases block-wide.
+                    v.insert(5, Instr::Syncthreads);
+                }
+                v
+            };
 
         let mut per_item = vec![
-            Instr::Simt(SimtOp::Fill { dst: Slice::frag(o).extent(wg_rows, d), value: 0.0 }),
-            Instr::Simt(SimtOp::Fill { dst: Slice::frag(mfr).extent(wg_rows, 1), value: -30000.0 }),
-            Instr::Simt(SimtOp::Fill { dst: Slice::frag(lfr).extent(wg_rows, 1), value: 0.0 }),
+            Instr::Simt(SimtOp::Fill {
+                dst: Slice::frag(o).extent(wg_rows, d),
+                value: 0.0,
+            }),
+            Instr::Simt(SimtOp::Fill {
+                dst: Slice::frag(mfr).extent(wg_rows, 1),
+                value: -30000.0,
+            }),
+            Instr::Simt(SimtOp::Fill {
+                dst: Slice::frag(lfr).extent(wg_rows, 1),
+                value: 0.0,
+            }),
         ];
         if s.bulk_sync && wg == 0 {
             per_item.push(Instr::CpAsyncLoad {
@@ -663,7 +747,10 @@ pub fn attention_kernel(
             // with the first softmax.
             let pre = vec![
                 Instr::MbarWait { bar: prod_k0 },
-                Instr::Simt(SimtOp::Fill { dst: Slice::frag(s0).extent(wg_rows, s.bc), value: 0.0 }),
+                Instr::Simt(SimtOp::Fill {
+                    dst: Slice::frag(s0).extent(wg_rows, s.bc),
+                    value: 0.0,
+                }),
                 Instr::Wgmma {
                     a: Slice::smem(sq).at(row0, 0).extent(wg_rows, d),
                     b: Slice::smem(sk0).stage(stage()).extent(s.bc, d),
@@ -671,7 +758,9 @@ pub fn attention_kernel(
                     accumulate: true,
                     transpose_b: true,
                 },
-                Instr::MbarWait { bar: prod_k1.expect("pp") },
+                Instr::MbarWait {
+                    bar: prod_k1.expect("pp"),
+                },
                 Instr::Simt(SimtOp::Fill {
                     dst: Slice::frag(s1.expect("pp")).extent(wg_rows, s.bc),
                     value: 0.0,
@@ -751,7 +840,11 @@ pub fn attention_kernel(
         };
         b.role(
             RoleKind::Compute(wg),
-            vec![Instr::Loop { var: wvar, count: Expr::lit(work_per_cta as i64), body: guarded }],
+            vec![Instr::Loop {
+                var: wvar,
+                count: Expr::lit(work_per_cta as i64),
+                body: guarded,
+            }],
         );
     }
     let mut kernel = b.build();

@@ -43,11 +43,22 @@ pub mod cublas {
     #[must_use]
     pub fn gemm(m: usize, n: usize, k: usize, machine: &MachineConfig) -> Kernel {
         let mut cands = Vec::new();
-        for (tm, tn, wgs) in [(128, 256, 2), (256, 128, 2), (128, 128, 2), (128, 128, 1), (64, 256, 1)] {
-            if m % tm != 0 || n % tn != 0 {
+        for (tm, tn, wgs) in [
+            (128, 256, 2),
+            (256, 128, 2),
+            (128, 128, 2),
+            (128, 128, 1),
+            (64, 256, 1),
+        ] {
+            if !m.is_multiple_of(tm) || !n.is_multiple_of(tn) {
                 continue;
             }
-            let s = GemmSchedule { tm, tn, wgs, ..GemmSchedule::expert() };
+            let s = GemmSchedule {
+                tm,
+                tn,
+                wgs,
+                ..GemmSchedule::expert()
+            };
             cands.push(gemm_kernel("cublas_gemm", 1, m, n, k, s));
         }
         super::autotune(machine, cands)
@@ -58,7 +69,11 @@ pub mod cublas {
     /// largest size in Fig. 13b).
     #[must_use]
     pub fn batched_gemm(l: usize, m: usize, n: usize, k: usize) -> Kernel {
-        let s = GemmSchedule { tm: 128, tn: 128, ..GemmSchedule::expert() };
+        let s = GemmSchedule {
+            tm: 128,
+            tn: 128,
+            ..GemmSchedule::expert()
+        };
         gemm_kernel("cublas_batched", l, m, n, k, s)
     }
 }
@@ -83,7 +98,12 @@ pub mod triton {
     /// Dual-GEMM: the B2 load is not overlapped with the first GEMM.
     #[must_use]
     pub fn dual_gemm(m: usize, n: usize, k: usize) -> Kernel {
-        let s = GemmSchedule { dual: true, serialize_dual: true, pipe: 2, ..GemmSchedule::triton() };
+        let s = GemmSchedule {
+            dual: true,
+            serialize_dual: true,
+            pipe: 2,
+            ..GemmSchedule::triton()
+        };
         gemm_kernel("triton_dual", 1, m, n, k, s)
     }
 
@@ -94,7 +114,12 @@ pub mod triton {
     /// loads are exposed every iteration.
     #[must_use]
     pub fn gemm_reduction(m: usize, n: usize, k: usize) -> Kernel {
-        let s = GemmSchedule { reduction: true, smem_reduction: true, pipe: 1, ..GemmSchedule::triton() };
+        let s = GemmSchedule {
+            reduction: true,
+            smem_reduction: true,
+            pipe: 1,
+            ..GemmSchedule::triton()
+        };
         gemm_kernel("triton_gemm_red", 1, m, n, k, s)
     }
 
@@ -166,7 +191,7 @@ pub mod cudnn {
     pub fn attention(heads: usize, seq: usize, d: usize, machine: &MachineConfig) -> Kernel {
         let mut cands = Vec::new();
         for (bc, pingpong) in [(64, true), (128, true), (128, false)] {
-            if seq % (2 * bc) != 0 {
+            if !seq.is_multiple_of(2 * bc) {
                 continue;
             }
             let s = AttentionSchedule {
@@ -178,7 +203,14 @@ pub mod cudnn {
                 persistent: true,
                 bulk_sync: false,
             };
-            cands.push(attention_kernel("cudnn_attn", heads, seq, d, machine.sms, s));
+            cands.push(attention_kernel(
+                "cudnn_attn",
+                heads,
+                seq,
+                d,
+                machine.sms,
+                s,
+            ));
         }
         super::autotune(machine, cands)
     }

@@ -33,7 +33,9 @@ fn expert_gemm_matches_reference() {
     let b = Tensor::random(DType::F16, &[96, 64], &mut rng, -1.0, 1.0);
     let c = Tensor::zeros(DType::F16, &[128, 64]);
     let want = reference::matmul(&a, &b, DType::F16).unwrap();
-    let run = Simulator::new(machine).run_functional(&k, vec![c, a, b]).unwrap();
+    let run = Simulator::new(machine)
+        .run_functional(&k, vec![c, a, b])
+        .unwrap();
     assert!(run.params[0].relative_error(&want).unwrap() < 2e-2);
 }
 
@@ -46,14 +48,19 @@ fn bulk_sync_gemm_matches_reference() {
     let b = Tensor::random(DType::F16, &[128, 64], &mut rng, -1.0, 1.0);
     let c = Tensor::zeros(DType::F16, &[64, 64]);
     let want = reference::matmul(&a, &b, DType::F16).unwrap();
-    let run = Simulator::new(machine).run_functional(&k, vec![c, a, b]).unwrap();
+    let run = Simulator::new(machine)
+        .run_functional(&k, vec![c, a, b])
+        .unwrap();
     assert!(run.params[0].relative_error(&want).unwrap() < 2e-2);
 }
 
 #[test]
 fn dual_gemm_matches_reference() {
     let machine = MachineConfig::test_gpu();
-    let s = GemmSchedule { dual: true, ..small_gemm_schedule(true) };
+    let s = GemmSchedule {
+        dual: true,
+        ..small_gemm_schedule(true)
+    };
     let k = gemm_kernel("t", 1, 64, 64, 64, s);
     let mut rng = StdRng::seed_from_u64(33);
     let a = Tensor::random(DType::F16, &[64, 64], &mut rng, -0.7, 0.7);
@@ -66,14 +73,19 @@ fn dual_gemm_matches_reference() {
     for i in 0..64 * 64 {
         want.data_mut()[i] = DType::F16.quantize(c1.data()[i] + c2.data()[i]);
     }
-    let run = Simulator::new(machine).run_functional(&k, vec![c, a, b1, b2]).unwrap();
+    let run = Simulator::new(machine)
+        .run_functional(&k, vec![c, a, b1, b2])
+        .unwrap();
     assert!(run.params[0].relative_error(&want).unwrap() < 2e-2);
 }
 
 #[test]
 fn gemm_reduction_matches_reference() {
     let machine = MachineConfig::test_gpu();
-    let s = GemmSchedule { reduction: true, ..small_gemm_schedule(true) };
+    let s = GemmSchedule {
+        reduction: true,
+        ..small_gemm_schedule(true)
+    };
     let k = gemm_kernel("t", 1, 64, 64, 64, s);
     let mut rng = StdRng::seed_from_u64(34);
     let a = Tensor::random(DType::F16, &[64, 64], &mut rng, -0.7, 0.7);
@@ -82,13 +94,23 @@ fn gemm_reduction_matches_reference() {
     let y = Tensor::zeros(DType::F16, &[64, 1]);
     let want_c = reference::matmul(&a, &b, DType::F16).unwrap();
     let want_y = reference::row_sum(&a, DType::F16).unwrap();
-    let run = Simulator::new(machine).run_functional(&k, vec![c, a, b, y]).unwrap();
+    let run = Simulator::new(machine)
+        .run_functional(&k, vec![c, a, b, y])
+        .unwrap();
     assert!(run.params[0].relative_error(&want_c).unwrap() < 2e-2);
     assert!(run.params[3].relative_error(&want_y).unwrap() < 2e-2);
 }
 
 fn attention_schedule(pingpong: bool, persistent: bool, bulk_sync: bool) -> AttentionSchedule {
-    AttentionSchedule { br: 128, bc: 64, wgs: 2, pipe: 1, pingpong, persistent, bulk_sync }
+    AttentionSchedule {
+        br: 128,
+        bc: 64,
+        wgs: 2,
+        pipe: 1,
+        pingpong,
+        persistent,
+        bulk_sync,
+    }
 }
 
 fn check_attention(s: AttentionSchedule, heads: usize, seq: usize, d: usize) {
@@ -105,8 +127,12 @@ fn check_attention(s: AttentionSchedule, heads: usize, seq: usize, d: usize) {
         .unwrap();
     for h in 0..heads {
         let sl = |t: &Tensor| {
-            Tensor::from_data(DType::F16, &[seq, d], t.data()[h * seq * d..(h + 1) * seq * d].to_vec())
-                .unwrap()
+            Tensor::from_data(
+                DType::F16,
+                &[seq, d],
+                t.data()[h * seq * d..(h + 1) * seq * d].to_vec(),
+            )
+            .unwrap()
         };
         let want = reference::attention(&sl(&q), &sl(&kk), &sl(&v), DType::F16).unwrap();
         let err = sl(&run.params[0]).relative_error(&want).unwrap();

@@ -16,7 +16,10 @@ fn simulated_cycles(machine: &MachineConfig, cfg: GemmConfig, spill_first: bool)
         dump_ir: false,
     });
     let compiled = compiler.compile(&reg, &mapping, "gemm", &args).unwrap();
-    Simulator::new(machine.clone()).run_timing(&compiled.kernel).unwrap().cycles
+    Simulator::new(machine.clone())
+        .run_timing(&compiled.kernel)
+        .unwrap()
+        .cycles
 }
 
 fn bench(c: &mut Criterion) {
@@ -25,12 +28,18 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
 
     for pipe in [1usize, 2, 3] {
-        let cfg = GemmConfig { pipeline: pipe, ..GemmConfig::h100() };
+        let cfg = GemmConfig {
+            pipeline: pipe,
+            ..GemmConfig::h100()
+        };
         g.bench_function(format!("pipeline_depth_{pipe}"), |b| {
             b.iter(|| simulated_cycles(&machine, cfg, true))
         });
     }
-    let no_ws = GemmConfig { warpspecialize: false, ..GemmConfig::h100() };
+    let no_ws = GemmConfig {
+        warpspecialize: false,
+        ..GemmConfig::h100()
+    };
     g.bench_function("no_warp_specialization", |b| {
         b.iter(|| simulated_cycles(&machine, no_ws, true))
     });
@@ -41,10 +50,19 @@ fn bench(c: &mut Criterion) {
 
     println!("\nablation: simulated GEMM 4096^3 cycles");
     for pipe in [1usize, 2, 3] {
-        let cfg = GemmConfig { pipeline: pipe, ..GemmConfig::h100() };
-        println!("  pipeline={pipe}: {:.0}", simulated_cycles(&machine, cfg, true));
+        let cfg = GemmConfig {
+            pipeline: pipe,
+            ..GemmConfig::h100()
+        };
+        println!(
+            "  pipeline={pipe}: {:.0}",
+            simulated_cycles(&machine, cfg, true)
+        );
     }
-    println!("  no warp specialization: {:.0}", simulated_cycles(&machine, no_ws, true));
+    println!(
+        "  no warp specialization: {:.0}",
+        simulated_cycles(&machine, no_ws, true)
+    );
 }
 
 criterion_group!(benches, bench);

@@ -32,8 +32,10 @@ fn bench(c: &mut Criterion) {
             copyelim::run(&mut p, copyelim::Options::default()).unwrap()
         })
     });
-    let compiler =
-        CypressCompiler::new(CompilerOptions { machine: machine.clone(), ..Default::default() });
+    let compiler = CypressCompiler::new(CompilerOptions {
+        machine: machine.clone(),
+        ..Default::default()
+    });
     g.bench_function("full_compile", |b| {
         b.iter(|| compiler.compile(&reg, &mapping, "gemm", &args).unwrap())
     });

@@ -1,0 +1,46 @@
+//! Cold-compile vs cache-hit cost of the runtime's kernel cache: a cold
+//! `Session::compile` runs the full Fig. 6 pass pipeline; a warm one is a
+//! fingerprint hash plus a map lookup. The gap is the per-launch compile
+//! cost the runtime removes from steady-state serving.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cypress_core::kernels::gemm;
+use cypress_runtime::{Program, Session};
+use cypress_sim::MachineConfig;
+
+fn program(machine: &MachineConfig) -> Program {
+    Program::from_parts(gemm::build(4096, 4096, 4096, machine), "gemm")
+}
+
+fn bench(c: &mut Criterion) {
+    let machine = MachineConfig::h100_sxm5();
+    let mut g = c.benchmark_group("runtime_cache");
+    g.sample_size(10);
+
+    g.bench_function("cold_compile", |b| {
+        b.iter(|| {
+            // Fresh session per iteration: every compile is a miss.
+            let mut session = Session::new(machine.clone());
+            session.compile(&program(&machine)).unwrap()
+        })
+    });
+
+    let mut warm = Session::new(machine.clone());
+    warm.compile(&program(&machine)).unwrap();
+    g.bench_function("cache_hit", |b| {
+        b.iter(|| warm.compile(&program(&machine)).unwrap())
+    });
+
+    // The hit rate a steady-state serving loop sees.
+    let stats = warm.cache_stats();
+    println!(
+        "  cache: {} hits / {} misses ({:.1}% hit rate)",
+        stats.hits,
+        stats.misses,
+        100.0 * stats.hit_rate()
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

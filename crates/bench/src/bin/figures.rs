@@ -1,10 +1,39 @@
 //! Regenerate every evaluation figure of the paper as text tables, with
 //! the paper's reported ratio bands printed next to the measured ratios.
+//! Alongside the tables, writes `BENCH_figures.json` — one
+//! `{figure, system, size, tflops}` row per measurement — so the perf
+//! trajectory can be tracked across PRs by machines, not eyeballs.
 //!
 //! Run with `cargo run --release -p cypress-bench --bin figures`.
 
 use cypress_bench::{fig13a, fig13b, fig13c, fig13d, fig14, ratio, Row, GEMM_SIZES, SEQ_LENS};
 use cypress_sim::MachineConfig;
+
+/// Render `(figure, rows)` pairs as a JSON array (no serde in the
+/// offline build; the format is four flat fields per row).
+fn rows_to_json(figures: &[(&str, &[Row])], machine: &MachineConfig) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"machine\": \"{}\",\n  \"peak_tflops\": {:.1},\n  \"rows\": [\n",
+        machine.name,
+        machine.peak_tflops()
+    ));
+    let mut first = true;
+    for (figure, rows) in figures {
+        for r in *rows {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "    {{\"figure\": \"{figure}\", \"system\": \"{}\", \"size\": {}, \"tflops\": {:.3}}}",
+                r.system, r.size, r.tflops
+            ));
+        }
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
 
 fn print_rows(title: &str, rows: &[Row]) {
     println!("\n=== {title} ===");
@@ -40,7 +69,11 @@ fn print_rows(title: &str, rows: &[Row]) {
 
 fn main() {
     let machine = MachineConfig::h100_sxm5();
-    println!("Cypress evaluation on simulated {} ({:.0} TFLOP/s FP16 peak)", machine.name, machine.peak_tflops());
+    println!(
+        "Cypress evaluation on simulated {} ({:.0} TFLOP/s FP16 peak)",
+        machine.name,
+        machine.peak_tflops()
+    );
 
     let a = fig13a(&machine);
     print_rows("Fig. 13a: GEMM (FP16, M=N=K)", &a);
@@ -85,5 +118,23 @@ fn main() {
             ratio(&f, "Cypress (FA3)", "Flash Attention 3", s),
             ratio(&f, "Cypress (FA2)", "ThunderKittens (FA2)", s)
         );
+    }
+
+    let json = rows_to_json(
+        &[
+            ("13a_gemm", &a),
+            ("13b_batched_gemm", &b),
+            ("13c_dual_gemm", &c),
+            ("13d_gemm_reduction", &d),
+            ("14_attention", &f),
+        ],
+        &machine,
+    );
+    match std::fs::write("BENCH_figures.json", &json) {
+        Ok(()) => println!(
+            "\nwrote BENCH_figures.json ({} rows)",
+            json.matches("\"figure\"").count()
+        ),
+        Err(e) => eprintln!("\nfailed to write BENCH_figures.json: {e}"),
     }
 }

@@ -33,9 +33,14 @@ fn compile_cypress(
     name: &str,
     args: &[cypress_core::EntryArg],
 ) -> Kernel {
-    let compiler =
-        CypressCompiler::new(CompilerOptions { machine: machine.clone(), ..Default::default() });
-    compiler.compile(reg, mapping, name, args).expect("evaluation kernels compile").kernel
+    let compiler = CypressCompiler::new(CompilerOptions {
+        machine: machine.clone(),
+        ..Default::default()
+    });
+    compiler
+        .compile(reg, mapping, name, args)
+        .expect("evaluation kernels compile")
+        .kernel
 }
 
 /// The evaluation sizes of Fig. 13.
@@ -55,11 +60,23 @@ pub fn fig13a(machine: &MachineConfig) -> Vec<Row> {
         let fl = gemm::flops(size, size, size);
         let (reg, mapping, args) = gemm::build(size, size, size, machine);
         let cy = compile_cypress(machine, &reg, &mapping, "gemm", &args);
-        rows.push(Row { system: "Cypress".into(), size, tflops: measure(machine, &cy, fl) });
+        rows.push(Row {
+            system: "Cypress".into(),
+            size,
+            tflops: measure(machine, &cy, fl),
+        });
         let tr = triton::gemm(size, size, size);
-        rows.push(Row { system: "Triton".into(), size, tflops: measure(machine, &tr, fl) });
+        rows.push(Row {
+            system: "Triton".into(),
+            size,
+            tflops: measure(machine, &tr, fl),
+        });
         let cb = cublas::gemm(size, size, size, machine);
-        rows.push(Row { system: "cuBLAS".into(), size, tflops: measure(machine, &cb, fl) });
+        rows.push(Row {
+            system: "cuBLAS".into(),
+            size,
+            tflops: measure(machine, &cb, fl),
+        });
     }
     rows
 }
@@ -73,11 +90,23 @@ pub fn fig13b(machine: &MachineConfig) -> Vec<Row> {
         let fl = batched::flops(l, size, size, size);
         let (reg, mapping, args) = batched::build(l, size, size, size, machine);
         let cy = compile_cypress(machine, &reg, &mapping, "bgemm", &args);
-        rows.push(Row { system: "Cypress".into(), size, tflops: measure(machine, &cy, fl) });
+        rows.push(Row {
+            system: "Cypress".into(),
+            size,
+            tflops: measure(machine, &cy, fl),
+        });
         let tr = triton::batched_gemm(l, size, size, size);
-        rows.push(Row { system: "Triton".into(), size, tflops: measure(machine, &tr, fl) });
+        rows.push(Row {
+            system: "Triton".into(),
+            size,
+            tflops: measure(machine, &tr, fl),
+        });
         let cb = cublas::batched_gemm(l, size, size, size);
-        rows.push(Row { system: "cuBLAS".into(), size, tflops: measure(machine, &cb, fl) });
+        rows.push(Row {
+            system: "cuBLAS".into(),
+            size,
+            tflops: measure(machine, &cb, fl),
+        });
     }
     rows
 }
@@ -90,9 +119,17 @@ pub fn fig13c(machine: &MachineConfig) -> Vec<Row> {
         let fl = dual_gemm::flops(size, size, size);
         let (reg, mapping, args) = dual_gemm::build(size, size, size, machine);
         let cy = compile_cypress(machine, &reg, &mapping, "dual", &args);
-        rows.push(Row { system: "Cypress".into(), size, tflops: measure(machine, &cy, fl) });
+        rows.push(Row {
+            system: "Cypress".into(),
+            size,
+            tflops: measure(machine, &cy, fl),
+        });
         let tr = triton::dual_gemm(size, size, size);
-        rows.push(Row { system: "Triton".into(), size, tflops: measure(machine, &tr, fl) });
+        rows.push(Row {
+            system: "Triton".into(),
+            size,
+            tflops: measure(machine, &tr, fl),
+        });
     }
     rows
 }
@@ -105,9 +142,17 @@ pub fn fig13d(machine: &MachineConfig) -> Vec<Row> {
         let fl = gemm_reduction::flops(size, size, size);
         let (reg, mapping, args) = gemm_reduction::build(size, size, size, machine);
         let cy = compile_cypress(machine, &reg, &mapping, "gr", &args);
-        rows.push(Row { system: "Cypress".into(), size, tflops: measure(machine, &cy, fl) });
+        rows.push(Row {
+            system: "Cypress".into(),
+            size,
+            tflops: measure(machine, &cy, fl),
+        });
         let tr = triton::gemm_reduction(size, size, size);
-        rows.push(Row { system: "Triton".into(), size, tflops: measure(machine, &tr, fl) });
+        rows.push(Row {
+            system: "Triton".into(),
+            size,
+            tflops: measure(machine, &tr, fl),
+        });
     }
     rows
 }
@@ -124,10 +169,18 @@ pub fn fig14(machine: &MachineConfig) -> Vec<Row> {
         ] {
             let (reg, mapping, args) = attention::build(alg, HEADS, seq, HEAD_DIM, machine);
             let k = compile_cypress(machine, &reg, &mapping, "fa", &args);
-            rows.push(Row { system: name.into(), size: seq, tflops: measure(machine, &k, fl) });
+            rows.push(Row {
+                system: name.into(),
+                size: seq,
+                tflops: measure(machine, &k, fl),
+            });
         }
         let tr = triton::attention(HEADS, seq, HEAD_DIM, machine.sms);
-        rows.push(Row { system: "Triton (FA2)".into(), size: seq, tflops: measure(machine, &tr, fl) });
+        rows.push(Row {
+            system: "Triton (FA2)".into(),
+            size: seq,
+            tflops: measure(machine, &tr, fl),
+        });
         let tk = thunderkittens::attention(HEADS, seq, HEAD_DIM, machine.sms);
         rows.push(Row {
             system: "ThunderKittens (FA2)".into(),
@@ -141,7 +194,11 @@ pub fn fig14(machine: &MachineConfig) -> Vec<Row> {
             tflops: measure(machine, &f3, fl),
         });
         let cd = cudnn::attention(HEADS, seq, HEAD_DIM, machine);
-        rows.push(Row { system: "cuDNN".into(), size: seq, tflops: measure(machine, &cd, fl) });
+        rows.push(Row {
+            system: "cuDNN".into(),
+            size: seq,
+            tflops: measure(machine, &cd, fl),
+        });
     }
     rows
 }

@@ -5,7 +5,10 @@ use cypress_sim::{MachineConfig, Simulator};
 fn main() {
     let machine = MachineConfig::h100_sxm5();
     let sim = Simulator::new(machine.clone());
-    let compiler = CypressCompiler::new(CompilerOptions { machine: machine.clone(), ..Default::default() });
+    let compiler = CypressCompiler::new(CompilerOptions {
+        machine: machine.clone(),
+        ..Default::default()
+    });
     for size in [4096usize, 6144, 8192] {
         let (reg, mapping, args) = gemm::build(size, size, size, &machine);
         let compiled = compiler.compile(&reg, &mapping, "gemm", &args).unwrap();
@@ -13,7 +16,10 @@ fn main() {
         println!(
             "gemm {size}: {:.0} TFLOP/s  tc={:.2} tma={:.2} cycles={:.0} ctas={} waves~{:.1}",
             r.tflops_for(gemm::flops(size, size, size)),
-            r.tc_utilization, r.tma_utilization, r.cycles, r.ctas,
+            r.tc_utilization,
+            r.tma_utilization,
+            r.cycles,
+            r.ctas,
             r.ctas as f64 / r.active_sms as f64
         );
     }

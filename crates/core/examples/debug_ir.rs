@@ -1,6 +1,6 @@
+use cypress_core::ir::printer::print_program;
 use cypress_core::kernels::gemm;
 use cypress_core::passes::{copyelim, depan, vectorize};
-use cypress_core::ir::printer::print_program;
 use cypress_sim::MachineConfig;
 
 fn main() {

@@ -14,10 +14,22 @@ pub fn render(kernel: &Kernel) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "__global__ void {}(", kernel.name);
     for (i, p) in kernel.params.iter().enumerate() {
-        let comma = if i + 1 == kernel.params.len() { "" } else { "," };
-        let _ = writeln!(out, "    {}* {} /* {}x{} */{comma}", p.dtype, p.name, p.rows, p.cols);
+        let comma = if i + 1 == kernel.params.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(
+            out,
+            "    {}* {} /* {}x{} */{comma}",
+            p.dtype, p.name, p.rows, p.cols
+        );
     }
-    let _ = writeln!(out, ") {{  // grid ({}, {}, {})", kernel.grid[0], kernel.grid[1], kernel.grid[2]);
+    let _ = writeln!(
+        out,
+        ") {{  // grid ({}, {}, {})",
+        kernel.grid[0], kernel.grid[1], kernel.grid[2]
+    );
     for s in &kernel.smem {
         let _ = writeln!(
             out,
@@ -26,18 +38,33 @@ pub fn render(kernel: &Kernel) -> String {
         );
     }
     for (i, m) in kernel.mbars.iter().enumerate() {
-        let _ = writeln!(out, "  __shared__ barrier bar{i};  // expects {}", m.expected);
+        let _ = writeln!(
+            out,
+            "  __shared__ barrier bar{i};  // expects {}",
+            m.expected
+        );
     }
     for f in &kernel.frags {
-        let _ = writeln!(out, "  float {}[{}][{}];  // registers, per warpgroup", f.name, f.rows, f.cols);
+        let _ = writeln!(
+            out,
+            "  float {}[{}][{}];  // registers, per warpgroup",
+            f.name, f.rows, f.cols
+        );
     }
     for role in &kernel.roles {
         match role.kind {
             RoleKind::Dma => {
-                let _ = writeln!(out, "  if (warp_id() == {}) {{  // DMA warp", kernel.num_compute_warpgroups() * 4);
+                let _ = writeln!(
+                    out,
+                    "  if (warp_id() == {}) {{  // DMA warp",
+                    kernel.num_compute_warpgroups() * 4
+                );
             }
             RoleKind::Compute(i) => {
-                let _ = writeln!(out, "  if (warpgroup_id() == {i}) {{  // compute warpgroup {i}");
+                let _ = writeln!(
+                    out,
+                    "  if (warpgroup_id() == {i}) {{  // compute warpgroup {i}"
+                );
             }
         }
         for instr in &role.body {
@@ -53,16 +80,31 @@ fn render_instr(k: &Kernel, instr: &Instr, depth: usize, out: &mut String) {
     let pad = "  ".repeat(depth);
     match instr {
         Instr::TmaLoad { src, dst, bar } => {
-            let _ = writeln!(out, "{pad}TMA_load({} -> {}, bar{bar});", slice(k, src), slice(k, dst));
+            let _ = writeln!(
+                out,
+                "{pad}TMA_load({} -> {}, bar{bar});",
+                slice(k, src),
+                slice(k, dst)
+            );
         }
         Instr::TmaStore { src, dst } => {
-            let _ = writeln!(out, "{pad}TMA_store({} -> {});", slice(k, src), slice(k, dst));
+            let _ = writeln!(
+                out,
+                "{pad}TMA_store({} -> {});",
+                slice(k, src),
+                slice(k, dst)
+            );
         }
         Instr::TmaStoreWait => {
             let _ = writeln!(out, "{pad}tma_store_wait();");
         }
         Instr::CpAsyncLoad { src, dst, bar } => {
-            let _ = writeln!(out, "{pad}cp_async({} -> {}, bar{bar});", slice(k, src), slice(k, dst));
+            let _ = writeln!(
+                out,
+                "{pad}cp_async({} -> {}, bar{bar});",
+                slice(k, src),
+                slice(k, dst)
+            );
         }
         Instr::MbarArrive { bar } => {
             let _ = writeln!(out, "{pad}arrive(bar{bar});");
@@ -70,9 +112,25 @@ fn render_instr(k: &Kernel, instr: &Instr, depth: usize, out: &mut String) {
         Instr::MbarWait { bar } => {
             let _ = writeln!(out, "{pad}wait(bar{bar});");
         }
-        Instr::Wgmma { a, b, acc, transpose_b, .. } => {
-            let t = if *transpose_b { ", /*transpose B*/" } else { "" };
-            let _ = writeln!(out, "{pad}wgmma({} , {} -> {}{t});", slice(k, a), slice(k, b), slice(k, acc));
+        Instr::Wgmma {
+            a,
+            b,
+            acc,
+            transpose_b,
+            ..
+        } => {
+            let t = if *transpose_b {
+                ", /*transpose B*/"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "{pad}wgmma({} , {} -> {}{t});",
+                slice(k, a),
+                slice(k, b),
+                slice(k, acc)
+            );
         }
         Instr::WgmmaWait { pending } => {
             let _ = writeln!(out, "{pad}warpgroup_wait<{pending}>();");
@@ -85,7 +143,10 @@ fn render_instr(k: &Kernel, instr: &Instr, depth: usize, out: &mut String) {
             let _ = writeln!(out, "{pad}__syncthreads();");
         }
         Instr::Loop { var, count, body } => {
-            let _ = writeln!(out, "{pad}for (int i{var} = 0; i{var} < {count}; ++i{var}) {{");
+            let _ = writeln!(
+                out,
+                "{pad}for (int i{var} = 0; i{var} < {count}; ++i{var}) {{"
+            );
             for i in body {
                 render_instr(k, i, depth + 1, out);
             }
@@ -123,12 +184,28 @@ fn render_simt(k: &Kernel, op: &SimtOp, pad: &str, out: &mut String) {
             let _ = writeln!(out, "{pad}copy({} -> {});", slice(k, src), slice(k, dst));
         }
         SimtOp::Map { op, src, dst } => {
-            let _ = writeln!(out, "{pad}map({op:?}, {} -> {});", slice(k, src), slice(k, dst));
+            let _ = writeln!(
+                out,
+                "{pad}map({op:?}, {} -> {});",
+                slice(k, src),
+                slice(k, dst)
+            );
         }
         SimtOp::Zip { op, a, b, dst } => {
-            let _ = writeln!(out, "{pad}zip({op:?}, {}, {} -> {});", slice(k, a), slice(k, b), slice(k, dst));
+            let _ = writeln!(
+                out,
+                "{pad}zip({op:?}, {}, {} -> {});",
+                slice(k, a),
+                slice(k, b),
+                slice(k, dst)
+            );
         }
-        SimtOp::RowReduce { op, src, dst, include_dst } => {
+        SimtOp::RowReduce {
+            op,
+            src,
+            dst,
+            include_dst,
+        } => {
             let _ = writeln!(
                 out,
                 "{pad}row_reduce({op:?}, {} -> {}, running={include_dst});",
@@ -159,7 +236,10 @@ fn slice(k: &Kernel, s: &cypress_sim::Slice) -> String {
     } else {
         format!("[{}]", s.stage)
     };
-    format!("{name}{stage}[{}:{}x{}][{}:{}x1]", s.row0, s.rows, 1, s.col0, s.cols)
+    format!(
+        "{name}{stage}[{}:{}x{}][{}:{}x1]",
+        s.row0, s.rows, 1, s.col0, s.cols
+    )
 }
 
 #[cfg(test)]

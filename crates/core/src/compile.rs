@@ -21,7 +21,11 @@ pub struct CompilerOptions {
 
 impl Default for CompilerOptions {
     fn default() -> Self {
-        CompilerOptions { machine: MachineConfig::h100_sxm5(), spill_first: true, dump_ir: false }
+        CompilerOptions {
+            machine: MachineConfig::h100_sxm5(),
+            spill_first: true,
+            dump_ir: false,
+        }
     }
 }
 
@@ -38,6 +42,10 @@ pub struct Compiled {
     pub copyelim_stats: copyelim::Stats,
     /// Shared-memory bytes allocated per CTA.
     pub smem_bytes: usize,
+    /// Stable fingerprint of the compiler inputs that produced this kernel
+    /// (see [`crate::fingerprint::fingerprint`]); the cache key of the
+    /// `cypress-runtime` kernel cache.
+    pub fingerprint: u64,
 }
 
 /// The Cypress compiler.
@@ -68,6 +76,27 @@ impl CypressCompiler {
         name: &str,
         entry_args: &[EntryArg],
     ) -> Result<Compiled, CompileError> {
+        let fingerprint = self.fingerprint(registry, mapping, name, entry_args);
+        self.compile_with_fingerprint(registry, mapping, name, entry_args, fingerprint)
+    }
+
+    /// [`CypressCompiler::compile`] with a fingerprint the caller already
+    /// computed (kernel caches hash the inputs to form their key; this
+    /// avoids hashing them a second time on a miss). `fingerprint` must
+    /// come from [`CypressCompiler::fingerprint`] on the same inputs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] from any pass; backend validation
+    /// failures are wrapped in [`CompileError::Backend`].
+    pub fn compile_with_fingerprint(
+        &self,
+        registry: &TaskRegistry,
+        mapping: &MappingSpec,
+        name: &str,
+        entry_args: &[EntryArg],
+        fingerprint: u64,
+    ) -> Result<Compiled, CompileError> {
         let mut dumps = Vec::new();
 
         // 1. Dependence analysis (§4.2.1).
@@ -84,7 +113,10 @@ impl CypressCompiler {
         }
 
         // 3. Copy elimination (§4.2.3).
-        let ce_opts = copyelim::Options { spill_first: self.opts.spill_first, ..Default::default() };
+        let ce_opts = copyelim::Options {
+            spill_first: self.opts.spill_first,
+            ..Default::default()
+        };
         let stats = copyelim::run(&mut prog, ce_opts)?;
         if self.opts.dump_ir {
             dumps.push(("copyelim".to_string(), print_program(&prog)));
@@ -107,6 +139,40 @@ impl CypressCompiler {
 
         let cuda = crate::codegen::cuda::render(&kernel);
         let smem_bytes = kernel.smem_bytes();
-        Ok(Compiled { kernel, cuda, ir_dumps: dumps, copyelim_stats: stats, smem_bytes })
+        Ok(Compiled {
+            kernel,
+            cuda,
+            ir_dumps: dumps,
+            copyelim_stats: stats,
+            smem_bytes,
+            fingerprint,
+        })
+    }
+
+    /// Stable fingerprint of a compile invocation under this compiler's
+    /// options — equal fingerprints guarantee an equal [`Compiled::kernel`],
+    /// so callers may reuse a cached result instead of compiling.
+    #[must_use]
+    pub fn fingerprint(
+        &self,
+        registry: &TaskRegistry,
+        mapping: &MappingSpec,
+        name: &str,
+        entry_args: &[EntryArg],
+    ) -> u64 {
+        crate::fingerprint::fingerprint(
+            registry,
+            mapping,
+            name,
+            entry_args,
+            &self.opts.machine,
+            self.opts.spill_first,
+        )
+    }
+
+    /// The options this compiler was constructed with.
+    #[must_use]
+    pub fn options(&self) -> &CompilerOptions {
+        &self.opts
     }
 }

@@ -96,21 +96,44 @@ impl fmt::Display for CompileError {
                 write!(f, "mapping must declare exactly one entrypoint instance")
             }
             CompileError::NoDispatch { from, task } => {
-                write!(f, "instance `{from}` launches task `{task}` but maps no instance for it")
+                write!(
+                    f,
+                    "instance `{from}` launches task `{task}` but maps no instance for it"
+                )
             }
             CompileError::UnboundTunable { variant, tunable } => {
-                write!(f, "variant `{variant}` requires tunable `{tunable}` not bound by the mapping")
+                write!(
+                    f,
+                    "variant `{variant}` requires tunable `{tunable}` not bound by the mapping"
+                )
             }
             CompileError::UnboundVariable(v) => write!(f, "unbound scalar variable `{v}`"),
             CompileError::UnboundName(n) => write!(f, "unbound tensor or partition `{n}`"),
-            CompileError::ArityMismatch { task, expected, actual } => {
-                write!(f, "task `{task}` expects {expected} arguments, got {actual}")
+            CompileError::ArityMismatch {
+                task,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "task `{task}` expects {expected} arguments, got {actual}"
+                )
             }
-            CompileError::PrivilegeViolation { variant, param, detail } => {
-                write!(f, "privilege violation in `{variant}` on `{param}`: {detail}")
+            CompileError::PrivilegeViolation {
+                variant,
+                param,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "privilege violation in `{variant}` on `{param}`: {detail}"
+                )
             }
             CompileError::AliasingWrites { variant, tensor } => {
-                write!(f, "prange in `{variant}` performs aliasing writes to `{tensor}`")
+                write!(
+                    f,
+                    "prange in `{variant}` performs aliasing writes to `{tensor}`"
+                )
             }
             CompileError::KindViolation { variant, detail } => {
                 write!(f, "task-kind violation in `{variant}`: {detail}")
@@ -141,9 +164,14 @@ mod tests {
 
     #[test]
     fn messages_are_actionable() {
-        let e = CompileError::NoneMemoryMaterialized { tensor: "Cacc".into() };
+        let e = CompileError::NoneMemoryMaterialized {
+            tensor: "Cacc".into(),
+        };
         assert!(e.to_string().contains("change the partitioning"));
-        let e = CompileError::OutOfSharedMemory { required: 100, limit: 10 };
+        let e = CompileError::OutOfSharedMemory {
+            required: 100,
+            limit: 10,
+        };
         assert!(e.to_string().contains("100"));
     }
 }

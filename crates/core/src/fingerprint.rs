@@ -1,0 +1,167 @@
+//! Stable fingerprints of compiler inputs, for compiled-kernel caching.
+//!
+//! A fingerprint identifies everything that determines the output of
+//! [`crate::compile::CypressCompiler::compile`]: the task registry, the
+//! mapping specification, the entry task name, the entry argument shapes,
+//! the target machine, and the compiler options that change codegen. Two
+//! invocations with equal fingerprints produce the same [`cypress_sim::Kernel`],
+//! so a runtime (see the `cypress-runtime` crate) can skip the Fig. 6 pass
+//! pipeline entirely on a fingerprint match.
+//!
+//! The hash is FNV-1a over a canonical rendering of the inputs. Maps are
+//! visited in sorted key order, so the value is independent of `HashMap`
+//! iteration order (which differs between processes and instances); it is
+//! deterministic for the lifetime of a build, which is the cache's domain.
+
+use crate::front::mapping::MappingSpec;
+use crate::front::task::TaskRegistry;
+use crate::passes::depan::EntryArg;
+use cypress_sim::MachineConfig;
+
+/// A 64-bit FNV-1a accumulator.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64(0xCBF2_9CE4_8422_2325)
+    }
+}
+
+impl Fnv64 {
+    /// A fresh accumulator at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Fnv64::default()
+    }
+
+    /// Fold `bytes` into the accumulator.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    /// Fold a string (with a terminator so `"ab","c"` != `"a","bc"`).
+    pub fn write_str(&mut self, s: &str) {
+        self.write(s.as_bytes());
+        self.write(&[0xFF]);
+    }
+
+    /// The accumulated hash.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Fingerprint of a full compiler invocation.
+///
+/// Covers `(registry, mapping, entry, entry_args, machine, spill_first)` —
+/// the complete input of [`crate::compile::CypressCompiler::compile`] as far
+/// as the produced kernel is concerned (`dump_ir` only adds diagnostics).
+#[must_use]
+pub fn fingerprint(
+    registry: &TaskRegistry,
+    mapping: &MappingSpec,
+    entry: &str,
+    entry_args: &[EntryArg],
+    machine: &MachineConfig,
+    spill_first: bool,
+) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str("cypress-fingerprint-v1");
+    h.write_str(entry);
+    h.write_str(&format!("spill_first={spill_first}"));
+
+    // Machine: the Debug rendering covers every public field and contains
+    // no maps, so it is canonical.
+    h.write_str(&format!("{machine:?}"));
+
+    for arg in entry_args {
+        h.write_str(&format!(
+            "arg {} {}x{} {:?}",
+            arg.name, arg.rows, arg.cols, arg.dtype
+        ));
+    }
+
+    // Registry: variants sorted by name. A variant's Debug rendering is
+    // canonical (Vec- and enum-shaped all the way down).
+    let mut variants: Vec<_> = registry.iter().collect();
+    variants.sort_by(|a, b| a.name.cmp(&b.name));
+    for v in variants {
+        h.write_str(&format!("{v:?}"));
+    }
+
+    // Mapping: instances sorted by name, tunables sorted by key (the one
+    // map-shaped field inside `TaskMapping`).
+    let mut instances: Vec<_> = mapping.iter().collect();
+    instances.sort_by(|a, b| a.instance.cmp(&b.instance));
+    for m in instances {
+        h.write_str(&format!(
+            "inst {} variant {} proc {:?} mems {:?} calls {:?} ws {} pipe {} entry {}",
+            m.instance,
+            m.variant,
+            m.proc,
+            m.mems,
+            m.calls,
+            m.warpspecialize,
+            m.pipeline,
+            m.entrypoint
+        ));
+        let mut tunables: Vec<_> = m.tunables.iter().collect();
+        tunables.sort();
+        for (k, val) in tunables {
+            h.write_str(&format!("tun {k}={val}"));
+        }
+    }
+    h.write_str(&format!("smem_limit {:?}", mapping.smem_limit));
+
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::gemm;
+
+    #[test]
+    fn equal_inputs_equal_fingerprints() {
+        let machine = MachineConfig::test_gpu();
+        let (r1, m1, a1) = gemm::build(128, 128, 64, &machine);
+        let (r2, m2, a2) = gemm::build(128, 128, 64, &machine);
+        // Separately-built registries/mappings hash identically even though
+        // their HashMaps have different iteration orders.
+        assert_eq!(
+            fingerprint(&r1, &m1, "gemm", &a1, &machine, true),
+            fingerprint(&r2, &m2, "gemm", &a2, &machine, true),
+        );
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        let machine = MachineConfig::test_gpu();
+        let (r, m, a) = gemm::build(128, 128, 64, &machine);
+        let base = fingerprint(&r, &m, "gemm", &a, &machine, true);
+        let (r2, m2, a2) = gemm::build(128, 128, 128, &machine);
+        assert_ne!(base, fingerprint(&r2, &m2, "gemm", &a2, &machine, true));
+        assert_ne!(base, fingerprint(&r, &m, "gemm", &a, &machine, false));
+        assert_ne!(
+            base,
+            fingerprint(&r, &m, "gemm", &a, &MachineConfig::h100_sxm5(), true)
+        );
+        assert_ne!(base, fingerprint(&r, &m, "other", &a, &machine, true));
+    }
+
+    #[test]
+    fn fnv_is_order_sensitive() {
+        let mut a = Fnv64::new();
+        a.write_str("x");
+        a.write_str("y");
+        let mut b = Fnv64::new();
+        b.write_str("y");
+        b.write_str("x");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -160,7 +160,10 @@ impl ArgExpr {
     /// Partition-piece argument.
     #[must_use]
     pub fn piece(partition: impl Into<String>, indices: Vec<SExpr>) -> Self {
-        ArgExpr::Piece { partition: partition.into(), indices }
+        ArgExpr::Piece {
+            partition: partition.into(),
+            indices,
+        }
     }
 }
 
@@ -325,7 +328,10 @@ mod tests {
     fn sexpr_operators_build_trees() {
         let e = SExpr::var("M") * SExpr::lit(2) + SExpr::shape("C", 1);
         assert_eq!(e.to_string(), "((M * 2) + C.shape[1])");
-        assert_eq!(SExpr::cdiv(SExpr::var("K"), SExpr::var("W")).to_string(), "cdiv(K, W)");
+        assert_eq!(
+            SExpr::cdiv(SExpr::var("K"), SExpr::var("W")).to_string(),
+            "cdiv(K, W)"
+        );
     }
 
     #[test]

@@ -41,7 +41,10 @@ impl ProcLevel {
     /// programming model and flattened by the vectorization pass (§4.2.2).
     #[must_use]
     pub fn is_intra_block(self) -> bool {
-        matches!(self, ProcLevel::Warpgroup | ProcLevel::Warp | ProcLevel::Thread)
+        matches!(
+            self,
+            ProcLevel::Warpgroup | ProcLevel::Warp | ProcLevel::Thread
+        )
     }
 }
 

@@ -118,7 +118,10 @@ impl MappingSpec {
         if entry != 1 {
             return Err(CompileError::BadEntrypoint);
         }
-        let spec = MappingSpec { instances: map, smem_limit: None };
+        let spec = MappingSpec {
+            instances: map,
+            smem_limit: None,
+        };
         for inst in spec.instances.values() {
             for c in &inst.calls {
                 if !spec.instances.contains_key(c) {
@@ -139,7 +142,10 @@ impl MappingSpec {
     /// The entrypoint instance.
     #[must_use]
     pub fn entry(&self) -> &TaskMapping {
-        self.instances.values().find(|i| i.entrypoint).expect("validated on construction")
+        self.instances
+            .values()
+            .find(|i| i.entrypoint)
+            .expect("validated on construction")
     }
 
     /// Look up an instance by name.
@@ -148,7 +154,9 @@ impl MappingSpec {
     ///
     /// Returns [`CompileError::UnknownInstance`] if absent.
     pub fn instance(&self, name: &str) -> Result<&TaskMapping, CompileError> {
-        self.instances.get(name).ok_or_else(|| CompileError::UnknownInstance(name.to_string()))
+        self.instances
+            .get(name)
+            .ok_or_else(|| CompileError::UnknownInstance(name.to_string()))
     }
 
     /// Iterate all instances.
@@ -181,7 +189,10 @@ mod tests {
     #[test]
     fn calls_must_resolve() {
         let a = inst("a", true).calls(&["missing"]);
-        assert!(matches!(MappingSpec::new(vec![a]), Err(CompileError::UnknownInstance(_))));
+        assert!(matches!(
+            MappingSpec::new(vec![a]),
+            Err(CompileError::UnknownInstance(_))
+        ));
     }
 
     #[test]

@@ -91,7 +91,10 @@ impl TaskVariant {
     /// The privilege of parameter `name`, if it exists.
     #[must_use]
     pub fn param_privilege(&self, name: &str) -> Option<Privilege> {
-        self.params.iter().find(|p| p.name == name).map(|p| p.privilege)
+        self.params
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.privilege)
     }
 }
 
@@ -118,8 +121,10 @@ impl TaskRegistry {
     pub fn register(&mut self, variant: TaskVariant) -> Result<(), CompileError> {
         variant.check_kind()?;
         // All variants of one task must share the signature (§3.2).
-        if let Some(existing) =
-            self.variants.values().find(|v| v.task == variant.task && v.params != variant.params)
+        if let Some(existing) = self
+            .variants
+            .values()
+            .find(|v| v.task == variant.task && v.params != variant.params)
         {
             return Err(CompileError::KindViolation {
                 variant: variant.name.clone(),
@@ -139,7 +144,9 @@ impl TaskRegistry {
     ///
     /// Returns [`CompileError::UnknownTask`] if absent.
     pub fn variant(&self, name: &str) -> Result<&TaskVariant, CompileError> {
-        self.variants.get(name).ok_or_else(|| CompileError::UnknownTask(name.to_string()))
+        self.variants
+            .get(name)
+            .ok_or_else(|| CompileError::UnknownTask(name.to_string()))
     }
 
     /// Iterate all registered variants.
@@ -160,7 +167,11 @@ mod tests {
     use crate::front::ast::{LeafFn, SExpr};
 
     fn sig() -> Vec<ParamSig> {
-        vec![ParamSig { name: "C".into(), dtype: DType::F16, privilege: Privilege::Write }]
+        vec![ParamSig {
+            name: "C".into(),
+            dtype: DType::F16,
+            privilege: Privilege::Write,
+        }]
     }
 
     #[test]
@@ -170,9 +181,15 @@ mod tests {
             name: "clear_inner".into(),
             kind: VariantKind::Inner,
             params: sig(),
-            body: vec![Stmt::CallExternal { f: LeafFn::Fill(0.0), args: vec![targ("C")] }],
+            body: vec![Stmt::CallExternal {
+                f: LeafFn::Fill(0.0),
+                args: vec![targ("C")],
+            }],
         };
-        assert!(matches!(v.check_kind(), Err(CompileError::KindViolation { .. })));
+        assert!(matches!(
+            v.check_kind(),
+            Err(CompileError::KindViolation { .. })
+        ));
     }
 
     #[test]
@@ -182,9 +199,15 @@ mod tests {
             name: "clear_leaf".into(),
             kind: VariantKind::Leaf,
             params: sig(),
-            body: vec![Stmt::Launch { task: "clear".into(), args: vec![targ("C")] }],
+            body: vec![Stmt::Launch {
+                task: "clear".into(),
+                args: vec![targ("C")],
+            }],
         };
-        assert!(matches!(v.check_kind(), Err(CompileError::KindViolation { .. })));
+        assert!(matches!(
+            v.check_kind(),
+            Err(CompileError::KindViolation { .. })
+        ));
         let nested = TaskVariant {
             task: "clear".into(),
             name: "clear_leaf2".into(),
@@ -193,7 +216,10 @@ mod tests {
             body: vec![Stmt::SRange {
                 var: "i".into(),
                 extent: SExpr::lit(2),
-                body: vec![Stmt::Launch { task: "clear".into(), args: vec![targ("C")] }],
+                body: vec![Stmt::Launch {
+                    task: "clear".into(),
+                    args: vec![targ("C")],
+                }],
             }],
         };
         assert!(nested.check_kind().is_err());

@@ -105,8 +105,16 @@ impl PartDecl {
     #[must_use]
     pub fn piece_shape(&self) -> (usize, usize) {
         match &self.kind {
-            PartKind::Blocks { tile_rows, tile_cols, .. } => (*tile_rows, *tile_cols),
-            PartKind::Mma { piece_rows, piece_cols, .. } => (*piece_rows, *piece_cols),
+            PartKind::Blocks {
+                tile_rows,
+                tile_cols,
+                ..
+            } => (*tile_rows, *tile_cols),
+            PartKind::Mma {
+                piece_rows,
+                piece_cols,
+                ..
+            } => (*piece_rows, *piece_cols),
         }
     }
 
@@ -135,13 +143,21 @@ impl IdxExpr {
     /// A constant index.
     #[must_use]
     pub fn constant(v: i64) -> Self {
-        IdxExpr { var: None, scale: 0, offset: v }
+        IdxExpr {
+            var: None,
+            scale: 0,
+            offset: v,
+        }
     }
 
     /// A bare variable.
     #[must_use]
     pub fn var(v: VarId) -> Self {
-        IdxExpr { var: Some(v), scale: 1, offset: 0 }
+        IdxExpr {
+            var: Some(v),
+            scale: 1,
+            offset: 0,
+        }
     }
 
     /// `true` if the index mentions `v`.
@@ -169,13 +185,19 @@ impl TensorRef {
     /// Reference to the whole tensor.
     #[must_use]
     pub fn whole(tensor: TensorId) -> Self {
-        TensorRef { tensor, path: Vec::new() }
+        TensorRef {
+            tensor,
+            path: Vec::new(),
+        }
     }
 
     /// Reference to a single partition piece.
     #[must_use]
     pub fn piece(tensor: TensorId, part: PartId, idx: Vec<IdxExpr>) -> Self {
-        TensorRef { tensor, path: vec![(part, idx)] }
+        TensorRef {
+            tensor,
+            path: vec![(part, idx)],
+        }
     }
 
     /// Append a nested piece selection.
@@ -188,7 +210,9 @@ impl TensorRef {
     /// `true` if any piece index along the path mentions `v`.
     #[must_use]
     pub fn uses_var(&self, v: VarId) -> bool {
-        self.path.iter().any(|(_, idx)| idx.iter().any(|i| i.uses(v)))
+        self.path
+            .iter()
+            .any(|(_, idx)| idx.iter().any(|i| i.uses(v)))
     }
 }
 
@@ -238,7 +262,10 @@ impl EventRef {
     /// Reference to a unit event.
     #[must_use]
     pub fn unit(event: EventId) -> Self {
-        EventRef { event, idx: Vec::new() }
+        EventRef {
+            event,
+            idx: Vec::new(),
+        }
     }
 
     /// `true` if every index is a broadcast.
@@ -364,14 +391,32 @@ impl IrProgram {
         param: Option<usize>,
     ) -> TensorId {
         let id = self.tensors.len();
-        self.tensors.push(TensorDecl { id, name: name.into(), rows, cols, dtype, mem, param });
+        self.tensors.push(TensorDecl {
+            id,
+            name: name.into(),
+            rows,
+            cols,
+            dtype,
+            mem,
+            param,
+        });
         id
     }
 
     /// Declare a partition.
-    pub fn add_part(&mut self, name: impl Into<String>, parent: TensorId, kind: PartKind) -> PartId {
+    pub fn add_part(
+        &mut self,
+        name: impl Into<String>,
+        parent: TensorId,
+        kind: PartKind,
+    ) -> PartId {
         let id = self.parts.len();
-        self.parts.push(PartDecl { id, name: name.into(), parent, kind });
+        self.parts.push(PartDecl {
+            id,
+            name: name.into(),
+            parent,
+            kind,
+        });
         id
     }
 
@@ -416,7 +461,10 @@ mod tests {
         let t = EventType::Unit.promoted(32, ProcLevel::Thread);
         assert_eq!(t, EventType::Array(vec![(32, ProcLevel::Thread)]));
         let t2 = t.promoted(4, ProcLevel::Warp);
-        assert_eq!(t2, EventType::Array(vec![(4, ProcLevel::Warp), (32, ProcLevel::Thread)]));
+        assert_eq!(
+            t2,
+            EventType::Array(vec![(4, ProcLevel::Warp), (32, ProcLevel::Thread)])
+        );
     }
 
     #[test]
@@ -436,9 +484,15 @@ mod tests {
 
     #[test]
     fn broadcast_detection() {
-        let b = EventRef { event: 0, idx: vec![EvIdx::All, EvIdx::All] };
+        let b = EventRef {
+            event: 0,
+            idx: vec![EvIdx::All, EvIdx::All],
+        };
         assert!(b.is_broadcast());
-        let p = EventRef { event: 0, idx: vec![EvIdx::Var(1)] };
+        let p = EventRef {
+            event: 0,
+            idx: vec![EvIdx::Var(1)],
+        };
         assert!(!p.is_broadcast());
         assert!(!EventRef::unit(0).is_broadcast());
     }

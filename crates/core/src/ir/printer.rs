@@ -20,7 +20,11 @@ pub fn print_program(p: &IrProgram) -> String {
         );
     }
     for pt in &p.parts {
-        let _ = writeln!(out, "  %p{} = partition %t{} {:?}", pt.id, pt.parent, pt.kind);
+        let _ = writeln!(
+            out,
+            "  %p{} = partition %t{} {:?}",
+            pt.id, pt.parent, pt.kind
+        );
     }
     print_block(p, &p.body, 1, &mut out);
     out.push('}');
@@ -28,6 +32,7 @@ pub fn print_program(p: &IrProgram) -> String {
     out
 }
 
+#[allow(clippy::only_used_in_recursion)]
 fn print_block(p: &IrProgram, b: &Block, indent: usize, out: &mut String) {
     let pad = "  ".repeat(indent);
     for op in &b.ops {
@@ -60,7 +65,12 @@ fn print_block(p: &IrProgram, b: &Block, indent: usize, out: &mut String) {
                 );
                 print_block(p, body, indent + 1, out);
             }
-            OpKind::Pfor { var, extent, proc, body } => {
+            OpKind::Pfor {
+                var,
+                extent,
+                proc,
+                body,
+            } => {
                 let _ = writeln!(
                     out,
                     "{pad}%e{}: {ty} = pfor i{var} in [0, {extent}) @{proc}, {pre} do",
@@ -149,7 +159,12 @@ mod tests {
             result: e0,
             ty: EventType::Array(vec![(4, ProcLevel::Warp)]),
             pre: vec![],
-            kind: OpKind::Pfor { var: v, extent: 4, proc: ProcLevel::Warp, body },
+            kind: OpKind::Pfor {
+                var: v,
+                extent: 4,
+                proc: ProcLevel::Warp,
+                body,
+            },
         });
         let s = print_program(&p);
         assert!(s.contains("pfor i0 in [0, 4) @WARP"), "{s}");

@@ -48,19 +48,34 @@ impl AttentionConfig {
     /// H100 FA2 mapping (two consumer warpgroups, 128-row tiles).
     #[must_use]
     pub fn fa2_h100() -> Self {
-        AttentionConfig { br: 128, bc: 128, wgs: 2, pipeline: 2 }
+        AttentionConfig {
+            br: 128,
+            bc: 128,
+            wgs: 2,
+            pipeline: 2,
+        }
     }
 
     /// H100 FA3 mapping (smaller K/V tiles, two in flight).
     #[must_use]
     pub fn fa3_h100() -> Self {
-        AttentionConfig { br: 128, bc: 64, wgs: 2, pipeline: 2 }
+        AttentionConfig {
+            br: 128,
+            bc: 64,
+            wgs: 2,
+            pipeline: 2,
+        }
     }
 
     /// Small mapping for the unit-test machine.
     #[must_use]
     pub fn test() -> Self {
-        AttentionConfig { br: 128, bc: 64, wgs: 2, pipeline: 1 }
+        AttentionConfig {
+            br: 128,
+            bc: 64,
+            wgs: 2,
+            pipeline: 1,
+        }
     }
 }
 
@@ -126,7 +141,11 @@ pub fn build_with(
     common::register_leaf(
         &mut reg,
         "qk",
-        vec![p("S", Privilege::ReadWrite), p("Q", Privilege::Read), p("K", Privilege::Read)],
+        vec![
+            p("S", Privilege::ReadWrite),
+            p("Q", Privilege::Read),
+            p("K", Privilege::Read),
+        ],
         LeafFn::MmaAccumBT,
         &["Q", "K", "S"],
     )?;
@@ -182,7 +201,11 @@ pub fn build_with(
     common::register_leaf(
         &mut reg,
         "pv",
-        vec![p("O", Privilege::ReadWrite), p("P", Privilege::Read), p("V", Privilege::Read)],
+        vec![
+            p("O", Privilege::ReadWrite),
+            p("P", Privilege::Read),
+            p("V", Privilege::Read),
+        ],
         LeafFn::MmaAccum,
         &["P", "V", "O"],
     )?;
@@ -203,8 +226,14 @@ pub fn build_with(
         params: vec![p("O", Privilege::ReadWrite), p("L", Privilege::Read)],
         body: vec![
             Stmt::Tunable { name: "WGS".into() },
-            Stmt::Let { name: "M".into(), value: SExpr::shape("O", 0) },
-            Stmt::Let { name: "D".into(), value: SExpr::shape("O", 1) },
+            Stmt::Let {
+                name: "M".into(),
+                value: SExpr::shape("O", 0),
+            },
+            Stmt::Let {
+                name: "D".into(),
+                value: SExpr::shape("O", 1),
+            },
             Stmt::PartitionBlocks {
                 name: "Op".into(),
                 tensor: "O".into(),
@@ -235,19 +264,49 @@ pub fn build_with(
     let softmax_block = |sname: &str| -> Vec<Stmt> {
         vec![
             // Scale the scores, save the old max, fold in the tile max.
-            Stmt::Launch { task: "sscale".into(), args: vec![t(sname)] },
-            Stmt::Launch { task: "vcopy".into(), args: vec![t("m"), t("tm")] },
-            Stmt::Launch { task: "rmax".into(), args: vec![t("m"), t(sname)] },
+            Stmt::Launch {
+                task: "sscale".into(),
+                args: vec![t(sname)],
+            },
+            Stmt::Launch {
+                task: "vcopy".into(),
+                args: vec![t("m"), t("tm")],
+            },
+            Stmt::Launch {
+                task: "rmax".into(),
+                args: vec![t("m"), t(sname)],
+            },
             // alpha = exp(m_old - m_new), stored in tm.
-            Stmt::Launch { task: "vsub".into(), args: vec![t("tm"), t("m")] },
-            Stmt::Launch { task: "vexp".into(), args: vec![t("tm")] },
+            Stmt::Launch {
+                task: "vsub".into(),
+                args: vec![t("tm"), t("m")],
+            },
+            Stmt::Launch {
+                task: "vexp".into(),
+                args: vec![t("tm")],
+            },
             // Rescale running denominator and output.
-            Stmt::Launch { task: "vmul".into(), args: vec![t("l"), t("tm")] },
-            Stmt::Launch { task: "vmul".into(), args: vec![t("O"), t("tm")] },
+            Stmt::Launch {
+                task: "vmul".into(),
+                args: vec![t("l"), t("tm")],
+            },
+            Stmt::Launch {
+                task: "vmul".into(),
+                args: vec![t("O"), t("tm")],
+            },
             // P = exp(S - m), fold into l.
-            Stmt::Launch { task: "vsub".into(), args: vec![t(sname), t("m")] },
-            Stmt::Launch { task: "vexp".into(), args: vec![t(sname)] },
-            Stmt::Launch { task: "rsum".into(), args: vec![t("l"), t(sname)] },
+            Stmt::Launch {
+                task: "vsub".into(),
+                args: vec![t(sname), t("m")],
+            },
+            Stmt::Launch {
+                task: "vexp".into(),
+                args: vec![t(sname)],
+            },
+            Stmt::Launch {
+                task: "rsum".into(),
+                args: vec![t("l"), t(sname)],
+            },
         ]
     };
 
@@ -260,13 +319,32 @@ pub fn build_with(
         p("V", Privilege::Read),
     ];
     let mut fa2_wg_body = vec![
-        Stmt::MakeTensor { name: "Sc".into(), rows: SExpr::lit(64), cols: SExpr::lit(cfg.bc as i64), dtype: DType::F16 },
-        Stmt::MakeTensor { name: "tm".into(), rows: SExpr::lit(64), cols: SExpr::lit(1), dtype: DType::F16 },
-        Stmt::Launch { task: "szero".into(), args: vec![t("Sc")] },
-        Stmt::Launch { task: "qk".into(), args: vec![t("Sc"), t("Q"), t("K")] },
+        Stmt::MakeTensor {
+            name: "Sc".into(),
+            rows: SExpr::lit(64),
+            cols: SExpr::lit(cfg.bc as i64),
+            dtype: DType::F16,
+        },
+        Stmt::MakeTensor {
+            name: "tm".into(),
+            rows: SExpr::lit(64),
+            cols: SExpr::lit(1),
+            dtype: DType::F16,
+        },
+        Stmt::Launch {
+            task: "szero".into(),
+            args: vec![t("Sc")],
+        },
+        Stmt::Launch {
+            task: "qk".into(),
+            args: vec![t("Sc"), t("Q"), t("K")],
+        },
     ];
     fa2_wg_body.extend(softmax_block("Sc"));
-    fa2_wg_body.push(Stmt::Launch { task: "pv".into(), args: vec![t("O"), t("Sc"), t("V")] });
+    fa2_wg_body.push(Stmt::Launch {
+        task: "pv".into(),
+        args: vec![t("O"), t("Sc"), t("V")],
+    });
     reg.register(TaskVariant {
         task: "fstep".into(),
         name: "fstep_wg".into(),
@@ -286,21 +364,54 @@ pub fn build_with(
         p("V1", Privilege::Read),
     ];
     let mut fa3_wg_body = vec![
-        Stmt::MakeTensor { name: "S0".into(), rows: SExpr::lit(64), cols: SExpr::lit(cfg.bc as i64), dtype: DType::F16 },
-        Stmt::MakeTensor { name: "S1".into(), rows: SExpr::lit(64), cols: SExpr::lit(cfg.bc as i64), dtype: DType::F16 },
-        Stmt::MakeTensor { name: "tm".into(), rows: SExpr::lit(64), cols: SExpr::lit(1), dtype: DType::F16 },
+        Stmt::MakeTensor {
+            name: "S0".into(),
+            rows: SExpr::lit(64),
+            cols: SExpr::lit(cfg.bc as i64),
+            dtype: DType::F16,
+        },
+        Stmt::MakeTensor {
+            name: "S1".into(),
+            rows: SExpr::lit(64),
+            cols: SExpr::lit(cfg.bc as i64),
+            dtype: DType::F16,
+        },
+        Stmt::MakeTensor {
+            name: "tm".into(),
+            rows: SExpr::lit(64),
+            cols: SExpr::lit(1),
+            dtype: DType::F16,
+        },
         // Both QK^T GEMMs issue before the first softmax: the compiler's
         // group-wait analysis retires only the first when its scores are
         // read, leaving the second in flight (FA3's overlap).
-        Stmt::Launch { task: "szero".into(), args: vec![t("S0")] },
-        Stmt::Launch { task: "qk".into(), args: vec![t("S0"), t("Q"), t("K0")] },
-        Stmt::Launch { task: "szero".into(), args: vec![t("S1")] },
-        Stmt::Launch { task: "qk".into(), args: vec![t("S1"), t("Q"), t("K1")] },
+        Stmt::Launch {
+            task: "szero".into(),
+            args: vec![t("S0")],
+        },
+        Stmt::Launch {
+            task: "qk".into(),
+            args: vec![t("S0"), t("Q"), t("K0")],
+        },
+        Stmt::Launch {
+            task: "szero".into(),
+            args: vec![t("S1")],
+        },
+        Stmt::Launch {
+            task: "qk".into(),
+            args: vec![t("S1"), t("Q"), t("K1")],
+        },
     ];
     fa3_wg_body.extend(softmax_block("S0"));
-    fa3_wg_body.push(Stmt::Launch { task: "pv".into(), args: vec![t("O"), t("S0"), t("V0")] });
+    fa3_wg_body.push(Stmt::Launch {
+        task: "pv".into(),
+        args: vec![t("O"), t("S0"), t("V0")],
+    });
     fa3_wg_body.extend(softmax_block("S1"));
-    fa3_wg_body.push(Stmt::Launch { task: "pv".into(), args: vec![t("O"), t("S1"), t("V1")] });
+    fa3_wg_body.push(Stmt::Launch {
+        task: "pv".into(),
+        args: vec![t("O"), t("S1"), t("V1")],
+    });
     reg.register(TaskVariant {
         task: "fstep3".into(),
         name: "fstep3_wg".into(),
@@ -313,8 +424,14 @@ pub fn build_with(
     let make_step_tile = |task: &str, params: &[crate::front::task::ParamSig], kv: usize| {
         let mut body = vec![
             Stmt::Tunable { name: "WGS".into() },
-            Stmt::Let { name: "BR".into(), value: SExpr::shape("O", 0) },
-            Stmt::Let { name: "D".into(), value: SExpr::shape("O", 1) },
+            Stmt::Let {
+                name: "BR".into(),
+                value: SExpr::shape("O", 0),
+            },
+            Stmt::Let {
+                name: "D".into(),
+                value: SExpr::shape("O", 1),
+            },
             Stmt::PartitionBlocks {
                 name: "Op".into(),
                 tensor: "O".into(),
@@ -353,7 +470,10 @@ pub fn build_with(
         body.push(Stmt::PRange {
             vars: vec!["w".into()],
             extents: vec![v("WGS")],
-            body: vec![Stmt::Launch { task: task.into(), args }],
+            body: vec![Stmt::Launch {
+                task: task.into(),
+                args,
+            }],
         });
         (body, params.to_vec())
     };
@@ -391,9 +511,18 @@ pub fn build_with(
     ];
     let mut fa_block_body = vec![
         Stmt::Tunable { name: "BC".into() },
-        Stmt::Let { name: "BR".into(), value: SExpr::shape("Q", 0) },
-        Stmt::Let { name: "D".into(), value: SExpr::shape("Q", 1) },
-        Stmt::Let { name: "SEQ".into(), value: SExpr::shape("K", 0) },
+        Stmt::Let {
+            name: "BR".into(),
+            value: SExpr::shape("Q", 0),
+        },
+        Stmt::Let {
+            name: "D".into(),
+            value: SExpr::shape("Q", 1),
+        },
+        Stmt::Let {
+            name: "SEQ".into(),
+            value: SExpr::shape("K", 0),
+        },
         Stmt::PartitionBlocks {
             name: "Kp".into(),
             tensor: "K".into(),
@@ -406,12 +535,36 @@ pub fn build_with(
             tile_rows: v("BC"),
             tile_cols: v("D"),
         },
-        Stmt::MakeTensor { name: "m".into(), rows: v("BR"), cols: SExpr::lit(1), dtype: DType::F16 },
-        Stmt::MakeTensor { name: "l".into(), rows: v("BR"), cols: SExpr::lit(1), dtype: DType::F16 },
-        Stmt::MakeTensor { name: "Oa".into(), rows: v("BR"), cols: v("D"), dtype: DType::F16 },
-        Stmt::Launch { task: "nclear".into(), args: vec![t("m")] },
-        Stmt::Launch { task: "vclear".into(), args: vec![t("l")] },
-        Stmt::Launch { task: "clear".into(), args: vec![t("Oa")] },
+        Stmt::MakeTensor {
+            name: "m".into(),
+            rows: v("BR"),
+            cols: SExpr::lit(1),
+            dtype: DType::F16,
+        },
+        Stmt::MakeTensor {
+            name: "l".into(),
+            rows: v("BR"),
+            cols: SExpr::lit(1),
+            dtype: DType::F16,
+        },
+        Stmt::MakeTensor {
+            name: "Oa".into(),
+            rows: v("BR"),
+            cols: v("D"),
+            dtype: DType::F16,
+        },
+        Stmt::Launch {
+            task: "nclear".into(),
+            args: vec![t("m")],
+        },
+        Stmt::Launch {
+            task: "vclear".into(),
+            args: vec![t("l")],
+        },
+        Stmt::Launch {
+            task: "clear".into(),
+            args: vec![t("Oa")],
+        },
     ];
     match algorithm {
         Algorithm::Fa2 => {
@@ -444,15 +597,27 @@ pub fn build_with(
                         t("Q"),
                         piece("Kp", vec![v("j") * SExpr::lit(2), SExpr::lit(0)]),
                         piece("Vp", vec![v("j") * SExpr::lit(2), SExpr::lit(0)]),
-                        piece("Kp", vec![v("j") * SExpr::lit(2) + SExpr::lit(1), SExpr::lit(0)]),
-                        piece("Vp", vec![v("j") * SExpr::lit(2) + SExpr::lit(1), SExpr::lit(0)]),
+                        piece(
+                            "Kp",
+                            vec![v("j") * SExpr::lit(2) + SExpr::lit(1), SExpr::lit(0)],
+                        ),
+                        piece(
+                            "Vp",
+                            vec![v("j") * SExpr::lit(2) + SExpr::lit(1), SExpr::lit(0)],
+                        ),
                     ],
                 }],
             });
         }
     }
-    fa_block_body.push(Stmt::Launch { task: "finish".into(), args: vec![t("Oa"), t("l")] });
-    fa_block_body.push(Stmt::Launch { task: "store".into(), args: vec![t("Oa"), t("O")] });
+    fa_block_body.push(Stmt::Launch {
+        task: "finish".into(),
+        args: vec![t("Oa"), t("l")],
+    });
+    fa_block_body.push(Stmt::Launch {
+        task: "store".into(),
+        args: vec![t("Oa"), t("O")],
+    });
     reg.register(TaskVariant {
         task: "fa".into(),
         name: "fa_block".into(),
@@ -469,8 +634,14 @@ pub fn build_with(
         params: fa_params.clone(),
         body: vec![
             Stmt::Tunable { name: "BR".into() },
-            Stmt::Let { name: "SEQ".into(), value: SExpr::shape("Q", 0) },
-            Stmt::Let { name: "D".into(), value: SExpr::shape("Q", 1) },
+            Stmt::Let {
+                name: "SEQ".into(),
+                value: SExpr::shape("Q", 0),
+            },
+            Stmt::Let {
+                name: "D".into(),
+                value: SExpr::shape("Q", 1),
+            },
             Stmt::PartitionBlocks {
                 name: "Qp".into(),
                 tensor: "Q".into(),
@@ -507,8 +678,14 @@ pub fn build_with(
         params: fa_params,
         body: vec![
             Stmt::Tunable { name: "H".into() },
-            Stmt::Let { name: "SEQ".into(), value: SExpr::shape("Q", 0) / v("H") },
-            Stmt::Let { name: "D".into(), value: SExpr::shape("Q", 1) },
+            Stmt::Let {
+                name: "SEQ".into(),
+                value: SExpr::shape("Q", 0) / v("H"),
+            },
+            Stmt::Let {
+                name: "D".into(),
+                value: SExpr::shape("Q", 1),
+            },
             Stmt::PartitionBlocks {
                 name: "Qh".into(),
                 tensor: "Q".into(),
@@ -588,9 +765,14 @@ pub fn build_with(
             ])
             .warpspecialize()
             .pipeline(cfg.pipeline),
-        TaskMapping::new(&format!("{tile_task}_tile"), tile_var, ProcLevel::Block, step_tile_mems)
-            .tunable("WGS", cfg.wgs as i64)
-            .calls(&[&format!("{step_task}_wg")]),
+        TaskMapping::new(
+            &format!("{tile_task}_tile"),
+            tile_var,
+            ProcLevel::Block,
+            step_tile_mems,
+        )
+        .tunable("WGS", cfg.wgs as i64)
+        .calls(&[&format!("{step_task}_wg")]),
         TaskMapping::new(
             &format!("{step_task}_wg"),
             step_var,
@@ -598,13 +780,23 @@ pub fn build_with(
             step_wg_mems,
         )
         .calls(&[
-            "szero_leaf", "qk_leaf", "sscale_leaf", "vcopy_leaf", "rmax_leaf", "vsub_leaf",
-            "vexp_leaf", "vmul_leaf", "rsum_leaf", "pv_leaf",
+            "szero_leaf",
+            "qk_leaf",
+            "sscale_leaf",
+            "vcopy_leaf",
+            "rmax_leaf",
+            "vsub_leaf",
+            "vexp_leaf",
+            "vmul_leaf",
+            "rsum_leaf",
+            "pv_leaf",
         ]),
-        TaskMapping::new("finish_tile", "finish_tile", ProcLevel::Block, vec![
-            MemLevel::None,
-            MemLevel::None,
-        ])
+        TaskMapping::new(
+            "finish_tile",
+            "finish_tile",
+            ProcLevel::Block,
+            vec![MemLevel::None, MemLevel::None],
+        )
         .tunable("WGS", cfg.wgs as i64)
         .calls(&["fin_leaf"]),
         common::leaf_mapping("fin", vec![reg_mem, reg_mem]),
@@ -627,10 +819,30 @@ pub fn build_with(
 
     let rows = heads * seq;
     let args = vec![
-        EntryArg { name: "O".into(), rows, cols: head_dim, dtype: DType::F16 },
-        EntryArg { name: "Q".into(), rows, cols: head_dim, dtype: DType::F16 },
-        EntryArg { name: "K".into(), rows, cols: head_dim, dtype: DType::F16 },
-        EntryArg { name: "V".into(), rows, cols: head_dim, dtype: DType::F16 },
+        EntryArg {
+            name: "O".into(),
+            rows,
+            cols: head_dim,
+            dtype: DType::F16,
+        },
+        EntryArg {
+            name: "Q".into(),
+            rows,
+            cols: head_dim,
+            dtype: DType::F16,
+        },
+        EntryArg {
+            name: "K".into(),
+            rows,
+            cols: head_dim,
+            dtype: DType::F16,
+        },
+        EntryArg {
+            name: "V".into(),
+            rows,
+            cols: head_dim,
+            dtype: DType::F16,
+        },
     ];
     Ok((reg, mapping, args))
 }

@@ -70,10 +70,22 @@ pub fn build_with(
         ],
         body: vec![
             Stmt::Tunable { name: "L".into() },
-            Stmt::Let { name: "M".into(), value: SExpr::shape("C", 0) / v("L") },
-            Stmt::Let { name: "N".into(), value: SExpr::shape("C", 1) },
-            Stmt::Let { name: "K".into(), value: SExpr::shape("A", 1) },
-            Stmt::Let { name: "KL".into(), value: SExpr::shape("B", 0) / v("L") },
+            Stmt::Let {
+                name: "M".into(),
+                value: SExpr::shape("C", 0) / v("L"),
+            },
+            Stmt::Let {
+                name: "N".into(),
+                value: SExpr::shape("C", 1),
+            },
+            Stmt::Let {
+                name: "K".into(),
+                value: SExpr::shape("A", 1),
+            },
+            Stmt::Let {
+                name: "KL".into(),
+                value: SExpr::shape("B", 0) / v("L"),
+            },
             Stmt::PartitionBlocks {
                 name: "Cb".into(),
                 tensor: "C".into(),
@@ -161,9 +173,24 @@ pub fn build_with(
     let mapping = MappingSpec::new(instances)?;
 
     let args = vec![
-        EntryArg { name: "C".into(), rows: batch * m, cols: n, dtype: DType::F16 },
-        EntryArg { name: "A".into(), rows: batch * m, cols: k, dtype: DType::F16 },
-        EntryArg { name: "B".into(), rows: batch * k, cols: n, dtype: DType::F16 },
+        EntryArg {
+            name: "C".into(),
+            rows: batch * m,
+            cols: n,
+            dtype: DType::F16,
+        },
+        EntryArg {
+            name: "A".into(),
+            rows: batch * m,
+            cols: k,
+            dtype: DType::F16,
+        },
+        EntryArg {
+            name: "B".into(),
+            rows: batch * k,
+            cols: n,
+            dtype: DType::F16,
+        },
     ];
     Ok((reg, mapping, args))
 }

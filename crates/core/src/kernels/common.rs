@@ -15,7 +15,11 @@ use cypress_tensor::DType;
 
 /// Shorthand: tensor parameter signature.
 pub(crate) fn p(name: &str, privilege: Privilege) -> ParamSig {
-    ParamSig { name: name.to_string(), dtype: DType::F16, privilege }
+    ParamSig {
+        name: name.to_string(),
+        dtype: DType::F16,
+        privilege,
+    }
 }
 
 /// Shorthand: whole-tensor argument.
@@ -43,8 +47,14 @@ pub(crate) fn register_clear(reg: &mut TaskRegistry, task: &str) -> Result<(), C
         params: vec![p("C", Privilege::Write)],
         body: vec![
             Stmt::Tunable { name: "WGS".into() },
-            Stmt::Let { name: "M".into(), value: SExpr::shape("C", 0) },
-            Stmt::Let { name: "N".into(), value: SExpr::shape("C", 1) },
+            Stmt::Let {
+                name: "M".into(),
+                value: SExpr::shape("C", 0),
+            },
+            Stmt::Let {
+                name: "N".into(),
+                value: SExpr::shape("C", 1),
+            },
             Stmt::PartitionBlocks {
                 name: "Cp".into(),
                 tensor: "C".into(),
@@ -110,7 +120,10 @@ pub(crate) fn register_clear(reg: &mut TaskRegistry, task: &str) -> Result<(), C
         name: format!("{task}_leaf"),
         kind: VariantKind::Leaf,
         params: vec![p("C", Privilege::Write)],
-        body: vec![Stmt::CallExternal { f: LeafFn::Fill(0.0), args: vec![t("C")] }],
+        body: vec![Stmt::CallExternal {
+            f: LeafFn::Fill(0.0),
+            args: vec![t("C")],
+        }],
     })?;
     Ok(())
 }
@@ -159,8 +172,14 @@ pub(crate) fn register_store(reg: &mut TaskRegistry, task: &str) -> Result<(), C
         params: params.clone(),
         body: vec![
             Stmt::Tunable { name: "WGS".into() },
-            Stmt::Let { name: "M".into(), value: SExpr::shape("S", 0) },
-            Stmt::Let { name: "N".into(), value: SExpr::shape("S", 1) },
+            Stmt::Let {
+                name: "M".into(),
+                value: SExpr::shape("S", 0),
+            },
+            Stmt::Let {
+                name: "N".into(),
+                value: SExpr::shape("S", 1),
+            },
             Stmt::PartitionBlocks {
                 name: "Sp".into(),
                 tensor: "S".into(),
@@ -247,7 +266,10 @@ pub(crate) fn register_store(reg: &mut TaskRegistry, task: &str) -> Result<(), C
         name: format!("{task}_leaf"),
         kind: VariantKind::Leaf,
         params,
-        body: vec![Stmt::CallExternal { f: LeafFn::CopyExt, args: vec![t("S"), t("D")] }],
+        body: vec![Stmt::CallExternal {
+            f: LeafFn::CopyExt,
+            args: vec![t("S"), t("D")],
+        }],
     })?;
     Ok(())
 }
@@ -303,8 +325,14 @@ pub(crate) fn register_vec_clear(
         params: vec![p("C", Privilege::Write)],
         body: vec![
             Stmt::Tunable { name: "WGS".into() },
-            Stmt::Let { name: "M".into(), value: SExpr::shape("C", 0) },
-            Stmt::Let { name: "N".into(), value: SExpr::shape("C", 1) },
+            Stmt::Let {
+                name: "M".into(),
+                value: SExpr::shape("C", 0),
+            },
+            Stmt::Let {
+                name: "N".into(),
+                value: SExpr::shape("C", 1),
+            },
             Stmt::PartitionBlocks {
                 name: "Cp".into(),
                 tensor: "C".into(),
@@ -326,7 +354,10 @@ pub(crate) fn register_vec_clear(
         name: format!("{task}_leaf"),
         kind: VariantKind::Leaf,
         params: vec![p("C", Privilege::Write)],
-        body: vec![Stmt::CallExternal { f: LeafFn::Fill(value), args: vec![t("C")] }],
+        body: vec![Stmt::CallExternal {
+            f: LeafFn::Fill(value),
+            args: vec![t("C")],
+        }],
     })?;
     Ok(())
 }
@@ -362,8 +393,14 @@ pub(crate) fn register_vec_store(reg: &mut TaskRegistry, task: &str) -> Result<(
         params: params.clone(),
         body: vec![
             Stmt::Tunable { name: "WGS".into() },
-            Stmt::Let { name: "M".into(), value: SExpr::shape("S", 0) },
-            Stmt::Let { name: "N".into(), value: SExpr::shape("S", 1) },
+            Stmt::Let {
+                name: "M".into(),
+                value: SExpr::shape("S", 0),
+            },
+            Stmt::Let {
+                name: "N".into(),
+                value: SExpr::shape("S", 1),
+            },
             Stmt::PartitionBlocks {
                 name: "Sp".into(),
                 tensor: "S".into(),
@@ -394,7 +431,10 @@ pub(crate) fn register_vec_store(reg: &mut TaskRegistry, task: &str) -> Result<(
         name: format!("{task}_leaf"),
         kind: VariantKind::Leaf,
         params,
-        body: vec![Stmt::CallExternal { f: LeafFn::CopyExt, args: vec![t("S"), t("D")] }],
+        body: vec![Stmt::CallExternal {
+            f: LeafFn::CopyExt,
+            args: vec![t("S"), t("D")],
+        }],
     })?;
     Ok(())
 }
@@ -545,7 +585,10 @@ pub(crate) fn register_mma_chain(
         name: format!("{task}_leaf"),
         kind: VariantKind::Leaf,
         params,
-        body: vec![Stmt::CallExternal { f: leaf, args: vec![t("A"), t("B"), t("C")] }],
+        body: vec![Stmt::CallExternal {
+            f: leaf,
+            args: vec![t("A"), t("B"), t("C")],
+        }],
     })?;
     Ok(())
 }

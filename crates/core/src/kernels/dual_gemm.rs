@@ -71,9 +71,18 @@ pub fn build_with(
         body: vec![
             Stmt::Tunable { name: "U".into() },
             Stmt::Tunable { name: "V".into() },
-            Stmt::Let { name: "M".into(), value: SExpr::shape("C", 0) },
-            Stmt::Let { name: "N".into(), value: SExpr::shape("C", 1) },
-            Stmt::Let { name: "K".into(), value: SExpr::shape("A", 1) },
+            Stmt::Let {
+                name: "M".into(),
+                value: SExpr::shape("C", 0),
+            },
+            Stmt::Let {
+                name: "N".into(),
+                value: SExpr::shape("C", 1),
+            },
+            Stmt::Let {
+                name: "K".into(),
+                value: SExpr::shape("A", 1),
+            },
             Stmt::PartitionBlocks {
                 name: "Cp".into(),
                 tensor: "C".into(),
@@ -121,9 +130,18 @@ pub fn build_with(
         params: params.clone(),
         body: vec![
             Stmt::Tunable { name: "W".into() },
-            Stmt::Let { name: "M".into(), value: SExpr::shape("C", 0) },
-            Stmt::Let { name: "N".into(), value: SExpr::shape("C", 1) },
-            Stmt::Let { name: "K".into(), value: SExpr::shape("A", 1) },
+            Stmt::Let {
+                name: "M".into(),
+                value: SExpr::shape("C", 0),
+            },
+            Stmt::Let {
+                name: "N".into(),
+                value: SExpr::shape("C", 1),
+            },
+            Stmt::Let {
+                name: "K".into(),
+                value: SExpr::shape("A", 1),
+            },
             Stmt::PartitionBlocks {
                 name: "Ap".into(),
                 tensor: "A".into(),
@@ -142,8 +160,16 @@ pub fn build_with(
                 tile_rows: v("W"),
                 tile_cols: v("N"),
             },
-            Stmt::MakeTensor { name: "Cacc".into(), rows: v("M"), cols: v("N"), dtype: DType::F16 },
-            Stmt::Launch { task: "clear".into(), args: vec![t("Cacc")] },
+            Stmt::MakeTensor {
+                name: "Cacc".into(),
+                rows: v("M"),
+                cols: v("N"),
+                dtype: DType::F16,
+            },
+            Stmt::Launch {
+                task: "clear".into(),
+                args: vec![t("Cacc")],
+            },
             Stmt::SRange {
                 var: "k".into(),
                 extent: SExpr::cdiv(v("K"), v("W")),
@@ -157,7 +183,10 @@ pub fn build_with(
                     ],
                 }],
             },
-            Stmt::Launch { task: "store".into(), args: vec![t("Cacc"), t("C")] },
+            Stmt::Launch {
+                task: "store".into(),
+                args: vec![t("Cacc"), t("C")],
+            },
         ],
     })?;
 
@@ -170,9 +199,18 @@ pub fn build_with(
         params: params.clone(),
         body: vec![
             Stmt::Tunable { name: "WGS".into() },
-            Stmt::Let { name: "M".into(), value: SExpr::shape("C", 0) },
-            Stmt::Let { name: "N".into(), value: SExpr::shape("C", 1) },
-            Stmt::Let { name: "K".into(), value: SExpr::shape("A", 1) },
+            Stmt::Let {
+                name: "M".into(),
+                value: SExpr::shape("C", 0),
+            },
+            Stmt::Let {
+                name: "N".into(),
+                value: SExpr::shape("C", 1),
+            },
+            Stmt::Let {
+                name: "K".into(),
+                value: SExpr::shape("A", 1),
+            },
             Stmt::PartitionBlocks {
                 name: "Cp".into(),
                 tensor: "C".into(),
@@ -207,8 +245,14 @@ pub fn build_with(
         kind: VariantKind::Inner,
         params,
         body: vec![
-            Stmt::Launch { task: "gemm".into(), args: vec![t("C"), t("A"), t("B1")] },
-            Stmt::Launch { task: "gemm".into(), args: vec![t("C"), t("A"), t("B2")] },
+            Stmt::Launch {
+                task: "gemm".into(),
+                args: vec![t("C"), t("A"), t("B1")],
+            },
+            Stmt::Launch {
+                task: "gemm".into(),
+                args: vec![t("C"), t("A"), t("B2")],
+            },
         ],
     })?;
 
@@ -233,7 +277,12 @@ pub fn build_with(
             "dual_tile",
             "dual_tile",
             ProcLevel::Block,
-            vec![MemLevel::None, MemLevel::Shared, MemLevel::Shared, MemLevel::Shared],
+            vec![
+                MemLevel::None,
+                MemLevel::Shared,
+                MemLevel::Shared,
+                MemLevel::Shared,
+            ],
         )
         .tunable("WGS", cfg.wgs as i64)
         .calls(&["dual_wg"]),
@@ -241,7 +290,12 @@ pub fn build_with(
             "dual_wg",
             "dual_wg",
             ProcLevel::Warpgroup,
-            vec![MemLevel::Register, MemLevel::Shared, MemLevel::Shared, MemLevel::Shared],
+            vec![
+                MemLevel::Register,
+                MemLevel::Shared,
+                MemLevel::Shared,
+                MemLevel::Shared,
+            ],
         )
         .calls(&["gemm_wgmma"]),
     ];
@@ -251,10 +305,30 @@ pub fn build_with(
     let mapping = MappingSpec::new(instances)?;
 
     let args = vec![
-        EntryArg { name: "C".into(), rows: m, cols: n, dtype: DType::F16 },
-        EntryArg { name: "A".into(), rows: m, cols: k, dtype: DType::F16 },
-        EntryArg { name: "B1".into(), rows: k, cols: n, dtype: DType::F16 },
-        EntryArg { name: "B2".into(), rows: k, cols: n, dtype: DType::F16 },
+        EntryArg {
+            name: "C".into(),
+            rows: m,
+            cols: n,
+            dtype: DType::F16,
+        },
+        EntryArg {
+            name: "A".into(),
+            rows: m,
+            cols: k,
+            dtype: DType::F16,
+        },
+        EntryArg {
+            name: "B1".into(),
+            rows: k,
+            cols: n,
+            dtype: DType::F16,
+        },
+        EntryArg {
+            name: "B2".into(),
+            rows: k,
+            cols: n,
+            dtype: DType::F16,
+        },
     ];
     Ok((reg, mapping, args))
 }

@@ -34,13 +34,27 @@ impl GemmConfig {
     /// The paper's hand-tuned H100 mapping.
     #[must_use]
     pub fn h100() -> Self {
-        GemmConfig { u: 128, v: 256, w: 64, wgs: 2, pipeline: 3, warpspecialize: true }
+        GemmConfig {
+            u: 128,
+            v: 256,
+            w: 64,
+            wgs: 2,
+            pipeline: 3,
+            warpspecialize: true,
+        }
     }
 
     /// A small mapping that fits the unit-test machine.
     #[must_use]
     pub fn test() -> Self {
-        GemmConfig { u: 64, v: 64, w: 32, wgs: 1, pipeline: 2, warpspecialize: true }
+        GemmConfig {
+            u: 64,
+            v: 64,
+            w: 32,
+            wgs: 1,
+            pipeline: 2,
+            warpspecialize: true,
+        }
     }
 
     /// Pick a mapping appropriate for `machine`.
@@ -96,9 +110,24 @@ pub fn build_with(
 
     let mapping = gemm_mapping(cfg)?;
     let args = vec![
-        EntryArg { name: "C".into(), rows: m, cols: n, dtype: DType::F16 },
-        EntryArg { name: "A".into(), rows: m, cols: k, dtype: DType::F16 },
-        EntryArg { name: "B".into(), rows: k, cols: n, dtype: DType::F16 },
+        EntryArg {
+            name: "C".into(),
+            rows: m,
+            cols: n,
+            dtype: DType::F16,
+        },
+        EntryArg {
+            name: "A".into(),
+            rows: m,
+            cols: k,
+            dtype: DType::F16,
+        },
+        EntryArg {
+            name: "B".into(),
+            rows: k,
+            cols: n,
+            dtype: DType::F16,
+        },
     ];
     Ok((reg, mapping, args))
 }
@@ -122,9 +151,18 @@ pub(crate) fn register_gemm_tasks(reg: &mut TaskRegistry) -> Result<(), CompileE
         body: vec![
             Stmt::Tunable { name: "U".into() },
             Stmt::Tunable { name: "V".into() },
-            Stmt::Let { name: "M".into(), value: SExpr::shape("C", 0) },
-            Stmt::Let { name: "N".into(), value: SExpr::shape("C", 1) },
-            Stmt::Let { name: "K".into(), value: SExpr::shape("A", 1) },
+            Stmt::Let {
+                name: "M".into(),
+                value: SExpr::shape("C", 0),
+            },
+            Stmt::Let {
+                name: "N".into(),
+                value: SExpr::shape("C", 1),
+            },
+            Stmt::Let {
+                name: "K".into(),
+                value: SExpr::shape("A", 1),
+            },
             Stmt::PartitionBlocks {
                 name: "Cp".into(),
                 tensor: "C".into(),
@@ -166,9 +204,18 @@ pub(crate) fn register_gemm_tasks(reg: &mut TaskRegistry) -> Result<(), CompileE
         params: params.clone(),
         body: vec![
             Stmt::Tunable { name: "W".into() },
-            Stmt::Let { name: "M".into(), value: SExpr::shape("C", 0) },
-            Stmt::Let { name: "N".into(), value: SExpr::shape("C", 1) },
-            Stmt::Let { name: "K".into(), value: SExpr::shape("A", 1) },
+            Stmt::Let {
+                name: "M".into(),
+                value: SExpr::shape("C", 0),
+            },
+            Stmt::Let {
+                name: "N".into(),
+                value: SExpr::shape("C", 1),
+            },
+            Stmt::Let {
+                name: "K".into(),
+                value: SExpr::shape("A", 1),
+            },
             Stmt::PartitionBlocks {
                 name: "Ap".into(),
                 tensor: "A".into(),
@@ -187,7 +234,10 @@ pub(crate) fn register_gemm_tasks(reg: &mut TaskRegistry) -> Result<(), CompileE
                 cols: v("N"),
                 dtype: DType::F16,
             },
-            Stmt::Launch { task: "clear".into(), args: vec![common::t("Cacc")] },
+            Stmt::Launch {
+                task: "clear".into(),
+                args: vec![common::t("Cacc")],
+            },
             Stmt::SRange {
                 var: "k".into(),
                 extent: SExpr::cdiv(v("K"), v("W")),
@@ -200,7 +250,10 @@ pub(crate) fn register_gemm_tasks(reg: &mut TaskRegistry) -> Result<(), CompileE
                     ],
                 }],
             },
-            Stmt::Launch { task: "store".into(), args: vec![common::t("Cacc"), common::t("C")] },
+            Stmt::Launch {
+                task: "store".into(),
+                args: vec![common::t("Cacc"), common::t("C")],
+            },
         ],
     })?;
 
@@ -212,9 +265,18 @@ pub(crate) fn register_gemm_tasks(reg: &mut TaskRegistry) -> Result<(), CompileE
         params,
         body: vec![
             Stmt::Tunable { name: "WGS".into() },
-            Stmt::Let { name: "M".into(), value: SExpr::shape("C", 0) },
-            Stmt::Let { name: "N".into(), value: SExpr::shape("C", 1) },
-            Stmt::Let { name: "K".into(), value: SExpr::shape("A", 1) },
+            Stmt::Let {
+                name: "M".into(),
+                value: SExpr::shape("C", 0),
+            },
+            Stmt::Let {
+                name: "N".into(),
+                value: SExpr::shape("C", 1),
+            },
+            Stmt::Let {
+                name: "K".into(),
+                value: SExpr::shape("A", 1),
+            },
             Stmt::PartitionBlocks {
                 name: "Cp".into(),
                 tensor: "C".into(),
@@ -294,8 +356,14 @@ mod tests {
     #[test]
     fn config_presets() {
         assert_eq!(GemmConfig::h100().wgs, 2);
-        assert_eq!(GemmConfig::for_machine(&MachineConfig::h100_sxm5()), GemmConfig::h100());
-        assert_eq!(GemmConfig::for_machine(&MachineConfig::test_gpu()), GemmConfig::test());
+        assert_eq!(
+            GemmConfig::for_machine(&MachineConfig::h100_sxm5()),
+            GemmConfig::h100()
+        );
+        assert_eq!(
+            GemmConfig::for_machine(&MachineConfig::test_gpu()),
+            GemmConfig::test()
+        );
     }
 
     #[test]

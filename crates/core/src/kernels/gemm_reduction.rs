@@ -83,9 +83,18 @@ pub fn build_with(
         body: vec![
             Stmt::Tunable { name: "U".into() },
             Stmt::Tunable { name: "V".into() },
-            Stmt::Let { name: "M".into(), value: SExpr::shape("C", 0) },
-            Stmt::Let { name: "N".into(), value: SExpr::shape("C", 1) },
-            Stmt::Let { name: "K".into(), value: SExpr::shape("A", 1) },
+            Stmt::Let {
+                name: "M".into(),
+                value: SExpr::shape("C", 0),
+            },
+            Stmt::Let {
+                name: "N".into(),
+                value: SExpr::shape("C", 1),
+            },
+            Stmt::Let {
+                name: "K".into(),
+                value: SExpr::shape("A", 1),
+            },
             Stmt::PartitionBlocks {
                 name: "Cp".into(),
                 tensor: "C".into(),
@@ -133,9 +142,18 @@ pub fn build_with(
         params: params.clone(),
         body: vec![
             Stmt::Tunable { name: "W".into() },
-            Stmt::Let { name: "M".into(), value: SExpr::shape("C", 0) },
-            Stmt::Let { name: "N".into(), value: SExpr::shape("C", 1) },
-            Stmt::Let { name: "K".into(), value: SExpr::shape("A", 1) },
+            Stmt::Let {
+                name: "M".into(),
+                value: SExpr::shape("C", 0),
+            },
+            Stmt::Let {
+                name: "N".into(),
+                value: SExpr::shape("C", 1),
+            },
+            Stmt::Let {
+                name: "K".into(),
+                value: SExpr::shape("A", 1),
+            },
             Stmt::PartitionBlocks {
                 name: "Ap".into(),
                 tensor: "A".into(),
@@ -148,10 +166,26 @@ pub fn build_with(
                 tile_rows: v("W"),
                 tile_cols: v("N"),
             },
-            Stmt::MakeTensor { name: "Cacc".into(), rows: v("M"), cols: v("N"), dtype: DType::F16 },
-            Stmt::MakeTensor { name: "Yacc".into(), rows: v("M"), cols: SExpr::lit(1), dtype: DType::F16 },
-            Stmt::Launch { task: "clear".into(), args: vec![t("Cacc")] },
-            Stmt::Launch { task: "vclear".into(), args: vec![t("Yacc")] },
+            Stmt::MakeTensor {
+                name: "Cacc".into(),
+                rows: v("M"),
+                cols: v("N"),
+                dtype: DType::F16,
+            },
+            Stmt::MakeTensor {
+                name: "Yacc".into(),
+                rows: v("M"),
+                cols: SExpr::lit(1),
+                dtype: DType::F16,
+            },
+            Stmt::Launch {
+                task: "clear".into(),
+                args: vec![t("Cacc")],
+            },
+            Stmt::Launch {
+                task: "vclear".into(),
+                args: vec![t("Yacc")],
+            },
             Stmt::SRange {
                 var: "k".into(),
                 extent: SExpr::cdiv(v("K"), v("W")),
@@ -165,8 +199,14 @@ pub fn build_with(
                     ],
                 }],
             },
-            Stmt::Launch { task: "store".into(), args: vec![t("Cacc"), t("C")] },
-            Stmt::Launch { task: "vstore".into(), args: vec![t("Yacc"), t("Y")] },
+            Stmt::Launch {
+                task: "store".into(),
+                args: vec![t("Cacc"), t("C")],
+            },
+            Stmt::Launch {
+                task: "vstore".into(),
+                args: vec![t("Yacc"), t("Y")],
+            },
         ],
     })?;
 
@@ -177,9 +217,18 @@ pub fn build_with(
         params: params.clone(),
         body: vec![
             Stmt::Tunable { name: "WGS".into() },
-            Stmt::Let { name: "M".into(), value: SExpr::shape("C", 0) },
-            Stmt::Let { name: "N".into(), value: SExpr::shape("C", 1) },
-            Stmt::Let { name: "K".into(), value: SExpr::shape("A", 1) },
+            Stmt::Let {
+                name: "M".into(),
+                value: SExpr::shape("C", 0),
+            },
+            Stmt::Let {
+                name: "N".into(),
+                value: SExpr::shape("C", 1),
+            },
+            Stmt::Let {
+                name: "K".into(),
+                value: SExpr::shape("A", 1),
+            },
             Stmt::PartitionBlocks {
                 name: "Cp".into(),
                 tensor: "C".into(),
@@ -222,8 +271,14 @@ pub fn build_with(
         kind: VariantKind::Inner,
         params,
         body: vec![
-            Stmt::Launch { task: "gemm".into(), args: vec![t("C"), t("A"), t("B")] },
-            Stmt::Launch { task: "rsum".into(), args: vec![t("Y"), t("A")] },
+            Stmt::Launch {
+                task: "gemm".into(),
+                args: vec![t("C"), t("A"), t("B")],
+            },
+            Stmt::Launch {
+                task: "rsum".into(),
+                args: vec![t("Y"), t("A")],
+            },
         ],
     })?;
 
@@ -237,7 +292,13 @@ pub fn build_with(
         {
             let mut mm = TaskMapping::new("gr_block", "gr_block", ProcLevel::Block, g4)
                 .tunable("W", cfg.w as i64)
-                .calls(&["clear_tile", "vclear_tile", "gr_tile", "store_tile", "vstore_tile"])
+                .calls(&[
+                    "clear_tile",
+                    "vclear_tile",
+                    "gr_tile",
+                    "store_tile",
+                    "vstore_tile",
+                ])
                 .pipeline(cfg.pipeline);
             if cfg.warpspecialize {
                 mm = mm.warpspecialize();
@@ -248,7 +309,12 @@ pub fn build_with(
             "gr_tile",
             "gr_tile",
             ProcLevel::Block,
-            vec![MemLevel::None, MemLevel::None, MemLevel::Shared, MemLevel::Shared],
+            vec![
+                MemLevel::None,
+                MemLevel::None,
+                MemLevel::Shared,
+                MemLevel::Shared,
+            ],
         )
         .tunable("WGS", cfg.wgs as i64)
         .calls(&["gr_wg"]),
@@ -256,7 +322,12 @@ pub fn build_with(
             "gr_wg",
             "gr_wg",
             ProcLevel::Warpgroup,
-            vec![MemLevel::Register, MemLevel::Register, MemLevel::Shared, MemLevel::Shared],
+            vec![
+                MemLevel::Register,
+                MemLevel::Register,
+                MemLevel::Shared,
+                MemLevel::Shared,
+            ],
         )
         .calls(&["gemm_wgmma", "rsum_leaf"]),
         common::leaf_mapping("rsum", vec![MemLevel::Register, MemLevel::Shared]),
@@ -269,10 +340,30 @@ pub fn build_with(
     let mapping = MappingSpec::new(instances)?;
 
     let args = vec![
-        EntryArg { name: "C".into(), rows: m, cols: n, dtype: DType::F16 },
-        EntryArg { name: "Y".into(), rows: m, cols: n / cfg.v, dtype: DType::F16 },
-        EntryArg { name: "A".into(), rows: m, cols: k, dtype: DType::F16 },
-        EntryArg { name: "B".into(), rows: k, cols: n, dtype: DType::F16 },
+        EntryArg {
+            name: "C".into(),
+            rows: m,
+            cols: n,
+            dtype: DType::F16,
+        },
+        EntryArg {
+            name: "Y".into(),
+            rows: m,
+            cols: n / cfg.v,
+            dtype: DType::F16,
+        },
+        EntryArg {
+            name: "A".into(),
+            rows: m,
+            cols: k,
+            dtype: DType::F16,
+        },
+        EntryArg {
+            name: "B".into(),
+            rows: k,
+            cols: n,
+            dtype: DType::F16,
+        },
     ];
     Ok((reg, mapping, args))
 }

@@ -42,6 +42,7 @@
 pub mod codegen;
 pub mod compile;
 pub mod error;
+pub mod fingerprint;
 pub mod front;
 pub mod ir;
 pub mod kernels;
@@ -49,6 +50,7 @@ pub mod passes;
 
 pub use compile::{Compiled, CompilerOptions, CypressCompiler};
 pub use error::CompileError;
+pub use fingerprint::fingerprint;
 pub use front::{
     ArgExpr, LeafFn, MappingSpec, MemLevel, ParamSig, Privilege, ProcLevel, SExpr, Stmt,
     TaskMapping, TaskRegistry, TaskVariant, VariantKind,

@@ -81,7 +81,11 @@ pub fn run(prog: &IrProgram, limit: usize) -> Result<Allocation, CompileError> {
     }
     let mut removable: Vec<(TensorId, TensorId)> = aux.iter().copied().collect();
     removable.sort_by_key(|&(a, b)| {
-        std::cmp::Reverse(prog.tensors[a].size_bytes().min(prog.tensors[b].size_bytes()))
+        std::cmp::Reverse(
+            prog.tensors[a]
+                .size_bytes()
+                .min(prog.tensors[b].size_bytes()),
+        )
     });
 
     loop {
@@ -105,6 +109,7 @@ pub fn run(prog: &IrProgram, limit: usize) -> Result<Allocation, CompileError> {
     }
 }
 
+#[allow(clippy::only_used_in_recursion)]
 fn collect(
     prog: &IrProgram,
     block: &Block,
@@ -127,9 +132,16 @@ fn collect(
             }
             _ => {
                 let (lo, hi) = enclosing.unwrap_or((at, at));
-                let span = if enclosing.is_some() { (lo, hi) } else { (at, at) };
+                let span = if enclosing.is_some() {
+                    (lo, hi)
+                } else {
+                    (at, at)
+                };
                 for r in op_tensors(op) {
-                    let e = ranges.entry(r).or_insert(Range { first: span.0, last: span.1 });
+                    let e = ranges.entry(r).or_insert(Range {
+                        first: span.0,
+                        last: span.1,
+                    });
                     e.first = e.first.min(span.0);
                     e.last = e.last.max(span.1);
                 }
@@ -159,6 +171,64 @@ fn op_tensors(op: &crate::ir::Op) -> Vec<TensorId> {
     }
 }
 
+/// Greedy region assignment honoring both real and auxiliary edges.
+fn build_allocation(
+    prog: &IrProgram,
+    shared: &[TensorId],
+    aux: &HashSet<(TensorId, TensorId)>,
+    ranges: &HashMap<TensorId, Range>,
+) -> Allocation {
+    let edge = |a: TensorId, b: TensorId| -> bool {
+        let (ra, rb) = (ranges[&a], ranges[&b]);
+        let real = ra.first <= rb.last && rb.first <= ra.last;
+        real || aux.contains(&(a.min(b), a.max(b)))
+            || aux.contains(&(a, b))
+            || aux.contains(&(b, a))
+    };
+    let mut region_of: HashMap<TensorId, usize> = HashMap::new();
+    let mut regions: Vec<Vec<TensorId>> = Vec::new();
+    for &t in shared {
+        let mut placed = false;
+        for (i, tenants) in regions.iter_mut().enumerate() {
+            if tenants.iter().all(|&o| !edge(t, o)) {
+                tenants.push(t);
+                region_of.insert(t, i);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            regions.push(vec![t]);
+            region_of.insert(t, regions.len() - 1);
+        }
+    }
+    let region_bytes: Vec<usize> = regions
+        .iter()
+        .map(|ts| {
+            ts.iter()
+                .map(|&t| prog.tensors[t].size_bytes())
+                .max()
+                .unwrap_or(0)
+        })
+        .collect();
+    // WAR pairs: aliased tenants ordered by live range.
+    let mut war_pairs = Vec::new();
+    for tenants in &regions {
+        if tenants.len() > 1 {
+            let mut sorted = tenants.clone();
+            sorted.sort_by_key(|t| ranges[t].first);
+            for w in sorted.windows(2) {
+                war_pairs.push((w[0], w[1]));
+            }
+        }
+    }
+    Allocation {
+        region_of,
+        region_bytes,
+        war_pairs,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,7 +242,16 @@ mod tests {
         let mut p = IrProgram::new("alloc");
         let elems = bytes_each / 2; // f16
         let ids: Vec<_> = (0..n)
-            .map(|i| p.add_tensor(format!("s{i}"), 1, elems, DType::F16, MemLevel::Shared, None))
+            .map(|i| {
+                p.add_tensor(
+                    format!("s{i}"),
+                    1,
+                    elems,
+                    DType::F16,
+                    MemLevel::Shared,
+                    None,
+                )
+            })
             .collect();
         let mut ops = Vec::new();
         if sequential {
@@ -183,7 +262,10 @@ mod tests {
                     result: e,
                     ty: EventType::Unit,
                     pre: vec![],
-                    kind: OpKind::Call { f: LeafFn::Fill(0.0), args: vec![TensorRef::whole(t)] },
+                    kind: OpKind::Call {
+                        f: LeafFn::Fill(0.0),
+                        args: vec![TensorRef::whole(t)],
+                    },
                 });
             }
         } else {
@@ -195,7 +277,10 @@ mod tests {
                 result: e,
                 ty: EventType::Unit,
                 pre: vec![],
-                kind: OpKind::Call { f: LeafFn::Fill(0.0), args },
+                kind: OpKind::Call {
+                    f: LeafFn::Fill(0.0),
+                    args,
+                },
             });
         }
         p.body = Block { ops };
@@ -230,7 +315,9 @@ mod tests {
         // out-of-memory diagnostic fires.
         let p = program(3, false, 1024);
         let err = run(&p, 2 * 1024);
-        assert!(matches!(err, Err(CompileError::OutOfSharedMemory { required, .. }) if required == 3 * 1024));
+        assert!(
+            matches!(err, Err(CompileError::OutOfSharedMemory { required, .. }) if required == 3 * 1024)
+        );
     }
 
     #[test]
@@ -240,51 +327,4 @@ mod tests {
         assert_eq!(a.total_bytes(), 0);
         assert!(a.region_of.is_empty());
     }
-}
-
-/// Greedy region assignment honoring both real and auxiliary edges.
-fn build_allocation(
-    prog: &IrProgram,
-    shared: &[TensorId],
-    aux: &HashSet<(TensorId, TensorId)>,
-    ranges: &HashMap<TensorId, Range>,
-) -> Allocation {
-    let edge = |a: TensorId, b: TensorId| -> bool {
-        let (ra, rb) = (ranges[&a], ranges[&b]);
-        let real = ra.first <= rb.last && rb.first <= ra.last;
-        real || aux.contains(&(a.min(b), a.max(b))) || aux.contains(&(a, b)) || aux.contains(&(b, a))
-    };
-    let mut region_of: HashMap<TensorId, usize> = HashMap::new();
-    let mut regions: Vec<Vec<TensorId>> = Vec::new();
-    for &t in shared {
-        let mut placed = false;
-        for (i, tenants) in regions.iter_mut().enumerate() {
-            if tenants.iter().all(|&o| !edge(t, o)) {
-                tenants.push(t);
-                region_of.insert(t, i);
-                placed = true;
-                break;
-            }
-        }
-        if !placed {
-            regions.push(vec![t]);
-            region_of.insert(t, regions.len() - 1);
-        }
-    }
-    let region_bytes: Vec<usize> = regions
-        .iter()
-        .map(|ts| ts.iter().map(|&t| prog.tensors[t].size_bytes()).max().unwrap_or(0))
-        .collect();
-    // WAR pairs: aliased tenants ordered by live range.
-    let mut war_pairs = Vec::new();
-    for tenants in &regions {
-        if tenants.len() > 1 {
-            let mut sorted = tenants.clone();
-            sorted.sort_by_key(|t| ranges[t].first);
-            for w in sorted.windows(2) {
-                war_pairs.push((w[0], w[1]));
-            }
-        }
-    }
-    Allocation { region_of, region_bytes, war_pairs }
 }

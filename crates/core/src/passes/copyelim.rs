@@ -44,7 +44,10 @@ pub struct Options {
 
 impl Default for Options {
     fn default() -> Self {
-        Options { spill_first: true, max_rounds: 512 }
+        Options {
+            spill_first: true,
+            max_rounds: 512,
+        }
     }
 }
 
@@ -135,12 +138,18 @@ enum CanonPart {
 
 fn canon_part(prog: &IrProgram, p: usize) -> CanonPart {
     match &prog.parts[p].kind {
-        crate::ir::PartKind::Blocks { tile_rows, tile_cols, .. } => {
-            CanonPart::Blocks(*tile_rows, *tile_cols)
-        }
-        crate::ir::PartKind::Mma { pieces, piece_rows, piece_cols, replicated, .. } => {
-            CanonPart::Mma(*pieces, *piece_rows, *piece_cols, *replicated)
-        }
+        crate::ir::PartKind::Blocks {
+            tile_rows,
+            tile_cols,
+            ..
+        } => CanonPart::Blocks(*tile_rows, *tile_cols),
+        crate::ir::PartKind::Mma {
+            pieces,
+            piece_rows,
+            piece_cols,
+            replicated,
+            ..
+        } => CanonPart::Mma(*pieces, *piece_rows, *piece_cols, *replicated),
     }
 }
 
@@ -151,7 +160,10 @@ fn canon_ref(prog: &IrProgram, r: &TensorRef) -> CanonRef {
             .path
             .iter()
             .map(|(p, idx)| {
-                (canon_part(prog, *p), idx.iter().map(|i| canon_idx(prog, i)).collect())
+                (
+                    canon_part(prog, *p),
+                    idx.iter().map(|i| canon_idx(prog, i)).collect(),
+                )
             })
             .collect(),
     }
@@ -446,7 +458,9 @@ fn forward_allocations(prog: &mut IrProgram) -> bool {
         // child allocation are downstream and collapse on later rounds.
         let upstream: Vec<&(TensorRef, EventId)> =
             u.partners.iter().filter(|(p, _)| p.tensor < t).collect();
-        let Some((first_ref, _)) = upstream.first().map(|x| (*x).clone()) else { continue };
+        let Some((first_ref, _)) = upstream.first().map(|x| (*x).clone()) else {
+            continue;
+        };
         let first = canon_ref(prog, &first_ref);
         if !upstream.iter().all(|(p, _)| canon_ref(prog, p) == first) {
             continue;
@@ -495,10 +509,13 @@ fn identify_pieces(prog: &mut IrProgram) -> bool {
                 } else {
                     // Only the first path entry must be the per-processor
                     // piece; deeper entries ride along.
-                    let c = canon_ref(prog, &TensorRef {
-                        tensor: t,
-                        path: vec![r.path[0].clone()],
-                    });
+                    let c = canon_ref(
+                        prog,
+                        &TensorRef {
+                            tensor: t,
+                            path: vec![r.path[0].clone()],
+                        },
+                    );
                     piece_canons.insert(c.path);
                 }
             }
@@ -612,19 +629,14 @@ fn hoist_invariant_copies(prog: &mut IrProgram) -> bool {
         }
     });
     let mut hoisted = false;
-    fn scan(
-        prog_names: &IrProgram,
-        block: &mut Block,
-        writers: &HashMap<TensorId, usize>,
-        hoisted: &mut bool,
-    ) {
+    fn scan(block: &mut Block, writers: &HashMap<TensorId, usize>, hoisted: &mut bool) {
         let mut i = 0;
         while i < block.ops.len() {
             let mut lift: Option<Op> = None;
             if let OpKind::For { var, body, .. } = &mut block.ops[i].kind {
                 let var = *var;
                 // Recurse first.
-                scan(prog_names, body, writers, hoisted);
+                scan(body, writers, hoisted);
                 if let Some(pos) = body.ops.iter().position(|op| {
                     if let OpKind::Copy { src, dst } = &op.kind {
                         !src.uses_var(var)
@@ -650,9 +662,8 @@ fn hoist_invariant_copies(prog: &mut IrProgram) -> bool {
             i += 1;
         }
     }
-    let prog_ro = prog.clone();
     let mut body = std::mem::take(&mut prog.body);
-    scan(&prog_ro, &mut body, &writers, &mut hoisted);
+    scan(&mut body, &writers, &mut hoisted);
     prog.body = body;
     hoisted
 }

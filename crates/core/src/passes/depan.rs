@@ -74,7 +74,14 @@ pub fn analyze(
     let mut frame = Frame::default();
     for (i, (arg, p)) in entry_args.iter().zip(variant.params.iter()).enumerate() {
         let mem = entry.mems.get(i).copied().unwrap_or(MemLevel::Global);
-        let id = a.prog.add_tensor(arg.name.clone(), arg.rows, arg.cols, arg.dtype, mem, Some(i));
+        let id = a.prog.add_tensor(
+            arg.name.clone(),
+            arg.rows,
+            arg.cols,
+            arg.dtype,
+            mem,
+            Some(i),
+        );
         frame.tensors.insert(p.name.clone(), id);
         frame.privs.insert(id, p.privilege);
     }
@@ -93,11 +100,19 @@ struct SVal {
 
 impl SVal {
     fn constant(v: i64) -> Self {
-        SVal { var: None, scale: 0, offset: v }
+        SVal {
+            var: None,
+            scale: 0,
+            offset: v,
+        }
     }
 
     fn var(v: VarId) -> Self {
-        SVal { var: Some(v), scale: 1, offset: 0 }
+        SVal {
+            var: Some(v),
+            scale: 1,
+            offset: 0,
+        }
     }
 
     fn as_const(&self) -> Option<i64> {
@@ -109,7 +124,11 @@ impl SVal {
     }
 
     fn to_idx(self) -> IdxExpr {
-        IdxExpr { var: self.var, scale: self.scale, offset: self.offset }
+        IdxExpr {
+            var: self.var,
+            scale: self.scale,
+            offset: self.offset,
+        }
     }
 }
 
@@ -200,11 +219,21 @@ impl<'a> Analyzer<'a> {
             SExpr::Add(a, b) => {
                 let (a, b) = (self.eval(frame, a)?, self.eval(frame, b)?);
                 match (a.var, b.var) {
-                    (_, None) => SVal { var: a.var, scale: a.scale, offset: a.offset + b.offset },
-                    (None, _) => SVal { var: b.var, scale: b.scale, offset: a.offset + b.offset },
-                    (Some(x), Some(y)) if x == y => {
-                        SVal { var: Some(x), scale: a.scale + b.scale, offset: a.offset + b.offset }
-                    }
+                    (_, None) => SVal {
+                        var: a.var,
+                        scale: a.scale,
+                        offset: a.offset + b.offset,
+                    },
+                    (None, _) => SVal {
+                        var: b.var,
+                        scale: b.scale,
+                        offset: a.offset + b.offset,
+                    },
+                    (Some(x), Some(y)) if x == y => SVal {
+                        var: Some(x),
+                        scale: a.scale + b.scale,
+                        offset: a.offset + b.offset,
+                    },
                     _ => return Err(CompileError::Scalar("sum of two loop variables".into())),
                 }
             }
@@ -214,16 +243,32 @@ impl<'a> Analyzer<'a> {
                     return Err(CompileError::Scalar("difference of loop variables".into()));
                 }
                 if a.var == b.var {
-                    SVal { var: None, scale: 0, offset: a.offset - b.offset }
+                    SVal {
+                        var: None,
+                        scale: 0,
+                        offset: a.offset - b.offset,
+                    }
                 } else {
-                    SVal { var: a.var, scale: a.scale, offset: a.offset - b.offset }
+                    SVal {
+                        var: a.var,
+                        scale: a.scale,
+                        offset: a.offset - b.offset,
+                    }
                 }
             }
             SExpr::Mul(a, b) => {
                 let (a, b) = (self.eval(frame, a)?, self.eval(frame, b)?);
                 match (a.as_const(), b.as_const()) {
-                    (Some(x), _) => SVal { var: b.var, scale: b.scale * x, offset: b.offset * x },
-                    (_, Some(y)) => SVal { var: a.var, scale: a.scale * y, offset: a.offset * y },
+                    (Some(x), _) => SVal {
+                        var: b.var,
+                        scale: b.scale * x,
+                        offset: b.offset * x,
+                    },
+                    (_, Some(y)) => SVal {
+                        var: a.var,
+                        scale: a.scale * y,
+                        offset: a.offset * y,
+                    },
                     _ => return Err(CompileError::Scalar("product of loop variables".into())),
                 }
             }
@@ -258,7 +303,11 @@ impl<'a> Analyzer<'a> {
     }
 
     fn resolve_tensor(&self, frame: &Frame, name: &str) -> Result<TensorId, CompileError> {
-        frame.tensors.get(name).copied().ok_or_else(|| CompileError::UnboundName(name.to_string()))
+        frame
+            .tensors
+            .get(name)
+            .copied()
+            .ok_or_else(|| CompileError::UnboundName(name.to_string()))
     }
 
     fn resolve_arg(&self, frame: &Frame, arg: &ArgExpr) -> Result<TensorRef, CompileError> {
@@ -274,11 +323,12 @@ impl<'a> Analyzer<'a> {
                     .map(|e| self.eval(frame, e).map(SVal::to_idx))
                     .collect::<Result<_, _>>()?;
                 let parent = self.prog.parts[pid].parent;
-                Ok(TensorRef { tensor: parent, path: vec![(pid, idx)] })
+                Ok(TensorRef {
+                    tensor: parent,
+                    path: vec![(pid, idx)],
+                })
             }
-            ArgExpr::Scalar(_) => {
-                Err(CompileError::Unsupported("scalar task arguments".into()))
-            }
+            ArgExpr::Scalar(_) => Err(CompileError::Unsupported("scalar task arguments".into())),
         }
     }
 
@@ -336,30 +386,33 @@ impl<'a> Analyzer<'a> {
             }
         }
         let result = self.prog.fresh_event();
-        block.ops.push(Op { result, ty: EventType::Unit, pre: inner, kind });
+        block.ops.push(Op {
+            result,
+            ty: EventType::Unit,
+            pre: inner,
+            kind,
+        });
         EventRef::unit(result)
     }
 
     /// Check the prange aliasing-write rule for a write to `r` under every
     /// enclosing pfor scope.
-    fn check_parallel_write(
-        &self,
-        variant: &str,
-        r: &TensorRef,
-    ) -> Result<(), CompileError> {
+    fn check_parallel_write(&self, variant: &str, r: &TensorRef) -> Result<(), CompileError> {
         for (i, s) in self.scopes.iter().enumerate() {
             let Some(v) = s.pfor_var else { continue };
             // Created at or below this scope => private per iteration.
-            let created_below =
-                self.scopes[i..].iter().any(|sc| sc.created.contains(&r.tensor));
+            let created_below = self.scopes[i..]
+                .iter()
+                .any(|sc| sc.created.contains(&r.tensor));
             if created_below {
                 continue;
             }
             // Otherwise the write must target a piece of a disjoint
             // partition indexed by the pfor variable.
-            let indexed_disjoint = r.path.iter().any(|(p, idx)| {
-                self.prog.parts[*p].is_disjoint() && idx.iter().any(|e| e.uses(v))
-            });
+            let indexed_disjoint = r
+                .path
+                .iter()
+                .any(|(p, idx)| self.prog.parts[*p].is_disjoint() && idx.iter().any(|e| e.uses(v)));
             if !indexed_disjoint {
                 return Err(CompileError::AliasingWrites {
                     variant: variant.to_string(),
@@ -411,13 +464,21 @@ impl<'a> Analyzer<'a> {
                 frame.scalars.insert(name.clone(), v);
             }
             Stmt::Tunable { name } => {
-                let v = *inst.tunables.get(name).ok_or_else(|| CompileError::UnboundTunable {
-                    variant: variant.name.clone(),
-                    tunable: name.clone(),
-                })?;
+                let v = *inst
+                    .tunables
+                    .get(name)
+                    .ok_or_else(|| CompileError::UnboundTunable {
+                        variant: variant.name.clone(),
+                        tunable: name.clone(),
+                    })?;
                 frame.scalars.insert(name.clone(), SVal::constant(v));
             }
-            Stmt::MakeTensor { name, rows, cols, dtype } => {
+            Stmt::MakeTensor {
+                name,
+                rows,
+                cols,
+                dtype,
+            } => {
                 let r = self.eval(frame, rows)?.as_const().ok_or_else(|| {
                     CompileError::Scalar("tensor extents must be loop-invariant".into())
                 })?;
@@ -437,9 +498,18 @@ impl<'a> Analyzer<'a> {
                 );
                 frame.tensors.insert(name.clone(), id);
                 frame.privs.insert(id, Privilege::ReadWrite);
-                self.scopes.last_mut().expect("scope stack").created.insert(id);
+                self.scopes
+                    .last_mut()
+                    .expect("scope stack")
+                    .created
+                    .insert(id);
             }
-            Stmt::PartitionBlocks { name, tensor, tile_rows, tile_cols } => {
+            Stmt::PartitionBlocks {
+                name,
+                tensor,
+                tile_rows,
+                tile_cols,
+            } => {
                 let t = self.resolve_tensor(frame, tensor)?;
                 let decl = &self.prog.tensors[t];
                 let (rows, cols) = (decl.rows, decl.cols);
@@ -464,7 +534,12 @@ impl<'a> Analyzer<'a> {
                 let pid = self.prog.add_part(name.clone(), t, kind);
                 frame.parts.insert(name.clone(), pid);
             }
-            Stmt::PartitionMma { name, tensor, level, operand } => {
+            Stmt::PartitionMma {
+                name,
+                tensor,
+                level,
+                operand,
+            } => {
                 let t = self.resolve_tensor(frame, tensor)?;
                 let decl = &self.prog.tensors[t];
                 let (rows, cols) = (decl.rows, decl.cols);
@@ -515,13 +590,18 @@ impl<'a> Analyzer<'a> {
                     .ok_or_else(|| CompileError::Scalar("srange extent must be constant".into()))?;
                 let v = self.prog.fresh_var();
                 frame.scalars.insert(var.clone(), SVal::var(v));
-                self.scopes.push(Scope::for_loop(self.prog.next_event, None));
+                self.scopes
+                    .push(Scope::for_loop(self.prog.next_event, None));
                 let mut inner = Block::default();
                 self.lower_stmts(inst, variant, frame, body, &mut inner)?;
                 self.close_loop(block, inner, v, n, None)?;
                 frame.scalars.remove(var);
             }
-            Stmt::PRange { vars, extents, body } => {
+            Stmt::PRange {
+                vars,
+                extents,
+                body,
+            } => {
                 if vars.len() != extents.len() || vars.is_empty() || vars.len() > 3 {
                     return Err(CompileError::Scalar("prange takes 1-3 variables".into()));
                 }
@@ -547,7 +627,9 @@ impl<'a> Analyzer<'a> {
                 return Ok(callee.proc);
             }
         }
-        Err(CompileError::Unsupported("prange body must contain a launch".into()))
+        Err(CompileError::Unsupported(
+            "prange body must contain a launch".into(),
+        ))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -572,9 +654,20 @@ impl<'a> Analyzer<'a> {
             .ok_or_else(|| CompileError::Scalar("prange extent must be constant".into()))?;
         let v = self.prog.fresh_var();
         frame.scalars.insert(vars[depth].clone(), SVal::var(v));
-        self.scopes.push(Scope::for_loop(self.prog.next_event, Some(v)));
+        self.scopes
+            .push(Scope::for_loop(self.prog.next_event, Some(v)));
         let mut inner = Block::default();
-        self.lower_prange(inst, variant, frame, vars, extents, body, proc, &mut inner, depth + 1)?;
+        self.lower_prange(
+            inst,
+            variant,
+            frame,
+            vars,
+            extents,
+            body,
+            proc,
+            &mut inner,
+            depth + 1,
+        )?;
         self.close_loop(block, inner, v, n, Some(proc))?;
         frame.scalars.remove(&vars[depth]);
         Ok(())
@@ -596,15 +689,27 @@ impl<'a> Analyzer<'a> {
             None => EventType::Unit,
         };
         let loop_ref = match pfor {
-            Some(_) => EventRef { event: result, idx: vec![EvIdx::All] },
+            Some(_) => EventRef {
+                event: result,
+                idx: vec![EvIdx::All],
+            },
             None => EventRef::unit(result),
         };
         // Loop preconditions: deps lifted out of the body. Route those that
         // are outer to the *new* current scope onward.
         let pre = scope.lifted;
         let kind = match pfor {
-            Some(proc) => OpKind::Pfor { var, extent, proc, body: inner },
-            None => OpKind::For { var, extent, body: inner },
+            Some(proc) => OpKind::Pfor {
+                var,
+                extent,
+                proc,
+                body: inner,
+            },
+            None => OpKind::For {
+                var,
+                extent,
+                body: inner,
+            },
         };
         // Re-route pres through the now-current scope.
         let scope_start = self.scopes.last().expect("scope stack").first_event;
@@ -618,7 +723,12 @@ impl<'a> Analyzer<'a> {
                 }
             }
         }
-        block.ops.push(Op { result, ty, pre: inner_pre, kind });
+        block.ops.push(Op {
+            result,
+            ty,
+            pre: inner_pre,
+            kind,
+        });
         // Propagate event state: tensors written in the loop now depend on
         // the whole loop; readers likewise.
         for t in &scope.writes {
@@ -648,7 +758,10 @@ impl<'a> Analyzer<'a> {
                 return self.map.instance(c);
             }
         }
-        Err(CompileError::NoDispatch { from: inst.instance.clone(), task: task.to_string() })
+        Err(CompileError::NoDispatch {
+            from: inst.instance.clone(),
+            task: task.to_string(),
+        })
     }
 
     fn lower_launch(
@@ -674,8 +787,11 @@ impl<'a> Analyzer<'a> {
         let mut resolved = Vec::new();
         for (arg, p) in args.iter().zip(callee_var.params.iter()) {
             let r = self.resolve_arg(frame, arg)?;
-            let caller_priv =
-                frame.privs.get(&r.tensor).copied().unwrap_or(Privilege::ReadWrite);
+            let caller_priv = frame
+                .privs
+                .get(&r.tensor)
+                .copied()
+                .unwrap_or(Privilege::ReadWrite);
             if !caller_priv.covers(p.privilege) {
                 return Err(CompileError::PrivilegeViolation {
                     variant: variant.name.clone(),
@@ -703,12 +819,19 @@ impl<'a> Analyzer<'a> {
                 mem,
                 None,
             );
-            self.scopes.last_mut().expect("scope stack").created.insert(fresh);
+            self.scopes
+                .last_mut()
+                .expect("scope stack")
+                .created
+                .insert(fresh);
             if p.privilege.can_read() {
                 let pre = self.read_deps(r.tensor);
                 let ev = self.emit(
                     block,
-                    OpKind::Copy { src: r.clone(), dst: TensorRef::whole(fresh) },
+                    OpKind::Copy {
+                        src: r.clone(),
+                        dst: TensorRef::whole(fresh),
+                    },
                     pre,
                 );
                 self.register_read(r.tensor, ev.clone());
@@ -722,8 +845,9 @@ impl<'a> Analyzer<'a> {
         let mut callee_block = self.lower_body(&callee_inst, &callee_var, &mut callee_frame)?;
         block.ops.append(&mut callee_block.ops);
 
-        for (r, (fresh, p)) in
-            resolved.iter().zip(fresh_ids.iter().zip(callee_var.params.iter()))
+        for (r, (fresh, p)) in resolved
+            .iter()
+            .zip(fresh_ids.iter().zip(callee_var.params.iter()))
         {
             if p.privilege.can_write() {
                 self.check_parallel_write(&variant.name, r)?;
@@ -731,7 +855,10 @@ impl<'a> Analyzer<'a> {
                 pre.extend(self.write_deps(r.tensor));
                 let ev = self.emit(
                     block,
-                    OpKind::Copy { src: TensorRef::whole(*fresh), dst: r.clone() },
+                    OpKind::Copy {
+                        src: TensorRef::whole(*fresh),
+                        dst: r.clone(),
+                    },
                     pre,
                 );
                 self.register_read(*fresh, ev.clone());
@@ -749,17 +876,25 @@ impl<'a> Analyzer<'a> {
         args: &[ArgExpr],
         block: &mut Block,
     ) -> Result<(), CompileError> {
-        let refs: Vec<TensorRef> =
-            args.iter().map(|a| self.resolve_arg(frame, a)).collect::<Result<_, _>>()?;
+        let refs: Vec<TensorRef> = args
+            .iter()
+            .map(|a| self.resolve_arg(frame, a))
+            .collect::<Result<_, _>>()?;
         if refs.is_empty() {
-            return Err(CompileError::Unsupported("call-external with no arguments".into()));
+            return Err(CompileError::Unsupported(
+                "call-external with no arguments".into(),
+            ));
         }
         let (reads, dst_reads) = leaf_effects(f, refs.len())?;
         let dst = refs.last().expect("nonempty").clone();
 
         // Privilege enforcement: the leaf may only write parameters its
         // task declared writable, and only read readable ones.
-        let dst_priv = frame.privs.get(&dst.tensor).copied().unwrap_or(Privilege::ReadWrite);
+        let dst_priv = frame
+            .privs
+            .get(&dst.tensor)
+            .copied()
+            .unwrap_or(Privilege::ReadWrite);
         if !dst_priv.can_write() {
             return Err(CompileError::PrivilegeViolation {
                 variant: variant.name.clone(),
@@ -768,7 +903,11 @@ impl<'a> Analyzer<'a> {
             });
         }
         for &i in &reads {
-            let p = frame.privs.get(&refs[i].tensor).copied().unwrap_or(Privilege::ReadWrite);
+            let p = frame
+                .privs
+                .get(&refs[i].tensor)
+                .copied()
+                .unwrap_or(Privilege::ReadWrite);
             if !p.can_read() {
                 return Err(CompileError::PrivilegeViolation {
                     variant: variant.name.clone(),
@@ -787,7 +926,14 @@ impl<'a> Analyzer<'a> {
             pre.extend(self.read_deps(dst.tensor));
         }
         self.check_parallel_write(&variant.name, &dst)?;
-        let ev = self.emit(block, OpKind::Call { f, args: refs.clone() }, pre);
+        let ev = self.emit(
+            block,
+            OpKind::Call {
+                f,
+                args: refs.clone(),
+            },
+            pre,
+        );
         for &i in &reads {
             self.register_read(refs[i].tensor, ev.clone());
         }

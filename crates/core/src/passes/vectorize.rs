@@ -37,7 +37,12 @@ fn vectorize_block(
             rewrite_ref(pre, promos);
         }
         match op.kind {
-            OpKind::Pfor { var, extent, proc, mut body } if proc.is_intra_block() => {
+            OpKind::Pfor {
+                var,
+                extent,
+                proc,
+                mut body,
+            } if proc.is_intra_block() => {
                 // Innermost first.
                 vectorize_block(prog, &mut body, promos);
                 prog.proc_vars.insert(var, proc);
@@ -64,12 +69,26 @@ fn vectorize_block(
                     promos.insert(op.result, (y, Vec::new()));
                 }
             }
-            OpKind::Pfor { var, extent, proc, mut body } => {
+            OpKind::Pfor {
+                var,
+                extent,
+                proc,
+                mut body,
+            } => {
                 vectorize_block(prog, &mut body, promos);
-                op.kind = OpKind::Pfor { var, extent, proc, body };
+                op.kind = OpKind::Pfor {
+                    var,
+                    extent,
+                    proc,
+                    body,
+                };
                 out.push(op);
             }
-            OpKind::For { var, extent, mut body } => {
+            OpKind::For {
+                var,
+                extent,
+                mut body,
+            } => {
                 vectorize_block(prog, &mut body, promos);
                 op.kind = OpKind::For { var, extent, body };
                 out.push(op);
@@ -162,4 +181,3 @@ fn pad_block(block: &mut Block, types: &HashMap<usize, usize>) {
         }
     }
 }
-

@@ -26,9 +26,7 @@
 
 use crate::error::CompileError;
 use crate::front::machine::{MemLevel, ProcLevel};
-use crate::ir::{
-    Block, EventType, IdxExpr, IrProgram, Op, OpKind, PartKind, TensorId, VarId,
-};
+use crate::ir::{Block, EventType, IdxExpr, IrProgram, Op, OpKind, PartKind, TensorId, VarId};
 use crate::passes::alloc::Allocation;
 use cypress_sim::{
     BinOp, Expr, Instr, Kernel, KernelBuilder, RedOp, RoleKind, SimtOp, Slice, UnOp,
@@ -46,7 +44,10 @@ pub struct SchedOptions {
 
 impl Default for SchedOptions {
     fn default() -> Self {
-        SchedOptions { warpspecialize: true, pipeline: 2 }
+        SchedOptions {
+            warpspecialize: true,
+            pipeline: 2,
+        }
     }
 }
 
@@ -131,10 +132,17 @@ impl<'a> Scheduler<'a> {
         let mut dim = 0;
         loop {
             if cur.ops.len() == 1 {
-                if let OpKind::Pfor { var, extent, proc: ProcLevel::Block, body } = &cur.ops[0].kind
+                if let OpKind::Pfor {
+                    var,
+                    extent,
+                    proc: ProcLevel::Block,
+                    body,
+                } = &cur.ops[0].kind
                 {
                     if dim >= 3 {
-                        return Err(CompileError::Unsupported("more than 3 grid dimensions".into()));
+                        return Err(CompileError::Unsupported(
+                            "more than 3 grid dimensions".into(),
+                        ));
                     }
                     block_vars.insert(*var, dim);
                     grid[dim] = *extent as usize;
@@ -193,8 +201,12 @@ impl<'a> Scheduler<'a> {
 
     fn build(&mut self) -> Result<Kernel, CompileError> {
         // Declare parameters in declaration order.
-        let mut params: Vec<&crate::ir::TensorDecl> =
-            self.prog.tensors.iter().filter(|t| t.param.is_some()).collect();
+        let mut params: Vec<&crate::ir::TensorDecl> = self
+            .prog
+            .tensors
+            .iter()
+            .filter(|t| t.param.is_some())
+            .collect();
         params.sort_by_key(|t| t.param);
         for t in params {
             let idx = self.builder.param(t.name.clone(), t.rows, t.cols, t.dtype);
@@ -228,7 +240,13 @@ impl<'a> Scheduler<'a> {
                 }
             }
         }
-        scan_loads(self.prog, self.body, false, &mut loaded_in_loop, &mut loaded_outside);
+        scan_loads(
+            self.prog,
+            self.body,
+            false,
+            &mut loaded_in_loop,
+            &mut loaded_outside,
+        );
 
         // Declare shared regions and register fragments for every tensor
         // that survives in the body.
@@ -258,7 +276,9 @@ impl<'a> Scheduler<'a> {
             match d.mem {
                 MemLevel::Shared => {
                     let stages = if loaded_in_loop.contains(&t) { pipe } else { 1 };
-                    let r = self.builder.smem(d.name.clone(), d.rows, d.cols, d.dtype, stages);
+                    let r = self
+                        .builder
+                        .smem(d.name.clone(), d.rows, d.cols, d.dtype, stages);
                     self.region_of.insert(t, r);
                     self.stages_of.insert(t, stages);
                 }
@@ -275,15 +295,20 @@ impl<'a> Scheduler<'a> {
                     }
                 }
                 MemLevel::None => {
-                    return Err(CompileError::NoneMemoryMaterialized { tensor: d.name.clone() })
+                    return Err(CompileError::NoneMemoryMaterialized {
+                        tensor: d.name.clone(),
+                    })
                 }
             }
         }
 
         // Barriers: one prod/cons pair per DMA-loaded smem tensor, plus a
         // copyout barrier if there is a DMA store fed by compute results.
-        let mut all_loaded: Vec<TensorId> =
-            loaded_in_loop.iter().chain(loaded_outside.iter()).copied().collect();
+        let mut all_loaded: Vec<TensorId> = loaded_in_loop
+            .iter()
+            .chain(loaded_outside.iter())
+            .copied()
+            .collect();
         all_loaded.sort_unstable();
         all_loaded.dedup();
         for t in &all_loaded {
@@ -368,14 +393,22 @@ impl<'a> Scheduler<'a> {
         for op in &block.ops {
             match classify(self.prog, op) {
                 Class::DmaLoad => {
-                    let OpKind::Copy { src, dst } = &op.kind else { unreachable!() };
+                    let OpKind::Copy { src, dst } = &op.kind else {
+                        unreachable!()
+                    };
                     let s = self.slice(src, 0)?;
                     let d = self.slice(dst, 0)?;
                     let bar = self.prod_bar[&dst.tensor];
-                    out.push(Instr::TmaLoad { src: s, dst: d, bar });
+                    out.push(Instr::TmaLoad {
+                        src: s,
+                        dst: d,
+                        bar,
+                    });
                 }
                 Class::DmaStore => {
-                    let OpKind::Copy { src, dst } = &op.kind else { unreachable!() };
+                    let OpKind::Copy { src, dst } = &op.kind else {
+                        unreachable!()
+                    };
                     if let Some(co) = self.copyout_bar {
                         if !pending_store {
                             out.push(Instr::MbarWait { bar: co });
@@ -390,7 +423,9 @@ impl<'a> Scheduler<'a> {
                 Class::Loop => {
                     let (var, extent, body, parallel) = match &op.kind {
                         OpKind::For { var, extent, body } => (*var, *extent, body, false),
-                        OpKind::Pfor { var, extent, body, .. } => (*var, *extent, body, true),
+                        OpKind::Pfor {
+                            var, extent, body, ..
+                        } => (*var, *extent, body, true),
                         _ => unreachable!(),
                     };
                     if parallel {
@@ -438,7 +473,11 @@ impl<'a> Scheduler<'a> {
                         }
                     }
                     guarded.extend(inner);
-                    out.push(Instr::Loop { var: sv, count: Expr::lit(extent), body: guarded });
+                    out.push(Instr::Loop {
+                        var: sv,
+                        count: Expr::lit(extent),
+                        body: guarded,
+                    });
                 }
             }
         }
@@ -488,16 +527,24 @@ impl<'a> Scheduler<'a> {
                 Class::DmaLoad => {
                     if !warpspec && wg == 0 {
                         // Bulk-synchronous mode: warpgroup 0 issues the load.
-                        let OpKind::Copy { src, dst } = &op.kind else { unreachable!() };
+                        let OpKind::Copy { src, dst } = &op.kind else {
+                            unreachable!()
+                        };
                         let s = self.slice(src, wg)?;
                         let d = self.slice(dst, wg)?;
                         let bar = self.prod_bar[&dst.tensor];
-                        out.push(Instr::TmaLoad { src: s, dst: d, bar });
+                        out.push(Instr::TmaLoad {
+                            src: s,
+                            dst: d,
+                            bar,
+                        });
                     }
                 }
                 Class::DmaStore => {
                     if !warpspec && wg == 0 {
-                        let OpKind::Copy { src, dst } = &op.kind else { unreachable!() };
+                        let OpKind::Copy { src, dst } = &op.kind else {
+                            unreachable!()
+                        };
                         flush_wgmma(&mut out, st, 0);
                         let s = self.slice(src, wg)?;
                         let d = self.slice(dst, wg)?;
@@ -599,7 +646,11 @@ impl<'a> Scheduler<'a> {
                         continue;
                     }
                     let sv = self.var_map[&var];
-                    out.push(Instr::Loop { var: sv, count: Expr::lit(extent), body: inner });
+                    out.push(Instr::Loop {
+                        var: sv,
+                        count: Expr::lit(extent),
+                        body: inner,
+                    });
                 }
             }
         }
@@ -692,24 +743,45 @@ impl<'a> Scheduler<'a> {
                     L::Exp => {
                         let s = sl(self, 0)?;
                         let d = sl(self, 1)?;
-                        out.push(Instr::Simt(SimtOp::Map { op: UnOp::Exp, src: s, dst: d }));
+                        out.push(Instr::Simt(SimtOp::Map {
+                            op: UnOp::Exp,
+                            src: s,
+                            dst: d,
+                        }));
                     }
                     L::Scale(c) => {
                         let s = sl(self, 0)?;
                         let d = sl(self, 1)?;
-                        out.push(Instr::Simt(SimtOp::Map { op: UnOp::Scale(*c), src: s, dst: d }));
+                        out.push(Instr::Simt(SimtOp::Map {
+                            op: UnOp::Scale(*c),
+                            src: s,
+                            dst: d,
+                        }));
                     }
                     L::AddExt | L::MaxExt => {
                         let a = sl(self, 0)?;
                         let b = sl(self, 1)?;
                         let d = sl(self, 2)?;
-                        let bin = if matches!(f, L::AddExt) { BinOp::Add } else { BinOp::Max };
-                        out.push(Instr::Simt(SimtOp::Zip { op: bin, a, b, dst: d }));
+                        let bin = if matches!(f, L::AddExt) {
+                            BinOp::Add
+                        } else {
+                            BinOp::Max
+                        };
+                        out.push(Instr::Simt(SimtOp::Zip {
+                            op: bin,
+                            a,
+                            b,
+                            dst: d,
+                        }));
                     }
                     L::RowMaxAccum | L::RowSumAccum => {
                         let s = sl(self, 0)?;
                         let d = sl(self, 1)?;
-                        let red = if matches!(f, L::RowMaxAccum) { RedOp::Max } else { RedOp::Sum };
+                        let red = if matches!(f, L::RowMaxAccum) {
+                            RedOp::Max
+                        } else {
+                            RedOp::Sum
+                        };
                         out.push(Instr::Simt(SimtOp::RowReduce {
                             op: red,
                             src: s,
@@ -726,7 +798,12 @@ impl<'a> Scheduler<'a> {
                             L::MulRow => BinOp::Mul,
                             _ => BinOp::Div,
                         };
-                        out.push(Instr::Simt(SimtOp::RowZip { op: bin, src: s, row: r, dst: d }));
+                        out.push(Instr::Simt(SimtOp::RowZip {
+                            op: bin,
+                            src: s,
+                            row: r,
+                            dst: d,
+                        }));
                     }
                 }
             }
@@ -749,7 +826,11 @@ impl<'a> Scheduler<'a> {
         for (pid, idx) in &r.path {
             let part = &self.prog.parts[*pid];
             match &part.kind {
-                PartKind::Blocks { tile_rows, tile_cols, .. } => {
+                PartKind::Blocks {
+                    tile_rows,
+                    tile_cols,
+                    ..
+                } => {
                     if idx.len() != 2 {
                         return Err(CompileError::Unsupported(
                             "blocks partitions are indexed with 2 coordinates".into(),
@@ -762,9 +843,10 @@ impl<'a> Scheduler<'a> {
                     rows = *tile_rows;
                     cols = *tile_cols;
                 }
-                PartKind::Mma { level, .. }
-                    if matches!(level, ProcLevel::Warp | ProcLevel::Thread) =>
-                {
+                PartKind::Mma {
+                    level: ProcLevel::Warp | ProcLevel::Thread,
+                    ..
+                } => {
                     // Fragment re-aggregation: the collective warpgroup
                     // operation covers all warp/thread pieces.
                     break;
@@ -823,7 +905,9 @@ impl<'a> Scheduler<'a> {
                 } else if let Some(sv) = self.var_map.get(&v) {
                     Expr::var(*sv)
                 } else {
-                    return Err(CompileError::Unsupported(format!("unmapped loop variable i{v}")));
+                    return Err(CompileError::Unsupported(format!(
+                        "unmapped loop variable i{v}"
+                    )));
                 }
             }
         };
@@ -831,6 +915,7 @@ impl<'a> Scheduler<'a> {
     }
 }
 
+#[allow(clippy::only_used_in_recursion)]
 fn scan_loads_block(
     prog: &IrProgram,
     b: &Block,
@@ -839,12 +924,11 @@ fn scan_loads_block(
 ) {
     for op in &b.ops {
         match &op.kind {
-            OpKind::Copy { src, dst } => {
+            OpKind::Copy { src, dst }
                 if prog.tensors[src.tensor].mem == MemLevel::Global
-                    && prog.tensors[dst.tensor].mem == MemLevel::Shared
-                {
-                    ol.insert(dst.tensor);
-                }
+                    && prog.tensors[dst.tensor].mem == MemLevel::Shared =>
+            {
+                ol.insert(dst.tensor);
             }
             OpKind::For { body, .. } | OpKind::Pfor { body, .. } => {
                 scan_loads_block(prog, body, il, ol);
@@ -874,7 +958,9 @@ impl ComputeState {
     fn last_conflict(&self, writes: &[TensorId], reads: &[TensorId]) -> Option<usize> {
         for (i, h) in self.outstanding.iter().enumerate().rev() {
             let raw = reads.iter().any(|t| h.writes.contains(t));
-            let war = writes.iter().any(|t| h.reads.contains(t) || h.writes.contains(t));
+            let war = writes
+                .iter()
+                .any(|t| h.reads.contains(t) || h.writes.contains(t));
             if raw || war {
                 return Some(i);
             }

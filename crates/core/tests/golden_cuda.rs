@@ -10,9 +10,12 @@ use cypress_sim::MachineConfig;
 fn compile(cfg: GemmConfig) -> cypress_core::Compiled {
     let machine = MachineConfig::h100_sxm5();
     let (reg, mapping, args) = gemm::build_with(4096, 4096, 4096, cfg).unwrap();
-    CypressCompiler::new(CompilerOptions { machine, ..Default::default() })
-        .compile(&reg, &mapping, "gemm", &args)
-        .unwrap()
+    CypressCompiler::new(CompilerOptions {
+        machine,
+        ..Default::default()
+    })
+    .compile(&reg, &mapping, "gemm", &args)
+    .unwrap()
 }
 
 #[test]
@@ -27,9 +30,18 @@ fn generated_gemm_has_fig1b_structure() {
 
     // The DMA warp waits for the consumer from iteration PIPE onward
     // (Fig. 1b line 9-10) and issues TMA loads.
-    let dma = cuda.split("// DMA warp").nth(1).unwrap().split("// compute").next().unwrap();
+    let dma = cuda
+        .split("// DMA warp")
+        .nth(1)
+        .unwrap()
+        .split("// compute")
+        .next()
+        .unwrap();
     assert!(dma.contains(">= 3"), "pipeline guard missing:\n{dma}");
-    assert!(dma.matches("TMA_load").count() >= 2, "A and B loads:\n{dma}");
+    assert!(
+        dma.matches("TMA_load").count() >= 2,
+        "A and B loads:\n{dma}"
+    );
     assert!(dma.contains("TMA_store"), "{dma}");
     assert!(dma.contains("tma_store_wait"), "{dma}");
 
@@ -39,8 +51,14 @@ fn generated_gemm_has_fig1b_structure() {
     let wg0 = wg.split("// compute warpgroup 1").next().unwrap();
     assert!(wg0.contains("wgmma("), "{wg0}");
     assert!(wg0.contains("warpgroup_wait<0>"), "{wg0}");
-    assert!(wg0.matches("wait(bar").count() >= 2, "producer waits:\n{wg0}");
-    assert!(wg0.matches("arrive(bar").count() >= 2, "consumer arrivals:\n{wg0}");
+    assert!(
+        wg0.matches("wait(bar").count() >= 2,
+        "producer waits:\n{wg0}"
+    );
+    assert!(
+        wg0.matches("arrive(bar").count() >= 2,
+        "consumer arrivals:\n{wg0}"
+    );
 
     // Pipelined buffers are stage-indexed modulo the pipeline depth.
     assert!(cuda.contains("% 3"), "stage indexing:\n{cuda}");
@@ -53,7 +71,11 @@ fn generated_gemm_has_fig1b_structure() {
 fn warpgroup_count_follows_the_mapping() {
     // One warpgroup needs 64-row block tiles (the WGMMA instruction's m);
     // the mapping controls both, with no change to the task tree.
-    let one = compile(GemmConfig { wgs: 1, u: 64, ..GemmConfig::h100() });
+    let one = compile(GemmConfig {
+        wgs: 1,
+        u: 64,
+        ..GemmConfig::h100()
+    });
     assert_eq!(one.kernel.num_compute_warpgroups(), 1);
     assert_eq!(one.kernel.grid, [64, 16, 1]);
     let two = compile(GemmConfig::h100());
@@ -70,11 +92,20 @@ fn illegal_single_warpgroup_tile_is_rejected() {
     // partition; the architecture mandates 64 (Fig. 4), and the partition
     // operator reports it.
     let machine = MachineConfig::h100_sxm5();
-    let cfg = GemmConfig { wgs: 1, ..GemmConfig::h100() };
+    let cfg = GemmConfig {
+        wgs: 1,
+        ..GemmConfig::h100()
+    };
     let (reg, mapping, args) = gemm::build_with(4096, 4096, 4096, cfg).unwrap();
-    let err = CypressCompiler::new(CompilerOptions { machine, ..Default::default() })
-        .compile(&reg, &mapping, "gemm", &args);
-    assert!(matches!(err, Err(cypress_core::CompileError::Partition(_))), "{err:?}");
+    let err = CypressCompiler::new(CompilerOptions {
+        machine,
+        ..Default::default()
+    })
+    .compile(&reg, &mapping, "gemm", &args);
+    assert!(
+        matches!(err, Err(cypress_core::CompileError::Partition(_))),
+        "{err:?}"
+    );
 }
 
 #[test]
@@ -83,7 +114,10 @@ fn register_accounting_respects_the_hopper_limit() {
     // 64x256 f32 accumulator = 128 registers per thread + base, under 255.
     let regs = compiled.kernel.regs_per_thread();
     assert!(regs <= 255, "regs {regs}");
-    assert!(regs >= 128, "accumulator must live in registers, got {regs}");
+    assert!(
+        regs >= 128,
+        "accumulator must live in registers, got {regs}"
+    );
 }
 
 #[test]

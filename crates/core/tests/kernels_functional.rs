@@ -17,7 +17,10 @@ fn compile_and_run(
     params: Vec<Tensor>,
 ) -> Vec<Tensor> {
     let machine = MachineConfig::test_gpu();
-    let compiler = CypressCompiler::new(CompilerOptions { machine: machine.clone(), ..Default::default() });
+    let compiler = CypressCompiler::new(CompilerOptions {
+        machine: machine.clone(),
+        ..Default::default()
+    });
     let compiled = compiler.compile(reg, mapping, name, args).unwrap();
     let sim = Simulator::new(machine);
     sim.run_functional(&compiled.kernel, params).unwrap().params
@@ -33,7 +36,13 @@ fn batched_gemm_matches_reference() {
     let b = Tensor::random(DType::F16, &[l * k, n], &mut rng, -1.0, 1.0);
     let c = Tensor::zeros(DType::F16, &[l * m, n]);
 
-    let out = compile_and_run(&reg, &mapping, "bgemm", &args, vec![c, a.clone(), b.clone()]);
+    let out = compile_and_run(
+        &reg,
+        &mapping,
+        "bgemm",
+        &args,
+        vec![c, a.clone(), b.clone()],
+    );
     // Check each batch element against its own reference GEMM.
     for li in 0..l {
         let al = Tensor::from_data(
@@ -122,12 +131,22 @@ fn attention_case(alg: attention::Algorithm, heads: usize, seq: usize, d: usize)
     let v = Tensor::random(DType::F16, &[rows, d], &mut rng, -1.0, 1.0);
     let o = Tensor::zeros(DType::F16, &[rows, d]);
 
-    let out = compile_and_run(&reg, &mapping, "fa", &args, vec![o, q.clone(), k.clone(), v.clone()]);
+    let out = compile_and_run(
+        &reg,
+        &mapping,
+        "fa",
+        &args,
+        vec![o, q.clone(), k.clone(), v.clone()],
+    );
 
     for h in 0..heads {
         let sl = |t: &Tensor| {
-            Tensor::from_data(DType::F16, &[seq, d], t.data()[h * seq * d..(h + 1) * seq * d].to_vec())
-                .unwrap()
+            Tensor::from_data(
+                DType::F16,
+                &[seq, d],
+                t.data()[h * seq * d..(h + 1) * seq * d].to_vec(),
+            )
+            .unwrap()
         };
         let want = reference::attention(&sl(&q), &sl(&k), &sl(&v), DType::F16).unwrap();
         let got = sl(&out[0]);

@@ -87,9 +87,22 @@ fn pattern_order_ablation_still_converges() {
     vectorize::run(&mut a);
     vectorize::normalize_ranks(&mut a);
     let mut b = a.clone();
-    let sf = copyelim::run(&mut a, copyelim::Options { spill_first: true, max_rounds: 512 }).unwrap();
-    let sl =
-        copyelim::run(&mut b, copyelim::Options { spill_first: false, max_rounds: 512 }).unwrap();
+    let sf = copyelim::run(
+        &mut a,
+        copyelim::Options {
+            spill_first: true,
+            max_rounds: 512,
+        },
+    )
+    .unwrap();
+    let sl = copyelim::run(
+        &mut b,
+        copyelim::Options {
+            spill_first: false,
+            max_rounds: 512,
+        },
+    )
+    .unwrap();
     // Both orderings reach a fixpoint with the same surviving copies (the
     // paper orders spill patterns first to elide more synchronization; the
     // copy count converges either way).
@@ -110,7 +123,9 @@ fn bad_none_mapping_is_rejected_not_miscompiled() {
     for i in &mut instances {
         // Deny shared memory to the whole gemm chain: the Tensor Core
         // operands then have no legal home.
-        if i.instance.starts_with("gemm_") && i.instance != "gemm_host" && i.instance != "gemm_block"
+        if i.instance.starts_with("gemm_")
+            && i.instance != "gemm_host"
+            && i.instance != "gemm_block"
         {
             i.mems = vec![
                 cypress_core::MemLevel::None,
@@ -120,8 +135,10 @@ fn bad_none_mapping_is_rejected_not_miscompiled() {
         }
     }
     let broken = cypress_core::MappingSpec::new(instances).unwrap();
-    let compiler =
-        CypressCompiler::new(CompilerOptions { machine, ..Default::default() });
+    let compiler = CypressCompiler::new(CompilerOptions {
+        machine,
+        ..Default::default()
+    });
     let err = compiler.compile(&reg, &broken, "gemm", &args);
     assert!(err.is_err(), "broken mapping must be rejected, got {err:?}");
 }
@@ -147,19 +164,28 @@ fn none_memory_survivor_is_reported() {
                 result: e1,
                 ty: EventType::Unit,
                 pre: vec![],
-                kind: OpKind::Copy { src: TensorRef::whole(s), dst: TensorRef::whole(t) },
+                kind: OpKind::Copy {
+                    src: TensorRef::whole(s),
+                    dst: TensorRef::whole(t),
+                },
             },
             Op {
                 result: e2,
                 ty: EventType::Unit,
                 pre: vec![],
-                kind: OpKind::Copy { src: TensorRef::whole(t), dst: TensorRef::whole(d1) },
+                kind: OpKind::Copy {
+                    src: TensorRef::whole(t),
+                    dst: TensorRef::whole(d1),
+                },
             },
             Op {
                 result: e3,
                 ty: EventType::Unit,
                 pre: vec![],
-                kind: OpKind::Copy { src: TensorRef::whole(t), dst: TensorRef::whole(d2) },
+                kind: OpKind::Copy {
+                    src: TensorRef::whole(t),
+                    dst: TensorRef::whole(d2),
+                },
             },
         ],
     };

@@ -1,0 +1,138 @@
+//! Errors of the task-graph runtime.
+
+use cypress_core::CompileError;
+use cypress_sim::SimError;
+use cypress_tensor::DType;
+use std::fmt;
+
+/// Anything that can go wrong building or executing a task graph.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// A node's program failed to compile.
+    Compile(CompileError),
+    /// The simulator rejected or failed a launch.
+    Sim(SimError),
+    /// A node referenced a node id the graph does not contain.
+    UnknownNode {
+        /// The offending id.
+        id: usize,
+    },
+    /// A node was added with the wrong number of bindings.
+    ArityMismatch {
+        /// Node name.
+        node: String,
+        /// Parameters the program declares.
+        expected: usize,
+        /// Bindings supplied.
+        actual: usize,
+    },
+    /// A tensor-buffer edge connects parameters of different shapes.
+    ShapeMismatch {
+        /// Consumer node name.
+        node: String,
+        /// Consumer parameter name.
+        param: String,
+        /// Expected `(rows, cols)`.
+        expected: (usize, usize),
+        /// Bound `(rows, cols)`.
+        actual: (usize, usize),
+    },
+    /// A tensor-buffer edge connects parameters of different dtypes.
+    DtypeMismatch {
+        /// Consumer node name.
+        node: String,
+        /// Consumer parameter name.
+        param: String,
+        /// The consumer parameter's dtype.
+        expected: DType,
+        /// The producer parameter's dtype.
+        actual: DType,
+    },
+    /// An `Output` binding referenced a parameter index the producer
+    /// doesn't have.
+    BadOutputIndex {
+        /// Producer node name.
+        node: String,
+        /// The out-of-range parameter index.
+        param: usize,
+    },
+    /// A functional launch was missing an external input tensor.
+    MissingInput {
+        /// The unbound input name.
+        name: String,
+    },
+    /// An external tensor's shape or dtype didn't match the parameter.
+    BadInput {
+        /// The input name.
+        name: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// Two graph nodes were given the same name.
+    DuplicateNode {
+        /// The repeated name.
+        name: String,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Compile(e) => write!(f, "compile error: {e}"),
+            RuntimeError::Sim(e) => write!(f, "simulation error: {e}"),
+            RuntimeError::UnknownNode { id } => write!(f, "unknown node id {id}"),
+            RuntimeError::ArityMismatch { node, expected, actual } => write!(
+                f,
+                "node `{node}`: program declares {expected} parameters but {actual} bindings were supplied"
+            ),
+            RuntimeError::ShapeMismatch { node, param, expected, actual } => write!(
+                f,
+                "node `{node}` parameter `{param}`: expected {}x{}, bound {}x{}",
+                expected.0, expected.1, actual.0, actual.1
+            ),
+            RuntimeError::DtypeMismatch {
+                node,
+                param,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "node `{node}` parameter `{param}`: expected dtype {expected:?}, bound {actual:?}"
+            ),
+            RuntimeError::BadOutputIndex { node, param } => {
+                write!(f, "node `{node}` has no parameter index {param}")
+            }
+            RuntimeError::MissingInput { name } => {
+                write!(f, "functional launch missing external input `{name}`")
+            }
+            RuntimeError::BadInput { name, reason } => {
+                write!(f, "external input `{name}` rejected: {reason}")
+            }
+            RuntimeError::DuplicateNode { name } => {
+                write!(f, "duplicate node name `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Compile(e) => Some(e),
+            RuntimeError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CompileError> for RuntimeError {
+    fn from(e: CompileError) -> Self {
+        RuntimeError::Compile(e)
+    }
+}
+
+impl From<SimError> for RuntimeError {
+    fn from(e: SimError) -> Self {
+        RuntimeError::Sim(e)
+    }
+}

@@ -1,0 +1,181 @@
+//! Topological graph execution over the simulator.
+//!
+//! The executor walks the deterministic schedule of a [`TaskGraph`] and
+//! launches each node's compiled kernel on [`cypress_sim::Simulator`]. In
+//! **functional** mode it threads real tensors along the graph's
+//! tensor-buffer edges — the output buffers of one launch become the input
+//! buffers of the next — recycling dead intermediates through the
+//! [`BufferPool`]. In **timing** mode no data moves; per-node
+//! [`cypress_sim::TimingReport`]s accumulate into a whole-graph
+//! [`GraphReport`] whose makespan is the sum of the launches.
+
+use crate::error::RuntimeError;
+use crate::graph::{Binding, NodeId, TaskGraph};
+use crate::pool::BufferPool;
+use crate::report::{GraphReport, NodeTiming};
+use cypress_core::Compiled;
+use cypress_sim::Simulator;
+use cypress_tensor::Tensor;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The result of a functional graph launch: final parameter tensors of
+/// every retained node plus the timing report of the simulated schedule.
+#[derive(Debug)]
+pub struct GraphRun {
+    names: Vec<String>,
+    /// Per node: final parameter tensors in declaration order (`None` for
+    /// nodes whose buffers were recycled into the pool).
+    results: Vec<Option<Vec<Option<Tensor>>>>,
+    /// Whole-graph timing of the same schedule.
+    pub report: GraphReport,
+}
+
+impl GraphRun {
+    /// The final tensor of `param` of node `id`, if retained.
+    #[must_use]
+    pub fn tensor(&self, id: NodeId, param: usize) -> Option<&Tensor> {
+        self.results.get(id.index())?.as_ref()?.get(param)?.as_ref()
+    }
+
+    /// Like [`GraphRun::tensor`], addressing the node by name.
+    #[must_use]
+    pub fn tensor_of(&self, node: &str, param: usize) -> Option<&Tensor> {
+        let idx = self.names.iter().position(|n| n == node)?;
+        self.tensor(NodeId(idx), param)
+    }
+
+    /// Move the final tensor of `(id, param)` out of the run.
+    #[must_use]
+    pub fn take_tensor(&mut self, id: NodeId, param: usize) -> Option<Tensor> {
+        self.results
+            .get_mut(id.index())?
+            .as_mut()?
+            .get_mut(param)?
+            .take()
+    }
+}
+
+/// `true` if `node`'s buffers survive the launch: sinks (nothing consumes
+/// them) and explicitly retained nodes.
+fn keeps_buffers(graph: &TaskGraph, node: usize, total_consumers: &[usize]) -> bool {
+    graph.nodes()[node].retain || total_consumers[node] == 0
+}
+
+/// `kernels` is indexed by `NodeId::index()` (one entry per graph node).
+pub(crate) fn run_functional(
+    simulator: &Simulator,
+    graph: &TaskGraph,
+    kernels: &[Arc<Compiled>],
+    inputs: &HashMap<String, Tensor>,
+    pool: &mut BufferPool,
+) -> Result<GraphRun, RuntimeError> {
+    let schedule = graph.schedule();
+    let mut per_param = graph.consumer_counts();
+    let total_initial: Vec<usize> = per_param.iter().map(|c| c.iter().sum()).collect();
+    let mut total_remaining = total_initial.clone();
+    let mut slots: Vec<Option<Vec<Option<Tensor>>>> = vec![None; graph.len()];
+    let mut report = GraphReport::default();
+
+    for &id in &schedule {
+        let node = &graph.nodes()[id.index()];
+        let compiled = &kernels[id.index()];
+        let mut params = Vec::with_capacity(node.bindings.len());
+        for (i, binding) in node.bindings.iter().enumerate() {
+            let arg = &node.program.args[i];
+            let tensor = match binding {
+                Binding::External(name) => {
+                    let t = inputs
+                        .get(name)
+                        .ok_or_else(|| RuntimeError::MissingInput { name: name.clone() })?;
+                    if t.shape() != [arg.rows, arg.cols] {
+                        return Err(RuntimeError::BadInput {
+                            name: name.clone(),
+                            reason: format!(
+                                "has shape {:?}, parameter `{}` of `{}` needs {}x{}",
+                                t.shape(),
+                                arg.name,
+                                node.name,
+                                arg.rows,
+                                arg.cols
+                            ),
+                        });
+                    }
+                    if t.dtype() != arg.dtype {
+                        return Err(RuntimeError::BadInput {
+                            name: name.clone(),
+                            reason: format!(
+                                "has dtype {:?}, parameter `{}` of `{}` is {:?}",
+                                t.dtype(),
+                                arg.name,
+                                node.name,
+                                arg.dtype
+                            ),
+                        });
+                    }
+                    t.clone()
+                }
+                Binding::Output { node: src, param } => {
+                    per_param[src.0][*param] -= 1;
+                    total_remaining[src.0] -= 1;
+                    let slot = slots[src.0]
+                        .as_mut()
+                        .and_then(|s| s.get_mut(*param))
+                        .expect("producer ran before consumer (schedule is topological)");
+                    let last_use = per_param[src.0][*param] == 0
+                        && !keeps_buffers(graph, src.0, &total_initial);
+                    if last_use {
+                        slot.take().expect("edge buffer consumed twice")
+                    } else {
+                        slot.as_ref().expect("edge buffer missing").clone()
+                    }
+                }
+                Binding::Zeros => pool.acquire(arg.dtype, arg.rows, arg.cols),
+            };
+            params.push(tensor);
+        }
+
+        let run = simulator.run_functional(&compiled.kernel, params)?;
+        report.nodes.push(NodeTiming {
+            node: node.name.clone(),
+            report: run.report,
+        });
+        slots[id.index()] = Some(run.params.into_iter().map(Some).collect());
+
+        // Recycle any producer this node just finished draining.
+        for dep in graph.dependencies(id) {
+            if total_remaining[dep.0] == 0 && !keeps_buffers(graph, dep.0, &total_initial) {
+                if let Some(rest) = slots[dep.0].take() {
+                    for t in rest.into_iter().flatten() {
+                        pool.release(t);
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(GraphRun {
+        names: graph.nodes().iter().map(|n| n.name.clone()).collect(),
+        results: slots,
+        report,
+    })
+}
+
+/// `kernels` is indexed by `NodeId::index()` (one entry per graph node).
+pub(crate) fn run_timing(
+    simulator: &Simulator,
+    graph: &TaskGraph,
+    kernels: &[Arc<Compiled>],
+) -> Result<GraphReport, RuntimeError> {
+    let schedule = graph.schedule();
+    let mut report = GraphReport::default();
+    for &id in &schedule {
+        let node = &graph.nodes()[id.index()];
+        let timing = simulator.run_timing(&kernels[id.index()].kernel)?;
+        report.nodes.push(NodeTiming {
+            node: node.name.clone(),
+            report: timing,
+        });
+    }
+    Ok(report)
+}

@@ -1,0 +1,79 @@
+//! `cypress-runtime`: a task-graph runtime above the Cypress compiler.
+//!
+//! The paper's programming model is task-based, and real workloads —
+//! transformer layers, serving pipelines — are *graphs* of kernels, not
+//! single launches. This crate adds the runtime layer the compiler and
+//! simulator don't provide (the role Taskflow-style DAG executors and
+//! Hidet's driver layer play in related systems):
+//!
+//! - [`Program`]: one compilable unit — task registry, mapping
+//!   specification, entry name, and entry argument descriptors;
+//! - [`TaskGraph`]: a DAG of kernel launches whose edges are explicit
+//!   tensor buffers ([`Binding::Output`] wires a producer's parameter
+//!   buffer into a consumer's parameter slot);
+//! - [`Session`]: the long-lived object owning a **compiled-kernel
+//!   cache** keyed by the stable fingerprint of
+//!   `(tasks, mapping, entry args, machine, options)` — a repeated launch
+//!   skips the Fig. 6 pass pipeline entirely — plus a [`BufferPool`] that
+//!   recycles intermediate tensors across launches;
+//! - an executor that topologically schedules the graph over
+//!   [`cypress_sim::Simulator`], threading output tensors of one launch
+//!   into the inputs of the next (functional mode) or accumulating a
+//!   whole-graph [`GraphReport`] with per-node breakdown (timing mode).
+//!
+//! # Example: GEMM → GEMM as one graph
+//!
+//! ```
+//! use cypress_runtime::{Binding, Program, Session, TaskGraph};
+//! use cypress_core::kernels::gemm;
+//! use cypress_sim::MachineConfig;
+//! use cypress_tensor::{DType, Tensor};
+//! use std::collections::HashMap;
+//!
+//! let machine = MachineConfig::test_gpu();
+//! let program = Program::from_parts(gemm::build(64, 64, 64, &machine), "gemm");
+//!
+//! let mut graph = TaskGraph::new();
+//! // C1 = A @ B
+//! let first = graph.add_node("first", program.clone(), vec![
+//!     Binding::Zeros,
+//!     Binding::external("A"),
+//!     Binding::external("B"),
+//! ])?;
+//! // C2 = C1 @ B — the tensor-buffer edge wires first's C into A's slot.
+//! let second = graph.add_node("second", program, vec![
+//!     Binding::Zeros,
+//!     Binding::output(first, 0),
+//!     Binding::external("B"),
+//! ])?;
+//!
+//! let mut session = Session::new(machine);
+//! let inputs = HashMap::from([
+//!     ("A".to_string(), Tensor::full(DType::F16, &[64, 64], 0.25)),
+//!     ("B".to_string(), Tensor::full(DType::F16, &[64, 64], 0.5)),
+//! ]);
+//! let run = session.launch_functional(&graph, &inputs)?;
+//! assert!(run.tensor(second, 0).is_some());
+//! // Both nodes share one compiled kernel: one miss, one hit.
+//! assert_eq!(session.cache_stats().misses, 1);
+//! assert_eq!(session.cache_stats().hits, 1);
+//! # Ok::<(), cypress_runtime::RuntimeError>(())
+//! ```
+
+pub mod cache;
+pub mod error;
+pub mod executor;
+pub mod graph;
+pub mod pool;
+pub mod program;
+pub mod report;
+pub mod session;
+
+pub use cache::{CacheStats, KernelCache};
+pub use error::RuntimeError;
+pub use executor::GraphRun;
+pub use graph::{Binding, Node, NodeId, TaskGraph};
+pub use pool::{BufferPool, PoolStats};
+pub use program::Program;
+pub use report::{GraphReport, NodeTiming};
+pub use session::Session;

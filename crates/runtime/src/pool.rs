@@ -1,0 +1,106 @@
+//! Buffer pool for intermediate tensors.
+//!
+//! Graph execution allocates one buffer per `Zeros` binding per launch;
+//! a serving workload launches the same graph over and over, so those
+//! allocations dominate steady-state churn. The pool keeps released
+//! buffers keyed by `(dtype, element count)` and hands them back zeroed,
+//! turning per-launch allocation into reuse.
+
+use cypress_tensor::{DType, Tensor};
+use std::collections::HashMap;
+
+/// Allocation counters for observability and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffers handed out in total.
+    pub acquired: u64,
+    /// Acquisitions served by reuse instead of fresh allocation.
+    pub reused: u64,
+    /// Buffers currently parked in the pool.
+    pub free: usize,
+}
+
+/// A free-list of tensors keyed by `(dtype, element count)`.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    free: HashMap<(DType, usize), Vec<Tensor>>,
+    acquired: u64,
+    reused: u64,
+}
+
+impl BufferPool {
+    /// An empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        BufferPool::default()
+    }
+
+    /// A zeroed `rows x cols` tensor of `dtype`, reusing a released
+    /// buffer when one of the right size exists.
+    pub fn acquire(&mut self, dtype: DType, rows: usize, cols: usize) -> Tensor {
+        self.acquired += 1;
+        let key = (dtype, rows * cols);
+        if let Some(t) = self.free.get_mut(&key).and_then(Vec::pop) {
+            self.reused += 1;
+            let mut data = t.into_data();
+            data.fill(0.0);
+            // Same element count; the reshape reuses the storage.
+            return Tensor::from_data(dtype, &[rows, cols], data)
+                .expect("pooled buffer has matching element count");
+        }
+        Tensor::zeros(dtype, &[rows, cols])
+    }
+
+    /// Return a buffer to the pool for later reuse.
+    pub fn release(&mut self, t: Tensor) {
+        let key = (t.dtype(), t.num_elements());
+        self.free.entry(key).or_default().push(t);
+    }
+
+    /// Counters and occupancy.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            acquired: self.acquired,
+            reused: self.reused,
+            free: self.free.values().map(Vec::len).sum(),
+        }
+    }
+
+    /// Drop all parked buffers (counters are kept).
+    pub fn clear(&mut self) {
+        self.free.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn released_buffers_are_reused_and_zeroed() {
+        let mut pool = BufferPool::new();
+        let mut t = pool.acquire(DType::F16, 8, 8);
+        t.data_mut()[0] = 5.0;
+        pool.release(t);
+        // Same element count, different shape: still reusable.
+        let t2 = pool.acquire(DType::F16, 4, 16);
+        assert_eq!(t2.shape(), &[4, 16]);
+        assert!(
+            t2.data().iter().all(|&v| v == 0.0),
+            "reused buffers are zeroed"
+        );
+        let stats = pool.stats();
+        assert_eq!((stats.acquired, stats.reused, stats.free), (2, 1, 0));
+    }
+
+    #[test]
+    fn mismatched_sizes_allocate_fresh() {
+        let mut pool = BufferPool::new();
+        let t = pool.acquire(DType::F32, 4, 4);
+        pool.release(t);
+        let _big = pool.acquire(DType::F32, 8, 8);
+        assert_eq!(pool.stats().reused, 0);
+        assert_eq!(pool.stats().free, 1);
+    }
+}

@@ -1,0 +1,99 @@
+//! A compilable unit: one Cypress program plus its entry description.
+//!
+//! [`Program`] packages exactly what [`cypress_core::CypressCompiler::compile`]
+//! consumes — the task registry, the mapping specification, the entry task
+//! name, and the entry argument descriptors — so a graph node, the kernel
+//! cache, and the executor all speak about the same unit. The kernel
+//! builders under [`cypress_core::kernels`] return `(registry, mapping,
+//! args)` triples; [`Program::from_parts`] adapts them directly.
+
+use cypress_core::front::Privilege;
+use cypress_core::{EntryArg, MappingSpec, TaskRegistry};
+
+/// One compilable Cypress program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Task variants.
+    pub registry: TaskRegistry,
+    /// Mapping specification (must have exactly one entrypoint).
+    pub mapping: MappingSpec,
+    /// Entry task name (what the compiler's `name` argument receives).
+    pub entry: String,
+    /// Entry parameter descriptors, in kernel declaration order.
+    pub args: Vec<EntryArg>,
+}
+
+impl Program {
+    /// Package a registry, mapping, and argument list under `entry`.
+    #[must_use]
+    pub fn new(
+        registry: TaskRegistry,
+        mapping: MappingSpec,
+        entry: &str,
+        args: Vec<EntryArg>,
+    ) -> Self {
+        Program {
+            registry,
+            mapping,
+            entry: entry.to_string(),
+            args,
+        }
+    }
+
+    /// Adapt the `(registry, mapping, args)` triple the kernel builders
+    /// return, e.g. `Program::from_parts(gemm::build(m, n, k, &machine), "gemm")`.
+    #[must_use]
+    pub fn from_parts(parts: (TaskRegistry, MappingSpec, Vec<EntryArg>), entry: &str) -> Self {
+        let (registry, mapping, args) = parts;
+        Program::new(registry, mapping, entry, args)
+    }
+
+    /// The index of the entry parameter called `name`.
+    #[must_use]
+    pub fn param_index(&self, name: &str) -> Option<usize> {
+        self.args.iter().position(|a| a.name == name)
+    }
+
+    /// Declared privilege of entry parameter `idx`, if the entry variant
+    /// declares its signature (used to distinguish outputs from inputs).
+    #[must_use]
+    pub fn param_privilege(&self, idx: usize) -> Option<Privilege> {
+        let entry_variant = &self.mapping.entry().variant;
+        let variant = self.registry.variant(entry_variant).ok()?;
+        let sig = variant.params.get(idx)?;
+        Some(sig.privilege)
+    }
+
+    /// Indices of the entry parameters the kernel writes (its outputs).
+    #[must_use]
+    pub fn output_indices(&self) -> Vec<usize> {
+        (0..self.args.len())
+            .filter(|&i| {
+                matches!(
+                    self.param_privilege(i),
+                    Some(Privilege::Write | Privilege::ReadWrite)
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cypress_core::kernels::gemm;
+    use cypress_sim::MachineConfig;
+
+    #[test]
+    fn from_parts_preserves_declaration_order() {
+        let p = Program::from_parts(
+            gemm::build(128, 128, 64, &MachineConfig::test_gpu()),
+            "gemm",
+        );
+        assert_eq!(p.args.len(), 3);
+        assert_eq!(p.param_index("C"), Some(0));
+        assert_eq!(p.param_index("A"), Some(1));
+        assert_eq!(p.param_index("B"), Some(2));
+        assert_eq!(p.output_indices(), vec![0]);
+    }
+}

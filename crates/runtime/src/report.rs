@@ -1,0 +1,96 @@
+//! Whole-graph timing reports with per-node breakdown.
+
+use cypress_sim::TimingReport;
+
+/// Timing of one node's launch inside a graph execution.
+#[derive(Debug, Clone)]
+pub struct NodeTiming {
+    /// The node's display name.
+    pub node: String,
+    /// The simulator's report for this launch.
+    pub report: TimingReport,
+}
+
+/// Timing of a whole graph execution: kernels run in dependency order, so
+/// the graph makespan is the sum of per-launch makespans (launch overheads
+/// included — the same place the paper's §5.3 persistent-kernel effect
+/// shows up at graph scale).
+#[derive(Debug, Clone, Default)]
+pub struct GraphReport {
+    /// Per-node timing, in execution order.
+    pub nodes: Vec<NodeTiming>,
+}
+
+impl GraphReport {
+    /// Total makespan in cycles.
+    #[must_use]
+    pub fn cycles(&self) -> f64 {
+        self.nodes.iter().map(|n| n.report.cycles).sum()
+    }
+
+    /// Total makespan in seconds.
+    #[must_use]
+    pub fn seconds(&self) -> f64 {
+        self.nodes.iter().map(|n| n.report.seconds).sum()
+    }
+
+    /// Total discrete events processed.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.nodes.iter().map(|n| n.report.events).sum()
+    }
+
+    /// Device FLOPs executed across all launches (Tensor Core + SIMT).
+    #[must_use]
+    pub fn device_flops(&self) -> f64 {
+        self.nodes
+            .iter()
+            .map(|n| n.report.tc_flops + n.report.simt_flops)
+            .sum()
+    }
+
+    /// Whole-graph TFLOP/s for an externally supplied algorithmic FLOP
+    /// count (the figure-style number).
+    #[must_use]
+    pub fn tflops_for(&self, algorithmic_flops: f64) -> f64 {
+        let s = self.seconds();
+        if s > 0.0 {
+            algorithmic_flops / s / 1e12
+        } else {
+            0.0
+        }
+    }
+
+    /// The timing of the node called `name`, if it ran.
+    #[must_use]
+    pub fn node(&self, name: &str) -> Option<&TimingReport> {
+        self.nodes
+            .iter()
+            .find(|n| n.node == name)
+            .map(|n| &n.report)
+    }
+
+    /// A human-readable per-node breakdown.
+    #[must_use]
+    pub fn breakdown(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let total = self.cycles().max(1.0);
+        for n in &self.nodes {
+            let share = 100.0 * n.report.cycles / total;
+            let _ = writeln!(
+                out,
+                "{:<24} {:>14.0} cycles ({:>5.1}%)  {:>8.1} TFLOP/s achieved",
+                n.node, n.report.cycles, share, n.report.achieved_tflops
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<24} {:>14.0} cycles ({:.3} ms)",
+            "total",
+            self.cycles(),
+            self.seconds() * 1e3
+        );
+        out
+    }
+}

@@ -1,0 +1,177 @@
+//! The runtime session: compiler + simulator + kernel cache + buffer pool.
+//!
+//! A [`Session`] is the long-lived object a serving process keeps around.
+//! It owns one [`CypressCompiler`] and one [`Simulator`] for a fixed
+//! machine, a fingerprint-keyed [`KernelCache`] so repeated launches of
+//! the same `(tasks, mapping, args, machine)` skip the Fig. 6 pass
+//! pipeline, and a [`BufferPool`] so intermediate tensors are reused
+//! across launches instead of reallocated.
+
+use crate::cache::{CacheStats, KernelCache};
+use crate::error::RuntimeError;
+use crate::executor;
+use crate::executor::GraphRun;
+use crate::graph::TaskGraph;
+use crate::pool::{BufferPool, PoolStats};
+use crate::program::Program;
+use crate::report::GraphReport;
+use cypress_core::{Compiled, CompilerOptions, CypressCompiler};
+use cypress_sim::{MachineConfig, Simulator, TimingReport};
+use cypress_tensor::Tensor;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A long-lived runtime for compiling and launching task graphs.
+#[derive(Debug)]
+pub struct Session {
+    compiler: CypressCompiler,
+    simulator: Simulator,
+    cache: KernelCache,
+    pool: BufferPool,
+}
+
+impl Session {
+    /// A session targeting `machine` with default compiler options.
+    #[must_use]
+    pub fn new(machine: MachineConfig) -> Self {
+        Session::with_options(CompilerOptions {
+            machine,
+            ..Default::default()
+        })
+    }
+
+    /// A session with explicit compiler options.
+    #[must_use]
+    pub fn with_options(opts: CompilerOptions) -> Self {
+        let machine = opts.machine.clone();
+        Session {
+            compiler: CypressCompiler::new(opts),
+            simulator: Simulator::new(machine),
+            cache: KernelCache::new(),
+            pool: BufferPool::new(),
+        }
+    }
+
+    /// The machine this session compiles for and simulates.
+    #[must_use]
+    pub fn machine(&self) -> &MachineConfig {
+        self.simulator.machine()
+    }
+
+    /// Compile `program`, reusing the cached kernel when the fingerprint
+    /// of `(tasks, mapping, entry args, machine, options)` matches a
+    /// previous compile. A hit returns the identical [`Compiled`] without
+    /// re-running any pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RuntimeError::Compile`] from the pass pipeline.
+    pub fn compile(&mut self, program: &Program) -> Result<Arc<Compiled>, RuntimeError> {
+        let fp = self.compiler.fingerprint(
+            &program.registry,
+            &program.mapping,
+            &program.entry,
+            &program.args,
+        );
+        let compiler = &self.compiler;
+        let compiled = self.cache.get_or_compile(fp, || {
+            compiler.compile_with_fingerprint(
+                &program.registry,
+                &program.mapping,
+                &program.entry,
+                &program.args,
+                fp,
+            )
+        })?;
+        Ok(compiled)
+    }
+
+    /// One compiled kernel per node, indexed by `NodeId::index()` so the
+    /// executor never depends on schedule order for the pairing.
+    fn compile_nodes(&mut self, graph: &TaskGraph) -> Result<Vec<Arc<Compiled>>, RuntimeError> {
+        graph
+            .nodes()
+            .iter()
+            .map(|node| {
+                let program = node.program.clone();
+                self.compile(&program)
+            })
+            .collect()
+    }
+
+    /// Launch `graph` functionally: real data flows along the graph's
+    /// tensor-buffer edges, `inputs` supplies the `External` bindings, and
+    /// the result holds every retained node's final tensors plus the
+    /// whole-graph timing report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError`] on compile failure, missing or mis-shaped
+    /// inputs, or simulation failure.
+    pub fn launch_functional(
+        &mut self,
+        graph: &TaskGraph,
+        inputs: &HashMap<String, Tensor>,
+    ) -> Result<GraphRun, RuntimeError> {
+        let kernels = self.compile_nodes(graph)?;
+        executor::run_functional(&self.simulator, graph, &kernels, inputs, &mut self.pool)
+    }
+
+    /// Launch `graph` in timing mode: no data moves; the result is the
+    /// whole-graph [`GraphReport`] with per-node breakdown.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError`] on compile or simulation failure.
+    pub fn launch_timing(&mut self, graph: &TaskGraph) -> Result<GraphReport, RuntimeError> {
+        let kernels = self.compile_nodes(graph)?;
+        executor::run_timing(&self.simulator, graph, &kernels)
+    }
+
+    /// Compile (with caching) and functionally run a single program —
+    /// the one-kernel special case of [`Session::launch_functional`],
+    /// mirroring [`Simulator::run_functional`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError`] on compile or simulation failure.
+    pub fn run_functional(
+        &mut self,
+        program: &Program,
+        params: Vec<Tensor>,
+    ) -> Result<Vec<Tensor>, RuntimeError> {
+        let compiled = self.compile(program)?;
+        Ok(self
+            .simulator
+            .run_functional(&compiled.kernel, params)?
+            .params)
+    }
+
+    /// Compile (with caching) and time a single program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError`] on compile or simulation failure.
+    pub fn run_timing(&mut self, program: &Program) -> Result<TimingReport, RuntimeError> {
+        let compiled = self.compile(program)?;
+        Ok(self.simulator.run_timing(&compiled.kernel)?)
+    }
+
+    /// Kernel-cache counters.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Buffer-pool counters.
+    #[must_use]
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Drop all cached kernels and pooled buffers (counters are kept).
+    pub fn clear(&mut self) {
+        self.cache.clear();
+        self.pool.clear();
+    }
+}

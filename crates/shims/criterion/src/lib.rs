@@ -1,0 +1,132 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset the repo's benches use — `Criterion`,
+//! `benchmark_group` / `sample_size` / `bench_function`, `Bencher::iter`,
+//! and the `criterion_group!` / `criterion_main!` macros — with a simple
+//! wall-clock measurement loop: a short warm-up, then `sample_size`
+//! timed iterations reported as mean ns/iter on stdout.
+
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            _c: self,
+            samples: 10,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, 10, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    _c: &'c mut Criterion,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        run_one(id.as_ref(), self.samples, f);
+        self
+    }
+
+    /// End the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        iters: 1,
+        elapsed_ns: 0.0,
+    };
+    // Warm-up pass (also primes lazy setup in the closure).
+    f(&mut b);
+    b.iters = samples as u64;
+    b.elapsed_ns = 0.0;
+    f(&mut b);
+    let mean = b.elapsed_ns / samples as f64;
+    println!("  {id:<40} {mean:>14.0} ns/iter ({samples} samples)");
+}
+
+/// Passed to each benchmark closure; `iter` times the workload.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, running it once per configured sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos() as f64;
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_a_closure() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        let mut runs = 0u64;
+        g.sample_size(3)
+            .bench_function("count", |b| b.iter(|| runs += 1));
+        g.finish();
+        // warm-up (1) + samples (3), for each of the two bench_function passes
+        assert_eq!(runs, 4);
+    }
+}

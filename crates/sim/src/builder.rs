@@ -63,8 +63,19 @@ impl KernelBuilder {
     }
 
     /// Declare a global parameter; returns its index.
-    pub fn param(&mut self, name: impl Into<String>, rows: usize, cols: usize, dtype: DType) -> usize {
-        self.params.push(ParamDecl { name: name.into(), rows, cols, dtype });
+    pub fn param(
+        &mut self,
+        name: impl Into<String>,
+        rows: usize,
+        cols: usize,
+        dtype: DType,
+    ) -> usize {
+        self.params.push(ParamDecl {
+            name: name.into(),
+            rows,
+            cols,
+            dtype,
+        });
         self.params.len() - 1
     }
 
@@ -77,13 +88,23 @@ impl KernelBuilder {
         dtype: DType,
         stages: usize,
     ) -> usize {
-        self.smem.push(SmemDecl { name: name.into(), rows, cols, dtype, stages });
+        self.smem.push(SmemDecl {
+            name: name.into(),
+            rows,
+            cols,
+            dtype,
+            stages,
+        });
         self.smem.len() - 1
     }
 
     /// Declare a per-warpgroup register fragment; returns its index.
     pub fn frag(&mut self, name: impl Into<String>, rows: usize, cols: usize) -> usize {
-        self.frags.push(FragDecl { name: name.into(), rows, cols });
+        self.frags.push(FragDecl {
+            name: name.into(),
+            rows,
+            cols,
+        });
         self.frags.len() - 1
     }
 
@@ -109,7 +130,11 @@ impl KernelBuilder {
     ) -> Instr {
         let var = self.fresh_var();
         let body = f(self, Expr::var(var), var);
-        Instr::Loop { var, count: count.into(), body }
+        Instr::Loop {
+            var,
+            count: count.into(),
+            body,
+        }
     }
 
     /// Add a role with its instruction stream.

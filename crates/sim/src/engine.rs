@@ -44,7 +44,11 @@ struct Fluid {
 
 impl Fluid {
     fn new(rate: f64) -> Self {
-        Fluid { rate, virt: 0.0, busy: 0.0 }
+        Fluid {
+            rate,
+            virt: 0.0,
+            busy: 0.0,
+        }
     }
 
     /// Reserve `amount` units starting no earlier than `now`; returns the
@@ -92,7 +96,11 @@ enum Work<'k> {
     /// Consume one phase token of an mbarrier, then advance.
     ConsumeMbar(usize),
     /// Apply a resolved SIMT operation (functional mode), then advance.
-    Simt { op: &'k SimtOp, srcs: Vec<RSlice>, dst: RSlice },
+    Simt {
+        op: &'k SimtOp,
+        srcs: Vec<RSlice>,
+        dst: RSlice,
+    },
 }
 
 struct Exec<'k> {
@@ -132,8 +140,16 @@ struct CtaState {
 enum EventKind {
     StartCta(usize),
     Resume(usize),
-    TmaDone { exec: usize, bar: Option<usize>, copy: Option<(RSlice, RSlice)>, is_store: bool },
-    WgmmaDone { exec: usize, mma: Option<(RSlice, RSlice, RSlice, bool, bool)> },
+    TmaDone {
+        exec: usize,
+        bar: Option<usize>,
+        copy: Option<(RSlice, RSlice)>,
+        is_store: bool,
+    },
+    WgmmaDone {
+        exec: usize,
+        mma: Option<(RSlice, RSlice, RSlice, bool, bool)>,
+    },
 }
 
 struct Event {
@@ -155,7 +171,9 @@ impl PartialOrd for Event {
 }
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.time.total_cmp(&other.time).then(self.seq.cmp(&other.seq))
+        self.time
+            .total_cmp(&other.time)
+            .then(self.seq.cmp(&other.seq))
     }
 }
 
@@ -247,7 +265,11 @@ impl<'k> Engine<'k> {
         let totals = kernel.static_totals();
         let total_loads = totals.load_bytes * num_ctas as f64;
         let unique: f64 = kernel.params.iter().map(|p| p.size_bytes() as f64).sum();
-        let l2_hit = if total_loads > 0.0 { (1.0 - unique / total_loads).clamp(0.0, 0.995) } else { 0.0 };
+        let l2_hit = if total_loads > 0.0 {
+            (1.0 - unique / total_loads).clamp(0.0, 0.995)
+        } else {
+            0.0
+        };
 
         let share = active_sms as f64;
         let flat = kernel.roles.iter().map(|r| flatten(&r.body)).collect();
@@ -304,19 +326,32 @@ impl<'k> Engine<'k> {
 
     fn block_of(&self, linear: usize) -> [i64; 3] {
         let [gx, gy, _] = self.kernel.grid;
-        [(linear % gx) as i64, ((linear / gx) % gy) as i64, (linear / (gx * gy)) as i64]
+        [
+            (linear % gx) as i64,
+            ((linear / gx) % gy) as i64,
+            (linear / (gx * gy)) as i64,
+        ]
     }
 
     fn push(&mut self, time: f64, kind: EventKind) {
         self.seq += 1;
-        self.events.push(Reverse(Event { time, seq: self.seq, kind }));
+        self.events.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            kind,
+        }));
     }
 
     fn start_cta(&mut self, linear: usize) {
         let block = self.block_of(linear);
         let cta_idx = self.ctas.len();
         self.ctas.push(CtaState {
-            mbars: self.kernel.mbars.iter().map(|_| MbarState::default()).collect(),
+            mbars: self
+                .kernel
+                .mbars
+                .iter()
+                .map(|_| MbarState::default())
+                .collect(),
             named: Vec::new(),
             roles_done: 0,
         });
@@ -333,9 +368,12 @@ impl<'k> Engine<'k> {
                 .iter()
                 .map(|r| match r.kind {
                     RoleKind::Dma => Vec::new(),
-                    RoleKind::Compute(_) => {
-                        self.kernel.frags.iter().map(|f| vec![0.0f32; f.rows * f.cols]).collect()
-                    }
+                    RoleKind::Compute(_) => self
+                        .kernel
+                        .frags
+                        .iter()
+                        .map(|f| vec![0.0f32; f.rows * f.cols])
+                        .collect(),
                 })
                 .collect();
             data.smem.push(smem);
@@ -372,7 +410,12 @@ impl<'k> Engine<'k> {
             match ev.kind {
                 EventKind::StartCta(linear) => self.start_cta(linear),
                 EventKind::Resume(exec) => self.resume(exec)?,
-                EventKind::TmaDone { exec, bar, copy, is_store } => {
+                EventKind::TmaDone {
+                    exec,
+                    bar,
+                    copy,
+                    is_store,
+                } => {
                     if let Some((src, dst)) = copy {
                         self.apply_copy(exec, &src, &dst)?;
                     }
@@ -403,7 +446,9 @@ impl<'k> Engine<'k> {
             }
         }
         if self.finished < self.n_sim {
-            return Err(SimError::Deadlock { blocked: self.describe_blocked() });
+            return Err(SimError::Deadlock {
+                blocked: self.describe_blocked(),
+            });
         }
         let makespan = self.now;
         let totals = self.kernel.static_totals();
@@ -526,7 +571,12 @@ impl<'k> Engine<'k> {
                     } else {
                         let body = self.execs[exec_id].pc + 1;
                         let var = *var;
-                        self.execs[exec_id].loops.push(LoopCtx { var, iter: 0, trips, body });
+                        self.execs[exec_id].loops.push(LoopCtx {
+                            var,
+                            iter: 0,
+                            trips,
+                            body,
+                        });
                         self.execs[exec_id].env.bind(var, 0);
                         self.execs[exec_id].pc = body;
                     }
@@ -560,7 +610,10 @@ impl<'k> Engine<'k> {
         let e = &self.execs[exec_id];
         SimError::Eval {
             source,
-            context: format!("cta{}/{} pc={}", e.cta, self.kernel.roles[e.role].kind, e.pc),
+            context: format!(
+                "cta{}/{} pc={}",
+                e.cta, self.kernel.roles[e.role].kind, e.pc
+            ),
         }
     }
 
@@ -580,7 +633,15 @@ impl<'k> Engine<'k> {
                 let done = a.max(b).max(c);
                 let copy = self.data.is_some().then_some((rsrc, rdst));
                 let bar = *bar;
-                self.push(done, EventKind::TmaDone { exec: exec_id, bar: Some(bar), copy, is_store: false });
+                self.push(
+                    done,
+                    EventKind::TmaDone {
+                        exec: exec_id,
+                        bar: Some(bar),
+                        copy,
+                        is_store: false,
+                    },
+                );
                 self.yield_for(exec_id, m.tma_issue_cycles);
                 Ok(true)
             }
@@ -598,7 +659,15 @@ impl<'k> Engine<'k> {
                 let done = a.max(b).max(c);
                 let copy = self.data.is_some().then_some((rsrc, rdst));
                 let bar = *bar;
-                self.push(done, EventKind::TmaDone { exec: exec_id, bar: Some(bar), copy, is_store: false });
+                self.push(
+                    done,
+                    EventKind::TmaDone {
+                        exec: exec_id,
+                        bar: Some(bar),
+                        copy,
+                        is_store: false,
+                    },
+                );
                 self.yield_for(exec_id, issue);
                 Ok(true)
             }
@@ -613,7 +682,15 @@ impl<'k> Engine<'k> {
                 let done = a.max(b).max(c);
                 let copy = self.data.is_some().then_some((rsrc, rdst));
                 self.execs[exec_id].outstanding_stores += 1;
-                self.push(done, EventKind::TmaDone { exec: exec_id, bar: None, copy, is_store: true });
+                self.push(
+                    done,
+                    EventKind::TmaDone {
+                        exec: exec_id,
+                        bar: None,
+                        copy,
+                        is_store: true,
+                    },
+                );
                 self.yield_for(exec_id, m.tma_issue_cycles);
                 Ok(true)
             }
@@ -645,7 +722,13 @@ impl<'k> Engine<'k> {
                     Ok(true)
                 }
             }
-            Instr::Wgmma { a, b, acc, accumulate, transpose_b } => {
+            Instr::Wgmma {
+                a,
+                b,
+                acc,
+                accumulate,
+                transpose_b,
+            } => {
                 let ra = self.resolve(exec_id, a)?;
                 let rb = self.resolve(exec_id, b)?;
                 let racc = self.resolve(exec_id, acc)?;
@@ -654,7 +737,11 @@ impl<'k> Engine<'k> {
                 let mut done = self.tc_unit.reserve(t0, flops);
                 // Operands stream from shared memory through the Tensor Core.
                 let smem_bytes = self.slice_bytes(&rb)
-                    + if ra.mem.space() == Space::Shared { self.slice_bytes(&ra) } else { 0.0 };
+                    + if ra.mem.space() == Space::Shared {
+                        self.slice_bytes(&ra)
+                    } else {
+                        0.0
+                    };
                 done = done.max(self.smem_unit.reserve(t0, smem_bytes));
                 let mma = self
                     .data
@@ -701,7 +788,12 @@ impl<'k> Engine<'k> {
         }
     }
 
-    fn named_barrier(&mut self, exec_id: usize, id: usize, parties: usize) -> Result<bool, SimError> {
+    fn named_barrier(
+        &mut self,
+        exec_id: usize,
+        id: usize,
+        parties: usize,
+    ) -> Result<bool, SimError> {
         let cta = self.execs[exec_id].cta;
         let pos = self.ctas[cta].named.iter().position(|(nid, _)| *nid == id);
         let pos = match pos {
@@ -765,7 +857,10 @@ impl<'k> Engine<'k> {
         }
         if gl_read + gl_write > 0.0 {
             done = done.max(self.l2.reserve(t0, gl_read + gl_write));
-            done = done.max(self.hbm.reserve(t0, gl_read * (1.0 - self.l2_hit) + gl_write));
+            done = done.max(
+                self.hbm
+                    .reserve(t0, gl_read * (1.0 - self.l2_hit) + gl_write),
+            );
         }
         done - self.now
     }
@@ -787,7 +882,10 @@ impl<'k> Engine<'k> {
         let col0 = ev(&s.col0)?;
         if stage < 0 || row0 < 0 || col0 < 0 {
             return Err(SimError::OutOfBounds {
-                what: format!("negative slice origin ({stage},{row0},{col0}) of {:?}", s.mem),
+                what: format!(
+                    "negative slice origin ({stage},{row0},{col0}) of {:?}",
+                    s.mem
+                ),
             });
         }
         let r = RSlice {
@@ -912,7 +1010,11 @@ impl<'k> Engine<'k> {
         }
         for i in 0..m {
             for j in 0..n {
-                let mut v = if accumulate { self.read_elem(exec_id, acc, i, j) } else { 0.0 };
+                let mut v = if accumulate {
+                    self.read_elem(exec_id, acc, i, j)
+                } else {
+                    0.0
+                };
                 for kk in 0..k {
                     let av = self.read_elem(exec_id, a, i, kk);
                     let bv = if transpose_b {
@@ -966,7 +1068,9 @@ impl<'k> Engine<'k> {
                     }
                 }
             }
-            SimtOp::RowReduce { op, include_dst, .. } => {
+            SimtOp::RowReduce {
+                op, include_dst, ..
+            } => {
                 for i in 0..dst.rows {
                     let mut acc = if *include_dst {
                         self.read_elem(exec_id, dst, i, 0)
@@ -998,11 +1102,16 @@ impl<'k> Engine<'k> {
 
 fn occupancy(kernel: &Kernel, machine: &MachineConfig) -> usize {
     let smem = kernel.smem_bytes();
-    let smem_limit =
-        if smem > 0 { machine.smem_per_sm / smem } else { machine.max_ctas_per_sm };
+    let smem_limit = machine
+        .smem_per_sm
+        .checked_div(smem)
+        .unwrap_or(machine.max_ctas_per_sm);
     let threads = kernel.warps_per_cta() * 32;
     let regs = kernel.regs_per_thread() * threads;
-    let reg_limit = if regs > 0 { machine.regs_per_sm / regs } else { machine.max_ctas_per_sm };
+    let reg_limit = machine
+        .regs_per_sm
+        .checked_div(regs)
+        .unwrap_or(machine.max_ctas_per_sm);
     let warp_limit = machine.max_warps_per_sm / kernel.warps_per_cta().max(1);
     machine
         .max_ctas_per_sm
@@ -1030,9 +1139,21 @@ mod tests {
 
     #[test]
     fn event_ordering_by_time_then_seq() {
-        let a = Event { time: 1.0, seq: 2, kind: EventKind::Resume(0) };
-        let b = Event { time: 1.0, seq: 1, kind: EventKind::Resume(1) };
-        let c = Event { time: 0.5, seq: 9, kind: EventKind::Resume(2) };
+        let a = Event {
+            time: 1.0,
+            seq: 2,
+            kind: EventKind::Resume(0),
+        };
+        let b = Event {
+            time: 1.0,
+            seq: 1,
+            kind: EventKind::Resume(1),
+        };
+        let c = Event {
+            time: 0.5,
+            seq: 9,
+            kind: EventKind::Resume(2),
+        };
         let mut heap = BinaryHeap::new();
         heap.push(Reverse(a));
         heap.push(Reverse(b));

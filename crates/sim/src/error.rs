@@ -59,11 +59,23 @@ impl fmt::Display for SimError {
             SimError::ParamCountMismatch { expected, actual } => {
                 write!(f, "expected {expected} parameter tensors, got {actual}")
             }
-            SimError::ParamShapeMismatch { index, expected, actual } => {
-                write!(f, "parameter {index}: expected {expected} elements, got {actual}")
+            SimError::ParamShapeMismatch {
+                index,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "parameter {index}: expected {expected} elements, got {actual}"
+                )
             }
             SimError::Deadlock { blocked } => {
-                write!(f, "deadlock: {} executors blocked [{}]", blocked.len(), blocked.join("; "))
+                write!(
+                    f,
+                    "deadlock: {} executors blocked [{}]",
+                    blocked.len(),
+                    blocked.join("; ")
+                )
             }
             SimError::EventLimit => write!(f, "event budget exhausted"),
         }
@@ -91,9 +103,14 @@ mod tests {
 
     #[test]
     fn display_nonempty() {
-        let e = SimError::Deadlock { blocked: vec!["cta0/wg0 pc=3 waiting mbar 1".into()] };
+        let e = SimError::Deadlock {
+            blocked: vec!["cta0/wg0 pc=3 waiting mbar 1".into()],
+        };
         assert!(e.to_string().contains("deadlock"));
-        let e = SimError::ParamCountMismatch { expected: 3, actual: 1 };
+        let e = SimError::ParamCountMismatch {
+            expected: 3,
+            actual: 1,
+        };
         assert!(e.to_string().contains('3'));
     }
 }

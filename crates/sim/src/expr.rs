@@ -110,9 +110,11 @@ impl Expr {
         match self {
             Expr::Lit(_) | Expr::BlockX | Expr::BlockY | Expr::BlockZ => false,
             Expr::Var(_) => true,
-            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) | Expr::Mod(a, b) => {
-                a.references_vars() || b.references_vars()
-            }
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
+            | Expr::Mod(a, b) => a.references_vars() || b.references_vars(),
         }
     }
 }
@@ -217,7 +219,10 @@ impl Env {
     /// Environment for the CTA at `block` with no loop variables bound.
     #[must_use]
     pub fn for_block(block: [i64; 3]) -> Self {
-        Env { block, vars: Vec::new() }
+        Env {
+            block,
+            vars: Vec::new(),
+        }
     }
 
     /// Bind loop variable `id` to `value` (shadowing any previous binding).
@@ -287,8 +292,14 @@ mod tests {
     #[test]
     fn division_by_zero_detected() {
         let env = Env::default();
-        assert_eq!((Expr::lit(1) / 0).eval(&env), Err(EvalError::DivisionByZero));
-        assert_eq!((Expr::lit(1) % 0).eval(&env), Err(EvalError::DivisionByZero));
+        assert_eq!(
+            (Expr::lit(1) / 0).eval(&env),
+            Err(EvalError::DivisionByZero)
+        );
+        assert_eq!(
+            (Expr::lit(1) % 0).eval(&env),
+            Err(EvalError::DivisionByZero)
+        );
     }
 
     #[test]

@@ -28,10 +28,7 @@ pub(crate) enum Flat<'k> {
     },
     /// Conditional branch; the then-block follows, `else_target` is taken
     /// when the condition is false.
-    Branch {
-        cond: &'k Cond,
-        else_target: usize,
-    },
+    Branch { cond: &'k Cond, else_target: usize },
     /// Unconditional jump.
     Jump(usize),
     /// End of the role's program.
@@ -51,9 +48,16 @@ fn emit<'k>(block: &'k [Instr], out: &mut Vec<Flat<'k>>) {
         match instr {
             Instr::Loop { var, count, body } => {
                 let header = out.len();
-                out.push(Flat::LoopStart { var: *var, count, end: usize::MAX });
+                out.push(Flat::LoopStart {
+                    var: *var,
+                    count,
+                    end: usize::MAX,
+                });
                 emit(body, out);
-                out.push(Flat::LoopEnd { var: *var, start: header });
+                out.push(Flat::LoopEnd {
+                    var: *var,
+                    start: header,
+                });
                 let end = out.len();
                 if let Flat::LoopStart { end: e, .. } = &mut out[header] {
                     *e = end;
@@ -61,7 +65,10 @@ fn emit<'k>(block: &'k [Instr], out: &mut Vec<Flat<'k>>) {
             }
             Instr::If { cond, then_, else_ } => {
                 let branch = out.len();
-                out.push(Flat::Branch { cond, else_target: usize::MAX });
+                out.push(Flat::Branch {
+                    cond,
+                    else_target: usize::MAX,
+                });
                 emit(then_, out);
                 let jump = out.len();
                 out.push(Flat::Jump(usize::MAX));

@@ -204,7 +204,13 @@ impl SimtOp {
     /// `true` if the operation uses the special-function units (exp).
     #[must_use]
     pub fn uses_sfu(&self) -> bool {
-        matches!(self, SimtOp::Map { op: UnOp::Exp | UnOp::Recip, .. })
+        matches!(
+            self,
+            SimtOp::Map {
+                op: UnOp::Exp | UnOp::Recip,
+                ..
+            }
+        )
     }
 }
 
@@ -324,7 +330,11 @@ mod tests {
         assert_eq!(op.sources().len(), 2);
         assert_eq!(op.dst().num_elements(), 16);
         assert!(!op.uses_sfu());
-        let e = SimtOp::Map { op: UnOp::Exp, src: Slice::frag(0).extent(1, 1), dst: Slice::frag(0).extent(1, 1) };
+        let e = SimtOp::Map {
+            op: UnOp::Exp,
+            src: Slice::frag(0).extent(1, 1),
+            dst: Slice::frag(0).extent(1, 1),
+        };
         assert!(e.uses_sfu());
     }
 }

@@ -90,7 +90,10 @@ impl Kernel {
     /// Number of compute warpgroups.
     #[must_use]
     pub fn num_compute_warpgroups(&self) -> usize {
-        self.roles.iter().filter(|r| matches!(r.kind, RoleKind::Compute(_))).count()
+        self.roles
+            .iter()
+            .filter(|r| matches!(r.kind, RoleKind::Compute(_)))
+            .count()
     }
 
     /// `true` if the kernel has a dedicated DMA warp (warp specialization).
@@ -107,7 +110,12 @@ impl Kernel {
     pub fn regs_per_thread(&self) -> usize {
         // Base cost covers addresses, indices and operand staging.
         const BASE_REGS: usize = 40;
-        BASE_REGS + self.frags.iter().map(FragDecl::regs_per_thread).sum::<usize>()
+        BASE_REGS
+            + self
+                .frags
+                .iter()
+                .map(FragDecl::regs_per_thread)
+                .sum::<usize>()
     }
 
     /// Warps per CTA (4 per compute warpgroup, 1 for a DMA warp).
@@ -133,7 +141,11 @@ impl Kernel {
         if self.roles.is_empty() {
             return Err(KernelError::NoRoles);
         }
-        let dma_count = self.roles.iter().filter(|r| r.kind == RoleKind::Dma).count();
+        let dma_count = self
+            .roles
+            .iter()
+            .filter(|r| r.kind == RoleKind::Dma)
+            .count();
         if dma_count > 1 {
             return Err(KernelError::MultipleDmaWarps);
         }
@@ -233,7 +245,10 @@ impl Kernel {
 
     fn simt_touches_registers(&self, op: &SimtOp) -> bool {
         op.dst().mem.space() == Space::Register
-            || op.sources().iter().any(|s| s.mem.space() == Space::Register)
+            || op
+                .sources()
+                .iter()
+                .any(|s| s.mem.space() == Space::Register)
     }
 
     fn check_bar(&self, bar: usize) -> Result<(), KernelError> {
@@ -421,10 +436,16 @@ impl fmt::Display for KernelError {
             KernelError::MultipleDmaWarps => write!(f, "kernel declares more than one dma warp"),
             KernelError::DuplicateRole(k) => write!(f, "duplicate role {k}"),
             KernelError::SharedMemoryExceeded { used, limit } => {
-                write!(f, "shared memory exceeded: {used} bytes used, {limit} available")
+                write!(
+                    f,
+                    "shared memory exceeded: {used} bytes used, {limit} available"
+                )
             }
             KernelError::RegistersExceeded { used, limit } => {
-                write!(f, "registers per thread exceeded: {used} used, {limit} available")
+                write!(
+                    f,
+                    "registers per thread exceeded: {used} used, {limit} available"
+                )
             }
             KernelError::TooManyWarps { used, limit } => {
                 write!(f, "too many warps per cta: {used} used, {limit} available")
@@ -440,7 +461,10 @@ impl fmt::Display for KernelError {
             }
             KernelError::IllegalOperandSpace => write!(f, "operand in illegal address space"),
             KernelError::BarrierPartiesExceedRoles { parties, roles } => {
-                write!(f, "named barrier expects {parties} parties but kernel has {roles} roles")
+                write!(
+                    f,
+                    "named barrier expects {parties} parties but kernel has {roles} roles"
+                )
             }
             KernelError::DynamicTripCount => {
                 write!(f, "loop trip count must be launch-constant")
@@ -461,11 +485,29 @@ mod tests {
         Kernel {
             name: "t".into(),
             grid: [1, 1, 1],
-            params: vec![ParamDecl { name: "A".into(), rows: 64, cols: 64, dtype: DType::F16 }],
-            smem: vec![SmemDecl { name: "sA".into(), rows: 64, cols: 64, dtype: DType::F16, stages: 2 }],
-            frags: vec![FragDecl { name: "acc".into(), rows: 64, cols: 64 }],
+            params: vec![ParamDecl {
+                name: "A".into(),
+                rows: 64,
+                cols: 64,
+                dtype: DType::F16,
+            }],
+            smem: vec![SmemDecl {
+                name: "sA".into(),
+                rows: 64,
+                cols: 64,
+                dtype: DType::F16,
+                stages: 2,
+            }],
+            frags: vec![FragDecl {
+                name: "acc".into(),
+                rows: 64,
+                cols: 64,
+            }],
             mbars: vec![MbarDecl { expected: 1 }],
-            roles: vec![Role { kind: RoleKind::Compute(0), body: vec![] }],
+            roles: vec![Role {
+                kind: RoleKind::Compute(0),
+                body: vec![],
+            }],
             persistent: false,
         }
     }
@@ -494,7 +536,11 @@ mod tests {
     fn register_overflow_detected() {
         let mut k = minimal_kernel();
         // 128x512 f32 = 512 regs/thread, beyond the 255 limit.
-        k.frags[0] = FragDecl { name: "acc".into(), rows: 128, cols: 512 };
+        k.frags[0] = FragDecl {
+            name: "acc".into(),
+            rows: 128,
+            cols: 512,
+        };
         assert!(matches!(
             k.validate(&MachineConfig::test_gpu()),
             Err(KernelError::RegistersExceeded { .. })
@@ -514,7 +560,10 @@ mod tests {
                 transpose_b: false,
             }],
         }];
-        assert_eq!(k.validate(&MachineConfig::test_gpu()), Err(KernelError::DmaWarpComputes));
+        assert_eq!(
+            k.validate(&MachineConfig::test_gpu()),
+            Err(KernelError::DmaWarpComputes)
+        );
     }
 
     #[test]
@@ -525,14 +574,20 @@ mod tests {
             dst: Slice::smem(0).extent(8, 8),
             bar: 0,
         }];
-        assert_eq!(k.validate(&MachineConfig::test_gpu()), Err(KernelError::IllegalOperandSpace));
+        assert_eq!(
+            k.validate(&MachineConfig::test_gpu()),
+            Err(KernelError::IllegalOperandSpace)
+        );
     }
 
     #[test]
     fn unknown_barrier_detected() {
         let mut k = minimal_kernel();
         k.roles[0].body = vec![Instr::MbarWait { bar: 3 }];
-        assert_eq!(k.validate(&MachineConfig::test_gpu()), Err(KernelError::UnknownBarrier(3)));
+        assert_eq!(
+            k.validate(&MachineConfig::test_gpu()),
+            Err(KernelError::UnknownBarrier(3))
+        );
     }
 
     #[test]
@@ -541,9 +596,16 @@ mod tests {
         k.roles[0].body = vec![Instr::Loop {
             var: 0,
             count: Expr::lit(4),
-            body: vec![Instr::Loop { var: 1, count: Expr::var(0), body: vec![] }],
+            body: vec![Instr::Loop {
+                var: 1,
+                count: Expr::var(0),
+                body: vec![],
+            }],
         }];
-        assert_eq!(k.validate(&MachineConfig::test_gpu()), Err(KernelError::DynamicTripCount));
+        assert_eq!(
+            k.validate(&MachineConfig::test_gpu()),
+            Err(KernelError::DynamicTripCount)
+        );
     }
 
     #[test]
@@ -589,7 +651,13 @@ mod tests {
     #[test]
     fn duplicate_roles_rejected() {
         let mut k = minimal_kernel();
-        k.roles.push(Role { kind: RoleKind::Compute(0), body: vec![] });
-        assert!(matches!(k.validate(&MachineConfig::test_gpu()), Err(KernelError::DuplicateRole(_))));
+        k.roles.push(Role {
+            kind: RoleKind::Compute(0),
+            body: vec![],
+        });
+        assert!(matches!(
+            k.validate(&MachineConfig::test_gpu()),
+            Err(KernelError::DuplicateRole(_))
+        ));
     }
 }

@@ -111,7 +111,10 @@ impl Simulator {
     ) -> Result<FunctionalRun, SimError> {
         let engine = Engine::new(kernel, &self.machine, Mode::Functional, Some(params))?;
         let (report, params) = engine.run()?;
-        Ok(FunctionalRun { params: params.expect("functional mode returns params"), report })
+        Ok(FunctionalRun {
+            params: params.expect("functional mode returns params"),
+            report,
+        })
     }
 
     /// Execute `kernel` in timing mode: no data moves; the busiest SM's

@@ -214,28 +214,50 @@ mod tests {
 
     #[test]
     fn param_sizes() {
-        let p = ParamDecl { name: "A".into(), rows: 64, cols: 32, dtype: DType::F16 };
+        let p = ParamDecl {
+            name: "A".into(),
+            rows: 64,
+            cols: 32,
+            dtype: DType::F16,
+        };
         assert_eq!(p.size_bytes(), 64 * 32 * 2);
     }
 
     #[test]
     fn smem_stages_multiply_footprint() {
-        let s = SmemDecl { name: "sA".into(), rows: 128, cols: 64, dtype: DType::F16, stages: 3 };
+        let s = SmemDecl {
+            name: "sA".into(),
+            rows: 128,
+            cols: 64,
+            dtype: DType::F16,
+            stages: 3,
+        };
         assert_eq!(s.size_bytes(), 128 * 64 * 2 * 3);
     }
 
     #[test]
     fn frag_register_accounting() {
         // 64x256 f32 accumulator = 16384 elements over 128 threads = 128 regs.
-        let f = FragDecl { name: "acc".into(), rows: 64, cols: 256 };
+        let f = FragDecl {
+            name: "acc".into(),
+            rows: 64,
+            cols: 256,
+        };
         assert_eq!(f.regs_per_thread(), 128);
-        let tiny = FragDecl { name: "m".into(), rows: 64, cols: 1 };
+        let tiny = FragDecl {
+            name: "m".into(),
+            rows: 64,
+            cols: 1,
+        };
         assert_eq!(tiny.regs_per_thread(), 1);
     }
 
     #[test]
     fn slice_builder_evaluates() {
-        let s = Slice::smem(2).stage(Expr::var(0) % 3).at(0, 16).extent(16, 16);
+        let s = Slice::smem(2)
+            .stage(Expr::var(0) % 3)
+            .at(0, 16)
+            .extent(16, 16);
         let mut env = Env::default();
         env.bind(0, 7);
         assert_eq!(s.stage.eval(&env).unwrap(), 1);

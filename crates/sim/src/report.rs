@@ -56,11 +56,21 @@ impl TimingReport {
 
 impl fmt::Display for TimingReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "kernel {:<24} {:>12.0} cycles  {:>9.3} us", self.kernel, self.cycles, self.seconds * 1e6)?;
+        writeln!(
+            f,
+            "kernel {:<24} {:>12.0} cycles  {:>9.3} us",
+            self.kernel,
+            self.cycles,
+            self.seconds * 1e6
+        )?;
         writeln!(
             f,
             "  {:.1} TFLOP/s | util tc {:.2} tma {:.2} simt {:.2} | l2 hit {:.2}",
-            self.achieved_tflops, self.tc_utilization, self.tma_utilization, self.simt_utilization, self.l2_hit
+            self.achieved_tflops,
+            self.tc_utilization,
+            self.tma_utilization,
+            self.simt_utilization,
+            self.l2_hit
         )?;
         write!(
             f,

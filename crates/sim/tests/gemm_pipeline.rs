@@ -20,7 +20,7 @@ const T_K: usize = 32;
 /// `pipe` is the software pipeline depth; `arrive_cons` lets tests omit the
 /// consumer barrier to demonstrate deadlock detection.
 fn build_gemm(m: usize, n: usize, k: usize, pipe: usize, arrive_cons: bool) -> cypress_sim::Kernel {
-    assert!(m % T_M == 0 && n % T_N == 0 && k % T_K == 0);
+    assert!(m.is_multiple_of(T_M) && n.is_multiple_of(T_N) && k.is_multiple_of(T_K));
     let mut b = KernelBuilder::new("gemm_fig1b", [m / T_M, n / T_N, 1]);
     let ga = b.param("A", m, k, DType::F16);
     let gb = b.param("B", k, n, DType::F16);
@@ -50,14 +50,18 @@ fn build_gemm(m: usize, n: usize, k: usize, pipe: usize, arrive_cons: bool) -> c
                 src: Slice::param(ga)
                     .at(Expr::block_x() * T_M as i64, Expr::var(kv) * T_K as i64)
                     .extent(T_M, T_K),
-                dst: Slice::smem(sa).stage(Expr::var(kv) % pipe as i64).extent(T_M, T_K),
+                dst: Slice::smem(sa)
+                    .stage(Expr::var(kv) % pipe as i64)
+                    .extent(T_M, T_K),
                 bar: prod,
             },
             Instr::TmaLoad {
                 src: Slice::param(gb)
                     .at(Expr::var(kv) * T_K as i64, Expr::block_y() * T_N as i64)
                     .extent(T_K, T_N),
-                dst: Slice::smem(sb).stage(Expr::var(kv) % pipe as i64).extent(T_K, T_N),
+                dst: Slice::smem(sb)
+                    .stage(Expr::var(kv) % pipe as i64)
+                    .extent(T_K, T_N),
                 bar: prod,
             },
         ],
@@ -103,8 +107,15 @@ fn build_gemm(m: usize, n: usize, k: usize, pipe: usize, arrive_cons: bool) -> c
     b.role(
         RoleKind::Compute(0),
         vec![
-            Instr::Simt(SimtOp::Fill { dst: Slice::frag(acc).extent(T_M, T_N), value: 0.0 }),
-            Instr::Loop { var: kc, count: Expr::lit(trips), body: loop_body },
+            Instr::Simt(SimtOp::Fill {
+                dst: Slice::frag(acc).extent(T_M, T_N),
+                value: 0.0,
+            }),
+            Instr::Loop {
+                var: kc,
+                count: Expr::lit(trips),
+                body: loop_body,
+            },
             Instr::Simt(SimtOp::Copy {
                 src: Slice::frag(acc).extent(T_M, T_N),
                 dst: Slice::smem(sc).extent(T_M, T_N),
@@ -171,7 +182,11 @@ fn deep_pipeline_saturates_tensor_core() {
     let (m, n, k) = (64, 64, 4096);
     let sim = Simulator::new(MachineConfig::test_gpu());
     let r = sim.run_timing(&build_gemm(m, n, k, 3, true)).unwrap();
-    assert!(r.tc_utilization > 0.55, "tc utilization {}", r.tc_utilization);
+    assert!(
+        r.tc_utilization > 0.55,
+        "tc utilization {}",
+        r.tc_utilization
+    );
 }
 
 #[test]

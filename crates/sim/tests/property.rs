@@ -18,8 +18,12 @@ fn copy_kernel(rows: usize, cols: usize, pipe: usize, trips: i64) -> cypress_sim
             count: Expr::lit(trips),
             body: vec![
                 Instr::TmaLoad {
-                    src: Slice::param(a).at(Expr::var(v) * rows as i64, 0).extent(rows, cols),
-                    dst: Slice::smem(sa).stage(Expr::var(v) % pipe as i64).extent(rows, cols),
+                    src: Slice::param(a)
+                        .at(Expr::var(v) * rows as i64, 0)
+                        .extent(rows, cols),
+                    dst: Slice::smem(sa)
+                        .stage(Expr::var(v) % pipe as i64)
+                        .extent(rows, cols),
                     bar,
                 },
                 Instr::MbarWait { bar },

@@ -85,11 +85,26 @@ mod tests {
     fn display_is_nonempty_and_lowercase() {
         let errs: Vec<TensorError> = vec![
             TensorError::InvalidShape { shape: vec![0] },
-            TensorError::ShapeMismatch { expected: vec![1], actual: vec![2] },
-            TensorError::IndexOutOfBounds { index: vec![3], bounds: vec![2] },
-            TensorError::IndivisibleTiling { shape: vec![5], tile: vec![2] },
-            TensorError::RankMismatch { expected: 2, actual: 1 },
-            TensorError::UnsupportedMmaShape { shape: vec![3, 3], requirement: "rows divisible by 64" },
+            TensorError::ShapeMismatch {
+                expected: vec![1],
+                actual: vec![2],
+            },
+            TensorError::IndexOutOfBounds {
+                index: vec![3],
+                bounds: vec![2],
+            },
+            TensorError::IndivisibleTiling {
+                shape: vec![5],
+                tile: vec![2],
+            },
+            TensorError::RankMismatch {
+                expected: 2,
+                actual: 1,
+            },
+            TensorError::UnsupportedMmaShape {
+                shape: vec![3, 3],
+                requirement: "rows divisible by 64",
+            },
         ];
         for e in errs {
             let s = e.to_string();

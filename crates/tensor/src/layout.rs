@@ -36,7 +36,11 @@ impl Layout {
         for i in (0..shape.len().saturating_sub(1)).rev() {
             strides[i] = strides[i + 1] * shape[i + 1];
         }
-        Layout { shape: shape.to_vec(), strides, swizzle: Swizzle::none() }
+        Layout {
+            shape: shape.to_vec(),
+            strides,
+            swizzle: Swizzle::none(),
+        }
     }
 
     /// Column-major (Fortran-order) layout for `shape`.
@@ -46,7 +50,11 @@ impl Layout {
         for i in 1..shape.len() {
             strides[i] = strides[i - 1] * shape[i - 1];
         }
-        Layout { shape: shape.to_vec(), strides, swizzle: Swizzle::none() }
+        Layout {
+            shape: shape.to_vec(),
+            strides,
+            swizzle: Swizzle::none(),
+        }
     }
 
     /// Layout with explicit strides.
@@ -57,9 +65,16 @@ impl Layout {
     /// different lengths.
     pub fn strided(shape: &[usize], strides: &[usize]) -> Result<Self, TensorError> {
         if shape.len() != strides.len() {
-            return Err(TensorError::RankMismatch { expected: shape.len(), actual: strides.len() });
+            return Err(TensorError::RankMismatch {
+                expected: shape.len(),
+                actual: strides.len(),
+            });
         }
-        Ok(Layout { shape: shape.to_vec(), strides: strides.to_vec(), swizzle: Swizzle::none() })
+        Ok(Layout {
+            shape: shape.to_vec(),
+            strides: strides.to_vec(),
+            swizzle: Swizzle::none(),
+        })
     }
 
     /// Attach a swizzle to this layout, returning the swizzled layout.
@@ -107,11 +122,16 @@ impl Layout {
     /// its extent, or [`TensorError::RankMismatch`] on rank disagreement.
     pub fn offset(&self, coord: &[usize]) -> Result<usize, TensorError> {
         if coord.len() != self.shape.len() {
-            return Err(TensorError::RankMismatch { expected: self.shape.len(), actual: coord.len() });
+            return Err(TensorError::RankMismatch {
+                expected: self.shape.len(),
+                actual: coord.len(),
+            });
         }
         let mut off = 0usize;
-        for (i, (&c, (&s, &st))) in
-            coord.iter().zip(self.shape.iter().zip(self.strides.iter())).enumerate()
+        for (i, (&c, (&s, &st))) in coord
+            .iter()
+            .zip(self.shape.iter().zip(self.strides.iter()))
+            .enumerate()
         {
             if c >= s {
                 let _ = i;
@@ -214,7 +234,7 @@ mod tests {
     #[test]
     fn offsets_cover_dense_range_exactly_once() {
         let l = Layout::row_major(&[3, 5]);
-        let mut seen = vec![false; 15];
+        let mut seen = [false; 15];
         for i in 0..3 {
             for j in 0..5 {
                 let o = l.offset(&[i, j]).unwrap();
@@ -228,8 +248,14 @@ mod tests {
     #[test]
     fn out_of_bounds_is_error() {
         let l = Layout::row_major(&[2, 2]);
-        assert!(matches!(l.offset(&[2, 0]), Err(TensorError::IndexOutOfBounds { .. })));
-        assert!(matches!(l.offset(&[0]), Err(TensorError::RankMismatch { .. })));
+        assert!(matches!(
+            l.offset(&[2, 0]),
+            Err(TensorError::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            l.offset(&[0]),
+            Err(TensorError::RankMismatch { .. })
+        ));
     }
 
     #[test]

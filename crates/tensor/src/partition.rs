@@ -62,7 +62,10 @@ impl Partition {
     /// grid and [`TensorError::RankMismatch`] on rank disagreement.
     pub fn piece(&self, index: &[usize]) -> Result<&TensorView, TensorError> {
         if index.len() != self.grid.len() {
-            return Err(TensorError::RankMismatch { expected: self.grid.len(), actual: index.len() });
+            return Err(TensorError::RankMismatch {
+                expected: self.grid.len(),
+                actual: index.len(),
+            });
         }
         let mut lin = 0usize;
         for (i, g) in index.iter().zip(self.grid.iter()) {
@@ -84,10 +87,12 @@ impl Partition {
     /// Returns [`TensorError::IndexOutOfBounds`] if `index` exceeds
     /// [`Partition::num_pieces`].
     pub fn piece_linear(&self, index: usize) -> Result<&TensorView, TensorError> {
-        self.pieces.get(index).ok_or_else(|| TensorError::IndexOutOfBounds {
-            index: vec![index],
-            bounds: vec![self.pieces.len()],
-        })
+        self.pieces
+            .get(index)
+            .ok_or_else(|| TensorError::IndexOutOfBounds {
+                index: vec![index],
+                bounds: vec![self.pieces.len()],
+            })
     }
 
     /// Iterate over the pieces in linearized order.
@@ -157,14 +162,22 @@ impl Partition {
 /// ```
 pub fn blocks(shape: &[usize], tile: &[usize]) -> Result<Partition, TensorError> {
     if shape.len() != tile.len() {
-        return Err(TensorError::RankMismatch { expected: shape.len(), actual: tile.len() });
+        return Err(TensorError::RankMismatch {
+            expected: shape.len(),
+            actual: tile.len(),
+        });
     }
-    if tile.iter().any(|&t| t == 0) {
-        return Err(TensorError::InvalidShape { shape: tile.to_vec() });
+    if tile.contains(&0) {
+        return Err(TensorError::InvalidShape {
+            shape: tile.to_vec(),
+        });
     }
     for (s, t) in shape.iter().zip(tile.iter()) {
         if s % t != 0 {
-            return Err(TensorError::IndivisibleTiling { shape: shape.to_vec(), tile: tile.to_vec() });
+            return Err(TensorError::IndivisibleTiling {
+                shape: shape.to_vec(),
+                tile: tile.to_vec(),
+            });
         }
     }
     let grid: Vec<usize> = shape.iter().zip(tile.iter()).map(|(s, t)| s / t).collect();
@@ -210,7 +223,7 @@ impl MmaInstr {
     ///
     /// Returns [`TensorError::UnsupportedMmaShape`] for unsupported `n`.
     pub fn wgmma(n: usize) -> Result<Self, TensorError> {
-        if n == 0 || n % 8 != 0 || n > 256 {
+        if n == 0 || !n.is_multiple_of(8) || n > 256 {
             return Err(TensorError::UnsupportedMmaShape {
                 shape: vec![64, n, 16],
                 requirement: "wgmma n must be a positive multiple of 8, at most 256",
@@ -222,7 +235,11 @@ impl MmaInstr {
     /// The `m64n256k16` instruction used throughout the paper's GEMM (Fig. 5).
     #[must_use]
     pub fn wgmma_64x256x16() -> Self {
-        MmaInstr { m: 64, n: 256, k: 16 }
+        MmaInstr {
+            m: 64,
+            n: 256,
+            k: 16,
+        }
     }
 
     /// Rows of the accumulator.
@@ -298,7 +315,10 @@ pub fn mma(
     operand: MmaOperand,
 ) -> Result<Partition, TensorError> {
     if shape.len() != 2 {
-        return Err(TensorError::RankMismatch { expected: 2, actual: shape.len() });
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: shape.len(),
+        });
     }
     let (rows, cols) = (shape[0], shape[1]);
     match (level, operand) {
@@ -370,8 +390,15 @@ pub fn mma(
                 MmaLevel::Warp => 4,
                 MmaLevel::Thread => 32,
             };
-            let pieces = (0..n).map(|_| TensorView::identity(shape.to_vec())).collect();
-            Ok(Partition { grid: vec![n], pieces, parent_shape: shape.to_vec(), kind: PartitionKind::Mma })
+            let pieces = (0..n)
+                .map(|_| TensorView::identity(shape.to_vec()))
+                .collect();
+            Ok(Partition {
+                grid: vec![n],
+                pieces,
+                parent_shape: shape.to_vec(),
+                kind: PartitionKind::Mma,
+            })
         }
     }
 }
@@ -385,7 +412,10 @@ mod tests {
         let p = blocks(&[128, 256], &[64, 64]).unwrap();
         assert_eq!(p.grid(), &[2, 4]);
         assert_eq!(p.num_pieces(), 8);
-        assert_eq!(p.piece(&[1, 3]).unwrap().to_parent(&[0, 0]).unwrap(), vec![64, 192]);
+        assert_eq!(
+            p.piece(&[1, 3]).unwrap().to_parent(&[0, 0]).unwrap(),
+            vec![64, 192]
+        );
         assert!(p.is_disjoint());
         assert!(p.is_complete());
     }
@@ -413,7 +443,10 @@ mod tests {
         let instr = MmaInstr::wgmma_64x256x16();
         let p = mma(&[64, 256], instr, MmaLevel::Warp, MmaOperand::C).unwrap();
         assert_eq!(p.num_pieces(), 4);
-        assert_eq!(p.piece(&[2]).unwrap().to_parent(&[0, 0]).unwrap(), vec![32, 0]);
+        assert_eq!(
+            p.piece(&[2]).unwrap().to_parent(&[0, 0]).unwrap(),
+            vec![32, 0]
+        );
         assert!(p.is_disjoint());
         assert!(p.is_complete());
     }

@@ -39,10 +39,17 @@ impl Tensor {
     /// non-degenerate in Cypress programs.
     #[must_use]
     pub fn zeros(dtype: DType, shape: &[usize]) -> Self {
-        assert!(!shape.is_empty() && shape.iter().all(|&s| s > 0), "degenerate shape {shape:?}");
+        assert!(
+            !shape.is_empty() && shape.iter().all(|&s| s > 0),
+            "degenerate shape {shape:?}"
+        );
         let layout = Layout::row_major(shape);
         let n = layout.num_elements();
-        Tensor { dtype, layout, data: vec![0.0; n] }
+        Tensor {
+            dtype,
+            layout,
+            data: vec![0.0; n],
+        }
     }
 
     /// A tensor filled with `value` (quantized to `dtype`).
@@ -83,7 +90,19 @@ impl Tensor {
             });
         }
         let data = data.into_iter().map(|x| dtype.quantize(x)).collect();
-        Ok(Tensor { dtype, layout, data })
+        Ok(Tensor {
+            dtype,
+            layout,
+            data,
+        })
+    }
+
+    /// Consume the tensor, yielding its row-major storage. The inverse of
+    /// [`Tensor::from_data`]; lets buffer pools recycle storage without a
+    /// copy.
+    #[must_use]
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
     }
 
     /// The element type.
@@ -177,7 +196,12 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] when shapes differ.
     pub fn relative_error(&self, other: &Tensor) -> Result<f32, TensorError> {
         let diff = self.max_abs_diff(other)?;
-        let scale = other.data.iter().map(|x| x.abs()).fold(0.0f32, f32::max).max(1e-6);
+        let scale = other
+            .data
+            .iter()
+            .map(|x| x.abs())
+            .fold(0.0f32, f32::max)
+            .max(1e-6);
         Ok(diff / scale)
     }
 }
@@ -195,7 +219,10 @@ pub mod reference {
     /// or [`TensorError::RankMismatch`] for non-matrix operands.
     pub fn matmul(a: &Tensor, b: &Tensor, out_dtype: DType) -> Result<Tensor, TensorError> {
         if a.shape().len() != 2 || b.shape().len() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, actual: a.shape().len().max(b.shape().len()) });
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: a.shape().len().max(b.shape().len()),
+            });
         }
         let (m, k) = (a.shape()[0], a.shape()[1]);
         let (k2, n) = (b.shape()[0], b.shape()[1]);
@@ -225,7 +252,10 @@ pub mod reference {
     /// Returns [`TensorError::RankMismatch`] for non-matrix input.
     pub fn softmax_rows(x: &Tensor, out_dtype: DType) -> Result<Tensor, TensorError> {
         if x.shape().len() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, actual: x.shape().len() });
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: x.shape().len(),
+            });
         }
         let (m, n) = (x.shape()[0], x.shape()[1]);
         let mut out = Tensor::zeros(out_dtype, &[m, n]);
@@ -236,8 +266,8 @@ pub mod reference {
             for &v in row {
                 denom += (v - mx).exp();
             }
-            for j in 0..n {
-                out.data_mut()[i * n + j] = out_dtype.quantize((row[j] - mx).exp() / denom);
+            for (j, &v) in row.iter().enumerate() {
+                out.data_mut()[i * n + j] = out_dtype.quantize((v - mx).exp() / denom);
             }
         }
         Ok(out)
@@ -250,7 +280,12 @@ pub mod reference {
     /// # Errors
     ///
     /// Propagates shape errors from the constituent operations.
-    pub fn attention(q: &Tensor, k: &Tensor, v: &Tensor, out_dtype: DType) -> Result<Tensor, TensorError> {
+    pub fn attention(
+        q: &Tensor,
+        k: &Tensor,
+        v: &Tensor,
+        out_dtype: DType,
+    ) -> Result<Tensor, TensorError> {
         let d = q.shape()[1];
         let kt = transpose(k)?;
         let mut s = matmul(q, &kt, DType::F32)?;
@@ -269,7 +304,10 @@ pub mod reference {
     /// Returns [`TensorError::RankMismatch`] for non-matrix input.
     pub fn transpose(x: &Tensor) -> Result<Tensor, TensorError> {
         if x.shape().len() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, actual: x.shape().len() });
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: x.shape().len(),
+            });
         }
         let (m, n) = (x.shape()[0], x.shape()[1]);
         let mut out = Tensor::zeros(x.dtype(), &[n, m]);
@@ -289,7 +327,10 @@ pub mod reference {
     /// Returns [`TensorError::RankMismatch`] for non-matrix input.
     pub fn row_sum(x: &Tensor, out_dtype: DType) -> Result<Tensor, TensorError> {
         if x.shape().len() != 2 {
-            return Err(TensorError::RankMismatch { expected: 2, actual: x.shape().len() });
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: x.shape().len(),
+            });
         }
         let (m, n) = (x.shape()[0], x.shape()[1]);
         let mut out = Tensor::zeros(out_dtype, &[m, 1]);

@@ -48,7 +48,10 @@ impl TensorView {
     #[must_use]
     pub fn affine(shape: Vec<usize>, offset: Vec<usize>) -> Self {
         debug_assert_eq!(shape.len(), offset.len());
-        TensorView { shape, map: IndexMap::Affine { offset } }
+        TensorView {
+            shape,
+            map: IndexMap::Affine { offset },
+        }
     }
 
     /// A gather view; `table` must have exactly `shape.iter().product()`
@@ -60,7 +63,10 @@ impl TensorView {
     #[must_use]
     pub fn gather(shape: Vec<usize>, table: Vec<Vec<usize>>) -> Self {
         debug_assert_eq!(shape.iter().product::<usize>(), table.len());
-        TensorView { shape, map: IndexMap::Gather { table } }
+        TensorView {
+            shape,
+            map: IndexMap::Gather { table },
+        }
     }
 
     /// A view covering an entire parent of shape `shape` (identity map).
@@ -102,7 +108,10 @@ impl TensorView {
     /// view and [`TensorError::RankMismatch`] on rank disagreement.
     pub fn to_parent(&self, coord: &[usize]) -> Result<Vec<usize>, TensorError> {
         if coord.len() != self.shape.len() {
-            return Err(TensorError::RankMismatch { expected: self.shape.len(), actual: coord.len() });
+            return Err(TensorError::RankMismatch {
+                expected: self.shape.len(),
+                actual: coord.len(),
+            });
         }
         for (c, s) in coord.iter().zip(self.shape.iter()) {
             if c >= s {
@@ -113,9 +122,11 @@ impl TensorView {
             }
         }
         match &self.map {
-            IndexMap::Affine { offset } => {
-                Ok(coord.iter().zip(offset.iter()).map(|(c, o)| c + o).collect())
-            }
+            IndexMap::Affine { offset } => Ok(coord
+                .iter()
+                .zip(offset.iter())
+                .map(|(c, o)| c + o)
+                .collect()),
             IndexMap::Gather { table } => {
                 let mut lin = 0usize;
                 for (c, s) in coord.iter().zip(self.shape.iter()) {
@@ -180,8 +191,15 @@ struct CoordIter {
 
 impl CoordIter {
     fn new(shape: &[usize]) -> Self {
-        let start = if shape.iter().any(|&s| s == 0) { None } else { Some(vec![0; shape.len()]) };
-        CoordIter { shape: shape.to_vec(), next: start }
+        let start = if shape.contains(&0) {
+            None
+        } else {
+            Some(vec![0; shape.len()])
+        };
+        CoordIter {
+            shape: shape.to_vec(),
+            next: start,
+        }
     }
 }
 

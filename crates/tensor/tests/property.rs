@@ -1,7 +1,7 @@
 //! Property-based tests of the tensor substrate's core invariants.
 
-use cypress_tensor::{blocks, f16, mma, Layout, MmaInstr, Swizzle};
 use cypress_tensor::partition::{MmaLevel, MmaOperand};
+use cypress_tensor::{blocks, f16, mma, Layout, MmaInstr, Swizzle};
 use proptest::prelude::*;
 
 proptest! {

@@ -20,8 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let small = MachineConfig::test_gpu();
     let (m, n, k) = (64usize, 64usize, 128usize);
     let (reg, mapping, args) = dual_gemm::build(m, n, k, &small);
-    let compiler =
-        CypressCompiler::new(CompilerOptions { machine: small.clone(), ..Default::default() });
+    let compiler = CypressCompiler::new(CompilerOptions {
+        machine: small.clone(),
+        ..Default::default()
+    });
     let compiled = compiler.compile(&reg, &mapping, "dual", &args)?;
 
     let mut rng = StdRng::seed_from_u64(3);
@@ -45,16 +47,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let size = 8192;
     let fl = dual_gemm::flops(size, size, size);
     let (reg, mapping, args) = dual_gemm::build(size, size, size, &h100);
-    let compiler =
-        CypressCompiler::new(CompilerOptions { machine: h100.clone(), ..Default::default() });
+    let compiler = CypressCompiler::new(CompilerOptions {
+        machine: h100.clone(),
+        ..Default::default()
+    });
     let cy = compiler.compile(&reg, &mapping, "dual", &args)?.kernel;
     let tr = triton::dual_gemm(size, size, size);
     let sim = Simulator::new(h100);
     let t_cy = sim.run_timing(&cy)?;
     let t_tr = sim.run_timing(&tr)?;
     println!("Dual-GEMM {size}^3:");
-    println!("  Cypress: {:.0} TFLOP/s (tensor core {:.0}% busy)", t_cy.tflops_for(fl), t_cy.tc_utilization * 100.0);
-    println!("  Triton : {:.0} TFLOP/s (tensor core {:.0}% busy)", t_tr.tflops_for(fl), t_tr.tc_utilization * 100.0);
-    println!("  speedup: {:.2}x (paper band 1.36-1.40x)", t_tr.cycles / t_cy.cycles);
+    println!(
+        "  Cypress: {:.0} TFLOP/s (tensor core {:.0}% busy)",
+        t_cy.tflops_for(fl),
+        t_cy.tc_utilization * 100.0
+    );
+    println!(
+        "  Triton : {:.0} TFLOP/s (tensor core {:.0}% busy)",
+        t_tr.tflops_for(fl),
+        t_tr.tc_utilization * 100.0
+    );
+    println!(
+        "  speedup: {:.2}x (paper band 1.36-1.40x)",
+        t_tr.cycles / t_cy.cycles
+    );
     Ok(())
 }

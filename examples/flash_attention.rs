@@ -44,8 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (heads, seq, d) = (16usize, 8192usize, 128usize);
     let fl = attention::flops(heads, seq, d);
     let sim = Simulator::new(h100.clone());
-    let compiler =
-        CypressCompiler::new(CompilerOptions { machine: h100.clone(), ..Default::default() });
+    let compiler = CypressCompiler::new(CompilerOptions {
+        machine: h100.clone(),
+        ..Default::default()
+    });
     println!("\nFP16 attention, heads={heads}, seq={seq}, head_dim={d}:");
     for alg in [Algorithm::Fa2, Algorithm::Fa3] {
         let (reg, mapping, args) = attention::build(alg, heads, seq, d, &h100);
@@ -55,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     for (name, kernel) in [
         ("Triton FA2", triton::attention(heads, seq, d, h100.sms)),
-        ("ThunderKittens FA2", thunderkittens::attention(heads, seq, d, h100.sms)),
+        (
+            "ThunderKittens FA2",
+            thunderkittens::attention(heads, seq, d, h100.sms),
+        ),
         ("FlashAttention-3", fa3::attention(heads, seq, d, h100.sms)),
     ] {
         let t = sim.run_timing(&kernel)?;

@@ -14,19 +14,30 @@ use cypress::sim::{MachineConfig, Simulator};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let machine = MachineConfig::h100_sxm5();
     let sim = Simulator::new(machine.clone());
-    let compiler =
-        CypressCompiler::new(CompilerOptions { machine: machine.clone(), ..Default::default() });
+    let compiler = CypressCompiler::new(CompilerOptions {
+        machine: machine.clone(),
+        ..Default::default()
+    });
     let size = 4096;
     let fl = gemm::flops(size, size, size);
 
     println!("GEMM {size}^3 mapping landscape (simulated H100):");
-    println!("{:>6} {:>5} {:>10} {:>12} {:>8}", "pipe", "wgs", "warpspec", "TFLOP/s", "tc busy");
+    println!(
+        "{:>6} {:>5} {:>10} {:>12} {:>8}",
+        "pipe", "wgs", "warpspec", "TFLOP/s", "tc busy"
+    );
     for warpspecialize in [true, false] {
         for pipeline in 1..=3usize {
             for wgs in [1usize, 2] {
                 // One warpgroup requires 64-row block tiles (wgmma m = 64).
                 let u = if wgs == 1 { 64 } else { 128 };
-                let cfg = GemmConfig { pipeline, wgs, u, warpspecialize, ..GemmConfig::h100() };
+                let cfg = GemmConfig {
+                    pipeline,
+                    wgs,
+                    u,
+                    warpspecialize,
+                    ..GemmConfig::h100()
+                };
                 let Ok((reg, mapping, args)) = gemm::build_with(size, size, size, cfg) else {
                     continue;
                 };

@@ -31,9 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("generated warp-specialized kernel:\n{}", compiled.cuda);
     println!(
         "copy elimination removed {} copies in {} rounds; {} B shared memory per CTA",
-        compiled.copyelim_stats.removed_copies,
-        compiled.copyelim_stats.rounds,
-        compiled.smem_bytes
+        compiled.copyelim_stats.removed_copies, compiled.copyelim_stats.rounds, compiled.smem_bytes
     );
 
     // 3. Run functionally and check against the host oracle.

@@ -1,0 +1,201 @@
+//! A transformer layer as ONE task graph: attention → dual-GEMM (the GLU
+//! up-projection, Fig. 13c) → GEMM+Reduction (down-projection fused with a
+//! row statistic, Fig. 13d) — the repo's first multi-kernel scenario.
+//!
+//! The `cypress::runtime` session compiles each distinct program once
+//! (fingerprint-keyed kernel cache), threads attention's output buffer
+//! into the dual-GEMM's `A` slot and that result into the projection's
+//! `A` slot (tensor-buffer edges), and checks every stage against the
+//! host oracle. A second launch of the same graph hits the cache for all
+//! three kernels.
+//!
+//! Run with `cargo run --release --example transformer_layer`.
+
+use cypress::core::kernels::{attention, dual_gemm, gemm_reduction};
+use cypress::runtime::{Binding, Program, Session, TaskGraph};
+use cypress::sim::MachineConfig;
+use cypress::tensor::{tensor::reference, DType, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let machine = MachineConfig::test_gpu();
+    let (seq, d) = (128usize, 64usize);
+
+    // --- Build the three programs -------------------------------------
+    let attn = Program::from_parts(
+        attention::build(attention::Algorithm::Fa2, 1, seq, d, &machine),
+        "fa",
+    );
+    // GLU up-projection: G = O·W1 + O·W2 in one kernel.
+    let glu = Program::from_parts(dual_gemm::build(seq, d, d, &machine), "dual");
+    // Down-projection fused with the row reduction: P = G·W3, y = Σ_k G.
+    let proj = Program::from_parts(gemm_reduction::build(seq, d, d, &machine), "gr");
+    let y_cols = proj.args[1].cols;
+
+    // --- Wire them into one graph with tensor-buffer edges ------------
+    let mut graph = TaskGraph::new();
+    let n_attn = graph.add_node(
+        "attention",
+        attn,
+        vec![
+            Binding::Zeros, // O
+            Binding::external("Q"),
+            Binding::external("K"),
+            Binding::external("V"),
+        ],
+    )?;
+    let n_glu = graph.add_node(
+        "glu_dual_gemm",
+        glu,
+        vec![
+            Binding::Zeros,             // G
+            Binding::output(n_attn, 0), // A := attention's O buffer
+            Binding::external("W1"),
+            Binding::external("W2"),
+        ],
+    )?;
+    let n_proj = graph.add_node(
+        "proj_gemm_reduction",
+        proj,
+        vec![
+            Binding::Zeros,            // P
+            Binding::Zeros,            // y partials
+            Binding::output(n_glu, 0), // A := the GLU's G buffer
+            Binding::external("W3"),
+        ],
+    )?;
+    // Keep the intermediates so we can check them against the oracle.
+    graph.retain(n_attn)?;
+    graph.retain(n_glu)?;
+
+    // --- Inputs --------------------------------------------------------
+    let mut rng = StdRng::seed_from_u64(2025);
+    let mut t = |r: usize, c: usize, s: f32| Tensor::random(DType::F16, &[r, c], &mut rng, -s, s);
+    let inputs = HashMap::from([
+        ("Q".to_string(), t(seq, d, 1.0)),
+        ("K".to_string(), t(seq, d, 1.0)),
+        ("V".to_string(), t(seq, d, 1.0)),
+        ("W1".to_string(), t(d, d, 0.5)),
+        ("W2".to_string(), t(d, d, 0.5)),
+        ("W3".to_string(), t(d, d, 0.5)),
+    ]);
+
+    // --- Launch and verify against the host oracle ---------------------
+    let mut session = Session::new(machine.clone());
+    let run = session.launch_functional(&graph, &inputs)?;
+
+    let o_want = reference::attention(&inputs["Q"], &inputs["K"], &inputs["V"], DType::F16)?;
+    let o_got = run.tensor(n_attn, 0).expect("attention output retained");
+    let err_o = o_got.relative_error(&o_want)?;
+    assert!(err_o < 3e-2, "attention relative error {err_o}");
+
+    let g1 = reference::matmul(&o_want, &inputs["W1"], DType::F32)?;
+    let g2 = reference::matmul(&o_want, &inputs["W2"], DType::F32)?;
+    let mut g_want = Tensor::zeros(DType::F16, &[seq, d]);
+    for i in 0..seq * d {
+        g_want.data_mut()[i] = DType::F16.quantize(g1.data()[i] + g2.data()[i]);
+    }
+    let g_got = run.tensor(n_glu, 0).expect("GLU output retained");
+    let err_g = g_got.relative_error(&g_want)?;
+    assert!(err_g < 3e-2, "dual-GEMM relative error {err_g}");
+
+    let p_want = reference::matmul(&g_want, &inputs["W3"], DType::F16)?;
+    let p_got = run.tensor(n_proj, 0).expect("projection is a sink");
+    let err_p = p_got.relative_error(&p_want)?;
+    assert!(err_p < 3e-2, "projection relative error {err_p}");
+
+    // The reduction output is per-block-column partials; sum them.
+    let y_want = reference::row_sum(&g_want, DType::F32)?;
+    let y_got = run.tensor(n_proj, 1).expect("reduction is a sink");
+    let mut y_total = Tensor::zeros(DType::F32, &[seq, 1]);
+    for i in 0..seq {
+        y_total.data_mut()[i] = (0..y_cols).map(|j| y_got.data()[i * y_cols + j]).sum();
+    }
+    let err_y = y_total.relative_error(&y_want)?;
+    assert!(err_y < 3e-2, "reduction relative error {err_y}");
+
+    println!("transformer layer graph: 3 nodes, all stages match the host oracle");
+    println!("  attention   relative error {err_o:.4}");
+    println!("  dual-GEMM   relative error {err_g:.4}");
+    println!("  projection  relative error {err_p:.4} (row-sum {err_y:.4})");
+    println!("\nper-node timing breakdown:\n{}", run.report.breakdown());
+
+    // --- Second launch: every kernel comes from the cache ---------------
+    let cold = session.cache_stats();
+    session.launch_functional(&graph, &inputs)?;
+    let warm = session.cache_stats();
+    println!(
+        "kernel cache: {} misses cold, {} hits on relaunch (entries {})",
+        cold.misses,
+        warm.hits - cold.hits,
+        warm.entries
+    );
+    assert_eq!(cold.misses, 3, "three distinct programs compile once each");
+    assert_eq!(warm.hits - cold.hits, 3, "relaunch compiles nothing");
+
+    // --- Steady-state serving: same programs, no retained intermediates.
+    // The new graph's fingerprints match the verification graph's, so it
+    // compiles nothing, and dead intermediates recycle through the pool.
+    let mut serving = TaskGraph::new();
+    let attn2 = Program::from_parts(
+        attention::build(attention::Algorithm::Fa2, 1, seq, d, &machine),
+        "fa",
+    );
+    let glu2 = Program::from_parts(dual_gemm::build(seq, d, d, &machine), "dual");
+    let proj2 = Program::from_parts(gemm_reduction::build(seq, d, d, &machine), "gr");
+    let s_attn = serving.add_node(
+        "attention",
+        attn2,
+        vec![
+            Binding::Zeros,
+            Binding::external("Q"),
+            Binding::external("K"),
+            Binding::external("V"),
+        ],
+    )?;
+    let s_glu = serving.add_node(
+        "glu_dual_gemm",
+        glu2,
+        vec![
+            Binding::Zeros,
+            Binding::output(s_attn, 0),
+            Binding::external("W1"),
+            Binding::external("W2"),
+        ],
+    )?;
+    serving.add_node(
+        "proj_gemm_reduction",
+        proj2,
+        vec![
+            Binding::Zeros,
+            Binding::Zeros,
+            Binding::output(s_glu, 0),
+            Binding::external("W3"),
+        ],
+    )?;
+    let before = session.cache_stats();
+    for _ in 0..3 {
+        let served = session.launch_functional(&serving, &inputs)?;
+        let p = served
+            .tensor_of("proj_gemm_reduction", 0)
+            .expect("sink kept");
+        assert!(p.relative_error(&p_want)? < 3e-2);
+    }
+    let after = session.cache_stats();
+    assert_eq!(
+        after.misses, before.misses,
+        "serving graph compiles nothing new"
+    );
+    let pool = session.pool_stats();
+    println!(
+        "serving x3: 0 new compiles; buffer pool {} acquisitions, {} served by reuse",
+        pool.acquired, pool.reused
+    );
+    assert!(
+        pool.reused > 0,
+        "steady-state launches reuse pooled buffers"
+    );
+    Ok(())
+}

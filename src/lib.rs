@@ -1,5 +1,9 @@
 //! Facade crate re-exporting the Cypress workspace.
+//!
+//! Layering (each crate depends only on those above it):
+//! [`tensor`] → [`sim`] → [`core`] → [`runtime`] → bench/[`baselines`].
 pub use cypress_baselines as baselines;
 pub use cypress_core as core;
+pub use cypress_runtime as runtime;
 pub use cypress_sim as sim;
 pub use cypress_tensor as tensor;

@@ -22,8 +22,10 @@ fn cypress_and_hand_written_gemm_agree() {
 
     // Compiled Cypress kernel.
     let (reg, mapping, args) = gemm::build(m, n, k, &machine);
-    let compiler =
-        CypressCompiler::new(CompilerOptions { machine: machine.clone(), ..Default::default() });
+    let compiler = CypressCompiler::new(CompilerOptions {
+        machine: machine.clone(),
+        ..Default::default()
+    });
     let cy = compiler.compile(&reg, &mapping, "gemm", &args).unwrap();
     let cy_out = sim
         .run_functional(
@@ -51,14 +53,19 @@ fn cypress_and_hand_written_gemm_agree() {
         .unwrap();
 
     let diff = cy_out.params[0].max_abs_diff(&hand_out.params[0]).unwrap();
-    assert!(diff < 1e-3, "compiled and hand-written kernels disagree by {diff}");
+    assert!(
+        diff < 1e-3,
+        "compiled and hand-written kernels disagree by {diff}"
+    );
 }
 
 #[test]
 fn whole_stack_is_deterministic() {
     let machine = MachineConfig::h100_sxm5();
-    let compiler =
-        CypressCompiler::new(CompilerOptions { machine: machine.clone(), ..Default::default() });
+    let compiler = CypressCompiler::new(CompilerOptions {
+        machine: machine.clone(),
+        ..Default::default()
+    });
     let sim = Simulator::new(machine.clone());
     let run = || {
         let (reg, mapping, args) = gemm::build(4096, 4096, 4096, &machine);
@@ -73,8 +80,10 @@ fn fa3_overlaps_more_than_fa2() {
     // The FA3 restructuring exists to overlap softmax with Tensor Core
     // work; the schedule must show it (higher TC utilization).
     let machine = MachineConfig::h100_sxm5();
-    let compiler =
-        CypressCompiler::new(CompilerOptions { machine: machine.clone(), ..Default::default() });
+    let compiler = CypressCompiler::new(CompilerOptions {
+        machine: machine.clone(),
+        ..Default::default()
+    });
     let sim = Simulator::new(machine.clone());
     let mut cycles = Vec::new();
     for alg in [attention::Algorithm::Fa2, attention::Algorithm::Fa3] {
@@ -82,18 +91,28 @@ fn fa3_overlaps_more_than_fa2() {
         let c = compiler.compile(&reg, &mapping, "fa", &args).unwrap();
         cycles.push(sim.run_timing(&c.kernel).unwrap().cycles);
     }
-    assert!(cycles[1] < cycles[0], "FA3 {} should beat FA2 {}", cycles[1], cycles[0]);
+    assert!(
+        cycles[1] < cycles[0],
+        "FA3 {} should beat FA2 {}",
+        cycles[1],
+        cycles[0]
+    );
 }
 
 #[test]
 fn pipeline_depth_ablation_shows_latency_hiding() {
     let machine = MachineConfig::h100_sxm5();
-    let compiler =
-        CypressCompiler::new(CompilerOptions { machine: machine.clone(), ..Default::default() });
+    let compiler = CypressCompiler::new(CompilerOptions {
+        machine: machine.clone(),
+        ..Default::default()
+    });
     let sim = Simulator::new(machine.clone());
     let mut prev = f64::INFINITY;
     for pipe in [1usize, 3] {
-        let cfg = gemm::GemmConfig { pipeline: pipe, ..gemm::GemmConfig::h100() };
+        let cfg = gemm::GemmConfig {
+            pipeline: pipe,
+            ..gemm::GemmConfig::h100()
+        };
         let (reg, mapping, args) = gemm::build_with(4096, 4096, 4096, cfg).unwrap();
         let c = compiler.compile(&reg, &mapping, "gemm", &args).unwrap();
         let cycles = sim.run_timing(&c.kernel).unwrap().cycles;
