@@ -1,0 +1,45 @@
+//! Host-side cost of graph timing under both schedule policies, plus the
+//! simulated speedup multi-stream scheduling buys. The serial and
+//! concurrent runs share one warm session, so the numbers isolate the
+//! scheduler itself: solo kernel timing is simulated once per distinct
+//! compiled kernel and the fluid contention pass is pure arithmetic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cypress_bench::{overlap_graph, OVERLAP_WIDTH};
+use cypress_runtime::{SchedulePolicy, Session};
+use cypress_sim::MachineConfig;
+
+fn bench(c: &mut Criterion) {
+    let machine = MachineConfig::h100_sxm5();
+    let graph = overlap_graph(OVERLAP_WIDTH, 512, &machine);
+    let mut g = c.benchmark_group("graph_overlap");
+    g.sample_size(10);
+
+    let mut session = Session::new(machine.clone());
+    session.launch_timing(&graph).unwrap(); // warm the kernel cache
+    g.bench_function("launch_timing_serial", |b| {
+        b.iter(|| session.launch_timing(&graph).unwrap())
+    });
+
+    let mut concurrent = Session::new(machine).with_policy(SchedulePolicy::Concurrent {
+        streams: OVERLAP_WIDTH,
+    });
+    concurrent.launch_timing(&graph).unwrap();
+    g.bench_function("launch_timing_concurrent8", |b| {
+        b.iter(|| concurrent.launch_timing(&graph).unwrap())
+    });
+
+    let serial_report = session.launch_timing(&graph).unwrap();
+    let conc_report = concurrent.launch_timing(&graph).unwrap();
+    println!(
+        "  simulated: serial {:.0} cycles, 8 streams {:.0} cycles ({:.2}x overlap, critical path {:.0})",
+        serial_report.makespan,
+        conc_report.makespan,
+        conc_report.overlap_speedup(),
+        conc_report.critical_path
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! CI gate over `BENCH_figures.json`: every figure must be present with
+//! its full row count, and every measured `tflops` value must be a
+//! finite, positive number. A refactor that silently drops a series or
+//! produces NaN fails the build instead of the perf trajectory.
+//!
+//! Run with `cargo run --release -p cypress-bench --bin check_figures`
+//! (after the `figures` binary has written the file).
+
+use std::process::ExitCode;
+
+/// `(figure id, expected row count)` — sizes x systems per figure.
+const EXPECTED: [(&str, usize); 6] = [
+    ("13a_gemm", 9),           // 3 sizes x {Cypress, Triton, cuBLAS}
+    ("13b_batched_gemm", 9),   // 3 sizes x {Cypress, Triton, cuBLAS}
+    ("13c_dual_gemm", 6),      // 3 sizes x {Cypress, Triton}
+    ("13d_gemm_reduction", 6), // 3 sizes x {Cypress, Triton}
+    ("14_attention", 24),      // 4 seqs x 6 systems
+    ("graph_overlap", 6),      // 3 sizes x {serial, 8 streams}
+];
+
+fn check(json: &str) -> Result<usize, String> {
+    let mut total = 0;
+    for (figure, expected) in EXPECTED {
+        let needle = format!("\"figure\": \"{figure}\"");
+        let count = json.matches(&needle).count();
+        if count != expected {
+            return Err(format!(
+                "figure `{figure}`: expected {expected} rows, found {count}"
+            ));
+        }
+        total += count;
+    }
+    let rows = json.matches("\"figure\"").count();
+    if rows != total {
+        return Err(format!(
+            "{rows} rows in file but only {total} accounted for by known figures"
+        ));
+    }
+    // Every tflops value must parse as a finite, positive number. NaN and
+    // infinity are not valid JSON numbers, so they would also corrupt the
+    // file — catch them by name.
+    let mut values = 0;
+    for chunk in json.split("\"tflops\": ").skip(1) {
+        let end = chunk
+            .find(['}', ','])
+            .ok_or_else(|| "unterminated tflops value".to_string())?;
+        let raw = chunk[..end].trim();
+        let v: f64 = raw
+            .parse()
+            .map_err(|e| format!("tflops `{raw}` does not parse: {e}"))?;
+        if !v.is_finite() || v <= 0.0 {
+            return Err(format!("tflops `{raw}` is not a finite positive number"));
+        }
+        values += 1;
+    }
+    if values != rows {
+        return Err(format!("{rows} rows but {values} tflops values"));
+    }
+    Ok(rows)
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_figures.json".to_string());
+    let json = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("check_figures: cannot read {path}: {e} (run the `figures` binary first)");
+            return ExitCode::FAILURE;
+        }
+    };
+    match check(&json) {
+        Ok(rows) => {
+            println!("check_figures: {path} ok ({rows} rows, all figures present, no NaN)");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("check_figures: {path}: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::check;
+
+    fn row(figure: &str, tflops: &str) -> String {
+        format!("    {{\"figure\": \"{figure}\", \"system\": \"s\", \"size\": 1, \"tflops\": {tflops}}}")
+    }
+
+    fn full_file(overrides: &[(usize, &str)]) -> String {
+        let mut rows = Vec::new();
+        for (figure, count) in super::EXPECTED {
+            for _ in 0..count {
+                rows.push(row(figure, "123.456"));
+            }
+        }
+        for &(i, tflops) in overrides {
+            rows[i] = row(super::EXPECTED[0].0, tflops);
+        }
+        format!("{{\n  \"rows\": [\n{}\n  ]\n}}\n", rows.join(",\n"))
+    }
+
+    #[test]
+    fn complete_file_passes() {
+        assert_eq!(check(&full_file(&[])), Ok(60));
+    }
+
+    #[test]
+    fn missing_rows_fail() {
+        let json = full_file(&[]).replacen("\"figure\": \"13a_gemm\"", "\"figure\": \"gone\"", 1);
+        assert!(check(&json).unwrap_err().contains("13a_gemm"));
+    }
+
+    #[test]
+    fn nan_fails() {
+        let json = full_file(&[(0, "NaN")]);
+        assert!(check(&json).unwrap_err().contains("NaN"));
+    }
+
+    #[test]
+    fn zero_fails() {
+        let json = full_file(&[(1, "0.000")]);
+        assert!(check(&json).is_err());
+    }
+}

@@ -6,7 +6,10 @@
 //!
 //! Run with `cargo run --release -p cypress-bench --bin figures`.
 
-use cypress_bench::{fig13a, fig13b, fig13c, fig13d, fig14, ratio, Row, GEMM_SIZES, SEQ_LENS};
+use cypress_bench::{
+    fig13a, fig13b, fig13c, fig13d, fig14, fig_graph_overlap, overlap_concurrent_system, ratio,
+    Row, GEMM_SIZES, OVERLAP_SERIAL_SYSTEM, OVERLAP_SIZES, OVERLAP_WIDTH, SEQ_LENS,
+};
 use cypress_sim::MachineConfig;
 
 /// Render `(figure, rows)` pairs as a JSON array (no serde in the
@@ -120,6 +123,21 @@ fn main() {
         );
     }
 
+    let g = fig_graph_overlap(&machine);
+    let concurrent_system = overlap_concurrent_system();
+    print_rows(
+        &format!(
+            "Graph overlap: {OVERLAP_WIDTH} independent GEMMs, serial vs {OVERLAP_WIDTH} streams"
+        ),
+        &g,
+    );
+    for s in OVERLAP_SIZES {
+        println!(
+            "  size {s}: {OVERLAP_WIDTH} streams / serial = {:.2}x makespan speedup",
+            ratio(&g, &concurrent_system, OVERLAP_SERIAL_SYSTEM, s)
+        );
+    }
+
     let json = rows_to_json(
         &[
             ("13a_gemm", &a),
@@ -127,6 +145,7 @@ fn main() {
             ("13c_dual_gemm", &c),
             ("13d_gemm_reduction", &d),
             ("14_attention", &f),
+            ("graph_overlap", &g),
         ],
         &machine,
     );

@@ -6,6 +6,7 @@
 use cypress_baselines::{cublas, cudnn, fa3, thunderkittens, triton};
 use cypress_core::compile::{CompilerOptions, CypressCompiler};
 use cypress_core::kernels::{attention, batched, dual_gemm, gemm, gemm_reduction};
+use cypress_runtime::{Binding, Program, SchedulePolicy, Session, TaskGraph};
 use cypress_sim::{Kernel, MachineConfig, Simulator};
 
 /// One measured point.
@@ -198,6 +199,73 @@ pub fn fig14(machine: &MachineConfig) -> Vec<Row> {
             system: "cuDNN".into(),
             size: seq,
             tflops: measure(machine, &cd, fl),
+        });
+    }
+    rows
+}
+
+/// Problem sizes of the graph-overlap figure: small GEMMs that occupy a
+/// fraction of the device, where multi-stream overlap pays off (the
+/// batched-tensor regime of Shi et al.).
+pub const OVERLAP_SIZES: [usize; 3] = [256, 512, 1024];
+/// Independent kernels per graph (and streams in the concurrent run).
+pub const OVERLAP_WIDTH: usize = 8;
+/// Row label of the serial graph-overlap series.
+pub const OVERLAP_SERIAL_SYSTEM: &str = "Graph (serial)";
+
+/// Row label of the concurrent graph-overlap series (derived from
+/// [`OVERLAP_WIDTH`] so the label always matches the measurement).
+#[must_use]
+pub fn overlap_concurrent_system() -> String {
+    format!("Graph ({OVERLAP_WIDTH} streams)")
+}
+
+/// A width-`width` fan-out graph of independent `size`-cubed GEMMs.
+#[must_use]
+pub fn overlap_graph(width: usize, size: usize, machine: &MachineConfig) -> TaskGraph {
+    let program = Program::from_parts(gemm::build(size, size, size, machine), "gemm");
+    let mut graph = TaskGraph::new();
+    for i in 0..width {
+        graph
+            .add_node(
+                &format!("gemm{i}"),
+                program.clone(),
+                vec![
+                    Binding::Zeros,
+                    Binding::External(format!("A{i}")),
+                    Binding::External(format!("B{i}")),
+                ],
+            )
+            .expect("independent nodes always insert");
+    }
+    graph
+}
+
+/// Graph overlap: `OVERLAP_WIDTH` independent GEMMs scheduled serially
+/// vs concurrently on `OVERLAP_WIDTH` streams. The concurrent rows show
+/// the makespan-level speedup multi-stream scheduling buys for small
+/// kernels; at sizes that fill the device the two converge.
+#[must_use]
+pub fn fig_graph_overlap(machine: &MachineConfig) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for size in OVERLAP_SIZES {
+        let graph = overlap_graph(OVERLAP_WIDTH, size, machine);
+        let fl = OVERLAP_WIDTH as f64 * gemm::flops(size, size, size);
+        let mut session = Session::new(machine.clone());
+        let serial = session.launch_timing(&graph).expect("graph times");
+        rows.push(Row {
+            system: OVERLAP_SERIAL_SYSTEM.into(),
+            size,
+            tflops: serial.tflops_for(fl),
+        });
+        session.set_policy(SchedulePolicy::Concurrent {
+            streams: OVERLAP_WIDTH,
+        });
+        let conc = session.launch_timing(&graph).expect("graph times");
+        rows.push(Row {
+            system: overlap_concurrent_system(),
+            size,
+            tflops: conc.tflops_for(fl),
         });
     }
     rows

@@ -1,20 +1,34 @@
-//! Topological graph execution over the simulator.
+//! Graph execution over the simulator: serial walks and multi-stream
+//! concurrent schedules.
 //!
-//! The executor walks the deterministic schedule of a [`TaskGraph`] and
-//! launches each node's compiled kernel on [`cypress_sim::Simulator`]. In
-//! **functional** mode it threads real tensors along the graph's
-//! tensor-buffer edges — the output buffers of one launch become the input
-//! buffers of the next — recycling dead intermediates through the
-//! [`BufferPool`]. In **timing** mode no data moves; per-node
-//! [`cypress_sim::TimingReport`]s accumulate into a whole-graph
-//! [`GraphReport`] whose makespan is the sum of the launches.
+//! The executor launches each node's compiled kernel on
+//! [`cypress_sim::Simulator`]. In **functional** mode it threads real
+//! tensors along the graph's tensor-buffer edges — the output buffers of
+//! one launch become the input buffers of the next — recycling dead
+//! intermediates through the [`BufferPool`]. Data always moves in the
+//! deterministic topological schedule, so functional results are
+//! bit-identical across policies. In **timing** mode no data moves;
+//! per-node [`cypress_sim::TimingReport`]s are assembled into a
+//! [`GraphReport`] according to the session's
+//! [`SchedulePolicy`](crate::SchedulePolicy):
+//!
+//! - **Serial**: nodes run back-to-back in schedule order; the makespan
+//!   is the sum of the launches (the pre-stream behavior, bit for bit).
+//! - **Concurrent**: a ready-queue scheduler assigns independent nodes to
+//!   a configurable number of simulated streams. Co-resident launches
+//!   contend for SMs, L2, and HBM through
+//!   [`cypress_sim::concurrent::ConcurrentEngine`]; dependents are
+//!   released as upstream launches retire. Ready nodes and free streams
+//!   are taken lowest-id-first, so schedules stay deterministic.
 
 use crate::error::RuntimeError;
 use crate::graph::{Binding, NodeId, TaskGraph};
 use crate::pool::BufferPool;
 use crate::report::{GraphReport, NodeTiming};
+use crate::session::SchedulePolicy;
 use cypress_core::Compiled;
-use cypress_sim::Simulator;
+use cypress_sim::concurrent::{ConcurrentEngine, KernelProfile};
+use cypress_sim::{MachineConfig, Simulator, TimingReport};
 use cypress_tensor::Tensor;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -69,13 +83,14 @@ pub(crate) fn run_functional(
     kernels: &[Arc<Compiled>],
     inputs: &HashMap<String, Tensor>,
     pool: &mut BufferPool,
+    policy: SchedulePolicy,
 ) -> Result<GraphRun, RuntimeError> {
     let schedule = graph.schedule();
     let mut per_param = graph.consumer_counts();
     let total_initial: Vec<usize> = per_param.iter().map(|c| c.iter().sum()).collect();
     let mut total_remaining = total_initial.clone();
     let mut slots: Vec<Option<Vec<Option<Tensor>>>> = vec![None; graph.len()];
-    let mut report = GraphReport::default();
+    let mut reports: Vec<Option<TimingReport>> = vec![None; graph.len()];
 
     for &id in &schedule {
         let node = &graph.nodes()[id.index()];
@@ -136,10 +151,7 @@ pub(crate) fn run_functional(
         }
 
         let run = simulator.run_functional(&compiled.kernel, params)?;
-        report.nodes.push(NodeTiming {
-            node: node.name.clone(),
-            report: run.report,
-        });
+        reports[id.index()] = Some(run.report);
         slots[id.index()] = Some(run.params.into_iter().map(Some).collect());
 
         // Recycle any producer this node just finished draining.
@@ -154,10 +166,14 @@ pub(crate) fn run_functional(
         }
     }
 
+    let reports: Vec<TimingReport> = reports
+        .into_iter()
+        .map(|r| r.expect("every node ran"))
+        .collect();
     Ok(GraphRun {
         names: graph.nodes().iter().map(|n| n.name.clone()).collect(),
         results: slots,
-        report,
+        report: assemble_report(simulator.machine(), graph, &reports, policy),
     })
 }
 
@@ -166,16 +182,147 @@ pub(crate) fn run_timing(
     simulator: &Simulator,
     graph: &TaskGraph,
     kernels: &[Arc<Compiled>],
+    policy: SchedulePolicy,
 ) -> Result<GraphReport, RuntimeError> {
+    // Solo-time each node once per distinct compiled kernel: graphs that
+    // repeat a program (the cache hands back the identical `Arc`) pay for
+    // one simulation, not one per node.
+    let mut by_kernel: HashMap<*const Compiled, TimingReport> = HashMap::new();
+    let mut reports = Vec::with_capacity(graph.len());
+    for compiled in kernels {
+        let key = Arc::as_ptr(compiled);
+        let report = match by_kernel.get(&key) {
+            Some(r) => r.clone(),
+            None => {
+                let r = simulator.run_timing(&compiled.kernel)?;
+                by_kernel.insert(key, r.clone());
+                r
+            }
+        };
+        reports.push(report);
+    }
+    Ok(assemble_report(
+        simulator.machine(),
+        graph,
+        &reports,
+        policy,
+    ))
+}
+
+/// Assemble the whole-graph report from per-node solo reports (indexed by
+/// `NodeId::index()`) under `policy`.
+fn assemble_report(
+    machine: &MachineConfig,
+    graph: &TaskGraph,
+    reports: &[TimingReport],
+    policy: SchedulePolicy,
+) -> GraphReport {
     let schedule = graph.schedule();
-    let mut report = GraphReport::default();
-    for &id in &schedule {
-        let node = &graph.nodes()[id.index()];
-        let timing = simulator.run_timing(&kernels[id.index()].kernel)?;
-        report.nodes.push(NodeTiming {
-            node: node.name.clone(),
-            report: timing,
+    let (nodes, makespan) = match policy {
+        SchedulePolicy::Serial => schedule_serial(graph, &schedule, reports),
+        SchedulePolicy::Concurrent { .. } => {
+            schedule_concurrent(machine, graph, reports, policy.streams())
+        }
+    };
+    GraphReport {
+        nodes,
+        makespan,
+        seconds: machine.cycles_to_seconds(makespan),
+        critical_path: critical_path(graph, &schedule, reports),
+        streams: policy.streams(),
+    }
+}
+
+/// The longest dependency chain of solo node makespans: the lower bound
+/// no schedule can beat.
+fn critical_path(graph: &TaskGraph, schedule: &[NodeId], reports: &[TimingReport]) -> f64 {
+    let mut longest = vec![0.0f64; graph.len()];
+    let mut best = 0.0f64;
+    for &id in schedule {
+        let mut upstream = 0.0f64;
+        for dep in graph.dependencies(id) {
+            upstream = upstream.max(longest[dep.0]);
+        }
+        longest[id.index()] = upstream + reports[id.index()].cycles;
+        best = best.max(longest[id.index()]);
+    }
+    best
+}
+
+/// Back-to-back launches in schedule order — the pre-stream behavior:
+/// the makespan is the running sum of the solo makespans.
+fn schedule_serial(
+    graph: &TaskGraph,
+    schedule: &[NodeId],
+    reports: &[TimingReport],
+) -> (Vec<NodeTiming>, f64) {
+    let mut nodes = Vec::with_capacity(graph.len());
+    let mut cursor = 0.0f64;
+    for &id in schedule {
+        let report = reports[id.index()].clone();
+        let start = cursor;
+        cursor += report.cycles;
+        nodes.push(NodeTiming {
+            node: graph.nodes()[id.index()].name.clone(),
+            stream: 0,
+            start,
+            end: cursor,
+            report,
         });
     }
-    Ok(report)
+    (nodes, cursor)
+}
+
+/// Ready-queue scheduling onto `streams` simulated streams: independent
+/// nodes launch as soon as a stream is free, co-resident launches contend
+/// for the machine through the fluid [`ConcurrentEngine`], and dependents
+/// are released as upstream launches retire. Ready nodes and free streams
+/// are both taken lowest-id-first.
+fn schedule_concurrent(
+    machine: &MachineConfig,
+    graph: &TaskGraph,
+    reports: &[TimingReport],
+    streams: usize,
+) -> (Vec<NodeTiming>, f64) {
+    let n = graph.len();
+    let profiles: Vec<KernelProfile> = reports
+        .iter()
+        .map(|r| KernelProfile::from_report(r, machine))
+        .collect();
+    let (mut indegree, consumers) = graph.dependency_edges();
+    let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut free: Vec<usize> = (0..streams).collect();
+    let mut stream_of = vec![0usize; n];
+    let mut engine = ConcurrentEngine::new(machine);
+    let mut nodes = Vec::with_capacity(n);
+    let mut makespan = 0.0f64;
+    while nodes.len() < n {
+        while !ready.is_empty() && !free.is_empty() {
+            let next = *ready.iter().min().expect("ready is non-empty");
+            ready.retain(|&x| x != next);
+            let stream = free.remove(0);
+            stream_of[next] = stream;
+            engine.launch(next, &profiles[next]);
+        }
+        let done = engine
+            .advance()
+            .expect("a DAG always has a runnable node while incomplete");
+        let idx = free.partition_point(|&s| s < stream_of[done.id]);
+        free.insert(idx, stream_of[done.id]);
+        makespan = done.end;
+        nodes.push(NodeTiming {
+            node: graph.nodes()[done.id].name.clone(),
+            stream: stream_of[done.id],
+            start: done.start,
+            end: done.end,
+            report: reports[done.id].clone(),
+        });
+        for &c in &consumers[done.id] {
+            indegree[c] -= 1;
+            if indegree[c] == 0 {
+                ready.push(c);
+            }
+        }
+    }
+    (nodes, makespan)
 }

@@ -209,20 +209,31 @@ impl TaskGraph {
         deps.into_iter().map(NodeId).collect()
     }
 
+    /// Per-node indegree and consumer lists of the dependency DAG — the
+    /// adjacency shared by Kahn's algorithm in [`TaskGraph::schedule`]
+    /// and the executor's ready-queue stream scheduler (edges are
+    /// deduplicated per [`TaskGraph::dependencies`]).
+    #[must_use]
+    pub fn dependency_edges(&self) -> (Vec<usize>, Vec<Vec<usize>>) {
+        let n = self.nodes.len();
+        let mut indegree = vec![0usize; n];
+        let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, degree) in indegree.iter_mut().enumerate() {
+            for dep in self.dependencies(NodeId(i)) {
+                *degree += 1;
+                consumers[dep.0].push(i);
+            }
+        }
+        (indegree, consumers)
+    }
+
     /// A deterministic topological schedule: Kahn's algorithm with a
     /// smallest-id tie-break, so equal graphs always execute in the same
     /// order regardless of how their edges were declared.
     #[must_use]
     pub fn schedule(&self) -> Vec<NodeId> {
         let n = self.nodes.len();
-        let mut indegree = vec![0usize; n];
-        let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for (i, _) in self.nodes.iter().enumerate() {
-            for dep in self.dependencies(NodeId(i)) {
-                indegree[i] += 1;
-                consumers[dep.0].push(i);
-            }
-        }
+        let (mut indegree, consumers) = self.dependency_edges();
         // Min-heap over ids via sorted ready list (graphs are small).
         let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
         let mut order = Vec::with_capacity(n);

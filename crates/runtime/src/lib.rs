@@ -16,10 +16,19 @@
 //!   `(tasks, mapping, entry args, machine, options)` — a repeated launch
 //!   skips the Fig. 6 pass pipeline entirely — plus a [`BufferPool`] that
 //!   recycles intermediate tensors across launches;
-//! - an executor that topologically schedules the graph over
+//! - an executor that schedules the graph over
 //!   [`cypress_sim::Simulator`], threading output tensors of one launch
-//!   into the inputs of the next (functional mode) or accumulating a
-//!   whole-graph [`GraphReport`] with per-node breakdown (timing mode).
+//!   into the inputs of the next (functional mode) or assembling a
+//!   whole-graph [`GraphReport`] with a per-node stream timeline (timing
+//!   mode);
+//! - a [`SchedulePolicy`] on the session choosing between the serial
+//!   walk (default — the makespan is the sum of the launches) and
+//!   **multi-stream concurrent scheduling**, where a ready-queue assigns
+//!   independent nodes to simulated streams, co-resident launches
+//!   contend for SMs/L2/HBM under the [`cypress_sim::concurrent`] model,
+//!   and dependents are released as upstream launches retire. Every
+//!   schedule satisfies `critical_path <= makespan <= serial_sum` (see
+//!   [`GraphReport`]), and functional results are policy-independent.
 //!
 //! # Example: GEMM → GEMM as one graph
 //!
@@ -76,4 +85,4 @@ pub use graph::{Binding, Node, NodeId, TaskGraph};
 pub use pool::{BufferPool, PoolStats};
 pub use program::Program;
 pub use report::{GraphReport, NodeTiming};
-pub use session::Session;
+pub use session::{SchedulePolicy, Session};

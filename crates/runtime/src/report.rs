@@ -1,4 +1,22 @@
-//! Whole-graph timing reports with per-node breakdown.
+//! Whole-graph timing reports with per-node stream timelines.
+//!
+//! A [`GraphReport`] describes one simulated execution of a task graph.
+//! Every node carries the simulated stream it ran on and its `[start,
+//! end)` interval in cycles since graph launch, so overlap (or its
+//! absence) is directly observable. Three aggregate numbers summarize the
+//! schedule:
+//!
+//! - [`GraphReport::makespan`] — when the last node retired. Under the
+//!   serial policy this equals the serial sum; under a concurrent policy
+//!   it shrinks toward the critical path as independent nodes overlap.
+//! - [`GraphReport::critical_path`] — the longest dependency chain of
+//!   solo node makespans: no schedule, however many streams, can beat it.
+//! - [`GraphReport::serial_sum`] — the cost of launching every node
+//!   back-to-back: what a one-stream schedule pays.
+//!
+//! Any valid schedule satisfies `critical_path <= makespan <=
+//! serial_sum`; the property suite locks that invariant down for
+//! generated graphs.
 
 use cypress_sim::TimingReport;
 
@@ -7,34 +25,64 @@ use cypress_sim::TimingReport;
 pub struct NodeTiming {
     /// The node's display name.
     pub node: String,
-    /// The simulator's report for this launch.
+    /// Simulated stream the node was assigned to (0 under the serial
+    /// policy).
+    pub stream: usize,
+    /// Launch cycle, relative to the graph launch.
+    pub start: f64,
+    /// Retire cycle, relative to the graph launch.
+    pub end: f64,
+    /// The simulator's solo report for this launch (what the node costs
+    /// with the device to itself).
     pub report: TimingReport,
 }
 
-/// Timing of a whole graph execution: kernels run in dependency order, so
-/// the graph makespan is the sum of per-launch makespans (launch overheads
-/// included — the same place the paper's §5.3 persistent-kernel effect
-/// shows up at graph scale).
+/// Timing of a whole graph execution, with per-node stream timeline.
+///
+/// Nodes appear in completion order (for the serial policy that is the
+/// deterministic topological schedule). Launch overheads are included in
+/// each node's interval — the same place the paper's §5.3
+/// persistent-kernel effect shows up at graph scale.
 #[derive(Debug, Clone, Default)]
 pub struct GraphReport {
-    /// Per-node timing, in execution order.
+    /// Per-node timing, in completion order.
     pub nodes: Vec<NodeTiming>,
+    /// Cycle at which the last node retired.
+    pub makespan: f64,
+    /// [`GraphReport::makespan`] in seconds at the machine clock.
+    pub seconds: f64,
+    /// Longest dependency chain of solo node makespans, in cycles.
+    pub critical_path: f64,
+    /// Streams the schedule was allowed to use (1 under the serial
+    /// policy).
+    pub streams: usize,
 }
 
 impl GraphReport {
-    /// Total makespan in cycles.
+    /// Graph makespan in cycles (alias of [`GraphReport::makespan`]).
     #[must_use]
     pub fn cycles(&self) -> f64 {
+        self.makespan
+    }
+
+    /// What the schedule would cost on one stream: the sum of the solo
+    /// node makespans.
+    #[must_use]
+    pub fn serial_sum(&self) -> f64 {
         self.nodes.iter().map(|n| n.report.cycles).sum()
     }
 
-    /// Total makespan in seconds.
+    /// `serial_sum / makespan` — 1.0 means no overlap was achieved.
     #[must_use]
-    pub fn seconds(&self) -> f64 {
-        self.nodes.iter().map(|n| n.report.seconds).sum()
+    pub fn overlap_speedup(&self) -> f64 {
+        if self.makespan > 0.0 {
+            self.serial_sum() / self.makespan
+        } else {
+            1.0
+        }
     }
 
-    /// Total discrete events processed.
+    /// Total discrete events processed across the solo node simulations.
     #[must_use]
     pub fn events(&self) -> u64 {
         self.nodes.iter().map(|n| n.report.events).sum()
@@ -50,12 +98,11 @@ impl GraphReport {
     }
 
     /// Whole-graph TFLOP/s for an externally supplied algorithmic FLOP
-    /// count (the figure-style number).
+    /// count (the figure-style number), using the schedule's makespan.
     #[must_use]
     pub fn tflops_for(&self, algorithmic_flops: f64) -> f64 {
-        let s = self.seconds();
-        if s > 0.0 {
-            algorithmic_flops / s / 1e12
+        if self.seconds > 0.0 {
+            algorithmic_flops / self.seconds / 1e12
         } else {
             0.0
         }
@@ -70,27 +117,98 @@ impl GraphReport {
             .map(|n| &n.report)
     }
 
-    /// A human-readable per-node breakdown.
+    /// The timeline entry of the node called `name`, if it ran.
+    #[must_use]
+    pub fn timeline(&self, name: &str) -> Option<&NodeTiming> {
+        self.nodes.iter().find(|n| n.node == name)
+    }
+
+    /// A human-readable per-node breakdown with the stream timeline.
     #[must_use]
     pub fn breakdown(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
-        let total = self.cycles().max(1.0);
+        let total = self.makespan.max(1.0);
         for n in &self.nodes {
             let share = 100.0 * n.report.cycles / total;
             let _ = writeln!(
                 out,
-                "{:<24} {:>14.0} cycles ({:>5.1}%)  {:>8.1} TFLOP/s achieved",
-                n.node, n.report.cycles, share, n.report.achieved_tflops
+                "{:<24} s{} [{:>12.0}, {:>12.0}) {:>14.0} cycles ({:>5.1}%)  {:>8.1} TFLOP/s achieved",
+                n.node, n.stream, n.start, n.end, n.report.cycles, share, n.report.achieved_tflops
             );
         }
         let _ = writeln!(
             out,
-            "{:<24} {:>14.0} cycles ({:.3} ms)",
-            "total",
-            self.cycles(),
-            self.seconds() * 1e3
+            "{:<24} {:>14.0} cycles ({:.3} ms) | critical path {:.0} | serial sum {:.0} | {:.2}x overlap",
+            "makespan",
+            self.makespan,
+            self.seconds * 1e3,
+            self.critical_path,
+            self.serial_sum(),
+            self.overlap_speedup()
         );
         out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(name: &str, stream: usize, start: f64, cycles: f64) -> NodeTiming {
+        NodeTiming {
+            node: name.into(),
+            stream,
+            start,
+            end: start + cycles,
+            report: TimingReport {
+                kernel: name.into(),
+                cycles,
+                seconds: cycles / 1e9,
+                tc_flops: 1e6,
+                simt_flops: 0.0,
+                achieved_tflops: 1.0,
+                tc_utilization: 0.5,
+                tma_utilization: 0.5,
+                simt_utilization: 0.1,
+                ctas: 1,
+                simulated_ctas: 1,
+                active_sms: 1,
+                ctas_per_sm: 1,
+                load_bytes: 1e3,
+                store_bytes: 1e3,
+                l2_hit: 0.5,
+                events: 10,
+            },
+        }
+    }
+
+    fn overlapped() -> GraphReport {
+        GraphReport {
+            nodes: vec![node("a", 0, 0.0, 1000.0), node("b", 1, 0.0, 800.0)],
+            makespan: 1000.0,
+            seconds: 1000.0 / 1e9,
+            critical_path: 1000.0,
+            streams: 2,
+        }
+    }
+
+    #[test]
+    fn aggregates_read_the_timeline() {
+        let r = overlapped();
+        assert_eq!(r.cycles(), 1000.0);
+        assert_eq!(r.serial_sum(), 1800.0);
+        assert!((r.overlap_speedup() - 1.8).abs() < 1e-12);
+        assert_eq!(r.events(), 20);
+        assert_eq!(r.timeline("b").unwrap().stream, 1);
+        assert!(r.critical_path <= r.makespan && r.makespan <= r.serial_sum());
+    }
+
+    #[test]
+    fn breakdown_shows_streams_and_makespan() {
+        let text = overlapped().breakdown();
+        assert!(text.contains("s1"), "{text}");
+        assert!(text.contains("critical path"), "{text}");
+        assert!(text.contains("1.80x overlap"), "{text}");
     }
 }

@@ -6,6 +6,16 @@
 //! the same `(tasks, mapping, args, machine)` skip the Fig. 6 pass
 //! pipeline, and a [`BufferPool`] so intermediate tensors are reused
 //! across launches instead of reallocated.
+//!
+//! Graph launches are scheduled according to the session's
+//! [`SchedulePolicy`]. The default, [`SchedulePolicy::Serial`], launches
+//! nodes back-to-back in the deterministic topological order — existing
+//! callers see bit-identical reports. Switching to
+//! [`SchedulePolicy::Concurrent`] assigns independent nodes to simulated
+//! streams so their launches overlap (see the
+//! [executor docs](crate::executor) and [`crate::GraphReport`] for how to
+//! read the resulting timeline). Functional results never depend on the
+//! policy: data always moves in the deterministic topological order.
 
 use crate::cache::{CacheStats, KernelCache};
 use crate::error::RuntimeError;
@@ -21,6 +31,41 @@ use cypress_tensor::Tensor;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// How a [`Session`] schedules the nodes of a [`TaskGraph`].
+///
+/// The policy only affects *timing*: which simulated stream each node is
+/// assigned to and how launches overlap in the [`GraphReport`] timeline.
+/// Functional tensor results are identical under every policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulePolicy {
+    /// Launch nodes back-to-back in the deterministic topological
+    /// schedule. The graph makespan is the sum of the solo launches —
+    /// the pre-stream behavior, bit for bit.
+    #[default]
+    Serial,
+    /// Ready-queue scheduling onto `streams` simulated streams:
+    /// independent nodes launch as soon as a stream frees up, co-resident
+    /// launches contend for SMs, L2, and HBM under the
+    /// [`cypress_sim::concurrent`] model, and dependents are released as
+    /// upstream launches retire. `streams: 1` reproduces
+    /// [`SchedulePolicy::Serial`] numbers exactly.
+    Concurrent {
+        /// Number of simulated streams (clamped to at least 1).
+        streams: usize,
+    },
+}
+
+impl SchedulePolicy {
+    /// The stream count the policy schedules onto (1 for serial).
+    #[must_use]
+    pub fn streams(&self) -> usize {
+        match self {
+            SchedulePolicy::Serial => 1,
+            SchedulePolicy::Concurrent { streams } => (*streams).max(1),
+        }
+    }
+}
+
 /// A long-lived runtime for compiling and launching task graphs.
 #[derive(Debug)]
 pub struct Session {
@@ -28,6 +73,7 @@ pub struct Session {
     simulator: Simulator,
     cache: KernelCache,
     pool: BufferPool,
+    policy: SchedulePolicy,
 }
 
 impl Session {
@@ -49,6 +95,7 @@ impl Session {
             simulator: Simulator::new(machine),
             cache: KernelCache::new(),
             pool: BufferPool::new(),
+            policy: SchedulePolicy::default(),
         }
     }
 
@@ -56,6 +103,24 @@ impl Session {
     #[must_use]
     pub fn machine(&self) -> &MachineConfig {
         self.simulator.machine()
+    }
+
+    /// The schedule policy graph launches currently use.
+    #[must_use]
+    pub fn policy(&self) -> SchedulePolicy {
+        self.policy
+    }
+
+    /// Change how subsequent graph launches are scheduled.
+    pub fn set_policy(&mut self, policy: SchedulePolicy) {
+        self.policy = policy;
+    }
+
+    /// Builder-style [`Session::set_policy`].
+    #[must_use]
+    pub fn with_policy(mut self, policy: SchedulePolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// Compile `program`, reusing the cached kernel when the fingerprint
@@ -114,18 +179,26 @@ impl Session {
         inputs: &HashMap<String, Tensor>,
     ) -> Result<GraphRun, RuntimeError> {
         let kernels = self.compile_nodes(graph)?;
-        executor::run_functional(&self.simulator, graph, &kernels, inputs, &mut self.pool)
+        executor::run_functional(
+            &self.simulator,
+            graph,
+            &kernels,
+            inputs,
+            &mut self.pool,
+            self.policy,
+        )
     }
 
     /// Launch `graph` in timing mode: no data moves; the result is the
-    /// whole-graph [`GraphReport`] with per-node breakdown.
+    /// whole-graph [`GraphReport`] with per-node stream timeline, built
+    /// according to the session's [`SchedulePolicy`].
     ///
     /// # Errors
     ///
     /// Returns [`RuntimeError`] on compile or simulation failure.
     pub fn launch_timing(&mut self, graph: &TaskGraph) -> Result<GraphReport, RuntimeError> {
         let kernels = self.compile_nodes(graph)?;
-        executor::run_timing(&self.simulator, graph, &kernels)
+        executor::run_timing(&self.simulator, graph, &kernels, self.policy)
     }
 
     /// Compile (with caching) and functionally run a single program —

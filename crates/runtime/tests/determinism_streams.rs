@@ -1,0 +1,249 @@
+//! Determinism and stream-count regression tests for concurrent graph
+//! scheduling: the same graph scheduled concurrently twice produces
+//! identical reports and tensors, one stream reproduces the serial
+//! numbers exactly, and a fan-out graph demonstrably overlaps.
+
+use cypress_core::kernels::{dual_gemm, gemm, gemm_reduction};
+use cypress_runtime::{Binding, GraphReport, NodeId, Program, SchedulePolicy, Session, TaskGraph};
+use cypress_sim::MachineConfig;
+use cypress_tensor::{DType, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+const D: usize = 64;
+
+/// The acceptance fan-out graph: four independent GEMMs feeding a
+/// two-level reduction (two dual-GEMM combiners, then a GEMM+Reduction
+/// sink). Width 4, depth 3 — plenty of exposed parallelism.
+fn fan_out_graph(machine: &MachineConfig) -> (TaskGraph, Vec<NodeId>, NodeId) {
+    let gemm_p = Program::from_parts(gemm::build(D, D, D, machine), "gemm");
+    let dual_p = Program::from_parts(dual_gemm::build(D, D, D, machine), "dual");
+    let gr_p = Program::from_parts(gemm_reduction::build(D, D, D, machine), "gr");
+
+    let mut graph = TaskGraph::new();
+    let gemms: Vec<NodeId> = (0..4)
+        .map(|i| {
+            graph
+                .add_node(
+                    &format!("gemm{i}"),
+                    gemm_p.clone(),
+                    vec![
+                        Binding::Zeros,
+                        Binding::External(format!("A{i}")),
+                        Binding::External(format!("B{i}")),
+                    ],
+                )
+                .unwrap()
+        })
+        .collect();
+    let comb0 = graph
+        .add_node(
+            "combine01",
+            dual_p.clone(),
+            vec![
+                Binding::Zeros,
+                Binding::external("X"),
+                Binding::output(gemms[0], 0),
+                Binding::output(gemms[1], 0),
+            ],
+        )
+        .unwrap();
+    let comb1 = graph
+        .add_node(
+            "combine23",
+            dual_p,
+            vec![
+                Binding::Zeros,
+                Binding::external("X"),
+                Binding::output(gemms[2], 0),
+                Binding::output(gemms[3], 0),
+            ],
+        )
+        .unwrap();
+    let sink = graph
+        .add_node(
+            "reduce",
+            gr_p,
+            vec![
+                Binding::Zeros,
+                Binding::Zeros,
+                Binding::output(comb0, 0),
+                Binding::output(comb1, 0),
+            ],
+        )
+        .unwrap();
+    (graph, gemms, sink)
+}
+
+fn inputs(seed: u64) -> HashMap<String, Tensor> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = HashMap::new();
+    for name in ["A0", "B0", "A1", "B1", "A2", "B2", "A3", "B3", "X"] {
+        m.insert(
+            name.to_string(),
+            Tensor::random(DType::F16, &[D, D], &mut rng, -0.5, 0.5),
+        );
+    }
+    m
+}
+
+fn assert_reports_identical(a: &GraphReport, b: &GraphReport) {
+    assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+    assert_eq!(a.critical_path.to_bits(), b.critical_path.to_bits());
+    assert_eq!(a.nodes.len(), b.nodes.len());
+    for (x, y) in a.nodes.iter().zip(&b.nodes) {
+        assert_eq!(x.node, y.node);
+        assert_eq!(x.stream, y.stream);
+        assert_eq!(x.start.to_bits(), y.start.to_bits());
+        assert_eq!(x.end.to_bits(), y.end.to_bits());
+        assert_eq!(x.report.cycles.to_bits(), y.report.cycles.to_bits());
+    }
+}
+
+/// The acceptance criterion: a fan-out graph overlaps under the
+/// concurrent policy — `critical_path <= makespan < serial_sum` — and
+/// four streams actually use more than one stream.
+#[test]
+fn fan_out_overlaps_under_concurrent_policy() {
+    let machine = MachineConfig::test_gpu();
+    let (graph, _, _) = fan_out_graph(&machine);
+    let mut session = Session::new(machine);
+
+    let serial = session.launch_timing(&graph).unwrap();
+    assert_eq!(serial.makespan, serial.serial_sum());
+    assert_eq!(serial.streams, 1);
+    assert!(serial.nodes.iter().all(|n| n.stream == 0));
+
+    session.set_policy(SchedulePolicy::Concurrent { streams: 4 });
+    let conc = session.launch_timing(&graph).unwrap();
+    assert!(
+        conc.makespan < serial.serial_sum(),
+        "fan-out must overlap: makespan {} vs serial sum {}",
+        conc.makespan,
+        serial.serial_sum()
+    );
+    assert!(
+        conc.makespan >= conc.critical_path,
+        "no schedule beats the critical path: {} < {}",
+        conc.makespan,
+        conc.critical_path
+    );
+    assert!(
+        conc.nodes.iter().any(|n| n.stream > 0),
+        "four streams must actually be used"
+    );
+    assert!(conc.overlap_speedup() > 1.0);
+    // The four independent GEMMs all start at cycle 0.
+    for i in 0..4 {
+        let t = conc.timeline(&format!("gemm{i}")).unwrap();
+        assert_eq!(t.start, 0.0, "gemm{i} is ready at launch");
+    }
+}
+
+/// The same graph scheduled concurrently twice — and from a fresh
+/// session — produces bit-identical reports and tensors.
+#[test]
+fn concurrent_scheduling_is_deterministic() {
+    let machine = MachineConfig::test_gpu();
+    let (graph, _, sink) = fan_out_graph(&machine);
+    let ins = inputs(11);
+
+    let mut s1 =
+        Session::new(machine.clone()).with_policy(SchedulePolicy::Concurrent { streams: 3 });
+    let t1 = s1.launch_timing(&graph).unwrap();
+    let t2 = s1.launch_timing(&graph).unwrap();
+    assert_reports_identical(&t1, &t2);
+
+    let mut s2 = Session::new(machine).with_policy(SchedulePolicy::Concurrent { streams: 3 });
+    let t3 = s2.launch_timing(&graph).unwrap();
+    assert_reports_identical(&t1, &t3);
+
+    let f1 = s1.launch_functional(&graph, &ins).unwrap();
+    let f2 = s2.launch_functional(&graph, &ins).unwrap();
+    assert_reports_identical(&f1.report, &f2.report);
+    assert_eq!(
+        f1.tensor(sink, 0).unwrap().data(),
+        f2.tensor(sink, 0).unwrap().data(),
+        "functional results are bit-identical across sessions"
+    );
+}
+
+/// Functional tensors do not depend on the schedule policy: data always
+/// moves in the deterministic topological order.
+#[test]
+fn functional_results_are_policy_independent() {
+    let machine = MachineConfig::test_gpu();
+    let (graph, _, sink) = fan_out_graph(&machine);
+    let ins = inputs(13);
+
+    let mut serial = Session::new(machine.clone());
+    let rs = serial.launch_functional(&graph, &ins).unwrap();
+    let mut conc = Session::new(machine).with_policy(SchedulePolicy::Concurrent { streams: 4 });
+    let rc = conc.launch_functional(&graph, &ins).unwrap();
+
+    assert_eq!(
+        rs.tensor(sink, 0).unwrap().data(),
+        rc.tensor(sink, 0).unwrap().data()
+    );
+    assert_eq!(
+        rs.tensor(sink, 1).unwrap().data(),
+        rc.tensor(sink, 1).unwrap().data()
+    );
+    // The concurrent run's report still shows overlap.
+    assert!(rc.report.makespan < rc.report.serial_sum());
+    assert_eq!(rs.report.makespan, rs.report.serial_sum());
+}
+
+/// Stream count 1 reproduces today's serial numbers exactly — same node
+/// order, same per-node cycles, same makespan, bit for bit.
+#[test]
+fn one_stream_reproduces_serial_exactly() {
+    let machine = MachineConfig::test_gpu();
+    let (graph, _, _) = fan_out_graph(&machine);
+    let mut session = Session::new(machine);
+
+    let serial = session.launch_timing(&graph).unwrap();
+    session.set_policy(SchedulePolicy::Concurrent { streams: 1 });
+    let one = session.launch_timing(&graph).unwrap();
+
+    assert_eq!(one.makespan.to_bits(), serial.makespan.to_bits());
+    assert_eq!(one.nodes.len(), serial.nodes.len());
+    for (a, b) in one.nodes.iter().zip(&serial.nodes) {
+        assert_eq!(a.node, b.node, "one stream keeps the serial order");
+        assert_eq!(a.start.to_bits(), b.start.to_bits());
+        assert_eq!(a.end.to_bits(), b.end.to_bits());
+        assert_eq!(a.stream, 0);
+    }
+}
+
+/// Timing invariants hold at every stream count, and adding streams
+/// never hurts this fan-out graph.
+#[test]
+fn invariants_across_stream_counts() {
+    let machine = MachineConfig::test_gpu();
+    let (graph, _, _) = fan_out_graph(&machine);
+    let mut session = Session::new(machine);
+    let serial = session.launch_timing(&graph).unwrap();
+
+    let mut prev = f64::INFINITY;
+    for streams in 1..=6 {
+        session.set_policy(SchedulePolicy::Concurrent { streams });
+        let r = session.launch_timing(&graph).unwrap();
+        let eps = 1e-9 * serial.makespan;
+        assert!(r.critical_path <= r.makespan + eps, "streams {streams}");
+        assert!(r.makespan <= r.serial_sum() + eps, "streams {streams}");
+        assert!(
+            r.makespan <= prev + eps,
+            "more streams never hurt this graph (streams {streams})"
+        );
+        assert_eq!(r.streams, streams);
+        prev = r.makespan;
+    }
+    // Beyond the graph's width, extra streams change nothing.
+    session.set_policy(SchedulePolicy::Concurrent { streams: 4 });
+    let four = session.launch_timing(&graph).unwrap();
+    session.set_policy(SchedulePolicy::Concurrent { streams: 16 });
+    let sixteen = session.launch_timing(&graph).unwrap();
+    assert_eq!(four.makespan.to_bits(), sixteen.makespan.to_bits());
+}

@@ -1,0 +1,203 @@
+//! Buffer-pool edge cases under graph execution: diamond-shaped sharing
+//! (two consumers of one producer), retained nodes never recycling, and
+//! reuse counters across repeated `Session` launches.
+
+use cypress_core::kernels::{dual_gemm, gemm};
+use cypress_runtime::{Binding, NodeId, Program, Session, TaskGraph};
+use cypress_sim::MachineConfig;
+use cypress_tensor::{DType, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+const D: usize = 64;
+
+/// A diamond: one producer feeding two consumers, whose outputs meet in
+/// a dual-GEMM sink.
+///
+/// ```text
+///        P
+///       / \
+///      C1  C2
+///       \ /
+///        S
+/// ```
+fn diamond(machine: &MachineConfig, retain_producer: bool) -> (TaskGraph, NodeId, NodeId) {
+    let gemm_p = Program::from_parts(gemm::build(D, D, D, machine), "gemm");
+    let dual_p = Program::from_parts(dual_gemm::build(D, D, D, machine), "dual");
+    let mut g = TaskGraph::new();
+    let p = g
+        .add_node(
+            "producer",
+            gemm_p.clone(),
+            vec![
+                Binding::Zeros,
+                Binding::external("A"),
+                Binding::external("B"),
+            ],
+        )
+        .unwrap();
+    let c1 = g
+        .add_node(
+            "left",
+            gemm_p.clone(),
+            vec![
+                Binding::Zeros,
+                Binding::output(p, 0),
+                Binding::external("B1"),
+            ],
+        )
+        .unwrap();
+    let c2 = g
+        .add_node(
+            "right",
+            gemm_p,
+            vec![
+                Binding::Zeros,
+                Binding::output(p, 0),
+                Binding::external("B2"),
+            ],
+        )
+        .unwrap();
+    let s = g
+        .add_node(
+            "sink",
+            dual_p,
+            vec![
+                Binding::Zeros,
+                Binding::external("X"),
+                Binding::output(c1, 0),
+                Binding::output(c2, 0),
+            ],
+        )
+        .unwrap();
+    if retain_producer {
+        g.retain(p).unwrap();
+    }
+    (g, p, s)
+}
+
+fn inputs(seed: u64) -> HashMap<String, Tensor> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    ["A", "B", "B1", "B2", "X"]
+        .into_iter()
+        .map(|n| {
+            (
+                n.to_string(),
+                Tensor::random(DType::F16, &[D, D], &mut rng, -0.5, 0.5),
+            )
+        })
+        .collect()
+}
+
+/// Diamond sharing: the producer's buffer is cloned for the first
+/// consumer, moved into the second (its last use), and the producer's
+/// remaining buffers recycle exactly once — after *both* consumers ran.
+#[test]
+fn diamond_recycles_the_producer_once_after_both_consumers() {
+    let machine = MachineConfig::test_gpu();
+    let (graph, p, s) = diamond(&machine, false);
+    let mut session = Session::new(machine);
+    let run = session.launch_functional(&graph, &inputs(3)).unwrap();
+
+    // The producer was drained: its tensors are gone from the result.
+    assert!(run.tensor(p, 0).is_none(), "drained producer is recycled");
+    // The sink survives with all four parameters.
+    for pi in 0..4 {
+        assert!(run.tensor(s, pi).is_some(), "sink param {pi} kept");
+    }
+    // One `Zeros` acquisition per node. The producer recycles as soon as
+    // `right` drains it — *within* the launch — so the sink's `Zeros`
+    // is already served from the pool on a cold session.
+    let stats = session.pool_stats();
+    assert_eq!(stats.acquired, 4, "one Zeros binding per node");
+    assert_eq!(stats.reused, 1, "sink reuses the drained producer's buffer");
+    // Parked afterward: producer {A, B} minus the one the sink took,
+    // left {producer-clone, B1}, right {producer-output, B2}.
+    assert_eq!(stats.free, 5, "five dead buffers parked after the launch");
+}
+
+/// A retained producer is never recycled, even with two consumers: its
+/// tensors stay in the result and out of the pool, and consumers clone
+/// instead of moving its buffer.
+#[test]
+fn retained_producer_is_never_recycled() {
+    let machine = MachineConfig::test_gpu();
+    let (graph, p, _) = diamond(&machine, true);
+    let mut session = Session::new(machine);
+    let ins = inputs(4);
+    let run = session.launch_functional(&graph, &ins).unwrap();
+
+    // All three producer params survive: the freshly computed output and
+    // the cloned externals.
+    for pi in 0..3 {
+        assert!(run.tensor(p, pi).is_some(), "retained param {pi} kept");
+    }
+    assert_eq!(
+        run.tensor(p, 1).unwrap().data(),
+        ins["A"].data(),
+        "retained input param is the external tensor"
+    );
+    // Both consumers cloned: the producer's buffers never reached the
+    // pool, so only the consumers' dead params are parked (2 + 2).
+    assert_eq!(session.pool_stats().free, 4);
+
+    // The retained output is actually the product, not zeros.
+    assert!(run.tensor(p, 0).unwrap().data().iter().any(|&v| v != 0.0));
+}
+
+/// Retaining a sink is a no-op for recycling: sinks are always kept.
+#[test]
+fn retained_sink_matches_plain_sink() {
+    let machine = MachineConfig::test_gpu();
+    let (graph_plain, _, s1) = diamond(&machine, false);
+    let (mut graph_retained, _, s2) = diamond(&machine, false);
+    graph_retained.retain(s2).unwrap();
+
+    let mut a = Session::new(machine.clone());
+    let ra = a.launch_functional(&graph_plain, &inputs(5)).unwrap();
+    let mut b = Session::new(machine);
+    let rb = b.launch_functional(&graph_retained, &inputs(5)).unwrap();
+
+    assert_eq!(
+        ra.tensor(s1, 0).unwrap().data(),
+        rb.tensor(s2, 0).unwrap().data()
+    );
+    assert_eq!(a.pool_stats(), b.pool_stats(), "identical pool traffic");
+}
+
+/// Reuse counters across repeated launches: every warm launch serves all
+/// of its `Zeros` acquisitions from the pool, and the counters advance
+/// by exactly one launch's worth each time.
+#[test]
+fn pool_reuse_is_counted_across_repeated_launches() {
+    let machine = MachineConfig::test_gpu();
+    let (graph, _, _) = diamond(&machine, false);
+    let mut session = Session::new(machine);
+    let ins = inputs(6);
+
+    session.launch_functional(&graph, &ins).unwrap();
+    let cold = session.pool_stats();
+    // Even the cold launch reuses once: the drained producer's buffer
+    // comes back for the sink's `Zeros` within the same launch.
+    assert_eq!((cold.acquired, cold.reused), (4, 1));
+
+    for launch in 1..=3u64 {
+        session.launch_functional(&graph, &ins).unwrap();
+        let warm = session.pool_stats();
+        assert_eq!(warm.acquired, 4 * (launch + 1));
+        assert_eq!(
+            warm.reused,
+            4 * launch + 1,
+            "warm launch {launch} serves every Zeros from the pool"
+        );
+    }
+
+    // Clearing the pool drops parked buffers but keeps counters.
+    let before = session.pool_stats();
+    session.clear();
+    let after = session.pool_stats();
+    assert_eq!(after.free, 0);
+    assert_eq!(after.acquired, before.acquired);
+    assert_eq!(after.reused, before.reused);
+}

@@ -1,0 +1,236 @@
+//! Property-based differential tests of the task-graph runtime.
+//!
+//! Random DAGs over the five paper kernels (GEMM, batched-GEMM,
+//! dual-GEMM, GEMM+Reduction, FlashAttention-2) with random
+//! fan-out/fan-in and retain flags are checked two ways:
+//!
+//! 1. **Functional differential**: the graph run must be
+//!    *tensor-identical* (bitwise) to an oracle that hand-composes the
+//!    same schedule out of single-kernel `Simulator::run_functional`
+//!    calls, threading buffers by hand.
+//! 2. **Timing invariants**: under every policy and stream count,
+//!    `critical_path <= makespan <= serial_sum`; one stream reproduces
+//!    the serial policy exactly.
+
+use cypress_core::compile::{CompilerOptions, CypressCompiler};
+use cypress_core::kernels::{attention, batched, dual_gemm, gemm, gemm_reduction};
+use cypress_runtime::{Binding, NodeId, Program, SchedulePolicy, Session, TaskGraph};
+use cypress_sim::{MachineConfig, Simulator};
+use cypress_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Uniform problem size: every consumable tensor is `D x D`, so any
+/// node's primary output can feed any compatible input slot.
+const D: usize = 64;
+
+/// One of the five paper kernels at the uniform size.
+fn paper_program(kind: usize, machine: &MachineConfig) -> Program {
+    match kind % 5 {
+        0 => Program::from_parts(gemm::build(D, D, D, machine), "gemm"),
+        1 => Program::from_parts(batched::build(1, D, D, D, machine), "bgemm"),
+        2 => Program::from_parts(dual_gemm::build(D, D, D, machine), "dual"),
+        3 => Program::from_parts(gemm_reduction::build(D, D, D, machine), "gr"),
+        _ => Program::from_parts(
+            attention::build_with(
+                attention::Algorithm::Fa2,
+                1,
+                D,
+                D,
+                // One 64-row warpgroup so the uniform D x D size tiles.
+                attention::AttentionConfig {
+                    br: 64,
+                    bc: 64,
+                    wgs: 1,
+                    pipeline: 1,
+                },
+            )
+            .expect("64-row attention is well-formed"),
+            "fa",
+        ),
+    }
+}
+
+/// A random DAG over the paper kernels: each non-output parameter either
+/// takes a tensor-buffer edge from a random compatible earlier node
+/// (fan-out and fan-in arise naturally) or an external input; each node
+/// is retained with probability one half.
+fn random_graph(
+    seed: u64,
+    max_nodes: usize,
+    machine: &MachineConfig,
+) -> (TaskGraph, Vec<NodeId>, Vec<Program>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(2..max_nodes.max(2) + 1);
+    let mut graph = TaskGraph::new();
+    let mut ids: Vec<NodeId> = Vec::new();
+    let mut programs: Vec<Program> = Vec::new();
+    for i in 0..n {
+        let prog = paper_program(rng.gen_range(0usize..5), machine);
+        let outputs = prog.output_indices();
+        let mut bindings = Vec::with_capacity(prog.args.len());
+        for (pi, arg) in prog.args.iter().enumerate() {
+            if outputs.contains(&pi) {
+                bindings.push(Binding::Zeros);
+                continue;
+            }
+            // Candidate producers whose primary output fits this slot.
+            let candidates: Vec<usize> = (0..i)
+                .filter(|&j| {
+                    let src = &programs[j].args[0];
+                    (src.rows, src.cols, src.dtype) == (arg.rows, arg.cols, arg.dtype)
+                })
+                .collect();
+            if !candidates.is_empty() && rng.gen_range(0u32..100) < 60 {
+                let j = candidates[rng.gen_range(0..candidates.len())];
+                bindings.push(Binding::output(ids[j], 0));
+            } else {
+                bindings.push(Binding::External(format!("x{i}_{pi}")));
+            }
+        }
+        let id = graph
+            .add_node(&format!("n{i}"), prog.clone(), bindings)
+            .expect("generated bindings are compatible by construction");
+        if rng.gen_range(0u32..2) == 0 {
+            graph.retain(id).unwrap();
+        }
+        ids.push(id);
+        programs.push(prog);
+    }
+    (graph, ids, programs)
+}
+
+/// Random external inputs matching every `External` binding's parameter.
+fn random_inputs(graph: &TaskGraph, seed: u64) -> HashMap<String, Tensor> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_F00D);
+    let mut inputs = HashMap::new();
+    for node in graph.nodes() {
+        for (pi, binding) in node.bindings.iter().enumerate() {
+            if let Binding::External(name) = binding {
+                let arg = &node.program.args[pi];
+                inputs.insert(
+                    name.clone(),
+                    Tensor::random(arg.dtype, &[arg.rows, arg.cols], &mut rng, -0.5, 0.5),
+                );
+            }
+        }
+    }
+    inputs
+}
+
+/// Hand-composed oracle: walk the deterministic schedule and launch each
+/// node as its own `Simulator::run_functional` call, threading buffers
+/// manually. Returns every node's final parameter tensors.
+fn oracle_run(
+    graph: &TaskGraph,
+    machine: &MachineConfig,
+    inputs: &HashMap<String, Tensor>,
+) -> Vec<Vec<Tensor>> {
+    let compiler = CypressCompiler::new(CompilerOptions {
+        machine: machine.clone(),
+        ..Default::default()
+    });
+    let sim = Simulator::new(machine.clone());
+    let mut results: Vec<Option<Vec<Tensor>>> = vec![None; graph.len()];
+    for &id in &graph.schedule() {
+        let node = &graph.nodes()[id.index()];
+        let p = &node.program;
+        let compiled = compiler
+            .compile(&p.registry, &p.mapping, &p.entry, &p.args)
+            .expect("paper kernels compile");
+        let params: Vec<Tensor> = node
+            .bindings
+            .iter()
+            .enumerate()
+            .map(|(pi, b)| match b {
+                Binding::External(name) => inputs[name].clone(),
+                Binding::Output { node: src, param } => results[src.index()]
+                    .as_ref()
+                    .expect("schedule is topological")[*param]
+                    .clone(),
+                Binding::Zeros => {
+                    let arg = &p.args[pi];
+                    Tensor::zeros(arg.dtype, &[arg.rows, arg.cols])
+                }
+            })
+            .collect();
+        let run = sim
+            .run_functional(&compiled.kernel, params)
+            .expect("oracle launch succeeds");
+        results[id.index()] = Some(run.params);
+    }
+    results.into_iter().map(|r| r.expect("node ran")).collect()
+}
+
+proptest! {
+    /// The graph run is tensor-identical to the hand-composed oracle for
+    /// every retained or sink node's every parameter.
+    #[test]
+    fn functional_graph_matches_single_kernel_oracle(seed in 0u64..1_000_000) {
+        let machine = MachineConfig::test_gpu();
+        let (graph, ids, programs) = random_graph(seed, 4, &machine);
+        let inputs = random_inputs(&graph, seed);
+        let mut session = Session::new(machine.clone());
+        let run = session.launch_functional(&graph, &inputs).unwrap();
+        let oracle = oracle_run(&graph, &machine, &inputs);
+        let mut compared = 0usize;
+        for (i, &id) in ids.iter().enumerate() {
+            for (pi, want) in oracle[i].iter().enumerate().take(programs[i].args.len()) {
+                if let Some(t) = run.tensor(id, pi) {
+                    prop_assert_eq!(
+                        t.data(),
+                        want.data(),
+                        "node {} param {} diverged from the oracle (seed {})",
+                        i, pi, seed
+                    );
+                    compared += 1;
+                }
+            }
+        }
+        prop_assert!(compared > 0, "every graph retains at least its sinks");
+    }
+
+    /// Timing invariants for every generated DAG and stream count:
+    /// `critical_path <= makespan <= serial_sum`, one stream reproduces
+    /// the serial policy bit for bit, and concurrent scheduling never
+    /// loses to serial.
+    #[test]
+    fn concurrent_timing_invariants(seed in 0u64..1_000_000, streams in 1usize..5) {
+        let machine = MachineConfig::test_gpu();
+        let (graph, _, _) = random_graph(seed, 6, &machine);
+        let mut session = Session::new(machine.clone());
+        let serial = session.launch_timing(&graph).unwrap();
+        prop_assert_eq!(serial.makespan, serial.serial_sum(),
+            "serial makespan is the serial sum by definition");
+
+        session.set_policy(SchedulePolicy::Concurrent { streams });
+        let conc = session.launch_timing(&graph).unwrap();
+        let eps = 1e-9 * serial.makespan.max(1.0);
+        prop_assert!(conc.critical_path <= conc.makespan + eps,
+            "critical path {} > makespan {} (seed {seed}, streams {streams})",
+            conc.critical_path, conc.makespan);
+        prop_assert!(conc.makespan <= conc.serial_sum() + eps,
+            "makespan {} > serial sum {} (seed {seed}, streams {streams})",
+            conc.makespan, conc.serial_sum());
+        prop_assert!(conc.makespan <= serial.makespan + eps,
+            "concurrent lost to serial (seed {seed}, streams {streams})");
+        prop_assert!((conc.serial_sum() - serial.serial_sum()).abs() <= eps,
+            "solo node costs must not depend on the policy");
+        if streams == 1 {
+            prop_assert_eq!(conc.makespan, serial.makespan,
+                "one stream reproduces serial numbers exactly");
+        }
+
+        // Same graph, same policy, scheduled twice: identical reports.
+        let again = session.launch_timing(&graph).unwrap();
+        prop_assert_eq!(conc.makespan, again.makespan);
+        for (a, b) in conc.nodes.iter().zip(again.nodes.iter()) {
+            prop_assert_eq!(&a.node, &b.node);
+            prop_assert_eq!(a.stream, b.stream);
+            prop_assert_eq!(a.start, b.start);
+            prop_assert_eq!(a.end, b.end);
+        }
+    }
+}

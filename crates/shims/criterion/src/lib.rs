@@ -5,6 +5,12 @@
 //! and the `criterion_group!` / `criterion_main!` macros — with a simple
 //! wall-clock measurement loop: a short warm-up, then `sample_size`
 //! timed iterations reported as mean ns/iter on stdout.
+//!
+//! **Smoke mode**: invoking a bench binary with `--smoke` (i.e.
+//! `cargo bench -p cypress-bench -- --smoke`) or with
+//! `CYPRESS_BENCH_SMOKE` set runs every benchmark exactly once with no
+//! warm-up — enough for CI to prove benches compile and execute without
+//! paying for full iterations.
 
 use std::hint::black_box as std_black_box;
 use std::time::Instant;
@@ -64,18 +70,29 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// `true` when the bench binary should run each benchmark once, without
+/// warm-up or repeated samples (CI compile-and-run verification).
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--smoke") || std::env::var_os("CYPRESS_BENCH_SMOKE").is_some()
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
+    let smoke = smoke_mode();
+    let samples = if smoke { 1 } else { samples };
     let mut b = Bencher {
         iters: 1,
         elapsed_ns: 0.0,
     };
-    // Warm-up pass (also primes lazy setup in the closure).
-    f(&mut b);
+    if !smoke {
+        // Warm-up pass (also primes lazy setup in the closure).
+        f(&mut b);
+    }
     b.iters = samples as u64;
     b.elapsed_ns = 0.0;
     f(&mut b);
     let mean = b.elapsed_ns / samples as f64;
-    println!("  {id:<40} {mean:>14.0} ns/iter ({samples} samples)");
+    let tag = if smoke { ", smoke" } else { "" };
+    println!("  {id:<40} {mean:>14.0} ns/iter ({samples} samples{tag})");
 }
 
 /// Passed to each benchmark closure; `iter` times the workload.

@@ -1,0 +1,325 @@
+//! Multi-kernel concurrent timing: co-resident kernels contending for
+//! SMs, L2, and HBM bandwidth.
+//!
+//! A single [`crate::Simulator::run_timing`] call models one kernel with
+//! the whole device to itself. Real workloads — batched-tensor pipelines
+//! in particular — launch many small independent kernels whose speedup
+//! comes entirely from *overlap*: each kernel occupies only part of the
+//! machine, so several can make progress at once, throttled by whichever
+//! shared resource saturates first.
+//!
+//! This module models that overlap with a *fluid* multi-resource sharing
+//! model layered on top of solo timing runs:
+//!
+//! 1. Each kernel's solo [`TimingReport`] is distilled into a
+//!    [`KernelProfile`]: how long it runs alone, how many SMs it can
+//!    occupy, and how many bytes per cycle it pulls through L2 and HBM
+//!    while running.
+//! 2. [`ConcurrentEngine`] advances a set of co-resident kernels through
+//!    completion events. At any instant, each active kernel progresses at
+//!    a rate equal to the *minimum* of its fair shares: SMs are split in
+//!    proportion to demand when oversubscribed, and L2/HBM bandwidth is
+//!    split in proportion to each kernel's solo consumption rate. A
+//!    kernel running alone always progresses at rate 1, so a one-kernel
+//!    (or one-stream) schedule reproduces the solo numbers exactly.
+//!
+//! The model guarantees the scheduling invariants the runtime's tests
+//! lock down: each kernel's concurrent duration is at least its solo
+//! duration (rates never exceed 1), and the aggregate progress rate of
+//! the active set is at least one solo-kernel-equivalent per cycle (each
+//! of `k` co-resident kernels gets at least a `1/k` share of every
+//! resource), so the concurrent makespan never exceeds the serial sum.
+
+use crate::machine::MachineConfig;
+use crate::report::TimingReport;
+
+/// Resource demands of one kernel, derived from its solo timing run.
+///
+/// The profile is what the contention model needs to know about a kernel:
+/// its solo makespan (launch overhead included), the SMs it occupies, and
+/// the average device-wide bytes per cycle it moves through L2 and HBM
+/// while running. Demands are clamped to the machine's capacities so that
+/// a kernel running alone is never throttled.
+#[derive(Debug, Clone)]
+pub struct KernelProfile {
+    /// Kernel name (for reports).
+    pub name: String,
+    /// Solo makespan in cycles, launch overheads included.
+    pub cycles: f64,
+    /// SMs the kernel occupies when it has the device to itself.
+    pub sm_demand: f64,
+    /// Average HBM bytes per cycle while running solo (post-L2 traffic).
+    pub hbm_demand: f64,
+    /// Average L2 bytes per cycle while running solo.
+    pub l2_demand: f64,
+}
+
+impl KernelProfile {
+    /// Distill a solo timing report into a contention profile.
+    #[must_use]
+    pub fn from_report(report: &TimingReport, machine: &MachineConfig) -> Self {
+        let cycles = report.cycles.max(1.0);
+        let hbm_bytes = report.load_bytes * (1.0 - report.l2_hit) + report.store_bytes;
+        let l2_bytes = report.load_bytes + report.store_bytes;
+        KernelProfile {
+            name: report.kernel.clone(),
+            cycles: report.cycles,
+            sm_demand: (report.active_sms as f64).max(1.0),
+            hbm_demand: (hbm_bytes / cycles).min(machine.hbm_bytes_per_cycle),
+            l2_demand: (l2_bytes / cycles).min(machine.l2_bytes_per_cycle),
+        }
+    }
+}
+
+/// A kernel's completed interval on the shared device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// The id the kernel was launched under.
+    pub id: usize,
+    /// Cycle at which the kernel was launched.
+    pub start: f64,
+    /// Cycle at which it retired.
+    pub end: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Active {
+    id: usize,
+    start: f64,
+    /// Remaining solo-equivalent cycles of work.
+    remaining: f64,
+    sm: f64,
+    hbm: f64,
+    l2: f64,
+}
+
+/// Fluid timing model of kernels sharing one device.
+///
+/// Drive it by [`ConcurrentEngine::launch`]ing kernels (each launch
+/// starts at the engine's current time) and calling
+/// [`ConcurrentEngine::advance`] to step to the next completion. The
+/// runtime's stream scheduler interleaves launches and completions to
+/// model dependency-gated streams; [`crate::Simulator::run_timing_concurrent`]
+/// launches everything at time zero.
+#[derive(Debug)]
+pub struct ConcurrentEngine {
+    sms: f64,
+    hbm: f64,
+    l2: f64,
+    now: f64,
+    active: Vec<Active>,
+}
+
+impl ConcurrentEngine {
+    /// An idle device at cycle 0.
+    #[must_use]
+    pub fn new(machine: &MachineConfig) -> Self {
+        ConcurrentEngine {
+            sms: machine.sms as f64,
+            hbm: machine.hbm_bytes_per_cycle,
+            l2: machine.l2_bytes_per_cycle,
+            now: 0.0,
+            active: Vec::new(),
+        }
+    }
+
+    /// Current simulated time in cycles.
+    #[must_use]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of co-resident kernels.
+    #[must_use]
+    pub fn active_len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Admit a kernel at the current time. `id` is echoed back in its
+    /// [`Completion`].
+    pub fn launch(&mut self, id: usize, profile: &KernelProfile) {
+        self.active.push(Active {
+            id,
+            start: self.now,
+            remaining: profile.cycles,
+            sm: profile.sm_demand,
+            hbm: profile.hbm_demand,
+            l2: profile.l2_demand,
+        });
+    }
+
+    /// Per-kernel progress rates (solo-cycles per wall-cycle) for the
+    /// current active set: the minimum of the kernel's proportional
+    /// shares of SMs, HBM, and L2. Kernels with no demand on a resource
+    /// are not throttled by it.
+    fn rates(&self) -> Vec<f64> {
+        let sm_sum: f64 = self.active.iter().map(|a| a.sm).sum();
+        let hbm_sum: f64 = self.active.iter().map(|a| a.hbm).sum();
+        let l2_sum: f64 = self.active.iter().map(|a| a.l2).sum();
+        let sm_scale = (self.sms / sm_sum).min(1.0);
+        let hbm_scale = if hbm_sum > self.hbm {
+            self.hbm / hbm_sum
+        } else {
+            1.0
+        };
+        let l2_scale = if l2_sum > self.l2 {
+            self.l2 / l2_sum
+        } else {
+            1.0
+        };
+        self.active
+            .iter()
+            .map(|a| {
+                let mut r = sm_scale;
+                if a.hbm > 0.0 {
+                    r = r.min(hbm_scale);
+                }
+                if a.l2 > 0.0 {
+                    r = r.min(l2_scale);
+                }
+                r
+            })
+            .collect()
+    }
+
+    /// Advance time to the next kernel completion and retire it. Returns
+    /// `None` when no kernel is active. Ties complete lowest-id-first,
+    /// one per call, so completion order is deterministic.
+    pub fn advance(&mut self) -> Option<Completion> {
+        if self.active.is_empty() {
+            return None;
+        }
+        let rates = self.rates();
+        let mut win = 0;
+        let mut win_dt = self.active[0].remaining / rates[0];
+        for (i, (a, r)) in self.active.iter().zip(&rates).enumerate().skip(1) {
+            let dt = a.remaining / r;
+            if dt < win_dt || (dt == win_dt && a.id < self.active[win].id) {
+                win = i;
+                win_dt = dt;
+            }
+        }
+        self.now += win_dt;
+        for (a, r) in self.active.iter_mut().zip(&rates) {
+            a.remaining = (a.remaining - win_dt * r).max(0.0);
+        }
+        let done = self.active.remove(win);
+        Some(Completion {
+            id: done.id,
+            start: done.start,
+            end: self.now,
+        })
+    }
+}
+
+/// Result of [`crate::Simulator::run_timing_concurrent`]: per-kernel
+/// intervals on the shared device plus the whole-batch makespan.
+#[derive(Debug, Clone)]
+pub struct ConcurrentReport {
+    /// One slot per input kernel, in input order.
+    pub kernels: Vec<KernelSlot>,
+    /// Batch makespan in cycles: the latest completion.
+    pub makespan: f64,
+    /// Batch makespan in seconds at the machine clock.
+    pub seconds: f64,
+}
+
+/// One kernel's interval within a concurrent batch.
+#[derive(Debug, Clone)]
+pub struct KernelSlot {
+    /// Launch cycle (0 for a whole-batch run).
+    pub start: f64,
+    /// Retire cycle.
+    pub end: f64,
+    /// The kernel's solo timing report (what it would do alone).
+    pub solo: TimingReport,
+}
+
+impl ConcurrentReport {
+    /// What the batch would cost launched back-to-back: the sum of the
+    /// solo makespans.
+    #[must_use]
+    pub fn serial_sum(&self) -> f64 {
+        self.kernels.iter().map(|k| k.solo.cycles).sum()
+    }
+
+    /// `serial_sum / makespan` — 1.0 means no overlap, `n` means `n`
+    /// kernels ran fully in parallel.
+    #[must_use]
+    pub fn overlap_speedup(&self) -> f64 {
+        if self.makespan > 0.0 {
+            self.serial_sum() / self.makespan
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(id: &str, cycles: f64, sm: f64, hbm: f64) -> KernelProfile {
+        KernelProfile {
+            name: id.into(),
+            cycles,
+            sm_demand: sm,
+            hbm_demand: hbm,
+            l2_demand: 0.0,
+        }
+    }
+
+    fn machine4() -> MachineConfig {
+        MachineConfig::test_gpu() // 4 SMs, 64 B/cycle HBM
+    }
+
+    #[test]
+    fn lone_kernel_runs_at_full_rate() {
+        let mut e = ConcurrentEngine::new(&machine4());
+        e.launch(0, &profile("a", 1000.0, 2.0, 10.0));
+        let c = e.advance().unwrap();
+        assert_eq!((c.start, c.end), (0.0, 1000.0));
+        assert!(e.advance().is_none());
+    }
+
+    #[test]
+    fn small_kernels_overlap_fully() {
+        // Two 1-SM kernels on a 4-SM machine: no contention at all.
+        let mut e = ConcurrentEngine::new(&machine4());
+        e.launch(0, &profile("a", 1000.0, 1.0, 1.0));
+        e.launch(1, &profile("b", 600.0, 1.0, 1.0));
+        let first = e.advance().unwrap();
+        let second = e.advance().unwrap();
+        assert_eq!((first.id, first.end), (1, 600.0));
+        assert_eq!((second.id, second.end), (0, 1000.0));
+    }
+
+    #[test]
+    fn full_device_kernels_serialize() {
+        // Two full-device kernels: proportional SM sharing halves both
+        // rates, so the pair costs exactly the serial sum.
+        let mut e = ConcurrentEngine::new(&machine4());
+        e.launch(0, &profile("a", 1000.0, 4.0, 0.0));
+        e.launch(1, &profile("b", 1000.0, 4.0, 0.0));
+        let first = e.advance().unwrap();
+        let second = e.advance().unwrap();
+        assert_eq!(first.id, 0, "ties retire lowest id first");
+        assert!((second.end - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_contention_throttles_only_consumers() {
+        // One HBM-saturating kernel and one compute-only kernel: the
+        // compute kernel is not throttled by the bandwidth fight.
+        let mut e = ConcurrentEngine::new(&machine4());
+        e.launch(0, &profile("mem", 1000.0, 1.0, 64.0));
+        e.launch(1, &profile("mem2", 1000.0, 1.0, 64.0));
+        e.launch(2, &profile("alu", 1000.0, 1.0, 0.0));
+        let first = e.advance().unwrap();
+        assert_eq!(first.id, 2, "compute kernel finishes first");
+        assert_eq!(first.end, 1000.0);
+        // The two memory kernels split HBM: both stretch to ~2x.
+        let second = e.advance().unwrap();
+        assert!((second.end - 2000.0).abs() < 1e-6, "end {}", second.end);
+    }
+}

@@ -1,0 +1,123 @@
+//! Tests of multi-kernel concurrent timing: a single kernel reproduces
+//! its solo numbers exactly, small kernels overlap, full-device kernels
+//! degrade to the serial sum, and the `max(solo) <= makespan <=
+//! sum(solo)` invariants hold for generated batches.
+
+use cypress_sim::{Expr, Instr, Kernel, KernelBuilder, MachineConfig, RoleKind, Simulator, Slice};
+use cypress_tensor::DType;
+use proptest::prelude::*;
+
+/// A DMA-driven kernel with `grid` CTAs, each streaming `trips` tiles of
+/// `rows x 64` through shared memory. Grid size controls how many SMs it
+/// occupies; trips controls how long it runs.
+fn stream_kernel(name: &str, grid: usize, trips: i64, rows: usize) -> Kernel {
+    let mut b = KernelBuilder::new(name, [grid, 1, 1]);
+    let a = b.param("A", rows * trips as usize, 64, DType::F16);
+    let sa = b.smem("sA", rows, 64, DType::F16, 2);
+    let bar = b.mbar(1);
+    let v = b.fresh_var();
+    b.role(
+        RoleKind::Dma,
+        vec![Instr::Loop {
+            var: v,
+            count: Expr::lit(trips),
+            body: vec![
+                Instr::TmaLoad {
+                    src: Slice::param(a)
+                        .at(Expr::var(v) * rows as i64, 0)
+                        .extent(rows, 64),
+                    dst: Slice::smem(sa).stage(Expr::var(v) % 2).extent(rows, 64),
+                    bar,
+                },
+                Instr::MbarWait { bar },
+            ],
+        }],
+    );
+    b.build()
+}
+
+#[test]
+fn single_kernel_reproduces_solo_timing_exactly() {
+    let sim = Simulator::new(MachineConfig::test_gpu());
+    let k = stream_kernel("solo", 2, 6, 32);
+    let solo = sim.run_timing(&k).unwrap();
+    let batch = sim.run_timing_concurrent(std::slice::from_ref(&k)).unwrap();
+    assert_eq!(batch.makespan, solo.cycles, "one kernel, no contention");
+    assert_eq!(batch.kernels.len(), 1);
+    assert_eq!(batch.kernels[0].start, 0.0);
+    assert_eq!(batch.kernels[0].end, solo.cycles);
+    assert!((batch.overlap_speedup() - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn empty_batch_is_trivial() {
+    let sim = Simulator::new(MachineConfig::test_gpu());
+    let batch = sim.run_timing_concurrent(&[]).unwrap();
+    assert_eq!(batch.makespan, 0.0);
+    assert!(batch.kernels.is_empty());
+}
+
+#[test]
+fn small_kernels_overlap_on_a_big_machine() {
+    // Four 1-CTA kernels on a 4-SM machine: each occupies one SM, so the
+    // batch overlaps and beats the serial sum.
+    let sim = Simulator::new(MachineConfig::test_gpu());
+    let kernels: Vec<Kernel> = (0..4)
+        .map(|i| stream_kernel(&format!("k{i}"), 1, 8, 32))
+        .collect();
+    let batch = sim.run_timing_concurrent(&kernels).unwrap();
+    let serial = batch.serial_sum();
+    let longest = batch
+        .kernels
+        .iter()
+        .map(|k| k.solo.cycles)
+        .fold(0.0f64, f64::max);
+    assert!(
+        batch.makespan < serial,
+        "batch {} should beat serial {}",
+        batch.makespan,
+        serial
+    );
+    assert!(batch.makespan >= longest - 1e-9);
+    assert!(batch.overlap_speedup() > 1.5, "{}", batch.overlap_speedup());
+}
+
+#[test]
+fn full_device_kernels_degrade_to_the_serial_sum() {
+    // Kernels with more CTAs than SMs occupy the whole device; running
+    // two of them concurrently buys nothing.
+    let sim = Simulator::new(MachineConfig::test_gpu());
+    let kernels: Vec<Kernel> = (0..2)
+        .map(|i| stream_kernel(&format!("big{i}"), 8, 6, 32))
+        .collect();
+    let batch = sim.run_timing_concurrent(&kernels).unwrap();
+    let serial = batch.serial_sum();
+    assert!(
+        (batch.makespan - serial).abs() <= 1e-9 * serial,
+        "two full-device kernels serialize: {} vs {serial}",
+        batch.makespan
+    );
+}
+
+proptest! {
+    /// For any batch: `max(solo) <= makespan <= sum(solo)`, and the
+    /// model is a pure function of its inputs.
+    #[test]
+    fn batch_invariants_hold(count in 1usize..5, grid in 1usize..6, trips in 1i64..8) {
+        let sim = Simulator::new(MachineConfig::test_gpu());
+        let kernels: Vec<Kernel> = (0..count)
+            .map(|i| stream_kernel(&format!("p{i}"), grid, trips + i as i64, 32))
+            .collect();
+        let a = sim.run_timing_concurrent(&kernels).unwrap();
+        let b = sim.run_timing_concurrent(&kernels).unwrap();
+        prop_assert_eq!(a.makespan, b.makespan, "concurrent timing is deterministic");
+        let serial = a.serial_sum();
+        let longest = a.kernels.iter().map(|k| k.solo.cycles).fold(0.0f64, f64::max);
+        prop_assert!(a.makespan >= longest - 1e-9 * longest, "{} < longest {}", a.makespan, longest);
+        prop_assert!(a.makespan <= serial + 1e-9 * serial, "{} > serial {}", a.makespan, serial);
+        for (i, slot) in a.kernels.iter().enumerate() {
+            prop_assert!(slot.end - slot.start >= slot.solo.cycles - 1e-9,
+                "kernel {i} ran faster concurrently than solo");
+        }
+    }
+}

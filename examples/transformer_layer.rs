@@ -12,7 +12,7 @@
 //! Run with `cargo run --release --example transformer_layer`.
 
 use cypress::core::kernels::{attention, dual_gemm, gemm_reduction};
-use cypress::runtime::{Binding, Program, Session, TaskGraph};
+use cypress::runtime::{Binding, Program, SchedulePolicy, Session, TaskGraph};
 use cypress::sim::MachineConfig;
 use cypress::tensor::{tensor::reference, DType, Tensor};
 use rand::rngs::StdRng;
@@ -121,6 +121,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  dual-GEMM   relative error {err_g:.4}");
     println!("  projection  relative error {err_p:.4} (row-sum {err_y:.4})");
     println!("\nper-node timing breakdown:\n{}", run.report.breakdown());
+
+    // --- Schedule policies: a linear chain has nothing to overlap -------
+    // attention → dual-GEMM → projection is a dependency chain, so the
+    // concurrent scheduler runs one node at a time and the makespan
+    // stays pinned to the critical path (= the serial sum). Contrast
+    // with `examples/graph_overlap.rs`, where a fan-out graph overlaps.
+    let serial_timing = session.launch_timing(&graph)?;
+    session.set_policy(SchedulePolicy::Concurrent { streams: 2 });
+    let conc_timing = session.launch_timing(&graph)?;
+    session.set_policy(SchedulePolicy::Serial);
+    assert_eq!(
+        conc_timing.makespan, serial_timing.makespan,
+        "a chain gains nothing from streams"
+    );
+    assert_eq!(conc_timing.makespan, conc_timing.critical_path);
+    println!(
+        "chain timing: serial {:.0} cycles == concurrent {:.0} (critical path {:.0})",
+        serial_timing.makespan, conc_timing.makespan, conc_timing.critical_path
+    );
 
     // --- Second launch: every kernel comes from the cache ---------------
     let cold = session.cache_stats();

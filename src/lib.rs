@@ -2,6 +2,14 @@
 //!
 //! Layering (each crate depends only on those above it):
 //! [`tensor`] → [`sim`] → [`core`] → [`runtime`] → bench/[`baselines`].
+//!
+//! Highlights per layer: [`sim`] simulates single kernels functionally
+//! and in timing mode, plus concurrent batches under a shared-machine
+//! contention model (`sim::concurrent`); [`core`] compiles the paper's
+//! task trees; [`runtime`] schedules task graphs over the simulator with
+//! kernel caching, buffer pooling, and a per-session
+//! [`runtime::SchedulePolicy`] choosing serial or multi-stream concurrent
+//! execution (see `examples/graph_overlap.rs`).
 pub use cypress_baselines as baselines;
 pub use cypress_core as core;
 pub use cypress_runtime as runtime;
