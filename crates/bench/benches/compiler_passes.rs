@@ -10,7 +10,8 @@ use cypress_sim::MachineConfig;
 
 fn bench(c: &mut Criterion) {
     let machine = MachineConfig::h100_sxm5();
-    let (reg, mapping, args) = gemm::build(8192, 8192, 8192, &machine);
+    let (reg, mapping, args) =
+        gemm::build(8192, 8192, 8192, &machine).expect("paper kernel builds");
     let mut g = c.benchmark_group("compiler");
 
     g.bench_function("depan", |b| {

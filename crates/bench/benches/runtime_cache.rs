@@ -9,7 +9,10 @@ use cypress_runtime::{Program, Session};
 use cypress_sim::MachineConfig;
 
 fn program(machine: &MachineConfig) -> Program {
-    Program::from_parts(gemm::build(4096, 4096, 4096, machine), "gemm")
+    Program::from_parts(
+        gemm::build(4096, 4096, 4096, machine).expect("paper kernel builds"),
+        "gemm",
+    )
 }
 
 fn bench(c: &mut Criterion) {

@@ -1,7 +1,11 @@
 //! CI gate over `BENCH_figures.json`: every figure must be present with
-//! its full row count, and every measured `tflops` value must be a
-//! finite, positive number. A refactor that silently drops a series or
-//! produces NaN fails the build instead of the perf trajectory.
+//! its full row count, every measured `tflops` value must be a finite,
+//! positive number, and the autotune figure's tuned series must never
+//! lose to the hand-tuned H100 mappings (`tuned_speedup >= 1.0` on
+//! every paper kernel — the tuner's contract, since the hand-tuned
+//! mapping is one of its candidates). A refactor that silently drops a
+//! series, produces NaN, or regresses the tuner fails the build instead
+//! of the perf trajectory.
 //!
 //! Run with `cargo run --release -p cypress-bench --bin check_figures`
 //! (after the `figures` binary has written the file).
@@ -9,14 +13,86 @@
 use std::process::ExitCode;
 
 /// `(figure id, expected row count)` — sizes x systems per figure.
-const EXPECTED: [(&str, usize); 6] = [
+const EXPECTED: [(&str, usize); 7] = [
     ("13a_gemm", 9),           // 3 sizes x {Cypress, Triton, cuBLAS}
     ("13b_batched_gemm", 9),   // 3 sizes x {Cypress, Triton, cuBLAS}
     ("13c_dual_gemm", 6),      // 3 sizes x {Cypress, Triton}
     ("13d_gemm_reduction", 6), // 3 sizes x {Cypress, Triton}
     ("14_attention", 24),      // 4 seqs x 6 systems
     ("graph_overlap", 6),      // 3 sizes x {serial, 8 streams}
+    ("fig_autotune", 20),      // 5 paper kernels x 2 sizes x {hand, tuned}
 ];
+
+/// The five paper kernels of the autotune figure.
+const AUTOTUNE_KERNELS: [&str; 5] = [
+    "gemm",
+    "batched_gemm",
+    "dual_gemm",
+    "gemm_reduction",
+    "attention_fa3",
+];
+
+/// Extract `(system, size, tflops)` triples of one figure's rows.
+fn figure_rows(json: &str, figure: &str) -> Vec<(String, u64, f64)> {
+    let needle = format!("\"figure\": \"{figure}\"");
+    json.split('{')
+        .filter(|chunk| chunk.contains(&needle))
+        .filter_map(|chunk| {
+            let system = chunk.split("\"system\": \"").nth(1)?.split('"').next()?;
+            let size = chunk
+                .split("\"size\": ")
+                .nth(1)?
+                .split(['}', ','])
+                .next()?
+                .trim()
+                .parse()
+                .ok()?;
+            let tflops = chunk
+                .split("\"tflops\": ")
+                .nth(1)?
+                .split(['}', ','])
+                .next()?
+                .trim()
+                .parse()
+                .ok()?;
+            Some((system.to_string(), size, tflops))
+        })
+        .collect()
+}
+
+/// The autotune gate: for every paper kernel at every measured size,
+/// `autotuned >= hand-tuned`.
+fn check_autotune(json: &str) -> Result<(), String> {
+    let rows = figure_rows(json, "fig_autotune");
+    let sizes: std::collections::BTreeSet<u64> = rows.iter().map(|(_, s, _)| *s).collect();
+    if sizes.is_empty() {
+        return Err("fig_autotune: no rows found".to_string());
+    }
+    for &size in &sizes {
+        for kernel in AUTOTUNE_KERNELS {
+            let find = |suffix: &str| {
+                let system = format!("{kernel} {suffix}");
+                rows.iter()
+                    .find(|(s, sz, _)| *s == system && *sz == size)
+                    .map(|(_, _, t)| *t)
+                    .ok_or_else(|| {
+                        format!("fig_autotune: missing series `{system}` at size {size}")
+                    })
+            };
+            let hand = find("hand-tuned")?;
+            let tuned = find("autotuned")?;
+            if tuned < hand {
+                return Err(format!(
+                    "fig_autotune: `{kernel}` at size {size} has tuned_speedup {:.4} < 1.0 \
+                     ({tuned:.3} vs hand-tuned {hand:.3} TFLOP/s) — the tuner must never \
+                     lose, the hand-tuned mapping is one of its candidates",
+                    tuned / hand
+                ));
+            }
+        }
+    }
+    Ok(())
+}
 
 fn check(json: &str) -> Result<usize, String> {
     let mut total = 0;
@@ -56,6 +132,7 @@ fn check(json: &str) -> Result<usize, String> {
     if values != rows {
         return Err(format!("{rows} rows but {values} tflops values"));
     }
+    check_autotune(json)?;
     Ok(rows)
 }
 
@@ -84,17 +161,42 @@ fn main() -> ExitCode {
 
 #[cfg(test)]
 mod tests {
-    use super::check;
+    use super::{check, AUTOTUNE_KERNELS};
+
+    fn row_with_system(figure: &str, system: &str, size: usize, tflops: &str) -> String {
+        format!(
+            "    {{\"figure\": \"{figure}\", \"system\": \"{system}\", \"size\": {size}, \"tflops\": {tflops}}}"
+        )
+    }
 
     fn row(figure: &str, tflops: &str) -> String {
-        format!("    {{\"figure\": \"{figure}\", \"system\": \"s\", \"size\": 1, \"tflops\": {tflops}}}")
+        row_with_system(figure, "s", 1, tflops)
     }
 
     fn full_file(overrides: &[(usize, &str)]) -> String {
         let mut rows = Vec::new();
         for (figure, count) in super::EXPECTED {
-            for _ in 0..count {
-                rows.push(row(figure, "123.456"));
+            if figure == "fig_autotune" {
+                for size in [512, 4096] {
+                    for kernel in AUTOTUNE_KERNELS {
+                        rows.push(row_with_system(
+                            figure,
+                            &format!("{kernel} hand-tuned"),
+                            size,
+                            "100.0",
+                        ));
+                        rows.push(row_with_system(
+                            figure,
+                            &format!("{kernel} autotuned"),
+                            size,
+                            "110.0",
+                        ));
+                    }
+                }
+            } else {
+                for _ in 0..count {
+                    rows.push(row(figure, "123.456"));
+                }
             }
         }
         for &(i, tflops) in overrides {
@@ -105,7 +207,7 @@ mod tests {
 
     #[test]
     fn complete_file_passes() {
-        assert_eq!(check(&full_file(&[])), Ok(60));
+        assert_eq!(check(&full_file(&[])), Ok(80));
     }
 
     #[test]
@@ -124,5 +226,30 @@ mod tests {
     fn zero_fails() {
         let json = full_file(&[(1, "0.000")]);
         assert!(check(&json).is_err());
+    }
+
+    #[test]
+    fn tuned_regression_fails() {
+        // Flip one kernel's tuned row below its hand-tuned row.
+        let json = full_file(&[]).replacen(
+            "\"system\": \"gemm autotuned\", \"size\": 4096, \"tflops\": 110.0",
+            "\"system\": \"gemm autotuned\", \"size\": 4096, \"tflops\": 90.0",
+            1,
+        );
+        let err = check(&json).unwrap_err();
+        assert!(err.contains("tuned_speedup"), "{err}");
+        assert!(err.contains("`gemm`"), "{err}");
+        assert!(err.contains("4096"), "{err}");
+    }
+
+    #[test]
+    fn tuned_tie_passes() {
+        // Hand-tuned already optimal: equal rows are fine.
+        let json = full_file(&[]).replacen(
+            "\"system\": \"gemm autotuned\", \"size\": 4096, \"tflops\": 110.0",
+            "\"system\": \"gemm autotuned\", \"size\": 4096, \"tflops\": 100.0",
+            1,
+        );
+        assert!(check(&json).is_ok());
     }
 }

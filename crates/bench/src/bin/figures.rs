@@ -7,8 +7,10 @@
 //! Run with `cargo run --release -p cypress-bench --bin figures`.
 
 use cypress_bench::{
-    fig13a, fig13b, fig13c, fig13d, fig14, fig_graph_overlap, overlap_concurrent_system, ratio,
-    Row, GEMM_SIZES, OVERLAP_SERIAL_SYSTEM, OVERLAP_SIZES, OVERLAP_WIDTH, SEQ_LENS,
+    autotune_entries, fig13a, fig13b, fig13c, fig13d, fig14, fig_autotune, fig_graph_overlap,
+    overlap_concurrent_system, ratio, Row, AUTOTUNE_HAND_SYSTEM, AUTOTUNE_SIZES,
+    AUTOTUNE_TUNED_SYSTEM, GEMM_SIZES, OVERLAP_SERIAL_SYSTEM, OVERLAP_SIZES, OVERLAP_WIDTH,
+    SEQ_LENS,
 };
 use cypress_sim::MachineConfig;
 
@@ -138,6 +140,22 @@ fn main() {
         );
     }
 
+    let t = fig_autotune(&machine);
+    print_rows("Mapping autotune: hand-tuned H100 vs tuned", &t);
+    for size in AUTOTUNE_SIZES {
+        for (name, _, _, _) in autotune_entries(size) {
+            println!(
+                "  {name} @ {size}: autotuned/hand-tuned = {:.2}x (>= 1.00 by construction; gated in CI)",
+                ratio(
+                    &t,
+                    &format!("{name} {AUTOTUNE_TUNED_SYSTEM}"),
+                    &format!("{name} {AUTOTUNE_HAND_SYSTEM}"),
+                    size
+                )
+            );
+        }
+    }
+
     let json = rows_to_json(
         &[
             ("13a_gemm", &a),
@@ -146,6 +164,7 @@ fn main() {
             ("13d_gemm_reduction", &d),
             ("14_attention", &f),
             ("graph_overlap", &g),
+            ("fig_autotune", &t),
         ],
         &machine,
     );

@@ -10,7 +10,7 @@ fn main() {
         ..Default::default()
     });
     for size in [4096usize, 6144, 8192] {
-        let (reg, mapping, args) = gemm::build(size, size, size, &machine);
+        let (reg, mapping, args) = gemm::build(size, size, size, &machine).unwrap();
         let compiled = compiler.compile(&reg, &mapping, "gemm", &args).unwrap();
         let r = sim.run_timing(&compiled.kernel).unwrap();
         println!(

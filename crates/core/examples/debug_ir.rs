@@ -5,7 +5,7 @@ use cypress_sim::MachineConfig;
 
 fn main() {
     let machine = MachineConfig::test_gpu();
-    let (reg, mapping, args) = gemm::build(128, 128, 64, &machine);
+    let (reg, mapping, args) = gemm::build(128, 128, 64, &machine).unwrap();
     let mut prog = depan::analyze(&reg, &mapping, "gemm", &args).unwrap();
     vectorize::run(&mut prog);
     vectorize::normalize_ranks(&mut prog);

@@ -129,8 +129,8 @@ mod tests {
     #[test]
     fn equal_inputs_equal_fingerprints() {
         let machine = MachineConfig::test_gpu();
-        let (r1, m1, a1) = gemm::build(128, 128, 64, &machine);
-        let (r2, m2, a2) = gemm::build(128, 128, 64, &machine);
+        let (r1, m1, a1) = gemm::build(128, 128, 64, &machine).unwrap();
+        let (r2, m2, a2) = gemm::build(128, 128, 64, &machine).unwrap();
         // Separately-built registries/mappings hash identically even though
         // their HashMaps have different iteration orders.
         assert_eq!(
@@ -142,9 +142,9 @@ mod tests {
     #[test]
     fn different_inputs_differ() {
         let machine = MachineConfig::test_gpu();
-        let (r, m, a) = gemm::build(128, 128, 64, &machine);
+        let (r, m, a) = gemm::build(128, 128, 64, &machine).unwrap();
         let base = fingerprint(&r, &m, "gemm", &a, &machine, true);
-        let (r2, m2, a2) = gemm::build(128, 128, 128, &machine);
+        let (r2, m2, a2) = gemm::build(128, 128, 128, &machine).unwrap();
         assert_ne!(base, fingerprint(&r2, &m2, "gemm", &a2, &machine, true));
         assert_ne!(base, fingerprint(&r, &m, "gemm", &a, &machine, false));
         assert_ne!(

@@ -18,6 +18,7 @@ use crate::front::machine::{MemLevel, ProcLevel};
 use crate::front::mapping::{MappingSpec, TaskMapping};
 use crate::front::task::{TaskRegistry, TaskVariant, VariantKind};
 use crate::kernels::common::{self, p, piece, t, v};
+use crate::kernels::space::{MappingConfig, MappingSpace, Shape};
 use crate::passes::depan::EntryArg;
 use cypress_sim::MachineConfig;
 use cypress_tensor::DType;
@@ -77,6 +78,131 @@ impl AttentionConfig {
             pipeline: 1,
         }
     }
+
+    /// The hand-tuned mapping for `algorithm` on `machine` (H100-class
+    /// parts get the paper's FA2/FA3 mappings, the test machine the small
+    /// one).
+    #[must_use]
+    pub fn for_machine(algorithm: Algorithm, machine: &MachineConfig) -> Self {
+        if common::is_h100_class(machine) {
+            match algorithm {
+                Algorithm::Fa2 => AttentionConfig::fa2_h100(),
+                Algorithm::Fa3 => AttentionConfig::fa3_h100(),
+            }
+        } else {
+            AttentionConfig::test()
+        }
+    }
+}
+
+/// The attention mapping space: shape `[heads, seq, head_dim]`. The K/V
+/// column tile `Bc` is *structural* — it fixes the online-softmax rescale
+/// grouping, so different `Bc` values round differently — and is pinned
+/// to the algorithm's default; the space enumerates the warpgroup count
+/// (row tile `Br = 64·wgs`) and the K/V pipeline depth.
+#[derive(Debug, Clone, Copy)]
+pub struct AttentionSpace {
+    /// Which attention algorithm the space builds.
+    pub algorithm: Algorithm,
+}
+
+impl MappingSpace for AttentionSpace {
+    fn entry(&self) -> &'static str {
+        "fa"
+    }
+
+    fn default_for(&self, machine: &MachineConfig) -> MappingConfig {
+        MappingConfig::Attention(AttentionConfig::for_machine(self.algorithm, machine))
+    }
+
+    fn validate(
+        &self,
+        machine: &MachineConfig,
+        shape: &Shape,
+        cfg: &MappingConfig,
+    ) -> Result<(), CompileError> {
+        let [heads, seq, head_dim] = shape.expect_dims::<3>("fa")?;
+        let c = cfg.as_attention("fa")?;
+        if heads == 0 || c.wgs == 0 || c.pipeline == 0 {
+            return Err(CompileError::Unsupported(
+                "`fa` needs heads >= 1, wgs >= 1 and pipeline >= 1".into(),
+            ));
+        }
+        if c.br != 64 * c.wgs {
+            return Err(CompileError::Partition(format!(
+                "`fa` row tile Br={} must equal 64 x wgs ({} warpgroups of one 64-row band)",
+                c.br, c.wgs
+            )));
+        }
+        if c.bc == 0 || c.bc % 16 != 0 {
+            return Err(CompileError::Partition(format!(
+                "`fa` K/V tile Bc={} must be a positive multiple of 16",
+                c.bc
+            )));
+        }
+        let kv_step = match self.algorithm {
+            Algorithm::Fa2 => c.bc,
+            Algorithm::Fa3 => 2 * c.bc,
+        };
+        for (tile, tname) in [(c.br, "Br"), (kv_step, "Bc per iteration")] {
+            if seq % tile != 0 {
+                return Err(CompileError::Partition(format!(
+                    "`fa` tile {tname}={tile} does not divide seq={seq}"
+                )));
+            }
+        }
+        // Staged per pipeline stage: the K/V tiles (FA3 keeps two pairs
+        // in flight) plus the Q tile, which is reloaded per iteration of
+        // the K/V loop; the output store staging sits outside the loop.
+        let in_flight = match self.algorithm {
+            Algorithm::Fa2 => 2,
+            Algorithm::Fa3 => 4,
+        };
+        let required = c.pipeline * (in_flight * c.bc + c.br) * head_dim * 2 + c.br * head_dim * 2;
+        if required > machine.smem_per_sm {
+            return Err(CompileError::OutOfSharedMemory {
+                required,
+                limit: machine.smem_per_sm,
+            });
+        }
+        Ok(())
+    }
+
+    fn candidates(&self, machine: &MachineConfig, shape: &Shape) -> Vec<MappingConfig> {
+        let MappingConfig::Attention(default) = self.default_for(machine) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for wgs in [1usize, 2] {
+            for pipeline in [1usize, 2, 3] {
+                let cfg = MappingConfig::Attention(AttentionConfig {
+                    br: 64 * wgs,
+                    bc: default.bc,
+                    wgs,
+                    pipeline,
+                });
+                if self.validate(machine, shape, &cfg).is_ok() {
+                    out.push(cfg);
+                }
+            }
+        }
+        out
+    }
+
+    fn build(
+        &self,
+        shape: &Shape,
+        cfg: &MappingConfig,
+    ) -> Result<(TaskRegistry, MappingSpec, Vec<EntryArg>), CompileError> {
+        let [heads, seq, head_dim] = shape.expect_dims::<3>("fa")?;
+        build_with(
+            self.algorithm,
+            heads,
+            seq,
+            head_dim,
+            cfg.as_attention("fa")?,
+        )
+    }
 }
 
 /// Algorithmic FLOPs of forward attention (Fig. 14's convention):
@@ -88,26 +214,22 @@ pub fn flops(heads: usize, seq: usize, head_dim: usize) -> f64 {
 
 /// Build attention with the default mapping for `machine`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the statically well-formed program fails to register.
-#[must_use]
+/// Returns [`CompileError`] when the default mapping is invalid for this
+/// machine/shape combination.
 pub fn build(
     algorithm: Algorithm,
     heads: usize,
     seq: usize,
     head_dim: usize,
     machine: &MachineConfig,
-) -> (TaskRegistry, MappingSpec, Vec<EntryArg>) {
-    let cfg = if machine.smem_per_sm >= 200 * 1024 {
-        match algorithm {
-            Algorithm::Fa2 => AttentionConfig::fa2_h100(),
-            Algorithm::Fa3 => AttentionConfig::fa3_h100(),
-        }
-    } else {
-        AttentionConfig::test()
-    };
-    build_with(algorithm, heads, seq, head_dim, cfg).expect("attention program is well-formed")
+) -> Result<(TaskRegistry, MappingSpec, Vec<EntryArg>), CompileError> {
+    let space = AttentionSpace { algorithm };
+    let shape = Shape::of(&[heads, seq, head_dim]);
+    let cfg = space.default_for(machine);
+    space.validate(machine, &shape, &cfg)?;
+    space.build(&shape, &cfg)
 }
 
 /// Build with an explicit configuration.

@@ -12,6 +12,9 @@ use crate::front::mapping::{MappingSpec, TaskMapping};
 use crate::front::task::{TaskRegistry, TaskVariant, VariantKind};
 use crate::kernels::common::{self, p, piece, v};
 use crate::kernels::gemm::GemmConfig;
+use crate::kernels::space::{
+    gemm_family_candidates, validate_gemm_family, GemmFootprint, MappingConfig, MappingSpace, Shape,
+};
 use crate::passes::depan::EntryArg;
 use cypress_sim::MachineConfig;
 use cypress_tensor::DType;
@@ -22,21 +25,82 @@ pub fn flops(l: usize, m: usize, n: usize, k: usize) -> f64 {
     2.0 * l as f64 * m as f64 * n as f64 * k as f64
 }
 
+/// The batched-GEMM mapping space: shape `[l, m, n, k]`. The batch is
+/// peeled at the grid level, so the per-matrix space is exactly the GEMM
+/// one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchedGemmSpace;
+
+impl MappingSpace for BatchedGemmSpace {
+    fn entry(&self) -> &'static str {
+        "bgemm"
+    }
+
+    fn default_for(&self, machine: &MachineConfig) -> MappingConfig {
+        MappingConfig::Gemm(GemmConfig::for_machine(machine))
+    }
+
+    fn validate(
+        &self,
+        machine: &MachineConfig,
+        shape: &Shape,
+        cfg: &MappingConfig,
+    ) -> Result<(), CompileError> {
+        let [l, m, n, k] = shape.expect_dims::<4>("bgemm")?;
+        if l == 0 {
+            return Err(CompileError::Unsupported(
+                "`bgemm` needs a batch of at least 1".into(),
+            ));
+        }
+        let c = cfg.as_gemm("bgemm")?;
+        validate_gemm_family(
+            "bgemm",
+            machine,
+            m,
+            n,
+            k,
+            &c,
+            GemmFootprint {
+                b_tiles: 1,
+                extra_bytes: 0,
+            },
+        )
+    }
+
+    fn candidates(&self, machine: &MachineConfig, shape: &Shape) -> Vec<MappingConfig> {
+        let MappingConfig::Gemm(default) = self.default_for(machine) else {
+            return Vec::new();
+        };
+        gemm_family_candidates(self, machine, shape, default, true, true)
+    }
+
+    fn build(
+        &self,
+        shape: &Shape,
+        cfg: &MappingConfig,
+    ) -> Result<(TaskRegistry, MappingSpec, Vec<EntryArg>), CompileError> {
+        let [l, m, n, k] = shape.expect_dims::<4>("bgemm")?;
+        build_with(l, m, n, k, cfg.as_gemm("bgemm")?)
+    }
+}
+
 /// Build the batched GEMM program: `C[l] = A[l] @ B[l]` for `l < batch`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the statically well-formed program fails to register.
-#[must_use]
+/// Returns [`CompileError`] when the default mapping is invalid for this
+/// machine/shape combination.
 pub fn build(
     batch: usize,
     m: usize,
     n: usize,
     k: usize,
     machine: &MachineConfig,
-) -> (TaskRegistry, MappingSpec, Vec<EntryArg>) {
-    build_with(batch, m, n, k, GemmConfig::for_machine(machine))
-        .expect("batched gemm program is well-formed")
+) -> Result<(TaskRegistry, MappingSpec, Vec<EntryArg>), CompileError> {
+    let shape = Shape::of(&[batch, m, n, k]);
+    let cfg = BatchedGemmSpace.default_for(machine);
+    BatchedGemmSpace.validate(machine, &shape, &cfg)?;
+    BatchedGemmSpace.build(&shape, &cfg)
 }
 
 /// Build with an explicit mapping configuration.
@@ -131,45 +195,12 @@ pub fn build_with(
     // The per-matrix grid reuses the `gemm_host` *variant* at BLOCK level —
     // the same logical description bound to a different machine point, the
     // reuse §3.2 promises.
-    instances.push(
-        TaskMapping::new(
-            "gemm_grid",
-            "gemm_host",
-            ProcLevel::Block,
-            vec![MemLevel::Global, MemLevel::Global, MemLevel::Global],
-        )
-        .tunable("U", cfg.u as i64)
-        .tunable("V", cfg.v as i64)
-        .calls(&["gemm_block"]),
-    );
-    instances.push({
-        let mut mm = TaskMapping::new(
-            "gemm_block",
-            "gemm_block",
-            ProcLevel::Block,
-            vec![MemLevel::Global, MemLevel::Global, MemLevel::Global],
-        )
-        .tunable("W", cfg.w as i64)
-        .calls(&["clear_tile", "gemm_tile", "store_tile"])
-        .pipeline(cfg.pipeline);
-        if cfg.warpspecialize {
-            mm = mm.warpspecialize();
-        }
-        mm
-    });
-    instances.push(
-        TaskMapping::new(
-            "gemm_tile",
-            "gemm_tile",
-            ProcLevel::Block,
-            vec![MemLevel::None, MemLevel::Shared, MemLevel::Shared],
-        )
-        .tunable("WGS", cfg.wgs as i64)
-        .calls(&["gemm_wgmma"]),
-    );
-    instances.extend(common::mma_chain_mappings("gemm", MemLevel::Shared));
-    instances.extend(common::clear_mappings("clear", cfg.wgs as i64));
-    instances.extend(common::store_mappings("store", cfg.wgs as i64));
+    instances.extend(common::gemm_tree_instances(
+        "gemm_grid",
+        ProcLevel::Block,
+        false,
+        &cfg,
+    ));
     let mapping = MappingSpec::new(instances)?;
 
     let args = vec![

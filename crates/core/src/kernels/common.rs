@@ -10,8 +10,92 @@ use crate::front::ast::{ArgExpr, LeafFn, Privilege, SExpr, Stmt};
 use crate::front::machine::{MemLevel, ProcLevel};
 use crate::front::mapping::TaskMapping;
 use crate::front::task::{ParamSig, TaskRegistry, TaskVariant, VariantKind};
+use crate::kernels::gemm::GemmConfig;
+use cypress_sim::MachineConfig;
 use cypress_tensor::partition::{MmaLevel, MmaOperand};
 use cypress_tensor::DType;
+
+/// Whether `machine` is an H100-class part (>= 200 KiB shared memory
+/// per SM) — the one predicate every kernel's hand-tuned dispatch keys
+/// on.
+pub(crate) fn is_h100_class(machine: &MachineConfig) -> bool {
+    machine.smem_per_sm >= 200 * 1024
+}
+
+/// The one machine dispatch every GEMM-family kernel shares: the paper's
+/// hand-tuned H100 mapping on H100-class parts, the small unit-test
+/// mapping elsewhere. The former per-kernel `for_machine` copies all
+/// route through here.
+pub(crate) fn default_gemm_config(machine: &MachineConfig) -> GemmConfig {
+    if is_h100_class(machine) {
+        GemmConfig::h100()
+    } else {
+        GemmConfig::test()
+    }
+}
+
+/// The BLOCK-level accumulate instance every GEMM-family kernel uses:
+/// binds the K tile `W`, the pipeline depth, and warp specialization
+/// from `cfg`.
+pub(crate) fn accumulate_block_instance(
+    instance: &str,
+    variant: &str,
+    mems: Vec<MemLevel>,
+    cfg: &GemmConfig,
+    calls: &[&str],
+) -> TaskMapping {
+    let mut m = TaskMapping::new(instance, variant, ProcLevel::Block, mems)
+        .tunable("W", cfg.w as i64)
+        .calls(calls)
+        .pipeline(cfg.pipeline);
+    if cfg.warpspecialize {
+        m = m.warpspecialize();
+    }
+    m
+}
+
+/// The full per-matrix GEMM mapping tree — grid (`gemm_host` variant at
+/// `grid_proc` under `grid_instance`) → block → tile plus the shared
+/// mma/clear/store trees. Plain GEMM roots it at HOST as the entrypoint;
+/// batched GEMM re-binds the same variants one level down (the §3.2
+/// reuse).
+pub(crate) fn gemm_tree_instances(
+    grid_instance: &str,
+    grid_proc: ProcLevel,
+    entry: bool,
+    cfg: &GemmConfig,
+) -> Vec<TaskMapping> {
+    let g3 = vec![MemLevel::Global; 3];
+    let mut grid = TaskMapping::new(grid_instance, "gemm_host", grid_proc, g3.clone())
+        .tunable("U", cfg.u as i64)
+        .tunable("V", cfg.v as i64)
+        .calls(&["gemm_block"]);
+    if entry {
+        grid = grid.entrypoint();
+    }
+    let mut instances = vec![
+        grid,
+        accumulate_block_instance(
+            "gemm_block",
+            "gemm_block",
+            g3,
+            cfg,
+            &["clear_tile", "gemm_tile", "store_tile"],
+        ),
+        TaskMapping::new(
+            "gemm_tile",
+            "gemm_tile",
+            ProcLevel::Block,
+            vec![MemLevel::None, MemLevel::Shared, MemLevel::Shared],
+        )
+        .tunable("WGS", cfg.wgs as i64)
+        .calls(&["gemm_wgmma"]),
+    ];
+    instances.extend(mma_chain_mappings("gemm", MemLevel::Shared));
+    instances.extend(clear_mappings("clear", cfg.wgs as i64));
+    instances.extend(store_mappings("store", cfg.wgs as i64));
+    instances
+}
 
 /// Shorthand: tensor parameter signature.
 pub(crate) fn p(name: &str, privilege: Privilege) -> ParamSig {

@@ -11,6 +11,9 @@ use crate::front::mapping::{MappingSpec, TaskMapping};
 use crate::front::task::{TaskRegistry, TaskVariant, VariantKind};
 use crate::kernels::common::{self, p, piece, t, v};
 use crate::kernels::gemm::GemmConfig;
+use crate::kernels::space::{
+    gemm_family_candidates, validate_gemm_family, GemmFootprint, MappingConfig, MappingSpace, Shape,
+};
 use crate::passes::depan::EntryArg;
 use cypress_sim::MachineConfig;
 use cypress_tensor::DType;
@@ -21,23 +24,83 @@ pub fn flops(m: usize, n: usize, k: usize) -> f64 {
     4.0 * m as f64 * n as f64 * k as f64
 }
 
+/// The Dual-GEMM mapping space: shape `[m, n, k]`. Each pipeline stage
+/// carries three operand tiles (`A`, `B1`, `B2`), which the validator's
+/// footprint accounts for — on the H100 budget that caps the pipeline at
+/// depth 2, exactly the hand-tuned clamp the builder used to hard-code.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DualGemmSpace;
+
+impl MappingSpace for DualGemmSpace {
+    fn entry(&self) -> &'static str {
+        "dual"
+    }
+
+    fn default_for(&self, machine: &MachineConfig) -> MappingConfig {
+        let mut cfg = GemmConfig::for_machine(machine);
+        // Three operand buffers per stage: depth 2 is the deepest pipeline
+        // that fits shared memory.
+        cfg.pipeline = cfg.pipeline.min(2);
+        MappingConfig::Gemm(cfg)
+    }
+
+    fn validate(
+        &self,
+        machine: &MachineConfig,
+        shape: &Shape,
+        cfg: &MappingConfig,
+    ) -> Result<(), CompileError> {
+        let [m, n, k] = shape.expect_dims::<3>("dual")?;
+        let c = cfg.as_gemm("dual")?;
+        validate_gemm_family(
+            "dual",
+            machine,
+            m,
+            n,
+            k,
+            &c,
+            GemmFootprint {
+                b_tiles: 2,
+                extra_bytes: 0,
+            },
+        )
+    }
+
+    fn candidates(&self, machine: &MachineConfig, shape: &Shape) -> Vec<MappingConfig> {
+        // `W` is structural here: it interleaves the B1/B2 accumulations,
+        // so re-tiling K would change rounding, not just time.
+        let MappingConfig::Gemm(default) = self.default_for(machine) else {
+            return Vec::new();
+        };
+        gemm_family_candidates(self, machine, shape, default, true, false)
+    }
+
+    fn build(
+        &self,
+        shape: &Shape,
+        cfg: &MappingConfig,
+    ) -> Result<(TaskRegistry, MappingSpec, Vec<EntryArg>), CompileError> {
+        let [m, n, k] = shape.expect_dims::<3>("dual")?;
+        build_with(m, n, k, cfg.as_gemm("dual")?)
+    }
+}
+
 /// Build the Dual-GEMM program with the default mapping for `machine`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the statically well-formed program fails to register.
-#[must_use]
+/// Returns [`CompileError`] when the default mapping is invalid for this
+/// machine/shape combination.
 pub fn build(
     m: usize,
     n: usize,
     k: usize,
     machine: &MachineConfig,
-) -> (TaskRegistry, MappingSpec, Vec<EntryArg>) {
-    let mut cfg = GemmConfig::for_machine(machine);
-    // Three operand buffers per stage: depth 2 is the deepest pipeline
-    // that fits shared memory.
-    cfg.pipeline = cfg.pipeline.min(2);
-    build_with(m, n, k, cfg).expect("dual gemm is well-formed")
+) -> Result<(TaskRegistry, MappingSpec, Vec<EntryArg>), CompileError> {
+    let shape = Shape::of(&[m, n, k]);
+    let cfg = DualGemmSpace.default_for(machine);
+    DualGemmSpace.validate(machine, &shape, &cfg)?;
+    DualGemmSpace.build(&shape, &cfg)
 }
 
 /// Build with an explicit mapping configuration.
@@ -263,16 +326,13 @@ pub fn build_with(
             .tunable("V", cfg.v as i64)
             .calls(&["dual_block"])
             .entrypoint(),
-        {
-            let mut mm = TaskMapping::new("dual_block", "dual_block", ProcLevel::Block, g4)
-                .tunable("W", cfg.w as i64)
-                .calls(&["clear_tile", "dual_tile", "store_tile"])
-                .pipeline(cfg.pipeline);
-            if cfg.warpspecialize {
-                mm = mm.warpspecialize();
-            }
-            mm
-        },
+        common::accumulate_block_instance(
+            "dual_block",
+            "dual_block",
+            g4,
+            &cfg,
+            &["clear_tile", "dual_tile", "store_tile"],
+        ),
         TaskMapping::new(
             "dual_tile",
             "dual_tile",

@@ -5,10 +5,13 @@
 
 use crate::error::CompileError;
 use crate::front::ast::{SExpr, Stmt};
-use crate::front::machine::{MemLevel, ProcLevel};
-use crate::front::mapping::{MappingSpec, TaskMapping};
+use crate::front::machine::ProcLevel;
+use crate::front::mapping::MappingSpec;
 use crate::front::task::{TaskRegistry, TaskVariant, VariantKind};
 use crate::kernels::common::{self, p, piece, v};
+use crate::kernels::space::{
+    gemm_family_candidates, validate_gemm_family, GemmFootprint, MappingConfig, MappingSpace, Shape,
+};
 use crate::passes::depan::EntryArg;
 use cypress_sim::MachineConfig;
 use cypress_tensor::DType;
@@ -57,14 +60,66 @@ impl GemmConfig {
         }
     }
 
-    /// Pick a mapping appropriate for `machine`.
+    /// Pick a mapping appropriate for `machine` (the shared GEMM-family
+    /// dispatch in [`crate::kernels::common`]).
     #[must_use]
     pub fn for_machine(machine: &MachineConfig) -> Self {
-        if machine.smem_per_sm >= 200 * 1024 {
-            GemmConfig::h100()
-        } else {
-            GemmConfig::test()
-        }
+        common::default_gemm_config(machine)
+    }
+}
+
+/// The GEMM mapping space: shape `[m, n, k]`, enumerating the `V`/`W`
+/// tiles, the pipeline depth, and warp specialization (the warpgroup
+/// count and the tied row tile `U = 64·wgs` stay at the hand-tuned
+/// default).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GemmSpace;
+
+impl MappingSpace for GemmSpace {
+    fn entry(&self) -> &'static str {
+        "gemm"
+    }
+
+    fn default_for(&self, machine: &MachineConfig) -> MappingConfig {
+        MappingConfig::Gemm(GemmConfig::for_machine(machine))
+    }
+
+    fn validate(
+        &self,
+        machine: &MachineConfig,
+        shape: &Shape,
+        cfg: &MappingConfig,
+    ) -> Result<(), CompileError> {
+        let [m, n, k] = shape.expect_dims::<3>("gemm")?;
+        let c = cfg.as_gemm("gemm")?;
+        validate_gemm_family(
+            "gemm",
+            machine,
+            m,
+            n,
+            k,
+            &c,
+            GemmFootprint {
+                b_tiles: 1,
+                extra_bytes: 0,
+            },
+        )
+    }
+
+    fn candidates(&self, machine: &MachineConfig, shape: &Shape) -> Vec<MappingConfig> {
+        let MappingConfig::Gemm(default) = self.default_for(machine) else {
+            return Vec::new();
+        };
+        gemm_family_candidates(self, machine, shape, default, true, true)
+    }
+
+    fn build(
+        &self,
+        shape: &Shape,
+        cfg: &MappingConfig,
+    ) -> Result<(TaskRegistry, MappingSpec, Vec<EntryArg>), CompileError> {
+        let [m, n, k] = shape.expect_dims::<3>("gemm")?;
+        build_with(m, n, k, cfg.as_gemm("gemm")?)
     }
 }
 
@@ -77,17 +132,21 @@ pub fn flops(m: usize, n: usize, k: usize) -> f64 {
 /// Build the GEMM program for `C[m,n] = A[m,k] @ B[k,n]` with the default
 /// mapping for `machine`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if registration fails (the program is statically well-formed).
-#[must_use]
+/// Returns [`CompileError`] when the default mapping is invalid for this
+/// machine/shape combination (tiles that do not divide the problem, or a
+/// working set beyond the machine's shared memory).
 pub fn build(
     m: usize,
     n: usize,
     k: usize,
     machine: &MachineConfig,
-) -> (TaskRegistry, MappingSpec, Vec<EntryArg>) {
-    build_with(m, n, k, GemmConfig::for_machine(machine)).expect("gemm program is well-formed")
+) -> Result<(TaskRegistry, MappingSpec, Vec<EntryArg>), CompileError> {
+    let shape = Shape::of(&[m, n, k]);
+    let cfg = GemmSpace.default_for(machine);
+    GemmSpace.validate(machine, &shape, &cfg)?;
+    GemmSpace.build(&shape, &cfg)
 }
 
 /// Build the GEMM program with an explicit mapping configuration.
@@ -308,45 +367,12 @@ pub(crate) fn register_gemm_tasks(reg: &mut TaskRegistry) -> Result<(), CompileE
 
 /// Assemble the GEMM mapping specification (Fig. 5b).
 pub(crate) fn gemm_mapping(cfg: GemmConfig) -> Result<MappingSpec, CompileError> {
-    let mut instances = vec![
-        TaskMapping::new(
-            "gemm_host",
-            "gemm_host",
-            ProcLevel::Host,
-            vec![MemLevel::Global, MemLevel::Global, MemLevel::Global],
-        )
-        .tunable("U", cfg.u as i64)
-        .tunable("V", cfg.v as i64)
-        .calls(&["gemm_block"])
-        .entrypoint(),
-        {
-            let mut m = TaskMapping::new(
-                "gemm_block",
-                "gemm_block",
-                ProcLevel::Block,
-                vec![MemLevel::Global, MemLevel::Global, MemLevel::Global],
-            )
-            .tunable("W", cfg.w as i64)
-            .calls(&["clear_tile", "gemm_tile", "store_tile"])
-            .pipeline(cfg.pipeline);
-            if cfg.warpspecialize {
-                m = m.warpspecialize();
-            }
-            m
-        },
-        TaskMapping::new(
-            "gemm_tile",
-            "gemm_tile",
-            ProcLevel::Block,
-            vec![MemLevel::None, MemLevel::Shared, MemLevel::Shared],
-        )
-        .tunable("WGS", cfg.wgs as i64)
-        .calls(&["gemm_wgmma"]),
-    ];
-    instances.extend(common::mma_chain_mappings("gemm", MemLevel::Shared));
-    instances.extend(common::clear_mappings("clear", cfg.wgs as i64));
-    instances.extend(common::store_mappings("store", cfg.wgs as i64));
-    MappingSpec::new(instances)
+    MappingSpec::new(common::gemm_tree_instances(
+        "gemm_host",
+        ProcLevel::Host,
+        true,
+        &cfg,
+    ))
 }
 
 #[cfg(test)]
@@ -368,11 +394,40 @@ mod tests {
 
     #[test]
     fn builds_registry_and_mapping() {
-        let (reg, mapping, args) = build(128, 128, 64, &MachineConfig::test_gpu());
+        let (reg, mapping, args) = build(128, 128, 64, &MachineConfig::test_gpu()).unwrap();
         assert!(reg.variant("gemm_host").is_ok());
         assert!(reg.variant("gemm_wgmma").is_ok());
         assert_eq!(mapping.entry().instance, "gemm_host");
         assert_eq!(args.len(), 3);
         assert_eq!(flops(2, 3, 4), 48.0);
+    }
+
+    #[test]
+    fn invalid_shape_is_a_typed_error_not_a_panic() {
+        // 100 is not divisible by the default 64-row tile.
+        let err = build(100, 128, 64, &MachineConfig::test_gpu());
+        assert!(matches!(err, Err(CompileError::Partition(_))), "{err:?}");
+    }
+
+    #[test]
+    fn space_default_matches_for_machine() {
+        for machine in [MachineConfig::test_gpu(), MachineConfig::h100_sxm5()] {
+            assert_eq!(
+                GemmSpace.default_for(&machine),
+                MappingConfig::Gemm(GemmConfig::for_machine(&machine))
+            );
+        }
+    }
+
+    #[test]
+    fn candidates_include_the_default_and_are_deterministic() {
+        let machine = MachineConfig::h100_sxm5();
+        let shape = Shape::of(&[4096, 4096, 4096]);
+        let cands = GemmSpace.candidates(&machine, &shape);
+        assert!(cands.contains(&GemmSpace.default_for(&machine)));
+        assert_eq!(cands, GemmSpace.candidates(&machine, &shape));
+        for c in &cands {
+            assert!(GemmSpace.validate(&machine, &shape, c).is_ok());
+        }
     }
 }

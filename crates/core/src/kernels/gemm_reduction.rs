@@ -17,6 +17,9 @@ use crate::front::mapping::{MappingSpec, TaskMapping};
 use crate::front::task::{TaskRegistry, TaskVariant, VariantKind};
 use crate::kernels::common::{self, p, piece, t, v};
 use crate::kernels::gemm::GemmConfig;
+use crate::kernels::space::{
+    gemm_family_candidates, validate_gemm_family, GemmFootprint, MappingConfig, MappingSpace, Shape,
+};
 use crate::passes::depan::EntryArg;
 use cypress_sim::MachineConfig;
 use cypress_tensor::DType;
@@ -28,19 +31,79 @@ pub fn flops(m: usize, n: usize, k: usize) -> f64 {
     2.0 * m as f64 * n as f64 * k as f64
 }
 
+/// The GEMM+Reduction mapping space: shape `[m, n, k]`. The `V` tile is
+/// *structural* here — the partial-sum output `Y` has `N / V` columns —
+/// so the space pins it to the machine default and enumerates only the
+/// functionally transparent dimensions (wgs/`U`, `W`, pipeline, warp
+/// specialization).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GemmReductionSpace;
+
+impl MappingSpace for GemmReductionSpace {
+    fn entry(&self) -> &'static str {
+        "gr"
+    }
+
+    fn default_for(&self, machine: &MachineConfig) -> MappingConfig {
+        MappingConfig::Gemm(GemmConfig::for_machine(machine))
+    }
+
+    fn validate(
+        &self,
+        machine: &MachineConfig,
+        shape: &Shape,
+        cfg: &MappingConfig,
+    ) -> Result<(), CompileError> {
+        let [m, n, k] = shape.expect_dims::<3>("gr")?;
+        let c = cfg.as_gemm("gr")?;
+        validate_gemm_family(
+            "gr",
+            machine,
+            m,
+            n,
+            k,
+            &c,
+            GemmFootprint {
+                b_tiles: 1,
+                // The Y partial column staged through shared on store.
+                extra_bytes: c.u * 2,
+            },
+        )
+    }
+
+    fn candidates(&self, machine: &MachineConfig, shape: &Shape) -> Vec<MappingConfig> {
+        let MappingConfig::Gemm(default) = self.default_for(machine) else {
+            return Vec::new();
+        };
+        gemm_family_candidates(self, machine, shape, default, false, true)
+    }
+
+    fn build(
+        &self,
+        shape: &Shape,
+        cfg: &MappingConfig,
+    ) -> Result<(TaskRegistry, MappingSpec, Vec<EntryArg>), CompileError> {
+        let [m, n, k] = shape.expect_dims::<3>("gr")?;
+        build_with(m, n, k, cfg.as_gemm("gr")?)
+    }
+}
+
 /// Build the fused GEMM+Reduction program.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the statically well-formed program fails to register.
-#[must_use]
+/// Returns [`CompileError`] when the default mapping is invalid for this
+/// machine/shape combination.
 pub fn build(
     m: usize,
     n: usize,
     k: usize,
     machine: &MachineConfig,
-) -> (TaskRegistry, MappingSpec, Vec<EntryArg>) {
-    build_with(m, n, k, GemmConfig::for_machine(machine)).expect("gemm+reduction is well-formed")
+) -> Result<(TaskRegistry, MappingSpec, Vec<EntryArg>), CompileError> {
+    let shape = Shape::of(&[m, n, k]);
+    let cfg = GemmReductionSpace.default_for(machine);
+    GemmReductionSpace.validate(machine, &shape, &cfg)?;
+    GemmReductionSpace.build(&shape, &cfg)
 }
 
 /// Build with an explicit mapping configuration.
@@ -289,22 +352,19 @@ pub fn build_with(
             .tunable("V", cfg.v as i64)
             .calls(&["gr_block"])
             .entrypoint(),
-        {
-            let mut mm = TaskMapping::new("gr_block", "gr_block", ProcLevel::Block, g4)
-                .tunable("W", cfg.w as i64)
-                .calls(&[
-                    "clear_tile",
-                    "vclear_tile",
-                    "gr_tile",
-                    "store_tile",
-                    "vstore_tile",
-                ])
-                .pipeline(cfg.pipeline);
-            if cfg.warpspecialize {
-                mm = mm.warpspecialize();
-            }
-            mm
-        },
+        common::accumulate_block_instance(
+            "gr_block",
+            "gr_block",
+            g4,
+            &cfg,
+            &[
+                "clear_tile",
+                "vclear_tile",
+                "gr_tile",
+                "store_tile",
+                "vstore_tile",
+            ],
+        ),
         TaskMapping::new(
             "gr_tile",
             "gr_tile",

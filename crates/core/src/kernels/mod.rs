@@ -8,3 +8,4 @@ pub(crate) mod common;
 pub mod dual_gemm;
 pub mod gemm;
 pub mod gemm_reduction;
+pub mod space;

@@ -1,0 +1,407 @@
+//! Enumerable, validated mapping spaces (the paper's §3.3 separation,
+//! made searchable).
+//!
+//! The paper's core thesis is that the *logical description* of a kernel
+//! is fixed while its *mapping specification* — tile sizes, warpgroup
+//! counts, pipeline depth, warp specialization — can be swapped freely.
+//! [`MappingSpace`] is the machinery that exploits the separation: each
+//! evaluation kernel exposes one space whose points are [`MappingConfig`]
+//! values, with
+//!
+//! - [`MappingSpace::default_for`] — the hand-tuned mapping (what the
+//!   fixed `for_machine` pickers used to return, bit for bit);
+//! - [`MappingSpace::candidates`] — every valid point for a machine and
+//!   problem shape. Points that blow the shared-memory budget or do not
+//!   divide the problem are filtered through [`MappingSpace::validate`],
+//!   which reports a typed [`CompileError`] rather than panicking;
+//! - [`MappingSpace::build`] — the program at a given point.
+//!
+//! Spaces only enumerate *functionally transparent* dimensions: every
+//! candidate a space emits computes bitwise-identical outputs to the
+//! default mapping (the functional simulator accumulates in unrounded
+//! f32 register fragments, so re-tiling a parallel dimension preserves
+//! each element's addition order). Parameters that change the
+//! computation's structure are pinned to the hand-tuned default:
+//! GEMM+Reduction's `V` (which fixes the partial-sum output shape),
+//! Dual-GEMM's `W` (which fixes the `B1`/`B2` accumulation
+//! interleaving), attention's `Bc` (which fixes the online-softmax
+//! rescale grouping), and the GEMM family's warpgroup count. A search
+//! over a space (see `cypress-runtime`'s tuner) therefore never changes
+//! results, only time.
+
+use crate::error::CompileError;
+use crate::front::mapping::MappingSpec;
+use crate::front::task::TaskRegistry;
+use crate::kernels::attention::AttentionConfig;
+use crate::kernels::gemm::GemmConfig;
+use crate::passes::depan::EntryArg;
+use cypress_sim::MachineConfig;
+use std::fmt;
+
+/// A problem shape: flat extents whose meaning is per kernel
+/// (GEMM/Dual-GEMM/GEMM+Reduction: `[m, n, k]`; batched GEMM:
+/// `[l, m, n, k]`; attention: `[heads, seq, head_dim]`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Shorthand constructor.
+    #[must_use]
+    pub fn of(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// The extents.
+    #[must_use]
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Extract exactly `N` dims, or a typed error naming the kernel.
+    pub(crate) fn expect_dims<const N: usize>(
+        &self,
+        kernel: &str,
+    ) -> Result<[usize; N], CompileError> {
+        <[usize; N]>::try_from(self.0.as_slice()).map_err(|_| {
+            CompileError::Unsupported(format!(
+                "`{kernel}` shape needs {N} extents, got {:?}",
+                self.0
+            ))
+        })
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One point in a kernel's mapping space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MappingConfig {
+    /// A GEMM-family point (GEMM, batched, dual, GEMM+Reduction).
+    Gemm(GemmConfig),
+    /// An attention point.
+    Attention(AttentionConfig),
+}
+
+impl MappingConfig {
+    /// Compact human-readable label, e.g. `u128 v256 w64 wgs2 p3 ws`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            MappingConfig::Gemm(c) => format!(
+                "u{} v{} w{} wgs{} p{}{}",
+                c.u,
+                c.v,
+                c.w,
+                c.wgs,
+                c.pipeline,
+                if c.warpspecialize { " ws" } else { "" }
+            ),
+            MappingConfig::Attention(c) => {
+                format!("br{} bc{} wgs{} p{}", c.br, c.bc, c.wgs, c.pipeline)
+            }
+        }
+    }
+
+    /// Canonical single-token encoding, inverse of [`MappingConfig::decode`].
+    #[must_use]
+    pub fn encode(&self) -> String {
+        match self {
+            MappingConfig::Gemm(c) => format!(
+                "gemm:u={},v={},w={},wgs={},pipe={},ws={}",
+                c.u,
+                c.v,
+                c.w,
+                c.wgs,
+                c.pipeline,
+                u8::from(c.warpspecialize)
+            ),
+            MappingConfig::Attention(c) => format!(
+                "attn:br={},bc={},wgs={},pipe={}",
+                c.br, c.bc, c.wgs, c.pipeline
+            ),
+        }
+    }
+
+    /// Parse a token produced by [`MappingConfig::encode`].
+    #[must_use]
+    pub fn decode(s: &str) -> Option<Self> {
+        let (kind, fields) = s.split_once(':')?;
+        let get = |key: &str| -> Option<usize> {
+            fields.split(',').find_map(|f| {
+                let (k, v) = f.split_once('=')?;
+                (k == key).then(|| v.parse().ok())?
+            })
+        };
+        match kind {
+            "gemm" => Some(MappingConfig::Gemm(GemmConfig {
+                u: get("u")?,
+                v: get("v")?,
+                w: get("w")?,
+                wgs: get("wgs")?,
+                pipeline: get("pipe")?,
+                warpspecialize: get("ws")? != 0,
+            })),
+            "attn" => Some(MappingConfig::Attention(AttentionConfig {
+                br: get("br")?,
+                bc: get("bc")?,
+                wgs: get("wgs")?,
+                pipeline: get("pipe")?,
+            })),
+            _ => None,
+        }
+    }
+
+    /// The GEMM-family payload, or a typed error.
+    pub(crate) fn as_gemm(&self, kernel: &str) -> Result<GemmConfig, CompileError> {
+        match self {
+            MappingConfig::Gemm(c) => Ok(*c),
+            MappingConfig::Attention(_) => Err(CompileError::Unsupported(format!(
+                "`{kernel}` needs a GEMM-family mapping config, got an attention config"
+            ))),
+        }
+    }
+
+    /// The attention payload, or a typed error.
+    pub(crate) fn as_attention(&self, kernel: &str) -> Result<AttentionConfig, CompileError> {
+        match self {
+            MappingConfig::Attention(c) => Ok(*c),
+            MappingConfig::Gemm(_) => Err(CompileError::Unsupported(format!(
+                "`{kernel}` needs an attention mapping config, got a GEMM-family config"
+            ))),
+        }
+    }
+}
+
+/// An enumerable, validated mapping space for one kernel.
+///
+/// The trait is object-safe so a runtime can carry `Arc<dyn MappingSpace>`
+/// next to a compiled program; `candidates` therefore returns a `Vec`
+/// rather than an opaque iterator. The candidate list is deterministic:
+/// the grid is walked in a fixed order, so two processes enumerating the
+/// same `(machine, shape)` see the same list — the property a
+/// deterministic autotuner needs.
+pub trait MappingSpace: fmt::Debug + Send + Sync {
+    /// The entry task name of programs this space builds (`"gemm"`,
+    /// `"bgemm"`, `"dual"`, `"gr"`, `"fa"`).
+    fn entry(&self) -> &'static str;
+
+    /// The hand-tuned default mapping for `machine` — exactly what the
+    /// kernel's `build` uses, so `build(shape, &default_for(machine))`
+    /// reproduces the pre-space programs bit for bit.
+    fn default_for(&self, machine: &MachineConfig) -> MappingConfig;
+
+    /// Check one point against `machine` and `shape`: tile divisibility
+    /// and the shared-memory budget.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::Partition`] for tiles that do not divide the
+    /// problem, [`CompileError::OutOfSharedMemory`] for points whose
+    /// staged working set exceeds the machine, and
+    /// [`CompileError::Unsupported`] for malformed shapes or configs.
+    fn validate(
+        &self,
+        machine: &MachineConfig,
+        shape: &Shape,
+        cfg: &MappingConfig,
+    ) -> Result<(), CompileError>;
+
+    /// Every valid point for `(machine, shape)`, in a deterministic
+    /// order. All returned points compile, and all compute bitwise the
+    /// same function as [`MappingSpace::default_for`]'s point.
+    fn candidates(&self, machine: &MachineConfig, shape: &Shape) -> Vec<MappingConfig>;
+
+    /// Build the kernel's program at `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] from validation or registration.
+    fn build(
+        &self,
+        shape: &Shape,
+        cfg: &MappingConfig,
+    ) -> Result<(TaskRegistry, MappingSpec, Vec<EntryArg>), CompileError>;
+}
+
+// ---------------------------------------------------------------------------
+// GEMM family: shared grid enumeration and validation.
+// ---------------------------------------------------------------------------
+
+/// f16 element size in bytes.
+const ELEM: usize = 2;
+
+/// How a GEMM-family kernel's shared-memory working set scales, for the
+/// candidate filter (a conservative over-estimate of what the allocator
+/// and pipeline staging will bind; aliasing only shrinks it).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GemmFootprint {
+    /// `B`-shaped tiles staged per pipeline stage (dual-GEMM has two).
+    pub b_tiles: usize,
+    /// Fixed extra bytes outside the pipelined loop (vector staging etc.).
+    pub extra_bytes: usize,
+}
+
+/// Validate a GEMM-family point: warpgroup row split, divisibility, and
+/// the staged shared-memory footprint.
+pub(crate) fn validate_gemm_family(
+    kernel: &str,
+    machine: &MachineConfig,
+    m: usize,
+    n: usize,
+    k: usize,
+    cfg: &GemmConfig,
+    foot: GemmFootprint,
+) -> Result<(), CompileError> {
+    if cfg.wgs == 0 || cfg.pipeline == 0 {
+        return Err(CompileError::Unsupported(format!(
+            "`{kernel}` mapping needs wgs >= 1 and pipeline >= 1"
+        )));
+    }
+    if cfg.u != 64 * cfg.wgs {
+        return Err(CompileError::Partition(format!(
+            "`{kernel}` block tile rows {} must equal 64 x wgs ({} warpgroups of one wgmma row band)",
+            cfg.u, cfg.wgs
+        )));
+    }
+    for (dim, name, tile, tname) in [
+        (m, "M", cfg.u, "U"),
+        (n, "N", cfg.v, "V"),
+        (k, "K", cfg.w, "W"),
+    ] {
+        if tile == 0 || dim % tile != 0 {
+            return Err(CompileError::Partition(format!(
+                "`{kernel}` tile {tname}={tile} does not divide {name}={dim}"
+            )));
+        }
+    }
+    let staged = cfg.pipeline * (cfg.u * cfg.w + foot.b_tiles * cfg.w * cfg.v) * ELEM;
+    let required = staged + cfg.u * cfg.v * ELEM + foot.extra_bytes;
+    if required > machine.smem_per_sm {
+        return Err(CompileError::OutOfSharedMemory {
+            required,
+            limit: machine.smem_per_sm,
+        });
+    }
+    Ok(())
+}
+
+/// The GEMM-family candidate grid (fixed walk order), filtered through
+/// `validate`. The warpgroup count (and with it the row tile `U`) is
+/// pinned to the hand-tuned default — re-splitting rows across
+/// warpgroups interacts with warp specialization in ways the functional
+/// guarantee does not cover. `vary_v` / `vary_w` let a kernel pin a
+/// structural tile: GEMM+Reduction's `V` fixes its partial-sum output
+/// shape, and Dual-GEMM's `W` fixes the `B1`/`B2` accumulation
+/// interleaving (both would change results, not just time).
+pub(crate) fn gemm_family_candidates(
+    space: &dyn MappingSpace,
+    machine: &MachineConfig,
+    shape: &Shape,
+    default: GemmConfig,
+    vary_v: bool,
+    vary_w: bool,
+) -> Vec<MappingConfig> {
+    let v_choices: Vec<usize> = if vary_v {
+        let mut c = vec![64, 128, 256];
+        if !c.contains(&default.v) {
+            c.push(default.v);
+        }
+        c
+    } else {
+        vec![default.v]
+    };
+    let w_choices: Vec<usize> = if vary_w {
+        let mut c = vec![32, 64];
+        if !c.contains(&default.w) {
+            c.push(default.w);
+        }
+        c
+    } else {
+        vec![default.w]
+    };
+    let mut out = Vec::new();
+    for &v in &v_choices {
+        for &w in &w_choices {
+            for pipeline in [1usize, 2, 3] {
+                for warpspecialize in [true, false] {
+                    let cfg = MappingConfig::Gemm(GemmConfig {
+                        u: default.u,
+                        v,
+                        w,
+                        wgs: default.wgs,
+                        pipeline,
+                        warpspecialize,
+                    });
+                    if space.validate(machine, shape, &cfg).is_ok() {
+                        out.push(cfg);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_displays_and_extracts() {
+        let s = Shape::of(&[4096, 4096, 64]);
+        assert_eq!(s.to_string(), "4096x4096x64");
+        assert_eq!(s.expect_dims::<3>("gemm").unwrap(), [4096, 4096, 64]);
+        assert!(matches!(
+            s.expect_dims::<4>("bgemm"),
+            Err(CompileError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn config_encoding_round_trips() {
+        let g = MappingConfig::Gemm(GemmConfig::h100());
+        assert_eq!(MappingConfig::decode(&g.encode()), Some(g));
+        let a = MappingConfig::Attention(AttentionConfig::fa3_h100());
+        assert_eq!(MappingConfig::decode(&a.encode()), Some(a));
+        assert_eq!(MappingConfig::decode("nope"), None);
+        assert_eq!(MappingConfig::decode("gemm:u=1"), None);
+    }
+
+    #[test]
+    fn gemm_family_validation_is_typed() {
+        let machine = MachineConfig::test_gpu();
+        let foot = GemmFootprint {
+            b_tiles: 1,
+            extra_bytes: 0,
+        };
+        let ok = GemmConfig::test();
+        assert!(validate_gemm_family("gemm", &machine, 128, 128, 64, &ok, foot).is_ok());
+        // Indivisible N.
+        let err = validate_gemm_family("gemm", &machine, 128, 100, 64, &ok, foot);
+        assert!(matches!(err, Err(CompileError::Partition(_))), "{err:?}");
+        // H100 mapping blows the test GPU's shared memory.
+        let err = validate_gemm_family("gemm", &machine, 128, 256, 64, &GemmConfig::h100(), foot);
+        assert!(
+            matches!(err, Err(CompileError::OutOfSharedMemory { .. })),
+            "{err:?}"
+        );
+        // Row tile must match the warpgroup split.
+        let bad = GemmConfig {
+            u: 128,
+            wgs: 1,
+            ..GemmConfig::test()
+        };
+        let err = validate_gemm_family("gemm", &machine, 128, 128, 64, &bad, foot);
+        assert!(matches!(err, Err(CompileError::Partition(_))), "{err:?}");
+    }
+}

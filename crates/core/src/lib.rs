@@ -29,7 +29,7 @@
 //! use cypress_core::compile::{CompilerOptions, CypressCompiler};
 //! use cypress_sim::MachineConfig;
 //!
-//! let (registry, mapping, args) = gemm::build(256, 256, 128, &MachineConfig::test_gpu());
+//! let (registry, mapping, args) = gemm::build(256, 256, 128, &MachineConfig::test_gpu())?;
 //! let compiler = CypressCompiler::new(CompilerOptions {
 //!     machine: MachineConfig::test_gpu(),
 //!     ..Default::default()
@@ -55,4 +55,5 @@ pub use front::{
     ArgExpr, LeafFn, MappingSpec, MemLevel, ParamSig, Privilege, ProcLevel, SExpr, Stmt,
     TaskMapping, TaskRegistry, TaskVariant, VariantKind,
 };
+pub use kernels::space::{MappingConfig, MappingSpace, Shape};
 pub use passes::depan::EntryArg;

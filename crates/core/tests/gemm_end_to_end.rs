@@ -20,7 +20,7 @@ fn compiler(machine: &MachineConfig) -> CypressCompiler {
 #[test]
 fn gemm_compiles_to_warp_specialized_kernel() {
     let machine = MachineConfig::test_gpu();
-    let (reg, mapping, args) = gemm::build(128, 128, 64, &machine);
+    let (reg, mapping, args) = gemm::build(128, 128, 64, &machine).unwrap();
     let compiled = compiler(&machine)
         .compile(&reg, &mapping, "gemm", &args)
         .unwrap();
@@ -51,7 +51,7 @@ fn gemm_compiles_to_warp_specialized_kernel() {
 #[test]
 fn gemm_functional_matches_reference() {
     let machine = MachineConfig::test_gpu();
-    let (reg, mapping, args) = gemm::build(128, 128, 64, &machine);
+    let (reg, mapping, args) = gemm::build(128, 128, 64, &machine).unwrap();
     let compiled = compiler(&machine)
         .compile(&reg, &mapping, "gemm", &args)
         .unwrap();
@@ -71,7 +71,7 @@ fn gemm_functional_matches_reference() {
 #[test]
 fn gemm_multi_k_iterations() {
     let machine = MachineConfig::test_gpu();
-    let (reg, mapping, args) = gemm::build(64, 64, 256, &machine);
+    let (reg, mapping, args) = gemm::build(64, 64, 256, &machine).unwrap();
     let compiled = compiler(&machine)
         .compile(&reg, &mapping, "gemm", &args)
         .unwrap();
@@ -91,7 +91,7 @@ fn gemm_multi_k_iterations() {
 #[test]
 fn gemm_h100_mapping_compiles_and_times() {
     let machine = MachineConfig::h100_sxm5();
-    let (reg, mapping, args) = gemm::build(4096, 4096, 4096, &machine);
+    let (reg, mapping, args) = gemm::build(4096, 4096, 4096, &machine).unwrap();
     let compiled = compiler(&machine)
         .compile(&reg, &mapping, "gemm", &args)
         .unwrap();

@@ -30,7 +30,7 @@ fn compile_and_run(
 fn batched_gemm_matches_reference() {
     let machine = MachineConfig::test_gpu();
     let (l, m, n, k) = (2, 64, 64, 64);
-    let (reg, mapping, args) = batched::build(l, m, n, k, &machine);
+    let (reg, mapping, args) = batched::build(l, m, n, k, &machine).unwrap();
     let mut rng = StdRng::seed_from_u64(21);
     let a = Tensor::random(DType::F16, &[l * m, k], &mut rng, -1.0, 1.0);
     let b = Tensor::random(DType::F16, &[l * k, n], &mut rng, -1.0, 1.0);
@@ -73,7 +73,7 @@ fn batched_gemm_matches_reference() {
 fn dual_gemm_matches_reference() {
     let machine = MachineConfig::test_gpu();
     let (m, n, k) = (64, 64, 128);
-    let (reg, mapping, args) = dual_gemm::build(m, n, k, &machine);
+    let (reg, mapping, args) = dual_gemm::build(m, n, k, &machine).unwrap();
     let mut rng = StdRng::seed_from_u64(22);
     let a = Tensor::random(DType::F16, &[m, k], &mut rng, -0.7, 0.7);
     let b1 = Tensor::random(DType::F16, &[k, n], &mut rng, -0.7, 0.7);
@@ -97,7 +97,7 @@ fn gemm_reduction_matches_reference() {
     let machine = MachineConfig::test_gpu();
     let (m, n, k) = (64, 64, 128);
     let cfg = gemm::GemmConfig::test();
-    let (reg, mapping, args) = gemm_reduction::build(m, n, k, &machine);
+    let (reg, mapping, args) = gemm_reduction::build(m, n, k, &machine).unwrap();
     let mut rng = StdRng::seed_from_u64(23);
     let a = Tensor::random(DType::F16, &[m, k], &mut rng, -0.7, 0.7);
     let b = Tensor::random(DType::F16, &[k, n], &mut rng, -0.7, 0.7);
@@ -123,7 +123,7 @@ fn gemm_reduction_matches_reference() {
 
 fn attention_case(alg: attention::Algorithm, heads: usize, seq: usize, d: usize) {
     let machine = MachineConfig::test_gpu();
-    let (reg, mapping, args) = attention::build(alg, heads, seq, d, &machine);
+    let (reg, mapping, args) = attention::build(alg, heads, seq, d, &machine).unwrap();
     let mut rng = StdRng::seed_from_u64(24);
     let rows = heads * seq;
     let q = Tensor::random(DType::F16, &[rows, d], &mut rng, -1.0, 1.0);

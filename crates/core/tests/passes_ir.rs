@@ -11,7 +11,7 @@ use cypress_sim::MachineConfig;
 
 fn analyzed() -> cypress_core::ir::IrProgram {
     let machine = MachineConfig::test_gpu();
-    let (reg, mapping, args) = gemm::build(128, 128, 64, &machine);
+    let (reg, mapping, args) = gemm::build(128, 128, 64, &machine).unwrap();
     depan::analyze(&reg, &mapping, "gemm", &args).unwrap()
 }
 
@@ -118,7 +118,7 @@ fn bad_none_mapping_is_rejected_not_miscompiled() {
     // compiler must reject it rather than emit a wrong kernel.
     use cypress_core::compile::{CompilerOptions, CypressCompiler};
     let machine = MachineConfig::test_gpu();
-    let (reg, mapping, args) = gemm::build(128, 128, 64, &machine);
+    let (reg, mapping, args) = gemm::build(128, 128, 64, &machine).unwrap();
     let mut instances: Vec<_> = mapping.iter().cloned().collect();
     for i in &mut instances {
         // Deny shared memory to the whole gemm chain: the Tensor Core

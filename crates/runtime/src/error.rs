@@ -73,6 +73,28 @@ pub enum RuntimeError {
         /// The repeated name.
         name: String,
     },
+    /// Autotuning was requested for a program that carries no
+    /// [`crate::SpaceBinding`] (only programs built via
+    /// [`crate::Program::from_space`] / `with_space` are tunable).
+    NoMappingSpace {
+        /// The program's entry task.
+        entry: String,
+    },
+    /// A program's mapping space has no valid candidate for the
+    /// session's machine and shape (e.g. the program was built for a
+    /// different machine). `MappingPolicy::Autotune` launches fall back
+    /// to the program's own mapping instead of surfacing this.
+    Untunable {
+        /// The program's entry task.
+        entry: String,
+        /// Why the space's default mapping is invalid here.
+        reason: CompileError,
+    },
+    /// A serialized [`crate::TuningTable`] could not be read.
+    BadTuningTable {
+        /// What was wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -111,6 +133,18 @@ impl fmt::Display for RuntimeError {
             RuntimeError::DuplicateNode { name } => {
                 write!(f, "duplicate node name `{name}`")
             }
+            RuntimeError::NoMappingSpace { entry } => write!(
+                f,
+                "program `{entry}` carries no mapping space; build it with \
+                 Program::from_space (or attach one with with_space) to autotune"
+            ),
+            RuntimeError::Untunable { entry, reason } => write!(
+                f,
+                "program `{entry}` has no valid mapping candidate on this machine: {reason}"
+            ),
+            RuntimeError::BadTuningTable { reason } => {
+                write!(f, "bad tuning table: {reason}")
+            }
         }
     }
 }
@@ -120,6 +154,7 @@ impl std::error::Error for RuntimeError {
         match self {
             RuntimeError::Compile(e) => Some(e),
             RuntimeError::Sim(e) => Some(e),
+            RuntimeError::Untunable { reason, .. } => Some(reason),
             _ => None,
         }
     }

@@ -33,6 +33,19 @@ use cypress_tensor::Tensor;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// One node's compiled kernel plus the mapping annotation the session
+/// chose for it (the label and its solo speedup over the default
+/// mapping), threaded into the [`NodeTiming`] entries of the report.
+#[derive(Debug, Clone)]
+pub(crate) struct NodeLaunch {
+    /// The compiled kernel to launch.
+    pub compiled: Arc<Compiled>,
+    /// Mapping label (`"default"` or the tuned candidate's label).
+    pub mapping: String,
+    /// Solo-cycle speedup over the default mapping (1.0 untuned).
+    pub tuned_speedup: f64,
+}
+
 /// The result of a functional graph launch: final parameter tensors of
 /// every retained node plus the timing report of the simulated schedule.
 #[derive(Debug)]
@@ -76,11 +89,11 @@ fn keeps_buffers(graph: &TaskGraph, node: usize, total_consumers: &[usize]) -> b
     graph.nodes()[node].retain || total_consumers[node] == 0
 }
 
-/// `kernels` is indexed by `NodeId::index()` (one entry per graph node).
+/// `launches` is indexed by `NodeId::index()` (one entry per graph node).
 pub(crate) fn run_functional(
     simulator: &Simulator,
     graph: &TaskGraph,
-    kernels: &[Arc<Compiled>],
+    launches: &[NodeLaunch],
     inputs: &HashMap<String, Tensor>,
     pool: &mut BufferPool,
     policy: SchedulePolicy,
@@ -94,7 +107,7 @@ pub(crate) fn run_functional(
 
     for &id in &schedule {
         let node = &graph.nodes()[id.index()];
-        let compiled = &kernels[id.index()];
+        let compiled = &launches[id.index()].compiled;
         let mut params = Vec::with_capacity(node.bindings.len());
         for (i, binding) in node.bindings.iter().enumerate() {
             let arg = &node.program.args[i];
@@ -173,15 +186,15 @@ pub(crate) fn run_functional(
     Ok(GraphRun {
         names: graph.nodes().iter().map(|n| n.name.clone()).collect(),
         results: slots,
-        report: assemble_report(simulator.machine(), graph, &reports, policy),
+        report: assemble_report(simulator.machine(), graph, launches, &reports, policy),
     })
 }
 
-/// `kernels` is indexed by `NodeId::index()` (one entry per graph node).
+/// `launches` is indexed by `NodeId::index()` (one entry per graph node).
 pub(crate) fn run_timing(
     simulator: &Simulator,
     graph: &TaskGraph,
-    kernels: &[Arc<Compiled>],
+    launches: &[NodeLaunch],
     policy: SchedulePolicy,
 ) -> Result<GraphReport, RuntimeError> {
     // Solo-time each node once per distinct compiled kernel: graphs that
@@ -189,12 +202,12 @@ pub(crate) fn run_timing(
     // one simulation, not one per node.
     let mut by_kernel: HashMap<*const Compiled, TimingReport> = HashMap::new();
     let mut reports = Vec::with_capacity(graph.len());
-    for compiled in kernels {
-        let key = Arc::as_ptr(compiled);
+    for launch in launches {
+        let key = Arc::as_ptr(&launch.compiled);
         let report = match by_kernel.get(&key) {
             Some(r) => r.clone(),
             None => {
-                let r = simulator.run_timing(&compiled.kernel)?;
+                let r = simulator.run_timing(&launch.compiled.kernel)?;
                 by_kernel.insert(key, r.clone());
                 r
             }
@@ -204,6 +217,7 @@ pub(crate) fn run_timing(
     Ok(assemble_report(
         simulator.machine(),
         graph,
+        launches,
         &reports,
         policy,
     ))
@@ -214,14 +228,15 @@ pub(crate) fn run_timing(
 fn assemble_report(
     machine: &MachineConfig,
     graph: &TaskGraph,
+    launches: &[NodeLaunch],
     reports: &[TimingReport],
     policy: SchedulePolicy,
 ) -> GraphReport {
     let schedule = graph.schedule();
     let (nodes, makespan) = match policy {
-        SchedulePolicy::Serial => schedule_serial(graph, &schedule, reports),
+        SchedulePolicy::Serial => schedule_serial(graph, launches, &schedule, reports),
         SchedulePolicy::Concurrent { .. } => {
-            schedule_concurrent(machine, graph, reports, policy.streams())
+            schedule_concurrent(machine, graph, launches, reports, policy.streams())
         }
     };
     GraphReport {
@@ -253,6 +268,7 @@ fn critical_path(graph: &TaskGraph, schedule: &[NodeId], reports: &[TimingReport
 /// the makespan is the running sum of the solo makespans.
 fn schedule_serial(
     graph: &TaskGraph,
+    launches: &[NodeLaunch],
     schedule: &[NodeId],
     reports: &[TimingReport],
 ) -> (Vec<NodeTiming>, f64) {
@@ -267,6 +283,8 @@ fn schedule_serial(
             stream: 0,
             start,
             end: cursor,
+            mapping: launches[id.index()].mapping.clone(),
+            tuned_speedup: launches[id.index()].tuned_speedup,
             report,
         });
     }
@@ -281,6 +299,7 @@ fn schedule_serial(
 fn schedule_concurrent(
     machine: &MachineConfig,
     graph: &TaskGraph,
+    launches: &[NodeLaunch],
     reports: &[TimingReport],
     streams: usize,
 ) -> (Vec<NodeTiming>, f64) {
@@ -315,6 +334,8 @@ fn schedule_concurrent(
             stream: stream_of[done.id],
             start: done.start,
             end: done.end,
+            mapping: launches[done.id].mapping.clone(),
+            tuned_speedup: launches[done.id].tuned_speedup,
             report: reports[done.id].clone(),
         });
         for &c in &consumers[done.id] {

@@ -296,7 +296,10 @@ mod tests {
     use cypress_sim::MachineConfig;
 
     fn gemm_program(m: usize, n: usize, k: usize) -> Program {
-        Program::from_parts(gemm::build(m, n, k, &MachineConfig::test_gpu()), "gemm")
+        Program::from_parts(
+            gemm::build(m, n, k, &MachineConfig::test_gpu()).unwrap(),
+            "gemm",
+        )
     }
 
     #[test]

@@ -28,7 +28,15 @@
 //!   contend for SMs/L2/HBM under the [`cypress_sim::concurrent`] model,
 //!   and dependents are released as upstream launches retire. Every
 //!   schedule satisfies `critical_path <= makespan <= serial_sum` (see
-//!   [`GraphReport`]), and functional results are policy-independent.
+//!   [`GraphReport`]), and functional results are policy-independent;
+//! - a [`MappingPolicy`] on the session choosing between every node's
+//!   hand-tuned mapping ([`MappingPolicy::Default`], bit-identical to
+//!   the plain builders) and **simulator-driven mapping autotuning**
+//!   ([`MappingPolicy::Autotune`]): nodes built from a
+//!   [`cypress_core::MappingSpace`] via [`Program::from_space`] launch
+//!   the fastest candidate of their space (see [`Session::autotune`] and
+//!   the [`tuner`] docs), with winners persisted in a [`TuningTable`]
+//!   that serializes across sessions.
 //!
 //! # Example: GEMM → GEMM as one graph
 //!
@@ -40,7 +48,7 @@
 //! use std::collections::HashMap;
 //!
 //! let machine = MachineConfig::test_gpu();
-//! let program = Program::from_parts(gemm::build(64, 64, 64, &machine), "gemm");
+//! let program = Program::from_parts(gemm::build(64, 64, 64, &machine)?, "gemm");
 //!
 //! let mut graph = TaskGraph::new();
 //! // C1 = A @ B
@@ -77,12 +85,14 @@ pub mod pool;
 pub mod program;
 pub mod report;
 pub mod session;
+pub mod tuner;
 
 pub use cache::{CacheStats, KernelCache};
 pub use error::RuntimeError;
 pub use executor::GraphRun;
 pub use graph::{Binding, Node, NodeId, TaskGraph};
 pub use pool::{BufferPool, PoolStats};
-pub use program::Program;
+pub use program::{Program, SpaceBinding};
 pub use report::{GraphReport, NodeTiming};
-pub use session::{SchedulePolicy, Session};
+pub use session::{MappingPolicy, SchedulePolicy, Session};
+pub use tuner::{TunedMapping, TuningKey, TuningTable};

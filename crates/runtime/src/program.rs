@@ -6,9 +6,30 @@
 //! cache, and the executor all speak about the same unit. The kernel
 //! builders under [`cypress_core::kernels`] return `(registry, mapping,
 //! args)` triples; [`Program::from_parts`] adapts them directly.
+//!
+//! A program may additionally carry a [`SpaceBinding`]: the
+//! [`MappingSpace`] it was built from plus its problem [`Shape`]. Bound
+//! programs are *tunable* — the session's autotuner (see
+//! [`crate::tuner`]) can enumerate and time the space's candidate
+//! mappings and transparently swap the winner in. [`Program::from_space`]
+//! builds a bound program at the space's hand-tuned default, so an
+//! untuned launch is bit-identical to the plain builders.
 
 use cypress_core::front::Privilege;
-use cypress_core::{EntryArg, MappingSpec, TaskRegistry};
+use cypress_core::{CompileError, EntryArg, MappingSpace, MappingSpec, Shape, TaskRegistry};
+use cypress_sim::MachineConfig;
+use std::sync::Arc;
+
+/// The mapping space a tunable program was built from, plus its problem
+/// shape — what [`crate::Session::autotune`] needs to enumerate
+/// candidate mappings for the program.
+#[derive(Debug, Clone)]
+pub struct SpaceBinding {
+    /// The kernel's mapping space.
+    pub space: Arc<dyn MappingSpace>,
+    /// The problem shape the program was built at.
+    pub shape: Shape,
+}
 
 /// One compilable Cypress program.
 #[derive(Debug, Clone)]
@@ -21,6 +42,9 @@ pub struct Program {
     pub entry: String,
     /// Entry parameter descriptors, in kernel declaration order.
     pub args: Vec<EntryArg>,
+    /// The mapping space this program was built from, when known —
+    /// `None` programs always run their fixed mapping.
+    pub space: Option<SpaceBinding>,
 }
 
 impl Program {
@@ -37,15 +61,51 @@ impl Program {
             mapping,
             entry: entry.to_string(),
             args,
+            space: None,
         }
     }
 
     /// Adapt the `(registry, mapping, args)` triple the kernel builders
-    /// return, e.g. `Program::from_parts(gemm::build(m, n, k, &machine), "gemm")`.
+    /// return, e.g. `Program::from_parts(gemm::build(m, n, k, &machine)?, "gemm")`.
     #[must_use]
     pub fn from_parts(parts: (TaskRegistry, MappingSpec, Vec<EntryArg>), entry: &str) -> Self {
         let (registry, mapping, args) = parts;
         Program::new(registry, mapping, entry, args)
+    }
+
+    /// Build a *tunable* program: `space` at its hand-tuned default
+    /// mapping for `machine`, carrying the [`SpaceBinding`] the session's
+    /// autotuner needs. Launched under [`crate::MappingPolicy::Default`]
+    /// the result is bit-identical to the plain kernel builders.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompileError`] when the default mapping is invalid
+    /// for this machine/shape combination.
+    pub fn from_space(
+        space: Arc<dyn MappingSpace>,
+        shape: Shape,
+        machine: &MachineConfig,
+    ) -> Result<Self, CompileError> {
+        let cfg = space.default_for(machine);
+        space.validate(machine, &shape, &cfg)?;
+        let (registry, mapping, args) = space.build(&shape, &cfg)?;
+        let entry = space.entry().to_string();
+        Ok(Program {
+            registry,
+            mapping,
+            entry,
+            args,
+            space: Some(SpaceBinding { space, shape }),
+        })
+    }
+
+    /// Attach a [`SpaceBinding`] to an already-built program (the
+    /// program must have been built from the same space and shape).
+    #[must_use]
+    pub fn with_space(mut self, space: Arc<dyn MappingSpace>, shape: Shape) -> Self {
+        self.space = Some(SpaceBinding { space, shape });
+        self
     }
 
     /// The index of the entry parameter called `name`.
@@ -87,7 +147,7 @@ mod tests {
     #[test]
     fn from_parts_preserves_declaration_order() {
         let p = Program::from_parts(
-            gemm::build(128, 128, 64, &MachineConfig::test_gpu()),
+            gemm::build(128, 128, 64, &MachineConfig::test_gpu()).unwrap(),
             "gemm",
         );
         assert_eq!(p.args.len(), 3);

@@ -32,6 +32,14 @@ pub struct NodeTiming {
     pub start: f64,
     /// Retire cycle, relative to the graph launch.
     pub end: f64,
+    /// The mapping the session launched this node with: `"default"`
+    /// under [`crate::MappingPolicy::Default`], the winning candidate's
+    /// label under [`crate::MappingPolicy::Autotune`].
+    pub mapping: String,
+    /// Solo-cycle speedup of the launched mapping over the hand-tuned
+    /// default (1.0 when the default ran; never below 1.0, since the
+    /// default is always one of the tuner's candidates).
+    pub tuned_speedup: f64,
     /// The simulator's solo report for this launch (what the node costs
     /// with the device to itself).
     pub report: TimingReport,
@@ -131,9 +139,14 @@ impl GraphReport {
         let total = self.makespan.max(1.0);
         for n in &self.nodes {
             let share = 100.0 * n.report.cycles / total;
+            let mapping = if n.mapping == "default" {
+                String::new()
+            } else {
+                format!("  [{} {:.2}x]", n.mapping, n.tuned_speedup)
+            };
             let _ = writeln!(
                 out,
-                "{:<24} s{} [{:>12.0}, {:>12.0}) {:>14.0} cycles ({:>5.1}%)  {:>8.1} TFLOP/s achieved",
+                "{:<24} s{} [{:>12.0}, {:>12.0}) {:>14.0} cycles ({:>5.1}%)  {:>8.1} TFLOP/s achieved{mapping}",
                 n.node, n.stream, n.start, n.end, n.report.cycles, share, n.report.achieved_tflops
             );
         }
@@ -161,6 +174,8 @@ mod tests {
             stream,
             start,
             end: start + cycles,
+            mapping: "default".into(),
+            tuned_speedup: 1.0,
             report: TimingReport {
                 kernel: name.into(),
                 cycles,

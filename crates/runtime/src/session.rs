@@ -16,19 +16,31 @@
 //! [executor docs](crate::executor) and [`crate::GraphReport`] for how to
 //! read the resulting timeline). Functional results never depend on the
 //! policy: data always moves in the deterministic topological order.
+//!
+//! Orthogonally, the session's [`MappingPolicy`] chooses *which mapping*
+//! each node launches with. [`MappingPolicy::Default`] (the default)
+//! runs every program's own mapping — the hand-tuned path, bit for bit.
+//! [`MappingPolicy::Autotune`] transparently autotunes every node that
+//! carries a [`crate::SpaceBinding`] (see [`Session::autotune`]): the
+//! space's candidates are compiled through the kernel cache, timed with
+//! the simulator, and the winner is launched and recorded in the
+//! session's [`TuningTable`]. Mapping spaces only enumerate functionally
+//! transparent candidates, so tensors are identical under either policy;
+//! only the timeline changes.
 
 use crate::cache::{CacheStats, KernelCache};
 use crate::error::RuntimeError;
 use crate::executor;
-use crate::executor::GraphRun;
+use crate::executor::{GraphRun, NodeLaunch};
 use crate::graph::TaskGraph;
 use crate::pool::{BufferPool, PoolStats};
 use crate::program::Program;
 use crate::report::GraphReport;
+use crate::tuner::{key_for, TunedMapping, TuningKey, TuningTable};
 use cypress_core::{Compiled, CompilerOptions, CypressCompiler};
 use cypress_sim::{MachineConfig, Simulator, TimingReport};
 use cypress_tensor::Tensor;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// How a [`Session`] schedules the nodes of a [`TaskGraph`].
@@ -66,6 +78,25 @@ impl SchedulePolicy {
     }
 }
 
+/// Which mapping each launched node uses (mirrors [`SchedulePolicy`]).
+///
+/// The policy never changes functional results: mapping spaces only
+/// enumerate candidates that compute bitwise the same function as the
+/// default mapping. It changes which compiled kernel runs, and therefore
+/// the timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MappingPolicy {
+    /// Every node launches its program's own mapping — the hand-tuned
+    /// default path, preserved bit for bit.
+    #[default]
+    Default,
+    /// Nodes whose programs carry a [`crate::SpaceBinding`] launch the
+    /// autotuned winner of their mapping space (tuning on first
+    /// encounter, then served from the session's [`TuningTable`]);
+    /// unbound programs fall back to their own mapping.
+    Autotune,
+}
+
 /// A long-lived runtime for compiling and launching task graphs.
 #[derive(Debug)]
 pub struct Session {
@@ -74,6 +105,14 @@ pub struct Session {
     cache: KernelCache,
     pool: BufferPool,
     policy: SchedulePolicy,
+    mapping_policy: MappingPolicy,
+    tuning: TuningTable,
+    /// Compiled winners per tuning key, so warm `Autotune` launches skip
+    /// the space builder entirely.
+    tuned_launches: HashMap<TuningKey, NodeLaunch>,
+    /// Keys whose space has no valid candidate on this machine, so warm
+    /// fallback launches skip re-enumerating the candidate grid.
+    untunable: HashSet<TuningKey>,
 }
 
 impl Session {
@@ -96,6 +135,10 @@ impl Session {
             cache: KernelCache::new(),
             pool: BufferPool::new(),
             policy: SchedulePolicy::default(),
+            mapping_policy: MappingPolicy::default(),
+            tuning: TuningTable::new(),
+            tuned_launches: HashMap::new(),
+            untunable: HashSet::new(),
         }
     }
 
@@ -121,6 +164,58 @@ impl Session {
     pub fn with_policy(mut self, policy: SchedulePolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// The mapping policy node launches currently use.
+    #[must_use]
+    pub fn mapping_policy(&self) -> MappingPolicy {
+        self.mapping_policy
+    }
+
+    /// Change which mapping subsequent launches use.
+    pub fn set_mapping_policy(&mut self, policy: MappingPolicy) {
+        self.mapping_policy = policy;
+    }
+
+    /// Builder-style [`Session::set_mapping_policy`].
+    #[must_use]
+    pub fn with_mapping_policy(mut self, policy: MappingPolicy) -> Self {
+        self.mapping_policy = policy;
+        self
+    }
+
+    /// Bound the kernel cache to at most `capacity` compiled kernels
+    /// (LRU eviction; `None` removes the bound). Autotuning compiles one
+    /// kernel per candidate, so bounded sessions keep memory flat.
+    pub fn set_cache_capacity(&mut self, capacity: Option<usize>) {
+        self.cache.set_capacity(capacity);
+    }
+
+    /// Builder-style [`Session::set_cache_capacity`].
+    #[must_use]
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache.set_capacity(Some(capacity));
+        self
+    }
+
+    /// The session's accumulated tuning results.
+    #[must_use]
+    pub fn tuning_table(&self) -> &TuningTable {
+        &self.tuning
+    }
+
+    /// Adopt previously persisted tuning results (e.g. from
+    /// [`TuningTable::load`]); entries in `table` replace the session's
+    /// on key collisions, and any memoized launches are invalidated so
+    /// subsequent autotuned launches use the imported winners without
+    /// re-timing the space.
+    pub fn import_tuning(&mut self, table: TuningTable) {
+        // Imported winners may differ from the ones already launched;
+        // drop the compiled-launch memo (and the untunable marks, which
+        // the imported table supersedes) so neither serves stale picks.
+        self.tuned_launches.clear();
+        self.untunable.clear();
+        self.tuning.merge(table);
     }
 
     /// Compile `program`, reusing the cached kernel when the fingerprint
@@ -151,15 +246,182 @@ impl Session {
         Ok(compiled)
     }
 
-    /// One compiled kernel per node, indexed by `NodeId::index()` so the
-    /// executor never depends on schedule order for the pairing.
-    fn compile_nodes(&mut self, graph: &TaskGraph) -> Result<Vec<Arc<Compiled>>, RuntimeError> {
+    /// Autotune `program`'s mapping: enumerate its space's candidates
+    /// for this session's machine, compile each through the kernel cache,
+    /// time each with the simulator, and record the fastest in the
+    /// session's [`TuningTable`] keyed by `(computation fingerprint,
+    /// shape, machine fingerprint)`. Repeated calls (and
+    /// [`MappingPolicy::Autotune`] launches) are served from the table
+    /// without re-timing. Ties go to the earliest candidate in the
+    /// space's deterministic enumeration order, so two sessions tuning
+    /// the same program always pick the same winner.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::NoMappingSpace`] when the program carries no
+    /// [`crate::SpaceBinding`]; [`RuntimeError::Untunable`] when the
+    /// space has *no* valid candidate for this session's machine and
+    /// shape (e.g. the program was built for a different machine —
+    /// [`MappingPolicy::Autotune`] launches fall back to the program's
+    /// own mapping on this error instead of surfacing it); otherwise
+    /// propagates compile or simulation failures (every candidate a
+    /// space emits must compile — a failure here is a space bug, not a
+    /// tuning miss).
+    pub fn autotune(&mut self, program: &Program) -> Result<TunedMapping, RuntimeError> {
+        let Some(binding) = program.space.clone() else {
+            return Err(RuntimeError::NoMappingSpace {
+                entry: program.entry.clone(),
+            });
+        };
+        let machine = self.machine().clone();
+        let key = key_for(program, &binding.shape, &machine);
+        if let Some(done) = self.tuning.get(&key) {
+            // Tables can be hand-edited or imported from elsewhere: a
+            // stored winner that no longer validates is re-tuned below
+            // (overwriting the bad entry) instead of being built blind.
+            if binding
+                .space
+                .validate(&machine, &binding.shape, &done.config)
+                .is_ok()
+            {
+                return Ok(done.clone());
+            }
+        }
+
+        let default_cfg = binding.space.default_for(&machine);
+        let candidates = binding.space.candidates(&machine, &binding.shape);
+        if candidates.is_empty() {
+            // Nothing in the space is valid here; surface the default's
+            // validation failure as the typed reason.
+            let reason = match binding
+                .space
+                .validate(&machine, &binding.shape, &default_cfg)
+            {
+                Err(e) => e,
+                Ok(()) => cypress_core::CompileError::Unsupported(format!(
+                    "mapping space of `{}` emitted no candidates for shape {} on {}",
+                    program.entry, binding.shape, machine.name
+                )),
+            };
+            return Err(RuntimeError::Untunable {
+                entry: program.entry.clone(),
+                reason,
+            });
+        }
+
+        let mut default_cycles = None;
+        let mut best: Option<(f64, cypress_core::MappingConfig)> = None;
+        let total = candidates.len();
+        for cfg in candidates {
+            let report = self.time_candidate(&binding, &cfg)?;
+            if cfg == default_cfg {
+                default_cycles = Some(report.cycles);
+            }
+            // Strict `<` keeps the earliest candidate on ties, making the
+            // winner independent of session history.
+            if best.as_ref().is_none_or(|(c, _)| report.cycles < *c) {
+                best = Some((report.cycles, cfg));
+            }
+        }
+        let (tuned_cycles, config) = best.expect("at least one candidate was timed");
+        // When the hand-tuned default is itself invalid for this
+        // machine/shape (and therefore was never timed), report the
+        // winner as the baseline: speedup 1.0, never a below-1.0 ratio
+        // against a mapping that cannot run.
+        let default_cycles = default_cycles.unwrap_or(tuned_cycles);
+        let tuned = TunedMapping {
+            config,
+            default_cycles,
+            tuned_cycles,
+            candidates: total,
+        };
+        self.tuning.insert(key, tuned.clone());
+        Ok(tuned)
+    }
+
+    /// Compile (via the cache) and solo-time one candidate of a space.
+    fn time_candidate(
+        &mut self,
+        binding: &crate::program::SpaceBinding,
+        cfg: &cypress_core::MappingConfig,
+    ) -> Result<TimingReport, RuntimeError> {
+        let (registry, mapping, args) = binding.space.build(&binding.shape, cfg)?;
+        let candidate = Program::new(registry, mapping, binding.space.entry(), args);
+        let compiled = self.compile(&candidate)?;
+        Ok(self.simulator.run_timing(&compiled.kernel)?)
+    }
+
+    /// The program a node should launch under the session's
+    /// [`MappingPolicy`], with its mapping annotation.
+    ///
+    /// Tuned launches are memoized per [`crate::TuningKey`], so a warm
+    /// serving loop pays one fingerprint hash per node — the same as the
+    /// default path — instead of re-running the space's builder. A
+    /// program whose space has no valid candidate on this machine (e.g.
+    /// built for a different machine) falls back to its own mapping.
+    fn node_launch(&mut self, program: &Program) -> Result<NodeLaunch, RuntimeError> {
+        if self.mapping_policy == MappingPolicy::Autotune {
+            if let Some(binding) = program.space.clone() {
+                let key = key_for(program, &binding.shape, self.machine());
+                if let Some(hit) = self.tuned_launches.get(&key) {
+                    return Ok(hit.clone());
+                }
+                // The fallback launch depends on the program's own
+                // mapping (which the tuning key deliberately excludes),
+                // so only the *untunability* of the key is memoized; the
+                // launch itself routes through the per-program compile.
+                if !self.untunable.contains(&key) {
+                    match self.autotune(program) {
+                        Ok(tuned) => {
+                            let (registry, mapping, args) =
+                                binding.space.build(&binding.shape, &tuned.config)?;
+                            let candidate =
+                                Program::new(registry, mapping, binding.space.entry(), args);
+                            let compiled = self.compile(&candidate)?;
+                            // A winner that *is* the hand-tuned default
+                            // reads as "default" so reports match the
+                            // Default policy's rendering for the
+                            // identical kernel.
+                            let mapping_label =
+                                if tuned.config == binding.space.default_for(self.machine()) {
+                                    "default".to_string()
+                                } else {
+                                    tuned.config.label()
+                                };
+                            let launch = NodeLaunch {
+                                compiled,
+                                mapping: mapping_label,
+                                tuned_speedup: tuned.speedup(),
+                            };
+                            self.tuned_launches.insert(key, launch.clone());
+                            return Ok(launch);
+                        }
+                        // No valid candidate here: remember that and run
+                        // the program's own mapping.
+                        Err(RuntimeError::Untunable { .. }) => {
+                            self.untunable.insert(key);
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
+        Ok(NodeLaunch {
+            compiled: self.compile(program)?,
+            mapping: "default".to_string(),
+            tuned_speedup: 1.0,
+        })
+    }
+
+    /// One launch per node, indexed by `NodeId::index()` so the executor
+    /// never depends on schedule order for the pairing.
+    fn compile_nodes(&mut self, graph: &TaskGraph) -> Result<Vec<NodeLaunch>, RuntimeError> {
         graph
             .nodes()
             .iter()
             .map(|node| {
                 let program = node.program.clone();
-                self.compile(&program)
+                self.node_launch(&program)
             })
             .collect()
     }
@@ -178,11 +440,11 @@ impl Session {
         graph: &TaskGraph,
         inputs: &HashMap<String, Tensor>,
     ) -> Result<GraphRun, RuntimeError> {
-        let kernels = self.compile_nodes(graph)?;
+        let launches = self.compile_nodes(graph)?;
         executor::run_functional(
             &self.simulator,
             graph,
-            &kernels,
+            &launches,
             inputs,
             &mut self.pool,
             self.policy,
@@ -191,14 +453,17 @@ impl Session {
 
     /// Launch `graph` in timing mode: no data moves; the result is the
     /// whole-graph [`GraphReport`] with per-node stream timeline, built
-    /// according to the session's [`SchedulePolicy`].
+    /// according to the session's [`SchedulePolicy`]. Under
+    /// [`MappingPolicy::Autotune`] each node with a mapping space
+    /// transparently launches its tuned mapping, and the report's
+    /// per-node `mapping` / `tuned_speedup` fields say what ran.
     ///
     /// # Errors
     ///
     /// Returns [`RuntimeError`] on compile or simulation failure.
     pub fn launch_timing(&mut self, graph: &TaskGraph) -> Result<GraphReport, RuntimeError> {
-        let kernels = self.compile_nodes(graph)?;
-        executor::run_timing(&self.simulator, graph, &kernels, self.policy)
+        let launches = self.compile_nodes(graph)?;
+        executor::run_timing(&self.simulator, graph, &launches, self.policy)
     }
 
     /// Compile (with caching) and functionally run a single program —
@@ -213,21 +478,22 @@ impl Session {
         program: &Program,
         params: Vec<Tensor>,
     ) -> Result<Vec<Tensor>, RuntimeError> {
-        let compiled = self.compile(program)?;
+        let launch = self.node_launch(program)?;
         Ok(self
             .simulator
-            .run_functional(&compiled.kernel, params)?
+            .run_functional(&launch.compiled.kernel, params)?
             .params)
     }
 
-    /// Compile (with caching) and time a single program.
+    /// Compile (with caching) and time a single program (under
+    /// [`MappingPolicy::Autotune`], its tuned mapping).
     ///
     /// # Errors
     ///
     /// Returns [`RuntimeError`] on compile or simulation failure.
     pub fn run_timing(&mut self, program: &Program) -> Result<TimingReport, RuntimeError> {
-        let compiled = self.compile(program)?;
-        Ok(self.simulator.run_timing(&compiled.kernel)?)
+        let launch = self.node_launch(program)?;
+        Ok(self.simulator.run_timing(&launch.compiled.kernel)?)
     }
 
     /// Kernel-cache counters.
@@ -242,9 +508,11 @@ impl Session {
         self.pool.stats()
     }
 
-    /// Drop all cached kernels and pooled buffers (counters are kept).
+    /// Drop all cached kernels, memoized tuned launches, and pooled
+    /// buffers (counters and tuning results are kept).
     pub fn clear(&mut self) {
         self.cache.clear();
+        self.tuned_launches.clear();
         self.pool.clear();
     }
 }

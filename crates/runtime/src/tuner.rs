@@ -1,0 +1,353 @@
+//! Simulator-driven mapping autotuning.
+//!
+//! The compiler separates a kernel's logical description from its
+//! mapping; [`cypress_core::MappingSpace`] makes the mapping side
+//! enumerable. This module adds the missing loop: compile every
+//! candidate mapping through the session's kernel cache, time it with
+//! the simulator, and remember the winner — the search-based mapping
+//! selection systems like Hidet use in place of fixed heuristics.
+//!
+//! Results live in a [`TuningTable`] keyed by [`TuningKey`] — the
+//! *computation* fingerprint (task registry + entry + argument shapes,
+//! mapping excluded), the problem shape, and the machine fingerprint —
+//! so one tuned entry serves every mapping of the same computation on
+//! the same machine. Tables serialize to a canonical text format
+//! ([`TuningTable::to_text`] / [`TuningTable::from_text`], plus
+//! [`TuningTable::save`] / [`TuningTable::load`]) so tuning survives
+//! across sessions and processes; the offline build has no `serde`, so
+//! the round-trip is hand-rolled and locked by tests.
+
+use crate::error::RuntimeError;
+use crate::program::Program;
+use cypress_core::fingerprint::Fnv64;
+use cypress_core::{MappingConfig, Shape};
+use cypress_sim::MachineConfig;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// What a [`TuningTable`] entry is keyed by: the computation (not its
+/// mapping), the problem shape, and the machine.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TuningKey {
+    /// Fingerprint of the task registry, entry name, and entry argument
+    /// shapes — everything but the mapping (see
+    /// [`computation_fingerprint`]).
+    pub computation: u64,
+    /// The problem shape the winner was tuned at.
+    pub shape: Vec<usize>,
+    /// Fingerprint of the [`MachineConfig`] (see
+    /// [`machine_fingerprint`]).
+    pub machine: u64,
+}
+
+/// The outcome of autotuning one computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunedMapping {
+    /// The winning mapping point.
+    pub config: MappingConfig,
+    /// Simulated solo cycles of the hand-tuned default mapping.
+    pub default_cycles: f64,
+    /// Simulated solo cycles of the winner (always `<= default_cycles`:
+    /// the default is one of the candidates).
+    pub tuned_cycles: f64,
+    /// Candidates evaluated.
+    pub candidates: usize,
+}
+
+impl TunedMapping {
+    /// `default_cycles / tuned_cycles` — 1.0 means the hand-tuned
+    /// mapping was already optimal in the space.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.tuned_cycles > 0.0 {
+            self.default_cycles / self.tuned_cycles
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Persistent store of autotuning winners.
+///
+/// Entries are held in a `BTreeMap` so iteration — and therefore the
+/// serialized text — is canonical: two tables with equal entries render
+/// byte-identically.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TuningTable {
+    entries: BTreeMap<TuningKey, TunedMapping>,
+}
+
+/// Header line of the serialized format; bump on layout changes.
+const HEADER: &str = "cypress-tuning-v1";
+
+impl TuningTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        TuningTable::default()
+    }
+
+    /// Number of tuned computations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing has been tuned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The tuned winner for `key`, if present.
+    #[must_use]
+    pub fn get(&self, key: &TuningKey) -> Option<&TunedMapping> {
+        self.entries.get(key)
+    }
+
+    /// Record (or replace) the winner for `key`.
+    pub fn insert(&mut self, key: TuningKey, tuned: TunedMapping) {
+        self.entries.insert(key, tuned);
+    }
+
+    /// Iterate entries in canonical (key) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&TuningKey, &TunedMapping)> {
+        self.entries.iter()
+    }
+
+    /// Merge another table in; `other`'s entries win on key collisions.
+    pub fn merge(&mut self, other: TuningTable) {
+        self.entries.extend(other.entries);
+    }
+
+    /// Serialize to the canonical text format: a header line, then one
+    /// entry per line —
+    /// `<computation:016x> <machine:016x> <shape d0xd1x...> <config> <default_cycles> <tuned_cycles> <candidates>`.
+    /// `f64` cycles print in Rust's shortest round-trip form, so
+    /// [`TuningTable::from_text`] reproduces them bit for bit.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::from(HEADER);
+        out.push('\n');
+        for (key, tuned) in &self.entries {
+            let shape = Shape(key.shape.clone());
+            out.push_str(&format!(
+                "{:016x} {:016x} {shape} {} {} {} {}\n",
+                key.computation,
+                key.machine,
+                tuned.config.encode(),
+                tuned.default_cycles,
+                tuned.tuned_cycles,
+                tuned.candidates,
+            ));
+        }
+        out
+    }
+
+    /// Parse the format produced by [`TuningTable::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::BadTuningTable`] on a wrong header or a
+    /// malformed entry line.
+    pub fn from_text(text: &str) -> Result<Self, RuntimeError> {
+        let bad = |reason: String| RuntimeError::BadTuningTable { reason };
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(HEADER) => {}
+            other => return Err(bad(format!("expected header `{HEADER}`, found {other:?}"))),
+        }
+        let mut table = TuningTable::new();
+        for (i, line) in lines.enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            let [comp, machine, shape, config, default_cycles, tuned_cycles, candidates] =
+                fields.as_slice()
+            else {
+                return Err(bad(format!(
+                    "line {}: expected 7 fields, found {}",
+                    i + 2,
+                    fields.len()
+                )));
+            };
+            let parse_hex = |s: &str, what: &str| {
+                u64::from_str_radix(s, 16)
+                    .map_err(|e| bad(format!("line {}: bad {what} `{s}`: {e}", i + 2)))
+            };
+            let shape: Vec<usize> = shape
+                .split('x')
+                .map(|d| {
+                    d.parse()
+                        .map_err(|e| bad(format!("line {}: bad shape dim `{d}`: {e}", i + 2)))
+                })
+                .collect::<Result<_, _>>()?;
+            let config = MappingConfig::decode(config)
+                .ok_or_else(|| bad(format!("line {}: bad mapping config `{config}`", i + 2)))?;
+            let parse_f64 = |s: &str, what: &str| {
+                s.parse::<f64>()
+                    .map_err(|e| bad(format!("line {}: bad {what} `{s}`: {e}", i + 2)))
+            };
+            table.insert(
+                TuningKey {
+                    computation: parse_hex(comp, "computation fingerprint")?,
+                    shape,
+                    machine: parse_hex(machine, "machine fingerprint")?,
+                },
+                TunedMapping {
+                    config,
+                    default_cycles: parse_f64(default_cycles, "default cycles")?,
+                    tuned_cycles: parse_f64(tuned_cycles, "tuned cycles")?,
+                    candidates: candidates
+                        .parse()
+                        .map_err(|e| bad(format!("line {}: bad candidate count: {e}", i + 2)))?,
+                },
+            );
+        }
+        Ok(table)
+    }
+
+    /// Write the canonical text to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_text())
+    }
+
+    /// Read a table previously written with [`TuningTable::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::BadTuningTable`] for unreadable files or
+    /// malformed contents.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, RuntimeError> {
+        let text =
+            std::fs::read_to_string(path.as_ref()).map_err(|e| RuntimeError::BadTuningTable {
+                reason: format!("cannot read {}: {e}", path.as_ref().display()),
+            })?;
+        TuningTable::from_text(&text)
+    }
+}
+
+/// Fingerprint of a program's *computation*: the task registry (sorted
+/// by variant name), the entry task, and the entry argument shapes —
+/// deliberately excluding the mapping, so every candidate mapping of one
+/// computation shares a tuning-table key.
+#[must_use]
+pub fn computation_fingerprint(program: &Program) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str("cypress-computation-v1");
+    h.write_str(&program.entry);
+    for arg in &program.args {
+        h.write_str(&format!(
+            "arg {} {}x{} {:?}",
+            arg.name, arg.rows, arg.cols, arg.dtype
+        ));
+    }
+    let mut variants: Vec<_> = program.registry.iter().collect();
+    variants.sort_by(|a, b| a.name.cmp(&b.name));
+    for v in variants {
+        h.write_str(&format!("{v:?}"));
+    }
+    h.finish()
+}
+
+/// Fingerprint of a machine configuration (its `Debug` rendering covers
+/// every public field and contains no maps, so it is canonical).
+#[must_use]
+pub fn machine_fingerprint(machine: &MachineConfig) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str("cypress-machine-v1");
+    h.write_str(&format!("{machine:?}"));
+    h.finish()
+}
+
+/// The table key for `program` at `machine` (the shape comes from the
+/// program's [`crate::SpaceBinding`]).
+#[must_use]
+pub(crate) fn key_for(program: &Program, shape: &Shape, machine: &MachineConfig) -> TuningKey {
+    TuningKey {
+        computation: computation_fingerprint(program),
+        shape: shape.0.clone(),
+        machine: machine_fingerprint(machine),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cypress_core::kernels::gemm::GemmConfig;
+
+    fn sample_table() -> TuningTable {
+        let mut t = TuningTable::new();
+        t.insert(
+            TuningKey {
+                computation: 0xDEAD_BEEF,
+                shape: vec![4096, 4096, 4096],
+                machine: 0x1234,
+            },
+            TunedMapping {
+                config: MappingConfig::Gemm(GemmConfig::h100()),
+                default_cycles: 123456.75,
+                tuned_cycles: 98765.0625,
+                candidates: 36,
+            },
+        );
+        t.insert(
+            TuningKey {
+                computation: 1,
+                shape: vec![2, 64, 64, 64],
+                machine: 0x1234,
+            },
+            TunedMapping {
+                config: MappingConfig::Gemm(GemmConfig::test()),
+                default_cycles: 10.0,
+                tuned_cycles: 10.0,
+                candidates: 12,
+            },
+        );
+        t
+    }
+
+    #[test]
+    fn text_round_trip_is_exact() {
+        let table = sample_table();
+        let text = table.to_text();
+        let back = TuningTable::from_text(&text).unwrap();
+        assert_eq!(back, table);
+        // Canonical: serializing again is byte-identical.
+        assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn malformed_tables_are_typed_errors() {
+        assert!(TuningTable::from_text("not-a-table").is_err());
+        let mut text = sample_table().to_text();
+        text.push_str("zz not enough fields\n");
+        assert!(TuningTable::from_text(&text).is_err());
+        let truncated = sample_table().to_text().replace("gemm:", "mystery:");
+        assert!(TuningTable::from_text(&truncated).is_err());
+    }
+
+    #[test]
+    fn speedup_reads_the_cycle_ratio() {
+        let tuned = TunedMapping {
+            config: MappingConfig::Gemm(GemmConfig::test()),
+            default_cycles: 200.0,
+            tuned_cycles: 100.0,
+            candidates: 4,
+        };
+        assert!((tuned.speedup() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn machine_fingerprints_distinguish_machines() {
+        assert_ne!(
+            machine_fingerprint(&MachineConfig::test_gpu()),
+            machine_fingerprint(&MachineConfig::h100_sxm5())
+        );
+    }
+}

@@ -17,9 +17,9 @@ const D: usize = 64;
 /// two-level reduction (two dual-GEMM combiners, then a GEMM+Reduction
 /// sink). Width 4, depth 3 — plenty of exposed parallelism.
 fn fan_out_graph(machine: &MachineConfig) -> (TaskGraph, Vec<NodeId>, NodeId) {
-    let gemm_p = Program::from_parts(gemm::build(D, D, D, machine), "gemm");
-    let dual_p = Program::from_parts(dual_gemm::build(D, D, D, machine), "dual");
-    let gr_p = Program::from_parts(gemm_reduction::build(D, D, D, machine), "gr");
+    let gemm_p = Program::from_parts(gemm::build(D, D, D, machine).unwrap(), "gemm");
+    let dual_p = Program::from_parts(dual_gemm::build(D, D, D, machine).unwrap(), "dual");
+    let gr_p = Program::from_parts(gemm_reduction::build(D, D, D, machine).unwrap(), "gr");
 
     let mut graph = TaskGraph::new();
     let gemms: Vec<NodeId> = (0..4)

@@ -23,8 +23,8 @@ const D: usize = 64;
 ///        S
 /// ```
 fn diamond(machine: &MachineConfig, retain_producer: bool) -> (TaskGraph, NodeId, NodeId) {
-    let gemm_p = Program::from_parts(gemm::build(D, D, D, machine), "gemm");
-    let dual_p = Program::from_parts(dual_gemm::build(D, D, D, machine), "dual");
+    let gemm_p = Program::from_parts(gemm::build(D, D, D, machine).unwrap(), "gemm");
+    let dual_p = Program::from_parts(dual_gemm::build(D, D, D, machine).unwrap(), "dual");
     let mut g = TaskGraph::new();
     let p = g
         .add_node(

@@ -29,10 +29,10 @@ const D: usize = 64;
 /// One of the five paper kernels at the uniform size.
 fn paper_program(kind: usize, machine: &MachineConfig) -> Program {
     match kind % 5 {
-        0 => Program::from_parts(gemm::build(D, D, D, machine), "gemm"),
-        1 => Program::from_parts(batched::build(1, D, D, D, machine), "bgemm"),
-        2 => Program::from_parts(dual_gemm::build(D, D, D, machine), "dual"),
-        3 => Program::from_parts(gemm_reduction::build(D, D, D, machine), "gr"),
+        0 => Program::from_parts(gemm::build(D, D, D, machine).unwrap(), "gemm"),
+        1 => Program::from_parts(batched::build(1, D, D, D, machine).unwrap(), "bgemm"),
+        2 => Program::from_parts(dual_gemm::build(D, D, D, machine).unwrap(), "dual"),
+        3 => Program::from_parts(gemm_reduction::build(D, D, D, machine).unwrap(), "gr"),
         _ => Program::from_parts(
             attention::build_with(
                 attention::Algorithm::Fa2,

@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 fn gemm_program(m: usize, n: usize, k: usize, machine: &MachineConfig) -> Program {
-    Program::from_parts(gemm::build(m, n, k, machine), "gemm")
+    Program::from_parts(gemm::build(m, n, k, machine).unwrap(), "gemm")
 }
 
 /// A second launch of the same `(tasks, mapping, args, machine)` returns

@@ -1,0 +1,532 @@
+//! The mapping-space / autotuner contract.
+//!
+//! 1. **Space soundness (property)**: for seeded random shapes over all
+//!    five paper kernels, *every* candidate the kernel's `MappingSpace`
+//!    emits compiles, and its functional output is bitwise identical to
+//!    the default mapping's — autotuning can never change results.
+//! 2. **Determinism**: two fresh sessions autotuning the same program
+//!    pick the same winner with the same cycle counts.
+//! 3. **Persistence**: tuning tables round-trip through their text
+//!    serialization, and an imported table serves autotune calls without
+//!    re-timing.
+//! 4. **Transparency**: `MappingPolicy::Autotune` graph launches return
+//!    tensors bit-identical to `MappingPolicy::Default`, never report a
+//!    per-node `tuned_speedup` below 1.0, and never lose to the default
+//!    on the serial makespan.
+
+use cypress_core::kernels::space::{MappingSpace, Shape};
+use cypress_core::kernels::{attention, batched, dual_gemm, gemm, gemm_reduction};
+use cypress_runtime::{Binding, MappingPolicy, Program, RuntimeError, Session, TuningTable};
+use cypress_sim::MachineConfig;
+use cypress_tensor::{DType, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The five paper kernels' spaces (attention once per algorithm).
+fn paper_spaces() -> Vec<Arc<dyn MappingSpace>> {
+    vec![
+        Arc::new(gemm::GemmSpace),
+        Arc::new(batched::BatchedGemmSpace),
+        Arc::new(dual_gemm::DualGemmSpace),
+        Arc::new(gemm_reduction::GemmReductionSpace),
+        Arc::new(attention::AttentionSpace {
+            algorithm: attention::Algorithm::Fa2,
+        }),
+        Arc::new(attention::AttentionSpace {
+            algorithm: attention::Algorithm::Fa3,
+        }),
+    ]
+}
+
+/// A random valid shape for `space` (dims are multiples of the test
+/// machine's tile sizes, so the default mapping always applies).
+fn random_shape(space: &dyn MappingSpace, rng: &mut StdRng) -> Shape {
+    let mnk = |rng: &mut StdRng| 64 * rng.gen_range(1usize..4);
+    match space.entry() {
+        "bgemm" => Shape::of(&[rng.gen_range(1usize..3), mnk(rng), mnk(rng), mnk(rng)]),
+        // Test-machine attention: Br=128 row bands, Bc=64 (FA3 eats two
+        // per iteration), head_dim 64.
+        "fa" => Shape::of(&[rng.gen_range(1usize..3), 128 * rng.gen_range(1usize..3), 64]),
+        _ => Shape::of(&[mnk(rng), mnk(rng), mnk(rng)]),
+    }
+}
+
+/// Random inputs for every entry parameter of `program`.
+fn random_params(program: &Program, rng: &mut StdRng) -> Vec<Tensor> {
+    program
+        .args
+        .iter()
+        .map(|a| Tensor::random(DType::F16, &[a.rows, a.cols], rng, -0.5, 0.5))
+        .collect()
+}
+
+#[test]
+fn every_candidate_compiles_and_matches_the_default_bitwise() {
+    let machine = MachineConfig::test_gpu();
+    let mut rng = StdRng::seed_from_u64(0x5AC3);
+    for space in paper_spaces() {
+        for case in 0..3 {
+            let shape = random_shape(space.as_ref(), &mut rng);
+            let program = Program::from_space(Arc::clone(&space), shape.clone(), &machine)
+                .unwrap_or_else(|e| panic!("{} {shape}: default build failed: {e}", space.entry()));
+            let mut session = Session::new(machine.clone());
+            let inputs = random_params(&program, &mut rng);
+            let want = session
+                .run_functional(&program, inputs.clone())
+                .unwrap_or_else(|e| panic!("{} {shape}: default run failed: {e}", space.entry()));
+
+            let candidates = space.candidates(&machine, &shape);
+            assert!(
+                candidates.contains(&space.default_for(&machine)),
+                "{} {shape}: candidate list must include the default",
+                space.entry()
+            );
+            for cfg in &candidates {
+                let parts = space.build(&shape, cfg).unwrap_or_else(|e| {
+                    panic!(
+                        "{} {shape} {}: emitted candidate failed to build: {e}",
+                        space.entry(),
+                        cfg.label()
+                    )
+                });
+                let candidate = Program::from_parts(parts, space.entry());
+                let got = session
+                    .run_functional(&candidate, inputs.clone())
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "{} {shape} {}: emitted candidate failed to compile/run: {e}",
+                            space.entry(),
+                            cfg.label()
+                        )
+                    });
+                for (pi, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+                    assert_eq!(
+                        g.data(),
+                        w.data(),
+                        "{} {shape} case {case} {}: param {pi} diverged from the default mapping",
+                        space.entry(),
+                        cfg.label()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn autotuning_is_deterministic_across_sessions() {
+    let machine = MachineConfig::test_gpu();
+    for space in paper_spaces() {
+        let shape = match space.entry() {
+            "bgemm" => Shape::of(&[2, 128, 128, 64]),
+            "fa" => Shape::of(&[1, 256, 64]),
+            _ => Shape::of(&[128, 128, 64]),
+        };
+        let program = Program::from_space(Arc::clone(&space), shape, &machine).unwrap();
+        let a = Session::new(machine.clone()).autotune(&program).unwrap();
+        let b = Session::new(machine.clone()).autotune(&program).unwrap();
+        assert_eq!(a, b, "{}: sessions disagree on the winner", space.entry());
+        assert!(
+            a.tuned_cycles <= a.default_cycles,
+            "{}: tuned {} cycles lost to the default {}",
+            space.entry(),
+            a.tuned_cycles,
+            a.default_cycles
+        );
+        assert!(a.speedup() >= 1.0);
+        assert!(a.candidates >= 1);
+    }
+}
+
+#[test]
+fn autotune_results_are_cached_in_the_table() {
+    let machine = MachineConfig::test_gpu();
+    let program = Program::from_space(
+        Arc::new(gemm::GemmSpace),
+        Shape::of(&[128, 128, 128]),
+        &machine,
+    )
+    .unwrap();
+    let mut session = Session::new(machine);
+    let first = session.autotune(&program).unwrap();
+    let misses = session.cache_stats().misses;
+    assert_eq!(
+        misses as usize, first.candidates,
+        "one compile per candidate"
+    );
+    // Second call is served from the table: no new compiles, same answer.
+    let second = session.autotune(&program).unwrap();
+    assert_eq!(first, second);
+    assert_eq!(session.cache_stats().misses, misses);
+    assert_eq!(session.tuning_table().len(), 1);
+}
+
+#[test]
+fn tuning_tables_persist_across_sessions() {
+    let machine = MachineConfig::test_gpu();
+    let program = Program::from_space(
+        Arc::new(dual_gemm::DualGemmSpace),
+        Shape::of(&[128, 128, 64]),
+        &machine,
+    )
+    .unwrap();
+    let mut tuned_session = Session::new(machine.clone());
+    let tuned = tuned_session.autotune(&program).unwrap();
+
+    // Round-trip the table through its canonical text.
+    let text = tuned_session.tuning_table().to_text();
+    let restored = TuningTable::from_text(&text).unwrap();
+    assert_eq!(&restored, tuned_session.tuning_table());
+
+    // And through a file.
+    let path = std::env::temp_dir().join(format!("cypress-tuning-{}.txt", std::process::id()));
+    tuned_session.tuning_table().save(&path).unwrap();
+    let loaded = TuningTable::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(&loaded, tuned_session.tuning_table());
+
+    // A fresh session with the imported table answers without timing a
+    // single candidate (no compiles at all).
+    let mut fresh = Session::new(machine);
+    fresh.import_tuning(loaded);
+    let answer = fresh.autotune(&program).unwrap();
+    assert_eq!(answer, tuned);
+    assert_eq!(fresh.cache_stats().misses, 0, "served from the table");
+}
+
+#[test]
+fn autotuned_graphs_match_default_graphs_bitwise() {
+    let machine = MachineConfig::test_gpu();
+    let d = 128usize;
+    let gemm_p =
+        Program::from_space(Arc::new(gemm::GemmSpace), Shape::of(&[d, d, d]), &machine).unwrap();
+    let gr_p = Program::from_space(
+        Arc::new(gemm_reduction::GemmReductionSpace),
+        Shape::of(&[d, d, d]),
+        &machine,
+    )
+    .unwrap();
+
+    // x = A @ B; y/gr = (x @ B, rowsum(x)).
+    let build_graph = || {
+        let mut graph = cypress_runtime::TaskGraph::new();
+        let first = graph
+            .add_node(
+                "first",
+                gemm_p.clone(),
+                vec![
+                    Binding::Zeros,
+                    Binding::external("A"),
+                    Binding::external("B"),
+                ],
+            )
+            .unwrap();
+        graph
+            .add_node(
+                "second",
+                gr_p.clone(),
+                vec![
+                    Binding::Zeros,
+                    Binding::Zeros,
+                    Binding::output(first, 0),
+                    Binding::external("B"),
+                ],
+            )
+            .unwrap();
+        graph
+    };
+    let graph = build_graph();
+    let mut rng = StdRng::seed_from_u64(77);
+    let inputs = HashMap::from([
+        (
+            "A".to_string(),
+            Tensor::random(DType::F16, &[d, d], &mut rng, -0.5, 0.5),
+        ),
+        (
+            "B".to_string(),
+            Tensor::random(DType::F16, &[d, d], &mut rng, -0.5, 0.5),
+        ),
+    ]);
+
+    let mut default_session = Session::new(machine.clone());
+    let default_run = default_session.launch_functional(&graph, &inputs).unwrap();
+    let mut tuned_session =
+        Session::new(machine.clone()).with_mapping_policy(MappingPolicy::Autotune);
+    let tuned_run = tuned_session.launch_functional(&graph, &inputs).unwrap();
+
+    for node in ["first", "second"] {
+        for pi in 0..2 {
+            match (
+                default_run.tensor_of(node, pi),
+                tuned_run.tensor_of(node, pi),
+            ) {
+                (Some(a), Some(b)) => assert_eq!(
+                    a.data(),
+                    b.data(),
+                    "{node} param {pi}: autotuned tensors diverged"
+                ),
+                (None, None) => {}
+                _ => panic!("{node} param {pi}: retention differs across policies"),
+            }
+        }
+    }
+
+    // The tuned timeline annotates every node and never loses serially.
+    let default_report = default_session.launch_timing(&graph).unwrap();
+    let tuned_report = tuned_session.launch_timing(&graph).unwrap();
+    for n in &default_report.nodes {
+        assert_eq!(n.mapping, "default");
+        assert_eq!(n.tuned_speedup, 1.0);
+    }
+    for n in &tuned_report.nodes {
+        assert!(!n.mapping.is_empty());
+        assert!(
+            n.tuned_speedup >= 1.0,
+            "{}: tuned mapping lost to the default",
+            n.node
+        );
+    }
+    assert!(
+        tuned_report.makespan <= default_report.makespan,
+        "autotuned serial makespan {} lost to default {}",
+        tuned_report.makespan,
+        default_report.makespan
+    );
+}
+
+#[test]
+fn autotune_without_a_space_is_a_typed_error() {
+    let machine = MachineConfig::test_gpu();
+    let plain = Program::from_parts(gemm::build(64, 64, 64, &machine).unwrap(), "gemm");
+    let mut session = Session::new(machine);
+    let err = session.autotune(&plain);
+    assert!(
+        matches!(err, Err(RuntimeError::NoMappingSpace { ref entry }) if entry == "gemm"),
+        "{err:?}"
+    );
+    // But an Autotune-policy launch of an unbound program just runs the
+    // default mapping.
+    let report = session
+        .with_mapping_policy(MappingPolicy::Autotune)
+        .run_timing(&plain)
+        .unwrap();
+    assert!(report.cycles > 0.0);
+}
+
+#[test]
+fn bounded_cache_survives_autotuning_sweeps() {
+    let machine = MachineConfig::test_gpu();
+    let program = Program::from_space(
+        Arc::new(gemm::GemmSpace),
+        Shape::of(&[128, 128, 128]),
+        &machine,
+    )
+    .unwrap();
+    let mut session = Session::new(machine).with_cache_capacity(2);
+    let tuned = session.autotune(&program).unwrap();
+    assert!(tuned.candidates > 2, "sweep exceeds the cache bound");
+    let stats = session.cache_stats();
+    assert!(stats.evictions > 0, "the bound must have evicted");
+    assert!(stats.entries <= 2);
+    // The tuned program still launches fine (recompiles are transparent).
+    session.set_mapping_policy(MappingPolicy::Autotune);
+    let report = session.run_timing(&program).unwrap();
+    assert!((report.cycles - tuned.tuned_cycles).abs() < 1e-9);
+}
+
+#[test]
+fn cross_machine_programs_fall_back_to_their_own_mapping() {
+    // Built for the test GPU (64-row tiles), launched on an H100 session
+    // whose default pins 128-row tiles: no candidate in the space is
+    // valid at 64^3, so Autotune launches must fall back to the
+    // program's own mapping instead of erroring.
+    let test_gpu = MachineConfig::test_gpu();
+    let h100 = MachineConfig::h100_sxm5();
+    let program = Program::from_space(
+        Arc::new(gemm::GemmSpace),
+        Shape::of(&[64, 64, 64]),
+        &test_gpu,
+    )
+    .unwrap();
+    assert!(
+        gemm::GemmSpace
+            .candidates(&h100, &Shape::of(&[64, 64, 64]))
+            .is_empty(),
+        "precondition: the H100 space has no valid point at 64^3"
+    );
+
+    // Direct autotune surfaces a typed error naming the program...
+    let mut session = Session::new(h100.clone());
+    assert!(
+        matches!(
+            session.autotune(&program),
+            Err(RuntimeError::Untunable { ref entry, .. }) if entry == "gemm"
+        ),
+        "autotune of an untunable program is a typed error"
+    );
+    // ...but policy-driven launches transparently run the default.
+    let default_report = session.run_timing(&program).unwrap();
+    session.set_mapping_policy(MappingPolicy::Autotune);
+    let tuned_report = session.run_timing(&program).unwrap();
+    assert_eq!(default_report.cycles, tuned_report.cycles);
+    let mut graph = cypress_runtime::TaskGraph::new();
+    graph
+        .add_node(
+            "g",
+            program,
+            vec![
+                Binding::Zeros,
+                Binding::external("A"),
+                Binding::external("B"),
+            ],
+        )
+        .unwrap();
+    let report = session.launch_timing(&graph).unwrap();
+    assert_eq!(report.nodes[0].mapping, "default");
+    assert_eq!(report.nodes[0].tuned_speedup, 1.0);
+}
+
+#[test]
+fn warm_autotuned_launches_skip_the_compiler_entirely() {
+    let machine = MachineConfig::test_gpu();
+    let program = Program::from_space(
+        Arc::new(gemm::GemmSpace),
+        Shape::of(&[128, 128, 128]),
+        &machine,
+    )
+    .unwrap();
+    let mut session = Session::new(machine).with_mapping_policy(MappingPolicy::Autotune);
+    let first = session.run_timing(&program).unwrap();
+    let warm_stats = session.cache_stats();
+    // Memoized tuned launch: no cache traffic at all on later launches.
+    let second = session.run_timing(&program).unwrap();
+    let third = session.run_timing(&program).unwrap();
+    assert_eq!(session.cache_stats(), warm_stats);
+    assert_eq!(first.cycles, second.cycles);
+    assert_eq!(first.cycles, third.cycles);
+    // `clear` drops the memo; the relaunch recompiles through the cache.
+    session.clear();
+    session.run_timing(&program).unwrap();
+    assert!(session.cache_stats().misses > warm_stats.misses);
+}
+
+#[test]
+fn import_tuning_invalidates_memoized_launches() {
+    let machine = MachineConfig::test_gpu();
+    let shape = Shape::of(&[128, 128, 128]);
+    let program = Program::from_space(Arc::new(gemm::GemmSpace), shape.clone(), &machine).unwrap();
+    let mut session = Session::new(machine.clone()).with_mapping_policy(MappingPolicy::Autotune);
+
+    // Warm the memo with the session's own winner.
+    let mut graph = cypress_runtime::TaskGraph::new();
+    graph
+        .add_node(
+            "g",
+            program.clone(),
+            vec![
+                Binding::Zeros,
+                Binding::external("A"),
+                Binding::external("B"),
+            ],
+        )
+        .unwrap();
+    let before = session.launch_timing(&graph).unwrap();
+
+    // Import a table that pins the *default* config as the winner for
+    // the same key; later launches must honor it (and, since the winner
+    // is the hand-tuned default, read as "default" in the report).
+    let (key, own) = {
+        let (k, t) = session.tuning_table().iter().next().unwrap();
+        (k.clone(), t.clone())
+    };
+    let default_cfg = {
+        let cypress_core::MappingConfig::Gemm(c) = gemm::GemmSpace.default_for(&machine) else {
+            unreachable!()
+        };
+        cypress_core::MappingConfig::Gemm(c)
+    };
+    assert_ne!(
+        own.config, default_cfg,
+        "precondition: the session's winner differs from the default"
+    );
+    let mut table = TuningTable::new();
+    table.insert(
+        key,
+        cypress_runtime::TunedMapping {
+            config: default_cfg,
+            default_cycles: own.default_cycles,
+            tuned_cycles: own.default_cycles,
+            candidates: own.candidates,
+        },
+    );
+    session.import_tuning(table);
+    let after = session.launch_timing(&graph).unwrap();
+    assert_ne!(
+        before.nodes[0].mapping, after.nodes[0].mapping,
+        "imported winner must replace the memoized launch"
+    );
+    assert_eq!(
+        after.nodes[0].mapping, "default",
+        "a winner equal to the hand-tuned default reads as default"
+    );
+    assert_eq!(after.nodes[0].tuned_speedup, 1.0);
+}
+
+#[test]
+fn untunable_fallback_is_memoized_across_launches() {
+    // Cross-machine program: the H100 space has no valid point at 64^3,
+    // so launches fall back — and after the first launch the fallback
+    // costs exactly one cache hit, like the Default policy.
+    let program = Program::from_space(
+        Arc::new(gemm::GemmSpace),
+        Shape::of(&[64, 64, 64]),
+        &MachineConfig::test_gpu(),
+    )
+    .unwrap();
+    let mut session =
+        Session::new(MachineConfig::h100_sxm5()).with_mapping_policy(MappingPolicy::Autotune);
+    session.run_timing(&program).unwrap();
+    let warm = session.cache_stats();
+    session.run_timing(&program).unwrap();
+    let next = session.cache_stats();
+    assert_eq!(next.misses, warm.misses, "fallback never recompiles");
+    assert_eq!(next.hits, warm.hits + 1, "one cache hit per warm launch");
+}
+
+#[test]
+fn corrupted_table_entries_are_revalidated_and_retuned() {
+    use cypress_core::kernels::gemm::GemmConfig;
+    let machine = MachineConfig::test_gpu();
+    let shape = Shape::of(&[128, 128, 128]);
+    let program = Program::from_space(Arc::new(gemm::GemmSpace), shape, &machine).unwrap();
+
+    // Tune once to learn the key, then forge a table whose winner has a
+    // non-dividing V tile (a hand-edited/corrupted but parseable entry).
+    let mut donor = Session::new(machine.clone());
+    let honest = donor.autotune(&program).unwrap();
+    let key = donor.tuning_table().iter().next().unwrap().0.clone();
+    let mut forged = TuningTable::new();
+    forged.insert(
+        key,
+        cypress_runtime::TunedMapping {
+            config: cypress_core::MappingConfig::Gemm(GemmConfig {
+                v: 100, // does not divide N=128
+                ..GemmConfig::test()
+            }),
+            default_cycles: 1.0,
+            tuned_cycles: 1.0,
+            candidates: 1,
+        },
+    );
+
+    let mut session = Session::new(machine).with_mapping_policy(MappingPolicy::Autotune);
+    session.import_tuning(forged);
+    // The invalid stored winner is rejected and the space re-tuned
+    // instead of building a non-dividing mapping blind.
+    let retuned = session.autotune(&program).unwrap();
+    assert_eq!(retuned, honest, "re-tune must reproduce the honest winner");
+    let report = session.run_timing(&program).unwrap();
+    assert!((report.cycles - honest.tuned_cycles).abs() < 1e-9);
+}

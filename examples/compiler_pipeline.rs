@@ -12,7 +12,7 @@ use cypress::sim::MachineConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let machine = MachineConfig::test_gpu();
-    let (reg, mapping, args) = gemm::build(128, 128, 64, &machine);
+    let (reg, mapping, args) = gemm::build(128, 128, 64, &machine)?;
     let compiler = CypressCompiler::new(CompilerOptions {
         machine,
         spill_first: true,

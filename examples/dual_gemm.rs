@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Functional check.
     let small = MachineConfig::test_gpu();
     let (m, n, k) = (64usize, 64usize, 128usize);
-    let (reg, mapping, args) = dual_gemm::build(m, n, k, &small);
+    let (reg, mapping, args) = dual_gemm::build(m, n, k, &small)?;
     let compiler = CypressCompiler::new(CompilerOptions {
         machine: small.clone(),
         ..Default::default()
@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let h100 = MachineConfig::h100_sxm5();
     let size = 8192;
     let fl = dual_gemm::flops(size, size, size);
-    let (reg, mapping, args) = dual_gemm::build(size, size, size, &h100);
+    let (reg, mapping, args) = dual_gemm::build(size, size, size, &h100)?;
     let compiler = CypressCompiler::new(CompilerOptions {
         machine: h100.clone(),
         ..Default::default()

@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let want = reference::attention(&q, &k, &v, DType::F16)?;
 
     for alg in [Algorithm::Fa2, Algorithm::Fa3] {
-        let (reg, mapping, args) = attention::build(alg, heads, seq, d, &small);
+        let (reg, mapping, args) = attention::build(alg, heads, seq, d, &small)?;
         let compiler = CypressCompiler::new(CompilerOptions {
             machine: small.clone(),
             ..Default::default()
@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     println!("\nFP16 attention, heads={heads}, seq={seq}, head_dim={d}:");
     for alg in [Algorithm::Fa2, Algorithm::Fa3] {
-        let (reg, mapping, args) = attention::build(alg, heads, seq, d, &h100);
+        let (reg, mapping, args) = attention::build(alg, heads, seq, d, &h100)?;
         let kernel = compiler.compile(&reg, &mapping, "fa", &args)?.kernel;
         let t = sim.run_timing(&kernel)?;
         println!("  Cypress {alg:?}: {:.0} TFLOP/s", t.tflops_for(fl));

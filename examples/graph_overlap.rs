@@ -24,9 +24,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let machine = MachineConfig::test_gpu();
     let d = 64usize;
 
-    let gemm_p = Program::from_parts(gemm::build(d, d, d, &machine), "gemm");
-    let dual_p = Program::from_parts(dual_gemm::build(d, d, d, &machine), "dual");
-    let gr_p = Program::from_parts(gemm_reduction::build(d, d, d, &machine), "gr");
+    let gemm_p = Program::from_parts(gemm::build(d, d, d, &machine)?, "gemm");
+    let dual_p = Program::from_parts(dual_gemm::build(d, d, d, &machine)?, "dual");
+    let gr_p = Program::from_parts(gemm_reduction::build(d, d, d, &machine)?, "gr");
 
     // --- Fan out: four independent GEMMs ------------------------------
     let mut graph = TaskGraph::new();

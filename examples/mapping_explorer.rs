@@ -1,15 +1,21 @@
 //! Mapping exploration (paper §5.4): sweep performance-sensitive mapping
 //! decisions — pipeline depth, warpgroup count, warp specialization —
 //! with *no change to the logical description*, and print the simulated
-//! throughput landscape.
+//! throughput landscape. Then let the runtime's autotuner do the same
+//! search automatically: `Session::autotune` walks the kernel's
+//! `MappingSpace`, times every candidate, and records the winner in a
+//! tuning table that persists across sessions.
 //!
 //! ```sh
 //! cargo run --release --example mapping_explorer
 //! ```
 
 use cypress::core::compile::{CompilerOptions, CypressCompiler};
-use cypress::core::kernels::gemm::{self, GemmConfig};
+use cypress::core::kernels::gemm::{self, GemmConfig, GemmSpace};
+use cypress::core::kernels::space::Shape;
+use cypress::runtime::{MappingPolicy, Program, Session};
 use cypress::sim::{MachineConfig, Simulator};
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let machine = MachineConfig::h100_sxm5();
@@ -61,5 +67,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     println!("\nEvery row is the same logical description; only the mapping changed.");
+
+    // The same search, automated: Session::autotune walks the kernel's
+    // MappingSpace (candidates are validated against the machine and
+    // shape, compiled through the kernel cache, and timed), then the
+    // session transparently launches the winner under
+    // MappingPolicy::Autotune. At a small size the hand-tuned H100
+    // tiles underfill the device and the tuner finds a better point.
+    let mut session = Session::new(machine.clone()).with_mapping_policy(MappingPolicy::Autotune);
+    println!("\nAutotuned GEMM mappings (simulated H100):");
+    for s in [512usize, 1024, size] {
+        let program = Program::from_space(Arc::new(GemmSpace), Shape::of(&[s, s, s]), &machine)?;
+        let tuned = session.autotune(&program)?;
+        println!(
+            "  {s:>5}^3: {} -> {:.2}x over hand-tuned ({} candidates)",
+            tuned.config.label(),
+            tuned.speedup(),
+            tuned.candidates
+        );
+    }
+    println!(
+        "tuning table: {} entries; TuningTable::save/load persists them across sessions",
+        session.tuning_table().len()
+    );
     Ok(())
 }

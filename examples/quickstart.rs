@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (m, n, k) = (128, 128, 256);
 
     // 1. The Cypress program: logical description + mapping specification.
-    let (registry, mapping, args) = gemm::build(m, n, k, &machine);
+    let (registry, mapping, args) = gemm::build(m, n, k, &machine)?;
 
     // 2. Compile: dependence analysis -> vectorization -> copy elimination
     //    -> resource allocation -> warp specialization -> codegen.

@@ -25,13 +25,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Build the three programs -------------------------------------
     let attn = Program::from_parts(
-        attention::build(attention::Algorithm::Fa2, 1, seq, d, &machine),
+        attention::build(attention::Algorithm::Fa2, 1, seq, d, &machine)?,
         "fa",
     );
     // GLU up-projection: G = O·W1 + O·W2 in one kernel.
-    let glu = Program::from_parts(dual_gemm::build(seq, d, d, &machine), "dual");
+    let glu = Program::from_parts(dual_gemm::build(seq, d, d, &machine)?, "dual");
     // Down-projection fused with the row reduction: P = G·W3, y = Σ_k G.
-    let proj = Program::from_parts(gemm_reduction::build(seq, d, d, &machine), "gr");
+    let proj = Program::from_parts(gemm_reduction::build(seq, d, d, &machine)?, "gr");
     let y_cols = proj.args[1].cols;
 
     // --- Wire them into one graph with tensor-buffer edges ------------
@@ -159,11 +159,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // compiles nothing, and dead intermediates recycle through the pool.
     let mut serving = TaskGraph::new();
     let attn2 = Program::from_parts(
-        attention::build(attention::Algorithm::Fa2, 1, seq, d, &machine),
+        attention::build(attention::Algorithm::Fa2, 1, seq, d, &machine)?,
         "fa",
     );
-    let glu2 = Program::from_parts(dual_gemm::build(seq, d, d, &machine), "dual");
-    let proj2 = Program::from_parts(gemm_reduction::build(seq, d, d, &machine), "gr");
+    let glu2 = Program::from_parts(dual_gemm::build(seq, d, d, &machine)?, "dual");
+    let proj2 = Program::from_parts(gemm_reduction::build(seq, d, d, &machine)?, "gr");
     let s_attn = serving.add_node(
         "attention",
         attn2,

@@ -21,7 +21,7 @@ fn cypress_and_hand_written_gemm_agree() {
     let sim = Simulator::new(machine.clone());
 
     // Compiled Cypress kernel.
-    let (reg, mapping, args) = gemm::build(m, n, k, &machine);
+    let (reg, mapping, args) = gemm::build(m, n, k, &machine).unwrap();
     let compiler = CypressCompiler::new(CompilerOptions {
         machine: machine.clone(),
         ..Default::default()
@@ -68,7 +68,7 @@ fn whole_stack_is_deterministic() {
     });
     let sim = Simulator::new(machine.clone());
     let run = || {
-        let (reg, mapping, args) = gemm::build(4096, 4096, 4096, &machine);
+        let (reg, mapping, args) = gemm::build(4096, 4096, 4096, &machine).unwrap();
         let c = compiler.compile(&reg, &mapping, "gemm", &args).unwrap();
         sim.run_timing(&c.kernel).unwrap().cycles
     };
@@ -87,7 +87,7 @@ fn fa3_overlaps_more_than_fa2() {
     let sim = Simulator::new(machine.clone());
     let mut cycles = Vec::new();
     for alg in [attention::Algorithm::Fa2, attention::Algorithm::Fa3] {
-        let (reg, mapping, args) = attention::build(alg, 16, 4096, 128, &machine);
+        let (reg, mapping, args) = attention::build(alg, 16, 4096, 128, &machine).unwrap();
         let c = compiler.compile(&reg, &mapping, "fa", &args).unwrap();
         cycles.push(sim.run_timing(&c.kernel).unwrap().cycles);
     }
