@@ -13,15 +13,19 @@
 use std::process::ExitCode;
 
 /// `(figure id, expected row count)` — sizes x systems per figure.
-const EXPECTED: [(&str, usize); 7] = [
+const EXPECTED: [(&str, usize); 8] = [
     ("13a_gemm", 9),           // 3 sizes x {Cypress, Triton, cuBLAS}
     ("13b_batched_gemm", 9),   // 3 sizes x {Cypress, Triton, cuBLAS}
     ("13c_dual_gemm", 6),      // 3 sizes x {Cypress, Triton}
     ("13d_gemm_reduction", 6), // 3 sizes x {Cypress, Triton}
     ("14_attention", 24),      // 4 seqs x 6 systems
     ("graph_overlap", 6),      // 3 sizes x {serial, 8 streams}
+    ("fig_fusion", 12),        // 3 sizes x 2 workloads x {unfused, fused}
     ("fig_autotune", 20),      // 5 paper kernels x 2 sizes x {hand, tuned}
 ];
+
+/// The fused workloads of the fusion figure.
+const FUSION_WORKLOADS: [&str; 2] = ["Chained GEMM", "GEMM+Reduction pair"];
 
 /// The five paper kernels of the autotune figure.
 const AUTOTUNE_KERNELS: [&str; 5] = [
@@ -94,6 +98,39 @@ fn check_autotune(json: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// The fusion gate: for every workload at every measured size, the
+/// fused series never loses to the unfused one — the session's
+/// simulator gate only applies rewrites that win, so a regression here
+/// means the gate (or a fused kernel) broke.
+fn check_fusion(json: &str) -> Result<(), String> {
+    let rows = figure_rows(json, "fig_fusion");
+    let sizes: std::collections::BTreeSet<u64> = rows.iter().map(|(_, s, _)| *s).collect();
+    if sizes.is_empty() {
+        return Err("fig_fusion: no rows found".to_string());
+    }
+    for &size in &sizes {
+        for workload in FUSION_WORKLOADS {
+            let find = |suffix: &str| {
+                let system = format!("{workload} ({suffix})");
+                rows.iter()
+                    .find(|(s, sz, _)| *s == system && *sz == size)
+                    .map(|(_, _, t)| *t)
+                    .ok_or_else(|| format!("fig_fusion: missing series `{system}` at size {size}"))
+            };
+            let unfused = find("unfused")?;
+            let fused = find("fused")?;
+            if fused < unfused {
+                return Err(format!(
+                    "fig_fusion: `{workload}` at size {size} lost under fusion \
+                     ({fused:.3} vs {unfused:.3} TFLOP/s) — the simulator gate must \
+                     leave losing rewrites unfused"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 fn check(json: &str) -> Result<usize, String> {
     let mut total = 0;
     for (figure, expected) in EXPECTED {
@@ -133,6 +170,7 @@ fn check(json: &str) -> Result<usize, String> {
         return Err(format!("{rows} rows but {values} tflops values"));
     }
     check_autotune(json)?;
+    check_fusion(json)?;
     Ok(rows)
 }
 
@@ -193,6 +231,23 @@ mod tests {
                         ));
                     }
                 }
+            } else if figure == "fig_fusion" {
+                for size in [256, 512, 1024] {
+                    for workload in super::FUSION_WORKLOADS {
+                        rows.push(row_with_system(
+                            figure,
+                            &format!("{workload} (unfused)"),
+                            size,
+                            "50.0",
+                        ));
+                        rows.push(row_with_system(
+                            figure,
+                            &format!("{workload} (fused)"),
+                            size,
+                            "75.0",
+                        ));
+                    }
+                }
             } else {
                 for _ in 0..count {
                     rows.push(row(figure, "123.456"));
@@ -207,7 +262,20 @@ mod tests {
 
     #[test]
     fn complete_file_passes() {
-        assert_eq!(check(&full_file(&[])), Ok(80));
+        assert_eq!(check(&full_file(&[])), Ok(92));
+    }
+
+    #[test]
+    fn fusion_regression_fails() {
+        // Flip one workload's fused row below its unfused row.
+        let json = full_file(&[]).replacen(
+            "\"system\": \"Chained GEMM (fused)\", \"size\": 512, \"tflops\": 75.0",
+            "\"system\": \"Chained GEMM (fused)\", \"size\": 512, \"tflops\": 40.0",
+            1,
+        );
+        let err = check(&json).unwrap_err();
+        assert!(err.contains("lost under fusion"), "{err}");
+        assert!(err.contains("512"), "{err}");
     }
 
     #[test]

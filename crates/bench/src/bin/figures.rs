@@ -7,10 +7,10 @@
 //! Run with `cargo run --release -p cypress-bench --bin figures`.
 
 use cypress_bench::{
-    autotune_entries, fig13a, fig13b, fig13c, fig13d, fig14, fig_autotune, fig_graph_overlap,
-    overlap_concurrent_system, ratio, Row, AUTOTUNE_HAND_SYSTEM, AUTOTUNE_SIZES,
-    AUTOTUNE_TUNED_SYSTEM, GEMM_SIZES, OVERLAP_SERIAL_SYSTEM, OVERLAP_SIZES, OVERLAP_WIDTH,
-    SEQ_LENS,
+    autotune_entries, fig13a, fig13b, fig13c, fig13d, fig14, fig_autotune, fig_fusion,
+    fig_graph_overlap, overlap_concurrent_system, ratio, Row, AUTOTUNE_HAND_SYSTEM, AUTOTUNE_SIZES,
+    AUTOTUNE_TUNED_SYSTEM, FUSION_SIZES, GEMM_SIZES, OVERLAP_SERIAL_SYSTEM, OVERLAP_SIZES,
+    OVERLAP_WIDTH, SEQ_LENS,
 };
 use cypress_sim::MachineConfig;
 
@@ -140,6 +140,25 @@ fn main() {
         );
     }
 
+    let fu = fig_fusion(&machine);
+    print_rows(
+        "Graph fusion: producer->consumer pairs, unfused vs FusionPolicy::Auto",
+        &fu,
+    );
+    for s in FUSION_SIZES {
+        println!(
+            "  size {s}: chained-GEMM fused/unfused = {:.2}x, GEMM+Reduction fused/unfused = {:.2}x \
+             (>= 1.00 by construction; gated in CI)",
+            ratio(&fu, "Chained GEMM (fused)", "Chained GEMM (unfused)", s),
+            ratio(
+                &fu,
+                "GEMM+Reduction pair (fused)",
+                "GEMM+Reduction pair (unfused)",
+                s
+            )
+        );
+    }
+
     let t = fig_autotune(&machine);
     print_rows("Mapping autotune: hand-tuned H100 vs tuned", &t);
     for size in AUTOTUNE_SIZES {
@@ -164,6 +183,7 @@ fn main() {
             ("13d_gemm_reduction", &d),
             ("14_attention", &f),
             ("graph_overlap", &g),
+            ("fig_fusion", &fu),
             ("fig_autotune", &t),
         ],
         &machine,

@@ -6,8 +6,10 @@
 use cypress_baselines::{cublas, cudnn, fa3, thunderkittens, triton};
 use cypress_core::compile::{CompilerOptions, CypressCompiler};
 use cypress_core::kernels::space::{MappingSpace, Shape};
-use cypress_core::kernels::{attention, batched, dual_gemm, gemm, gemm_reduction};
-use cypress_runtime::{Binding, Program, SchedulePolicy, Session, TaskGraph};
+use cypress_core::kernels::{
+    attention, batched, chain, dual_gemm, gemm, gemm_reduction, reduction,
+};
+use cypress_runtime::{Binding, FusionPolicy, Program, SchedulePolicy, Session, TaskGraph};
 use cypress_sim::{Kernel, MachineConfig, Simulator};
 use std::sync::Arc;
 
@@ -277,6 +279,120 @@ pub fn fig_graph_overlap(machine: &MachineConfig) -> Vec<Row> {
             size,
             tflops: conc.tflops_for(fl),
         });
+    }
+    rows
+}
+
+/// Problem sizes of the fusion figure: the launch-bound small/medium
+/// regime where collapsing a producer→consumer pair into one fused
+/// kernel pays (at device-filling sizes the simulator gate simply
+/// leaves the graph unfused, so fused can never lose).
+pub const FUSION_SIZES: [usize; 3] = [256, 512, 1024];
+
+/// A two-node GEMM→GEMM chain: `C1 = A·W1`, `C = C1·W2`, the dead
+/// intermediate making it a `dual_chain` fusion candidate.
+#[must_use]
+pub fn chained_gemm_graph(size: usize, machine: &MachineConfig) -> TaskGraph {
+    let program = Program::from_parts(
+        gemm::build(size, size, size, machine).expect("paper kernel builds"),
+        "gemm",
+    );
+    let mut graph = TaskGraph::new();
+    let up = graph
+        .add_node(
+            "up",
+            program.clone(),
+            vec![
+                Binding::Zeros,
+                Binding::external("A"),
+                Binding::external("W1"),
+            ],
+        )
+        .expect("chain graph builds");
+    graph
+        .add_node(
+            "down",
+            program,
+            vec![
+                Binding::Zeros,
+                Binding::output(up, 0),
+                Binding::external("W2"),
+            ],
+        )
+        .expect("chain graph builds");
+    graph
+}
+
+/// A GEMM and a standalone row-reduction over the same input — the
+/// Fig. 13d dataflow as two primitive nodes, a `gemm_reduction` fusion
+/// candidate.
+#[must_use]
+pub fn gemm_reduction_pair_graph(size: usize, machine: &MachineConfig) -> TaskGraph {
+    let mut graph = TaskGraph::new();
+    graph
+        .add_node(
+            "proj",
+            Program::from_parts(
+                gemm::build(size, size, size, machine).expect("paper kernel builds"),
+                "gemm",
+            ),
+            vec![
+                Binding::Zeros,
+                Binding::external("A"),
+                Binding::external("W"),
+            ],
+        )
+        .expect("pair graph builds");
+    graph
+        .add_node(
+            "stat",
+            Program::from_parts(
+                reduction::build(size, size, machine).expect("reduction builds"),
+                "reduce",
+            ),
+            vec![Binding::Zeros, Binding::external("A")],
+        )
+        .expect("pair graph builds");
+    graph
+}
+
+/// The fusion figure: each candidate graph launched with
+/// `FusionPolicy::Off` vs `FusionPolicy::Auto` (serial schedule). The
+/// fused series can never lose — the session's simulator gate applies a
+/// rewrite only when the fused kernel beats the launches it replaces —
+/// and `check_figures` gates that in CI.
+#[must_use]
+pub fn fig_fusion(machine: &MachineConfig) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for size in FUSION_SIZES {
+        let workloads: [(&str, TaskGraph, f64); 2] = [
+            (
+                "Chained GEMM",
+                chained_gemm_graph(size, machine),
+                chain::flops(size, size, size, size),
+            ),
+            (
+                "GEMM+Reduction pair",
+                gemm_reduction_pair_graph(size, machine),
+                gemm::flops(size, size, size) + reduction::flops(size, size),
+            ),
+        ];
+        for (name, graph, fl) in workloads {
+            let mut off = Session::new(machine.clone());
+            let unfused = off.launch_timing(&graph).expect("graph times");
+            rows.push(Row {
+                system: format!("{name} (unfused)"),
+                size,
+                tflops: unfused.tflops_for(fl),
+            });
+            let mut auto = Session::new(machine.clone()).with_fusion_policy(FusionPolicy::Auto);
+            let fused = auto.launch_timing(&graph).expect("graph times");
+            rows.push(Row {
+                system: format!("{name} (fused)"),
+                size,
+                tflops: fused.tflops_for(fl),
+            });
+        }
     }
     rows
 }

@@ -155,6 +155,29 @@ mod tests {
     }
 
     #[test]
+    fn fused_kernels_fingerprint_stably_and_distinctly() {
+        // Fused kernels need no fingerprint combinator: a fused program
+        // is an ordinary `(registry, mapping, entry, args)` tuple, so
+        // the existing fingerprint is stable across rebuilds and
+        // distinct from the primitive kernels the fusion replaced —
+        // exactly what the runtime's kernel cache keys on.
+        use crate::kernels::{chain, reduction};
+        let machine = MachineConfig::test_gpu();
+        let (rc1, mc1, ac1) = chain::build(64, 64, 64, 64, &machine).unwrap();
+        let (rc2, mc2, ac2) = chain::build(64, 64, 64, 64, &machine).unwrap();
+        let fused = fingerprint(&rc1, &mc1, "chain", &ac1, &machine, true);
+        assert_eq!(
+            fused,
+            fingerprint(&rc2, &mc2, "chain", &ac2, &machine, true),
+            "rebuilt fused programs hit the same cache entry"
+        );
+        let (rg, mg, ag) = gemm::build(64, 64, 64, &machine).unwrap();
+        assert_ne!(fused, fingerprint(&rg, &mg, "gemm", &ag, &machine, true));
+        let (rr, mr, ar) = reduction::build(64, 64, &machine).unwrap();
+        assert_ne!(fused, fingerprint(&rr, &mr, "reduce", &ar, &machine, true));
+    }
+
+    #[test]
     fn fnv_is_order_sensitive() {
         let mut a = Fnv64::new();
         a.write_str("x");

@@ -40,10 +40,17 @@ pub struct TensorDecl {
     pub cols: usize,
     /// Element type.
     pub dtype: DType,
-    /// Mapped memory. `None`-mapped tensors must be eliminated (§3.3).
+    /// Mapped memory. `None`-mapped tensors must be eliminated (§3.3)
+    /// or, for promotable block-local tensors, given a shared-memory
+    /// home by copy elimination.
     pub mem: MemLevel,
     /// `Some(i)` if this is the `i`-th kernel parameter.
     pub param: Option<usize>,
+    /// Block-local tensor (from `make_tensor`) that may be materialized
+    /// in shared memory when copy elimination cannot identify it with a
+    /// single existing allocation — how fused kernels keep a producer
+    /// phase's result on-chip for a consumer phase that re-tiles it.
+    pub promotable: bool,
 }
 
 impl TensorDecl {
@@ -399,6 +406,7 @@ impl IrProgram {
             dtype,
             mem,
             param,
+            promotable: false,
         });
         id
     }

@@ -1,0 +1,493 @@
+//! The chained dual-GEMM kernel: `C = (A·B1)·B2` in ONE launch — the
+//! fused form of a producer→consumer GEMM→GEMM chain in a task graph.
+//!
+//! This is the graph-level sibling of the Fig. 13c Dual-GEMM: where
+//! Fig. 13c fuses two GEMMs that *share* an `A` operand, this kernel
+//! fuses two GEMMs *chained* through an intermediate (`T = A·B1`, then
+//! `C = T·B2`), the shape a `TaskGraph` produces when one GEMM node's
+//! `C` output feeds the next node's `A` slot. Each CTA owns one
+//! `U x V` output chunk: it computes its whole row band of the
+//! intermediate into **shared memory** (walking `V`-wide column chunks
+//! so register accumulators stay bounded), then immediately consumes
+//! the band for the second GEMM — the intermediate never makes the HBM
+//! round trip and the second kernel launch disappears. Row bands are
+//! recomputed once per output-column CTA; in the small/medium regime
+//! where fusion pays (kernels that underfill the device and are
+//! launch-bound), those SMs were idle anyway, and the runtime's fusion
+//! rewriter only applies the rewrite when the simulator confirms the
+//! fused kernel wins.
+//!
+//! Bitwise-equality argument (what `FusionPolicy::Auto` relies on): the
+//! functional simulator accumulates GEMMs in unrounded f32 register
+//! fragments and every mapping walks each output element's `k`
+//! dimension in ascending order, so a GEMM's result is independent of
+//! its tiling; the only rounding points are f16 materializations. The
+//! chain kernel materializes each intermediate chunk exactly once —
+//! after its complete first-GEMM sum, through an f16 shared-memory
+//! store, the same single rounding the standalone GEMM performs on its
+//! `C` — and the second phase reads those f16 values back, exactly like
+//! the consumer kernel of the unfused chain. The runtime's fusion
+//! property suite (`cypress-runtime/tests/fusion.rs`) locks this down.
+
+use crate::error::CompileError;
+use crate::front::ast::{Privilege, SExpr, Stmt};
+use crate::front::machine::{MemLevel, ProcLevel};
+use crate::front::mapping::{MappingSpec, TaskMapping};
+use crate::front::task::{TaskRegistry, TaskVariant, VariantKind};
+use crate::kernels::common::{self, p, piece, t, v};
+use crate::kernels::gemm::GemmConfig;
+use crate::kernels::space::{gemm_family_candidates, MappingConfig, MappingSpace, Shape};
+use crate::passes::depan::EntryArg;
+use cypress_sim::MachineConfig;
+use cypress_tensor::DType;
+
+/// Algorithmic FLOPs of the chain: both GEMMs (redundant row-band
+/// recomputation is not algorithmic work, as in the paper's convention).
+#[must_use]
+pub fn flops(m: usize, n: usize, k: usize, mid: usize) -> f64 {
+    2.0 * m as f64 * mid as f64 * k as f64 + 2.0 * m as f64 * n as f64 * mid as f64
+}
+
+/// The chained dual-GEMM mapping space: shape `[m, n, k, mid]` for
+/// `C[m,n] = (A[m,k]·B1[k,mid])·B2[mid,n]`.
+///
+/// `U` fixes the row band (64 per warpgroup), `V` the output-column
+/// chunk per CTA, and `W` tiles both reduction dimensions. Every
+/// enumerated dimension is functionally transparent: each intermediate
+/// chunk is rounded to f16 exactly once after its complete first-GEMM
+/// sum regardless of `V`, `W`, pipeline depth, or warp specialization.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChainSpace;
+
+impl MappingSpace for ChainSpace {
+    fn entry(&self) -> &'static str {
+        "chain"
+    }
+
+    fn default_for(&self, machine: &MachineConfig) -> MappingConfig {
+        let mut cfg = GemmConfig::for_machine(machine);
+        // A single 64-row warpgroup with chunks at most 128 wide keeps
+        // both phases' register accumulators within budget.
+        cfg.wgs = 1;
+        cfg.u = 64;
+        cfg.v = cfg.v.min(128);
+        MappingConfig::Gemm(cfg)
+    }
+
+    fn validate(
+        &self,
+        machine: &MachineConfig,
+        shape: &Shape,
+        cfg: &MappingConfig,
+    ) -> Result<(), CompileError> {
+        let [m, n, k, mid] = shape.expect_dims::<4>("chain")?;
+        let c = cfg.as_gemm("chain")?;
+        if c.wgs == 0 || c.pipeline == 0 {
+            return Err(CompileError::Unsupported(
+                "`chain` mapping needs wgs >= 1 and pipeline >= 1".into(),
+            ));
+        }
+        if c.u != 64 * c.wgs {
+            return Err(CompileError::Partition(format!(
+                "`chain` block tile rows {} must equal 64 x wgs",
+                c.u
+            )));
+        }
+        for (dim, name, tile, tname) in [
+            (m, "M", c.u, "U"),
+            (k, "K", c.w, "W"),
+            (mid, "MID", c.w, "W"),
+            (mid, "MID", c.v, "V"),
+            (n, "N", c.v, "V"),
+        ] {
+            if tile == 0 || dim % tile != 0 {
+                return Err(CompileError::Partition(format!(
+                    "`chain` tile {tname}={tile} does not divide {name}={dim}"
+                )));
+            }
+        }
+        // Both phases' chunk accumulators live in registers at once.
+        let frag_regs = 2 * c.u * c.v / (c.wgs * 128);
+        if frag_regs + 64 > machine.max_regs_per_thread {
+            return Err(CompileError::Unsupported(format!(
+                "`chain` chunk accumulators need ~{} registers per thread, machine allows {}",
+                frag_regs + 64,
+                machine.max_regs_per_thread
+            )));
+        }
+        // Resident at once: the shared-memory intermediate band
+        // (u x mid), both phases' pipelined operand tiles (the allocator
+        // does not alias across the two reduction loops), and the chunk
+        // store staging (the phase-1 and terminal stagings do alias).
+        let elem = 2usize;
+        let band = c.u * mid * elem;
+        let staged = c.pipeline * (c.u * c.w + c.w * c.v) * elem;
+        let required = band + 2 * staged + c.u * c.v * elem;
+        if required > machine.smem_per_sm {
+            return Err(CompileError::OutOfSharedMemory {
+                required,
+                limit: machine.smem_per_sm,
+            });
+        }
+        Ok(())
+    }
+
+    fn candidates(&self, machine: &MachineConfig, shape: &Shape) -> Vec<MappingConfig> {
+        let MappingConfig::Gemm(default) = self.default_for(machine) else {
+            return Vec::new();
+        };
+        // The register budget in `validate` filters chunk widths the
+        // shared grid proposes beyond 128.
+        gemm_family_candidates(self, machine, shape, default, true, true)
+    }
+
+    fn build(
+        &self,
+        shape: &Shape,
+        cfg: &MappingConfig,
+    ) -> Result<(TaskRegistry, MappingSpec, Vec<EntryArg>), CompileError> {
+        let [m, n, k, mid] = shape.expect_dims::<4>("chain")?;
+        build_with(m, n, k, mid, cfg.as_gemm("chain")?)
+    }
+}
+
+/// The first config for `(machine, shape)` that validates: the default
+/// when it fits, otherwise the first valid candidate of the enumeration
+/// (deterministic). `None` when the shape has no valid chain mapping on
+/// this machine (indivisible tiles, or an intermediate band beyond
+/// shared memory) — the fusion rewriter then simply leaves the chain
+/// unfused.
+#[must_use]
+pub fn config_for(machine: &MachineConfig, shape: &Shape) -> Option<GemmConfig> {
+    crate::kernels::space::default_or_first_candidate(&ChainSpace, machine, shape)
+        .and_then(|c| c.as_gemm("chain").ok())
+}
+
+/// Build the chained dual-GEMM program for `machine`:
+/// `C[m,n] = (A[m,k] · B1[k,mid]) · B2[mid,n]`, falling back from the
+/// hand-tuned default to the first valid candidate when the default
+/// does not fit the shape.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] when no mapping in the space is valid for
+/// this machine/shape combination.
+pub fn build(
+    m: usize,
+    n: usize,
+    k: usize,
+    mid: usize,
+    machine: &MachineConfig,
+) -> Result<(TaskRegistry, MappingSpec, Vec<EntryArg>), CompileError> {
+    let shape = Shape::of(&[m, n, k, mid]);
+    let cfg = config_for(machine, &shape).ok_or_else(|| {
+        CompileError::Unsupported(format!(
+            "`chain` has no valid mapping for {m}x{n}x{k} (mid {mid}) on {}",
+            machine.name
+        ))
+    })?;
+    ChainSpace.build(&shape, &MappingConfig::Gemm(cfg))
+}
+
+/// Build with an explicit mapping configuration.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on malformed trees or indivisible tilings.
+pub fn build_with(
+    m: usize,
+    n: usize,
+    k: usize,
+    mid: usize,
+    cfg: GemmConfig,
+) -> Result<(TaskRegistry, MappingSpec, Vec<EntryArg>), CompileError> {
+    let mut reg = TaskRegistry::new();
+    crate::kernels::gemm::register_gemm_tasks(&mut reg)?;
+    common::register_clear(&mut reg, "clear")?;
+    common::register_store(&mut reg, "store")?;
+    common::register_mma_chain(&mut reg, "gemm", crate::front::ast::LeafFn::MmaAccum)?;
+
+    let params = vec![
+        p("C", Privilege::ReadWrite),
+        p("A", Privilege::Read),
+        p("B1", Privilege::Read),
+        p("B2", Privilege::Read),
+    ];
+
+    // Host: one CTA per (row band, output-column chunk). Each CTA reads
+    // its A band and the full B1, and the B2 columns of its chunk.
+    reg.register(TaskVariant {
+        task: "chain".into(),
+        name: "chain_host".into(),
+        kind: VariantKind::Inner,
+        params: params.clone(),
+        body: vec![
+            Stmt::Tunable { name: "U".into() },
+            Stmt::Tunable { name: "V".into() },
+            Stmt::Let {
+                name: "M".into(),
+                value: SExpr::shape("C", 0),
+            },
+            Stmt::Let {
+                name: "N".into(),
+                value: SExpr::shape("C", 1),
+            },
+            Stmt::Let {
+                name: "K".into(),
+                value: SExpr::shape("A", 1),
+            },
+            Stmt::Let {
+                name: "P".into(),
+                value: SExpr::shape("B1", 1),
+            },
+            Stmt::PartitionBlocks {
+                name: "Cp".into(),
+                tensor: "C".into(),
+                tile_rows: v("U"),
+                tile_cols: v("V"),
+            },
+            Stmt::PartitionBlocks {
+                name: "Ap".into(),
+                tensor: "A".into(),
+                tile_rows: v("U"),
+                tile_cols: v("K"),
+            },
+            Stmt::PartitionBlocks {
+                name: "B2p".into(),
+                tensor: "B2".into(),
+                tile_rows: v("P"),
+                tile_cols: v("V"),
+            },
+            Stmt::PRange {
+                vars: vec!["i".into(), "j".into()],
+                extents: vec![v("M") / v("U"), v("N") / v("V")],
+                body: vec![Stmt::Launch {
+                    task: "chain".into(),
+                    args: vec![
+                        piece("Cp", vec![v("i"), v("j")]),
+                        piece("Ap", vec![v("i"), SExpr::lit(0)]),
+                        t("B1"),
+                        piece("B2p", vec![SExpr::lit(0), v("j")]),
+                    ],
+                }],
+            },
+        ],
+    })?;
+
+    // Block: phase 1 walks the intermediate band's column chunks — each
+    // chunk accumulates `Ts[:, jt] = A · B1[:, jt]` in registers and
+    // materializes into the shared-memory band (the bitwise f16
+    // rounding point). Phase 2 consumes the band as the A operand of
+    // `C = Ts · B2`, reduction-tiled by `W`.
+    reg.register(TaskVariant {
+        task: "chain".into(),
+        name: "chain_block".into(),
+        kind: VariantKind::Inner,
+        params,
+        body: vec![
+            Stmt::Tunable { name: "W".into() },
+            Stmt::Tunable { name: "V".into() },
+            Stmt::Let {
+                name: "M".into(),
+                value: SExpr::shape("C", 0),
+            },
+            Stmt::Let {
+                name: "K".into(),
+                value: SExpr::shape("A", 1),
+            },
+            Stmt::Let {
+                name: "P".into(),
+                value: SExpr::shape("B1", 1),
+            },
+            // Phase 1: the intermediate band, one V-wide chunk at a time.
+            Stmt::PartitionBlocks {
+                name: "A1p".into(),
+                tensor: "A".into(),
+                tile_rows: v("M"),
+                tile_cols: v("W"),
+            },
+            Stmt::PartitionBlocks {
+                name: "B1p".into(),
+                tensor: "B1".into(),
+                tile_rows: v("W"),
+                tile_cols: v("V"),
+            },
+            Stmt::MakeTensor {
+                name: "Ts".into(),
+                rows: v("M"),
+                cols: v("P"),
+                dtype: DType::F16,
+            },
+            Stmt::PartitionBlocks {
+                name: "Tsw".into(),
+                tensor: "Ts".into(),
+                tile_rows: v("M"),
+                tile_cols: v("V"),
+            },
+            Stmt::MakeTensor {
+                name: "Tacc".into(),
+                rows: v("M"),
+                cols: v("V"),
+                dtype: DType::F16,
+            },
+            Stmt::SRange {
+                var: "jt".into(),
+                extent: SExpr::cdiv(v("P"), v("V")),
+                body: vec![
+                    Stmt::Launch {
+                        task: "clear".into(),
+                        args: vec![t("Tacc")],
+                    },
+                    Stmt::SRange {
+                        var: "k".into(),
+                        extent: SExpr::cdiv(v("K"), v("W")),
+                        body: vec![Stmt::Launch {
+                            task: "gemm".into(),
+                            args: vec![
+                                t("Tacc"),
+                                piece("A1p", vec![SExpr::lit(0), v("k")]),
+                                piece("B1p", vec![v("k"), v("jt")]),
+                            ],
+                        }],
+                    },
+                    Stmt::Launch {
+                        task: "store".into(),
+                        args: vec![t("Tacc"), piece("Tsw", vec![SExpr::lit(0), v("jt")])],
+                    },
+                ],
+            },
+            // Phase 2: C = Ts · B2, straight from shared memory.
+            Stmt::PartitionBlocks {
+                name: "T2p".into(),
+                tensor: "Ts".into(),
+                tile_rows: v("M"),
+                tile_cols: v("W"),
+            },
+            Stmt::PartitionBlocks {
+                name: "B2q".into(),
+                tensor: "B2".into(),
+                tile_rows: v("W"),
+                tile_cols: v("V"),
+            },
+            Stmt::MakeTensor {
+                name: "Cacc".into(),
+                rows: v("M"),
+                cols: v("V"),
+                dtype: DType::F16,
+            },
+            Stmt::Launch {
+                task: "clear".into(),
+                args: vec![t("Cacc")],
+            },
+            Stmt::SRange {
+                var: "q".into(),
+                extent: SExpr::cdiv(v("P"), v("W")),
+                body: vec![Stmt::Launch {
+                    task: "gemm".into(),
+                    args: vec![
+                        t("Cacc"),
+                        piece("T2p", vec![SExpr::lit(0), v("q")]),
+                        piece("B2q", vec![v("q"), SExpr::lit(0)]),
+                    ],
+                }],
+            },
+            Stmt::Launch {
+                task: "store".into(),
+                args: vec![t("Cacc"), t("C")],
+            },
+        ],
+    })?;
+
+    let g4 = vec![MemLevel::Global; 4];
+    let mut block = TaskMapping::new("chain_block", "chain_block", ProcLevel::Block, g4.clone())
+        .tunable("W", cfg.w as i64)
+        .tunable("V", cfg.v as i64)
+        .calls(&["clear_tile", "gemm_tile", "store_tile"])
+        .pipeline(cfg.pipeline);
+    if cfg.warpspecialize {
+        block = block.warpspecialize();
+    }
+    let mut instances = vec![
+        TaskMapping::new("chain_host", "chain_host", ProcLevel::Host, g4)
+            .tunable("U", cfg.u as i64)
+            .tunable("V", cfg.v as i64)
+            .calls(&["chain_block"])
+            .entrypoint(),
+        block,
+        TaskMapping::new(
+            "gemm_tile",
+            "gemm_tile",
+            ProcLevel::Block,
+            vec![MemLevel::None, MemLevel::Shared, MemLevel::Shared],
+        )
+        .tunable("WGS", cfg.wgs as i64)
+        .calls(&["gemm_wgmma"]),
+    ];
+    instances.extend(common::mma_chain_mappings("gemm", MemLevel::Shared));
+    instances.extend(common::clear_mappings("clear", cfg.wgs as i64));
+    instances.extend(common::store_mappings("store", cfg.wgs as i64));
+    let mapping = MappingSpec::new(instances)?;
+
+    let args = vec![
+        EntryArg {
+            name: "C".into(),
+            rows: m,
+            cols: n,
+            dtype: DType::F16,
+        },
+        EntryArg {
+            name: "A".into(),
+            rows: m,
+            cols: k,
+            dtype: DType::F16,
+        },
+        EntryArg {
+            name: "B1".into(),
+            rows: k,
+            cols: mid,
+            dtype: DType::F16,
+        },
+        EntryArg {
+            name: "B2".into(),
+            rows: mid,
+            cols: n,
+            dtype: DType::F16,
+        },
+    ];
+    Ok((reg, mapping, args))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_has_four_params() {
+        let (reg, mapping, args) = build(128, 64, 64, 64, &MachineConfig::test_gpu()).unwrap();
+        assert!(reg.variant("chain_host").is_ok());
+        assert_eq!(mapping.entry().instance, "chain_host");
+        assert_eq!(args.len(), 4);
+        assert_eq!(
+            flops(2, 3, 4, 5),
+            2.0 * 2.0 * 5.0 * 4.0 + 2.0 * 2.0 * 3.0 * 5.0
+        );
+    }
+
+    #[test]
+    fn candidates_validate_and_are_deterministic() {
+        let machine = MachineConfig::test_gpu();
+        let shape = Shape::of(&[128, 64, 64, 64]);
+        let cands = ChainSpace.candidates(&machine, &shape);
+        assert!(!cands.is_empty());
+        assert_eq!(cands, ChainSpace.candidates(&machine, &shape));
+        for c in &cands {
+            assert!(ChainSpace.validate(&machine, &shape, c).is_ok());
+        }
+    }
+
+    #[test]
+    fn indivisible_shapes_are_typed_errors() {
+        let err = build(100, 64, 64, 64, &MachineConfig::test_gpu());
+        assert!(matches!(err, Err(CompileError::Unsupported(_))), "{err:?}");
+    }
+}

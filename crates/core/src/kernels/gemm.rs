@@ -61,7 +61,7 @@ impl GemmConfig {
     }
 
     /// Pick a mapping appropriate for `machine` (the shared GEMM-family
-    /// dispatch in [`crate::kernels::common`]).
+    /// dispatch in `crate::kernels::common`).
     #[must_use]
     pub fn for_machine(machine: &MachineConfig) -> Self {
         common::default_gemm_config(machine)

@@ -88,6 +88,77 @@ impl MappingSpace for GemmReductionSpace {
     }
 }
 
+/// The GEMM+Reduction mapping space with `V` pinned to an explicit
+/// value instead of the machine default.
+///
+/// `V` is structural for this kernel — the partial-sum output is
+/// `Y[M, N/V]` — so a graph-level rewrite that must preserve a specific
+/// `Y` shape (the fusion rewriter fuses a GEMM with a standalone
+/// row-reduction whose output is `M x 1`, forcing `V = N`) tunes over a
+/// space whose every candidate keeps that `V`. The enumerated
+/// dimensions (`W`, pipeline depth, warp specialization) remain
+/// functionally transparent.
+#[derive(Debug, Clone, Copy)]
+pub struct PinnedVSpace {
+    /// The pinned `V` tile (the fused kernel's output-column tile).
+    pub v: usize,
+}
+
+impl MappingSpace for PinnedVSpace {
+    fn entry(&self) -> &'static str {
+        "gr"
+    }
+
+    fn default_for(&self, machine: &MachineConfig) -> MappingConfig {
+        let mut cfg = GemmConfig::for_machine(machine);
+        cfg.v = self.v;
+        MappingConfig::Gemm(cfg)
+    }
+
+    fn validate(
+        &self,
+        machine: &MachineConfig,
+        shape: &Shape,
+        cfg: &MappingConfig,
+    ) -> Result<(), CompileError> {
+        let c = cfg.as_gemm("gr")?;
+        if c.v != self.v {
+            return Err(CompileError::Unsupported(format!(
+                "`gr` V={} is structural here and pinned to {}",
+                c.v, self.v
+            )));
+        }
+        GemmReductionSpace.validate(machine, shape, cfg)
+    }
+
+    fn candidates(&self, machine: &MachineConfig, shape: &Shape) -> Vec<MappingConfig> {
+        let MappingConfig::Gemm(default) = self.default_for(machine) else {
+            return Vec::new();
+        };
+        // `default` already carries the pinned `v`, and `validate`
+        // rejects any other, so the shared grid stays pinned.
+        gemm_family_candidates(self, machine, shape, default, false, true)
+    }
+
+    fn build(
+        &self,
+        shape: &Shape,
+        cfg: &MappingConfig,
+    ) -> Result<(TaskRegistry, MappingSpec, Vec<EntryArg>), CompileError> {
+        let [m, n, k] = shape.expect_dims::<3>("gr")?;
+        build_with(m, n, k, cfg.as_gemm("gr")?)
+    }
+}
+
+/// The first `V = v` config for `(machine, shape)` that validates: the
+/// pinned default when it fits, otherwise the first valid candidate.
+/// `None` when no pinned config is valid on this machine.
+#[must_use]
+pub fn config_for_pinned_v(machine: &MachineConfig, shape: &Shape, v: usize) -> Option<GemmConfig> {
+    crate::kernels::space::default_or_first_candidate(&PinnedVSpace { v }, machine, shape)
+        .and_then(|c| c.as_gemm("gr").ok())
+}
+
 /// Build the fused GEMM+Reduction program.
 ///
 /// # Errors

@@ -4,8 +4,10 @@
 
 pub mod attention;
 pub mod batched;
+pub mod chain;
 pub(crate) mod common;
 pub mod dual_gemm;
 pub mod gemm;
 pub mod gemm_reduction;
+pub mod reduction;
 pub mod space;

@@ -1,0 +1,338 @@
+//! Standalone row-reduction kernel: `Y[i, 0] = Σ_k A[i, k]` — the
+//! reduction half of the Fig. 13d GEMM+Reduction kernel as its own
+//! launch.
+//!
+//! A task graph that wants the row statistic of a tensor without the
+//! fused kernel expresses it with this primitive next to a plain GEMM;
+//! the runtime's fusion rewriter (`cypress-runtime::fuse`) recognizes a
+//! GEMM and a row-reduction reading the *same* `A` and collapses the
+//! pair back into the fused `gr` kernel. The accumulation walks each
+//! row's `k` dimension in ascending order in unrounded f32 register
+//! fragments — exactly the order the fused kernel uses — so the fused
+//! and unfused row sums are bitwise identical.
+
+use crate::error::CompileError;
+use crate::front::ast::{LeafFn, Privilege, SExpr, Stmt};
+use crate::front::machine::{MemLevel, ProcLevel};
+use crate::front::mapping::{MappingSpec, TaskMapping};
+use crate::front::task::{TaskRegistry, TaskVariant, VariantKind};
+use crate::kernels::common::{self, p, piece, t, v};
+use crate::kernels::gemm::GemmConfig;
+use crate::kernels::space::{gemm_family_candidates, MappingConfig, MappingSpace, Shape};
+use crate::passes::depan::EntryArg;
+use cypress_sim::MachineConfig;
+use cypress_tensor::DType;
+
+/// Algorithmic FLOPs: one add per element.
+#[must_use]
+pub fn flops(m: usize, k: usize) -> f64 {
+    m as f64 * k as f64
+}
+
+/// The row-reduction mapping space: shape `[m, k]` for
+/// `Y[m,1] = Σ_k A[m,k]`. Only `U`/`wgs`, `W`, pipeline depth, and warp
+/// specialization are enumerated; all are functionally transparent
+/// because each row's sum is accumulated in ascending `k` order in f32
+/// fragments regardless of the tiling.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReductionSpace;
+
+impl MappingSpace for ReductionSpace {
+    fn entry(&self) -> &'static str {
+        "reduce"
+    }
+
+    fn default_for(&self, machine: &MachineConfig) -> MappingConfig {
+        MappingConfig::Gemm(GemmConfig::for_machine(machine))
+    }
+
+    fn validate(
+        &self,
+        machine: &MachineConfig,
+        shape: &Shape,
+        cfg: &MappingConfig,
+    ) -> Result<(), CompileError> {
+        let [m, k] = shape.expect_dims::<2>("reduce")?;
+        let c = cfg.as_gemm("reduce")?;
+        if c.wgs == 0 || c.pipeline == 0 {
+            return Err(CompileError::Unsupported(
+                "`reduce` mapping needs wgs >= 1 and pipeline >= 1".into(),
+            ));
+        }
+        if c.u != 64 * c.wgs {
+            return Err(CompileError::Partition(format!(
+                "`reduce` block tile rows {} must equal 64 x wgs",
+                c.u
+            )));
+        }
+        for (dim, name, tile, tname) in [(m, "M", c.u, "U"), (k, "K", c.w, "W")] {
+            if tile == 0 || dim % tile != 0 {
+                return Err(CompileError::Partition(format!(
+                    "`reduce` tile {tname}={tile} does not divide {name}={dim}"
+                )));
+            }
+        }
+        // Staged per pipeline stage: one A tile; plus the Y staging.
+        let elem = 2usize;
+        let required = c.pipeline * c.u * c.w * elem + c.u * elem;
+        if required > machine.smem_per_sm {
+            return Err(CompileError::OutOfSharedMemory {
+                required,
+                limit: machine.smem_per_sm,
+            });
+        }
+        Ok(())
+    }
+
+    fn candidates(&self, machine: &MachineConfig, shape: &Shape) -> Vec<MappingConfig> {
+        let MappingConfig::Gemm(default) = self.default_for(machine) else {
+            return Vec::new();
+        };
+        gemm_family_candidates(self, machine, shape, default, false, true)
+    }
+
+    fn build(
+        &self,
+        shape: &Shape,
+        cfg: &MappingConfig,
+    ) -> Result<(TaskRegistry, MappingSpec, Vec<EntryArg>), CompileError> {
+        let [m, k] = shape.expect_dims::<2>("reduce")?;
+        build_with(m, k, cfg.as_gemm("reduce")?)
+    }
+}
+
+/// Build the row-reduction program with the default mapping for
+/// `machine`: `Y[m,1] = Σ_k A[m,k]`.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] when the default mapping is invalid for this
+/// machine/shape combination.
+pub fn build(
+    m: usize,
+    k: usize,
+    machine: &MachineConfig,
+) -> Result<(TaskRegistry, MappingSpec, Vec<EntryArg>), CompileError> {
+    let shape = Shape::of(&[m, k]);
+    let cfg = ReductionSpace.default_for(machine);
+    ReductionSpace.validate(machine, &shape, &cfg)?;
+    ReductionSpace.build(&shape, &cfg)
+}
+
+/// Build with an explicit mapping configuration.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on malformed trees or indivisible tilings.
+pub fn build_with(
+    m: usize,
+    k: usize,
+    cfg: GemmConfig,
+) -> Result<(TaskRegistry, MappingSpec, Vec<EntryArg>), CompileError> {
+    let mut reg = TaskRegistry::new();
+    common::register_vec_clear(&mut reg, "vclear", 0.0)?;
+    common::register_vec_store(&mut reg, "vstore")?;
+    common::register_leaf(
+        &mut reg,
+        "rsum",
+        vec![p("Y", Privilege::ReadWrite), p("A", Privilege::Read)],
+        LeafFn::RowSumAccum,
+        &["A", "Y"],
+    )?;
+
+    let params = vec![p("Y", Privilege::ReadWrite), p("A", Privilege::Read)];
+
+    reg.register(TaskVariant {
+        task: "reduce".into(),
+        name: "red_host".into(),
+        kind: VariantKind::Inner,
+        params: params.clone(),
+        body: vec![
+            Stmt::Tunable { name: "U".into() },
+            Stmt::Let {
+                name: "M".into(),
+                value: SExpr::shape("A", 0),
+            },
+            Stmt::Let {
+                name: "K".into(),
+                value: SExpr::shape("A", 1),
+            },
+            Stmt::PartitionBlocks {
+                name: "Yp".into(),
+                tensor: "Y".into(),
+                tile_rows: v("U"),
+                tile_cols: SExpr::lit(1),
+            },
+            Stmt::PartitionBlocks {
+                name: "Ap".into(),
+                tensor: "A".into(),
+                tile_rows: v("U"),
+                tile_cols: v("K"),
+            },
+            Stmt::PRange {
+                vars: vec!["i".into()],
+                extents: vec![v("M") / v("U")],
+                body: vec![Stmt::Launch {
+                    task: "reduce".into(),
+                    args: vec![
+                        piece("Yp", vec![v("i"), SExpr::lit(0)]),
+                        piece("Ap", vec![v("i"), SExpr::lit(0)]),
+                    ],
+                }],
+            },
+        ],
+    })?;
+
+    reg.register(TaskVariant {
+        task: "reduce".into(),
+        name: "red_block".into(),
+        kind: VariantKind::Inner,
+        params: params.clone(),
+        body: vec![
+            Stmt::Tunable { name: "W".into() },
+            Stmt::Let {
+                name: "M".into(),
+                value: SExpr::shape("A", 0),
+            },
+            Stmt::Let {
+                name: "K".into(),
+                value: SExpr::shape("A", 1),
+            },
+            Stmt::PartitionBlocks {
+                name: "Ap".into(),
+                tensor: "A".into(),
+                tile_rows: v("M"),
+                tile_cols: v("W"),
+            },
+            Stmt::MakeTensor {
+                name: "Yacc".into(),
+                rows: v("M"),
+                cols: SExpr::lit(1),
+                dtype: DType::F16,
+            },
+            Stmt::Launch {
+                task: "vclear".into(),
+                args: vec![t("Yacc")],
+            },
+            Stmt::SRange {
+                var: "k".into(),
+                extent: SExpr::cdiv(v("K"), v("W")),
+                body: vec![Stmt::Launch {
+                    task: "rstep".into(),
+                    args: vec![t("Yacc"), piece("Ap", vec![SExpr::lit(0), v("k")])],
+                }],
+            },
+            Stmt::Launch {
+                task: "vstore".into(),
+                args: vec![t("Yacc"), t("Y")],
+            },
+        ],
+    })?;
+
+    // Tile level: split rows across warpgroups; each warpgroup folds its
+    // band of the A tile into its band of the running sums.
+    reg.register(TaskVariant {
+        task: "rstep".into(),
+        name: "rstep_tile".into(),
+        kind: VariantKind::Inner,
+        params: params.clone(),
+        body: vec![
+            Stmt::Tunable { name: "WGS".into() },
+            Stmt::Let {
+                name: "M".into(),
+                value: SExpr::shape("A", 0),
+            },
+            Stmt::Let {
+                name: "W".into(),
+                value: SExpr::shape("A", 1),
+            },
+            Stmt::PartitionBlocks {
+                name: "Yp".into(),
+                tensor: "Y".into(),
+                tile_rows: v("M") / v("WGS"),
+                tile_cols: SExpr::lit(1),
+            },
+            Stmt::PartitionBlocks {
+                name: "Ap".into(),
+                tensor: "A".into(),
+                tile_rows: v("M") / v("WGS"),
+                tile_cols: v("W"),
+            },
+            Stmt::PRange {
+                vars: vec!["w".into()],
+                extents: vec![v("WGS")],
+                body: vec![Stmt::Launch {
+                    task: "rsum".into(),
+                    args: vec![
+                        piece("Yp", vec![v("w"), SExpr::lit(0)]),
+                        piece("Ap", vec![v("w"), SExpr::lit(0)]),
+                    ],
+                }],
+            },
+        ],
+    })?;
+
+    let g2 = vec![MemLevel::Global; 2];
+    let mut block = TaskMapping::new("red_block", "red_block", ProcLevel::Block, g2.clone())
+        .tunable("W", cfg.w as i64)
+        .calls(&["vclear_tile", "rstep_tile", "vstore_tile"])
+        .pipeline(cfg.pipeline);
+    if cfg.warpspecialize {
+        block = block.warpspecialize();
+    }
+    let mut instances = vec![
+        TaskMapping::new("red_host", "red_host", ProcLevel::Host, g2)
+            .tunable("U", cfg.u as i64)
+            .calls(&["red_block"])
+            .entrypoint(),
+        block,
+        TaskMapping::new(
+            "rstep_tile",
+            "rstep_tile",
+            ProcLevel::Block,
+            vec![MemLevel::None, MemLevel::Shared],
+        )
+        .tunable("WGS", cfg.wgs as i64)
+        .calls(&["rsum_leaf"]),
+        common::leaf_mapping("rsum", vec![MemLevel::Register, MemLevel::Shared]),
+    ];
+    instances.extend(common::vec_clear_mappings("vclear", cfg.wgs as i64));
+    instances.extend(common::vec_store_mappings("vstore", cfg.wgs as i64));
+    let mapping = MappingSpec::new(instances)?;
+
+    let args = vec![
+        EntryArg {
+            name: "Y".into(),
+            rows: m,
+            cols: 1,
+            dtype: DType::F16,
+        },
+        EntryArg {
+            name: "A".into(),
+            rows: m,
+            cols: k,
+            dtype: DType::F16,
+        },
+    ];
+    Ok((reg, mapping, args))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_has_two_params() {
+        let (reg, mapping, args) = build(128, 64, &MachineConfig::test_gpu()).unwrap();
+        assert!(reg.variant("red_host").is_ok());
+        assert_eq!(mapping.entry().instance, "red_host");
+        assert_eq!(args.len(), 2);
+        assert_eq!(flops(4, 8), 32.0);
+    }
+
+    #[test]
+    fn indivisible_shapes_are_typed_errors() {
+        let err = build(100, 64, &MachineConfig::test_gpu());
+        assert!(matches!(err, Err(CompileError::Partition(_))), "{err:?}");
+    }
+}

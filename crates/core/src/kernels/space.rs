@@ -352,6 +352,23 @@ pub(crate) fn gemm_family_candidates(
     out
 }
 
+/// The space's hand-tuned default when it validates for `(machine,
+/// shape)`, otherwise the first valid candidate of the deterministic
+/// enumeration, otherwise `None` — the shape-adaptive fallback fused
+/// kernels use, since their defaults cannot anticipate every
+/// intermediate width.
+pub(crate) fn default_or_first_candidate(
+    space: &dyn MappingSpace,
+    machine: &MachineConfig,
+    shape: &Shape,
+) -> Option<MappingConfig> {
+    let default = space.default_for(machine);
+    if space.validate(machine, shape, &default).is_ok() {
+        return Some(default);
+    }
+    space.candidates(machine, shape).into_iter().next()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -689,8 +689,17 @@ fn dead_copies(prog: &mut IrProgram) -> bool {
 }
 
 /// §3.3: every tensor mapped to the `none` memory must have been
-/// eliminated entirely.
-fn check_none_memory(prog: &IrProgram) -> Result<(), CompileError> {
+/// eliminated entirely — except promotable block-local tensors
+/// (`make_tensor`), which fall back to a shared-memory home when no
+/// identification applies. That is the fused-kernel shape: a producer
+/// phase writes the tensor through one partition and a consumer phase
+/// re-tiles it through another, so no single existing allocation can
+/// stand in for it, and materializing it on-chip (rather than erroring)
+/// is exactly the intermediate-stays-in-shared-memory behavior fusion
+/// exists for. Writes into the shared home round to the tensor's
+/// declared dtype, which is also what keeps fused results bitwise equal
+/// to the unfused chain.
+fn check_none_memory(prog: &mut IrProgram) -> Result<(), CompileError> {
     let mut surviving: HashSet<TensorId> = HashSet::new();
     for_each_op(&prog.body.clone(), &mut |op| {
         for r in op_refs(op) {
@@ -699,9 +708,13 @@ fn check_none_memory(prog: &IrProgram) -> Result<(), CompileError> {
     });
     for t in surviving {
         if prog.tensors[t].mem == MemLevel::None {
-            return Err(CompileError::NoneMemoryMaterialized {
-                tensor: prog.tensors[t].name.clone(),
-            });
+            if prog.tensors[t].promotable {
+                prog.tensors[t].mem = MemLevel::Shared;
+            } else {
+                return Err(CompileError::NoneMemoryMaterialized {
+                    tensor: prog.tensors[t].name.clone(),
+                });
+            }
         }
     }
     Ok(())

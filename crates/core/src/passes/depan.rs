@@ -496,6 +496,11 @@ impl<'a> Analyzer<'a> {
                     MemLevel::None,
                     None,
                 );
+                // Block-local tensors may fall back to a shared-memory
+                // home when copy elimination cannot identify them with
+                // one existing allocation (fused kernels re-tile a
+                // producer phase's result for the consumer phase).
+                self.prog.tensors[id].promotable = true;
                 frame.tensors.insert(name.clone(), id);
                 frame.privs.insert(id, Privilege::ReadWrite);
                 self.scopes

@@ -26,7 +26,9 @@
 
 use crate::error::CompileError;
 use crate::front::machine::{MemLevel, ProcLevel};
-use crate::ir::{Block, EventType, IdxExpr, IrProgram, Op, OpKind, PartKind, TensorId, VarId};
+use crate::ir::{
+    Block, EventId, EventType, IdxExpr, IrProgram, Op, OpKind, PartKind, TensorId, VarId,
+};
 use crate::passes::alloc::Allocation;
 use cypress_sim::{
     BinOp, Expr, Instr, Kernel, KernelBuilder, RedOp, RoleKind, SimtOp, Slice, UnOp,
@@ -87,10 +89,38 @@ struct Scheduler<'a> {
     prod_bar: HashMap<TensorId, usize>,
     cons_bar: HashMap<TensorId, usize>,
     copyout_bar: Option<usize>,
+    /// Mid-kernel store mode: a DMA store is followed by later DMA loads
+    /// (the shape fused producer→consumer kernels lower to). Terminal
+    /// stores keep the single `copyout_bar` handshake bit for bit;
+    /// mid-kernel stores get a per-staging-tensor generational handshake:
+    /// compute arrives `ready` once the staging data is written, the DMA
+    /// warp stores it, then arrives `done` so compute may overwrite the
+    /// staging buffer in the next generation.
+    mid_store: bool,
+    /// Staging tensor -> barrier the DMA warp waits on before storing
+    /// (parties: every compute warpgroup).
+    ready_bar: HashMap<TensorId, usize>,
+    /// Staging tensor -> barrier the DMA warp arrives at once the store
+    /// has landed (parties: the DMA warp alone).
+    done_bar: HashMap<TensorId, usize>,
+    /// Op (by result id) after which compute arrives at `ready` for
+    /// these staging tensors: the last write before the store.
+    arrive_ready_after: HashMap<EventId, Vec<TensorId>>,
+    /// Op (by result id) before which compute waits on `done` for these
+    /// staging tensors from the second generation of the given loop
+    /// variable onward: the first write per store generation.
+    wait_done_before: HashMap<EventId, Vec<(TensorId, VarId)>>,
     /// IR loop var -> sim loop var.
     var_map: HashMap<VarId, usize>,
     /// The innermost pipelined loop's variable (stage index source).
     stage_var: Option<VarId>,
+    /// Enclosing `For` nest at the current emission point, outermost
+    /// first, with trip counts. Pipeline stage indices and consumer-wait
+    /// guards linearize over this nest, so a main loop that is re-entered
+    /// by an outer loop (fused kernels walk chunk loops around their
+    /// reduction loops) keeps the producer/consumer skew bounded by the
+    /// pipeline depth globally, not merely per entry.
+    loop_stack: Vec<(VarId, i64)>,
     _alloc: &'a Allocation,
 }
 
@@ -193,8 +223,14 @@ impl<'a> Scheduler<'a> {
             prod_bar: HashMap::new(),
             cons_bar: HashMap::new(),
             copyout_bar: None,
+            mid_store: false,
+            ready_bar: HashMap::new(),
+            done_bar: HashMap::new(),
+            arrive_ready_after: HashMap::new(),
+            wait_done_before: HashMap::new(),
             var_map: HashMap::new(),
             stage_var: None,
+            loop_stack: Vec::new(),
             _alloc: alloc,
         })
     }
@@ -321,26 +357,34 @@ impl<'a> Scheduler<'a> {
             let c = self.builder.mbar(self.n_wgs);
             self.cons_bar.insert(*t, c);
         }
-        let has_store = {
-            let mut any = false;
-            fn scan_store(prog: &IrProgram, b: &Block, any: &mut bool) {
-                for op in &b.ops {
-                    match &op.kind {
-                        OpKind::For { body, .. } | OpKind::Pfor { body, .. } => {
-                            scan_store(prog, body, any)
-                        }
-                        _ => {
-                            if classify(prog, op) == Class::DmaStore {
-                                *any = true;
-                            }
-                        }
+        // Program-order class stream: detects whether any DMA store is
+        // followed by a DMA load (a mid-kernel store→load chain, the
+        // shape fused kernels lower to) and collects stored staging
+        // tensors.
+        let mut class_stream: Vec<(Class, Option<TensorId>)> = Vec::new();
+        fn scan_classes(prog: &IrProgram, b: &Block, out: &mut Vec<(Class, Option<TensorId>)>) {
+            for op in &b.ops {
+                match &op.kind {
+                    OpKind::For { body, .. } | OpKind::Pfor { body, .. } => {
+                        scan_classes(prog, body, out)
                     }
+                    OpKind::Copy { src, .. } => {
+                        let class = classify(prog, op);
+                        let staging = (class == Class::DmaStore).then_some(src.tensor);
+                        out.push((class, staging));
+                    }
+                    OpKind::Call { .. } => out.push((Class::Compute, None)),
                 }
             }
-            scan_store(self.prog, self.body, &mut any);
-            any
-        };
-        if has_store {
+        }
+        scan_classes(self.prog, self.body, &mut class_stream);
+        let has_store = class_stream.iter().any(|(c, _)| *c == Class::DmaStore);
+        let last_load = class_stream.iter().rposition(|(c, _)| *c == Class::DmaLoad);
+        let first_store = class_stream.iter().position(|(c, _)| *c == Class::DmaStore);
+        self.mid_store = matches!((first_store, last_load), (Some(s), Some(l)) if s < l);
+        if self.mid_store {
+            self.analyze_mid_stores(self.body, None)?;
+        } else if has_store {
             self.copyout_bar = Some(self.builder.mbar(self.n_wgs));
         }
 
@@ -385,17 +429,108 @@ impl<'a> Scheduler<'a> {
         Ok(b.build())
     }
 
+    // ---- mid-kernel store analysis ----------------------------------------
+
+    /// For every staging tensor stored in `block`, allocate its
+    /// ready/done barrier pair and record where compute arrives (after
+    /// the last staging write preceding the store) and where it must
+    /// wait for the previous generation's store to land (before the
+    /// first staging write, from the second iteration of the enclosing
+    /// loop onward). Mid-store mode only.
+    fn analyze_mid_stores(
+        &mut self,
+        block: &'a Block,
+        enclosing: Option<VarId>,
+    ) -> Result<(), CompileError> {
+        let prog = self.prog;
+        let mut stored: Vec<TensorId> = Vec::new();
+        for op in &block.ops {
+            if classify(prog, op) == Class::DmaStore {
+                if let OpKind::Copy { src, .. } = &op.kind {
+                    if !stored.contains(&src.tensor) {
+                        stored.push(src.tensor);
+                    }
+                }
+            }
+        }
+        for t in stored {
+            if self.ready_bar.contains_key(&t) {
+                return Err(CompileError::Unsupported(format!(
+                    "staging tensor `{}` is stored from more than one block",
+                    prog.tensors[t].name
+                )));
+            }
+            let first_store = block
+                .ops
+                .iter()
+                .position(|op| {
+                    classify(prog, op) == Class::DmaStore
+                        && matches!(&op.kind, OpKind::Copy { src, .. } if src.tensor == t)
+                })
+                .expect("tensor was collected from a store in this block");
+            let writes: Vec<usize> = (0..first_store)
+                .filter(|&i| subtree_writes(&block.ops[i], t))
+                .collect();
+            let Some(&last_write) = writes.last() else {
+                return Err(CompileError::Unsupported(format!(
+                    "mid-kernel store of `{}` has no preceding staging write",
+                    prog.tensors[t].name
+                )));
+            };
+            let ready = self.builder.mbar(self.n_wgs);
+            self.ready_bar.insert(t, ready);
+            let done = self.builder.mbar(1);
+            self.done_bar.insert(t, done);
+            self.arrive_ready_after
+                .entry(block.ops[last_write].result)
+                .or_default()
+                .push(t);
+            if let Some(var) = enclosing {
+                self.wait_done_before
+                    .entry(block.ops[writes[0]].result)
+                    .or_default()
+                    .push((t, var));
+            }
+        }
+        for op in &block.ops {
+            match &op.kind {
+                OpKind::For { var, body, .. } => self.analyze_mid_stores(body, Some(*var))?,
+                OpKind::Pfor { body, .. } => self.analyze_mid_stores(body, enclosing)?,
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
     // ---- DMA role ---------------------------------------------------------
 
     fn emit_dma(&mut self, block: &Block) -> Result<Vec<Instr>, CompileError> {
         let mut out = Vec::new();
         let mut pending_store = false;
+        // Mid-store mode: consecutive stores of one staging tensor form a
+        // group; the group is closed (await the stores, release the
+        // staging buffer to compute) before any other DMA work.
+        let mut open_group: Option<TensorId> = None;
+        let mut ready_waited: HashSet<TensorId> = HashSet::new();
+        macro_rules! close_group {
+            () => {
+                if let Some(t) = open_group.take() {
+                    out.push(Instr::TmaStoreWait);
+                    out.push(Instr::MbarArrive {
+                        bar: self.done_bar[&t],
+                    });
+                }
+            };
+        }
         for op in &block.ops {
             match classify(self.prog, op) {
                 Class::DmaLoad => {
                     let OpKind::Copy { src, dst } = &op.kind else {
                         unreachable!()
                     };
+                    // A later load may read just-stored data back (the
+                    // fused-chain round trip): the store must land first.
+                    close_group!();
                     let s = self.slice(src, 0)?;
                     let d = self.slice(dst, 0)?;
                     let bar = self.prod_bar[&dst.tensor];
@@ -409,7 +544,19 @@ impl<'a> Scheduler<'a> {
                     let OpKind::Copy { src, dst } = &op.kind else {
                         unreachable!()
                     };
-                    if let Some(co) = self.copyout_bar {
+                    if self.mid_store {
+                        if open_group != Some(src.tensor) {
+                            close_group!();
+                            // Wait until every warpgroup has written this
+                            // generation of the staging tensor.
+                            if ready_waited.insert(src.tensor) {
+                                out.push(Instr::MbarWait {
+                                    bar: self.ready_bar[&src.tensor],
+                                });
+                            }
+                            open_group = Some(src.tensor);
+                        }
+                    } else if let Some(co) = self.copyout_bar {
                         if !pending_store {
                             out.push(Instr::MbarWait { bar: co });
                             pending_store = true;
@@ -433,40 +580,45 @@ impl<'a> Scheduler<'a> {
                             "nested non-BLOCK pfor survived vectorization".into(),
                         ));
                     }
-                    // Does this loop contain DMA loads? Then it is a main
-                    // (pipelined) loop for the DMA warp.
+                    close_group!();
+                    // Loads anywhere below pick the innermost loop as the
+                    // pipeline stage index; the WAR guard belongs to the
+                    // loop whose body issues the loads directly.
                     let mut il = HashSet::new();
                     let mut ol = HashSet::new();
                     scan_loads_block(self.prog, body, &mut il, &mut ol);
-                    let loads: Vec<TensorId> = {
-                        let mut v: Vec<TensorId> = il.union(&ol).copied().collect();
-                        v.sort_unstable();
-                        v
-                    };
+                    let direct = direct_loads(self.prog, body);
                     let prev_stage = self.stage_var;
-                    if !loads.is_empty() {
+                    if !il.is_empty() || !ol.is_empty() {
                         self.stage_var = Some(var);
                     }
+                    self.loop_stack.push((var, extent));
                     let inner = self.emit_dma(body)?;
+                    // Backwards WAR dependencies: from the `stages`-th
+                    // global iteration of the nest onward, wait for the
+                    // consumer to free each buffer. The ordinal (not the
+                    // bare loop variable) keeps the skew bounded when an
+                    // outer loop re-enters this one.
+                    let guard_ord = self.stage_ordinal(var);
+                    self.loop_stack.pop();
                     self.stage_var = prev_stage;
                     if inner.is_empty() {
                         continue;
                     }
                     let sv = self.var_map[&var];
                     let mut guarded = Vec::new();
-                    if !loads.is_empty() {
-                        // Backwards WAR dependencies: from iteration `stages`
-                        // onward, wait for the consumer to free each buffer.
+                    if !direct.is_empty() {
                         let pipe = self.opts.pipeline.max(1) as i64;
                         let mut waits = Vec::new();
-                        for t in &loads {
+                        for t in &direct {
                             if let Some(c) = self.cons_bar.get(t) {
                                 waits.push(Instr::MbarWait { bar: *c });
                             }
                         }
                         if !waits.is_empty() {
+                            let ord = guard_ord.expect("the loop was on the stack during emission");
                             guarded.push(Instr::If {
-                                cond: cypress_sim::Cond::Ge(Expr::var(sv), Expr::lit(pipe)),
+                                cond: cypress_sim::Cond::Ge(ord, Expr::lit(pipe)),
                                 then_: waits,
                                 else_: vec![],
                             });
@@ -481,6 +633,7 @@ impl<'a> Scheduler<'a> {
                 }
             }
         }
+        close_group!();
         if pending_store {
             out.push(Instr::TmaStoreWait);
         }
@@ -523,6 +676,29 @@ impl<'a> Scheduler<'a> {
     ) -> Result<Vec<Instr>, CompileError> {
         let mut out = Vec::new();
         for op in &block.ops {
+            // Mid-store handshake, wait side: before overwriting a staging
+            // tensor for the next store generation, the previous
+            // generation's store must have landed.
+            if warpspec && self.mid_store {
+                if let Some(list) = self.wait_done_before.get(&op.result) {
+                    for (t, var) in list.clone() {
+                        // Guard on the *global* generation ordinal, not
+                        // the bare loop variable: like the pipeline
+                        // guards, the skew must stay bounded even when
+                        // an outer loop re-enters the store loop.
+                        let ord = self
+                            .stage_ordinal(var)
+                            .unwrap_or_else(|| Expr::var(self.var_map[&var]));
+                        out.push(Instr::If {
+                            cond: cypress_sim::Cond::Ge(ord, Expr::lit(1)),
+                            then_: vec![Instr::MbarWait {
+                                bar: self.done_bar[&t],
+                            }],
+                            else_: vec![],
+                        });
+                    }
+                }
+            }
             match classify(self.prog, op) {
                 Class::DmaLoad => {
                     if !warpspec && wg == 0 {
@@ -592,15 +768,20 @@ impl<'a> Scheduler<'a> {
                     let mut il = HashSet::new();
                     let mut ol = HashSet::new();
                     scan_loads_block(self.prog, body, &mut il, &mut ol);
-                    let is_main = !il.is_empty() || !ol.is_empty();
+                    // A loop is a main (pipelined) loop when its body
+                    // issues loads directly; loops that only contain
+                    // deeper load loops must not duplicate the per-
+                    // iteration consumer handshake.
+                    let direct = direct_loads(self.prog, body);
+                    let is_main = !direct.is_empty();
                     let prev_stage = self.stage_var;
-                    if is_main {
+                    if !il.is_empty() || !ol.is_empty() {
                         self.stage_var = Some(var);
                     }
                     let mut inner_st = ComputeState::default();
                     if is_main {
                         // Buffers loaded this iteration need prod waits.
-                        inner_st.dma_loaded = il.union(&ol).copied().collect();
+                        inner_st.dma_loaded = direct.iter().copied().collect();
                     } else {
                         // Hoist producer waits out of the inner loop — a
                         // wait inside would consume one phase per inner
@@ -620,7 +801,9 @@ impl<'a> Scheduler<'a> {
                         inner_st.waited = st.waited.clone();
                         inner_st.outstanding = std::mem::take(&mut st.outstanding);
                     }
+                    self.loop_stack.push((var, extent));
                     let mut inner = self.emit_compute_block(body, wg, warpspec, &mut inner_st)?;
+                    self.loop_stack.pop();
                     // End of iteration: retire Tensor Core work that reads
                     // pipelined buffers, then release them to the DMA warp.
                     if is_main {
@@ -642,15 +825,25 @@ impl<'a> Scheduler<'a> {
                         st.waited = inner_st.waited.clone();
                     }
                     self.stage_var = prev_stage;
-                    if inner.is_empty() {
-                        continue;
+                    if !inner.is_empty() {
+                        let sv = self.var_map[&var];
+                        out.push(Instr::Loop {
+                            var: sv,
+                            count: Expr::lit(extent),
+                            body: inner,
+                        });
                     }
-                    let sv = self.var_map[&var];
-                    out.push(Instr::Loop {
-                        var: sv,
-                        count: Expr::lit(extent),
-                        body: inner,
-                    });
+                }
+            }
+            // Mid-store handshake, arrive side: the staging data for a
+            // store generation is complete once its last write retires.
+            if warpspec && self.mid_store {
+                if let Some(list) = self.arrive_ready_after.get(&op.result) {
+                    for t in list.clone() {
+                        out.push(Instr::MbarArrive {
+                            bar: self.ready_bar[&t],
+                        });
+                    }
                 }
             }
         }
@@ -812,6 +1005,25 @@ impl<'a> Scheduler<'a> {
         Ok(())
     }
 
+    /// The global iteration ordinal of the loop nest down to (and
+    /// including) the loop of `upto`: outer vars weighted by inner trip
+    /// counts. For a single non-nested main loop this is just the loop
+    /// variable — the classic pipeline index — and nesting generalizes
+    /// it so stage rotation and consumer-wait guards survive loop
+    /// re-entry.
+    fn stage_ordinal(&self, upto: VarId) -> Option<Expr> {
+        let pos = self.loop_stack.iter().rposition(|(v, _)| *v == upto)?;
+        let mut expr: Option<Expr> = None;
+        for (v, e) in &self.loop_stack[..=pos] {
+            let sv = self.var_map[v];
+            expr = Some(match expr {
+                None => Expr::var(sv),
+                Some(x) => x * *e + Expr::var(sv),
+            });
+        }
+        expr
+    }
+
     // ---- slices -----------------------------------------------------------
 
     /// Translate a tensor reference into a simulator slice, truncating the
@@ -866,9 +1078,11 @@ impl<'a> Scheduler<'a> {
                 let v = self.stage_var.ok_or_else(|| {
                     CompileError::Unsupported("pipelined buffer used outside its loop".into())
                 })?;
-                let sv = self.var_map[&v];
+                let ord = self.stage_ordinal(v).ok_or_else(|| {
+                    CompileError::Unsupported("pipelined buffer used outside its loop".into())
+                })?;
                 let pipe = self.opts.pipeline.max(1) as i64;
-                s = s.stage(Expr::var(sv) % pipe);
+                s = s.stage(ord % pipe);
             }
             s
         } else if let Some(f) = self.frag_of.get(&r.tensor) {
@@ -912,6 +1126,40 @@ impl<'a> Scheduler<'a> {
             }
         };
         Ok(base * i.scale + i.offset)
+    }
+}
+
+/// Tensors DMA-loaded directly in this block's op list (not nested in a
+/// deeper `For`), sorted: the set a loop's per-iteration pipeline
+/// handshake covers.
+fn direct_loads(prog: &IrProgram, b: &Block) -> Vec<TensorId> {
+    let mut out: Vec<TensorId> = b
+        .ops
+        .iter()
+        .filter_map(|op| match &op.kind {
+            OpKind::Copy { src, dst }
+                if prog.tensors[src.tensor].mem == MemLevel::Global
+                    && prog.tensors[dst.tensor].mem == MemLevel::Shared =>
+            {
+                Some(dst.tensor)
+            }
+            _ => None,
+        })
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Does any op in this subtree write tensor `t` (compute writes only —
+/// a DMA store *reads* its staging source)?
+fn subtree_writes(op: &Op, t: TensorId) -> bool {
+    match &op.kind {
+        OpKind::Copy { dst, .. } => dst.tensor == t,
+        OpKind::Call { args, .. } => args.last().is_some_and(|d| d.tensor == t),
+        OpKind::For { body, .. } | OpKind::Pfor { body, .. } => {
+            body.ops.iter().any(|o| subtree_writes(o, t))
+        }
     }
 }
 

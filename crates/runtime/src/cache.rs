@@ -1,6 +1,6 @@
 //! The compiled-kernel cache.
 //!
-//! Keys are the stable fingerprints of [`cypress_core::fingerprint`]: a
+//! Keys are the stable fingerprints of [`cypress_core::fingerprint()`]: a
 //! fingerprint covers the task registry, mapping specification, entry
 //! name, entry argument shapes, target machine, and codegen-affecting
 //! compiler options — everything that determines the compiled kernel. A

@@ -95,6 +95,13 @@ pub enum RuntimeError {
         /// What was wrong.
         reason: String,
     },
+    /// A runtime invariant was violated (a bug in the runtime itself,
+    /// not in the caller's graph) — surfaced as a typed error instead
+    /// of a panic so long-lived serving sessions degrade gracefully.
+    Internal {
+        /// Which invariant broke.
+        what: String,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -144,6 +151,9 @@ impl fmt::Display for RuntimeError {
             ),
             RuntimeError::BadTuningTable { reason } => {
                 write!(f, "bad tuning table: {reason}")
+            }
+            RuntimeError::Internal { what } => {
+                write!(f, "runtime invariant violated: {what}")
             }
         }
     }

@@ -10,7 +10,7 @@
 //! bit-identical across policies. In **timing** mode no data moves;
 //! per-node [`cypress_sim::TimingReport`]s are assembled into a
 //! [`GraphReport`] according to the session's
-//! [`SchedulePolicy`](crate::SchedulePolicy):
+//! [`crate::SchedulePolicy`]:
 //!
 //! - **Serial**: nodes run back-to-back in schedule order; the makespan
 //!   is the sum of the launches (the pre-stream behavior, bit for bit).
@@ -44,6 +44,9 @@ pub(crate) struct NodeLaunch {
     pub mapping: String,
     /// Solo-cycle speedup over the default mapping (1.0 untuned).
     pub tuned_speedup: f64,
+    /// Original node names this launch replaced when it came from the
+    /// fusion rewriter (empty for ordinary nodes).
+    pub replaced: Vec<String>,
 }
 
 /// The result of a functional graph launch: final parameter tensors of
@@ -146,16 +149,23 @@ pub(crate) fn run_functional(
                 Binding::Output { node: src, param } => {
                     per_param[src.0][*param] -= 1;
                     total_remaining[src.0] -= 1;
+                    let missing = || RuntimeError::Internal {
+                        what: format!(
+                            "edge buffer ({}, {param}) was not produced before its consumer \
+                             (the schedule is topological, so this is a runtime bug)",
+                            src.0
+                        ),
+                    };
                     let slot = slots[src.0]
                         .as_mut()
                         .and_then(|s| s.get_mut(*param))
-                        .expect("producer ran before consumer (schedule is topological)");
+                        .ok_or_else(missing)?;
                     let last_use = per_param[src.0][*param] == 0
                         && !keeps_buffers(graph, src.0, &total_initial);
                     if last_use {
-                        slot.take().expect("edge buffer consumed twice")
+                        slot.take().ok_or_else(missing)?
                     } else {
-                        slot.as_ref().expect("edge buffer missing").clone()
+                        slot.as_ref().ok_or_else(missing)?.clone()
                     }
                 }
                 Binding::Zeros => pool.acquire(arg.dtype, arg.rows, arg.cols),
@@ -181,13 +191,53 @@ pub(crate) fn run_functional(
 
     let reports: Vec<TimingReport> = reports
         .into_iter()
-        .map(|r| r.expect("every node ran"))
-        .collect();
+        .map(|r| {
+            r.ok_or_else(|| RuntimeError::Internal {
+                what: "a scheduled node never ran (the schedule is topological, so this is a \
+                       runtime bug)"
+                    .into(),
+            })
+        })
+        .collect::<Result<_, _>>()?;
     Ok(GraphRun {
         names: graph.nodes().iter().map(|n| n.name.clone()).collect(),
         results: slots,
         report: assemble_report(simulator.machine(), graph, launches, &reports, policy),
     })
+}
+
+/// Re-address a fused graph's [`GraphRun`] to the *original* graph: the
+/// result's node ids and names are the original ones, each parameter's
+/// tensor pulled from wherever the fusion plan placed its buffer, while
+/// the timing report keeps the fused launches (with their `replaced`
+/// annotations) so the timeline shows what actually ran.
+pub(crate) fn remap_run(
+    run: GraphRun,
+    original: &TaskGraph,
+    plan: &crate::fuse::FusionPlan,
+) -> GraphRun {
+    // Clone rather than move: several original slots can share one
+    // fused buffer (two fused members reading the same operand).
+    let fused_results = run.results;
+    let results = original
+        .nodes()
+        .iter()
+        .enumerate()
+        .map(|(i, node)| {
+            let params: Vec<Option<Tensor>> = (0..node.program.args.len())
+                .map(|p| {
+                    let (fi, fp) = plan.target(i, p)?;
+                    fused_results.get(fi)?.as_ref()?.get(fp)?.clone()
+                })
+                .collect();
+            params.iter().any(Option::is_some).then_some(params)
+        })
+        .collect();
+    GraphRun {
+        names: original.nodes().iter().map(|n| n.name.clone()).collect(),
+        results,
+        report: run.report,
+    }
 }
 
 /// `launches` is indexed by `NodeId::index()` (one entry per graph node).
@@ -285,6 +335,7 @@ fn schedule_serial(
             end: cursor,
             mapping: launches[id.index()].mapping.clone(),
             tuned_speedup: launches[id.index()].tuned_speedup,
+            replaced: launches[id.index()].replaced.clone(),
             report,
         });
     }
@@ -328,7 +379,15 @@ fn schedule_concurrent(
             .expect("a DAG always has a runnable node while incomplete");
         let idx = free.partition_point(|&s| s < stream_of[done.id]);
         free.insert(idx, stream_of[done.id]);
-        makespan = done.end;
+        // `ConcurrentEngine::advance` completions are time-ordered (the
+        // engine only moves forward); the makespan still folds with
+        // `max` so a violation could never silently shrink it.
+        debug_assert!(
+            done.end >= makespan,
+            "concurrent completions regressed in time: {} after {makespan}",
+            done.end
+        );
+        makespan = makespan.max(done.end);
         nodes.push(NodeTiming {
             node: graph.nodes()[done.id].name.clone(),
             stream: stream_of[done.id],
@@ -336,6 +395,7 @@ fn schedule_concurrent(
             end: done.end,
             mapping: launches[done.id].mapping.clone(),
             tuned_speedup: launches[done.id].tuned_speedup,
+            replaced: launches[done.id].replaced.clone(),
             report: reports[done.id].clone(),
         });
         for &c in &consumers[done.id] {

@@ -1,0 +1,638 @@
+//! Automatic graph-level kernel fusion: rewrite producer→consumer
+//! patterns in a [`TaskGraph`] into the paper's fused kernels.
+//!
+//! The paper's headline kernels are *fusions* of primitive tasks —
+//! Dual-GEMM (Fig. 13c) and GEMM+Reduction (Fig. 13d) exist precisely
+//! to avoid an intermediate HBM round trip and a second kernel launch.
+//! This module closes the loop at the graph level: a `TaskGraph` built
+//! from primitive nodes is pattern-matched and rewritten so those fused
+//! kernels fire automatically under [`FusionPolicy::Auto`], while
+//! [`FusionPolicy::Off`] (the default) leaves every launch exactly as
+//! written.
+//!
+//! # Rewrite rules
+//!
+//! Both rules are *semantics-preserving to the bit*: the functional
+//! simulator accumulates GEMM elements in ascending-`k` order in
+//! unrounded f32 fragments and rounds only at f16 materializations, and
+//! each fused kernel keeps exactly the same rounding points as the
+//! launches it replaces (see the kernel docs of
+//! [`cypress_core::kernels::chain`] and the property suite in
+//! `tests/fusion.rs`).
+//!
+//! 1. **GEMM→GEMM (chained dual-GEMM)** — a `gemm` node whose `C`
+//!    output feeds exactly one consumer: the `A` slot of another `gemm`
+//!    node, with the producer unretained (the intermediate is dead).
+//!    The pair rewrites to one [`cypress_core::kernels::chain`] launch
+//!    `C = (A·B1)·B2` that keeps the intermediate band in shared
+//!    memory.
+//! 2. **GEMM + row-reduction (GEMM+Reduction)** — a `gemm` node and a
+//!    [`cypress_core::kernels::reduction`] node reading the *same* `A`
+//!    tensor (the Fig. 13d dataflow: project a tensor while reducing
+//!    it). The pair rewrites to one `gr` launch with `V` pinned to `N`
+//!    so the fused partial-sum output keeps the standalone reduction's
+//!    `M x 1` shape.
+//!
+//! # The simulator gates every rewrite
+//!
+//! Fusion is not always a win: the chain kernel recomputes intermediate
+//! row bands once per output-column CTA, which is free while the device
+//! is underfilled (the launch-bound regime fusion exists for) but a
+//! loss for device-filling shapes. Mirroring the mapping autotuner, the
+//! session compiles both sides through the kernel cache, solo-times
+//! them with the simulator, and applies a rewrite only when the fused
+//! kernel beats the launches it replaces. A candidate whose fused
+//! kernel does not compile on the session's machine is skipped, never
+//! an error. This makes `makespan(Auto) <= serial_sum(Off)` structural:
+//! every applied rewrite strictly helps, and everything else is left
+//! alone.
+//!
+//! Fused nodes flow through the rest of the runtime like any node: they
+//! get stable fingerprints in the kernel cache, carry a
+//! [`cypress_core::MappingSpace`] so `MappingPolicy::Autotune` tunes
+//! them, schedule under any [`crate::SchedulePolicy`], and their
+//! [`crate::NodeTiming::replaced`] lists the original node names so
+//! timelines stay explainable.
+
+use crate::error::RuntimeError;
+use crate::graph::{Binding, NodeId, TaskGraph};
+use crate::program::Program;
+use cypress_core::kernels::{chain, gemm_reduction};
+use cypress_core::{MappingConfig, MappingSpace, Shape};
+use cypress_sim::MachineConfig;
+use std::sync::Arc;
+
+/// Whether a [`crate::Session`] rewrites graphs before launching them
+/// (mirrors [`crate::SchedulePolicy`] and [`crate::MappingPolicy`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FusionPolicy {
+    /// Launch the graph exactly as written — bit-for-bit identical to a
+    /// session without a fusion rewriter.
+    #[default]
+    Off,
+    /// Rewrite producer→consumer patterns into the paper's fused
+    /// kernels when the simulator confirms the fused launch is faster.
+    /// Functional results are bitwise identical to [`FusionPolicy::Off`];
+    /// only launch count and timeline change.
+    Auto,
+}
+
+/// One applied rewrite: which fused node replaced which originals.
+#[derive(Debug, Clone)]
+pub struct FusionRewrite {
+    /// The fused node in the rewritten graph.
+    pub fused: NodeId,
+    /// The rewrite rule that fired (`"dual_chain"` or
+    /// `"gemm_reduction"`).
+    pub rule: &'static str,
+    /// Names of the original nodes the fused launch replaced.
+    pub replaced: Vec<String>,
+}
+
+/// The result of planning fusion over a graph: the rewritten graph plus
+/// the bookkeeping to map results back to the original addressing.
+#[derive(Debug)]
+pub struct FusionPlan {
+    /// The rewritten graph ([`FusionPolicy::Off`] never builds one).
+    pub graph: TaskGraph,
+    /// Per original node, per parameter: where that parameter's buffer
+    /// lives in the rewritten graph (`None` for parameters a fused node
+    /// no longer materializes, e.g. a dead intermediate).
+    param_map: Vec<Vec<Option<(usize, usize)>>>,
+    /// The rewrites that fired, in application order.
+    pub rewrites: Vec<FusionRewrite>,
+}
+
+impl FusionPlan {
+    /// `true` when no rewrite fired (the plan is the identity).
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        self.rewrites.is_empty()
+    }
+
+    /// Where original `(node, param)` lives in the rewritten graph.
+    #[must_use]
+    pub fn target(&self, node: usize, param: usize) -> Option<(usize, usize)> {
+        *self.param_map.get(node)?.get(param)?
+    }
+
+    /// Original node names each rewritten node replaced (empty for
+    /// nodes that were not fused), indexed by rewritten-graph node.
+    #[must_use]
+    pub fn replaced_by_node(&self) -> Vec<Vec<String>> {
+        let mut out = vec![Vec::new(); self.graph.len()];
+        for r in &self.rewrites {
+            out[r.fused.index()] = r.replaced.clone();
+        }
+        out
+    }
+}
+
+/// A candidate rewrite found by pattern matching, before the simulator
+/// gate has decided whether it pays.
+struct Candidate {
+    rule: &'static str,
+    /// Original node indices replaced (sorted ascending).
+    members: Vec<usize>,
+    /// Insertion position in the original order (the latest member).
+    position: usize,
+    /// The fused program.
+    program: Program,
+    /// Fused-node bindings, expressed against *original* node ids.
+    bindings: Vec<Binding>,
+    /// Full member-parameter correspondence:
+    /// `(member node, member param) -> fused param`. Every member
+    /// parameter that still has a buffer in the fused launch appears
+    /// here — outputs *and* operands — so a retained member exposes the
+    /// same tensors under `Auto` as under `Off`; the only slot with no
+    /// entry is one bound to a fused-away intermediate, which is never
+    /// materialized.
+    param_remap: Vec<(usize, usize, usize)>,
+}
+
+/// How the simulator judges one candidate: solo cycles of the fused
+/// program vs. the summed solo cycles of the programs it replaces.
+/// `None` means "could not evaluate" (e.g. the fused kernel does not
+/// compile here) and vetoes the rewrite.
+pub(crate) trait FusionGate {
+    /// Solo makespan of `program` on the gate's machine, or `None` when
+    /// it cannot be compiled or timed.
+    fn solo_cycles(&mut self, program: &Program) -> Option<f64>;
+}
+
+/// Plan fusion over `graph` for `machine`: match candidates, let `gate`
+/// veto the ones that do not pay, and rebuild the graph with the
+/// survivors applied.
+pub(crate) fn plan(
+    graph: &TaskGraph,
+    machine: &MachineConfig,
+    gate: &mut dyn FusionGate,
+) -> Result<FusionPlan, RuntimeError> {
+    let candidates = match_candidates(graph, machine);
+    let mut accepted: Vec<Candidate> = Vec::new();
+    let mut used = vec![false; graph.len()];
+    for cand in candidates {
+        if cand.members.iter().any(|&m| used[m]) {
+            continue;
+        }
+        let Some(fused_cycles) = gate.solo_cycles(&cand.program) else {
+            continue;
+        };
+        let mut unfused = 0.0f64;
+        let mut ok = true;
+        for &m in &cand.members {
+            match gate.solo_cycles(&graph.nodes()[m].program) {
+                Some(c) => unfused += c,
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok || fused_cycles > unfused {
+            continue;
+        }
+        for &m in &cand.members {
+            used[m] = true;
+        }
+        accepted.push(cand);
+    }
+    apply(graph, accepted)
+}
+
+/// The identity plan (used by `FusionPolicy::Off` paths and tests).
+pub(crate) fn identity_plan(graph: &TaskGraph) -> FusionPlan {
+    FusionPlan {
+        graph: graph.clone(),
+        param_map: graph
+            .nodes()
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (0..n.program.args.len()).map(|p| Some((i, p))).collect())
+            .collect(),
+        rewrites: Vec::new(),
+    }
+}
+
+/// Pattern-match all fusion candidates, deterministically (ascending
+/// consumer node order, chain rule before reduction rule).
+fn match_candidates(graph: &TaskGraph, machine: &MachineConfig) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    let mut claimed = vec![false; graph.len()];
+    let consumers = graph.consumer_counts();
+    let total_consumers: Vec<usize> = consumers.iter().map(|c| c.iter().sum()).collect();
+
+    // Rule 1: gemm -> gemm chains (consumer order).
+    for j in 0..graph.len() {
+        if claimed[j] {
+            continue;
+        }
+        let nj = &graph.nodes()[j];
+        if nj.program.entry != "gemm" || nj.program.args.len() != 3 {
+            continue;
+        }
+        let Binding::Output {
+            node: src,
+            param: 0,
+        } = nj.bindings[1]
+        else {
+            continue;
+        };
+        let i = src.index();
+        if claimed[i] {
+            continue;
+        }
+        let ni = &graph.nodes()[i];
+        // The producer must be a GEMM whose only observable output is
+        // the edge into `j`: unretained, and its C consumed exactly by
+        // this one edge (the intermediate is dead after fusion).
+        if ni.program.entry != "gemm"
+            || ni.program.args.len() != 3
+            || ni.retain
+            || total_consumers[i] != 1
+            || consumers[i][0] != 1
+        {
+            continue;
+        }
+        // Shapes: C1[m,mid] = A[m,k]·B1[k,mid]; C[m,n] = C1·B2[mid,n].
+        let (m, mid) = (ni.program.args[0].rows, ni.program.args[0].cols);
+        let k = ni.program.args[1].cols;
+        let n = nj.program.args[0].cols;
+        let shape = Shape::of(&[m, n, k, mid]);
+        let Some(cfg) = chain::config_for(machine, &shape) else {
+            continue;
+        };
+        let Ok(parts) = chain::ChainSpace.build(&shape, &MappingConfig::Gemm(cfg)) else {
+            continue;
+        };
+        let program =
+            Program::from_parts(parts, "chain").with_space(Arc::new(chain::ChainSpace), shape);
+        // chain(C, A, B1, B2): C from the consumer, A/B1 from the
+        // producer, B2 from the consumer.
+        let bindings = vec![
+            nj.bindings[0].clone(),
+            ni.bindings[1].clone(),
+            ni.bindings[2].clone(),
+            nj.bindings[2].clone(),
+        ];
+        claimed[i] = true;
+        claimed[j] = true;
+        out.push(Candidate {
+            rule: "dual_chain",
+            members: vec![i, j],
+            position: j,
+            program,
+            bindings,
+            // The consumer's A slot (the dead intermediate) is the one
+            // parameter the fused launch no longer materializes.
+            param_remap: vec![(j, 0, 0), (i, 1, 1), (i, 2, 2), (j, 2, 3)],
+        });
+    }
+
+    // Rule 2: gemm + row-reduction over the same A source.
+    for r in 0..graph.len() {
+        if claimed[r] {
+            continue;
+        }
+        let nr = &graph.nodes()[r];
+        if nr.program.entry != "reduce" || nr.program.args.len() != 2 {
+            continue;
+        }
+        for g in 0..graph.len() {
+            if g == r || claimed[g] || claimed[r] {
+                continue;
+            }
+            let ng = &graph.nodes()[g];
+            if ng.program.entry != "gemm" || ng.program.args.len() != 3 {
+                continue;
+            }
+            // Both must read the same A (the reduction of a GEMM's
+            // *output* is a different dataflow and stays unfused).
+            if !same_source(&ng.bindings[1], &nr.bindings[1]) {
+                continue;
+            }
+            let (m, n) = (ng.program.args[0].rows, ng.program.args[0].cols);
+            let k = ng.program.args[1].cols;
+            if nr.program.args[0].rows != m || nr.program.args[1].cols != k {
+                continue;
+            }
+            let position = g.max(r);
+            // Every consumer of either member must come after the fused
+            // node's position, or the rebuilt graph would reference a
+            // node that does not exist yet.
+            let early_consumer = graph.nodes().iter().enumerate().any(|(c, node)| {
+                c <= position
+                    && c != g
+                    && c != r
+                    && node.bindings.iter().any(|b| {
+                        matches!(b, Binding::Output { node, .. } if node.index() == g || node.index() == r)
+                    })
+            });
+            if early_consumer {
+                continue;
+            }
+            let shape = Shape::of(&[m, n, k]);
+            let Some(cfg) = gemm_reduction::config_for_pinned_v(machine, &shape, n) else {
+                continue;
+            };
+            let Ok(parts) = gemm_reduction::build_with(m, n, k, cfg) else {
+                continue;
+            };
+            let program = Program::from_parts(parts, "gr")
+                .with_space(Arc::new(gemm_reduction::PinnedVSpace { v: n }), shape);
+            // gr(C, Y, A, B): C/B from the GEMM, Y from the reduction,
+            // A from the shared source.
+            let bindings = vec![
+                ng.bindings[0].clone(),
+                nr.bindings[0].clone(),
+                ng.bindings[1].clone(),
+                ng.bindings[2].clone(),
+            ];
+            claimed[g] = true;
+            claimed[r] = true;
+            let mut members = vec![g, r];
+            members.sort_unstable();
+            out.push(Candidate {
+                rule: "gemm_reduction",
+                members,
+                position,
+                program,
+                bindings,
+                param_remap: vec![(g, 0, 0), (g, 1, 2), (g, 2, 3), (r, 0, 1), (r, 1, 2)],
+            });
+            break;
+        }
+    }
+
+    // Candidates apply in insertion-position order.
+    out.sort_by_key(|c| c.position);
+    out
+}
+
+/// Two bindings denote the same tensor source.
+fn same_source(a: &Binding, b: &Binding) -> bool {
+    match (a, b) {
+        (Binding::External(x), Binding::External(y)) => x == y,
+        (
+            Binding::Output {
+                node: nx,
+                param: px,
+            },
+            Binding::Output {
+                node: ny,
+                param: py,
+            },
+        ) => nx == ny && px == py,
+        _ => false,
+    }
+}
+
+/// Rebuild the graph with `accepted` rewrites applied, producing the
+/// original→rewritten parameter map.
+fn apply(graph: &TaskGraph, accepted: Vec<Candidate>) -> Result<FusionPlan, RuntimeError> {
+    if accepted.is_empty() {
+        return Ok(identity_plan(graph));
+    }
+    let mut at_position: Vec<Option<&Candidate>> = vec![None; graph.len()];
+    let mut member_of: Vec<Option<&Candidate>> = vec![None; graph.len()];
+    for cand in &accepted {
+        at_position[cand.position] = Some(cand);
+        for &m in &cand.members {
+            member_of[m] = Some(cand);
+        }
+    }
+
+    let mut fused = TaskGraph::new();
+    let mut param_map: Vec<Vec<Option<(usize, usize)>>> = graph
+        .nodes()
+        .iter()
+        .map(|n| vec![None; n.program.args.len()])
+        .collect();
+    let mut rewrites = Vec::new();
+    // A node's buffers survive an unfused launch when it is retained or
+    // a sink; a fused node must therefore be retained whenever any of
+    // its members was kept, or fusing could drop a result the unfused
+    // graph returns (a member that was a sink can stop being one once
+    // its partner's consumers hang off the fused node).
+    let total_consumers: Vec<usize> = graph
+        .consumer_counts()
+        .iter()
+        .map(|c| c.iter().sum())
+        .collect();
+
+    let remap =
+        |param_map: &[Vec<Option<(usize, usize)>>], b: &Binding| -> Result<Binding, RuntimeError> {
+            Ok(match b {
+                Binding::Output { node, param } => {
+                    let (nn, np) =
+                        param_map[node.index()][*param].ok_or_else(|| RuntimeError::Internal {
+                            what: format!(
+                                "fusion dropped a buffer that node {} still consumes",
+                                node.index()
+                            ),
+                        })?;
+                    Binding::Output {
+                        node: NodeId(nn),
+                        param: np,
+                    }
+                }
+                other => other.clone(),
+            })
+        };
+
+    for idx in 0..graph.len() {
+        if let Some(cand) = at_position[idx] {
+            let bindings = cand
+                .bindings
+                .iter()
+                .map(|b| remap(&param_map, b))
+                .collect::<Result<Vec<_>, _>>()?;
+            let name = cand
+                .members
+                .iter()
+                .map(|&m| graph.nodes()[m].name.as_str())
+                .collect::<Vec<_>>()
+                .join("+");
+            let id = fused.add_node(&name, cand.program.clone(), bindings)?;
+            let member_kept = cand
+                .members
+                .iter()
+                .any(|&m| graph.nodes()[m].retain || total_consumers[m] == 0);
+            if member_kept {
+                fused.retain(id)?;
+            }
+            for &(member, member_param, fused_param) in &cand.param_remap {
+                param_map[member][member_param] = Some((id.index(), fused_param));
+            }
+            rewrites.push(FusionRewrite {
+                fused: id,
+                rule: cand.rule,
+                replaced: cand
+                    .members
+                    .iter()
+                    .map(|&m| graph.nodes()[m].name.clone())
+                    .collect(),
+            });
+        } else if member_of[idx].is_none() {
+            let node = &graph.nodes()[idx];
+            let bindings = node
+                .bindings
+                .iter()
+                .map(|b| remap(&param_map, b))
+                .collect::<Result<Vec<_>, _>>()?;
+            let id = fused.add_node(&node.name, node.program.clone(), bindings)?;
+            if node.retain {
+                fused.retain(id)?;
+            }
+            for (p, slot) in param_map[idx].iter_mut().enumerate() {
+                *slot = Some((id.index(), p));
+            }
+        }
+        // Members that are not the insertion position vanish: their
+        // parameters stay mapped through the fused node (set when it
+        // was added); only a slot bound to a fused-away intermediate
+        // maps to nothing.
+    }
+
+    Ok(FusionPlan {
+        graph: fused,
+        param_map,
+        rewrites,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cypress_core::kernels::{gemm, reduction};
+
+    struct AlwaysFuse;
+    impl FusionGate for AlwaysFuse {
+        fn solo_cycles(&mut self, _program: &Program) -> Option<f64> {
+            Some(1.0)
+        }
+    }
+
+    struct NeverFuse;
+    impl FusionGate for NeverFuse {
+        fn solo_cycles(&mut self, _program: &Program) -> Option<f64> {
+            None
+        }
+    }
+
+    fn gemm_program(m: usize, n: usize, k: usize) -> Program {
+        Program::from_parts(
+            gemm::build(m, n, k, &MachineConfig::test_gpu()).unwrap(),
+            "gemm",
+        )
+    }
+
+    fn chain_graph() -> TaskGraph {
+        let mut g = TaskGraph::new();
+        let a = g
+            .add_node(
+                "up",
+                gemm_program(64, 64, 64),
+                vec![
+                    Binding::Zeros,
+                    Binding::external("X"),
+                    Binding::external("W1"),
+                ],
+            )
+            .unwrap();
+        g.add_node(
+            "down",
+            gemm_program(64, 64, 64),
+            vec![
+                Binding::Zeros,
+                Binding::output(a, 0),
+                Binding::external("W2"),
+            ],
+        )
+        .unwrap();
+        g
+    }
+
+    #[test]
+    fn chain_pattern_fuses_to_one_node() {
+        let g = chain_graph();
+        let plan = plan(&g, &MachineConfig::test_gpu(), &mut AlwaysFuse).unwrap();
+        assert_eq!(plan.graph.len(), 1);
+        assert_eq!(plan.rewrites.len(), 1);
+        assert_eq!(plan.rewrites[0].rule, "dual_chain");
+        assert_eq!(plan.rewrites[0].replaced, vec!["up", "down"]);
+        assert_eq!(plan.graph.nodes()[0].name, "up+down");
+        // The consumer's C maps to the fused C; the dead intermediate
+        // maps nowhere.
+        assert_eq!(plan.target(1, 0), Some((0, 0)));
+        assert_eq!(plan.target(0, 0), None);
+    }
+
+    #[test]
+    fn gate_vetoes_everything_when_it_cannot_evaluate() {
+        let g = chain_graph();
+        let plan = plan(&g, &MachineConfig::test_gpu(), &mut NeverFuse).unwrap();
+        assert!(plan.is_identity());
+        assert_eq!(plan.graph.len(), 2);
+    }
+
+    #[test]
+    fn retained_intermediate_stays_unfused() {
+        let mut g = chain_graph();
+        g.retain(NodeId(0)).unwrap();
+        let plan = plan(&g, &MachineConfig::test_gpu(), &mut AlwaysFuse).unwrap();
+        assert!(plan.is_identity());
+    }
+
+    #[test]
+    fn gemm_and_reduction_over_same_source_fuse() {
+        let machine = MachineConfig::test_gpu();
+        let mut g = TaskGraph::new();
+        g.add_node(
+            "proj",
+            gemm_program(64, 64, 64),
+            vec![
+                Binding::Zeros,
+                Binding::external("X"),
+                Binding::external("W"),
+            ],
+        )
+        .unwrap();
+        g.add_node(
+            "stat",
+            Program::from_parts(reduction::build(64, 64, &machine).unwrap(), "reduce"),
+            vec![Binding::Zeros, Binding::external("X")],
+        )
+        .unwrap();
+        let plan = plan(&g, &machine, &mut AlwaysFuse).unwrap();
+        assert_eq!(plan.graph.len(), 1);
+        assert_eq!(plan.rewrites[0].rule, "gemm_reduction");
+        assert_eq!(plan.target(0, 0), Some((0, 0)), "gemm C -> gr C");
+        assert_eq!(plan.target(1, 0), Some((0, 1)), "reduction Y -> gr Y");
+    }
+
+    #[test]
+    fn reduction_of_gemm_output_stays_unfused() {
+        let machine = MachineConfig::test_gpu();
+        let mut g = TaskGraph::new();
+        let a = g
+            .add_node(
+                "proj",
+                gemm_program(64, 64, 64),
+                vec![
+                    Binding::Zeros,
+                    Binding::external("X"),
+                    Binding::external("W"),
+                ],
+            )
+            .unwrap();
+        g.add_node(
+            "stat",
+            Program::from_parts(reduction::build(64, 64, &machine).unwrap(), "reduce"),
+            vec![Binding::Zeros, Binding::output(a, 0)],
+        )
+        .unwrap();
+        let plan = plan(&g, &machine, &mut AlwaysFuse).unwrap();
+        assert!(plan.is_identity());
+    }
+}

@@ -36,7 +36,17 @@
 //!   [`cypress_core::MappingSpace`] via [`Program::from_space`] launch
 //!   the fastest candidate of their space (see [`Session::autotune`] and
 //!   the [`tuner`] docs), with winners persisted in a [`TuningTable`]
-//!   that serializes across sessions.
+//!   that serializes across sessions;
+//! - a [`FusionPolicy`] on the session enabling **automatic graph-level
+//!   kernel fusion** ([`FusionPolicy::Auto`]): producer→consumer
+//!   patterns — a GEMM feeding a GEMM, a GEMM next to a row-reduction
+//!   of the same tensor — are rewritten into the paper's fused kernels
+//!   (chained dual-GEMM, GEMM+Reduction) whenever the simulator
+//!   confirms the fused launch beats the launches it replaces. Results
+//!   are bitwise identical to [`FusionPolicy::Off`]; only launch count
+//!   and timeline change, and every fused launch's
+//!   [`NodeTiming::replaced`] names the original nodes (see the
+//!   [`fuse`] docs).
 //!
 //! # Example: GEMM → GEMM as one graph
 //!
@@ -80,6 +90,7 @@
 pub mod cache;
 pub mod error;
 pub mod executor;
+pub mod fuse;
 pub mod graph;
 pub mod pool;
 pub mod program;
@@ -90,6 +101,7 @@ pub mod tuner;
 pub use cache::{CacheStats, KernelCache};
 pub use error::RuntimeError;
 pub use executor::GraphRun;
+pub use fuse::{FusionPolicy, FusionRewrite};
 pub use graph::{Binding, Node, NodeId, TaskGraph};
 pub use pool::{BufferPool, PoolStats};
 pub use program::{Program, SpaceBinding};

@@ -40,6 +40,12 @@ pub struct NodeTiming {
     /// default (1.0 when the default ran; never below 1.0, since the
     /// default is always one of the tuner's candidates).
     pub tuned_speedup: f64,
+    /// When this launch came from the fusion rewriter
+    /// ([`crate::FusionPolicy::Auto`]): the names of the original graph
+    /// nodes it replaced, in original insertion order. Empty for nodes
+    /// that launched as written — so timelines always say which written
+    /// nodes each launch accounts for.
+    pub replaced: Vec<String>,
     /// The simulator's solo report for this launch (what the node costs
     /// with the device to itself).
     pub report: TimingReport,
@@ -144,9 +150,14 @@ impl GraphReport {
             } else {
                 format!("  [{} {:.2}x]", n.mapping, n.tuned_speedup)
             };
+            let fused = if n.replaced.is_empty() {
+                String::new()
+            } else {
+                format!("  [fused: {}]", n.replaced.join(", "))
+            };
             let _ = writeln!(
                 out,
-                "{:<24} s{} [{:>12.0}, {:>12.0}) {:>14.0} cycles ({:>5.1}%)  {:>8.1} TFLOP/s achieved{mapping}",
+                "{:<24} s{} [{:>12.0}, {:>12.0}) {:>14.0} cycles ({:>5.1}%)  {:>8.1} TFLOP/s achieved{mapping}{fused}",
                 n.node, n.stream, n.start, n.end, n.report.cycles, share, n.report.achieved_tflops
             );
         }
@@ -176,6 +187,7 @@ mod tests {
             end: start + cycles,
             mapping: "default".into(),
             tuned_speedup: 1.0,
+            replaced: Vec::new(),
             report: TimingReport {
                 kernel: name.into(),
                 cycles,

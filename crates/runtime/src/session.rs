@@ -27,11 +27,20 @@
 //! session's [`TuningTable`]. Mapping spaces only enumerate functionally
 //! transparent candidates, so tensors are identical under either policy;
 //! only the timeline changes.
+//!
+//! A third axis, the session's [`FusionPolicy`], chooses *which
+//! launches* a graph turns into. [`FusionPolicy::Off`] (the default)
+//! launches the graph exactly as written. [`FusionPolicy::Auto`] runs
+//! the fusion rewriter (see [`crate::fuse`]) first: producer→consumer
+//! patterns collapse into the paper's fused kernels when the simulator
+//! confirms the fused launch wins, with results re-addressed to the
+//! caller's node ids and bitwise identical either way.
 
 use crate::cache::{CacheStats, KernelCache};
 use crate::error::RuntimeError;
 use crate::executor;
 use crate::executor::{GraphRun, NodeLaunch};
+use crate::fuse::{self, FusionPlan, FusionPolicy};
 use crate::graph::TaskGraph;
 use crate::pool::{BufferPool, PoolStats};
 use crate::program::Program;
@@ -106,6 +115,7 @@ pub struct Session {
     pool: BufferPool,
     policy: SchedulePolicy,
     mapping_policy: MappingPolicy,
+    fusion_policy: FusionPolicy,
     tuning: TuningTable,
     /// Compiled winners per tuning key, so warm `Autotune` launches skip
     /// the space builder entirely.
@@ -113,6 +123,10 @@ pub struct Session {
     /// Keys whose space has no valid candidate on this machine, so warm
     /// fallback launches skip re-enumerating the candidate grid.
     untunable: HashSet<TuningKey>,
+    /// Solo makespans per compiled-kernel fingerprint — what the fusion
+    /// rewriter's simulator gate consults, memoized so warm launches pay
+    /// hash lookups instead of re-simulation.
+    solo_cycles: HashMap<u64, f64>,
 }
 
 impl Session {
@@ -136,9 +150,11 @@ impl Session {
             pool: BufferPool::new(),
             policy: SchedulePolicy::default(),
             mapping_policy: MappingPolicy::default(),
+            fusion_policy: FusionPolicy::default(),
             tuning: TuningTable::new(),
             tuned_launches: HashMap::new(),
             untunable: HashSet::new(),
+            solo_cycles: HashMap::new(),
         }
     }
 
@@ -184,6 +200,29 @@ impl Session {
         self
     }
 
+    /// The fusion policy graph launches currently use.
+    #[must_use]
+    pub fn fusion_policy(&self) -> FusionPolicy {
+        self.fusion_policy
+    }
+
+    /// Change whether subsequent graph launches are rewritten through
+    /// the fusion rewriter (see [`crate::fuse`]). [`FusionPolicy::Off`]
+    /// launches graphs exactly as written; [`FusionPolicy::Auto`]
+    /// collapses producer→consumer patterns into the paper's fused
+    /// kernels when the simulator confirms the fused launch wins —
+    /// functional results stay bitwise identical either way.
+    pub fn set_fusion_policy(&mut self, policy: FusionPolicy) {
+        self.fusion_policy = policy;
+    }
+
+    /// Builder-style [`Session::set_fusion_policy`].
+    #[must_use]
+    pub fn with_fusion_policy(mut self, policy: FusionPolicy) -> Self {
+        self.fusion_policy = policy;
+        self
+    }
+
     /// Bound the kernel cache to at most `capacity` compiled kernels
     /// (LRU eviction; `None` removes the bound). Autotuning compiles one
     /// kernel per candidate, so bounded sessions keep memory flat.
@@ -195,6 +234,21 @@ impl Session {
     #[must_use]
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
         self.cache.set_capacity(Some(capacity));
+        self
+    }
+
+    /// Bound the buffer pool to at most `capacity` parked buffers
+    /// (least-recently-released eviction; `None` removes the bound).
+    /// Sessions serving shape-diverse graphs keep memory flat this way
+    /// instead of parking one buffer per distinct shape forever.
+    pub fn set_pool_capacity(&mut self, capacity: Option<usize>) {
+        self.pool.set_capacity(capacity);
+    }
+
+    /// Builder-style [`Session::set_pool_capacity`].
+    #[must_use]
+    pub fn with_pool_capacity(mut self, capacity: usize) -> Self {
+        self.pool.set_capacity(Some(capacity));
         self
     }
 
@@ -260,13 +314,13 @@ impl Session {
     ///
     /// [`RuntimeError::NoMappingSpace`] when the program carries no
     /// [`crate::SpaceBinding`]; [`RuntimeError::Untunable`] when the
-    /// space has *no* valid candidate for this session's machine and
-    /// shape (e.g. the program was built for a different machine —
-    /// [`MappingPolicy::Autotune`] launches fall back to the program's
-    /// own mapping on this error instead of surfacing it); otherwise
-    /// propagates compile or simulation failures (every candidate a
-    /// space emits must compile — a failure here is a space bug, not a
-    /// tuning miss).
+    /// space has *no* candidate that validates and compiles for this
+    /// session's machine and shape (e.g. the program was built for a
+    /// different machine — [`MappingPolicy::Autotune`] launches fall
+    /// back to the program's own mapping on this error instead of
+    /// surfacing it). Candidates the compiler's allocator rejects are
+    /// skipped — a space's `validate` is a cheap estimate, the compiler
+    /// is the authority. Simulation failures still propagate.
     pub fn autotune(&mut self, program: &Program) -> Result<TunedMapping, RuntimeError> {
         let Some(binding) = program.space.clone() else {
             return Err(RuntimeError::NoMappingSpace {
@@ -313,7 +367,14 @@ impl Session {
         let mut best: Option<(f64, cypress_core::MappingConfig)> = None;
         let total = candidates.len();
         for cfg in candidates {
-            let report = self.time_candidate(&binding, &cfg)?;
+            let report = match self.time_candidate(&binding, &cfg) {
+                Ok(r) => r,
+                // A space's `validate` is a cheap resource estimate; the
+                // compiler's allocator is the authority. Candidates it
+                // rejects are skipped, not errors.
+                Err(RuntimeError::Compile(_)) => continue,
+                Err(e) => return Err(e),
+            };
             if cfg == default_cfg {
                 default_cycles = Some(report.cycles);
             }
@@ -323,7 +384,15 @@ impl Session {
                 best = Some((report.cycles, cfg));
             }
         }
-        let (tuned_cycles, config) = best.expect("at least one candidate was timed");
+        let Some((tuned_cycles, config)) = best else {
+            return Err(RuntimeError::Untunable {
+                entry: program.entry.clone(),
+                reason: cypress_core::CompileError::Unsupported(format!(
+                    "no candidate of `{}`'s mapping space compiles for shape {} on {}",
+                    program.entry, binding.shape, machine.name
+                )),
+            });
+        };
         // When the hand-tuned default is itself invalid for this
         // machine/shape (and therefore was never timed), report the
         // winner as the baseline: speedup 1.0, never a below-1.0 ratio
@@ -392,6 +461,7 @@ impl Session {
                                 compiled,
                                 mapping: mapping_label,
                                 tuned_speedup: tuned.speedup(),
+                                replaced: Vec::new(),
                             };
                             self.tuned_launches.insert(key, launch.clone());
                             return Ok(launch);
@@ -410,6 +480,7 @@ impl Session {
             compiled: self.compile(program)?,
             mapping: "default".to_string(),
             tuned_speedup: 1.0,
+            replaced: Vec::new(),
         })
     }
 
@@ -426,10 +497,37 @@ impl Session {
             .collect()
     }
 
+    /// Plan fusion for `graph` under the session's [`FusionPolicy`]:
+    /// `None` when the policy is `Off` or no rewrite fired.
+    fn fusion_plan(&mut self, graph: &TaskGraph) -> Result<Option<FusionPlan>, RuntimeError> {
+        if self.fusion_policy == FusionPolicy::Off {
+            return Ok(None);
+        }
+        let machine = self.machine().clone();
+        let plan = fuse::plan(graph, &machine, self)?;
+        Ok((!plan.is_identity()).then_some(plan))
+    }
+
+    /// Compile the launches of a fused plan's graph, annotating each
+    /// fused node with the original nodes it replaced.
+    fn compile_plan(&mut self, plan: &FusionPlan) -> Result<Vec<NodeLaunch>, RuntimeError> {
+        let mut launches = self.compile_nodes(&plan.graph)?;
+        for (launch, replaced) in launches.iter_mut().zip(plan.replaced_by_node()) {
+            launch.replaced = replaced;
+        }
+        Ok(launches)
+    }
+
     /// Launch `graph` functionally: real data flows along the graph's
     /// tensor-buffer edges, `inputs` supplies the `External` bindings, and
     /// the result holds every retained node's final tensors plus the
     /// whole-graph timing report.
+    ///
+    /// Under [`FusionPolicy::Auto`] the graph is first rewritten through
+    /// the fusion rewriter (see [`crate::fuse`]); results stay addressed
+    /// by *this* graph's node ids and are bitwise identical to the
+    /// unfused launch, while the report shows the fused launches (each
+    /// [`crate::NodeTiming::replaced`] lists the original nodes).
     ///
     /// # Errors
     ///
@@ -440,6 +538,18 @@ impl Session {
         graph: &TaskGraph,
         inputs: &HashMap<String, Tensor>,
     ) -> Result<GraphRun, RuntimeError> {
+        if let Some(plan) = self.fusion_plan(graph)? {
+            let launches = self.compile_plan(&plan)?;
+            let run = executor::run_functional(
+                &self.simulator,
+                &plan.graph,
+                &launches,
+                inputs,
+                &mut self.pool,
+                self.policy,
+            )?;
+            return Ok(executor::remap_run(run, graph, &plan));
+        }
         let launches = self.compile_nodes(graph)?;
         executor::run_functional(
             &self.simulator,
@@ -456,12 +566,18 @@ impl Session {
     /// according to the session's [`SchedulePolicy`]. Under
     /// [`MappingPolicy::Autotune`] each node with a mapping space
     /// transparently launches its tuned mapping, and the report's
-    /// per-node `mapping` / `tuned_speedup` fields say what ran.
+    /// per-node `mapping` / `tuned_speedup` fields say what ran. Under
+    /// [`FusionPolicy::Auto`] the timeline shows the fused launches,
+    /// each annotated with the original nodes it replaced.
     ///
     /// # Errors
     ///
     /// Returns [`RuntimeError`] on compile or simulation failure.
     pub fn launch_timing(&mut self, graph: &TaskGraph) -> Result<GraphReport, RuntimeError> {
+        if let Some(plan) = self.fusion_plan(graph)? {
+            let launches = self.compile_plan(&plan)?;
+            return executor::run_timing(&self.simulator, &plan.graph, &launches, self.policy);
+        }
         let launches = self.compile_nodes(graph)?;
         executor::run_timing(&self.simulator, graph, &launches, self.policy)
     }
@@ -508,11 +624,35 @@ impl Session {
         self.pool.stats()
     }
 
-    /// Drop all cached kernels, memoized tuned launches, and pooled
-    /// buffers (counters and tuning results are kept).
+    /// Drop all cached kernels, memoized tuned launches, memoized
+    /// fusion-gate timings, and pooled buffers (counters and tuning
+    /// results are kept).
     pub fn clear(&mut self) {
         self.cache.clear();
         self.tuned_launches.clear();
+        self.solo_cycles.clear();
         self.pool.clear();
+    }
+}
+
+impl fuse::FusionGate for Session {
+    /// Solo cycles of `program`, compiled through the kernel cache and
+    /// memoized per fingerprint: what the fusion rewriter compares. A
+    /// program that does not compile (the rewriter's candidate did not
+    /// fit this machine after all) yields `None`, vetoing its rewrite.
+    fn solo_cycles(&mut self, program: &Program) -> Option<f64> {
+        let fp = self.compiler.fingerprint(
+            &program.registry,
+            &program.mapping,
+            &program.entry,
+            &program.args,
+        );
+        if let Some(c) = self.solo_cycles.get(&fp) {
+            return Some(*c);
+        }
+        let compiled = self.compile(program).ok()?;
+        let report = self.simulator.run_timing(&compiled.kernel).ok()?;
+        self.solo_cycles.insert(fp, report.cycles);
+        Some(report.cycles)
     }
 }

@@ -201,3 +201,74 @@ fn pool_reuse_is_counted_across_repeated_launches() {
     assert_eq!(after.acquired, before.acquired);
     assert_eq!(after.reused, before.reused);
 }
+
+#[test]
+fn bounded_pool_never_exceeds_its_cap_across_a_randomized_sweep() {
+    use rand::Rng;
+    // A shape-diverse serving sweep: random graphs of gemms at varying
+    // sizes park buffers of many distinct `(dtype, element count)`
+    // classes. A bounded pool must hold `free <= cap` after every
+    // launch — the unbounded pool's parked set only ever grows.
+    let machine = MachineConfig::test_gpu();
+    let cap = 3usize;
+    let mut bounded = Session::new(machine.clone()).with_pool_capacity(cap);
+    let mut unbounded = Session::new(machine.clone());
+    let mut rng = StdRng::seed_from_u64(41);
+    let mut unbounded_peak = 0usize;
+    for round in 0..16 {
+        let size = 64 * rng.gen_range(1usize..4);
+        let program = Program::from_parts(gemm::build(size, size, size, &machine).unwrap(), "gemm");
+        let mut g = TaskGraph::new();
+        let a = g
+            .add_node(
+                "a",
+                program.clone(),
+                vec![
+                    Binding::Zeros,
+                    Binding::external("A"),
+                    Binding::external("B"),
+                ],
+            )
+            .unwrap();
+        g.add_node(
+            "b",
+            program,
+            vec![
+                Binding::Zeros,
+                Binding::output(a, 0),
+                Binding::external("B"),
+            ],
+        )
+        .unwrap();
+        let mut rng_t = StdRng::seed_from_u64(round);
+        let ins = HashMap::from([
+            (
+                "A".to_string(),
+                Tensor::random(DType::F16, &[size, size], &mut rng_t, -0.5, 0.5),
+            ),
+            (
+                "B".to_string(),
+                Tensor::random(DType::F16, &[size, size], &mut rng_t, -0.5, 0.5),
+            ),
+        ]);
+        bounded.launch_functional(&g, &ins).unwrap();
+        unbounded.launch_functional(&g, &ins).unwrap();
+        let stats = bounded.pool_stats();
+        assert!(
+            stats.free <= cap,
+            "round {round}: bounded pool parked {} > cap {cap}",
+            stats.free
+        );
+        unbounded_peak = unbounded_peak.max(unbounded.pool_stats().free);
+    }
+    let stats = bounded.pool_stats();
+    assert_eq!(stats.capacity, Some(cap));
+    assert!(
+        stats.evicted > 0,
+        "the sweep must actually trigger eviction"
+    );
+    assert!(
+        unbounded_peak > cap,
+        "the sweep parks more than the cap when unbounded (peak {unbounded_peak})"
+    );
+}

@@ -223,6 +223,19 @@ proptest! {
                 "one stream reproduces serial numbers exactly");
         }
 
+        // Completions pop in nondecreasing end order (the engine only
+        // moves forward), and the makespan is their maximum — the
+        // scheduler folds with `max` so neither property can silently
+        // break the other.
+        let mut last_end = 0.0f64;
+        for n in &conc.nodes {
+            prop_assert!(n.end >= last_end,
+                "completion order regressed in time (seed {seed}, streams {streams})");
+            last_end = n.end;
+        }
+        prop_assert_eq!(conc.makespan, last_end.max(0.0),
+            "makespan is the latest completion");
+
         // Same graph, same policy, scheduled twice: identical reports.
         let again = session.launch_timing(&graph).unwrap();
         prop_assert_eq!(conc.makespan, again.makespan);

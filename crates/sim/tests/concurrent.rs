@@ -121,3 +121,74 @@ proptest! {
         }
     }
 }
+
+#[test]
+fn zero_cycle_profiles_retire_immediately_and_in_order() {
+    use cypress_sim::concurrent::{ConcurrentEngine, KernelProfile};
+    let machine = MachineConfig::test_gpu();
+    let zero = KernelProfile {
+        name: "instant".into(),
+        cycles: 0.0,
+        sm_demand: 1.0,
+        hbm_demand: 0.0,
+        l2_demand: 0.0,
+    };
+    let slow = KernelProfile {
+        name: "slow".into(),
+        cycles: 1000.0,
+        sm_demand: 1.0,
+        hbm_demand: 0.0,
+        l2_demand: 0.0,
+    };
+    let mut e = ConcurrentEngine::new(&machine);
+    e.launch(0, &slow);
+    e.launch(1, &zero);
+    e.launch(2, &zero);
+    let mut last_end = f64::NEG_INFINITY;
+    let mut ids = Vec::new();
+    while let Some(done) = e.advance() {
+        assert!(done.end.is_finite(), "no NaN from zero-cycle work");
+        assert!(
+            done.end >= last_end,
+            "completions must be time-ordered: {} after {last_end}",
+            done.end
+        );
+        assert!(done.end >= done.start);
+        last_end = done.end;
+        ids.push(done.id);
+    }
+    // The zero-cycle kernels retire first (at time 0, lowest id first),
+    // then the real one.
+    assert_eq!(ids, vec![1, 2, 0]);
+    assert_eq!(last_end, 1000.0);
+}
+
+#[test]
+fn zero_cycle_report_distills_to_a_safe_profile() {
+    use cypress_sim::concurrent::KernelProfile;
+    use cypress_sim::TimingReport;
+    let machine = MachineConfig::test_gpu();
+    let report = TimingReport {
+        kernel: "empty".into(),
+        cycles: 0.0,
+        seconds: 0.0,
+        tc_flops: 0.0,
+        simt_flops: 0.0,
+        achieved_tflops: 0.0,
+        tc_utilization: 0.0,
+        tma_utilization: 0.0,
+        simt_utilization: 0.0,
+        ctas: 0,
+        simulated_ctas: 0,
+        active_sms: 0,
+        ctas_per_sm: 0,
+        load_bytes: 0.0,
+        store_bytes: 0.0,
+        l2_hit: 0.0,
+        events: 0,
+    };
+    let p = KernelProfile::from_report(&report, &machine);
+    assert!(p.sm_demand >= 1.0, "clamped so rates never divide by zero");
+    assert!(p.hbm_demand.is_finite() && p.l2_demand.is_finite());
+    assert_eq!(p.cycles, 0.0);
+}

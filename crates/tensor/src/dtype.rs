@@ -2,7 +2,7 @@
 //!
 //! The Cypress evaluation runs entirely in FP16 with FP32 accumulation (the
 //! Tensor Core contract). We have no hardware half support in this
-//! environment, so [`f16`] and [`bf16`] are implemented bit-exactly in
+//! environment, so `f16` and [`bf16`] are implemented bit-exactly in
 //! software: values round-trip through the IEEE binary16 / bfloat16 bit
 //! patterns, including subnormals, infinities and NaN.
 

@@ -4,7 +4,7 @@
 //! `cypress-core`) and the GPU simulator (see `cypress-sim`) need to talk
 //! about data:
 //!
-//! - [`DType`] and software-emulated [`f16`]/[`bf16`] element types, so that
+//! - [`DType`] and software-emulated `f16`/[`bf16`] element types, so that
 //!   functional simulation reproduces Tensor Core numerics (FP16 operands,
 //!   FP32 accumulation) without hardware support,
 //! - [`Layout`]: shape/stride layouts with the shared-memory swizzles used to
