@@ -26,10 +26,24 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("autotune");
     g.sample_size(10);
 
-    // Cold: a fresh session per iteration sweeps the whole space.
+    // Cold: a fresh session per iteration sweeps the whole space, one
+    // candidate at a time.
     g.bench_function("gemm_512_cold_sweep", |b| {
         b.iter(|| {
-            let mut session = Session::new(machine.clone());
+            let mut session = Session::new(machine.clone()).with_parallelism(1);
+            session
+                .autotune(&program)
+                .expect("space candidates compile")
+        })
+    });
+
+    // Cold, parallel: the same sweep with candidates compiled and timed
+    // on the session's worker pool (the winner is identical — picked by
+    // candidate index, not completion order).
+    let workers = cypress_sim::par::available();
+    g.bench_function(format!("gemm_512_cold_sweep_parallel_{workers}w"), |b| {
+        b.iter(|| {
+            let mut session = Session::new(machine.clone()).with_parallelism(workers);
             session
                 .autotune(&program)
                 .expect("space candidates compile")

@@ -13,7 +13,7 @@
 use std::process::ExitCode;
 
 /// `(figure id, expected row count)` — sizes x systems per figure.
-const EXPECTED: [(&str, usize); 8] = [
+const EXPECTED: [(&str, usize); 9] = [
     ("13a_gemm", 9),           // 3 sizes x {Cypress, Triton, cuBLAS}
     ("13b_batched_gemm", 9),   // 3 sizes x {Cypress, Triton, cuBLAS}
     ("13c_dual_gemm", 6),      // 3 sizes x {Cypress, Triton}
@@ -22,6 +22,25 @@ const EXPECTED: [(&str, usize); 8] = [
     ("graph_overlap", 6),      // 3 sizes x {serial, 8 streams}
     ("fig_fusion", 12),        // 3 sizes x 2 workloads x {unfused, fused}
     ("fig_autotune", 20),      // 5 paper kernels x 2 sizes x {hand, tuned}
+    ("fig_functional", 6),     // {GEMM, attention, fan-out graph} x {fast/parallel, scalar/serial}
+];
+
+/// The functional data-path gates: `(winner, loser, minimum ratio)` per
+/// measured size. GEMM must beat the retained scalar interpreter by at
+/// least 3x (the acceptance bar of the data-path rewrite); the rest must
+/// never lose. The graph gate carries a small tolerance because both of
+/// its rows are independent wall-clock measurements on a possibly
+/// contended runner — the executor is structurally never slower (one
+/// worker *is* the serial walk), so the slack only absorbs scheduler
+/// jitter, never a real regression.
+const FUNCTIONAL_GATES: [(&str, &str, f64); 3] = [
+    ("GEMM functional (fast)", "GEMM functional (scalar)", 3.0),
+    (
+        "Attention functional (fast)",
+        "Attention functional (scalar)",
+        1.0,
+    ),
+    ("Fan-out graph (parallel)", "Fan-out graph (serial)", 0.95),
 ];
 
 /// The fused workloads of the fusion figure.
@@ -131,6 +150,39 @@ fn check_fusion(json: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// The functional gate: the fast data path and the parallel executor
+/// never lose to the scalar/serial baselines they replaced, and GEMM
+/// clears the 3x acceptance bar.
+fn check_functional(json: &str) -> Result<(), String> {
+    let rows = figure_rows(json, "fig_functional");
+    let sizes: std::collections::BTreeSet<u64> = rows.iter().map(|(_, s, _)| *s).collect();
+    if sizes.is_empty() {
+        return Err("fig_functional: no rows found".to_string());
+    }
+    for &size in &sizes {
+        for (winner, loser, floor) in FUNCTIONAL_GATES {
+            let find = |system: &str| {
+                rows.iter()
+                    .find(|(s, sz, _)| s == system && *sz == size)
+                    .map(|(_, _, t)| *t)
+                    .ok_or_else(|| {
+                        format!("fig_functional: missing series `{system}` at size {size}")
+                    })
+            };
+            let won = find(winner)?;
+            let lost = find(loser)?;
+            if won < floor * lost {
+                return Err(format!(
+                    "fig_functional: `{winner}` at size {size} is only {:.2}x of \
+                     `{loser}` ({won:.1} vs {lost:.1}), below the {floor:.1}x gate",
+                    won / lost
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 fn check(json: &str) -> Result<usize, String> {
     let mut total = 0;
     for (figure, expected) in EXPECTED {
@@ -171,6 +223,7 @@ fn check(json: &str) -> Result<usize, String> {
     }
     check_autotune(json)?;
     check_fusion(json)?;
+    check_functional(json)?;
     Ok(rows)
 }
 
@@ -248,6 +301,11 @@ mod tests {
                         ));
                     }
                 }
+            } else if figure == "fig_functional" {
+                for (winner, loser, _) in super::FUNCTIONAL_GATES {
+                    rows.push(row_with_system(figure, winner, 256, "400.0"));
+                    rows.push(row_with_system(figure, loser, 256, "100.0"));
+                }
             } else {
                 for _ in 0..count {
                     rows.push(row(figure, "123.456"));
@@ -262,7 +320,30 @@ mod tests {
 
     #[test]
     fn complete_file_passes() {
-        assert_eq!(check(&full_file(&[])), Ok(92));
+        assert_eq!(check(&full_file(&[])), Ok(98));
+    }
+
+    #[test]
+    fn functional_gemm_below_3x_fails() {
+        // 2.5x over the scalar path: above 1 but below the 3x gate.
+        let json = full_file(&[]).replacen(
+            "\"system\": \"GEMM functional (fast)\", \"size\": 256, \"tflops\": 400.0",
+            "\"system\": \"GEMM functional (fast)\", \"size\": 256, \"tflops\": 250.0",
+            1,
+        );
+        let err = check(&json).unwrap_err();
+        assert!(err.contains("below the 3.0x gate"), "{err}");
+    }
+
+    #[test]
+    fn parallel_graph_regression_fails() {
+        let json = full_file(&[]).replacen(
+            "\"system\": \"Fan-out graph (parallel)\", \"size\": 256, \"tflops\": 400.0",
+            "\"system\": \"Fan-out graph (parallel)\", \"size\": 256, \"tflops\": 90.0",
+            1,
+        );
+        let err = check(&json).unwrap_err();
+        assert!(err.contains("Fan-out graph (parallel)"), "{err}");
     }
 
     #[test]

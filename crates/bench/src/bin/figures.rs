@@ -7,10 +7,10 @@
 //! Run with `cargo run --release -p cypress-bench --bin figures`.
 
 use cypress_bench::{
-    autotune_entries, fig13a, fig13b, fig13c, fig13d, fig14, fig_autotune, fig_fusion,
-    fig_graph_overlap, overlap_concurrent_system, ratio, Row, AUTOTUNE_HAND_SYSTEM, AUTOTUNE_SIZES,
-    AUTOTUNE_TUNED_SYSTEM, FUSION_SIZES, GEMM_SIZES, OVERLAP_SERIAL_SYSTEM, OVERLAP_SIZES,
-    OVERLAP_WIDTH, SEQ_LENS,
+    autotune_entries, fig13a, fig13b, fig13c, fig13d, fig14, fig_autotune, fig_functional,
+    fig_fusion, fig_graph_overlap, overlap_concurrent_system, ratio, Row, AUTOTUNE_HAND_SYSTEM,
+    AUTOTUNE_SIZES, AUTOTUNE_TUNED_SYSTEM, FUNCTIONAL_FAN_OUT, FUNCTIONAL_SIZE, FUSION_SIZES,
+    GEMM_SIZES, OVERLAP_SERIAL_SYSTEM, OVERLAP_SIZES, OVERLAP_WIDTH, SEQ_LENS,
 };
 use cypress_sim::MachineConfig;
 
@@ -175,6 +175,34 @@ fn main() {
         }
     }
 
+    let fun = fig_functional(&machine);
+    println!("\n=== Functional data path (host-measured, Melem/s and graphs/s) ===");
+    for r in &fun {
+        println!("  {:<28} {:>12.1}", r.system, r.tflops);
+    }
+    println!(
+        "  GEMM fast/scalar = {:.1}x (gated >= 3x), attention fast/scalar = {:.1}x, \
+         {FUNCTIONAL_FAN_OUT}-wide graph parallel/serial = {:.2}x (gated, jitter-tolerant)",
+        ratio(
+            &fun,
+            "GEMM functional (fast)",
+            "GEMM functional (scalar)",
+            FUNCTIONAL_SIZE
+        ),
+        ratio(
+            &fun,
+            "Attention functional (fast)",
+            "Attention functional (scalar)",
+            FUNCTIONAL_SIZE
+        ),
+        ratio(
+            &fun,
+            "Fan-out graph (parallel)",
+            "Fan-out graph (serial)",
+            FUNCTIONAL_SIZE
+        )
+    );
+
     let json = rows_to_json(
         &[
             ("13a_gemm", &a),
@@ -185,6 +213,9 @@ fn main() {
             ("graph_overlap", &g),
             ("fig_fusion", &fu),
             ("fig_autotune", &t),
+            // Host-measured rows; excluded from the bit-identical
+            // regeneration check in CI (see the workflow's sync step).
+            ("fig_functional", &fun),
         ],
         &machine,
     );

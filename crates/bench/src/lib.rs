@@ -485,6 +485,151 @@ pub fn fig_autotune(machine: &MachineConfig) -> Vec<Row> {
     rows
 }
 
+/// Problem size of the functional data-path figure (`M = N = K`, and the
+/// attention sequence length).
+pub const FUNCTIONAL_SIZE: usize = 256;
+/// Attention heads of the functional figure (head dim is [`HEAD_DIM`]).
+pub const FUNCTIONAL_HEADS: usize = 2;
+/// Independent GEMM nodes of the functional fan-out graph.
+pub const FUNCTIONAL_FAN_OUT: usize = 8;
+
+/// Minimum wall time over `runs` calls of `f` (best-of discards cold
+/// compiles and scheduler noise).
+fn best_seconds(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let t0 = std::time::Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// The functional data-path figure — the only **host-measured** figure:
+/// element throughput of functional GEMM and attention on the fast
+/// resolved-view data path versus the retained scalar reference
+/// interpreter (`Simulator::run_functional_scalar`), plus whole-graph
+/// functional wall time of a [`FUNCTIONAL_FAN_OUT`]-wide fan-out under
+/// the serial executor versus the parallel worker pool.
+///
+/// Row values are millions of multiply-accumulates per second for the
+/// kernels and graph launches per second for the fan-out rows — higher
+/// is better in both, and `check_figures` gates fast ≥ 3× scalar on
+/// GEMM and speedup ≥ 1 on the rest. Because these rows are wall-clock
+/// measurements they are *not* covered by the bit-identical
+/// regeneration check that guards every simulated figure.
+#[must_use]
+pub fn fig_functional(machine: &MachineConfig) -> Vec<Row> {
+    use cypress_tensor::{DType, Tensor};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    let mut rows = Vec::new();
+    let size = FUNCTIONAL_SIZE;
+    let sim = Simulator::new(machine.clone());
+    let mut rng = StdRng::seed_from_u64(20_26);
+
+    // GEMM: fast vs scalar data path.
+    let (reg, mapping, args) = gemm::build(size, size, size, machine).expect("paper kernel builds");
+    let kernel = compile_cypress(machine, &reg, &mapping, "gemm", &args);
+    let a = Tensor::random(DType::F16, &[size, size], &mut rng, -1.0, 1.0);
+    let b = Tensor::random(DType::F16, &[size, size], &mut rng, -1.0, 1.0);
+    let c = Tensor::zeros(DType::F16, &[size, size]);
+    let macs = (size * size * size) as f64;
+    let fast = best_seconds(2, || {
+        sim.run_functional(&kernel, vec![c.clone(), a.clone(), b.clone()])
+            .expect("functional gemm runs");
+    });
+    let scalar = best_seconds(2, || {
+        sim.run_functional_scalar(&kernel, vec![c.clone(), a.clone(), b.clone()])
+            .expect("scalar functional gemm runs");
+    });
+    rows.push(Row {
+        system: "GEMM functional (fast)".into(),
+        size,
+        tflops: macs / fast / 1e6,
+    });
+    rows.push(Row {
+        system: "GEMM functional (scalar)".into(),
+        size,
+        tflops: macs / scalar / 1e6,
+    });
+
+    // Attention (FA2): the SIMT-heavy softmax path.
+    let heads = FUNCTIONAL_HEADS;
+    let (reg, mapping, args) =
+        attention::build(attention::Algorithm::Fa2, heads, size, HEAD_DIM, machine)
+            .expect("paper kernel builds");
+    let kernel = compile_cypress(machine, &reg, &mapping, "fa", &args);
+    let mk =
+        |rng: &mut StdRng| Tensor::random(DType::F16, &[heads * size, HEAD_DIM], rng, -1.0, 1.0);
+    let (q, k, v) = (mk(&mut rng), mk(&mut rng), mk(&mut rng));
+    let o = Tensor::zeros(DType::F16, &[heads * size, HEAD_DIM]);
+    let macs = attention::flops(heads, size, HEAD_DIM) / 2.0;
+    let fast = best_seconds(2, || {
+        sim.run_functional(&kernel, vec![o.clone(), q.clone(), k.clone(), v.clone()])
+            .expect("functional attention runs");
+    });
+    let scalar = best_seconds(2, || {
+        sim.run_functional_scalar(&kernel, vec![o.clone(), q.clone(), k.clone(), v.clone()])
+            .expect("scalar functional attention runs");
+    });
+    rows.push(Row {
+        system: "Attention functional (fast)".into(),
+        size,
+        tflops: macs / fast / 1e6,
+    });
+    rows.push(Row {
+        system: "Attention functional (scalar)".into(),
+        size,
+        tflops: macs / scalar / 1e6,
+    });
+
+    // Fan-out graph: serial executor vs the scoped worker pool.
+    let graph = overlap_graph(FUNCTIONAL_FAN_OUT, size, machine);
+    let mut inputs = HashMap::new();
+    for i in 0..FUNCTIONAL_FAN_OUT {
+        for name in [format!("A{i}"), format!("B{i}")] {
+            inputs.insert(
+                name,
+                Tensor::random(DType::F16, &[size, size], &mut rng, -1.0, 1.0),
+            );
+        }
+    }
+    let mut serial_session = Session::new(machine.clone()).with_parallelism(1);
+    let serial = best_seconds(5, || {
+        serial_session
+            .launch_functional(&graph, &inputs)
+            .expect("serial functional graph runs");
+    });
+    let workers = cypress_sim::par::available();
+    let parallel = if workers <= 1 {
+        // With one worker the parallel executor *is* the serial walk
+        // (byte for byte), so re-measuring it would only add noise to
+        // the `parallel >= serial` gate on single-core hosts.
+        serial
+    } else {
+        let mut parallel_session = Session::new(machine.clone()).with_parallelism(workers);
+        best_seconds(5, || {
+            parallel_session
+                .launch_functional(&graph, &inputs)
+                .expect("parallel functional graph runs");
+        })
+    };
+    rows.push(Row {
+        system: "Fan-out graph (serial)".into(),
+        size,
+        tflops: 1.0 / serial,
+    });
+    rows.push(Row {
+        system: "Fan-out graph (parallel)".into(),
+        size,
+        tflops: 1.0 / parallel,
+    });
+    rows
+}
+
 /// Helper: the measured ratio of `a` over `b` at `size`.
 #[must_use]
 pub fn ratio(rows: &[Row], a: &str, b: &str, size: usize) -> f64 {

@@ -7,7 +7,11 @@
 //! one launch become the input buffers of the next — recycling dead
 //! intermediates through the [`BufferPool`]. Data always moves in the
 //! deterministic topological schedule, so functional results are
-//! bit-identical across policies. In **timing** mode no data moves;
+//! bit-identical across policies — and across worker counts: with
+//! host parallelism above 1 each ready wave of nodes runs concurrently
+//! on [`cypress_sim::par`]'s scoped pool, with inputs materialized and
+//! results joined serially in ascending node order. In **timing** mode
+//! no data moves;
 //! per-node [`cypress_sim::TimingReport`]s are assembled into a
 //! [`GraphReport`] according to the session's
 //! [`crate::SchedulePolicy`]:
@@ -92,25 +96,45 @@ fn keeps_buffers(graph: &TaskGraph, node: usize, total_consumers: &[usize]) -> b
     graph.nodes()[node].retain || total_consumers[node] == 0
 }
 
-/// `launches` is indexed by `NodeId::index()` (one entry per graph node).
-pub(crate) fn run_functional(
-    simulator: &Simulator,
-    graph: &TaskGraph,
-    launches: &[NodeLaunch],
-    inputs: &HashMap<String, Tensor>,
-    pool: &mut BufferPool,
-    policy: SchedulePolicy,
-) -> Result<GraphRun, RuntimeError> {
-    let schedule = graph.schedule();
-    let mut per_param = graph.consumer_counts();
-    let total_initial: Vec<usize> = per_param.iter().map(|c| c.iter().sum()).collect();
-    let mut total_remaining = total_initial.clone();
-    let mut slots: Vec<Option<Vec<Option<Tensor>>>> = vec![None; graph.len()];
-    let mut reports: Vec<Option<TimingReport>> = vec![None; graph.len()];
+/// Tensor-buffer edge bookkeeping shared by the serial and parallel
+/// functional walks: which producer slots still have pending consumers,
+/// when a buffer's last use lets it move instead of clone, and when a
+/// drained producer's buffers recycle into the pool.
+struct EdgeBuffers {
+    /// Pending consumers per `(node, param)`.
+    per_param: Vec<Vec<usize>>,
+    /// Total consumers each node started with.
+    total_initial: Vec<usize>,
+    /// Total consumers each node still has.
+    total_remaining: Vec<usize>,
+    /// Produced tensors per node (`None` until the node ran, entries
+    /// taken by last uses or recycled into the pool).
+    slots: Vec<Option<Vec<Option<Tensor>>>>,
+}
 
-    for &id in &schedule {
+impl EdgeBuffers {
+    fn new(graph: &TaskGraph) -> Self {
+        let per_param = graph.consumer_counts();
+        let total_initial: Vec<usize> = per_param.iter().map(|c| c.iter().sum()).collect();
+        EdgeBuffers {
+            total_remaining: total_initial.clone(),
+            per_param,
+            total_initial,
+            slots: vec![None; graph.len()],
+        }
+    }
+
+    /// Assemble the launch-parameter tensors of `id` from its bindings:
+    /// externals are validated and cloned, upstream buffers are moved on
+    /// their last use and cloned otherwise, `Zeros` come from the pool.
+    fn materialize(
+        &mut self,
+        graph: &TaskGraph,
+        id: NodeId,
+        inputs: &HashMap<String, Tensor>,
+        pool: &mut BufferPool,
+    ) -> Result<Vec<Tensor>, RuntimeError> {
         let node = &graph.nodes()[id.index()];
-        let compiled = &launches[id.index()].compiled;
         let mut params = Vec::with_capacity(node.bindings.len());
         for (i, binding) in node.bindings.iter().enumerate() {
             let arg = &node.program.args[i];
@@ -147,8 +171,8 @@ pub(crate) fn run_functional(
                     t.clone()
                 }
                 Binding::Output { node: src, param } => {
-                    per_param[src.0][*param] -= 1;
-                    total_remaining[src.0] -= 1;
+                    self.per_param[src.0][*param] -= 1;
+                    self.total_remaining[src.0] -= 1;
                     let missing = || RuntimeError::Internal {
                         what: format!(
                             "edge buffer ({}, {param}) was not produced before its consumer \
@@ -156,12 +180,12 @@ pub(crate) fn run_functional(
                             src.0
                         ),
                     };
-                    let slot = slots[src.0]
+                    let slot = self.slots[src.0]
                         .as_mut()
                         .and_then(|s| s.get_mut(*param))
                         .ok_or_else(missing)?;
-                    let last_use = per_param[src.0][*param] == 0
-                        && !keeps_buffers(graph, src.0, &total_initial);
+                    let last_use = self.per_param[src.0][*param] == 0
+                        && !keeps_buffers(graph, src.0, &self.total_initial);
                     if last_use {
                         slot.take().ok_or_else(missing)?
                     } else {
@@ -172,20 +196,98 @@ pub(crate) fn run_functional(
             };
             params.push(tensor);
         }
+        Ok(params)
+    }
 
-        let run = simulator.run_functional(&compiled.kernel, params)?;
-        reports[id.index()] = Some(run.report);
-        slots[id.index()] = Some(run.params.into_iter().map(Some).collect());
+    /// Record the tensors `id` produced.
+    fn store(&mut self, id: NodeId, tensors: Vec<Tensor>) {
+        self.slots[id.index()] = Some(tensors.into_iter().map(Some).collect());
+    }
 
-        // Recycle any producer this node just finished draining.
+    /// Recycle any producer that `id` (just finished) drained.
+    fn recycle_drained(&mut self, graph: &TaskGraph, id: NodeId, pool: &mut BufferPool) {
         for dep in graph.dependencies(id) {
-            if total_remaining[dep.0] == 0 && !keeps_buffers(graph, dep.0, &total_initial) {
-                if let Some(rest) = slots[dep.0].take() {
+            if self.total_remaining[dep.0] == 0 && !keeps_buffers(graph, dep.0, &self.total_initial)
+            {
+                if let Some(rest) = self.slots[dep.0].take() {
                     for t in rest.into_iter().flatten() {
                         pool.release(t);
                     }
                 }
             }
+        }
+    }
+}
+
+/// `launches` is indexed by `NodeId::index()` (one entry per graph node).
+/// With `parallelism <= 1` nodes run one at a time in the deterministic
+/// topological schedule — the pre-parallel behavior, byte for byte. With
+/// more workers, each *ready wave* of nodes (all dependencies satisfied)
+/// runs concurrently on the scoped worker pool; inputs are materialized
+/// and results joined serially in ascending node order. Each launch is a
+/// deterministic function of its input tensors (and pooled buffers are
+/// handed out zeroed), so tensors and reports are bit-identical at every
+/// parallelism level — only wall time changes.
+pub(crate) fn run_functional(
+    simulator: &Simulator,
+    graph: &TaskGraph,
+    launches: &[NodeLaunch],
+    inputs: &HashMap<String, Tensor>,
+    pool: &mut BufferPool,
+    policy: SchedulePolicy,
+    parallelism: usize,
+) -> Result<GraphRun, RuntimeError> {
+    let mut edges = EdgeBuffers::new(graph);
+    let mut reports: Vec<Option<TimingReport>> = vec![None; graph.len()];
+
+    if parallelism <= 1 {
+        for &id in &graph.schedule() {
+            let params = edges.materialize(graph, id, inputs, pool)?;
+            let run = simulator.run_functional(&launches[id.index()].compiled.kernel, params)?;
+            reports[id.index()] = Some(run.report);
+            edges.store(id, run.params);
+            edges.recycle_drained(graph, id, pool);
+        }
+    } else {
+        let (mut indegree, consumers) = graph.dependency_edges();
+        let mut wave: Vec<usize> = (0..graph.len()).filter(|&i| indegree[i] == 0).collect();
+        while !wave.is_empty() {
+            // Materialize inputs serially in ascending node order (the
+            // take-vs-clone bookkeeping is order-sensitive), then run the
+            // whole wave on the worker pool.
+            let mut jobs = Vec::with_capacity(wave.len());
+            for &idx in &wave {
+                let id = NodeId(idx);
+                let params = edges.materialize(graph, id, inputs, pool)?;
+                jobs.push((idx, Arc::clone(&launches[idx].compiled), params));
+            }
+            let runs = cypress_sim::par::parallel_map(
+                parallelism,
+                jobs,
+                |(idx, compiled, params): (usize, Arc<Compiled>, Vec<Tensor>)| {
+                    (idx, simulator.run_functional(&compiled.kernel, params))
+                },
+            );
+            // Join in input (ascending node) order.
+            for (idx, run) in runs {
+                let run = run?;
+                reports[idx] = Some(run.report);
+                edges.store(NodeId(idx), run.params);
+            }
+            for &idx in &wave {
+                edges.recycle_drained(graph, NodeId(idx), pool);
+            }
+            let mut next = Vec::new();
+            for &idx in &wave {
+                for &c in &consumers[idx] {
+                    indegree[c] -= 1;
+                    if indegree[c] == 0 {
+                        next.push(c);
+                    }
+                }
+            }
+            next.sort_unstable();
+            wave = next;
         }
     }
 
@@ -201,7 +303,7 @@ pub(crate) fn run_functional(
         .collect::<Result<_, _>>()?;
     Ok(GraphRun {
         names: graph.nodes().iter().map(|n| n.name.clone()).collect(),
-        results: slots,
+        results: edges.slots,
         report: assemble_report(simulator.machine(), graph, launches, &reports, policy),
     })
 }

@@ -47,6 +47,13 @@
 //!   and timeline change, and every fused launch's
 //!   [`NodeTiming::replaced`] names the original nodes (see the
 //!   [`fuse`] docs).
+//! - **host-side parallelism** on the session
+//!   ([`Session::set_parallelism`], default = available cores): the
+//!   functional executor runs each ready wave of nodes on a scoped
+//!   worker pool, and `Session::autotune` compiles and times space
+//!   candidates in parallel. Tensors, reports, and tuning winners are
+//!   bit-identical at every worker count (`1` is byte-for-byte the
+//!   serial path); only wall time changes.
 //!
 //! # Example: GEMM → GEMM as one graph
 //!

@@ -127,6 +127,10 @@ pub struct Session {
     /// rewriter's simulator gate consults, memoized so warm launches pay
     /// hash lookups instead of re-simulation.
     solo_cycles: HashMap<u64, f64>,
+    /// Host worker threads for the functional graph executor, the
+    /// autotune sweep, and concurrent solo timing (see
+    /// [`Session::set_parallelism`]).
+    parallelism: usize,
 }
 
 impl Session {
@@ -155,6 +159,7 @@ impl Session {
             tuned_launches: HashMap::new(),
             untunable: HashSet::new(),
             solo_cycles: HashMap::new(),
+            parallelism: cypress_sim::par::available(),
         }
     }
 
@@ -249,6 +254,31 @@ impl Session {
     #[must_use]
     pub fn with_pool_capacity(mut self, capacity: usize) -> Self {
         self.pool.set_capacity(Some(capacity));
+        self
+    }
+
+    /// The host worker threads the session currently uses.
+    #[must_use]
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Set how many host worker threads the session may use (clamped to
+    /// at least 1; new sessions default to the available cores). The
+    /// workers parallelize *host-side* work — running ready graph nodes
+    /// in the functional executor, compiling and timing autotune
+    /// candidates, and solo-timing kernel batches. `1` reproduces the
+    /// serial behavior exactly; at every setting tensors, reports, and
+    /// tuning winners are bit-identical — only wall time changes.
+    pub fn set_parallelism(&mut self, parallelism: usize) {
+        self.parallelism = parallelism.max(1);
+        self.simulator.set_parallelism(parallelism);
+    }
+
+    /// Builder-style [`Session::set_parallelism`].
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.set_parallelism(parallelism);
         self
     }
 
@@ -366,22 +396,35 @@ impl Session {
         let mut default_cycles = None;
         let mut best: Option<(f64, cypress_core::MappingConfig)> = None;
         let total = candidates.len();
-        for cfg in candidates {
-            let report = match self.time_candidate(&binding, &cfg) {
-                Ok(r) => r,
-                // A space's `validate` is a cheap resource estimate; the
-                // compiler's allocator is the authority. Candidates it
-                // rejects are skipped, not errors.
-                Err(RuntimeError::Compile(_)) => continue,
-                Err(e) => return Err(e),
-            };
-            if cfg == default_cfg {
-                default_cycles = Some(report.cycles);
+        if self.parallelism <= 1 {
+            for cfg in candidates {
+                let report = match self.time_candidate(&binding, &cfg) {
+                    Ok(r) => r,
+                    // A space's `validate` is a cheap resource estimate; the
+                    // compiler's allocator is the authority. Candidates it
+                    // rejects are skipped, not errors.
+                    Err(RuntimeError::Compile(_)) => continue,
+                    Err(e) => return Err(e),
+                };
+                if cfg == default_cfg {
+                    default_cycles = Some(report.cycles);
+                }
+                // Strict `<` keeps the earliest candidate on ties, making the
+                // winner independent of session history.
+                if best.as_ref().is_none_or(|(c, _)| report.cycles < *c) {
+                    best = Some((report.cycles, cfg));
+                }
             }
-            // Strict `<` keeps the earliest candidate on ties, making the
-            // winner independent of session history.
-            if best.as_ref().is_none_or(|(c, _)| report.cycles < *c) {
-                best = Some((report.cycles, cfg));
+        } else {
+            for (cycles, cfg) in self.sweep_parallel(&binding, candidates)? {
+                if cfg == default_cfg {
+                    default_cycles = Some(cycles);
+                }
+                // Candidate order and the strict `<` are preserved, so the
+                // winner is the same one the serial sweep picks.
+                if best.as_ref().is_none_or(|(c, _)| cycles < *c) {
+                    best = Some((cycles, cfg));
+                }
             }
         }
         let Some((tuned_cycles, config)) = best else {
@@ -418,6 +461,111 @@ impl Session {
         let candidate = Program::new(registry, mapping, binding.space.entry(), args);
         let compiled = self.compile(&candidate)?;
         Ok(self.simulator.run_timing(&compiled.kernel)?)
+    }
+
+    /// The parallel cold sweep: compile every cache-missing candidate on
+    /// the worker pool, replay the cache lookups in candidate order (so
+    /// hit/miss counters and LRU behavior match the serial sweep
+    /// exactly), then solo-time each distinct compiled kernel in
+    /// parallel. Returns `(cycles, config)` in candidate order —
+    /// bit-identical values to the serial sweep, so the caller's
+    /// first-wins tie break picks the same winner. Candidates the
+    /// builder or compiler rejects are skipped; simulation failures
+    /// propagate.
+    fn sweep_parallel(
+        &mut self,
+        binding: &crate::program::SpaceBinding,
+        candidates: Vec<cypress_core::MappingConfig>,
+    ) -> Result<Vec<(f64, cypress_core::MappingConfig)>, RuntimeError> {
+        use cypress_sim::par;
+        // Build every candidate program up front (cheap, pure); builder
+        // rejections are skipped like compiler rejections.
+        let mut built = Vec::with_capacity(candidates.len());
+        for cfg in candidates {
+            let Ok((registry, mapping, args)) = binding.space.build(&binding.shape, &cfg) else {
+                continue;
+            };
+            let program = Program::new(registry, mapping, binding.space.entry(), args);
+            let fp = self.compiler.fingerprint(
+                &program.registry,
+                &program.mapping,
+                &program.entry,
+                &program.args,
+            );
+            built.push((cfg, program, fp));
+        }
+        // Compile the cache misses on the worker pool.
+        let compiler = &self.compiler;
+        let mut queued = HashSet::new();
+        let jobs: Vec<(u64, &Program)> = built
+            .iter()
+            .filter(|(_, _, fp)| self.cache.peek(*fp).is_none() && queued.insert(*fp))
+            .map(|(_, program, fp)| (*fp, program))
+            .collect();
+        let mut precompiled: HashMap<u64, Result<cypress_core::Compiled, _>> =
+            par::parallel_map(self.parallelism, jobs, |(fp, p)| {
+                let result = compiler.compile_with_fingerprint(
+                    &p.registry,
+                    &p.mapping,
+                    &p.entry,
+                    &p.args,
+                    fp,
+                );
+                (fp, result)
+            })
+            .into_iter()
+            .collect();
+        // Replay the lookups in candidate order; misses consume the
+        // precompiled kernels (recompiling inline only if a bounded cache
+        // evicted an entry mid-sweep, exactly as the serial sweep would).
+        let mut resident = Vec::with_capacity(built.len());
+        for (cfg, program, fp) in built {
+            let compiled = self.cache.get_or_compile(fp, || {
+                precompiled.remove(&fp).unwrap_or_else(|| {
+                    compiler.compile_with_fingerprint(
+                        &program.registry,
+                        &program.mapping,
+                        &program.entry,
+                        &program.args,
+                        fp,
+                    )
+                })
+            });
+            match compiled {
+                Ok(compiled) => resident.push((cfg, compiled)),
+                // The compiler's allocator is the authority; its
+                // rejections are skipped, not errors.
+                Err(_) => continue,
+            }
+        }
+        // Solo-time each distinct kernel on the worker pool. Timing is
+        // deterministic per kernel, so deduplication cannot change any
+        // candidate's cycles.
+        let mut seen = HashSet::new();
+        let sims: Vec<Arc<Compiled>> = resident
+            .iter()
+            .filter(|(_, c)| seen.insert(c.fingerprint))
+            .map(|(_, c)| Arc::clone(c))
+            .collect();
+        let simulator = &self.simulator;
+        let timed = par::parallel_map(self.parallelism, sims, |c| {
+            (c.fingerprint, simulator.run_timing(&c.kernel))
+        });
+        let mut cycles_by_fp = HashMap::new();
+        for (fp, report) in timed {
+            cycles_by_fp.insert(fp, report?.cycles);
+        }
+        resident
+            .into_iter()
+            .map(|(cfg, compiled)| {
+                let cycles = cycles_by_fp.get(&compiled.fingerprint).ok_or_else(|| {
+                    RuntimeError::Internal {
+                        what: "a resident autotune candidate was never timed".into(),
+                    }
+                })?;
+                Ok((*cycles, cfg))
+            })
+            .collect()
     }
 
     /// The program a node should launch under the session's
@@ -547,6 +695,7 @@ impl Session {
                 inputs,
                 &mut self.pool,
                 self.policy,
+                self.parallelism,
             )?;
             return Ok(executor::remap_run(run, graph, &plan));
         }
@@ -558,6 +707,7 @@ impl Session {
             inputs,
             &mut self.pool,
             self.policy,
+            self.parallelism,
         )
     }
 

@@ -195,6 +195,65 @@ fn functional_results_are_policy_independent() {
     assert_eq!(rs.report.makespan, rs.report.serial_sum());
 }
 
+/// Host-side executor parallelism never changes results: the same graph
+/// run at `parallelism ∈ {1, 2, 8}` — across repeated launches and
+/// across fresh sessions — produces bit-identical tensors and reports.
+#[test]
+fn functional_results_are_parallelism_independent() {
+    let machine = MachineConfig::test_gpu();
+    let (graph, gemms, sink) = fan_out_graph(&machine);
+    let ins = inputs(17);
+
+    let mut baseline = Session::new(machine.clone()).with_parallelism(1);
+    let base = baseline.launch_functional(&graph, &ins).unwrap();
+
+    for parallelism in [1, 2, 8] {
+        let mut session = Session::new(machine.clone()).with_parallelism(parallelism);
+        assert_eq!(session.parallelism(), parallelism);
+        let first = session.launch_functional(&graph, &ins).unwrap();
+        // Same session again: pool-recycled buffers must not leak state.
+        let second = session.launch_functional(&graph, &ins).unwrap();
+        for run in [&first, &second] {
+            assert_reports_identical(&base.report, &run.report);
+            for param in 0..2 {
+                assert_eq!(
+                    base.tensor(sink, param).unwrap().data(),
+                    run.tensor(sink, param).unwrap().data(),
+                    "sink param {param} must be bit-identical at parallelism {parallelism}"
+                );
+            }
+        }
+        // Interior fan-out nodes were recycled identically in every mode.
+        for &g in &gemms {
+            assert_eq!(base.tensor(g, 0).is_some(), first.tensor(g, 0).is_some());
+        }
+    }
+}
+
+/// Parallel execution composes with the concurrent schedule policy: the
+/// timing timeline comes from the policy, the tensors from the
+/// deterministic executor, and neither depends on the worker count.
+#[test]
+fn parallelism_composes_with_concurrent_policy() {
+    let machine = MachineConfig::test_gpu();
+    let (graph, _, sink) = fan_out_graph(&machine);
+    let ins = inputs(19);
+
+    let mut serial = Session::new(machine.clone()).with_parallelism(1);
+    let rs = serial.launch_functional(&graph, &ins).unwrap();
+    let mut parallel = Session::new(machine)
+        .with_parallelism(4)
+        .with_policy(SchedulePolicy::Concurrent { streams: 4 });
+    let rp = parallel.launch_functional(&graph, &ins).unwrap();
+
+    assert_eq!(
+        rs.tensor(sink, 0).unwrap().data(),
+        rp.tensor(sink, 0).unwrap().data()
+    );
+    assert!(rp.report.makespan < rp.report.serial_sum());
+    assert_eq!(rp.report.streams, 4);
+}
+
 /// Stream count 1 reproduces today's serial numbers exactly — same node
 /// order, same per-node cycles, same makespan, bit for bit.
 #[test]

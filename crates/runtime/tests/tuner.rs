@@ -163,6 +163,63 @@ fn autotune_results_are_cached_in_the_table() {
     assert_eq!(session.tuning_table().len(), 1);
 }
 
+/// The parallel sweep is transparent: for every paper kernel, a session
+/// tuning on the worker pool picks the identical winner with identical
+/// cycle counts *and* identical kernel-cache counters as the serial
+/// sweep — the workers only change wall time.
+#[test]
+fn parallel_sweep_matches_serial_sweep_exactly() {
+    let machine = MachineConfig::test_gpu();
+    let mut rng = StdRng::seed_from_u64(31);
+    for space in paper_spaces() {
+        let shape = random_shape(space.as_ref(), &mut rng);
+        let Ok(program) = Program::from_space(Arc::clone(&space), shape.clone(), &machine) else {
+            continue;
+        };
+        let mut serial = Session::new(machine.clone()).with_parallelism(1);
+        let want = serial.autotune(&program).unwrap();
+        for parallelism in [2, 8] {
+            let mut parallel = Session::new(machine.clone()).with_parallelism(parallelism);
+            let got = parallel.autotune(&program).unwrap();
+            assert_eq!(
+                want,
+                got,
+                "{} {shape} at parallelism {parallelism}",
+                space.entry()
+            );
+            assert_eq!(
+                serial.cache_stats(),
+                parallel.cache_stats(),
+                "cache counters must match the serial sweep ({})",
+                space.entry()
+            );
+        }
+    }
+}
+
+/// A bounded kernel cache behaves identically under the parallel sweep:
+/// the lookup replay preserves the serial hit/miss/eviction sequence.
+#[test]
+fn parallel_sweep_preserves_bounded_cache_semantics() {
+    let machine = MachineConfig::test_gpu();
+    let program = Program::from_space(
+        Arc::new(gemm::GemmSpace),
+        Shape::of(&[128, 128, 128]),
+        &machine,
+    )
+    .unwrap();
+    let mut serial = Session::new(machine.clone())
+        .with_parallelism(1)
+        .with_cache_capacity(2);
+    let want = serial.autotune(&program).unwrap();
+    let mut parallel = Session::new(machine)
+        .with_parallelism(4)
+        .with_cache_capacity(2);
+    let got = parallel.autotune(&program).unwrap();
+    assert_eq!(want, got);
+    assert_eq!(serial.cache_stats(), parallel.cache_stats());
+}
+
 #[test]
 fn tuning_tables_persist_across_sessions() {
     let machine = MachineConfig::test_gpu();

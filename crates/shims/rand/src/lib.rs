@@ -32,6 +32,14 @@ pub trait Rng: RngCore {
     {
         T::sample_standard(self)
     }
+
+    /// Sample `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self) < p
+    }
 }
 
 impl<R: RngCore> Rng for R {}

@@ -1,0 +1,1170 @@
+//! The functional data path: resolved flat-buffer views and bulk applies.
+//!
+//! Functional mode used to interpret every scalar element access through a
+//! `match` on the memory object plus two-dimensional index arithmetic and a
+//! per-element dtype conversion. This module is the fast replacement: each
+//! resolved slice ([`RSlice`]) is turned **once per apply** into a [`View`]
+//! — a flat buffer key plus base offset and row stride — and the applies
+//! run as bulk operations over contiguous rows:
+//!
+//! - [`wgmma`] is a blocked microkernel (hoisted row bases, `JB`-column
+//!   blocking, a dedicated `transpose_b` dot-product path). The k-loop
+//!   accumulation order of every output element is exactly the scalar
+//!   interpreter's, so results are **bitwise identical**.
+//! - [`copy`] streams whole rows with [`DType::quantize_copy`] — no
+//!   per-element division/modulo, one dtype dispatch per row.
+//! - [`simt`] stages each source row once and writes each destination row
+//!   through [`DType::quantize_slice`].
+//!
+//! Where operands live in different memory pools (params / shared / frags)
+//! the borrows are split so source and destination views coexist without
+//! copies; same-pool operands are staged through a reusable [`Scratch`]
+//! buffer. Staging whole operands is equivalent to the scalar interleaving
+//! for every program the kernel validator admits (sources are read before
+//! the destination is written; exact in-place aliasing is processed
+//! row-by-row in the same order as the scalar path).
+//!
+//! The pre-optimization scalar interpreter is retained verbatim in
+//! [`scalar`] (tests and the `scalar-oracle` feature) as the reference
+//! oracle: a property test below drives both paths over random shapes,
+//! dtypes and slices and asserts bitwise equality.
+
+use crate::error::SimError;
+use crate::kernel::Kernel;
+use crate::mem::MemRef;
+use cypress_tensor::{DType, Tensor};
+
+use crate::instr::SimtOp;
+
+/// A slice with all expressions evaluated for a specific CTA/iteration.
+#[derive(Debug, Clone)]
+pub(crate) struct RSlice {
+    pub(crate) mem: MemRef,
+    pub(crate) stage: usize,
+    pub(crate) row0: usize,
+    pub(crate) col0: usize,
+    pub(crate) rows: usize,
+    pub(crate) cols: usize,
+}
+
+/// `[cta][region]` flat shared-memory buffers covering all stages.
+type SmemPool = Vec<Vec<Vec<f32>>>;
+/// `[cta][role][frag]` flat register-fragment buffers.
+type FragPool = Vec<Vec<Vec<Vec<f32>>>>;
+
+/// Functional memory state: the three memory pools of the machine model.
+pub(crate) struct FuncData {
+    /// Launch-bound parameter tensors (global memory).
+    pub(crate) params: Vec<Tensor>,
+    /// Per-CTA shared-memory regions.
+    pub(crate) smem: SmemPool,
+    /// Per-CTA, per-role register fragments.
+    pub(crate) frags: FragPool,
+}
+
+/// Which flat buffer a resolved slice lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BufKey {
+    Param(usize),
+    Smem {
+        cta: usize,
+        region: usize,
+    },
+    Frag {
+        cta: usize,
+        role: usize,
+        frag: usize,
+    },
+}
+
+/// A slice resolved to a flat buffer: base element offset of the slice
+/// origin (stage folded in), the parent's row stride, the extent, and the
+/// dtype quantization applied on stores.
+#[derive(Debug, Clone, Copy)]
+struct View {
+    key: BufKey,
+    base: usize,
+    stride: usize,
+    rows: usize,
+    cols: usize,
+    dtype: DType,
+}
+
+impl View {
+    /// Resolve `s` against `kernel`'s declarations for the executor at
+    /// `(cta, role)`. `s` has already been bounds-checked by the engine's
+    /// slice resolution.
+    fn of(kernel: &Kernel, cta: usize, role: usize, s: &RSlice) -> View {
+        match s.mem {
+            MemRef::Param(p) => {
+                let d = &kernel.params[p];
+                View {
+                    key: BufKey::Param(p),
+                    base: s.row0 * d.cols + s.col0,
+                    stride: d.cols,
+                    rows: s.rows,
+                    cols: s.cols,
+                    dtype: d.dtype,
+                }
+            }
+            MemRef::Smem(r) => {
+                let d = &kernel.smem[r];
+                View {
+                    key: BufKey::Smem { cta, region: r },
+                    base: s.stage * d.rows * d.cols + s.row0 * d.cols + s.col0,
+                    stride: d.cols,
+                    rows: s.rows,
+                    cols: s.cols,
+                    dtype: d.dtype,
+                }
+            }
+            MemRef::Frag(f) => {
+                let d = &kernel.frags[f];
+                View {
+                    key: BufKey::Frag { cta, role, frag: f },
+                    base: s.row0 * d.cols + s.col0,
+                    stride: d.cols,
+                    rows: s.rows,
+                    cols: s.cols,
+                    dtype: DType::F32,
+                }
+            }
+        }
+    }
+
+    /// Element offset of `(i, 0)` of the slice.
+    fn row(&self, i: usize) -> usize {
+        self.base + i * self.stride
+    }
+}
+
+impl FuncData {
+    /// The flat buffer behind `key`, immutably.
+    fn buf(&self, key: BufKey) -> &[f32] {
+        match key {
+            BufKey::Param(p) => self.params[p].data(),
+            BufKey::Smem { cta, region } => &self.smem[cta][region],
+            BufKey::Frag { cta, role, frag } => &self.frags[cta][role][frag],
+        }
+    }
+
+    /// The flat buffer behind `key`, mutably.
+    fn buf_mut(&mut self, key: BufKey) -> &mut [f32] {
+        match key {
+            BufKey::Param(p) => self.params[p].data_mut(),
+            BufKey::Smem { cta, region } => &mut self.smem[cta][region],
+            BufKey::Frag { cta, role, frag } => &mut self.frags[cta][role][frag],
+        }
+    }
+}
+
+/// Reusable staging buffers so applies never allocate in steady state.
+#[derive(Debug, Default)]
+pub(crate) struct Scratch {
+    a: Vec<f32>,
+    b: Vec<f32>,
+}
+
+/// Append the slice's rows (row-major, contiguous) to `out`.
+fn gather(out: &mut Vec<f32>, buf: &[f32], v: &View) {
+    out.clear();
+    out.reserve(v.rows * v.cols);
+    for i in 0..v.rows {
+        out.extend_from_slice(&buf[v.row(i)..v.row(i) + v.cols]);
+    }
+}
+
+/// A borrow of `key`'s buffer out of the param or shared pools; `None`
+/// for fragments (the caller holds the fragment pool mutably).
+fn param_or_smem<'a>(params: &'a [Tensor], smem: &'a SmemPool, key: BufKey) -> Option<&'a [f32]> {
+    match key {
+        BufKey::Param(p) => Some(params[p].data()),
+        BufKey::Smem { cta, region } => Some(&smem[cta][region]),
+        BufKey::Frag { .. } => None,
+    }
+}
+
+/// Like [`param_or_smem`], but out of the param or fragment pools
+/// (`None` when the caller holds shared memory mutably).
+fn param_or_frag<'a>(params: &'a [Tensor], frags: &'a FragPool, key: BufKey) -> Option<&'a [f32]> {
+    match key {
+        BufKey::Param(p) => Some(params[p].data()),
+        BufKey::Frag { cta, role, frag } => Some(&frags[cta][role][frag]),
+        BufKey::Smem { .. } => None,
+    }
+}
+
+/// Like [`param_or_smem`], but out of the shared or fragment pools
+/// (`None` when the caller holds a parameter mutably).
+fn smem_or_frag<'a>(smem: &'a SmemPool, frags: &'a FragPool, key: BufKey) -> Option<&'a [f32]> {
+    match key {
+        BufKey::Smem { cta, region } => Some(&smem[cta][region]),
+        BufKey::Frag { cta, role, frag } => Some(&frags[cta][role][frag]),
+        BufKey::Param(_) => None,
+    }
+}
+
+// ---- copy --------------------------------------------------------------
+
+/// Bulk copy `src` into `dst`, reading the source linearly in the
+/// destination's row-major order (the TMA/`cp.async` reshape semantics of
+/// the scalar interpreter) and quantizing stores to the destination dtype.
+pub(crate) fn copy(
+    kernel: &Kernel,
+    data: &mut FuncData,
+    scratch: &mut Scratch,
+    cta: usize,
+    role: usize,
+    src: &RSlice,
+    dst: &RSlice,
+) -> Result<(), SimError> {
+    let sv = View::of(kernel, cta, role, src);
+    let dv = View::of(kernel, cta, role, dst);
+    // Cross-pool copies — every TMA/`cp.async` transfer (param ↔ smem)
+    // and most SIMT copies — run zero-copy on split borrows.
+    let FuncData {
+        params,
+        smem,
+        frags,
+    } = data;
+    match dv.key {
+        BufKey::Param(p) => {
+            if let Some(sbuf) = smem_or_frag(smem, frags, sv.key) {
+                return copy_rows(sbuf, &sv, params[p].data_mut(), &dv);
+            }
+        }
+        BufKey::Smem { cta, region } => {
+            if let Some(sbuf) = param_or_frag(params, frags, sv.key) {
+                return copy_rows(sbuf, &sv, &mut smem[cta][region], &dv);
+            }
+        }
+        BufKey::Frag { cta, role, frag } => {
+            if let Some(sbuf) = param_or_smem(params, smem, sv.key) {
+                return copy_rows(sbuf, &sv, &mut frags[cta][role][frag], &dv);
+            }
+        }
+    }
+    // Same-pool copy: stage the source linearly (slice-row-major,
+    // matching the scalar `idx / src.cols` walk), then scatter whole
+    // destination rows.
+    let src_rows = (dv.rows * dv.cols).div_ceil(sv.cols.max(1));
+    let stage_view = View {
+        rows: src_rows,
+        ..sv
+    };
+    gather(&mut scratch.a, data.buf(sv.key), &stage_view);
+    let staged = View {
+        base: 0,
+        stride: sv.cols,
+        rows: src_rows,
+        ..sv
+    };
+    let out = data.buf_mut(dv.key);
+    copy_rows(&scratch.a, &staged, out, &dv)
+}
+
+/// Stream `sv`'s elements (linearly, slice-row-major) into `dv`'s rows,
+/// quantizing stores to the destination dtype. Same-width slices reduce
+/// to one `quantize_copy` per row; reshapes walk a `(row, col)` cursor
+/// over the source — the bulk form of the scalar `idx / src.cols` walk.
+fn copy_rows(sbuf: &[f32], sv: &View, dbuf: &mut [f32], dv: &View) -> Result<(), SimError> {
+    if sv.cols == dv.cols {
+        for i in 0..dv.rows {
+            let srow = &sbuf[sv.row(i)..sv.row(i) + dv.cols];
+            let drow = &mut dbuf[dv.row(i)..dv.row(i) + dv.cols];
+            dv.dtype.quantize_copy(srow, drow);
+        }
+    } else {
+        let (mut si, mut sj) = (0usize, 0usize);
+        for i in 0..dv.rows {
+            let drow = &mut dbuf[dv.row(i)..dv.row(i) + dv.cols];
+            let mut filled = 0;
+            while filled < dv.cols {
+                let take = (dv.cols - filled).min(sv.cols - sj);
+                let off = sv.row(si) + sj;
+                dv.dtype
+                    .quantize_copy(&sbuf[off..off + take], &mut drow[filled..filled + take]);
+                filled += take;
+                sj += take;
+                if sj == sv.cols {
+                    sj = 0;
+                    si += 1;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---- wgmma -------------------------------------------------------------
+
+/// Column-block width of the non-transposed microkernel: accumulators for
+/// `JB` outputs stay in registers across the hoisted k-loop.
+const JB: usize = 8;
+
+/// The blocked matrix-multiply microkernel over flat row-strided operands.
+///
+/// Every output element `(i, j)` accumulates `a(i, k) * b(k, j)` in
+/// ascending `k` order starting from its initial value — exactly the
+/// scalar interpreter's order — so results are bitwise identical; the
+/// blocking only changes which *outputs* are in flight, never the order of
+/// operations within one output.
+#[allow(clippy::too_many_arguments)]
+fn wgmma_rows(
+    abuf: &[f32],
+    av: &View,
+    bbuf: &[f32],
+    bv: &View,
+    out: &mut [f32],
+    cv: &View,
+    n: usize,
+    accumulate: bool,
+    transpose_b: bool,
+) {
+    let (m, k) = (av.rows, av.cols);
+    for i in 0..m {
+        let arow = &abuf[av.row(i)..av.row(i) + k];
+        let crow = &mut out[cv.row(i)..cv.row(i) + n];
+        if transpose_b {
+            // b is stored j-major: output (i, j) is a dot product of two
+            // contiguous rows.
+            for (j, c) in crow.iter_mut().enumerate() {
+                let brow = &bbuf[bv.row(j)..bv.row(j) + k];
+                let mut v = if accumulate { *c } else { 0.0 };
+                for (x, y) in arow.iter().zip(brow) {
+                    v += x * y;
+                }
+                *c = v;
+            }
+        } else {
+            // b is stored k-major: block the columns so `JB` accumulators
+            // share each broadcast `a(i, k)` load.
+            let mut j0 = 0;
+            while j0 < n {
+                let jn = (j0 + JB).min(n);
+                let w = jn - j0;
+                let mut acc = [0.0f32; JB];
+                if accumulate {
+                    acc[..w].copy_from_slice(&crow[j0..jn]);
+                }
+                for (kk, &a_ik) in arow.iter().enumerate() {
+                    let brow = &bbuf[bv.row(kk) + j0..bv.row(kk) + jn];
+                    for (slot, &b_kj) in acc[..w].iter_mut().zip(brow) {
+                        *slot += a_ik * b_kj;
+                    }
+                }
+                crow[j0..jn].copy_from_slice(&acc[..w]);
+                j0 = jn;
+            }
+        }
+        // Each element was written exactly once after its (optional)
+        // accumulate read, so quantizing the finished row is identical to
+        // quantizing each store.
+        cv.dtype.quantize_slice(crow);
+    }
+}
+
+/// Bulk `acc += a @ b` (optionally `b` transposed, optionally overwriting
+/// `acc`). The kernel validator guarantees `acc` is a register fragment
+/// and `b` shared memory, so the common shapes run zero-copy on split
+/// borrows; anything else stages operands through `scratch`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn wgmma(
+    kernel: &Kernel,
+    data: &mut FuncData,
+    scratch: &mut Scratch,
+    cta: usize,
+    role: usize,
+    a: &RSlice,
+    b: &RSlice,
+    acc: &RSlice,
+    accumulate: bool,
+    transpose_b: bool,
+) -> Result<(), SimError> {
+    let (m, k) = (a.rows, a.cols);
+    let n = acc.cols;
+    let bk = if transpose_b { b.cols } else { b.rows };
+    let bn = if transpose_b { b.rows } else { b.cols };
+    if bk != k || bn < n || acc.rows != m {
+        return Err(SimError::OutOfBounds {
+            what: format!(
+                "wgmma shape mismatch: a {}x{}, b {}x{} (transpose_b={transpose_b}), acc {}x{}",
+                a.rows, a.cols, b.rows, b.cols, acc.rows, acc.cols
+            ),
+        });
+    }
+    let av = View::of(kernel, cta, role, a);
+    let bv = View::of(kernel, cta, role, b);
+    let cv = View::of(kernel, cta, role, acc);
+    let FuncData {
+        params,
+        smem,
+        frags,
+    } = data;
+    if let BufKey::Frag {
+        cta: fc,
+        role: fr,
+        frag: facc,
+    } = cv.key
+    {
+        // Accumulator in the register pool, operands elsewhere: all three
+        // views coexist on split borrows.
+        if let (Some(abuf), Some(bbuf)) = (
+            param_or_smem(params, smem, av.key),
+            param_or_smem(params, smem, bv.key),
+        ) {
+            let out = &mut frags[fc][fr][facc];
+            wgmma_rows(abuf, &av, bbuf, &bv, out, &cv, n, accumulate, transpose_b);
+            return Ok(());
+        }
+        // `a` is a sibling fragment of the same warpgroup (the FA2
+        // register-operand path): split the fragment pool around the two
+        // indices.
+        if let (
+            BufKey::Frag {
+                cta: ac,
+                role: ar,
+                frag: af,
+            },
+            Some(bbuf),
+        ) = (av.key, param_or_smem(params, smem, bv.key))
+        {
+            if (ac, ar) == (fc, fr) && af != facc {
+                let pool = &mut frags[fc][fr];
+                let (lo, hi) = pool.split_at_mut(af.max(facc));
+                let (abuf, out): (&[f32], &mut [f32]) = if af < facc {
+                    (&lo[af], &mut hi[0])
+                } else {
+                    (&hi[0], &mut lo[facc])
+                };
+                wgmma_rows(abuf, &av, bbuf, &bv, out, &cv, n, accumulate, transpose_b);
+                return Ok(());
+            }
+        }
+    }
+    // Anything else (hand-built kernels the validator admits but the
+    // compiler never emits): stage both operands, then write through the
+    // accumulator's buffer alone.
+    gather(&mut scratch.a, data.buf(av.key), &av);
+    gather(&mut scratch.b, data.buf(bv.key), &bv);
+    let sa = View {
+        base: 0,
+        stride: av.cols,
+        ..av
+    };
+    let sb = View {
+        base: 0,
+        stride: bv.cols,
+        ..bv
+    };
+    let out = data.buf_mut(cv.key);
+    wgmma_rows(
+        &scratch.a,
+        &sa,
+        &scratch.b,
+        &sb,
+        out,
+        &cv,
+        n,
+        accumulate,
+        transpose_b,
+    );
+    Ok(())
+}
+
+// ---- simt --------------------------------------------------------------
+
+/// Bulk application of a resolved SIMT operation: each destination row is
+/// produced from source rows staged once through `scratch`, then stored
+/// with one dtype dispatch. Row-by-row processing preserves the scalar
+/// interpreter's ordering even when an operation runs in place (the
+/// destination slice aliasing a source slice exactly).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn simt(
+    kernel: &Kernel,
+    data: &mut FuncData,
+    scratch: &mut Scratch,
+    cta: usize,
+    role: usize,
+    op: &SimtOp,
+    srcs: &[RSlice],
+    dst: &RSlice,
+) -> Result<(), SimError> {
+    let dv = View::of(kernel, cta, role, dst);
+    match op {
+        SimtOp::Fill { value, .. } => {
+            let q = dv.dtype.quantize(*value);
+            let out = data.buf_mut(dv.key);
+            for i in 0..dv.rows {
+                out[dv.row(i)..dv.row(i) + dv.cols].fill(q);
+            }
+        }
+        SimtOp::Copy { .. } => {
+            copy(kernel, data, scratch, cta, role, &srcs[0], dst)?;
+        }
+        SimtOp::Map { op, .. } => {
+            let sv = View::of(kernel, cta, role, &srcs[0]);
+            for i in 0..dv.rows {
+                stage_row(&mut scratch.a, data.buf(sv.key), &sv, i, dv.cols);
+                let row = &mut data.buf_mut(dv.key)[dv.row(i)..dv.row(i) + dv.cols];
+                for (d, s) in row.iter_mut().zip(&scratch.a) {
+                    *d = op.apply(*s);
+                }
+                dv.dtype.quantize_slice(row);
+            }
+        }
+        SimtOp::Zip { op, .. } => {
+            let s0 = View::of(kernel, cta, role, &srcs[0]);
+            let s1 = View::of(kernel, cta, role, &srcs[1]);
+            for i in 0..dv.rows {
+                stage_row(&mut scratch.a, data.buf(s0.key), &s0, i, dv.cols);
+                stage_row(&mut scratch.b, data.buf(s1.key), &s1, i, dv.cols);
+                let row = &mut data.buf_mut(dv.key)[dv.row(i)..dv.row(i) + dv.cols];
+                for (j, d) in row.iter_mut().enumerate() {
+                    *d = op.apply(scratch.a[j], scratch.b[j]);
+                }
+                dv.dtype.quantize_slice(row);
+            }
+        }
+        SimtOp::RowReduce {
+            op, include_dst, ..
+        } => {
+            let sv = View::of(kernel, cta, role, &srcs[0]);
+            for i in 0..dv.rows {
+                stage_row(&mut scratch.a, data.buf(sv.key), &sv, i, sv.cols);
+                let out = data.buf_mut(dv.key);
+                let mut acc = if *include_dst {
+                    out[dv.row(i)]
+                } else {
+                    op.identity()
+                };
+                for &x in &scratch.a {
+                    acc = op.apply(acc, x);
+                }
+                out[dv.row(i)] = dv.dtype.quantize(acc);
+            }
+        }
+        SimtOp::RowZip { op, .. } => {
+            let s0 = View::of(kernel, cta, role, &srcs[0]);
+            let s1 = View::of(kernel, cta, role, &srcs[1]);
+            for i in 0..dv.rows {
+                let r = data.buf(s1.key)[s1.row(i)];
+                stage_row(&mut scratch.a, data.buf(s0.key), &s0, i, dv.cols);
+                let row = &mut data.buf_mut(dv.key)[dv.row(i)..dv.row(i) + dv.cols];
+                for (d, s) in row.iter_mut().zip(&scratch.a) {
+                    *d = op.apply(*s, r);
+                }
+                dv.dtype.quantize_slice(row);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Stage `width` elements of row `i` of `v` into `out`.
+fn stage_row(out: &mut Vec<f32>, buf: &[f32], v: &View, i: usize, width: usize) {
+    out.clear();
+    out.extend_from_slice(&buf[v.row(i)..v.row(i) + width]);
+}
+
+// ---- scalar reference oracle -------------------------------------------
+
+/// The pre-optimization scalar interpreter, retained verbatim as the
+/// reference oracle: every element access is a `match` on the memory
+/// object plus two-dimensional index arithmetic, every store a scalar
+/// dtype conversion. Tests assert the fast path above is bitwise
+/// identical; the `scalar-oracle` feature exposes it to the benchmark
+/// harness so the speedup stays measured, not assumed.
+#[cfg(any(test, feature = "scalar-oracle"))]
+pub(crate) mod scalar {
+    use super::{FuncData, RSlice};
+    use crate::error::SimError;
+    use crate::instr::SimtOp;
+    use crate::kernel::Kernel;
+    use crate::mem::MemRef;
+
+    fn read_elem(
+        kernel: &Kernel,
+        data: &FuncData,
+        cta: usize,
+        role: usize,
+        s: &RSlice,
+        i: usize,
+        j: usize,
+    ) -> f32 {
+        match s.mem {
+            MemRef::Param(p) => {
+                let cols = kernel.params[p].cols;
+                data.params[p].data()[(s.row0 + i) * cols + (s.col0 + j)]
+            }
+            MemRef::Smem(r) => {
+                let d = &kernel.smem[r];
+                let base = s.stage * d.rows * d.cols;
+                data.smem[cta][r][base + (s.row0 + i) * d.cols + (s.col0 + j)]
+            }
+            MemRef::Frag(fr) => {
+                let d = &kernel.frags[fr];
+                data.frags[cta][role][fr][(s.row0 + i) * d.cols + (s.col0 + j)]
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn write_elem(
+        kernel: &Kernel,
+        data: &mut FuncData,
+        cta: usize,
+        role: usize,
+        s: &RSlice,
+        i: usize,
+        j: usize,
+        v: f32,
+    ) {
+        match s.mem {
+            MemRef::Param(p) => {
+                let cols = kernel.params[p].cols;
+                let dt = kernel.params[p].dtype;
+                data.params[p].data_mut()[(s.row0 + i) * cols + (s.col0 + j)] = dt.quantize(v);
+            }
+            MemRef::Smem(r) => {
+                let d = &kernel.smem[r];
+                let base = s.stage * d.rows * d.cols;
+                data.smem[cta][r][base + (s.row0 + i) * d.cols + (s.col0 + j)] =
+                    d.dtype.quantize(v);
+            }
+            MemRef::Frag(fr) => {
+                let cols = kernel.frags[fr].cols;
+                data.frags[cta][role][fr][(s.row0 + i) * cols + (s.col0 + j)] = v;
+            }
+        }
+    }
+
+    pub(crate) fn copy(
+        kernel: &Kernel,
+        data: &mut FuncData,
+        cta: usize,
+        role: usize,
+        src: &RSlice,
+        dst: &RSlice,
+    ) -> Result<(), SimError> {
+        // Extents were validated equal in element count; iterate in the
+        // destination's shape, reading the source linearly.
+        for idx in 0..dst.rows * dst.cols {
+            let (di, dj) = (idx / dst.cols, idx % dst.cols);
+            let (si, sj) = (idx / src.cols, idx % src.cols);
+            let v = read_elem(kernel, data, cta, role, src, si, sj);
+            write_elem(kernel, data, cta, role, dst, di, dj, v);
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn wgmma(
+        kernel: &Kernel,
+        data: &mut FuncData,
+        cta: usize,
+        role: usize,
+        a: &RSlice,
+        b: &RSlice,
+        acc: &RSlice,
+        accumulate: bool,
+        transpose_b: bool,
+    ) -> Result<(), SimError> {
+        let (m, k) = (a.rows, a.cols);
+        let n = acc.cols;
+        let bk = if transpose_b { b.cols } else { b.rows };
+        let bn = if transpose_b { b.rows } else { b.cols };
+        if bk != k || bn < n || acc.rows != m {
+            return Err(SimError::OutOfBounds {
+                what: format!(
+                    "wgmma shape mismatch: a {}x{}, b {}x{} (transpose_b={transpose_b}), acc {}x{}",
+                    a.rows, a.cols, b.rows, b.cols, acc.rows, acc.cols
+                ),
+            });
+        }
+        for i in 0..m {
+            for j in 0..n {
+                let mut v = if accumulate {
+                    read_elem(kernel, data, cta, role, acc, i, j)
+                } else {
+                    0.0
+                };
+                for kk in 0..k {
+                    let av = read_elem(kernel, data, cta, role, a, i, kk);
+                    let bv = if transpose_b {
+                        read_elem(kernel, data, cta, role, b, j, kk)
+                    } else {
+                        read_elem(kernel, data, cta, role, b, kk, j)
+                    };
+                    v += av * bv;
+                }
+                write_elem(kernel, data, cta, role, acc, i, j, v);
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn simt(
+        kernel: &Kernel,
+        data: &mut FuncData,
+        cta: usize,
+        role: usize,
+        op: &SimtOp,
+        srcs: &[RSlice],
+        dst: &RSlice,
+    ) -> Result<(), SimError> {
+        match op {
+            SimtOp::Fill { value, .. } => {
+                for i in 0..dst.rows {
+                    for j in 0..dst.cols {
+                        write_elem(kernel, data, cta, role, dst, i, j, *value);
+                    }
+                }
+            }
+            SimtOp::Copy { .. } => {
+                copy(kernel, data, cta, role, &srcs[0], dst)?;
+            }
+            SimtOp::Map { op, .. } => {
+                for i in 0..dst.rows {
+                    for j in 0..dst.cols {
+                        let v = op.apply(read_elem(kernel, data, cta, role, &srcs[0], i, j));
+                        write_elem(kernel, data, cta, role, dst, i, j, v);
+                    }
+                }
+            }
+            SimtOp::Zip { op, .. } => {
+                for i in 0..dst.rows {
+                    for j in 0..dst.cols {
+                        let v = op.apply(
+                            read_elem(kernel, data, cta, role, &srcs[0], i, j),
+                            read_elem(kernel, data, cta, role, &srcs[1], i, j),
+                        );
+                        write_elem(kernel, data, cta, role, dst, i, j, v);
+                    }
+                }
+            }
+            SimtOp::RowReduce {
+                op, include_dst, ..
+            } => {
+                for i in 0..dst.rows {
+                    let mut acc = if *include_dst {
+                        read_elem(kernel, data, cta, role, dst, i, 0)
+                    } else {
+                        op.identity()
+                    };
+                    for j in 0..srcs[0].cols {
+                        acc = op.apply(acc, read_elem(kernel, data, cta, role, &srcs[0], i, j));
+                    }
+                    write_elem(kernel, data, cta, role, dst, i, 0, acc);
+                }
+            }
+            SimtOp::RowZip { op, .. } => {
+                for i in 0..dst.rows {
+                    let r = read_elem(kernel, data, cta, role, &srcs[1], i, 0);
+                    for j in 0..dst.cols {
+                        let v = op.apply(read_elem(kernel, data, cta, role, &srcs[0], i, j), r);
+                        write_elem(kernel, data, cta, role, dst, i, j, v);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{BinOp, RedOp, SimtOp, UnOp};
+    use crate::kernel::{Role, RoleKind};
+    use crate::mem::{FragDecl, ParamDecl, Slice, SmemDecl};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const DTYPES: [DType; 3] = [DType::F16, DType::BF16, DType::F32];
+
+    /// A kernel whose declarations (not roles) drive the applies: one
+    /// parameter, one multi-stage shared region, and three fragments per
+    /// role, with randomized shapes and dtypes.
+    fn random_kernel(rng: &mut StdRng) -> Kernel {
+        let dims = |rng: &mut StdRng| (rng.gen_range(1..10usize), rng.gen_range(1..10usize));
+        let (pr, pc) = dims(rng);
+        let (sr, sc) = dims(rng);
+        let frags = (0..3)
+            .map(|i| {
+                let (fr, fc) = dims(rng);
+                FragDecl {
+                    name: format!("f{i}"),
+                    rows: fr,
+                    cols: fc,
+                }
+            })
+            .collect();
+        Kernel {
+            name: "apply-oracle".into(),
+            grid: [1, 1, 1],
+            params: vec![ParamDecl {
+                name: "p".into(),
+                rows: pr,
+                cols: pc,
+                dtype: DTYPES[rng.gen_range(0..3)],
+            }],
+            smem: vec![SmemDecl {
+                name: "s".into(),
+                rows: sr,
+                cols: sc,
+                dtype: DTYPES[rng.gen_range(0..3)],
+                stages: rng.gen_range(1..4),
+            }],
+            frags,
+            mbars: Vec::new(),
+            roles: vec![Role {
+                kind: RoleKind::Compute(0),
+                body: Vec::new(),
+            }],
+            persistent: false,
+        }
+    }
+
+    /// Randomly filled functional state for `kernel` (one CTA, one role).
+    fn random_data(kernel: &Kernel, rng: &mut StdRng) -> FuncData {
+        let fill = |n: usize, rng: &mut StdRng| -> Vec<f32> {
+            (0..n).map(|_| rng.gen_range(-2.0f32..2.0)).collect()
+        };
+        let params = kernel
+            .params
+            .iter()
+            .map(|p| {
+                // Quantized contents, as stores through the engine leave them.
+                Tensor::from_data(p.dtype, &[p.rows, p.cols], fill(p.rows * p.cols, rng))
+                    .expect("shape matches data")
+            })
+            .collect();
+        let smem = vec![kernel
+            .smem
+            .iter()
+            .map(|d| fill(d.rows * d.cols * d.stages, rng))
+            .collect()];
+        let frags = vec![vec![kernel
+            .frags
+            .iter()
+            .map(|f| fill(f.rows * f.cols, rng))
+            .collect()]];
+        FuncData {
+            params,
+            smem,
+            frags,
+        }
+    }
+
+    /// A random in-bounds `rows x cols` slice of the memory object.
+    fn random_slice(
+        kernel: &Kernel,
+        mem: MemRef,
+        rows: usize,
+        cols: usize,
+        rng: &mut StdRng,
+    ) -> Option<RSlice> {
+        let (pr, pc, stages) = match mem {
+            MemRef::Param(i) => (kernel.params[i].rows, kernel.params[i].cols, 1),
+            MemRef::Smem(i) => {
+                let d = &kernel.smem[i];
+                (d.rows, d.cols, d.stages)
+            }
+            MemRef::Frag(i) => (kernel.frags[i].rows, kernel.frags[i].cols, 1),
+        };
+        if rows > pr || cols > pc {
+            return None;
+        }
+        Some(RSlice {
+            mem,
+            stage: rng.gen_range(0..stages),
+            row0: rng.gen_range(0..pr - rows + 1),
+            col0: rng.gen_range(0..pc - cols + 1),
+            rows,
+            cols,
+        })
+    }
+
+    fn assert_bitwise_equal(fast: &FuncData, oracle: &FuncData, what: &str) {
+        for (i, (a, b)) in fast.params.iter().zip(&oracle.params).enumerate() {
+            for (j, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "{what}: param {i} elem {j}");
+            }
+        }
+        for (a, b) in fast.smem[0].iter().zip(&oracle.smem[0]) {
+            for (j, (x, y)) in a.iter().zip(b).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "{what}: smem elem {j}");
+            }
+        }
+        for (a, b) in fast.frags[0][0].iter().zip(&oracle.frags[0][0]) {
+            for (j, (x, y)) in a.iter().zip(b).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "{what}: frag elem {j}");
+            }
+        }
+    }
+
+    fn clone_data(d: &FuncData) -> FuncData {
+        FuncData {
+            params: d.params.clone(),
+            smem: d.smem.clone(),
+            frags: d.frags.clone(),
+        }
+    }
+
+    fn random_mem(kernel: &Kernel, rng: &mut StdRng) -> MemRef {
+        match rng.gen_range(0..3) {
+            0 => MemRef::Param(0),
+            1 => MemRef::Smem(0),
+            _ => MemRef::Frag(rng.gen_range(0..kernel.frags.len())),
+        }
+    }
+
+    #[test]
+    fn copy_matches_scalar_oracle() {
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        let mut cases = 0;
+        while cases < 300 {
+            let kernel = random_kernel(&mut rng);
+            let data = random_data(&kernel, &mut rng);
+            // Pick a destination slice, then any source slice with the
+            // same element count (scalar copy streams the source
+            // linearly, so shapes may differ).
+            let (dm, sm) = (random_mem(&kernel, &mut rng), random_mem(&kernel, &mut rng));
+            if sm == dm {
+                continue; // overlapping same-object copies are not emitted
+            }
+            let Some(dst) = random_slice(
+                &kernel,
+                dm,
+                rng.gen_range(1..5),
+                rng.gen_range(1..5),
+                &mut rng,
+            ) else {
+                continue;
+            };
+            let n = dst.rows * dst.cols;
+            // Try a handful of factorizations of n for the source shape.
+            let (sr, sc) = (1..=n)
+                .filter(|c| n % c == 0)
+                .map(|c| (n / c, c))
+                .nth(rng.gen_range(0..4).min(n - 1))
+                .unwrap_or((n, 1));
+            let Some(src) = random_slice(&kernel, sm, sr, sc, &mut rng) else {
+                continue;
+            };
+            let mut fast = clone_data(&data);
+            let mut oracle = clone_data(&data);
+            let mut scratch = Scratch::default();
+            copy(&kernel, &mut fast, &mut scratch, 0, 0, &src, &dst).unwrap();
+            scalar::copy(&kernel, &mut oracle, 0, 0, &src, &dst).unwrap();
+            assert_bitwise_equal(&fast, &oracle, "copy");
+            cases += 1;
+        }
+    }
+
+    #[test]
+    fn wgmma_matches_scalar_oracle() {
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        let mut cases = 0;
+        while cases < 300 {
+            let kernel = random_kernel(&mut rng);
+            let data = random_data(&kernel, &mut rng);
+            let (m, n, k) = (
+                rng.gen_range(1..8),
+                rng.gen_range(1..20),
+                rng.gen_range(1..8),
+            );
+            let transpose_b = rng.gen_bool(0.5);
+            let accumulate = rng.gen_bool(0.5);
+            let am = random_mem(&kernel, &mut rng);
+            let bm = random_mem(&kernel, &mut rng);
+            let cm = random_mem(&kernel, &mut rng);
+            // The accumulator must not alias an operand's buffer (the
+            // validator's register-accumulator rule guarantees this for
+            // compiled kernels; the scalar oracle interleaves otherwise).
+            if cm == am || cm == bm {
+                continue;
+            }
+            let Some(a) = random_slice(&kernel, am, m, k, &mut rng) else {
+                continue;
+            };
+            let (br, bc) = if transpose_b { (n, k) } else { (k, n) };
+            let Some(b) = random_slice(&kernel, bm, br, bc, &mut rng) else {
+                continue;
+            };
+            let Some(acc) = random_slice(&kernel, cm, m, n, &mut rng) else {
+                continue;
+            };
+            let mut fast = clone_data(&data);
+            let mut oracle = clone_data(&data);
+            let mut scratch = Scratch::default();
+            wgmma(
+                &kernel,
+                &mut fast,
+                &mut scratch,
+                0,
+                0,
+                &a,
+                &b,
+                &acc,
+                accumulate,
+                transpose_b,
+            )
+            .unwrap();
+            scalar::wgmma(
+                &kernel,
+                &mut oracle,
+                0,
+                0,
+                &a,
+                &b,
+                &acc,
+                accumulate,
+                transpose_b,
+            )
+            .unwrap();
+            assert_bitwise_equal(&fast, &oracle, "wgmma");
+            cases += 1;
+        }
+    }
+
+    #[test]
+    fn wgmma_rejects_shape_mismatch_like_the_oracle() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let kernel = random_kernel(&mut rng);
+        let mut data = random_data(&kernel, &mut rng);
+        let mut scratch = Scratch::default();
+        let slice = |rows, cols| RSlice {
+            mem: MemRef::Frag(0),
+            stage: 0,
+            row0: 0,
+            col0: 0,
+            rows,
+            cols,
+        };
+        let err = wgmma(
+            &kernel,
+            &mut data,
+            &mut scratch,
+            0,
+            0,
+            &slice(1, 2),
+            &slice(3, 1),
+            &slice(1, 1),
+            false,
+            false,
+        );
+        assert!(matches!(err, Err(SimError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn simt_matches_scalar_oracle() {
+        let mut rng = StdRng::seed_from_u64(0xABAD_1DEA);
+        let mut cases = 0;
+        while cases < 400 {
+            let kernel = random_kernel(&mut rng);
+            let data = random_data(&kernel, &mut rng);
+            let (rows, cols) = (rng.gen_range(1..6), rng.gen_range(1..6));
+            let dm = random_mem(&kernel, &mut rng);
+            let Some(dst) = random_slice(&kernel, dm, rows, cols, &mut rng) else {
+                continue;
+            };
+            // Sources either live elsewhere or alias the destination
+            // slice exactly (the in-place RowZip/Map the compiler emits).
+            let source = |rng: &mut StdRng, rows: usize, cols: usize| -> Option<RSlice> {
+                if rng.gen_bool(0.25) && rows == dst.rows && cols == dst.cols {
+                    return Some(dst.clone());
+                }
+                let sm = random_mem(&kernel, rng);
+                if sm == dm {
+                    return None;
+                }
+                random_slice(&kernel, sm, rows, cols, rng)
+            };
+            // Dummy embedded slices: the applies operate on the resolved
+            // `srcs`/`dst` slices, not the op's own (unresolved) ones.
+            let ph = || Slice::frag(0);
+            let (op, srcs): (SimtOp, Vec<RSlice>) = match rng.gen_range(0..5) {
+                0 => (
+                    SimtOp::Fill {
+                        dst: ph(),
+                        value: rng.gen_range(-2.0..2.0),
+                    },
+                    Vec::new(),
+                ),
+                1 => {
+                    let Some(s) = source(&mut rng, rows, cols) else {
+                        continue;
+                    };
+                    (
+                        SimtOp::Map {
+                            op: [UnOp::Exp, UnOp::Neg, UnOp::Recip, UnOp::Scale(1.5)]
+                                [rng.gen_range(0..4)],
+                            src: ph(),
+                            dst: ph(),
+                        },
+                        vec![s],
+                    )
+                }
+                2 => {
+                    let (Some(s0), Some(s1)) =
+                        (source(&mut rng, rows, cols), source(&mut rng, rows, cols))
+                    else {
+                        continue;
+                    };
+                    (
+                        SimtOp::Zip {
+                            op: [BinOp::Add, BinOp::Mul, BinOp::Max][rng.gen_range(0..3)],
+                            a: ph(),
+                            b: ph(),
+                            dst: ph(),
+                        },
+                        vec![s0, s1],
+                    )
+                }
+                3 => {
+                    if cols != 1 {
+                        continue; // reductions write a column vector
+                    }
+                    let src_cols = rng.gen_range(1..6);
+                    let Some(s) = source(&mut rng, rows, src_cols) else {
+                        continue;
+                    };
+                    (
+                        SimtOp::RowReduce {
+                            op: [RedOp::Sum, RedOp::Max][rng.gen_range(0..2)],
+                            src: ph(),
+                            dst: ph(),
+                            include_dst: rng.gen_bool(0.5),
+                        },
+                        vec![s],
+                    )
+                }
+                _ => {
+                    let (Some(s0), Some(s1)) =
+                        (source(&mut rng, rows, cols), source(&mut rng, rows, 1))
+                    else {
+                        continue;
+                    };
+                    (
+                        SimtOp::RowZip {
+                            op: [BinOp::Mul, BinOp::Sub, BinOp::Div][rng.gen_range(0..3)],
+                            src: ph(),
+                            row: ph(),
+                            dst: ph(),
+                        },
+                        vec![s0, s1],
+                    )
+                }
+            };
+            let mut fast = clone_data(&data);
+            let mut oracle = clone_data(&data);
+            let mut scratch = Scratch::default();
+            simt(&kernel, &mut fast, &mut scratch, 0, 0, &op, &srcs, &dst).unwrap();
+            scalar::simt(&kernel, &mut oracle, 0, 0, &op, &srcs, &dst).unwrap();
+            assert_bitwise_equal(&fast, &oracle, "simt");
+            cases += 1;
+        }
+    }
+}

@@ -18,10 +18,11 @@
 //! the property that distinguishes a well-pipelined kernel from one with
 //! exposed latency.
 
+use crate::apply::{self, FuncData, RSlice, Scratch};
 use crate::error::SimError;
 use crate::expr::{Env, EvalError};
 use crate::flatten::{flatten, Flat};
-use crate::instr::{BinOp, Instr, RedOp, SimtOp};
+use crate::instr::{Instr, SimtOp};
 use crate::kernel::{Kernel, RoleKind};
 use crate::machine::MachineConfig;
 use crate::mem::{MemRef, Slice, Space};
@@ -60,17 +61,6 @@ impl Fluid {
         self.busy += service;
         self.virt
     }
-}
-
-/// A slice with all expressions evaluated for a specific CTA/iteration.
-#[derive(Debug, Clone)]
-struct RSlice {
-    mem: MemRef,
-    stage: usize,
-    row0: usize,
-    col0: usize,
-    rows: usize,
-    cols: usize,
 }
 
 #[derive(Debug, Clone)]
@@ -177,15 +167,6 @@ impl Ord for Event {
     }
 }
 
-/// Functional memory state.
-struct FuncData {
-    params: Vec<Tensor>,
-    /// `[cta][region]` flat buffers covering all stages.
-    smem: Vec<Vec<Vec<f32>>>,
-    /// `[cta][role][frag]` flat buffers.
-    frags: Vec<Vec<Vec<Vec<f32>>>>,
-}
-
 /// Execution mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mode {
@@ -224,6 +205,13 @@ pub(crate) struct Engine<'k> {
     active_sms: usize,
     ctas_per_sm: usize,
     data: Option<FuncData>,
+    /// Reusable staging buffers of the fast functional data path.
+    scratch: Scratch,
+    /// Route functional applies through the retained scalar reference
+    /// interpreter (see [`apply::scalar`]) instead of the fast
+    /// resolved-view path — the bitwise oracle of tests and benchmarks.
+    #[cfg(any(test, feature = "scalar-oracle"))]
+    scalar: bool,
 }
 
 impl<'k> Engine<'k> {
@@ -307,6 +295,9 @@ impl<'k> Engine<'k> {
             active_sms,
             ctas_per_sm,
             data,
+            scratch: Scratch::default(),
+            #[cfg(any(test, feature = "scalar-oracle"))]
+            scalar: false,
         };
         eng.now = machine.kernel_launch_cycles;
         let first = eng.window.min(eng.n_sim);
@@ -922,66 +913,24 @@ impl<'k> Engine<'k> {
     }
 
     // ---- functional data application -------------------------------------
-
-    fn read_elem(&self, exec_id: usize, s: &RSlice, i: usize, j: usize) -> f32 {
-        let data = self.data.as_ref().expect("functional mode");
-        let e = &self.execs[exec_id];
-        match s.mem {
-            MemRef::Param(p) => {
-                let cols = self.kernel.params[p].cols;
-                data.params[p].data()[(s.row0 + i) * cols + (s.col0 + j)]
-            }
-            MemRef::Smem(r) => {
-                let d = &self.kernel.smem[r];
-                let base = s.stage * d.rows * d.cols;
-                data.smem[e.cta][r][base + (s.row0 + i) * d.cols + (s.col0 + j)]
-            }
-            MemRef::Frag(fr) => {
-                let d = &self.kernel.frags[fr];
-                data.frags[e.cta][e.role][fr][(s.row0 + i) * d.cols + (s.col0 + j)]
-            }
-        }
-    }
-
-    fn write_elem(&mut self, exec_id: usize, s: &RSlice, i: usize, j: usize, v: f32) {
-        let e_cta = self.execs[exec_id].cta;
-        let e_role = self.execs[exec_id].role;
-        match s.mem {
-            MemRef::Param(p) => {
-                let cols = self.kernel.params[p].cols;
-                let dt = self.kernel.params[p].dtype;
-                let data = self.data.as_mut().expect("functional mode");
-                data.params[p].data_mut()[(s.row0 + i) * cols + (s.col0 + j)] = dt.quantize(v);
-            }
-            MemRef::Smem(r) => {
-                let d = &self.kernel.smem[r];
-                let cols = d.cols;
-                let dt = d.dtype;
-                let base = s.stage * d.rows * d.cols;
-                let data = self.data.as_mut().expect("functional mode");
-                data.smem[e_cta][r][base + (s.row0 + i) * cols + (s.col0 + j)] = dt.quantize(v);
-            }
-            MemRef::Frag(fr) => {
-                let cols = self.kernel.frags[fr].cols;
-                let data = self.data.as_mut().expect("functional mode");
-                data.frags[e_cta][e_role][fr][(s.row0 + i) * cols + (s.col0 + j)] = v;
-            }
-        }
-    }
+    //
+    // The heavy lifting lives in [`apply`]: each resolved slice becomes a
+    // flat-buffer view once per apply and the operation runs as bulk work
+    // over contiguous rows. Under `scalar` (tests, `scalar-oracle`
+    // feature) the retained per-element reference interpreter runs
+    // instead; both produce bitwise-identical tensors.
 
     fn apply_copy(&mut self, exec_id: usize, src: &RSlice, dst: &RSlice) -> Result<(), SimError> {
-        if self.data.is_none() {
+        let (cta, role) = (self.execs[exec_id].cta, self.execs[exec_id].role);
+        let kernel = self.kernel;
+        let Some(data) = self.data.as_mut() else {
             return Ok(());
+        };
+        #[cfg(any(test, feature = "scalar-oracle"))]
+        if self.scalar {
+            return apply::scalar::copy(kernel, data, cta, role, src, dst);
         }
-        // Extents were validated equal in element count; iterate in the
-        // destination's shape, reading the source linearly.
-        for idx in 0..dst.rows * dst.cols {
-            let (di, dj) = (idx / dst.cols, idx % dst.cols);
-            let (si, sj) = (idx / src.cols, idx % src.cols);
-            let v = self.read_elem(exec_id, src, si, sj);
-            self.write_elem(exec_id, dst, di, dj, v);
-        }
-        Ok(())
+        apply::copy(kernel, data, &mut self.scratch, cta, role, src, dst)
     }
 
     fn apply_wgmma(
@@ -993,41 +942,37 @@ impl<'k> Engine<'k> {
         accumulate: bool,
         transpose_b: bool,
     ) -> Result<(), SimError> {
-        if self.data.is_none() {
+        let (cta, role) = (self.execs[exec_id].cta, self.execs[exec_id].role);
+        let kernel = self.kernel;
+        let Some(data) = self.data.as_mut() else {
             return Ok(());
+        };
+        #[cfg(any(test, feature = "scalar-oracle"))]
+        if self.scalar {
+            return apply::scalar::wgmma(
+                kernel,
+                data,
+                cta,
+                role,
+                a,
+                b,
+                acc,
+                accumulate,
+                transpose_b,
+            );
         }
-        let (m, k) = (a.rows, a.cols);
-        let n = acc.cols;
-        let bk = if transpose_b { b.cols } else { b.rows };
-        let bn = if transpose_b { b.rows } else { b.cols };
-        if bk != k || bn < n || acc.rows != m {
-            return Err(SimError::OutOfBounds {
-                what: format!(
-                    "wgmma shape mismatch: a {}x{}, b {}x{} (transpose_b={transpose_b}), acc {}x{}",
-                    a.rows, a.cols, b.rows, b.cols, acc.rows, acc.cols
-                ),
-            });
-        }
-        for i in 0..m {
-            for j in 0..n {
-                let mut v = if accumulate {
-                    self.read_elem(exec_id, acc, i, j)
-                } else {
-                    0.0
-                };
-                for kk in 0..k {
-                    let av = self.read_elem(exec_id, a, i, kk);
-                    let bv = if transpose_b {
-                        self.read_elem(exec_id, b, j, kk)
-                    } else {
-                        self.read_elem(exec_id, b, kk, j)
-                    };
-                    v += av * bv;
-                }
-                self.write_elem(exec_id, acc, i, j, v);
-            }
-        }
-        Ok(())
+        apply::wgmma(
+            kernel,
+            data,
+            &mut self.scratch,
+            cta,
+            role,
+            a,
+            b,
+            acc,
+            accumulate,
+            transpose_b,
+        )
     }
 
     fn apply_simt(
@@ -1037,66 +982,23 @@ impl<'k> Engine<'k> {
         srcs: &[RSlice],
         dst: &RSlice,
     ) -> Result<(), SimError> {
-        match op {
-            SimtOp::Fill { value, .. } => {
-                for i in 0..dst.rows {
-                    for j in 0..dst.cols {
-                        self.write_elem(exec_id, dst, i, j, *value);
-                    }
-                }
-            }
-            SimtOp::Copy { .. } => {
-                let src = srcs[0].clone();
-                self.apply_copy(exec_id, &src, dst)?;
-            }
-            SimtOp::Map { op, .. } => {
-                for i in 0..dst.rows {
-                    for j in 0..dst.cols {
-                        let v = op.apply(self.read_elem(exec_id, &srcs[0], i, j));
-                        self.write_elem(exec_id, dst, i, j, v);
-                    }
-                }
-            }
-            SimtOp::Zip { op, .. } => {
-                for i in 0..dst.rows {
-                    for j in 0..dst.cols {
-                        let v = op.apply(
-                            self.read_elem(exec_id, &srcs[0], i, j),
-                            self.read_elem(exec_id, &srcs[1], i, j),
-                        );
-                        self.write_elem(exec_id, dst, i, j, v);
-                    }
-                }
-            }
-            SimtOp::RowReduce {
-                op, include_dst, ..
-            } => {
-                for i in 0..dst.rows {
-                    let mut acc = if *include_dst {
-                        self.read_elem(exec_id, dst, i, 0)
-                    } else {
-                        op.identity()
-                    };
-                    for j in 0..srcs[0].cols {
-                        acc = op.apply(acc, self.read_elem(exec_id, &srcs[0], i, j));
-                    }
-                    self.write_elem(exec_id, dst, i, 0, acc);
-                }
-            }
-            SimtOp::RowZip { op, .. } => {
-                for i in 0..dst.rows {
-                    let r = self.read_elem(exec_id, &srcs[1], i, 0);
-                    for j in 0..dst.cols {
-                        let v = op.apply(self.read_elem(exec_id, &srcs[0], i, j), r);
-                        self.write_elem(exec_id, dst, i, j, v);
-                    }
-                }
-            }
+        let (cta, role) = (self.execs[exec_id].cta, self.execs[exec_id].role);
+        let kernel = self.kernel;
+        let Some(data) = self.data.as_mut() else {
+            return Ok(());
+        };
+        #[cfg(any(test, feature = "scalar-oracle"))]
+        if self.scalar {
+            return apply::scalar::simt(kernel, data, cta, role, op, srcs, dst);
         }
-        // Row reductions used by attention always follow with broadcasts; no
-        // extra synchronization is modelled beyond the op's duration.
-        let _ = (BinOp::Add, RedOp::Sum);
-        Ok(())
+        apply::simt(kernel, data, &mut self.scratch, cta, role, op, srcs, dst)
+    }
+
+    /// Route all functional applies through the scalar reference
+    /// interpreter (the pre-optimization data path).
+    #[cfg(any(test, feature = "scalar-oracle"))]
+    pub(crate) fn set_scalar(&mut self) {
+        self.scalar = true;
     }
 }
 

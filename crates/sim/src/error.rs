@@ -46,6 +46,13 @@ pub enum SimError {
     },
     /// The event budget was exhausted (runaway program guard).
     EventLimit,
+    /// A simulator invariant was violated (a bug in the simulator itself,
+    /// not in the caller's kernel) — surfaced as a typed error instead of
+    /// a panic so long-running sweeps degrade gracefully.
+    Internal {
+        /// Which invariant broke.
+        what: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -78,6 +85,9 @@ impl fmt::Display for SimError {
                 )
             }
             SimError::EventLimit => write!(f, "event budget exhausted"),
+            SimError::Internal { what } => {
+                write!(f, "simulator invariant violated: {what}")
+            }
         }
     }
 }

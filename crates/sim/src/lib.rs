@@ -21,7 +21,19 @@
 //! problem sizes in milliseconds of host time. On top of solo timing,
 //! [`Simulator::run_timing_concurrent`] co-schedules a batch of kernels
 //! under the [`concurrent`] contention model (shared SMs, L2, and HBM),
-//! which is what the runtime's multi-stream graph scheduler builds on.
+//! which is what the runtime's multi-stream graph scheduler builds on;
+//! its solo-timing pass fans out over the [`par`] worker pool (see
+//! [`Simulator::set_parallelism`]).
+//!
+//! Functional data movement runs on a fast resolved-view path (each
+//! slice becomes a flat-buffer view once per apply; WGMMA is a blocked
+//! microkernel) that is bitwise identical to — and property-tested
+//! against — the retained scalar reference interpreter (the
+//! `scalar-oracle` feature exposes it as
+//! `Simulator::run_functional_scalar`). **Timing mode is unaffected by
+//! the data-path rewrite**: no data moves in timing runs, so the
+//! discrete-event schedule and every cycle count are exactly what they
+//! were under the scalar interpreter.
 //!
 //! # Example
 //!
@@ -48,6 +60,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub(crate) mod apply;
 pub mod builder;
 pub mod concurrent;
 pub mod engine;
@@ -58,6 +71,7 @@ pub mod instr;
 pub mod kernel;
 pub mod machine;
 pub mod mem;
+pub mod par;
 pub mod report;
 
 pub use builder::KernelBuilder;
@@ -77,6 +91,10 @@ use engine::{Engine, Mode};
 #[derive(Debug, Clone)]
 pub struct Simulator {
     machine: MachineConfig,
+    /// Host worker threads batch entry points may use (see
+    /// [`Simulator::set_parallelism`]). Single-kernel runs are always
+    /// single-threaded and deterministic regardless of this setting.
+    parallelism: usize,
 }
 
 /// Result of a functional run: the (mutated) parameter tensors plus the
@@ -90,16 +108,42 @@ pub struct FunctionalRun {
 }
 
 impl Simulator {
-    /// A simulator for `machine`.
+    /// A simulator for `machine`. Batch entry points default to one host
+    /// worker per available core (see [`Simulator::set_parallelism`]).
     #[must_use]
     pub fn new(machine: MachineConfig) -> Self {
-        Simulator { machine }
+        Simulator {
+            machine,
+            parallelism: par::available(),
+        }
     }
 
     /// The machine being simulated.
     #[must_use]
     pub fn machine(&self) -> &MachineConfig {
         &self.machine
+    }
+
+    /// The host worker threads batch entry points currently use.
+    #[must_use]
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Set how many host worker threads batch entry points (today:
+    /// [`Simulator::run_timing_concurrent`]'s solo-timing pass) may use,
+    /// clamped to at least 1. `1` reproduces the serial behavior exactly
+    /// — results are bit-identical at every setting, only wall time
+    /// changes.
+    pub fn set_parallelism(&mut self, parallelism: usize) {
+        self.parallelism = parallelism.max(1);
+    }
+
+    /// Builder-style [`Simulator::set_parallelism`].
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.set_parallelism(parallelism);
+        self
     }
 
     /// Execute `kernel` functionally: every CTA runs and `params` data is
@@ -115,11 +159,36 @@ impl Simulator {
         params: Vec<Tensor>,
     ) -> Result<FunctionalRun, SimError> {
         let engine = Engine::new(kernel, &self.machine, Mode::Functional, Some(params))?;
-        let (report, params) = engine.run()?;
-        Ok(FunctionalRun {
-            params: params.expect("functional mode returns params"),
-            report,
-        })
+        Self::finish_functional(engine.run()?)
+    }
+
+    /// [`Simulator::run_functional`] through the retained **scalar**
+    /// reference interpreter — the pre-optimization per-element data path
+    /// kept as a bitwise oracle. Tests diff the two paths; the benchmark
+    /// harness measures the fast path's speedup against this one. Only
+    /// available with the `scalar-oracle` feature.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Simulator::run_functional`].
+    #[cfg(feature = "scalar-oracle")]
+    pub fn run_functional_scalar(
+        &self,
+        kernel: &Kernel,
+        params: Vec<Tensor>,
+    ) -> Result<FunctionalRun, SimError> {
+        let mut engine = Engine::new(kernel, &self.machine, Mode::Functional, Some(params))?;
+        engine.set_scalar();
+        Self::finish_functional(engine.run()?)
+    }
+
+    fn finish_functional(
+        (report, params): (TimingReport, Option<Vec<Tensor>>),
+    ) -> Result<FunctionalRun, SimError> {
+        let params = params.ok_or_else(|| SimError::Internal {
+            what: "a functional run returned no parameter tensors".into(),
+        })?;
+        Ok(FunctionalRun { params, report })
     }
 
     /// Execute `kernel` in timing mode: no data moves; the busiest SM's
@@ -146,14 +215,20 @@ impl Simulator {
     /// serial sum. A single kernel reproduces [`Simulator::run_timing`]
     /// exactly.
     ///
+    /// The solo-timing pass runs on the simulator's host worker pool (see
+    /// [`Simulator::set_parallelism`]); each solo simulation is
+    /// independent and deterministic, so the report is bit-identical at
+    /// every parallelism level.
+    ///
     /// # Errors
     ///
     /// Returns [`SimError`] if any kernel fails its solo timing run.
     pub fn run_timing_concurrent(&self, kernels: &[Kernel]) -> Result<ConcurrentReport, SimError> {
-        let solos = kernels
-            .iter()
-            .map(|k| self.run_timing(k))
-            .collect::<Result<Vec<_>, _>>()?;
+        let solos = par::parallel_map(self.parallelism, kernels.iter().collect(), |k| {
+            self.run_timing(k)
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
         let mut engine = ConcurrentEngine::new(&self.machine);
         for (id, solo) in solos.iter().enumerate() {
             engine.launch(id, &KernelProfile::from_report(solo, &self.machine));
@@ -167,11 +242,17 @@ impl Simulator {
             });
         }
         let makespan = engine.now();
+        let kernels = slots
+            .into_iter()
+            .enumerate()
+            .map(|(id, s)| {
+                s.ok_or_else(|| SimError::Internal {
+                    what: format!("launched kernel {id} never completed its concurrent schedule"),
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
         Ok(ConcurrentReport {
-            kernels: slots
-                .into_iter()
-                .map(|s| s.expect("every launched kernel completes"))
-                .collect(),
+            kernels,
             makespan,
             seconds: self.machine.cycles_to_seconds(makespan),
         })

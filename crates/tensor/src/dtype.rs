@@ -44,6 +44,51 @@ impl DType {
         }
     }
 
+    /// Quantize every element of `row` in place — the bulk form of
+    /// [`DType::quantize`]. One dtype dispatch covers the whole row (the
+    /// simulator's functional data path calls this once per contiguous
+    /// row instead of matching per element), and `F32` is a no-op.
+    pub fn quantize_slice(self, row: &mut [f32]) {
+        match self {
+            DType::F16 => {
+                for v in row {
+                    *v = f16::from_f32(*v).to_f32();
+                }
+            }
+            DType::BF16 => {
+                for v in row {
+                    *v = bf16::from_f32(*v).to_f32();
+                }
+            }
+            DType::F32 => {}
+        }
+    }
+
+    /// Copy `src` into `dst`, quantizing each element to this dtype —
+    /// the bulk form of a quantized store. `F32` degenerates to a plain
+    /// `copy_from_slice`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths (same contract as
+    /// [`slice::copy_from_slice`]).
+    pub fn quantize_copy(self, src: &[f32], dst: &mut [f32]) {
+        assert_eq!(src.len(), dst.len(), "quantize_copy length mismatch");
+        match self {
+            DType::F16 => {
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d = f16::from_f32(*s).to_f32();
+                }
+            }
+            DType::BF16 => {
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d = bf16::from_f32(*s).to_f32();
+                }
+            }
+            DType::F32 => dst.copy_from_slice(src),
+        }
+    }
+
     /// Relative tolerance appropriate for comparing results computed in this
     /// dtype against an f32 reference (used by tests and examples).
     #[must_use]
@@ -348,6 +393,30 @@ mod tests {
         assert_eq!(DType::F16.size_bytes(), 2);
         assert_eq!(DType::BF16.size_bytes(), 2);
         assert_eq!(DType::F32.size_bytes(), 4);
+    }
+
+    #[test]
+    fn quantize_slice_matches_scalar_quantize() {
+        let values: Vec<f32> = (0..257)
+            .map(|i| (i as f32 - 128.0) * 0.3711 + 1.0 / (i as f32 + 1.0))
+            .collect();
+        for dt in [DType::F16, DType::BF16, DType::F32] {
+            let mut bulk = values.clone();
+            dt.quantize_slice(&mut bulk);
+            let mut copied = vec![0.0f32; values.len()];
+            dt.quantize_copy(&values, &mut copied);
+            for (i, &v) in values.iter().enumerate() {
+                let expect = dt.quantize(v);
+                assert_eq!(bulk[i].to_bits(), expect.to_bits(), "{dt} slice at {i}");
+                assert_eq!(copied[i].to_bits(), expect.to_bits(), "{dt} copy at {i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn quantize_copy_rejects_length_mismatch() {
+        DType::F16.quantize_copy(&[1.0, 2.0], &mut [0.0]);
     }
 
     #[test]

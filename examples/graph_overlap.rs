@@ -135,5 +135,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let err = p_got.relative_error(&p_want)?;
     assert!(err < 3e-2, "fan-out graph relative error {err}");
     println!("\nfunctional check vs host oracle: relative error {err:.4}");
+
+    // --- Host-side executor parallelism --------------------------------
+    // Independent ready nodes (the four GEMMs) run concurrently on a
+    // scoped worker pool; results join in deterministic topological
+    // order, so tensors are bit-identical to the serial walk at any
+    // worker count — only wall time changes.
+    let workers = cypress::sim::par::available();
+    let mut parallel = Session::new(machine).with_parallelism(workers);
+    let prun = parallel.launch_functional(&graph, &inputs)?;
+    let p_par = prun.tensor(sink, 0).expect("sink kept");
+    assert_eq!(
+        p_got.data(),
+        p_par.data(),
+        "parallel executor must be bit-identical"
+    );
+    println!("parallel executor ({workers} workers): bit-identical to serial");
     Ok(())
 }

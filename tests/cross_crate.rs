@@ -59,6 +59,59 @@ fn cypress_and_hand_written_gemm_agree() {
     );
 }
 
+/// The fast resolved-view functional data path must be **bitwise**
+/// identical to the retained scalar reference interpreter on whole
+/// compiled kernels — GEMM (the blocked WGMMA microkernel plus TMA
+/// copies) and attention (the SIMT softmax path: map/zip/row ops).
+/// Timing must be identical too: the data-path rewrite only changes how
+/// data moves on the host, never the simulated schedule.
+#[test]
+fn fast_functional_path_matches_scalar_oracle_on_compiled_kernels() {
+    let machine = MachineConfig::test_gpu();
+    let compiler = CypressCompiler::new(CompilerOptions {
+        machine: machine.clone(),
+        ..Default::default()
+    });
+    let sim = Simulator::new(machine.clone());
+    let mut rng = StdRng::seed_from_u64(4242);
+
+    // GEMM 128x64x96 in f16.
+    let (m, n, k) = (128, 64, 96);
+    let a = Tensor::random(DType::F16, &[m, k], &mut rng, -1.0, 1.0);
+    let b = Tensor::random(DType::F16, &[k, n], &mut rng, -1.0, 1.0);
+    let (reg, mapping, args) = gemm::build(m, n, k, &machine).unwrap();
+    let kernel = compiler.compile(&reg, &mapping, "gemm", &args).unwrap();
+    let params = vec![Tensor::zeros(DType::F16, &[m, n]), a, b];
+    let fast = sim.run_functional(&kernel.kernel, params.clone()).unwrap();
+    let oracle = sim.run_functional_scalar(&kernel.kernel, params).unwrap();
+    for (p, (x, y)) in fast.params.iter().zip(&oracle.params).enumerate() {
+        assert_eq!(x.shape(), y.shape());
+        for (i, (a, b)) in x.data().iter().zip(y.data()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "gemm param {p} elem {i}");
+        }
+    }
+    assert_eq!(fast.report.cycles.to_bits(), oracle.report.cycles.to_bits());
+
+    // Attention (FA2) over 2 heads, seq 128, head dim 64.
+    let (heads, seq, dim) = (2, 128, 64);
+    let mk = |rng: &mut StdRng| Tensor::random(DType::F16, &[heads * seq, dim], rng, -1.0, 1.0);
+    let (q, kx, v) = (mk(&mut rng), mk(&mut rng), mk(&mut rng));
+    let (reg, mapping, args) =
+        attention::build(attention::Algorithm::Fa2, heads, seq, dim, &machine).unwrap();
+    let kernel = compiler.compile(&reg, &mapping, "fa", &args).unwrap();
+    let params = vec![Tensor::zeros(DType::F16, &[heads * seq, dim]), q, kx, v];
+    let fast = sim.run_functional(&kernel.kernel, params.clone()).unwrap();
+    let oracle = sim.run_functional_scalar(&kernel.kernel, params).unwrap();
+    for (i, (a, b)) in fast.params[0]
+        .data()
+        .iter()
+        .zip(oracle.params[0].data())
+        .enumerate()
+    {
+        assert_eq!(a.to_bits(), b.to_bits(), "attention out elem {i}");
+    }
+}
+
 #[test]
 fn whole_stack_is_deterministic() {
     let machine = MachineConfig::h100_sxm5();
