@@ -141,8 +141,8 @@ fn check_fusion(json: &str) -> Result<(), String> {
             if fused < unfused {
                 return Err(format!(
                     "fig_fusion: `{workload}` at size {size} lost under fusion \
-                     ({fused:.3} vs {unfused:.3} TFLOP/s) — the simulator gate must \
-                     leave losing rewrites unfused"
+                     ({fused:.3} vs {unfused:.3} TFLOP/s, gate: fused >= unfused) — \
+                     the simulator gate must leave losing rewrites unfused"
                 ));
             }
         }
@@ -203,18 +203,35 @@ fn check(json: &str) -> Result<usize, String> {
     }
     // Every tflops value must parse as a finite, positive number. NaN and
     // infinity are not valid JSON numbers, so they would also corrupt the
-    // file — catch them by name.
+    // file — catch them by name, and name the offending row so the CI log
+    // says *which* measurement went bad, not just that one did.
+    let field = |chunk: &str, key: &str| {
+        chunk
+            .split(&format!("\"{key}\": "))
+            .nth(1)
+            .and_then(|rest| rest.split(['}', ',']).next())
+            .unwrap_or("?")
+            .trim()
+            .trim_matches('"')
+            .to_string()
+    };
     let mut values = 0;
-    for chunk in json.split("\"tflops\": ").skip(1) {
-        let end = chunk
-            .find(['}', ','])
-            .ok_or_else(|| "unterminated tflops value".to_string())?;
-        let raw = chunk[..end].trim();
+    for chunk in json.split('{').filter(|c| c.contains("\"tflops\": ")) {
+        let raw = field(chunk, "tflops");
+        let row = format!(
+            "row {{figure: {}, system: {}, size: {}}}",
+            field(chunk, "figure"),
+            field(chunk, "system"),
+            field(chunk, "size")
+        );
         let v: f64 = raw
             .parse()
-            .map_err(|e| format!("tflops `{raw}` does not parse: {e}"))?;
+            .map_err(|e| format!("{row}: tflops `{raw}` does not parse: {e}"))?;
         if !v.is_finite() || v <= 0.0 {
-            return Err(format!("tflops `{raw}` is not a finite positive number"));
+            return Err(format!(
+                "{row}: tflops `{raw}` is not a finite positive number \
+                 (gate: finite and > 0)"
+            ));
         }
         values += 1;
     }
@@ -366,9 +383,12 @@ mod tests {
     }
 
     #[test]
-    fn nan_fails() {
+    fn nan_fails_and_names_the_row() {
         let json = full_file(&[(0, "NaN")]);
-        assert!(check(&json).unwrap_err().contains("NaN"));
+        let err = check(&json).unwrap_err();
+        assert!(err.contains("NaN"), "{err}");
+        assert!(err.contains("figure: 13a_gemm"), "{err}");
+        assert!(err.contains("system: s"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! CI gate over an exported Chrome trace (see
+//! `cypress_runtime::telemetry::TraceSink`): the file must parse, carry
+//! the `cypress_graph` metadata event, contain at least one span, keep
+//! its timestamps monotone (the exporter sorts by start time), keep
+//! every span inside the declared makespan, and only use stream ids the
+//! metadata declares. A broken exporter fails the build instead of
+//! shipping a file Perfetto rejects.
+//!
+//! Run with `cargo run --release -p cypress-bench --bin check_trace --
+//! <trace.json>` (after `cargo run --example graph_overlap <trace.json>`
+//! has written it).
+
+use cypress_runtime::TraceSink;
+use std::process::ExitCode;
+
+fn check(json: &str) -> Result<String, String> {
+    let trace = TraceSink::parse_chrome_json(json)?;
+    let streams = trace
+        .streams
+        .ok_or("missing `cypress_graph` metadata: no stream count")?;
+    let makespan = trace
+        .makespan
+        .ok_or("missing `cypress_graph` metadata: no makespan")?;
+    if streams == 0 {
+        return Err("metadata declares 0 streams".to_string());
+    }
+    if !makespan.is_finite() || makespan <= 0.0 {
+        return Err(format!(
+            "metadata makespan {makespan} is not a positive cycle count"
+        ));
+    }
+    if trace.spans.is_empty() {
+        return Err("trace has no spans".to_string());
+    }
+    let mut prev = f64::NEG_INFINITY;
+    for (i, span) in trace.spans.iter().enumerate() {
+        if span.ts < prev {
+            return Err(format!(
+                "span {i} `{}`: ts {} < previous span's ts {} — timestamps must be monotone",
+                span.name, span.ts, prev
+            ));
+        }
+        prev = span.ts;
+        if !span.ts.is_finite() || span.ts < 0.0 || !span.dur.is_finite() || span.dur < 0.0 {
+            return Err(format!(
+                "span {i} `{}`: ts {} dur {} — both must be finite and non-negative",
+                span.name, span.ts, span.dur
+            ));
+        }
+        if span.tid >= streams {
+            return Err(format!(
+                "span {i} `{}`: stream id {} but metadata declares {streams} streams",
+                span.name, span.tid
+            ));
+        }
+        // The exporter emits exact sim cycles; tolerate only rounding in
+        // the sum itself.
+        if span.ts + span.dur > makespan * (1.0 + 1e-9) {
+            return Err(format!(
+                "span {i} `{}`: ends at {} (ts {} + dur {}), past the declared makespan {makespan}",
+                span.name,
+                span.ts + span.dur,
+                span.ts,
+                span.dur
+            ));
+        }
+    }
+    Ok(format!(
+        "{} spans on {streams} streams, makespan {makespan} cycles",
+        trace.spans.len()
+    ))
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/graph_overlap_trace.json".to_string());
+    let json = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "check_trace: cannot read {path}: {e} \
+                 (run `cargo run --example graph_overlap {path}` first)"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    match check(&json) {
+        Ok(summary) => {
+            println!("check_trace: {path} ok ({summary})");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("check_trace: {path}: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::check;
+
+    fn trace(meta: &str, spans: &[&str]) -> String {
+        let mut events = vec![meta.to_string()];
+        events.extend(spans.iter().map(|s| (*s).to_string()));
+        format!("{{\"traceEvents\":[{}]}}", events.join(","))
+    }
+
+    const META: &str = "{\"name\":\"cypress_graph\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+                        \"args\":{\"streams\":2,\"makespan\":1000,\"unit\":\"cycles\"}}";
+
+    fn span(name: &str, ts: f64, dur: f64, tid: usize) -> String {
+        format!(
+            "{{\"name\":\"{name}\",\"cat\":\"node\",\"ph\":\"X\",\
+             \"ts\":{ts},\"dur\":{dur},\"pid\":0,\"tid\":{tid},\"args\":{{}}}}"
+        )
+    }
+
+    #[test]
+    fn valid_trace_passes() {
+        let json = trace(
+            META,
+            &[&span("a", 0.0, 600.0, 0), &span("b", 100.0, 900.0, 1)],
+        );
+        let summary = check(&json).unwrap();
+        assert!(summary.contains("2 spans"), "{summary}");
+    }
+
+    #[test]
+    fn missing_metadata_fails() {
+        let json = trace(&span("a", 0.0, 10.0, 0), &[]);
+        assert!(check(&json).unwrap_err().contains("cypress_graph"));
+    }
+
+    #[test]
+    fn empty_trace_fails() {
+        assert!(check(&trace(META, &[])).unwrap_err().contains("no spans"));
+    }
+
+    #[test]
+    fn non_monotone_timestamps_fail() {
+        let json = trace(
+            META,
+            &[&span("a", 500.0, 100.0, 0), &span("b", 0.0, 100.0, 1)],
+        );
+        assert!(check(&json).unwrap_err().contains("monotone"));
+    }
+
+    #[test]
+    fn out_of_range_stream_fails() {
+        let json = trace(META, &[&span("a", 0.0, 100.0, 7)]);
+        let err = check(&json).unwrap_err();
+        assert!(err.contains("stream id 7"), "{err}");
+    }
+
+    #[test]
+    fn span_past_makespan_fails() {
+        let json = trace(META, &[&span("a", 900.0, 200.0, 0)]);
+        assert!(check(&json)
+            .unwrap_err()
+            .contains("past the declared makespan"));
+    }
+
+    #[test]
+    fn malformed_json_fails() {
+        assert!(check("{\"traceEvents\":").is_err());
+    }
+}

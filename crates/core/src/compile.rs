@@ -46,6 +46,12 @@ pub struct Compiled {
     /// (see [`crate::fingerprint::fingerprint`]); the cache key of the
     /// `cypress-runtime` kernel cache.
     pub fingerprint: u64,
+    /// Host wall-clock nanoseconds each compiler pass took, in pipeline
+    /// order. Observability only: the numbers are nondeterministic, are
+    /// never part of [`Compiled::fingerprint`], and downstream consumers
+    /// (the runtime's telemetry layer) treat them as opt-in host-time
+    /// fields.
+    pub pass_nanos: Vec<(String, u64)>,
 }
 
 /// The Cypress compiler.
@@ -98,16 +104,26 @@ impl CypressCompiler {
         fingerprint: u64,
     ) -> Result<Compiled, CompileError> {
         let mut dumps = Vec::new();
+        // Pass wall-clock timings (observability only; kept out of the
+        // fingerprint so cache keys and BENCH rows are unaffected).
+        let mut pass_nanos: Vec<(String, u64)> = Vec::with_capacity(6);
+        let mut timed = |name: &str, since: std::time::Instant| {
+            pass_nanos.push((name.to_string(), since.elapsed().as_nanos() as u64));
+        };
 
         // 1. Dependence analysis (§4.2.1).
+        let t = std::time::Instant::now();
         let mut prog = depan::analyze(registry, mapping, name, entry_args)?;
+        timed("depan", t);
         if self.opts.dump_ir {
             dumps.push(("depan".to_string(), print_program(&prog)));
         }
 
         // 2. Vectorization (§4.2.2).
+        let t = std::time::Instant::now();
         vectorize::run(&mut prog);
         vectorize::normalize_ranks(&mut prog);
+        timed("vectorize", t);
         if self.opts.dump_ir {
             dumps.push(("vectorize".to_string(), print_program(&prog)));
         }
@@ -117,14 +133,18 @@ impl CypressCompiler {
             spill_first: self.opts.spill_first,
             ..Default::default()
         };
+        let t = std::time::Instant::now();
         let stats = copyelim::run(&mut prog, ce_opts)?;
+        timed("copyelim", t);
         if self.opts.dump_ir {
             dumps.push(("copyelim".to_string(), print_program(&prog)));
         }
 
         // 4. Resource allocation (§4.2.4).
         let limit = mapping.smem_limit.unwrap_or(self.opts.machine.smem_per_sm);
+        let t = std::time::Instant::now();
         let allocation = alloc::run(&prog, limit)?;
+        timed("alloc", t);
 
         // 5/6. Warp specialization, pipelining, and code generation
         // (§4.2.5, §4.2.6).
@@ -132,12 +152,16 @@ impl CypressCompiler {
             warpspecialize: mapping.iter().any(|i| i.warpspecialize),
             pipeline: mapping.iter().map(|i| i.pipeline).max().unwrap_or(0).max(1),
         };
+        let t = std::time::Instant::now();
         let kernel = warpspec::lower(&prog, &allocation, sched)?;
         kernel
             .validate(&self.opts.machine)
             .map_err(|e| CompileError::Backend(e.to_string()))?;
+        timed("warpspec", t);
 
+        let t = std::time::Instant::now();
         let cuda = crate::codegen::cuda::render(&kernel);
+        timed("codegen", t);
         let smem_bytes = kernel.smem_bytes();
         Ok(Compiled {
             kernel,
@@ -146,6 +170,7 @@ impl CypressCompiler {
             copyelim_stats: stats,
             smem_bytes,
             fingerprint,
+            pass_nanos,
         })
     }
 

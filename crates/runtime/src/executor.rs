@@ -30,9 +30,10 @@ use crate::graph::{Binding, NodeId, TaskGraph};
 use crate::pool::BufferPool;
 use crate::report::{GraphReport, NodeTiming};
 use crate::session::SchedulePolicy;
+use crate::telemetry::{Event, Recorder};
 use cypress_core::Compiled;
 use cypress_sim::concurrent::{ConcurrentEngine, KernelProfile};
-use cypress_sim::{MachineConfig, Simulator, TimingReport};
+use cypress_sim::{ApplyBytes, MachineConfig, Simulator, TimingReport};
 use cypress_tensor::Tensor;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -63,6 +64,10 @@ pub struct GraphRun {
     results: Vec<Option<Vec<Option<Tensor>>>>,
     /// Whole-graph timing of the same schedule.
     pub report: GraphReport,
+    /// Per-dtype bytes the functional data path moved across every node
+    /// launch of this run — a deterministic function of the graph and
+    /// its kernels, bit-identical across policies and worker counts.
+    pub apply_bytes: ApplyBytes,
 }
 
 impl GraphRun {
@@ -133,6 +138,7 @@ impl EdgeBuffers {
         id: NodeId,
         inputs: &HashMap<String, Tensor>,
         pool: &mut BufferPool,
+        recorder: &mut dyn Recorder,
     ) -> Result<Vec<Tensor>, RuntimeError> {
         let node = &graph.nodes()[id.index()];
         let mut params = Vec::with_capacity(node.bindings.len());
@@ -192,7 +198,21 @@ impl EdgeBuffers {
                         slot.as_ref().ok_or_else(missing)?.clone()
                     }
                 }
-                Binding::Zeros => pool.acquire(arg.dtype, arg.rows, arg.cols),
+                Binding::Zeros => {
+                    // The reuse flag comes from the pool's own counter
+                    // delta, so the event agrees with `PoolStats`.
+                    let before = recorder.enabled().then(|| pool.stats());
+                    let t = pool.acquire(arg.dtype, arg.rows, arg.cols);
+                    if let Some(before) = before {
+                        recorder.record(Event::PoolAcquire {
+                            dtype: arg.dtype,
+                            rows: arg.rows,
+                            cols: arg.cols,
+                            reused: pool.stats().reused > before.reused,
+                        });
+                    }
+                    t
+                }
             };
             params.push(tensor);
         }
@@ -205,13 +225,29 @@ impl EdgeBuffers {
     }
 
     /// Recycle any producer that `id` (just finished) drained.
-    fn recycle_drained(&mut self, graph: &TaskGraph, id: NodeId, pool: &mut BufferPool) {
+    fn recycle_drained(
+        &mut self,
+        graph: &TaskGraph,
+        id: NodeId,
+        pool: &mut BufferPool,
+        recorder: &mut dyn Recorder,
+    ) {
         for dep in graph.dependencies(id) {
             if self.total_remaining[dep.0] == 0 && !keeps_buffers(graph, dep.0, &self.total_initial)
             {
                 if let Some(rest) = self.slots[dep.0].take() {
                     for t in rest.into_iter().flatten() {
+                        let before = recorder.enabled().then(|| pool.stats());
+                        let dtype = t.dtype();
+                        let elements = t.shape().iter().product();
                         pool.release(t);
+                        if let Some(before) = before {
+                            recorder.record(Event::PoolRelease {
+                                dtype,
+                                elements,
+                                evictions: pool.stats().evicted - before.evicted,
+                            });
+                        }
                     }
                 }
             }
@@ -228,6 +264,7 @@ impl EdgeBuffers {
 /// deterministic function of its input tensors (and pooled buffers are
 /// handed out zeroed), so tensors and reports are bit-identical at every
 /// parallelism level — only wall time changes.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_functional(
     simulator: &Simulator,
     graph: &TaskGraph,
@@ -236,29 +273,40 @@ pub(crate) fn run_functional(
     pool: &mut BufferPool,
     policy: SchedulePolicy,
     parallelism: usize,
+    recorder: &mut dyn Recorder,
 ) -> Result<GraphRun, RuntimeError> {
     let mut edges = EdgeBuffers::new(graph);
     let mut reports: Vec<Option<TimingReport>> = vec![None; graph.len()];
+    let mut apply_bytes = ApplyBytes::default();
 
     if parallelism <= 1 {
         for &id in &graph.schedule() {
-            let params = edges.materialize(graph, id, inputs, pool)?;
+            let params = edges.materialize(graph, id, inputs, pool, recorder)?;
             let run = simulator.run_functional(&launches[id.index()].compiled.kernel, params)?;
+            apply_bytes.merge(run.apply_bytes);
             reports[id.index()] = Some(run.report);
             edges.store(id, run.params);
-            edges.recycle_drained(graph, id, pool);
+            edges.recycle_drained(graph, id, pool, recorder);
         }
     } else {
         let (mut indegree, consumers) = graph.dependency_edges();
         let mut wave: Vec<usize> = (0..graph.len()).filter(|&i| indegree[i] == 0).collect();
+        let mut wave_index = 0usize;
         while !wave.is_empty() {
+            if recorder.enabled() {
+                recorder.record(Event::WaveScheduled {
+                    wave: wave_index,
+                    nodes: wave.clone(),
+                });
+            }
+            wave_index += 1;
             // Materialize inputs serially in ascending node order (the
             // take-vs-clone bookkeeping is order-sensitive), then run the
             // whole wave on the worker pool.
             let mut jobs = Vec::with_capacity(wave.len());
             for &idx in &wave {
                 let id = NodeId(idx);
-                let params = edges.materialize(graph, id, inputs, pool)?;
+                let params = edges.materialize(graph, id, inputs, pool, recorder)?;
                 jobs.push((idx, Arc::clone(&launches[idx].compiled), params));
             }
             let runs = cypress_sim::par::parallel_map(
@@ -268,14 +316,17 @@ pub(crate) fn run_functional(
                     (idx, simulator.run_functional(&compiled.kernel, params))
                 },
             );
-            // Join in input (ascending node) order.
+            // Join in input (ascending node) order; the byte counters
+            // are commutative sums, so the merged totals match the
+            // serial walk exactly.
             for (idx, run) in runs {
                 let run = run?;
+                apply_bytes.merge(run.apply_bytes);
                 reports[idx] = Some(run.report);
                 edges.store(NodeId(idx), run.params);
             }
             for &idx in &wave {
-                edges.recycle_drained(graph, NodeId(idx), pool);
+                edges.recycle_drained(graph, NodeId(idx), pool, recorder);
             }
             let mut next = Vec::new();
             for &idx in &wave {
@@ -301,11 +352,42 @@ pub(crate) fn run_functional(
             })
         })
         .collect::<Result<_, _>>()?;
+    let report = assemble_report(simulator.machine(), graph, launches, &reports, policy);
+    record_graph_events(graph, launches, &reports, &report, recorder);
     Ok(GraphRun {
         names: graph.nodes().iter().map(|n| n.name.clone()).collect(),
         results: edges.slots,
-        report: assemble_report(simulator.machine(), graph, launches, &reports, policy),
+        report,
+        apply_bytes,
     })
+}
+
+/// Emit the per-node events of one graph run: first the policy-invariant
+/// [`Event::NodeExecuted`] stream in ascending node-id (insertion)
+/// order, then the schedule's [`Event::NodeSpan`] timeline in completion
+/// order (see [`GraphReport::trace_events`]). Both the serial walk and
+/// the wave executor land here with `reports` indexed by node id, so the
+/// emitted stream is independent of how the nodes actually ran.
+fn record_graph_events(
+    graph: &TaskGraph,
+    launches: &[NodeLaunch],
+    reports: &[TimingReport],
+    report: &GraphReport,
+    recorder: &mut dyn Recorder,
+) {
+    if !recorder.enabled() {
+        return;
+    }
+    for (i, node) in graph.nodes().iter().enumerate() {
+        recorder.record(Event::NodeExecuted {
+            node: node.name.clone(),
+            kernel: launches[i].compiled.kernel.name.clone(),
+            cycles: reports[i].cycles,
+        });
+    }
+    for ev in report.trace_events() {
+        recorder.record(ev);
+    }
 }
 
 /// Re-address a fused graph's [`GraphRun`] to the *original* graph: the
@@ -339,6 +421,7 @@ pub(crate) fn remap_run(
         names: original.nodes().iter().map(|n| n.name.clone()).collect(),
         results,
         report: run.report,
+        apply_bytes: run.apply_bytes,
     }
 }
 
@@ -348,6 +431,7 @@ pub(crate) fn run_timing(
     graph: &TaskGraph,
     launches: &[NodeLaunch],
     policy: SchedulePolicy,
+    recorder: &mut dyn Recorder,
 ) -> Result<GraphReport, RuntimeError> {
     // Solo-time each node once per distinct compiled kernel: graphs that
     // repeat a program (the cache hands back the identical `Arc`) pay for
@@ -366,13 +450,9 @@ pub(crate) fn run_timing(
         };
         reports.push(report);
     }
-    Ok(assemble_report(
-        simulator.machine(),
-        graph,
-        launches,
-        &reports,
-        policy,
-    ))
+    let report = assemble_report(simulator.machine(), graph, launches, &reports, policy);
+    record_graph_events(graph, launches, &reports, &report, recorder);
+    Ok(report)
 }
 
 /// Assemble the whole-graph report from per-node solo reports (indexed by

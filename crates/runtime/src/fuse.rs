@@ -77,7 +77,8 @@ pub enum FusionPolicy {
     Auto,
 }
 
-/// One applied rewrite: which fused node replaced which originals.
+/// One applied rewrite: which fused node replaced which originals, and
+/// the sim-confirmed win margin that justified it.
 #[derive(Debug, Clone)]
 pub struct FusionRewrite {
     /// The fused node in the rewritten graph.
@@ -87,6 +88,29 @@ pub struct FusionRewrite {
     pub rule: &'static str,
     /// Names of the original nodes the fused launch replaced.
     pub replaced: Vec<String>,
+    /// Solo sim cycles of the fused launch (what the gate measured).
+    pub fused_cycles: f64,
+    /// Summed solo sim cycles of the replaced launches; the win margin
+    /// is `unfused_cycles - fused_cycles >= 0` for every applied
+    /// rewrite.
+    pub unfused_cycles: f64,
+}
+
+/// A matched candidate the simulator gate measured and rejected: the
+/// fused launch would have been slower than the launches it replaces.
+/// Candidates the gate could not evaluate at all (the fused kernel does
+/// not compile here) are skipped silently, not declined.
+#[derive(Debug, Clone)]
+pub struct FusionDecline {
+    /// The rewrite rule that matched.
+    pub rule: &'static str,
+    /// Names of the nodes that stayed unfused.
+    pub replaced: Vec<String>,
+    /// Solo sim cycles of the rejected fused launch.
+    pub fused_cycles: f64,
+    /// Summed solo sim cycles of the unfused launches (the faster
+    /// side).
+    pub unfused_cycles: f64,
 }
 
 /// The result of planning fusion over a graph: the rewritten graph plus
@@ -101,6 +125,9 @@ pub struct FusionPlan {
     param_map: Vec<Vec<Option<(usize, usize)>>>,
     /// The rewrites that fired, in application order.
     pub rewrites: Vec<FusionRewrite>,
+    /// Candidates the simulator gate measured and rejected, in match
+    /// order (empty for the identity plan).
+    pub declined: Vec<FusionDecline>,
 }
 
 impl FusionPlan {
@@ -148,6 +175,10 @@ struct Candidate {
     /// entry is one bound to a fused-away intermediate, which is never
     /// materialized.
     param_remap: Vec<(usize, usize, usize)>,
+    /// Gate measurements, filled in by `plan` once the candidate passes
+    /// (zero until then).
+    fused_cycles: f64,
+    unfused_cycles: f64,
 }
 
 /// How the simulator judges one candidate: solo cycles of the fused
@@ -170,8 +201,9 @@ pub(crate) fn plan(
 ) -> Result<FusionPlan, RuntimeError> {
     let candidates = match_candidates(graph, machine);
     let mut accepted: Vec<Candidate> = Vec::new();
+    let mut declined: Vec<FusionDecline> = Vec::new();
     let mut used = vec![false; graph.len()];
-    for cand in candidates {
+    for mut cand in candidates {
         if cand.members.iter().any(|&m| used[m]) {
             continue;
         }
@@ -189,15 +221,34 @@ pub(crate) fn plan(
                 }
             }
         }
-        if !ok || fused_cycles > unfused {
+        if !ok {
+            continue;
+        }
+        if fused_cycles > unfused {
+            // Measured and lost: worth reporting, unlike candidates the
+            // gate could not evaluate at all.
+            declined.push(FusionDecline {
+                rule: cand.rule,
+                replaced: cand
+                    .members
+                    .iter()
+                    .map(|&m| graph.nodes()[m].name.clone())
+                    .collect(),
+                fused_cycles,
+                unfused_cycles: unfused,
+            });
             continue;
         }
         for &m in &cand.members {
             used[m] = true;
         }
+        cand.fused_cycles = fused_cycles;
+        cand.unfused_cycles = unfused;
         accepted.push(cand);
     }
-    apply(graph, accepted)
+    let mut plan = apply(graph, accepted)?;
+    plan.declined = declined;
+    Ok(plan)
 }
 
 /// The identity plan (used by `FusionPolicy::Off` paths and tests).
@@ -211,6 +262,7 @@ pub(crate) fn identity_plan(graph: &TaskGraph) -> FusionPlan {
             .map(|(i, n)| (0..n.program.args.len()).map(|p| Some((i, p))).collect())
             .collect(),
         rewrites: Vec::new(),
+        declined: Vec::new(),
     }
 }
 
@@ -286,6 +338,8 @@ fn match_candidates(graph: &TaskGraph, machine: &MachineConfig) -> Vec<Candidate
             // The consumer's A slot (the dead intermediate) is the one
             // parameter the fused launch no longer materializes.
             param_remap: vec![(j, 0, 0), (i, 1, 1), (i, 2, 2), (j, 2, 3)],
+            fused_cycles: 0.0,
+            unfused_cycles: 0.0,
         });
     }
 
@@ -359,6 +413,8 @@ fn match_candidates(graph: &TaskGraph, machine: &MachineConfig) -> Vec<Candidate
                 program,
                 bindings,
                 param_remap: vec![(g, 0, 0), (g, 1, 2), (g, 2, 3), (r, 0, 1), (r, 1, 2)],
+                fused_cycles: 0.0,
+                unfused_cycles: 0.0,
             });
             break;
         }
@@ -472,6 +528,8 @@ fn apply(graph: &TaskGraph, accepted: Vec<Candidate>) -> Result<FusionPlan, Runt
                     .iter()
                     .map(|&m| graph.nodes()[m].name.clone())
                     .collect(),
+                fused_cycles: cand.fused_cycles,
+                unfused_cycles: cand.unfused_cycles,
             });
         } else if member_of[idx].is_none() {
             let node = &graph.nodes()[idx];
@@ -498,6 +556,7 @@ fn apply(graph: &TaskGraph, accepted: Vec<Candidate>) -> Result<FusionPlan, Runt
         graph: fused,
         param_map,
         rewrites,
+        declined: Vec::new(),
     })
 }
 
@@ -517,6 +576,18 @@ mod tests {
     impl FusionGate for NeverFuse {
         fn solo_cycles(&mut self, _program: &Program) -> Option<f64> {
             None
+        }
+    }
+
+    /// Scores fused kernels slower than the launches they replace.
+    struct PreferUnfused;
+    impl FusionGate for PreferUnfused {
+        fn solo_cycles(&mut self, program: &Program) -> Option<f64> {
+            Some(if program.entry == "chain" || program.entry == "gr" {
+                10.0
+            } else {
+                1.0
+            })
         }
     }
 
@@ -561,6 +632,10 @@ mod tests {
         assert_eq!(plan.rewrites.len(), 1);
         assert_eq!(plan.rewrites[0].rule, "dual_chain");
         assert_eq!(plan.rewrites[0].replaced, vec!["up", "down"]);
+        // AlwaysFuse scores every program 1.0: fused 1.0 vs 2 members.
+        assert_eq!(plan.rewrites[0].fused_cycles, 1.0);
+        assert_eq!(plan.rewrites[0].unfused_cycles, 2.0);
+        assert!(plan.declined.is_empty());
         assert_eq!(plan.graph.nodes()[0].name, "up+down");
         // The consumer's C maps to the fused C; the dead intermediate
         // maps nowhere.
@@ -574,6 +649,21 @@ mod tests {
         let plan = plan(&g, &MachineConfig::test_gpu(), &mut NeverFuse).unwrap();
         assert!(plan.is_identity());
         assert_eq!(plan.graph.len(), 2);
+        // Unevaluable candidates are skipped, not declined.
+        assert!(plan.declined.is_empty());
+    }
+
+    #[test]
+    fn measured_losers_are_declined_with_margins() {
+        let g = chain_graph();
+        let plan = plan(&g, &MachineConfig::test_gpu(), &mut PreferUnfused).unwrap();
+        assert!(plan.is_identity());
+        assert_eq!(plan.declined.len(), 1);
+        let d = &plan.declined[0];
+        assert_eq!(d.rule, "dual_chain");
+        assert_eq!(d.replaced, vec!["up", "down"]);
+        assert_eq!(d.fused_cycles, 10.0);
+        assert_eq!(d.unfused_cycles, 2.0);
     }
 
     #[test]

@@ -54,6 +54,16 @@
 //!   candidates in parallel. Tensors, reports, and tuning winners are
 //!   bit-identical at every worker count (`1` is byte-for-byte the
 //!   serial path); only wall time changes.
+//! - **deterministic observability** ([`telemetry`]): attach a
+//!   [`Recorder`] with [`Session::set_recorder`] to trace the whole
+//!   execution path — graph submissions, fusion decisions with their
+//!   sim-confirmed margins, cache and pool traffic, autotune sweeps,
+//!   wave scheduling, per-node spans in sim cycles — read one unified
+//!   [`MetricsSnapshot`] from [`Session::metrics`], and export any
+//!   [`GraphReport`] timeline to Perfetto-loadable Chrome-trace JSON
+//!   with [`TraceSink::chrome_json`]. With no recorder attached (the
+//!   default) nothing is constructed and every result is byte-identical
+//!   to a session without the telemetry layer.
 //!
 //! # Example: GEMM → GEMM as one graph
 //!
@@ -103,15 +113,21 @@ pub mod pool;
 pub mod program;
 pub mod report;
 pub mod session;
+pub mod telemetry;
 pub mod tuner;
 
 pub use cache::{CacheStats, KernelCache};
+pub use cypress_sim::ApplyBytes;
 pub use error::RuntimeError;
 pub use executor::GraphRun;
-pub use fuse::{FusionPolicy, FusionRewrite};
+pub use fuse::{FusionDecline, FusionPolicy, FusionRewrite};
 pub use graph::{Binding, Node, NodeId, TaskGraph};
 pub use pool::{BufferPool, PoolStats};
 pub use program::{Program, SpaceBinding};
 pub use report::{GraphReport, NodeTiming};
 pub use session::{MappingPolicy, SchedulePolicy, Session};
-pub use tuner::{TunedMapping, TuningKey, TuningTable};
+pub use telemetry::{
+    ChromeSpan, ChromeTrace, Event, EventClass, MetricsRegistry, MetricsSnapshot, NoopRecorder,
+    Recorder, TraceLog, TraceSink,
+};
+pub use tuner::{TunedMapping, TunerStats, TuningKey, TuningTable};

@@ -137,13 +137,45 @@ impl GraphReport {
         self.nodes.iter().find(|n| n.node == name)
     }
 
-    /// A human-readable per-node breakdown with the stream timeline.
+    /// The report's timeline as telemetry events: one
+    /// [`crate::telemetry::Event::NodeSpan`] per node, in completion
+    /// order — exactly the spans a session-attached recorder receives
+    /// after a graph launch, and exactly what
+    /// [`crate::TraceSink::chrome_json`] serializes. [`GraphReport::breakdown`]
+    /// and [`GraphReport::breakdown_csv`] render on top of this stream.
+    #[must_use]
+    pub fn trace_events(&self) -> Vec<crate::telemetry::Event> {
+        self.nodes
+            .iter()
+            .map(|n| crate::telemetry::Event::NodeSpan {
+                node: n.node.clone(),
+                stream: n.stream,
+                start: n.start,
+                end: n.end,
+            })
+            .collect()
+    }
+
+    /// A human-readable per-node breakdown with the stream timeline,
+    /// rendered from [`GraphReport::trace_events`].
     #[must_use]
     pub fn breakdown(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
         let total = self.makespan.max(1.0);
-        for n in &self.nodes {
+        // Spans and nodes are in the same (completion) order by
+        // construction, so zipping pairs each span with its annotations
+        // even when node names repeat.
+        for (ev, n) in self.trace_events().iter().zip(&self.nodes) {
+            let crate::telemetry::Event::NodeSpan {
+                node,
+                stream,
+                start,
+                end,
+            } = ev
+            else {
+                continue;
+            };
             let share = 100.0 * n.report.cycles / total;
             let mapping = if n.mapping == "default" {
                 String::new()
@@ -158,7 +190,7 @@ impl GraphReport {
             let _ = writeln!(
                 out,
                 "{:<24} s{} [{:>12.0}, {:>12.0}) {:>14.0} cycles ({:>5.1}%)  {:>8.1} TFLOP/s achieved{mapping}{fused}",
-                n.node, n.stream, n.start, n.end, n.report.cycles, share, n.report.achieved_tflops
+                node, stream, start, end, n.report.cycles, share, n.report.achieved_tflops
             );
         }
         let _ = writeln!(
@@ -172,6 +204,55 @@ impl GraphReport {
             self.overlap_speedup()
         );
         out
+    }
+
+    /// [`GraphReport::breakdown`] as machine-readable CSV: a header
+    /// line, then one row per node in completion order. Numeric fields
+    /// print in Rust's shortest round-trip form (no display rounding),
+    /// so downstream tooling sees the exact simulated values; text
+    /// fields are quoted when they contain commas, quotes, or newlines.
+    #[must_use]
+    pub fn breakdown_csv(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from(
+            "node,stream,start,end,cycles,share_pct,achieved_tflops,mapping,tuned_speedup,fused\n",
+        );
+        let total = self.makespan.max(1.0);
+        for (ev, n) in self.trace_events().iter().zip(&self.nodes) {
+            let crate::telemetry::Event::NodeSpan {
+                node,
+                stream,
+                start,
+                end,
+            } = ev
+            else {
+                continue;
+            };
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{}",
+                csv_field(node),
+                stream,
+                start,
+                end,
+                n.report.cycles,
+                100.0 * n.report.cycles / total,
+                n.report.achieved_tflops,
+                csv_field(&n.mapping),
+                n.tuned_speedup,
+                csv_field(&n.replaced.join(", "))
+            );
+        }
+        out
+    }
+}
+
+/// Quote a CSV field when it contains a delimiter, quote, or newline.
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
     }
 }
 
@@ -237,5 +318,41 @@ mod tests {
         assert!(text.contains("s1"), "{text}");
         assert!(text.contains("critical path"), "{text}");
         assert!(text.contains("1.80x overlap"), "{text}");
+    }
+
+    #[test]
+    fn trace_events_mirror_the_timeline() {
+        let evs = overlapped().trace_events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(
+            evs[1],
+            crate::telemetry::Event::NodeSpan {
+                node: "b".into(),
+                stream: 1,
+                start: 0.0,
+                end: 800.0,
+            }
+        );
+    }
+
+    #[test]
+    fn csv_rows_carry_exact_values() {
+        let csv = overlapped().breakdown_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3, "{csv}");
+        assert_eq!(
+            lines[0],
+            "node,stream,start,end,cycles,share_pct,achieved_tflops,mapping,tuned_speedup,fused"
+        );
+        assert_eq!(lines[1], "a,0,0,1000,1000,100,1,default,1,");
+        assert_eq!(lines[2], "b,1,0,800,800,80,1,default,1,");
+    }
+
+    #[test]
+    fn csv_quotes_fields_with_delimiters() {
+        let mut r = overlapped();
+        r.nodes[0].replaced = vec!["up".into(), "down".into()];
+        let csv = r.breakdown_csv();
+        assert!(csv.contains("\"up, down\""), "{csv}");
     }
 }

@@ -45,6 +45,7 @@ use crate::graph::TaskGraph;
 use crate::pool::{BufferPool, PoolStats};
 use crate::program::Program;
 use crate::report::GraphReport;
+use crate::telemetry::{Event, MetricsRegistry, MetricsSnapshot, NoopRecorder, Recorder};
 use crate::tuner::{key_for, TunedMapping, TuningKey, TuningTable};
 use cypress_core::{Compiled, CompilerOptions, CypressCompiler};
 use cypress_sim::{MachineConfig, Simulator, TimingReport};
@@ -131,6 +132,14 @@ pub struct Session {
     /// autotune sweep, and concurrent solo timing (see
     /// [`Session::set_parallelism`]).
     parallelism: usize,
+    /// Telemetry sink every launch reports to (see
+    /// [`Session::set_recorder`]); [`NoopRecorder`] by default, so the
+    /// hot path constructs no events.
+    recorder: Box<dyn Recorder>,
+    /// Counters no component stats struct carries (fusion decisions,
+    /// sweep replays, functional apply bytes); unified with the cache,
+    /// pool, and tuner stats by [`Session::metrics`].
+    metrics: MetricsRegistry,
 }
 
 impl Session {
@@ -160,6 +169,8 @@ impl Session {
             untunable: HashSet::new(),
             solo_cycles: HashMap::new(),
             parallelism: cypress_sim::par::available(),
+            recorder: Box::new(NoopRecorder),
+            metrics: MetricsRegistry::default(),
         }
     }
 
@@ -257,6 +268,31 @@ impl Session {
         self
     }
 
+    /// Attach a telemetry [`Recorder`] that subsequent launches report
+    /// to (mirrors [`Session::set_policy`]). The usual sink is a
+    /// [`crate::TraceLog`] clone — keep one handle, hand the session the
+    /// other, read the events after launching. Replacing the recorder
+    /// drops the previous one; pass [`NoopRecorder`] to detach.
+    pub fn set_recorder(&mut self, recorder: impl Recorder + 'static) {
+        self.recorder = Box::new(recorder);
+    }
+
+    /// Builder-style [`Session::set_recorder`].
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: impl Recorder + 'static) -> Self {
+        self.set_recorder(recorder);
+        self
+    }
+
+    /// One unified snapshot of everything the session counts: cache,
+    /// pool, and tuner stats plus fusion decisions, parallel-sweep cache
+    /// replays, and the functional apply-path byte counters.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics
+            .snapshot(self.cache.stats(), self.pool.stats(), self.tuning.stats())
+    }
+
     /// The host worker threads the session currently uses.
     #[must_use]
     pub fn parallelism(&self) -> usize {
@@ -317,6 +353,7 @@ impl Session {
             &program.entry,
             &program.args,
         );
+        let before = self.recorder.enabled().then(|| self.cache.stats());
         let compiler = &self.compiler;
         let compiled = self.cache.get_or_compile(fp, || {
             compiler.compile_with_fingerprint(
@@ -327,7 +364,32 @@ impl Session {
                 fp,
             )
         })?;
+        if let Some(before) = before {
+            self.record_cache_lookup(fp, before, &compiled);
+        }
         Ok(compiled)
+    }
+
+    /// Emit the [`Event::CacheLookup`] for one successful lookup (hit
+    /// and eviction flags read from the cache's own counter deltas) and,
+    /// on a miss, the opt-in host-time [`Event::CompilePass`] stream of
+    /// the freshly compiled kernel.
+    fn record_cache_lookup(&mut self, fp: u64, before: CacheStats, compiled: &Compiled) {
+        let after = self.cache.stats();
+        let hit = after.hits > before.hits;
+        self.recorder.record(Event::CacheLookup {
+            fingerprint: fp,
+            hit,
+            evictions: after.evictions - before.evictions,
+        });
+        if !hit {
+            for (pass, ns) in &compiled.pass_nanos {
+                self.recorder.record(Event::CompilePass {
+                    pass: pass.clone(),
+                    host_ns: *ns,
+                });
+            }
+        }
     }
 
     /// Autotune `program`'s mapping: enumerate its space's candidates
@@ -368,7 +430,19 @@ impl Session {
                 .validate(&machine, &binding.shape, &done.config)
                 .is_ok()
             {
-                return Ok(done.clone());
+                let done = done.clone();
+                if self.recorder.enabled() {
+                    self.recorder.record(Event::TunerSweep {
+                        entry: program.entry.clone(),
+                        shape: binding.shape.to_string(),
+                        candidates: done.candidates,
+                        winner: done.config.label(),
+                        default_cycles: done.default_cycles,
+                        tuned_cycles: done.tuned_cycles,
+                        cached: true,
+                    });
+                }
+                return Ok(done);
             }
         }
 
@@ -393,10 +467,12 @@ impl Session {
             });
         }
 
-        let mut default_cycles = None;
-        let mut best: Option<(f64, cypress_core::MappingConfig)> = None;
         let total = candidates.len();
-        if self.parallelism <= 1 {
+        // Both sweeps produce `(cycles, config)` in candidate order with
+        // bit-identical values, so everything downstream — the tie break,
+        // the stats bump, the emitted events — is shared.
+        let timed: Vec<(f64, cypress_core::MappingConfig)> = if self.parallelism <= 1 {
+            let mut timed = Vec::with_capacity(total);
             for cfg in candidates {
                 let report = match self.time_candidate(&binding, &cfg) {
                     Ok(r) => r,
@@ -406,25 +482,32 @@ impl Session {
                     Err(RuntimeError::Compile(_)) => continue,
                     Err(e) => return Err(e),
                 };
-                if cfg == default_cfg {
-                    default_cycles = Some(report.cycles);
-                }
-                // Strict `<` keeps the earliest candidate on ties, making the
-                // winner independent of session history.
-                if best.as_ref().is_none_or(|(c, _)| report.cycles < *c) {
-                    best = Some((report.cycles, cfg));
-                }
+                timed.push((report.cycles, cfg));
             }
+            timed
         } else {
-            for (cycles, cfg) in self.sweep_parallel(&binding, candidates)? {
-                if cfg == default_cfg {
-                    default_cycles = Some(cycles);
-                }
-                // Candidate order and the strict `<` are preserved, so the
-                // winner is the same one the serial sweep picks.
-                if best.as_ref().is_none_or(|(c, _)| cycles < *c) {
-                    best = Some((cycles, cfg));
-                }
+            self.sweep_parallel(&binding, candidates)?
+        };
+        self.tuning.note_sweep(timed.len() as u64);
+        if self.recorder.enabled() {
+            for (cycles, cfg) in &timed {
+                self.recorder.record(Event::TunerCandidate {
+                    entry: program.entry.clone(),
+                    config: cfg.label(),
+                    cycles: *cycles,
+                });
+            }
+        }
+        let mut default_cycles = None;
+        let mut best: Option<(f64, cypress_core::MappingConfig)> = None;
+        for (cycles, cfg) in timed {
+            if cfg == default_cfg {
+                default_cycles = Some(cycles);
+            }
+            // Strict `<` keeps the earliest candidate on ties, making the
+            // winner independent of session history.
+            if best.as_ref().is_none_or(|(c, _)| cycles < *c) {
+                best = Some((cycles, cfg));
             }
         }
         let Some((tuned_cycles, config)) = best else {
@@ -448,6 +531,17 @@ impl Session {
             candidates: total,
         };
         self.tuning.insert(key, tuned.clone());
+        if self.recorder.enabled() {
+            self.recorder.record(Event::TunerSweep {
+                entry: program.entry.clone(),
+                shape: binding.shape.to_string(),
+                candidates: total,
+                winner: tuned.config.label(),
+                default_cycles: tuned.default_cycles,
+                tuned_cycles: tuned.tuned_cycles,
+                cached: false,
+            });
+        }
         Ok(tuned)
     }
 
@@ -518,8 +612,13 @@ impl Session {
         // Replay the lookups in candidate order; misses consume the
         // precompiled kernels (recompiling inline only if a bounded cache
         // evicted an entry mid-sweep, exactly as the serial sweep would).
+        // The replay also emits the `CacheLookup` (and miss-side
+        // `CompilePass`) events in candidate order, so a recorder sees
+        // the same stream the serial sweep produces.
         let mut resident = Vec::with_capacity(built.len());
+        let mut replays = 0u64;
         for (cfg, program, fp) in built {
+            let before = self.recorder.enabled().then(|| self.cache.stats());
             let compiled = self.cache.get_or_compile(fp, || {
                 precompiled.remove(&fp).unwrap_or_else(|| {
                     compiler.compile_with_fingerprint(
@@ -531,13 +630,38 @@ impl Session {
                     )
                 })
             });
+            replays += 1;
             match compiled {
-                Ok(compiled) => resident.push((cfg, compiled)),
+                Ok(compiled) => {
+                    // Inline (not `record_cache_lookup`): the `compiler`
+                    // borrow above lives across the loop, so only
+                    // disjoint field borrows of `self` are possible here.
+                    if let Some(before) = before {
+                        let after = self.cache.stats();
+                        let hit = after.hits > before.hits;
+                        self.recorder.record(Event::CacheLookup {
+                            fingerprint: fp,
+                            hit,
+                            evictions: after.evictions - before.evictions,
+                        });
+                        if !hit {
+                            for (pass, ns) in &compiled.pass_nanos {
+                                self.recorder.record(Event::CompilePass {
+                                    pass: pass.clone(),
+                                    host_ns: *ns,
+                                });
+                            }
+                        }
+                    }
+                    resident.push((cfg, compiled));
+                }
                 // The compiler's allocator is the authority; its
-                // rejections are skipped, not errors.
+                // rejections are skipped, not errors (and emit nothing,
+                // like a failed `Session::compile`).
                 Err(_) => continue,
             }
         }
+        self.metrics.sweep_replays += replays;
         // Solo-time each distinct kernel on the worker pool. Timing is
         // deterministic per kernel, so deduplication cannot change any
         // candidate's cycles.
@@ -653,6 +777,27 @@ impl Session {
         }
         let machine = self.machine().clone();
         let plan = fuse::plan(graph, &machine, self)?;
+        self.metrics.fusion_applied += plan.rewrites.len() as u64;
+        self.metrics.fusion_declined += plan.declined.len() as u64;
+        if self.recorder.enabled() {
+            for r in &plan.rewrites {
+                self.recorder.record(Event::FusionApplied {
+                    rule: r.rule,
+                    fused: plan.graph.nodes()[r.fused.index()].name.clone(),
+                    replaced: r.replaced.clone(),
+                    fused_cycles: r.fused_cycles,
+                    unfused_cycles: r.unfused_cycles,
+                });
+            }
+            for d in &plan.declined {
+                self.recorder.record(Event::FusionDeclined {
+                    rule: d.rule,
+                    replaced: d.replaced.clone(),
+                    fused_cycles: d.fused_cycles,
+                    unfused_cycles: d.unfused_cycles,
+                });
+            }
+        }
         Ok((!plan.is_identity()).then_some(plan))
     }
 
@@ -686,6 +831,12 @@ impl Session {
         graph: &TaskGraph,
         inputs: &HashMap<String, Tensor>,
     ) -> Result<GraphRun, RuntimeError> {
+        if self.recorder.enabled() {
+            self.recorder.record(Event::GraphSubmitted {
+                nodes: graph.len(),
+                mode: "functional",
+            });
+        }
         if let Some(plan) = self.fusion_plan(graph)? {
             let launches = self.compile_plan(&plan)?;
             let run = executor::run_functional(
@@ -696,11 +847,13 @@ impl Session {
                 &mut self.pool,
                 self.policy,
                 self.parallelism,
+                self.recorder.as_mut(),
             )?;
+            self.metrics.apply_bytes.merge(run.apply_bytes);
             return Ok(executor::remap_run(run, graph, &plan));
         }
         let launches = self.compile_nodes(graph)?;
-        executor::run_functional(
+        let run = executor::run_functional(
             &self.simulator,
             graph,
             &launches,
@@ -708,7 +861,10 @@ impl Session {
             &mut self.pool,
             self.policy,
             self.parallelism,
-        )
+            self.recorder.as_mut(),
+        )?;
+        self.metrics.apply_bytes.merge(run.apply_bytes);
+        Ok(run)
     }
 
     /// Launch `graph` in timing mode: no data moves; the result is the
@@ -724,12 +880,30 @@ impl Session {
     ///
     /// Returns [`RuntimeError`] on compile or simulation failure.
     pub fn launch_timing(&mut self, graph: &TaskGraph) -> Result<GraphReport, RuntimeError> {
+        if self.recorder.enabled() {
+            self.recorder.record(Event::GraphSubmitted {
+                nodes: graph.len(),
+                mode: "timing",
+            });
+        }
         if let Some(plan) = self.fusion_plan(graph)? {
             let launches = self.compile_plan(&plan)?;
-            return executor::run_timing(&self.simulator, &plan.graph, &launches, self.policy);
+            return executor::run_timing(
+                &self.simulator,
+                &plan.graph,
+                &launches,
+                self.policy,
+                self.recorder.as_mut(),
+            );
         }
         let launches = self.compile_nodes(graph)?;
-        executor::run_timing(&self.simulator, graph, &launches, self.policy)
+        executor::run_timing(
+            &self.simulator,
+            graph,
+            &launches,
+            self.policy,
+            self.recorder.as_mut(),
+        )
     }
 
     /// Compile (with caching) and functionally run a single program —
@@ -745,10 +919,11 @@ impl Session {
         params: Vec<Tensor>,
     ) -> Result<Vec<Tensor>, RuntimeError> {
         let launch = self.node_launch(program)?;
-        Ok(self
+        let run = self
             .simulator
-            .run_functional(&launch.compiled.kernel, params)?
-            .params)
+            .run_functional(&launch.compiled.kernel, params)?;
+        self.metrics.apply_bytes.merge(run.apply_bytes);
+        Ok(run.params)
     }
 
     /// Compile (with caching) and time a single program (under

@@ -1,0 +1,944 @@
+//! Deterministic tracing and unified metrics for the runtime.
+//!
+//! The session already produces rich but fragmented signals —
+//! [`GraphReport`] timelines, [`CacheStats`], [`PoolStats`], tuner sweep
+//! outcomes, fusion-rewrite decisions. This module unifies them behind
+//! three small pieces:
+//!
+//! - **[`Recorder`] / [`Event`]** — a span/event stream threaded through
+//!   the whole execution path (graph submission, fusion rewrites with
+//!   their sim-confirmed win margins, kernel-cache lookups, buffer-pool
+//!   traffic, autotune sweeps, wave scheduling, per-node execution).
+//!   Attach one with [`crate::Session::set_recorder`] /
+//!   [`crate::Session::with_recorder`]; the default is the zero-cost
+//!   [`NoopRecorder`], whose `enabled() == false` means event payloads
+//!   are never even constructed.
+//! - **[`MetricsRegistry`] / [`MetricsSnapshot`]** — one snapshot
+//!   unifying the existing stats structs plus the new counters (fusion
+//!   rewrites applied/declined, tuner sweep cache replays, per-dtype
+//!   functional apply bytes). Read it with [`crate::Session::metrics`].
+//! - **[`TraceSink`]** — a hand-rolled Chrome-trace-event JSON exporter
+//!   (no `serde`, mirroring [`crate::TuningTable`]'s text round-trip):
+//!   [`TraceSink::chrome_json`] turns any [`GraphReport`] into a file
+//!   that opens directly in Perfetto (<https://ui.perfetto.dev>) or
+//!   `chrome://tracing`, and [`TraceSink::parse_chrome_json`] is the
+//!   minimal parser the round-trip tests and the CI trace validator use.
+//!
+//! # Determinism contract
+//!
+//! Every event payload is expressed in **sim cycles** (or other
+//! deterministic quantities), never host wall-clock, except the
+//! [`EventClass::Host`] events, which exist precisely to carry wall
+//! time and are opt-in ([`TraceLog::with_host`]) — filtered from every
+//! comparison the way `fig_functional` rows are filtered from CI figure
+//! diffs. Each event belongs to an [`EventClass`] that states exactly
+//! how reproducible it is:
+//!
+//! | class | identical across |
+//! |-------|------------------|
+//! | [`EventClass::Flow`] | repeat runs, schedule policies, parallelism levels |
+//! | [`EventClass::Schedule`] | repeat runs, parallelism levels (the timeline is the policy's output) |
+//! | [`EventClass::Exec`] | repeat runs at fixed settings (host-side interleaving is the point) |
+//! | [`EventClass::Host`] | nothing — wall clock, opt-in |
+//!
+//! For a fixed session configuration the full recorded stream (minus
+//! `Host`) is bit-identical across repeat runs; the property suite in
+//! `tests/determinism_streams.rs` locks each row of the table down.
+
+use crate::cache::CacheStats;
+use crate::pool::PoolStats;
+use crate::report::GraphReport;
+use crate::tuner::TunerStats;
+use cypress_sim::ApplyBytes;
+use cypress_tensor::DType;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// How reproducible an [`Event`] is (see the module docs' table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventClass {
+    /// Deterministic dataflow decisions: identical across repeat runs,
+    /// schedule policies, and parallelism levels.
+    Flow,
+    /// The sim-cycle timeline a schedule policy produced: identical
+    /// across repeat runs and parallelism levels; differs between
+    /// policies by design (that difference *is* the policy).
+    Schedule,
+    /// Host-side execution detail (pool traffic, wave grouping):
+    /// identical across repeat runs at fixed settings, but legitimately
+    /// different between the serial walk and the wave executor.
+    Exec,
+    /// Host wall-clock measurements: never comparable, off by default
+    /// (see [`TraceLog::with_host`]).
+    Host,
+}
+
+/// One traced runtime event. All payloads are deterministic sim-side
+/// quantities except [`Event::CompilePass`], the [`EventClass::Host`]
+/// carrier of wall-clock time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A graph entered [`crate::Session::launch_functional`] or
+    /// [`crate::Session::launch_timing`].
+    GraphSubmitted {
+        /// Nodes in the submitted (pre-fusion) graph.
+        nodes: usize,
+        /// `"functional"` or `"timing"`.
+        mode: &'static str,
+    },
+    /// The fusion rewriter applied a rewrite the simulator confirmed.
+    FusionApplied {
+        /// The rule that fired (`"dual_chain"` or `"gemm_reduction"`).
+        rule: &'static str,
+        /// Name of the fused node in the rewritten graph.
+        fused: String,
+        /// Names of the original nodes the fused launch replaced.
+        replaced: Vec<String>,
+        /// Solo sim cycles of the fused launch.
+        fused_cycles: f64,
+        /// Summed solo sim cycles of the launches it replaced; the win
+        /// margin is `unfused_cycles - fused_cycles`.
+        unfused_cycles: f64,
+    },
+    /// The fusion rewriter matched a candidate but the simulator said
+    /// the fused launch loses, so it was left unfused.
+    FusionDeclined {
+        /// The rule that matched.
+        rule: &'static str,
+        /// Names of the nodes that stayed unfused.
+        replaced: Vec<String>,
+        /// Solo sim cycles of the (rejected) fused launch.
+        fused_cycles: f64,
+        /// Summed solo sim cycles of the unfused launches.
+        unfused_cycles: f64,
+    },
+    /// One kernel-cache lookup through the session.
+    CacheLookup {
+        /// The compile fingerprint that was looked up.
+        fingerprint: u64,
+        /// `true` when served without running the pass pipeline.
+        hit: bool,
+        /// Entries the LRU bound dropped to make room on this lookup.
+        evictions: u64,
+    },
+    /// One autotune sweep resolved (freshly timed or served from the
+    /// [`crate::TuningTable`]).
+    TunerSweep {
+        /// Entry task of the tuned program.
+        entry: String,
+        /// Problem shape (`d0xd1x...`).
+        shape: String,
+        /// Candidates evaluated when the sweep ran.
+        candidates: usize,
+        /// The winning mapping's label.
+        winner: String,
+        /// Solo sim cycles of the hand-tuned default mapping.
+        default_cycles: f64,
+        /// Solo sim cycles of the winner.
+        tuned_cycles: f64,
+        /// `true` when the result came from the table without timing.
+        cached: bool,
+    },
+    /// One candidate timed during an autotune sweep, in the space's
+    /// deterministic enumeration order.
+    TunerCandidate {
+        /// Entry task of the tuned program.
+        entry: String,
+        /// The candidate mapping's label.
+        config: String,
+        /// Its solo sim cycles.
+        cycles: f64,
+    },
+    /// A node's kernel ran (solo view), emitted post-run in ascending
+    /// node-id order — independent of schedule policy and worker count.
+    NodeExecuted {
+        /// Node name in the launched graph.
+        node: String,
+        /// Name of the compiled kernel that ran.
+        kernel: String,
+        /// Solo sim cycles of the launch.
+        cycles: f64,
+    },
+    /// A node's `[start, end)` interval on its simulated stream — the
+    /// [`GraphReport`] timeline as events, in completion order.
+    NodeSpan {
+        /// Node name in the launched graph.
+        node: String,
+        /// Simulated stream the node ran on.
+        stream: usize,
+        /// Launch cycle relative to graph launch.
+        start: f64,
+        /// Retire cycle relative to graph launch.
+        end: f64,
+    },
+    /// The wave executor scheduled one ready wave of nodes (absent under
+    /// the serial walk, which has no waves).
+    WaveScheduled {
+        /// Zero-based wave index.
+        wave: usize,
+        /// Node ids in the wave, ascending.
+        nodes: Vec<usize>,
+    },
+    /// The buffer pool handed out a zeroed buffer.
+    PoolAcquire {
+        /// Element type of the buffer.
+        dtype: DType,
+        /// Rows of the buffer.
+        rows: usize,
+        /// Columns of the buffer.
+        cols: usize,
+        /// `true` when a parked buffer was reused instead of allocated.
+        reused: bool,
+    },
+    /// A drained intermediate's buffer was recycled into the pool.
+    PoolRelease {
+        /// Element type of the buffer.
+        dtype: DType,
+        /// Elements in the buffer.
+        elements: usize,
+        /// Parked buffers the pool's capacity bound evicted as a result.
+        evictions: u64,
+    },
+    /// Host wall-clock time one compiler pass took on a cache miss (the
+    /// [`EventClass::Host`] event; see [`TraceLog::with_host`]).
+    CompilePass {
+        /// Pass name in pipeline order (`depan`, `vectorize`, ...).
+        pass: String,
+        /// Wall-clock nanoseconds the pass took.
+        host_ns: u64,
+    },
+}
+
+impl Event {
+    /// The determinism class of this event (see [`EventClass`]).
+    #[must_use]
+    pub fn class(&self) -> EventClass {
+        match self {
+            Event::GraphSubmitted { .. }
+            | Event::FusionApplied { .. }
+            | Event::FusionDeclined { .. }
+            | Event::CacheLookup { .. }
+            | Event::TunerSweep { .. }
+            | Event::TunerCandidate { .. }
+            | Event::NodeExecuted { .. } => EventClass::Flow,
+            Event::NodeSpan { .. } => EventClass::Schedule,
+            Event::WaveScheduled { .. } | Event::PoolAcquire { .. } | Event::PoolRelease { .. } => {
+                EventClass::Exec
+            }
+            Event::CompilePass { .. } => EventClass::Host,
+        }
+    }
+}
+
+/// Sink for runtime [`Event`]s.
+///
+/// The session consults [`Recorder::enabled`] before building any event
+/// payload, so a disabled recorder (the default [`NoopRecorder`]) keeps
+/// the hot path free of allocation and formatting — attaching telemetry
+/// is strictly opt-in.
+pub trait Recorder: fmt::Debug + Send {
+    /// `false` lets emission sites skip constructing events entirely.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Consume one event.
+    fn record(&mut self, event: Event);
+}
+
+/// The default recorder: records nothing and reports itself disabled,
+/// so sessions without telemetry pay nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _event: Event) {}
+}
+
+/// A shared, cloneable in-memory event log.
+///
+/// Clones share one underlying buffer, so the idiom is: keep one handle,
+/// give the session a clone, read [`TraceLog::events`] afterwards:
+///
+/// ```
+/// use cypress_runtime::telemetry::TraceLog;
+/// use cypress_runtime::Session;
+/// use cypress_sim::MachineConfig;
+///
+/// let log = TraceLog::new();
+/// let mut session = Session::new(MachineConfig::test_gpu()).with_recorder(log.clone());
+/// // ... launch graphs ...
+/// assert!(log.events().is_empty()); // nothing launched yet
+/// ```
+///
+/// [`EventClass::Host`] events are dropped unless the log was built
+/// with [`TraceLog::with_host`], so the default stream is bit-identical
+/// across repeat runs.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    shared: Arc<Mutex<Vec<Event>>>,
+    host: bool,
+}
+
+impl TraceLog {
+    /// A new, empty log (host-time events filtered out).
+    #[must_use]
+    pub fn new() -> Self {
+        TraceLog::default()
+    }
+
+    /// Opt in to [`EventClass::Host`] events (wall-clock payloads).
+    /// Streams recorded with host events are *not* comparable across
+    /// runs — filter by [`Event::class`] before diffing.
+    #[must_use]
+    pub fn with_host(mut self) -> Self {
+        self.host = true;
+        self
+    }
+
+    /// Snapshot of the recorded events, in emission order.
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        self.lock().clone()
+    }
+
+    /// Events recorded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// `true` when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Drop all recorded events (the handle stays attached).
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<Event>> {
+        // A panicking recorder thread must not wedge telemetry: take the
+        // data through the poison.
+        self.shared
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl Recorder for TraceLog {
+    fn record(&mut self, event: Event) {
+        if !self.host && event.class() == EventClass::Host {
+            return;
+        }
+        self.lock().push(event);
+    }
+}
+
+/// The session-owned accumulator behind [`MetricsSnapshot`]: the new
+/// counters that no existing stats struct carries. The session merges
+/// it with [`CacheStats`], [`PoolStats`], and [`TunerStats`] in
+/// [`crate::Session::metrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    /// Fusion rewrites the simulator confirmed and the session applied.
+    pub fusion_applied: u64,
+    /// Fusion candidates the simulator rejected (fused launch loses).
+    pub fusion_declined: u64,
+    /// Cache lookups replayed in candidate order by the parallel
+    /// autotune sweep (see `Session::set_parallelism`): how much cache
+    /// traffic the sweep re-issued to keep counters bit-identical to
+    /// the serial sweep.
+    pub sweep_replays: u64,
+    /// Per-dtype bytes the functional `apply` path moved across every
+    /// launch of this session.
+    pub apply_bytes: ApplyBytes,
+}
+
+impl MetricsRegistry {
+    /// Combine these counters with the component stats into one
+    /// [`MetricsSnapshot`].
+    #[must_use]
+    pub fn snapshot(
+        &self,
+        cache: CacheStats,
+        pool: PoolStats,
+        tuner: TunerStats,
+    ) -> MetricsSnapshot {
+        MetricsSnapshot {
+            cache,
+            pool,
+            tuner,
+            fusion_applied: self.fusion_applied,
+            fusion_declined: self.fusion_declined,
+            sweep_replays: self.sweep_replays,
+            apply_bytes: self.apply_bytes,
+        }
+    }
+}
+
+/// One unified view of everything the session counts, returned by
+/// [`crate::Session::metrics`]. Every field is deterministic for a
+/// fixed launch sequence (the pool's reuse counters may differ across
+/// *parallelism* settings, since buffer interleaving is host-side; see
+/// [`EventClass::Exec`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Kernel-cache counters ([`crate::Session::cache_stats`]).
+    pub cache: CacheStats,
+    /// Buffer-pool counters ([`crate::Session::pool_stats`]).
+    pub pool: PoolStats,
+    /// Tuning-table counters ([`crate::TuningTable::stats`]).
+    pub tuner: TunerStats,
+    /// Fusion rewrites applied (see [`MetricsRegistry`]).
+    pub fusion_applied: u64,
+    /// Fusion rewrites declined by the simulator gate.
+    pub fusion_declined: u64,
+    /// Parallel-sweep cache replays.
+    pub sweep_replays: u64,
+    /// Per-dtype functional apply bytes.
+    pub apply_bytes: ApplyBytes,
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cache   hits {} | misses {} | evictions {} | entries {}",
+            self.cache.hits, self.cache.misses, self.cache.evictions, self.cache.entries
+        )?;
+        writeln!(
+            f,
+            "pool    acquired {} | reused {} | evicted {} | free {}",
+            self.pool.acquired, self.pool.reused, self.pool.evicted, self.pool.free
+        )?;
+        writeln!(
+            f,
+            "tuner   lookups {} | hits {} | sweeps {} | candidates timed {} | sweep replays {}",
+            self.tuner.lookups,
+            self.tuner.hits,
+            self.tuner.sweeps,
+            self.tuner.candidates_timed,
+            self.sweep_replays
+        )?;
+        writeln!(
+            f,
+            "fusion  applied {} | declined {}",
+            self.fusion_applied, self.fusion_declined
+        )?;
+        write!(f, "apply   {}", self.apply_bytes)
+    }
+}
+
+/// A parsed `"X"` (complete) event of a Chrome trace, as produced by
+/// [`TraceSink::chrome_json`] and read back by
+/// [`TraceSink::parse_chrome_json`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChromeSpan {
+    /// Span name (the node name).
+    pub name: String,
+    /// Category string (`"node"` for graph spans).
+    pub cat: String,
+    /// Start timestamp. [`TraceSink::chrome_json`] writes **sim
+    /// cycles** here, not microseconds — relative magnitudes are what
+    /// Perfetto renders.
+    pub ts: f64,
+    /// Duration, in the same unit as `ts`.
+    pub dur: f64,
+    /// Process id (always 0 for graph traces).
+    pub pid: u64,
+    /// Thread id — the simulated stream.
+    pub tid: usize,
+}
+
+/// A parsed Chrome trace: the stream metadata plus the spans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChromeTrace {
+    /// Stream count declared by the `cypress_graph` metadata event.
+    pub streams: Option<usize>,
+    /// Makespan (cycles) declared by the metadata event.
+    pub makespan: Option<f64>,
+    /// All `"X"` events, in file order (sorted by `ts` on export).
+    pub spans: Vec<ChromeSpan>,
+}
+
+/// Exporter (and minimal re-parser) of Chrome-trace-event JSON.
+///
+/// Serialization is hand-rolled like [`crate::TuningTable::to_text`] —
+/// the offline build carries no `serde` — and numbers print in a form
+/// the parser reads back bit-for-bit, so the round-trip is exact.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraceSink;
+
+impl TraceSink {
+    /// Render `report` as Chrome-trace-event JSON.
+    ///
+    /// One `"X"` (complete) event per node — `ts`/`dur` in **sim
+    /// cycles**, `tid` = simulated stream — sorted by start time so
+    /// timestamps are monotone, preceded by one `"M"` metadata event
+    /// (`cypress_graph`) declaring the stream count and makespan. The
+    /// output loads directly in Perfetto or `chrome://tracing`.
+    #[must_use]
+    pub fn chrome_json(report: &GraphReport) -> String {
+        let mut spans: Vec<&crate::report::NodeTiming> = report.nodes.iter().collect();
+        spans.sort_by(|a, b| {
+            a.start
+                .partial_cmp(&b.start)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.node.cmp(&b.node))
+        });
+        let mut out = String::from("{\"traceEvents\":[");
+        out.push_str(&format!(
+            "{{\"name\":\"cypress_graph\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+             \"args\":{{\"streams\":{},\"makespan\":{},\"unit\":\"cycles\"}}}}",
+            report.streams,
+            json_num(report.makespan)
+        ));
+        for t in spans {
+            let fused = if t.replaced.is_empty() {
+                String::new()
+            } else {
+                format!(",\"fused\":{}", json_str(&t.replaced.join(", ")))
+            };
+            out.push(',');
+            out.push_str(&format!(
+                "{{\"name\":{},\"cat\":\"node\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":0,\"tid\":{},\"args\":{{\"kernel\":{},\"mapping\":{},\
+                 \"cycles\":{},\"achieved_tflops\":{}{}}}}}",
+                json_str(&t.node),
+                json_num(t.start),
+                json_num(t.end - t.start),
+                t.stream,
+                json_str(&t.report.kernel),
+                json_str(&t.mapping),
+                json_num(t.report.cycles),
+                json_num(t.report.achieved_tflops),
+                fused,
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parse JSON produced by [`TraceSink::chrome_json`] (any
+    /// conforming Chrome trace with a top-level `traceEvents` array
+    /// works). Returns the metadata plus every `"X"` span in file
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax or shape problem.
+    pub fn parse_chrome_json(json: &str) -> Result<ChromeTrace, String> {
+        let value = JsonParser::parse(json)?;
+        let Some(events) = value.get("traceEvents").and_then(JsonValue::as_array) else {
+            return Err("missing top-level \"traceEvents\" array".into());
+        };
+        let mut trace = ChromeTrace {
+            streams: None,
+            makespan: None,
+            spans: Vec::new(),
+        };
+        for (i, ev) in events.iter().enumerate() {
+            let field = |k: &str| ev.get(k);
+            let ph = field("ph").and_then(JsonValue::as_str).unwrap_or("");
+            let name = field("name").and_then(JsonValue::as_str).unwrap_or("");
+            match ph {
+                "M" if name == "cypress_graph" => {
+                    let args = field("args");
+                    trace.streams = args
+                        .and_then(|a| a.get("streams"))
+                        .and_then(JsonValue::as_f64)
+                        .map(|s| s as usize);
+                    trace.makespan = args
+                        .and_then(|a| a.get("makespan"))
+                        .and_then(JsonValue::as_f64);
+                }
+                "X" => {
+                    let num = |k: &str| {
+                        field(k)
+                            .and_then(JsonValue::as_f64)
+                            .ok_or_else(|| format!("event {i}: missing numeric \"{k}\""))
+                    };
+                    trace.spans.push(ChromeSpan {
+                        name: name.to_string(),
+                        cat: field("cat")
+                            .and_then(JsonValue::as_str)
+                            .unwrap_or("")
+                            .to_string(),
+                        ts: num("ts")?,
+                        dur: num("dur")?,
+                        pid: num("pid")? as u64,
+                        tid: num("tid")? as usize,
+                    });
+                }
+                _ => {}
+            }
+        }
+        Ok(trace)
+    }
+}
+
+/// Render an `f64` as a JSON number that parses back bit-for-bit:
+/// integral values print as integers, everything else in Rust's
+/// shortest round-trip form. Non-finite values (never produced by the
+/// simulator) clamp to 0.
+fn json_num(x: f64) -> String {
+    if !x.is_finite() {
+        return "0".to_string();
+    }
+    if x.fract() == 0.0 && x.abs() < 9e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:?}")
+    }
+}
+
+/// Escape a string for a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Minimal JSON value for the hand-rolled parser.
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<JsonValue>),
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Recursive-descent JSON parser: just enough for Chrome traces, with
+/// positions in error messages.
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn parse(text: &'a str) -> Result<JsonValue, String> {
+        let mut p = JsonParser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(JsonValue::Str(self.string()?)),
+            b't' => self.literal("true", JsonValue::Bool(true)),
+            b'f' => self.literal("false", JsonValue::Bool(false)),
+            b'n' => self.literal("null", JsonValue::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(format!(
+                "unexpected byte `{}` at {}",
+                char::from(other),
+                self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("expected `{word}` at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(fields));
+                }
+                other => {
+                    return Err(format!(
+                        "expected `,` or `}}` at byte {}, found `{}`",
+                        self.pos,
+                        char::from(other)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected `,` or `]` at byte {}, found `{}`",
+                        self.pos,
+                        char::from(other)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| "unterminated string".to_string())?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        other => {
+                            return Err(format!(
+                                "bad escape `\\{}` at byte {}",
+                                char::from(other),
+                                self.pos - 1
+                            ))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-decode from the byte position: names can carry
+                    // multi-byte UTF-8.
+                    let start = self.pos - 1;
+                    let s = std::str::from_utf8(&self.bytes[start..])
+                        .map_err(|e| format!("bad UTF-8 at byte {start}: {e}"))?;
+                    let c = s
+                        .chars()
+                        .next()
+                        .ok_or_else(|| "unterminated string".to_string())?;
+                    out.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        let digits = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| "truncated \\u escape".to_string())?;
+        let s = std::str::from_utf8(digits).map_err(|_| "bad \\u escape".to_string())?;
+        let code = u32::from_str_radix(s, 16).map_err(|e| format!("bad \\u escape `{s}`: {e}"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("bad number at byte {start}"))?;
+        s.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|e| format!("bad number `{s}` at byte {start}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_recorder_is_disabled_and_drops_events() {
+        let mut r = NoopRecorder;
+        assert!(!r.enabled());
+        r.record(Event::GraphSubmitted {
+            nodes: 1,
+            mode: "timing",
+        });
+        // Nothing observable: NoopRecorder holds no state by
+        // construction (it is a unit struct).
+    }
+
+    #[test]
+    fn trace_log_clones_share_the_buffer() {
+        let log = TraceLog::new();
+        let mut handle = log.clone();
+        handle.record(Event::GraphSubmitted {
+            nodes: 3,
+            mode: "functional",
+        });
+        assert_eq!(log.len(), 1);
+        log.clear();
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn host_events_are_opt_in() {
+        let host_event = Event::CompilePass {
+            pass: "depan".into(),
+            host_ns: 123,
+        };
+        assert_eq!(host_event.class(), EventClass::Host);
+        let mut default_log = TraceLog::new();
+        default_log.record(host_event.clone());
+        assert!(default_log.is_empty());
+        let mut host_log = TraceLog::new().with_host();
+        host_log.record(host_event);
+        assert_eq!(host_log.len(), 1);
+    }
+
+    #[test]
+    fn json_numbers_round_trip() {
+        for x in [0.0, 1.0, -3.5, 123456789.25, 1e18, 29_400.0] {
+            let parsed = JsonParser::parse(&json_num(x)).unwrap();
+            assert_eq!(parsed.as_f64(), Some(x), "{x}");
+        }
+    }
+
+    #[test]
+    fn json_strings_escape_and_parse() {
+        let tricky = "a\"b\\c\nd\tμ";
+        let parsed = JsonParser::parse(&json_str(tricky)).unwrap();
+        assert_eq!(parsed.as_str(), Some(tricky));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(JsonParser::parse("{").is_err());
+        assert!(JsonParser::parse("[1,]").is_err());
+        assert!(JsonParser::parse("{\"a\" 1}").is_err());
+        assert!(JsonParser::parse("\"unterminated").is_err());
+        assert!(TraceSink::parse_chrome_json("[]").is_err());
+    }
+}

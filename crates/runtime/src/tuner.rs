@@ -22,8 +22,25 @@ use crate::program::Program;
 use cypress_core::fingerprint::Fnv64;
 use cypress_core::{MappingConfig, Shape};
 use cypress_sim::MachineConfig;
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::path::Path;
+
+/// Counters of how a [`TuningTable`] has been used (mirrors
+/// [`crate::CacheStats`] / [`crate::PoolStats`]). Counters are *not*
+/// part of the serialized table and never affect equality — two tables
+/// with the same entries are equal however they were exercised.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TunerStats {
+    /// Winner lookups through [`TuningTable::get`].
+    pub lookups: u64,
+    /// Lookups that found a tuned entry.
+    pub hits: u64,
+    /// Autotune sweeps that actually ran (cache misses of the table).
+    pub sweeps: u64,
+    /// Candidates compiled and timed across all sweeps.
+    pub candidates_timed: u64,
+}
 
 /// What a [`TuningTable`] entry is keyed by: the computation (not its
 /// mapping), the problem shape, and the machine.
@@ -72,9 +89,19 @@ impl TunedMapping {
 /// Entries are held in a `BTreeMap` so iteration — and therefore the
 /// serialized text — is canonical: two tables with equal entries render
 /// byte-identically.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct TuningTable {
     entries: BTreeMap<TuningKey, TunedMapping>,
+    /// Usage counters (interior mutability so read-only lookups count).
+    stats: Cell<TunerStats>,
+}
+
+impl PartialEq for TuningTable {
+    /// Equality compares *entries only*: usage counters are
+    /// observability, not content (a loaded table equals the saved one).
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
 }
 
 /// Header line of the serialized format; bump on layout changes.
@@ -99,10 +126,31 @@ impl TuningTable {
         self.entries.is_empty()
     }
 
-    /// The tuned winner for `key`, if present.
+    /// The tuned winner for `key`, if present. Counts one lookup (and a
+    /// hit when found) in [`TuningTable::stats`].
     #[must_use]
     pub fn get(&self, key: &TuningKey) -> Option<&TunedMapping> {
-        self.entries.get(key)
+        let found = self.entries.get(key);
+        let mut stats = self.stats.get();
+        stats.lookups += 1;
+        stats.hits += u64::from(found.is_some());
+        self.stats.set(stats);
+        found
+    }
+
+    /// Usage counters accumulated by this table.
+    #[must_use]
+    pub fn stats(&self) -> TunerStats {
+        self.stats.get()
+    }
+
+    /// Count one completed sweep that timed `candidates_timed`
+    /// candidates.
+    pub(crate) fn note_sweep(&self, candidates_timed: u64) {
+        let mut stats = self.stats.get();
+        stats.sweeps += 1;
+        stats.candidates_timed += candidates_timed;
+        self.stats.set(stats);
     }
 
     /// Record (or replace) the winner for `key`.
@@ -341,6 +389,32 @@ mod tests {
             candidates: 4,
         };
         assert!((tuned.speedup() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_count_lookups_and_sweeps() {
+        let table = sample_table();
+        let miss = TuningKey {
+            computation: 42,
+            shape: vec![1],
+            machine: 0,
+        };
+        assert!(table.get(&miss).is_none());
+        let hit = TuningKey {
+            computation: 1,
+            shape: vec![2, 64, 64, 64],
+            machine: 0x1234,
+        };
+        assert!(table.get(&hit).is_some());
+        table.note_sweep(7);
+        let s = table.stats();
+        assert_eq!(
+            (s.lookups, s.hits, s.sweeps, s.candidates_timed),
+            (2, 1, 1, 7)
+        );
+        // Counters never affect equality or the serialized text.
+        assert_eq!(table, sample_table());
+        assert_eq!(table.to_text(), sample_table().to_text());
     }
 
     #[test]

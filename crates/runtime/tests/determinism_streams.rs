@@ -2,9 +2,18 @@
 //! scheduling: the same graph scheduled concurrently twice produces
 //! identical reports and tensors, one stream reproduces the serial
 //! numbers exactly, and a fan-out graph demonstrably overlaps.
+//!
+//! The telemetry event stream rides the same contract (see the
+//! determinism table in `cypress_runtime::telemetry`): recorded streams
+//! are bit-identical across repeat runs, worker counts agree on every
+//! event the wave executor emits, and schedule policies agree on all
+//! [`EventClass::Flow`] events.
 
 use cypress_core::kernels::{dual_gemm, gemm, gemm_reduction};
-use cypress_runtime::{Binding, GraphReport, NodeId, Program, SchedulePolicy, Session, TaskGraph};
+use cypress_runtime::telemetry::TraceLog;
+use cypress_runtime::{
+    Binding, Event, EventClass, GraphReport, NodeId, Program, SchedulePolicy, Session, TaskGraph,
+};
 use cypress_sim::MachineConfig;
 use cypress_tensor::{DType, Tensor};
 use rand::rngs::StdRng;
@@ -305,4 +314,98 @@ fn invariants_across_stream_counts() {
     session.set_policy(SchedulePolicy::Concurrent { streams: 16 });
     let sixteen = session.launch_timing(&graph).unwrap();
     assert_eq!(four.makespan.to_bits(), sixteen.makespan.to_bits());
+}
+
+/// Launch the fan-out graph functionally in a *fresh* session — so
+/// cache, pool, and tuner state are identical for every configuration —
+/// and return the recorded event stream (host events filtered by the
+/// default [`TraceLog`]).
+fn recorded_stream(parallelism: usize, policy: SchedulePolicy) -> Vec<Event> {
+    let machine = MachineConfig::test_gpu();
+    let (graph, _, _) = fan_out_graph(&machine);
+    let ins = inputs(23);
+    let log = TraceLog::new();
+    let mut session = Session::new(machine)
+        .with_parallelism(parallelism)
+        .with_policy(policy)
+        .with_recorder(log.clone());
+    session.launch_functional(&graph, &ins).unwrap();
+    log.events()
+}
+
+/// The events of `stream` whose class is in `keep`, in emission order.
+fn filtered(stream: &[Event], keep: &[EventClass]) -> Vec<Event> {
+    stream
+        .iter()
+        .filter(|e| keep.contains(&e.class()))
+        .cloned()
+        .collect()
+}
+
+/// Repeat-run row of the telemetry determinism table: at fixed settings
+/// the full recorded stream is bit-identical across runs, and it covers
+/// the graph — one submission, one execution and one span per node.
+#[test]
+fn event_stream_is_identical_across_repeat_runs() {
+    for (parallelism, policy) in [
+        (1, SchedulePolicy::Serial),
+        (4, SchedulePolicy::Concurrent { streams: 3 }),
+    ] {
+        let a = recorded_stream(parallelism, policy);
+        let b = recorded_stream(parallelism, policy);
+        assert!(!a.is_empty(), "parallelism {parallelism}");
+        assert_eq!(a, b, "parallelism {parallelism}: repeat runs diverged");
+
+        let count = |pred: fn(&&Event) -> bool| a.iter().filter(pred).count();
+        assert_eq!(count(|e| matches!(e, Event::GraphSubmitted { .. })), 1);
+        assert_eq!(count(|e| matches!(e, Event::NodeExecuted { .. })), 7);
+        assert_eq!(count(|e| matches!(e, Event::NodeSpan { .. })), 7);
+        assert_eq!(count(|e| matches!(e, Event::CacheLookup { .. })), 7);
+    }
+}
+
+/// Worker-count rows: the wave executor's stream is identical
+/// event-for-event at parallelism 2 and 8, and the serial walk
+/// (parallelism 1) agrees on every [`EventClass::Flow`] and
+/// [`EventClass::Schedule`] event — it only lacks the wave/pool
+/// interleaving detail ([`EventClass::Exec`]), because it has no waves.
+#[test]
+fn event_stream_is_identical_across_worker_counts() {
+    let policy = SchedulePolicy::Concurrent { streams: 4 };
+    let p1 = recorded_stream(1, policy);
+    let p2 = recorded_stream(2, policy);
+    let p8 = recorded_stream(8, policy);
+    assert_eq!(p2, p8, "worker count leaked into the event stream");
+    assert_eq!(
+        filtered(&p1, &[EventClass::Flow, EventClass::Schedule]),
+        filtered(&p2, &[EventClass::Flow, EventClass::Schedule]),
+        "serial walk and wave executor disagree on flow/schedule events"
+    );
+    assert!(
+        p2.iter().any(|e| matches!(e, Event::WaveScheduled { .. })),
+        "the wave executor must record its waves"
+    );
+    assert!(
+        !p1.iter().any(|e| matches!(e, Event::WaveScheduled { .. })),
+        "the serial walk has no waves to record"
+    );
+}
+
+/// Policy row: [`EventClass::Flow`] events are schedule-policy
+/// independent; only the [`EventClass::Schedule`] spans — the policy's
+/// actual output — differ, and for this overlapping fan-out they must.
+#[test]
+fn flow_events_are_policy_independent() {
+    let serial = recorded_stream(2, SchedulePolicy::Serial);
+    let conc = recorded_stream(2, SchedulePolicy::Concurrent { streams: 4 });
+    assert_eq!(
+        filtered(&serial, &[EventClass::Flow]),
+        filtered(&conc, &[EventClass::Flow]),
+        "dataflow decisions leaked the schedule policy"
+    );
+    assert_ne!(
+        filtered(&serial, &[EventClass::Schedule]),
+        filtered(&conc, &[EventClass::Schedule]),
+        "the fan-out graph overlaps, so the span timelines must differ"
+    );
 }

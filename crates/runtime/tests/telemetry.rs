@@ -1,0 +1,338 @@
+//! Integration contract of the telemetry layer
+//! (`cypress_runtime::telemetry`):
+//!
+//! 1. **Zero-cost default**: sessions ship with the disabled
+//!    `NoopRecorder`; attaching a `TraceLog` never changes tensors or
+//!    reports, it only observes them, and host-time events stay out of
+//!    the stream unless explicitly opted in.
+//! 2. **Chrome-trace round-trip**: `TraceSink::chrome_json` output
+//!    parses back with `TraceSink::parse_chrome_json`, timestamps are
+//!    monotone, and every parsed span matches the `GraphReport`
+//!    timeline bit-for-bit.
+//! 3. **Unified metrics**: one `Session::metrics` snapshot carries
+//!    cache, pool, tuner, fusion, and apply-byte counters at once, and
+//!    the apply bytes are invariant across schedule policies and
+//!    worker counts.
+
+use cypress_core::kernels::space::Shape;
+use cypress_core::kernels::{dual_gemm, gemm};
+use cypress_runtime::telemetry::TraceLog;
+use cypress_runtime::{
+    Binding, Event, EventClass, FusionPolicy, NodeId, Program, SchedulePolicy, Session, TaskGraph,
+    TraceSink,
+};
+use cypress_sim::MachineConfig;
+use cypress_tensor::{DType, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const D: usize = 64;
+
+/// Two independent GEMMs feeding a dual-GEMM combiner: wide enough to
+/// overlap on two streams, and its drained intermediates exercise the
+/// buffer pool.
+fn vee_graph(machine: &MachineConfig) -> (TaskGraph, NodeId) {
+    let gemm_p = Program::from_parts(gemm::build(D, D, D, machine).unwrap(), "gemm");
+    let dual_p = Program::from_parts(dual_gemm::build(D, D, D, machine).unwrap(), "dual");
+    let mut graph = TaskGraph::new();
+    let left = graph
+        .add_node(
+            "left",
+            gemm_p.clone(),
+            vec![
+                Binding::Zeros,
+                Binding::external("A0"),
+                Binding::external("B0"),
+            ],
+        )
+        .unwrap();
+    let right = graph
+        .add_node(
+            "right",
+            gemm_p,
+            vec![
+                Binding::Zeros,
+                Binding::external("A1"),
+                Binding::external("B1"),
+            ],
+        )
+        .unwrap();
+    let sink = graph
+        .add_node(
+            "sink",
+            dual_p,
+            vec![
+                Binding::Zeros,
+                Binding::external("X"),
+                Binding::output(left, 0),
+                Binding::output(right, 0),
+            ],
+        )
+        .unwrap();
+    (graph, sink)
+}
+
+fn vee_inputs(seed: u64) -> HashMap<String, Tensor> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = HashMap::new();
+    for name in ["A0", "B0", "A1", "B1", "X"] {
+        m.insert(
+            name.to_string(),
+            Tensor::random(DType::F16, &[D, D], &mut rng, -0.5, 0.5),
+        );
+    }
+    m
+}
+
+/// A GEMM→GEMM chain the fusion rewriter collapses to one launch.
+fn chain_graph(machine: &MachineConfig) -> (TaskGraph, NodeId) {
+    let gemm_p = Program::from_parts(gemm::build(D, D, D, machine).unwrap(), "gemm");
+    let mut graph = TaskGraph::new();
+    let up = graph
+        .add_node(
+            "up",
+            gemm_p.clone(),
+            vec![
+                Binding::Zeros,
+                Binding::external("X"),
+                Binding::external("W1"),
+            ],
+        )
+        .unwrap();
+    let down = graph
+        .add_node(
+            "down",
+            gemm_p,
+            vec![
+                Binding::Zeros,
+                Binding::output(up, 0),
+                Binding::external("W2"),
+            ],
+        )
+        .unwrap();
+    (graph, down)
+}
+
+fn chain_inputs(seed: u64) -> HashMap<String, Tensor> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = HashMap::new();
+    for name in ["X", "W1", "W2"] {
+        m.insert(
+            name.to_string(),
+            Tensor::random(DType::F16, &[D, D], &mut rng, -0.5, 0.5),
+        );
+    }
+    m
+}
+
+/// Attaching a recorder observes the launch without changing it: the
+/// tensors and report are bit-identical to an unrecorded session, and
+/// the stream covers the whole execution path.
+#[test]
+fn recorders_observe_without_changing_results() {
+    let machine = MachineConfig::test_gpu();
+    let (graph, sink) = vee_graph(&machine);
+    let ins = vee_inputs(7);
+
+    let mut plain = Session::new(machine.clone());
+    let want = plain.launch_functional(&graph, &ins).unwrap();
+
+    let log = TraceLog::new();
+    let mut traced = Session::new(machine).with_recorder(log.clone());
+    let got = traced.launch_functional(&graph, &ins).unwrap();
+
+    assert_eq!(
+        want.tensor(sink, 0).unwrap().data(),
+        got.tensor(sink, 0).unwrap().data(),
+        "recording must not perturb results"
+    );
+    assert_eq!(
+        want.report.makespan.to_bits(),
+        got.report.makespan.to_bits()
+    );
+
+    let events = log.events();
+    assert_eq!(
+        events[0],
+        Event::GraphSubmitted {
+            nodes: 3,
+            mode: "functional"
+        }
+    );
+    let count = |pred: fn(&&Event) -> bool| events.iter().filter(pred).count();
+    assert_eq!(count(|e| matches!(e, Event::CacheLookup { .. })), 3);
+    assert_eq!(count(|e| matches!(e, Event::NodeExecuted { .. })), 3);
+    assert_eq!(count(|e| matches!(e, Event::NodeSpan { .. })), 3);
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, Event::PoolAcquire { .. })));
+    assert!(
+        events.iter().all(|e| e.class() != EventClass::Host),
+        "host-time events need the with_host opt-in"
+    );
+}
+
+/// Wall-clock compile-pass events reach the log only with
+/// [`TraceLog::with_host`], and they carry every pipeline pass on a
+/// cache miss.
+#[test]
+fn host_compile_passes_require_the_opt_in() {
+    let machine = MachineConfig::test_gpu();
+    let (graph, _) = vee_graph(&machine);
+    let ins = vee_inputs(7);
+
+    let log = TraceLog::new().with_host();
+    let mut session = Session::new(machine).with_recorder(log.clone());
+    session.launch_functional(&graph, &ins).unwrap();
+
+    let passes: Vec<String> = log
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            Event::CompilePass { pass, .. } => Some(pass.clone()),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        passes.iter().any(|p| p == "codegen"),
+        "a cache miss records each pipeline pass, got {passes:?}"
+    );
+}
+
+/// The Chrome-trace export round-trips through the bundled parser with
+/// every span matching the report timeline bit-for-bit.
+#[test]
+fn chrome_json_round_trips_against_the_report() {
+    let machine = MachineConfig::test_gpu();
+    let (graph, _) = vee_graph(&machine);
+    let mut session = Session::new(machine).with_policy(SchedulePolicy::Concurrent { streams: 2 });
+    let report = session.launch_timing(&graph).unwrap();
+    assert!(
+        report.nodes.iter().any(|n| n.stream > 0),
+        "the vee overlaps on two streams"
+    );
+
+    let json = TraceSink::chrome_json(&report);
+    let trace = TraceSink::parse_chrome_json(&json).unwrap();
+    assert_eq!(trace.streams, Some(report.streams));
+    assert_eq!(trace.makespan.unwrap().to_bits(), report.makespan.to_bits());
+    assert_eq!(trace.spans.len(), report.nodes.len());
+    for pair in trace.spans.windows(2) {
+        assert!(pair[0].ts <= pair[1].ts, "timestamps must be monotone");
+    }
+    for span in &trace.spans {
+        let node = report
+            .nodes
+            .iter()
+            .find(|n| n.node == span.name)
+            .unwrap_or_else(|| panic!("span {} has no report node", span.name));
+        assert_eq!(span.cat, "node");
+        assert_eq!(span.pid, 0);
+        assert_eq!(span.tid, node.stream);
+        assert_eq!(span.ts.to_bits(), node.start.to_bits());
+        assert_eq!(span.dur.to_bits(), (node.end - node.start).to_bits());
+    }
+}
+
+/// One [`Session::metrics`] snapshot unifies the cache, pool, fusion,
+/// and apply-byte counters, and its Display form names each section.
+#[test]
+fn metrics_snapshot_unifies_the_counters() {
+    let machine = MachineConfig::test_gpu();
+    let (graph, _) = chain_graph(&machine);
+    let ins = chain_inputs(5);
+
+    let mut session = Session::new(machine).with_fusion_policy(FusionPolicy::Auto);
+    session.launch_functional(&graph, &ins).unwrap();
+    session.launch_functional(&graph, &ins).unwrap();
+
+    let m = session.metrics();
+    assert!(m.cache.misses >= 1, "{m}");
+    assert!(m.cache.hits >= 1, "the second launch is served hot: {m}");
+    assert!(m.pool.acquired >= 1, "{m}");
+    assert!(m.fusion_applied >= 1, "the GEMM chain fuses: {m}");
+    assert!(m.apply_bytes.f16 > 0, "an f16 GEMM moves f16 bytes: {m}");
+    assert_eq!(
+        m.apply_bytes.total(),
+        m.apply_bytes.f16 + m.apply_bytes.bf16 + m.apply_bytes.f32
+    );
+    let text = m.to_string();
+    for section in ["cache", "pool", "tuner", "fusion", "apply"] {
+        assert!(text.contains(section), "{text}");
+    }
+}
+
+/// Tuner counters and sweep events flow through the session: a fresh
+/// sweep records its candidates, a repeat is a table hit flagged
+/// `cached`, and the stats agree with the stream.
+#[test]
+fn tuner_metrics_and_sweep_events_flow_through_the_session() {
+    let machine = MachineConfig::test_gpu();
+    let program =
+        Program::from_space(Arc::new(gemm::GemmSpace), Shape::of(&[D, D, D]), &machine).unwrap();
+
+    let log = TraceLog::new();
+    let mut session = Session::new(machine).with_recorder(log.clone());
+    let first = session.autotune(&program).unwrap();
+    let second = session.autotune(&program).unwrap();
+    assert_eq!(first, second);
+
+    let m = session.metrics();
+    assert_eq!(m.tuner.lookups, 2, "{m}");
+    assert_eq!(m.tuner.hits, 1, "{m}");
+    assert_eq!(m.tuner.sweeps, 1, "{m}");
+    assert!(m.tuner.candidates_timed >= 1, "{m}");
+
+    let sweeps: Vec<(bool, String)> = log
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            Event::TunerSweep { cached, winner, .. } => Some((*cached, winner.clone())),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(sweeps.len(), 2);
+    assert!(!sweeps[0].0, "the first sweep timed its candidates");
+    assert!(sweeps[1].0, "the second was served from the table");
+    assert_eq!(sweeps[0].1, sweeps[1].1, "both name the same winner");
+
+    let candidates = log
+        .events()
+        .iter()
+        .filter(|e| matches!(e, Event::TunerCandidate { .. }))
+        .count() as u64;
+    assert_eq!(candidates, m.tuner.candidates_timed);
+}
+
+/// Acceptance: the functional apply-path byte counters are
+/// execution-strategy invariant — same graph, same inputs, same bytes
+/// at every schedule policy and worker count.
+#[test]
+fn apply_bytes_are_invariant_across_policies_and_parallelism() {
+    let machine = MachineConfig::test_gpu();
+    let (graph, _) = vee_graph(&machine);
+    let ins = vee_inputs(9);
+
+    let mut base = Session::new(machine.clone()).with_parallelism(1);
+    base.launch_functional(&graph, &ins).unwrap();
+    let want = base.metrics().apply_bytes;
+    assert!(want.total() > 0);
+
+    for (parallelism, policy) in [
+        (2, SchedulePolicy::Serial),
+        (8, SchedulePolicy::Serial),
+        (4, SchedulePolicy::Concurrent { streams: 2 }),
+    ] {
+        let mut session = Session::new(machine.clone())
+            .with_parallelism(parallelism)
+            .with_policy(policy);
+        session.launch_functional(&graph, &ins).unwrap();
+        assert_eq!(
+            session.metrics().apply_bytes,
+            want,
+            "parallelism {parallelism}, policy {policy:?}"
+        );
+    }
+}

@@ -26,8 +26,8 @@ use crate::instr::{Instr, SimtOp};
 use crate::kernel::{Kernel, RoleKind};
 use crate::machine::MachineConfig;
 use crate::mem::{MemRef, Slice, Space};
-use crate::report::TimingReport;
-use cypress_tensor::Tensor;
+use crate::report::{ApplyBytes, TimingReport};
+use cypress_tensor::{DType, Tensor};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -207,6 +207,9 @@ pub(crate) struct Engine<'k> {
     data: Option<FuncData>,
     /// Reusable staging buffers of the fast functional data path.
     scratch: Scratch,
+    /// Per-dtype bytes touched by functional applies (always zero in
+    /// timing mode, where no data moves).
+    apply_bytes: ApplyBytes,
     /// Route functional applies through the retained scalar reference
     /// interpreter (see [`apply::scalar`]) instead of the fast
     /// resolved-view path — the bitwise oracle of tests and benchmarks.
@@ -296,6 +299,7 @@ impl<'k> Engine<'k> {
             ctas_per_sm,
             data,
             scratch: Scratch::default(),
+            apply_bytes: ApplyBytes::default(),
             #[cfg(any(test, feature = "scalar-oracle"))]
             scalar: false,
         };
@@ -390,7 +394,9 @@ impl<'k> Engine<'k> {
     }
 
     /// Run to completion and produce the report (plus functional tensors).
-    pub(crate) fn run(mut self) -> Result<(TimingReport, Option<Vec<Tensor>>), SimError> {
+    pub(crate) fn run(
+        mut self,
+    ) -> Result<(TimingReport, Option<Vec<Tensor>>, ApplyBytes), SimError> {
         while let Some(Reverse(ev)) = self.events.pop() {
             self.event_count += 1;
             if self.event_count > EVENT_LIMIT {
@@ -466,7 +472,7 @@ impl<'k> Engine<'k> {
             l2_hit: self.l2_hit,
             events: self.event_count,
         };
-        Ok((report, self.data.map(|d| d.params)))
+        Ok((report, self.data.map(|d| d.params), self.apply_bytes))
     }
 
     fn describe_blocked(&self) -> Vec<String> {
@@ -920,9 +926,32 @@ impl<'k> Engine<'k> {
     // feature) the retained per-element reference interpreter runs
     // instead; both produce bitwise-identical tensors.
 
+    /// Element type of a resolved slice's backing storage (fragments are
+    /// unrounded `f32`).
+    fn slice_dtype(&self, mem: MemRef) -> DType {
+        match mem {
+            MemRef::Param(i) => self.kernel.params[i].dtype,
+            MemRef::Smem(i) => self.kernel.smem[i].dtype,
+            MemRef::Frag(_) => DType::F32,
+        }
+    }
+
+    /// Account the bytes a functional apply touches, per element type.
+    /// Called only on the functional path, so timing counters stay zero.
+    fn count_apply(&mut self, slices: &[&RSlice]) {
+        for s in slices {
+            let dtype = self.slice_dtype(s.mem);
+            let bytes = (s.rows * s.cols * dtype.size_bytes()) as u64;
+            self.apply_bytes.add(dtype, bytes);
+        }
+    }
+
     fn apply_copy(&mut self, exec_id: usize, src: &RSlice, dst: &RSlice) -> Result<(), SimError> {
         let (cta, role) = (self.execs[exec_id].cta, self.execs[exec_id].role);
         let kernel = self.kernel;
+        if self.data.is_some() {
+            self.count_apply(&[src, dst]);
+        }
         let Some(data) = self.data.as_mut() else {
             return Ok(());
         };
@@ -944,6 +973,9 @@ impl<'k> Engine<'k> {
     ) -> Result<(), SimError> {
         let (cta, role) = (self.execs[exec_id].cta, self.execs[exec_id].role);
         let kernel = self.kernel;
+        if self.data.is_some() {
+            self.count_apply(&[a, b, acc]);
+        }
         let Some(data) = self.data.as_mut() else {
             return Ok(());
         };
@@ -984,6 +1016,11 @@ impl<'k> Engine<'k> {
     ) -> Result<(), SimError> {
         let (cta, role) = (self.execs[exec_id].cta, self.execs[exec_id].role);
         let kernel = self.kernel;
+        if self.data.is_some() {
+            let mut slices: Vec<&RSlice> = srcs.iter().collect();
+            slices.push(dst);
+            self.count_apply(&slices);
+        }
         let Some(data) = self.data.as_mut() else {
             return Ok(());
         };

@@ -82,7 +82,7 @@ pub use instr::{BinOp, Instr, RedOp, SimtOp, UnOp};
 pub use kernel::{Kernel, KernelError, MbarDecl, Role, RoleKind, StaticTotals};
 pub use machine::MachineConfig;
 pub use mem::{FragDecl, MemRef, ParamDecl, Slice, SmemDecl, Space};
-pub use report::TimingReport;
+pub use report::{ApplyBytes, TimingReport};
 
 use cypress_tensor::Tensor;
 use engine::{Engine, Mode};
@@ -105,6 +105,9 @@ pub struct FunctionalRun {
     pub params: Vec<Tensor>,
     /// Timing report for the simulated schedule.
     pub report: TimingReport,
+    /// Per-dtype bytes the functional data path moved (see
+    /// [`ApplyBytes`]); a deterministic function of the kernel and grid.
+    pub apply_bytes: ApplyBytes,
 }
 
 impl Simulator {
@@ -183,12 +186,16 @@ impl Simulator {
     }
 
     fn finish_functional(
-        (report, params): (TimingReport, Option<Vec<Tensor>>),
+        (report, params, apply_bytes): (TimingReport, Option<Vec<Tensor>>, ApplyBytes),
     ) -> Result<FunctionalRun, SimError> {
         let params = params.ok_or_else(|| SimError::Internal {
             what: "a functional run returned no parameter tensors".into(),
         })?;
-        Ok(FunctionalRun { params, report })
+        Ok(FunctionalRun {
+            params,
+            report,
+            apply_bytes,
+        })
     }
 
     /// Execute `kernel` in timing mode: no data moves; the busiest SM's
@@ -200,7 +207,7 @@ impl Simulator {
     /// event-budget exhaustion.
     pub fn run_timing(&self, kernel: &Kernel) -> Result<TimingReport, SimError> {
         let engine = Engine::new(kernel, &self.machine, Mode::Timing, None)?;
-        let (report, _) = engine.run()?;
+        let (report, _, _) = engine.run()?;
         Ok(report)
     }
 

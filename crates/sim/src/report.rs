@@ -1,6 +1,65 @@
 //! Timing reports produced by simulation runs.
 
+use cypress_tensor::DType;
 use std::fmt;
+
+/// Bytes moved by the functional data path, broken down by element type.
+///
+/// Counted at the *apply* level: every functional copy, WGMMA, and SIMT
+/// operation adds the bytes of each slice it reads or writes to the
+/// bucket of that slice's element type (fragments are unrounded `f32`).
+/// Timing runs move no data, so their counters stay zero — the
+/// discrete-event schedule and every cycle count are untouched by this
+/// accounting. The counters are a deterministic function of the kernel
+/// and grid, so they are bit-identical across runs and host parallelism
+/// levels.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ApplyBytes {
+    /// Bytes of `f16` slices touched by functional applies.
+    pub f16: u64,
+    /// Bytes of `bf16` slices touched by functional applies.
+    pub bf16: u64,
+    /// Bytes of `f32` slices (including fragments) touched by
+    /// functional applies.
+    pub f32: u64,
+}
+
+impl ApplyBytes {
+    /// Add `bytes` to the bucket of `dtype`.
+    pub fn add(&mut self, dtype: DType, bytes: u64) {
+        match dtype {
+            DType::F16 => self.f16 += bytes,
+            DType::BF16 => self.bf16 += bytes,
+            DType::F32 => self.f32 += bytes,
+        }
+    }
+
+    /// Fold another counter set into this one.
+    pub fn merge(&mut self, other: ApplyBytes) {
+        self.f16 += other.f16;
+        self.bf16 += other.bf16;
+        self.f32 += other.f32;
+    }
+
+    /// Total bytes across every element type.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.f16 + self.bf16 + self.f32
+    }
+}
+
+impl fmt::Display for ApplyBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "f16 {} B | bf16 {} B | f32 {} B | total {} B",
+            self.f16,
+            self.bf16,
+            self.f32,
+            self.total()
+        )
+    }
+}
 
 /// Result of a timing (or functional) simulation of one kernel launch.
 ///
