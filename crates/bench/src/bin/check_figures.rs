@@ -22,19 +22,24 @@ const EXPECTED: [(&str, usize); 9] = [
     ("graph_overlap", 6),      // 3 sizes x {serial, 8 streams}
     ("fig_fusion", 12),        // 3 sizes x 2 workloads x {unfused, fused}
     ("fig_autotune", 20),      // 5 paper kernels x 2 sizes x {hand, tuned}
-    ("fig_functional", 6),     // {GEMM, attention, fan-out graph} x {fast/parallel, scalar/serial}
+    ("fig_functional", 7), // {GEMM, attention, fan-out graph} x {fast/parallel, scalar/serial} + GEMM bytecode
 ];
 
 /// The functional data-path gates: `(winner, loser, minimum ratio)` per
 /// measured size. GEMM must beat the retained scalar interpreter by at
-/// least 3x (the acceptance bar of the data-path rewrite); the rest must
-/// never lose. The graph gate carries a small tolerance because both of
-/// its rows are independent wall-clock measurements on a possibly
-/// contended runner — the executor is structurally never slower (one
-/// worker *is* the serial walk), so the slack only absorbs scheduler
-/// jitter, never a real regression.
-const FUNCTIONAL_GATES: [(&str, &str, f64); 3] = [
+/// least 3x (the acceptance bar of the data-path rewrite), the
+/// pre-lowered bytecode frontend must never lose to the fast-apply IR
+/// walk it replaced (it runs the same apply kernels and skips the
+/// per-launch flatten, so it is structurally never slower); the rest
+/// must never lose. The bytecode and graph gates carry a small
+/// tolerance because their rows are independent wall-clock
+/// measurements on a possibly contended runner, so the slack only
+/// absorbs scheduler jitter, never a real regression (one executor
+/// worker *is* the serial walk, and the bytecode VM replays the exact
+/// applies the walk issues).
+const FUNCTIONAL_GATES: [(&str, &str, f64); 4] = [
     ("GEMM functional (fast)", "GEMM functional (scalar)", 3.0),
+    ("GEMM functional (bytecode)", "GEMM functional (fast)", 0.95),
     (
         "Attention functional (fast)",
         "Attention functional (scalar)",
@@ -319,9 +324,19 @@ mod tests {
                     }
                 }
             } else if figure == "fig_functional" {
-                for (winner, loser, _) in super::FUNCTIONAL_GATES {
-                    rows.push(row_with_system(figure, winner, 256, "400.0"));
-                    rows.push(row_with_system(figure, loser, 256, "100.0"));
+                // One row per distinct system ("GEMM functional (fast)"
+                // appears in two gates); values satisfy every gate:
+                // bytecode >= fast >= 3x scalar, parallel >= serial.
+                for (system, tflops) in [
+                    ("GEMM functional (bytecode)", "410.0"),
+                    ("GEMM functional (fast)", "400.0"),
+                    ("GEMM functional (scalar)", "100.0"),
+                    ("Attention functional (fast)", "400.0"),
+                    ("Attention functional (scalar)", "100.0"),
+                    ("Fan-out graph (parallel)", "400.0"),
+                    ("Fan-out graph (serial)", "100.0"),
+                ] {
+                    rows.push(row_with_system(figure, system, 256, tflops));
                 }
             } else {
                 for _ in 0..count {
@@ -337,7 +352,7 @@ mod tests {
 
     #[test]
     fn complete_file_passes() {
-        assert_eq!(check(&full_file(&[])), Ok(98));
+        assert_eq!(check(&full_file(&[])), Ok(99));
     }
 
     #[test]
@@ -350,6 +365,20 @@ mod tests {
         );
         let err = check(&json).unwrap_err();
         assert!(err.contains("below the 3.0x gate"), "{err}");
+    }
+
+    #[test]
+    fn functional_bytecode_regression_fails() {
+        // Bytecode dipping below the fast-apply walk it replaced (past
+        // the jitter slack) fails.
+        let json = full_file(&[]).replacen(
+            "\"system\": \"GEMM functional (bytecode)\", \"size\": 256, \"tflops\": 410.0",
+            "\"system\": \"GEMM functional (bytecode)\", \"size\": 256, \"tflops\": 360.0",
+            1,
+        );
+        let err = check(&json).unwrap_err();
+        assert!(err.contains("GEMM functional (bytecode)"), "{err}");
+        assert!(err.contains("gate"), "{err}");
     }
 
     #[test]

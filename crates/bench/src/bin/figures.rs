@@ -181,8 +181,15 @@ fn main() {
         println!("  {:<28} {:>12.1}", r.system, r.tflops);
     }
     println!(
-        "  GEMM fast/scalar = {:.1}x (gated >= 3x), attention fast/scalar = {:.1}x, \
+        "  GEMM bytecode/fast-apply = {:.2}x (gated, jitter-tolerant), GEMM fast/scalar = {:.1}x (gated >= 3x), \
+         attention fast/scalar = {:.1}x, \
          {FUNCTIONAL_FAN_OUT}-wide graph parallel/serial = {:.2}x (gated, jitter-tolerant)",
+        ratio(
+            &fun,
+            "GEMM functional (bytecode)",
+            "GEMM functional (fast)",
+            FUNCTIONAL_SIZE
+        ),
         ratio(
             &fun,
             "GEMM functional (fast)",

@@ -42,6 +42,10 @@ pub struct Compiled {
     pub copyelim_stats: copyelim::Stats,
     /// Shared-memory bytes allocated per CTA.
     pub smem_bytes: usize,
+    /// The kernel's functional body lowered once into flat bytecode (see
+    /// [`cypress_sim::bytecode`]); the runtime replays it on every launch
+    /// instead of re-walking the kernel IR.
+    pub lowered: cypress_sim::Program,
     /// Stable fingerprint of the compiler inputs that produced this kernel
     /// (see [`crate::fingerprint::fingerprint`]); the cache key of the
     /// `cypress-runtime` kernel cache.
@@ -162,6 +166,14 @@ impl CypressCompiler {
         let t = std::time::Instant::now();
         let cuda = crate::codegen::cuda::render(&kernel);
         timed("codegen", t);
+
+        // 7. Bytecode lowering: compile the kernel body once into the flat
+        // instruction stream the simulator's dispatch loop executes.
+        let t = std::time::Instant::now();
+        let lowered = cypress_sim::bytecode::lower(&kernel)
+            .map_err(|e| CompileError::Backend(e.to_string()))?;
+        timed("lower", t);
+
         let smem_bytes = kernel.smem_bytes();
         Ok(Compiled {
             kernel,
@@ -169,6 +181,7 @@ impl CypressCompiler {
             ir_dumps: dumps,
             copyelim_stats: stats,
             smem_bytes,
+            lowered,
             fingerprint,
             pass_nanos,
         })

@@ -282,7 +282,9 @@ pub(crate) fn run_functional(
     if parallelism <= 1 {
         for &id in &graph.schedule() {
             let params = edges.materialize(graph, id, inputs, pool, recorder)?;
-            let run = simulator.run_functional(&launches[id.index()].compiled.kernel, params)?;
+            let compiled = &launches[id.index()].compiled;
+            let run =
+                simulator.run_functional_lowered(&compiled.kernel, &compiled.lowered, params)?;
             apply_bytes.merge(run.apply_bytes);
             reports[id.index()] = Some(run.report);
             edges.store(id, run.params);
@@ -313,7 +315,14 @@ pub(crate) fn run_functional(
                 parallelism,
                 jobs,
                 |(idx, compiled, params): (usize, Arc<Compiled>, Vec<Tensor>)| {
-                    (idx, simulator.run_functional(&compiled.kernel, params))
+                    (
+                        idx,
+                        simulator.run_functional_lowered(
+                            &compiled.kernel,
+                            &compiled.lowered,
+                            params,
+                        ),
+                    )
                 },
             );
             // Join in input (ascending node) order; the byte counters
@@ -443,7 +452,8 @@ pub(crate) fn run_timing(
         let report = match by_kernel.get(&key) {
             Some(r) => r.clone(),
             None => {
-                let r = simulator.run_timing(&launch.compiled.kernel)?;
+                let r = simulator
+                    .run_timing_lowered(&launch.compiled.kernel, &launch.compiled.lowered)?;
                 by_kernel.insert(key, r.clone());
                 r
             }

@@ -125,7 +125,7 @@ pub use graph::{Binding, Node, NodeId, TaskGraph};
 pub use pool::{BufferPool, PoolStats};
 pub use program::{Program, SpaceBinding};
 pub use report::{GraphReport, NodeTiming};
-pub use session::{MappingPolicy, SchedulePolicy, Session};
+pub use session::{CompiledGraph, MappingPolicy, SchedulePolicy, Session};
 pub use telemetry::{
     ChromeSpan, ChromeTrace, Event, EventClass, MetricsRegistry, MetricsSnapshot, NoopRecorder,
     Recorder, TraceLog, TraceSink,

@@ -107,6 +107,60 @@ pub enum MappingPolicy {
     Autotune,
 }
 
+/// A task graph compiled once by [`Session::compile_graph`] — fusion
+/// planned, every node's kernel compiled (through the kernel cache) and
+/// its mapping chosen — ready to launch repeatedly against fresh inputs
+/// with [`Session::launch_compiled`].
+///
+/// This is the replay primitive for serving loops: the fusion rewrite,
+/// the Fig. 6 pass pipeline, the bytecode lowering, and any autotuning
+/// all happen exactly once, at compile time. Each launch only re-binds
+/// the `External` inputs and replays the already-lowered launches; the
+/// graph topology is never re-walked and the compiler is never
+/// consulted again. The handle owns [`Arc`]s to its compiled kernels,
+/// so it stays valid even after [`Session::clear`] evicts the cache.
+///
+/// Results are bitwise identical to [`Session::launch_functional`] on
+/// the same graph: the fusion and mapping decisions are frozen at
+/// compile time, while the schedule policy and host parallelism in
+/// effect at *launch* time shape the timeline (never the tensors).
+#[derive(Debug)]
+pub struct CompiledGraph {
+    /// The graph as submitted; results stay addressed by its node ids.
+    graph: TaskGraph,
+    /// The fusion rewrite, when the session's policy rewrote the graph.
+    plan: Option<FusionPlan>,
+    /// One launch per executed node — of the fused graph when `plan` is
+    /// set, of `graph` otherwise.
+    launches: Vec<NodeLaunch>,
+}
+
+impl CompiledGraph {
+    /// The graph that actually executes: the fused rewrite if one fired.
+    fn exec_graph(&self) -> &TaskGraph {
+        self.plan.as_ref().map_or(&self.graph, |p| &p.graph)
+    }
+
+    /// The graph this handle was compiled from (the caller's addressing).
+    #[must_use]
+    pub fn graph(&self) -> &TaskGraph {
+        &self.graph
+    }
+
+    /// Number of launches a run of this handle performs (fewer than
+    /// `graph().len()` when fusion collapsed nodes).
+    #[must_use]
+    pub fn launch_count(&self) -> usize {
+        self.launches.len()
+    }
+
+    /// Whether the session's fusion policy rewrote this graph.
+    #[must_use]
+    pub fn is_fused(&self) -> bool {
+        self.plan.is_some()
+    }
+}
+
 /// A long-lived runtime for compiling and launching task graphs.
 #[derive(Debug)]
 pub struct Session {
@@ -554,7 +608,9 @@ impl Session {
         let (registry, mapping, args) = binding.space.build(&binding.shape, cfg)?;
         let candidate = Program::new(registry, mapping, binding.space.entry(), args);
         let compiled = self.compile(&candidate)?;
-        Ok(self.simulator.run_timing(&compiled.kernel)?)
+        Ok(self
+            .simulator
+            .run_timing_lowered(&compiled.kernel, &compiled.lowered)?)
     }
 
     /// The parallel cold sweep: compile every cache-missing candidate on
@@ -673,7 +729,10 @@ impl Session {
             .collect();
         let simulator = &self.simulator;
         let timed = par::parallel_map(self.parallelism, sims, |c| {
-            (c.fingerprint, simulator.run_timing(&c.kernel))
+            (
+                c.fingerprint,
+                simulator.run_timing_lowered(&c.kernel, &c.lowered),
+            )
         });
         let mut cycles_by_fp = HashMap::new();
         for (fp, report) in timed {
@@ -867,6 +926,68 @@ impl Session {
         Ok(run)
     }
 
+    /// Compile `graph` once into a reusable [`CompiledGraph`] handle:
+    /// plan fusion under the session's [`FusionPolicy`], compile every
+    /// node (through the kernel cache, autotuning under
+    /// [`MappingPolicy::Autotune`]), and freeze the resulting launches.
+    /// [`Session::launch_compiled`] then re-binds fresh inputs against
+    /// the handle without re-walking the graph or re-consulting the
+    /// compiler.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError`] on compile failure or when the fusion
+    /// gate's timing simulation fails.
+    pub fn compile_graph(&mut self, graph: &TaskGraph) -> Result<CompiledGraph, RuntimeError> {
+        let plan = self.fusion_plan(graph)?;
+        let launches = match &plan {
+            Some(plan) => self.compile_plan(plan)?,
+            None => self.compile_nodes(graph)?,
+        };
+        Ok(CompiledGraph {
+            graph: graph.clone(),
+            plan,
+            launches,
+        })
+    }
+
+    /// Launch a [`CompiledGraph`] functionally against fresh `inputs`:
+    /// the repeat-launch half of [`Session::compile_graph`]. Equivalent
+    /// to [`Session::launch_functional`] on the handle's graph — same
+    /// tensors, bit for bit — minus all per-launch compilation work.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError`] on missing or mis-shaped inputs, or on
+    /// simulation failure.
+    pub fn launch_compiled(
+        &mut self,
+        compiled: &CompiledGraph,
+        inputs: &HashMap<String, Tensor>,
+    ) -> Result<GraphRun, RuntimeError> {
+        if self.recorder.enabled() {
+            self.recorder.record(Event::GraphSubmitted {
+                nodes: compiled.graph.len(),
+                mode: "functional",
+            });
+        }
+        let run = executor::run_functional(
+            &self.simulator,
+            compiled.exec_graph(),
+            &compiled.launches,
+            inputs,
+            &mut self.pool,
+            self.policy,
+            self.parallelism,
+            self.recorder.as_mut(),
+        )?;
+        self.metrics.apply_bytes.merge(run.apply_bytes);
+        Ok(match &compiled.plan {
+            Some(plan) => executor::remap_run(run, &compiled.graph, plan),
+            None => run,
+        })
+    }
+
     /// Launch `graph` in timing mode: no data moves; the result is the
     /// whole-graph [`GraphReport`] with per-node stream timeline, built
     /// according to the session's [`SchedulePolicy`]. Under
@@ -919,9 +1040,11 @@ impl Session {
         params: Vec<Tensor>,
     ) -> Result<Vec<Tensor>, RuntimeError> {
         let launch = self.node_launch(program)?;
-        let run = self
-            .simulator
-            .run_functional(&launch.compiled.kernel, params)?;
+        let run = self.simulator.run_functional_lowered(
+            &launch.compiled.kernel,
+            &launch.compiled.lowered,
+            params,
+        )?;
         self.metrics.apply_bytes.merge(run.apply_bytes);
         Ok(run.params)
     }
@@ -934,7 +1057,9 @@ impl Session {
     /// Returns [`RuntimeError`] on compile or simulation failure.
     pub fn run_timing(&mut self, program: &Program) -> Result<TimingReport, RuntimeError> {
         let launch = self.node_launch(program)?;
-        Ok(self.simulator.run_timing(&launch.compiled.kernel)?)
+        Ok(self
+            .simulator
+            .run_timing_lowered(&launch.compiled.kernel, &launch.compiled.lowered)?)
     }
 
     /// Kernel-cache counters.
@@ -976,7 +1101,10 @@ impl fuse::FusionGate for Session {
             return Some(*c);
         }
         let compiled = self.compile(program).ok()?;
-        let report = self.simulator.run_timing(&compiled.kernel).ok()?;
+        let report = self
+            .simulator
+            .run_timing_lowered(&compiled.kernel, &compiled.lowered)
+            .ok()?;
         self.solo_cycles.insert(fp, report.cycles);
         Some(report.cycles)
     }

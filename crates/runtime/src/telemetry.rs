@@ -816,7 +816,39 @@ impl<'a> JsonParser<'a> {
                         b't' => out.push('\t'),
                         b'u' => {
                             let code = self.hex4()?;
-                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            match code {
+                                // High surrogate: JSON encodes astral-plane
+                                // characters as a `\uXXXX\uXXXX` pair; combine
+                                // with the low half that must follow.
+                                0xD800..=0xDBFF
+                                    if self.bytes.get(self.pos) == Some(&b'\\')
+                                        && self.bytes.get(self.pos + 1) == Some(&b'u') =>
+                                {
+                                    let rewind = self.pos;
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if (0xDC00..=0xDFFF).contains(&lo) {
+                                        let c = 0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
+                                        out.push(
+                                            char::from_u32(c)
+                                                .expect("combined surrogate pair is a scalar"),
+                                        );
+                                    } else {
+                                        // Not a low half: the lone high
+                                        // surrogate is U+FFFD and the second
+                                        // escape stands on its own.
+                                        out.push('\u{FFFD}');
+                                        self.pos = rewind;
+                                    }
+                                }
+                                // Lone or trailing surrogate halves are not
+                                // scalar values; replace like `String::from_utf8_lossy`.
+                                0xD800..=0xDFFF => out.push('\u{FFFD}'),
+                                _ => out.push(
+                                    char::from_u32(code)
+                                        .expect("non-surrogate u16 code points are scalars"),
+                                ),
+                            }
                         }
                         other => {
                             return Err(format!(
@@ -931,6 +963,49 @@ mod tests {
         let tricky = "a\"b\\c\nd\tμ";
         let parsed = JsonParser::parse(&json_str(tricky)).unwrap();
         assert_eq!(parsed.as_str(), Some(tricky));
+    }
+
+    #[test]
+    fn unicode_escapes_combine_surrogate_pairs() {
+        // 𝕫 (U+1D56B) arrives as a surrogate pair from conforming JSON
+        // writers; the parser must combine the halves, not emit two
+        // replacement characters.
+        let parsed = JsonParser::parse("\"\\ud835\\udd6b\"").unwrap();
+        assert_eq!(parsed.as_str(), Some("\u{1D56B}"));
+        // 🚀 (U+1F680) likewise.
+        let parsed = JsonParser::parse("\"x\\ud83d\\ude80y\"").unwrap();
+        assert_eq!(parsed.as_str(), Some("x\u{1F680}y"));
+
+        // Lone halves are not scalar values: replace, don't crash.
+        assert_eq!(
+            JsonParser::parse(r#""\ud800""#).unwrap().as_str(),
+            Some("\u{FFFD}")
+        );
+        assert_eq!(
+            JsonParser::parse(r#""\udc00""#).unwrap().as_str(),
+            Some("\u{FFFD}")
+        );
+        // A high half chased by a non-surrogate escape: the second
+        // escape stands on its own.
+        assert_eq!(
+            JsonParser::parse(r#""\ud800A""#).unwrap().as_str(),
+            Some("\u{FFFD}A")
+        );
+        // Two high halves, the second opening a valid pair: only the
+        // first is replaced.
+        assert_eq!(
+            JsonParser::parse("\"\\ud800\\ud835\\udd6b\"")
+                .unwrap()
+                .as_str(),
+            Some("\u{FFFD}\u{1D56B}")
+        );
+        // A high half followed by a raw character (no second escape).
+        assert_eq!(
+            JsonParser::parse(r#""\ud800z""#).unwrap().as_str(),
+            Some("\u{FFFD}z")
+        );
+        // Truncated second escape is still a syntax error.
+        assert!(JsonParser::parse(r#""\ud835\ud""#).is_err());
     }
 
     #[test]

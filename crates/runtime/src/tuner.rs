@@ -194,10 +194,16 @@ impl TuningTable {
 
     /// Parse the format produced by [`TuningTable::to_text`].
     ///
+    /// Parsing is strict: every line after the header must be a
+    /// well-formed 7-field entry with a key not seen before. A table
+    /// that parses is therefore exactly the table that was saved — no
+    /// entry can be silently shadowed by a duplicate line, and no
+    /// half-corrupted line can be silently dropped.
+    ///
     /// # Errors
     ///
-    /// Returns [`RuntimeError::BadTuningTable`] on a wrong header or a
-    /// malformed entry line.
+    /// Returns [`RuntimeError::BadTuningTable`] on a wrong header, a
+    /// malformed or blank entry line, or a duplicate key.
     pub fn from_text(text: &str) -> Result<Self, RuntimeError> {
         let bad = |reason: String| RuntimeError::BadTuningTable { reason };
         let mut lines = text.lines();
@@ -208,7 +214,12 @@ impl TuningTable {
         let mut table = TuningTable::new();
         for (i, line) in lines.enumerate() {
             if line.trim().is_empty() {
-                continue;
+                // A canonical table has no blank lines; one here means
+                // the file was truncated or hand-edited.
+                return Err(bad(format!(
+                    "line {}: blank line (a saved table has one entry per line)",
+                    i + 2
+                )));
             }
             let fields: Vec<&str> = line.split_whitespace().collect();
             let [comp, machine, shape, config, default_cycles, tuned_cycles, candidates] =
@@ -237,12 +248,24 @@ impl TuningTable {
                 s.parse::<f64>()
                     .map_err(|e| bad(format!("line {}: bad {what} `{s}`: {e}", i + 2)))
             };
+            let key = TuningKey {
+                computation: parse_hex(comp, "computation fingerprint")?,
+                shape,
+                machine: parse_hex(machine, "machine fingerprint")?,
+            };
+            if table.entries.contains_key(&key) {
+                // Last-write-wins would silently discard an entry the
+                // writer thought it persisted.
+                return Err(bad(format!(
+                    "line {}: duplicate entry for computation {:016x} machine {:016x} shape {}",
+                    i + 2,
+                    key.computation,
+                    key.machine,
+                    Shape(key.shape.clone()),
+                )));
+            }
             table.insert(
-                TuningKey {
-                    computation: parse_hex(comp, "computation fingerprint")?,
-                    shape,
-                    machine: parse_hex(machine, "machine fingerprint")?,
-                },
+                key,
                 TunedMapping {
                     config,
                     default_cycles: parse_f64(default_cycles, "default cycles")?,
@@ -378,6 +401,113 @@ mod tests {
         assert!(TuningTable::from_text(&text).is_err());
         let truncated = sample_table().to_text().replace("gemm:", "mystery:");
         assert!(TuningTable::from_text(&truncated).is_err());
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        let table = sample_table();
+        let text = table.to_text();
+        // Re-append the first entry line verbatim: the old parser let
+        // the later line win silently; now it is a typed error.
+        let dup = text.lines().nth(1).unwrap().to_string();
+        let corrupted = format!("{text}{dup}\n");
+        let err = TuningTable::from_text(&corrupted).unwrap_err();
+        assert!(
+            err.to_string().contains("duplicate entry"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn blank_and_garbage_lines_are_rejected() {
+        let base = sample_table().to_text();
+        for junk in ["\n", "   \n", "\t\n", "# a comment\n", "trailing garbage\n"] {
+            let corrupted = format!("{base}{junk}");
+            assert!(
+                TuningTable::from_text(&corrupted).is_err(),
+                "appending {junk:?} must be a parse error"
+            );
+        }
+        // A canonical table (with its single trailing newline) still
+        // parses: strictness must not break the round-trip.
+        assert!(TuningTable::from_text(&base).is_ok());
+    }
+
+    proptest::proptest! {
+        /// Save/load fuzz: random tables — random fingerprints, shapes,
+        /// bit-pattern f64 cycles, mixed GEMM/attention configs —
+        /// round-trip exactly, and common corruptions (duplicated
+        /// entry, truncated last line, appended garbage) are typed
+        /// errors, never silent data loss.
+        #[test]
+        fn fuzzed_save_load_round_trip(seed in 0u64..1_000_000) {
+            use cypress_core::kernels::attention::AttentionConfig;
+            use rand::rngs::StdRng;
+            use rand::{Rng, RngCore, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let finite = |rng: &mut StdRng| loop {
+                let x = f64::from_bits(rng.next_u64()).abs();
+                if x.is_finite() {
+                    return x;
+                }
+            };
+            let mut table = TuningTable::new();
+            for _ in 0..rng.gen_range(0usize..6) {
+                let dims = rng.gen_range(1usize..5);
+                let config = if rng.gen_bool(0.5) {
+                    MappingConfig::Gemm(GemmConfig {
+                        u: rng.gen_range(1usize..512),
+                        v: rng.gen_range(1usize..512),
+                        w: rng.gen_range(1usize..256),
+                        wgs: rng.gen_range(1usize..4),
+                        pipeline: rng.gen_range(1usize..8),
+                        warpspecialize: rng.gen_bool(0.5),
+                    })
+                } else {
+                    MappingConfig::Attention(AttentionConfig {
+                        br: rng.gen_range(1usize..256),
+                        bc: rng.gen_range(1usize..256),
+                        wgs: rng.gen_range(1usize..4),
+                        pipeline: rng.gen_range(1usize..8),
+                    })
+                };
+                table.insert(
+                    TuningKey {
+                        computation: rng.next_u64(),
+                        shape: (0..dims).map(|_| rng.gen_range(1usize..5000)).collect(),
+                        machine: rng.next_u64(),
+                    },
+                    TunedMapping {
+                        config,
+                        default_cycles: finite(&mut rng),
+                        tuned_cycles: finite(&mut rng),
+                        candidates: rng.gen_range(1usize..100),
+                    },
+                );
+            }
+
+            let text = table.to_text();
+            let back = TuningTable::from_text(&text).unwrap();
+            proptest::prop_assert_eq!(&back, &table, "parse must reproduce the table");
+            proptest::prop_assert_eq!(back.to_text(), text.clone(), "re-serialization is canonical");
+
+            proptest::prop_assert!(
+                TuningTable::from_text(&format!("{text}junk line\n")).is_err(),
+                "appended garbage must not be skipped"
+            );
+            if !table.is_empty() {
+                let dup = text.lines().nth(1).unwrap();
+                proptest::prop_assert!(
+                    TuningTable::from_text(&format!("{text}{dup}\n")).is_err(),
+                    "a duplicated entry must not silently win"
+                );
+                let cut = text.trim_end().rsplit_once(' ').unwrap().0;
+                proptest::prop_assert!(
+                    TuningTable::from_text(&format!("{cut}\n")).is_err(),
+                    "a truncated last line must not be skipped"
+                );
+            }
+        }
     }
 
     #[test]

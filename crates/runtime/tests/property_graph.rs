@@ -246,4 +246,103 @@ proptest! {
             prop_assert_eq!(a.end, b.end);
         }
     }
+
+    /// Re-binding fresh inputs against a [`CompiledGraph`] handle is
+    /// bitwise identical to a fresh `launch_functional` of the same
+    /// graph, across schedule policies and host worker counts — the
+    /// compile-once/launch-many path never drifts from the
+    /// compile-every-time path.
+    #[test]
+    fn compiled_graph_rebind_matches_fresh_launch(seed in 0u64..1_000_000) {
+        let machine = MachineConfig::test_gpu();
+        let (graph, ids, programs) = random_graph(seed, 4, &machine);
+        let mut session = Session::new(machine.clone());
+        let compiled = session.compile_graph(&graph).unwrap();
+        prop_assert_eq!(compiled.launch_count(), graph.len());
+        prop_assert!(!compiled.is_fused(), "fusion is off by default");
+        for policy in [SchedulePolicy::Serial, SchedulePolicy::Concurrent { streams: 2 }] {
+            for parallelism in [1usize, 8] {
+                session.set_policy(policy);
+                session.set_parallelism(parallelism);
+                // Two rounds of fresh inputs per configuration: the
+                // handle must be reusable, not single-shot.
+                for round in 0..2u64 {
+                    let inputs = random_inputs(&graph, seed ^ (round + 1));
+                    let rebind = session.launch_compiled(&compiled, &inputs).unwrap();
+                    let fresh = session.launch_functional(&graph, &inputs).unwrap();
+                    let mut compared = 0usize;
+                    for (i, &id) in ids.iter().enumerate() {
+                        for pi in 0..programs[i].args.len() {
+                            match (rebind.tensor(id, pi), fresh.tensor(id, pi)) {
+                                (Some(a), Some(b)) => {
+                                    prop_assert_eq!(a.data(), b.data(),
+                                        "node {} param {} diverged on re-bind (seed {seed})",
+                                        i, pi);
+                                    compared += 1;
+                                }
+                                (None, None) => {}
+                                _ => prop_assert!(false,
+                                    "re-bind retained a different tensor set (seed {seed})"),
+                            }
+                        }
+                    }
+                    prop_assert!(compared > 0, "every graph retains at least its sinks");
+                }
+            }
+        }
+    }
+}
+
+/// The compiled-graph handle freezes the fusion rewrite and keeps its
+/// kernels alive independently of the session cache: re-binding after
+/// [`Session::clear`] still launches, and fused results still come back
+/// addressed by the original graph's node ids.
+#[test]
+fn compiled_graph_rebind_survives_fusion_and_cache_clear() {
+    use cypress_runtime::FusionPolicy;
+    let machine = MachineConfig::test_gpu();
+    let program = Program::from_parts(gemm::build(D, D, D, &machine).unwrap(), "gemm");
+    let mut graph = TaskGraph::new();
+    let up = graph
+        .add_node(
+            "up",
+            program.clone(),
+            vec![
+                Binding::Zeros,
+                Binding::external("X"),
+                Binding::external("W1"),
+            ],
+        )
+        .unwrap();
+    let down = graph
+        .add_node(
+            "down",
+            program,
+            vec![
+                Binding::Zeros,
+                Binding::output(up, 0),
+                Binding::external("W2"),
+            ],
+        )
+        .unwrap();
+
+    let mut session = Session::new(machine.clone()).with_fusion_policy(FusionPolicy::Auto);
+    let compiled = session.compile_graph(&graph).unwrap();
+    assert!(compiled.is_fused(), "the GEMM chain fuses on this machine");
+    assert_eq!(compiled.launch_count(), 1);
+    assert_eq!(compiled.graph().len(), 2);
+
+    for round in 0..2u64 {
+        let inputs = random_inputs(&graph, 1000 + round);
+        if round == 1 {
+            // Evicting every cached kernel must not invalidate the
+            // handle: it owns its compiled launches.
+            session.clear();
+        }
+        let rebind = session.launch_compiled(&compiled, &inputs).unwrap();
+        let fresh = session.launch_functional(&graph, &inputs).unwrap();
+        let a = rebind.tensor(down, 0).expect("sink tensor retained");
+        let b = fresh.tensor(down, 0).expect("sink tensor retained");
+        assert_eq!(a.data(), b.data(), "fused re-bind diverged (round {round})");
+    }
 }

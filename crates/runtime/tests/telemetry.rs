@@ -236,6 +236,43 @@ fn chrome_json_round_trips_against_the_report() {
     }
 }
 
+/// Hostile span labels — quotes, backslashes, control characters,
+/// astral-plane Unicode, JSON-injection attempts — survive the
+/// export/parse round-trip byte-for-byte: the escaper writes valid JSON
+/// for any Rust string and the parser reads it back exactly.
+#[test]
+fn chrome_json_round_trips_hostile_labels() {
+    let machine = MachineConfig::test_gpu();
+    let (graph, _) = vee_graph(&machine);
+    let mut session = Session::new(machine);
+    let mut report = session.launch_timing(&graph).unwrap();
+
+    let hostile = [
+        "quote\" backslash\\ slash/ \"closer",
+        "newline\n tab\t return\r bell\u{7} nul\u{0}",
+        "unicode μ→𝕫🚀 injection\",\"ph\":\"M\",\"x\":\"",
+        "</script>{}[]\u{1b}[31m escape\u{1F} del\u{7f}",
+    ];
+    assert!(
+        report.nodes.len() <= hostile.len(),
+        "the vee fits the hostile label set"
+    );
+    for (node, label) in report.nodes.iter_mut().zip(hostile) {
+        node.node = label.to_string();
+        node.mapping = format!("mapping {label}");
+        node.replaced = vec![format!("was {label}")];
+    }
+
+    let json = TraceSink::chrome_json(&report);
+    let trace = TraceSink::parse_chrome_json(&json).unwrap();
+    assert_eq!(trace.spans.len(), report.nodes.len());
+    let mut names: Vec<&str> = trace.spans.iter().map(|s| s.name.as_str()).collect();
+    let mut want: Vec<&str> = report.nodes.iter().map(|n| n.node.as_str()).collect();
+    names.sort_unstable();
+    want.sort_unstable();
+    assert_eq!(names, want, "hostile labels must round-trip exactly");
+}
+
 /// One [`Session::metrics`] snapshot unifies the cache, pool, fusion,
 /// and apply-byte counters, and its Display form names each section.
 #[test]

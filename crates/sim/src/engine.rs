@@ -19,8 +19,9 @@
 //! exposed latency.
 
 use crate::apply::{self, FuncData, RSlice, Scratch};
+use crate::bytecode::{self, BcCond, BcInstr, BcOp, BcSlice, Program, SVal, SimtCost};
 use crate::error::SimError;
-use crate::expr::{Env, EvalError};
+use crate::expr::{Cond, Env, EvalError, Expr};
 use crate::flatten::{flatten, Flat};
 use crate::instr::{Instr, SimtOp};
 use crate::kernel::{Kernel, RoleKind};
@@ -176,10 +177,47 @@ pub enum Mode {
     Timing,
 }
 
+/// Which compiled form of the kernel the engine executes: the borrowed
+/// IR walk (flattened at construction) or a pre-lowered bytecode
+/// [`Program`]. Both produce bit-identical schedules and data; the
+/// bytecode frontend skips per-invocation expression trees and quantity
+/// derivations.
+enum Frontend<'k> {
+    Walk(Vec<Vec<Flat<'k>>>),
+    Bytecode(&'k Program),
+}
+
+/// One fetched instruction, decoded from either frontend. Payloads are
+/// copies or `'k` references, so fetching ends the borrow of the engine
+/// before execution mutates it.
+enum Step<'k> {
+    End,
+    Jump(usize),
+    BranchWalk(&'k Cond, usize),
+    BranchBc(&'k BcCond, usize),
+    LoopStartWalk {
+        var: usize,
+        count: &'k Expr,
+        end: usize,
+    },
+    LoopStartBc {
+        var: usize,
+        count: &'k SVal,
+        end: usize,
+    },
+    LoopEnd,
+    OpWalk(&'k Instr),
+    OpBc(&'k BcOp),
+}
+
 pub(crate) struct Engine<'k> {
     kernel: &'k Kernel,
     machine: &'k MachineConfig,
-    flat: Vec<Vec<Flat<'k>>>,
+    frontend: Frontend<'k>,
+    /// Scratch registers of the bytecode index machine (empty under the
+    /// walk frontend). Preludes run to completion inside one resolve, so
+    /// a single buffer serves every executor.
+    idx_regs: Vec<i64>,
     events: BinaryHeap<Reverse<Event>>,
     seq: u64,
     now: f64,
@@ -223,8 +261,19 @@ impl<'k> Engine<'k> {
         machine: &'k MachineConfig,
         mode: Mode,
         params: Option<Vec<Tensor>>,
+        lowered: Option<&'k Program>,
     ) -> Result<Self, SimError> {
         kernel.validate(machine)?;
+        if let Some(program) = lowered {
+            if program.shape_hash != bytecode::kernel_shape_hash(kernel) {
+                return Err(SimError::Internal {
+                    what: format!(
+                        "bytecode program was lowered from a different kernel than `{}`",
+                        kernel.name
+                    ),
+                });
+            }
+        }
         if let Some(p) = &params {
             if p.len() != kernel.params.len() {
                 return Err(SimError::ParamCountMismatch {
@@ -233,10 +282,16 @@ impl<'k> Engine<'k> {
                 });
             }
             for (i, (t, d)) in p.iter().zip(kernel.params.iter()).enumerate() {
-                if t.num_elements() != d.rows * d.cols {
+                let expected = d
+                    .rows
+                    .checked_mul(d.cols)
+                    .ok_or_else(|| SimError::Internal {
+                        what: format!("parameter `{}` element count overflows usize", d.name),
+                    })?;
+                if t.num_elements() != expected {
                     return Err(SimError::ParamShapeMismatch {
                         index: i,
-                        expected: d.rows * d.cols,
+                        expected,
                         actual: t.num_elements(),
                     });
                 }
@@ -263,7 +318,11 @@ impl<'k> Engine<'k> {
         };
 
         let share = active_sms as f64;
-        let flat = kernel.roles.iter().map(|r| flatten(&r.body)).collect();
+        let frontend = match lowered {
+            Some(p) => Frontend::Bytecode(p),
+            None => Frontend::Walk(kernel.roles.iter().map(|r| flatten(&r.body)).collect()),
+        };
+        let idx_regs = vec![0i64; lowered.map_or(0, |p| p.num_regs)];
         let data = params.map(|params| FuncData {
             params,
             smem: Vec::new(),
@@ -274,7 +333,8 @@ impl<'k> Engine<'k> {
         let mut eng = Engine {
             kernel,
             machine,
-            flat,
+            frontend,
+            idx_regs,
             events: BinaryHeap::new(),
             seq: 0,
             now: 0.0,
@@ -337,7 +397,7 @@ impl<'k> Engine<'k> {
         }));
     }
 
-    fn start_cta(&mut self, linear: usize) {
+    fn start_cta(&mut self, linear: usize) -> Result<(), SimError> {
         let block = self.block_of(linear);
         let cta_idx = self.ctas.len();
         self.ctas.push(CtaState {
@@ -350,29 +410,53 @@ impl<'k> Engine<'k> {
             named: Vec::new(),
             roles_done: 0,
         });
-        if let Some(data) = &mut self.data {
+        if self.data.is_some() {
             let smem = self
                 .kernel
                 .smem
                 .iter()
-                .map(|d| vec![0.0f32; d.rows * d.cols * d.stages])
-                .collect();
-            let frags = self
-                .kernel
-                .roles
-                .iter()
-                .map(|r| match r.kind {
-                    RoleKind::Dma => Vec::new(),
-                    RoleKind::Compute(_) => self
-                        .kernel
-                        .frags
-                        .iter()
-                        .map(|f| vec![0.0f32; f.rows * f.cols])
-                        .collect(),
+                .map(|d| {
+                    let n = d
+                        .rows
+                        .checked_mul(d.cols)
+                        .and_then(|x| x.checked_mul(d.stages))
+                        .ok_or_else(|| SimError::Internal {
+                            what: format!(
+                                "shared region `{}` element count overflows usize",
+                                d.name
+                            ),
+                        })?;
+                    Ok(vec![0.0f32; n])
                 })
-                .collect();
-            data.smem.push(smem);
-            data.frags.push(frags);
+                .collect::<Result<Vec<_>, SimError>>()?;
+            let frags =
+                self.kernel
+                    .roles
+                    .iter()
+                    .map(|r| match r.kind {
+                        RoleKind::Dma => Ok(Vec::new()),
+                        RoleKind::Compute(_) => self
+                            .kernel
+                            .frags
+                            .iter()
+                            .map(|f| {
+                                let n = f.rows.checked_mul(f.cols).ok_or_else(|| {
+                                    SimError::Internal {
+                                        what: format!(
+                                            "fragment `{}` element count overflows usize",
+                                            f.name
+                                        ),
+                                    }
+                                })?;
+                                Ok(vec![0.0f32; n])
+                            })
+                            .collect::<Result<Vec<_>, SimError>>(),
+                    })
+                    .collect::<Result<Vec<_>, SimError>>()?;
+            if let Some(data) = &mut self.data {
+                data.smem.push(smem);
+                data.frags.push(frags);
+            }
         }
         for role in 0..self.kernel.roles.len() {
             let exec_id = self.execs.len();
@@ -391,6 +475,7 @@ impl<'k> Engine<'k> {
             });
             self.push(self.now, EventKind::Resume(exec_id));
         }
+        Ok(())
     }
 
     /// Run to completion and produce the report (plus functional tensors).
@@ -405,7 +490,7 @@ impl<'k> Engine<'k> {
             debug_assert!(ev.time >= self.now - 1e-9);
             self.now = self.now.max(ev.time);
             match ev.kind {
-                EventKind::StartCta(linear) => self.start_cta(linear),
+                EventKind::StartCta(linear) => self.start_cta(linear)?,
                 EventKind::Resume(exec) => self.resume(exec)?,
                 EventKind::TmaDone {
                     exec,
@@ -534,9 +619,8 @@ impl<'k> Engine<'k> {
             if e.done {
                 return Ok(());
             }
-            let flat = &self.flat[e.role];
-            match &flat[e.pc] {
-                Flat::End => {
+            match self.fetch(e.role, e.pc) {
+                Step::End => {
                     self.execs[exec_id].done = true;
                     let cta = self.execs[exec_id].cta;
                     self.ctas[cta].roles_done += 1;
@@ -549,38 +633,38 @@ impl<'k> Engine<'k> {
                     }
                     return Ok(());
                 }
-                Flat::Jump(t) => {
-                    self.execs[exec_id].pc = *t;
+                Step::Jump(t) => {
+                    self.execs[exec_id].pc = t;
                 }
-                Flat::Branch { cond, else_target } => {
+                Step::BranchWalk(cond, else_target) => {
                     let taken = cond
                         .eval(&self.execs[exec_id].env)
                         .map_err(|e| self.eval_err(exec_id, e))?;
-                    let pc = self.execs[exec_id].pc;
-                    self.execs[exec_id].pc = if taken { pc + 1 } else { *else_target };
+                    self.take_branch(exec_id, taken, else_target);
                 }
-                Flat::LoopStart { var, count, end } => {
+                Step::BranchBc(cond, else_target) => {
+                    let taken =
+                        bytecode::eval_cond(&mut self.idx_regs, &self.execs[exec_id].env, cond)
+                            .map_err(|e| self.eval_err(exec_id, e))?;
+                    self.take_branch(exec_id, taken, else_target);
+                }
+                Step::LoopStartWalk { var, count, end } => {
                     let trips = count
                         .eval(&self.execs[exec_id].env)
                         .map_err(|e| self.eval_err(exec_id, e))?;
-                    if trips <= 0 {
-                        self.execs[exec_id].pc = *end;
-                    } else {
-                        let body = self.execs[exec_id].pc + 1;
-                        let var = *var;
-                        self.execs[exec_id].loops.push(LoopCtx {
-                            var,
-                            iter: 0,
-                            trips,
-                            body,
-                        });
-                        self.execs[exec_id].env.bind(var, 0);
-                        self.execs[exec_id].pc = body;
-                    }
+                    self.enter_loop(exec_id, var, trips, end);
                 }
-                Flat::LoopEnd { .. } => {
+                Step::LoopStartBc { var, count, end } => {
+                    let trips =
+                        bytecode::eval_sval(&mut self.idx_regs, &self.execs[exec_id].env, count)
+                            .map_err(|e| self.eval_err(exec_id, e))?;
+                    self.enter_loop(exec_id, var, trips, end);
+                }
+                Step::LoopEnd => {
                     let e = &mut self.execs[exec_id];
-                    let ctx = e.loops.last_mut().expect("loop stack underflow");
+                    let ctx = e.loops.last_mut().ok_or_else(|| SimError::Internal {
+                        what: "loop stack underflow at a loop back-edge".into(),
+                    })?;
                     ctx.iter += 1;
                     if ctx.iter < ctx.trips {
                         let (var, iter, body) = (ctx.var, ctx.iter, ctx.body);
@@ -593,13 +677,83 @@ impl<'k> Engine<'k> {
                         e.pc += 1;
                     }
                 }
-                Flat::Op(instr) => {
+                Step::OpWalk(instr) => {
                     if self.execute(exec_id, instr)? {
                         return Ok(());
                     }
                     // Instruction completed inline; pc already advanced.
                 }
+                Step::OpBc(op) => {
+                    if self.execute_bc(exec_id, op)? {
+                        return Ok(());
+                    }
+                }
             }
+        }
+    }
+
+    /// Decode the instruction at `pc` from whichever frontend is active.
+    /// The returned [`Step`] borrows only the kernel or program (`'k`),
+    /// so execution is free to mutate the engine afterwards.
+    ///
+    /// The explicit derefs copy the inner `'k` references out of the
+    /// `&self`-lifetime borrow; auto-deref would reborrow at the shorter
+    /// lifetime and the returned `Step<'k>` would not compile.
+    #[allow(clippy::explicit_auto_deref)]
+    fn fetch(&self, role: usize, pc: usize) -> Step<'k> {
+        match &self.frontend {
+            Frontend::Walk(flat) => match &flat[role][pc] {
+                Flat::End => Step::End,
+                Flat::Jump(t) => Step::Jump(*t),
+                Flat::Branch { cond, else_target } => Step::BranchWalk(*cond, *else_target),
+                Flat::LoopStart { var, count, end } => Step::LoopStartWalk {
+                    var: *var,
+                    count: *count,
+                    end: *end,
+                },
+                Flat::LoopEnd { .. } => Step::LoopEnd,
+                Flat::Op(instr) => Step::OpWalk(*instr),
+            },
+            Frontend::Bytecode(p) => {
+                let p: &'k Program = *p;
+                match &p.roles[role][pc] {
+                    BcInstr::End => Step::End,
+                    BcInstr::Jump(t) => Step::Jump(*t),
+                    BcInstr::Branch { cond, else_target } => Step::BranchBc(cond, *else_target),
+                    BcInstr::LoopStart { var, count, end } => Step::LoopStartBc {
+                        var: *var,
+                        count,
+                        end: *end,
+                    },
+                    BcInstr::LoopEnd => Step::LoopEnd,
+                    BcInstr::Op(op) => Step::OpBc(op),
+                }
+            }
+        }
+    }
+
+    /// Take or skip a conditional branch.
+    fn take_branch(&mut self, exec_id: usize, taken: bool, else_target: usize) {
+        let pc = self.execs[exec_id].pc;
+        self.execs[exec_id].pc = if taken { pc + 1 } else { else_target };
+    }
+
+    /// Enter a counted loop with `trips` iterations (skipped entirely
+    /// when non-positive).
+    fn enter_loop(&mut self, exec_id: usize, var: usize, trips: i64, end: usize) {
+        if trips <= 0 {
+            self.execs[exec_id].pc = end;
+        } else {
+            let body = self.execs[exec_id].pc + 1;
+            let e = &mut self.execs[exec_id];
+            e.loops.push(LoopCtx {
+                var,
+                iter: 0,
+                trips,
+                body,
+            });
+            e.env.bind(var, 0);
+            e.pc = body;
         }
     }
 
@@ -614,111 +768,37 @@ impl<'k> Engine<'k> {
         }
     }
 
-    /// Execute one instruction. Returns `true` if the executor yielded
-    /// (scheduled a resume or blocked); `false` if it completed inline.
+    /// Execute one walked instruction. Returns `true` if the executor
+    /// yielded (scheduled a resume or blocked); `false` if it completed
+    /// inline. Byte counts, flop counts, and SIMT costs are derived from
+    /// the resolved slices here; the bytecode frontend precomputes the
+    /// identical values at lowering time.
     fn execute(&mut self, exec_id: usize, instr: &'k Instr) -> Result<bool, SimError> {
-        let m = self.machine;
         match instr {
             Instr::TmaLoad { src, dst, bar } => {
                 let rsrc = self.resolve(exec_id, src)?;
                 let rdst = self.resolve(exec_id, dst)?;
                 let bytes = self.slice_bytes(&rsrc);
-                let t0 = self.now + m.tma_latency;
-                let a = self.tma_unit.reserve(t0, bytes);
-                let b = self.l2.reserve(t0, bytes);
-                let c = self.hbm.reserve(t0, bytes * (1.0 - self.l2_hit));
-                let done = a.max(b).max(c);
-                let copy = self.data.is_some().then_some((rsrc, rdst));
-                let bar = *bar;
-                self.push(
-                    done,
-                    EventKind::TmaDone {
-                        exec: exec_id,
-                        bar: Some(bar),
-                        copy,
-                        is_store: false,
-                    },
-                );
-                self.yield_for(exec_id, m.tma_issue_cycles);
+                self.issue_tma_load(exec_id, rsrc, rdst, *bar, bytes);
                 Ok(true)
             }
             Instr::CpAsyncLoad { src, dst, bar } => {
                 let rsrc = self.resolve(exec_id, src)?;
                 let rdst = self.resolve(exec_id, dst)?;
                 let bytes = self.slice_bytes(&rsrc);
-                // Addresses are generated by SIMT threads: the issue occupies
-                // the issuing role proportionally to the transfer size.
-                let issue = m.simt_issue_cycles + bytes / 512.0;
-                let t0 = self.now + issue;
-                let a = self.cp_unit.reserve(t0, bytes);
-                let b = self.l2.reserve(t0, bytes);
-                let c = self.hbm.reserve(t0, bytes * (1.0 - self.l2_hit));
-                let done = a.max(b).max(c);
-                let copy = self.data.is_some().then_some((rsrc, rdst));
-                let bar = *bar;
-                self.push(
-                    done,
-                    EventKind::TmaDone {
-                        exec: exec_id,
-                        bar: Some(bar),
-                        copy,
-                        is_store: false,
-                    },
-                );
-                self.yield_for(exec_id, issue);
+                self.issue_cp_async_load(exec_id, rsrc, rdst, *bar, bytes);
                 Ok(true)
             }
             Instr::TmaStore { src, dst } => {
                 let rsrc = self.resolve(exec_id, src)?;
                 let rdst = self.resolve(exec_id, dst)?;
                 let bytes = self.slice_bytes(&rsrc);
-                let t0 = self.now + m.tma_latency;
-                let a = self.tma_unit.reserve(t0, bytes);
-                let b = self.l2.reserve(t0, bytes);
-                let c = self.hbm.reserve(t0, bytes);
-                let done = a.max(b).max(c);
-                let copy = self.data.is_some().then_some((rsrc, rdst));
-                self.execs[exec_id].outstanding_stores += 1;
-                self.push(
-                    done,
-                    EventKind::TmaDone {
-                        exec: exec_id,
-                        bar: None,
-                        copy,
-                        is_store: true,
-                    },
-                );
-                self.yield_for(exec_id, m.tma_issue_cycles);
+                self.issue_tma_store(exec_id, rsrc, rdst, bytes);
                 Ok(true)
             }
-            Instr::TmaStoreWait => {
-                if self.execs[exec_id].outstanding_stores == 0 {
-                    self.execs[exec_id].pc += 1;
-                    Ok(false)
-                } else {
-                    self.execs[exec_id].blocked = Some(Blocked::Stores);
-                    Ok(true)
-                }
-            }
-            Instr::MbarArrive { bar } => {
-                let cta = self.execs[exec_id].cta;
-                self.mbar_arrive(cta, *bar);
-                self.yield_for(exec_id, 2.0);
-                Ok(true)
-            }
-            Instr::MbarWait { bar } => {
-                let cta = self.execs[exec_id].cta;
-                let bar = *bar;
-                if self.ctas[cta].mbars[bar].phases > self.execs[exec_id].bar_tokens[bar] {
-                    self.execs[exec_id].bar_tokens[bar] += 1;
-                    self.execs[exec_id].pc += 1;
-                    Ok(false)
-                } else {
-                    self.ctas[cta].mbars[bar].waiters.push(exec_id);
-                    self.execs[exec_id].blocked = Some(Blocked::Mbar(bar));
-                    Ok(true)
-                }
-            }
+            Instr::TmaStoreWait => self.step_tma_store_wait(exec_id),
+            Instr::MbarArrive { bar } => self.step_mbar_arrive(exec_id, *bar),
+            Instr::MbarWait { bar } => self.step_mbar_wait(exec_id, *bar),
             Instr::Wgmma {
                 a,
                 b,
@@ -730,8 +810,6 @@ impl<'k> Engine<'k> {
                 let rb = self.resolve(exec_id, b)?;
                 let racc = self.resolve(exec_id, acc)?;
                 let flops = 2.0 * (ra.rows * ra.cols) as f64 * racc.cols as f64;
-                let t0 = self.now + m.wgmma_latency;
-                let mut done = self.tc_unit.reserve(t0, flops);
                 // Operands stream from shared memory through the Tensor Core.
                 let smem_bytes = self.slice_bytes(&rb)
                     + if ra.mem.space() == Space::Shared {
@@ -739,39 +817,27 @@ impl<'k> Engine<'k> {
                     } else {
                         0.0
                     };
-                done = done.max(self.smem_unit.reserve(t0, smem_bytes));
-                let mma = self
-                    .data
-                    .is_some()
-                    .then_some((ra, rb, racc, *accumulate, *transpose_b));
-                self.execs[exec_id].outstanding_wgmma += 1;
-                self.push(done, EventKind::WgmmaDone { exec: exec_id, mma });
-                self.yield_for(exec_id, m.wgmma_issue_cycles);
+                self.issue_wgmma(
+                    exec_id,
+                    ra,
+                    rb,
+                    racc,
+                    *accumulate,
+                    *transpose_b,
+                    flops,
+                    smem_bytes,
+                );
                 Ok(true)
             }
-            Instr::WgmmaWait { pending } => {
-                if self.execs[exec_id].outstanding_wgmma <= *pending {
-                    self.execs[exec_id].pc += 1;
-                    Ok(false)
-                } else {
-                    self.execs[exec_id].blocked = Some(Blocked::Wgmma(*pending));
-                    Ok(true)
-                }
-            }
+            Instr::WgmmaWait { pending } => self.step_wgmma_wait(exec_id, *pending),
             Instr::Simt(op) => {
                 let mut srcs = Vec::new();
                 for s in op.sources() {
                     srcs.push(self.resolve(exec_id, s)?);
                 }
                 let dst = self.resolve(exec_id, op.dst())?;
-                let dur = self.simt_cost(op, &srcs, &dst);
-                let work = if self.data.is_some() {
-                    Work::Simt { op, srcs, dst }
-                } else {
-                    Work::Advance
-                };
-                self.execs[exec_id].pending = Some(work);
-                self.push(self.now + dur, EventKind::Resume(exec_id));
+                let cost = self.simt_cost_dyn(op, &srcs, &dst);
+                self.issue_simt(exec_id, op, srcs, dst, &cost);
                 Ok(true)
             }
             Instr::NamedBarrier { id, parties } => self.named_barrier(exec_id, *id, *parties),
@@ -779,8 +845,92 @@ impl<'k> Engine<'k> {
                 let parties = self.kernel.roles.len();
                 self.named_barrier(exec_id, SYNCTHREADS_ID, parties)
             }
-            Instr::Loop { .. } | Instr::If { .. } => {
-                unreachable!("control flow is flattened before execution")
+            Instr::Loop { .. } | Instr::If { .. } => Err(SimError::Internal {
+                what: "control flow reached the execute stage unflattened".into(),
+            }),
+        }
+    }
+
+    /// Execute one bytecode operation. Mirrors [`Engine::execute`] — the
+    /// fluid reservations happen in the same order on the same shared
+    /// issue helpers — but quantities come pre-computed from the
+    /// [`Program`], so only slice origins are evaluated per invocation.
+    fn execute_bc(&mut self, exec_id: usize, op: &'k BcOp) -> Result<bool, SimError> {
+        match op {
+            BcOp::TmaLoad {
+                src,
+                dst,
+                bar,
+                bytes,
+            } => {
+                let rsrc = self.resolve_bc(exec_id, src)?;
+                let rdst = self.resolve_bc(exec_id, dst)?;
+                self.issue_tma_load(exec_id, rsrc, rdst, *bar, *bytes);
+                Ok(true)
+            }
+            BcOp::CpAsyncLoad {
+                src,
+                dst,
+                bar,
+                bytes,
+            } => {
+                let rsrc = self.resolve_bc(exec_id, src)?;
+                let rdst = self.resolve_bc(exec_id, dst)?;
+                self.issue_cp_async_load(exec_id, rsrc, rdst, *bar, *bytes);
+                Ok(true)
+            }
+            BcOp::TmaStore { src, dst, bytes } => {
+                let rsrc = self.resolve_bc(exec_id, src)?;
+                let rdst = self.resolve_bc(exec_id, dst)?;
+                self.issue_tma_store(exec_id, rsrc, rdst, *bytes);
+                Ok(true)
+            }
+            BcOp::TmaStoreWait => self.step_tma_store_wait(exec_id),
+            BcOp::MbarArrive { bar } => self.step_mbar_arrive(exec_id, *bar),
+            BcOp::MbarWait { bar } => self.step_mbar_wait(exec_id, *bar),
+            BcOp::Wgmma {
+                a,
+                b,
+                acc,
+                accumulate,
+                transpose_b,
+                flops,
+                smem_bytes,
+            } => {
+                let ra = self.resolve_bc(exec_id, a)?;
+                let rb = self.resolve_bc(exec_id, b)?;
+                let racc = self.resolve_bc(exec_id, acc)?;
+                self.issue_wgmma(
+                    exec_id,
+                    ra,
+                    rb,
+                    racc,
+                    *accumulate,
+                    *transpose_b,
+                    *flops,
+                    *smem_bytes,
+                );
+                Ok(true)
+            }
+            BcOp::WgmmaWait { pending } => self.step_wgmma_wait(exec_id, *pending),
+            BcOp::Simt {
+                op,
+                srcs,
+                dst,
+                cost,
+            } => {
+                let mut rsrcs = Vec::with_capacity(srcs.len());
+                for s in srcs {
+                    rsrcs.push(self.resolve_bc(exec_id, s)?);
+                }
+                let rdst = self.resolve_bc(exec_id, dst)?;
+                self.issue_simt(exec_id, op, rsrcs, rdst, cost);
+                Ok(true)
+            }
+            BcOp::NamedBarrier { id, parties } => self.named_barrier(exec_id, *id, *parties),
+            BcOp::Syncthreads => {
+                let parties = self.kernel.roles.len();
+                self.named_barrier(exec_id, SYNCTHREADS_ID, parties)
             }
         }
     }
@@ -823,17 +973,143 @@ impl<'k> Engine<'k> {
         self.push(self.now + cycles, EventKind::Resume(exec_id));
     }
 
-    fn simt_cost(&mut self, op: &SimtOp, srcs: &[RSlice], dst: &RSlice) -> f64 {
+    /// `TmaLoad`: reserve TMA/L2/HBM for the transfer, arrive `bar` on
+    /// completion, and yield for the issue cost.
+    fn issue_tma_load(
+        &mut self,
+        exec_id: usize,
+        rsrc: RSlice,
+        rdst: RSlice,
+        bar: usize,
+        bytes: f64,
+    ) {
         let m = self.machine;
+        let t0 = self.now + m.tma_latency;
+        let a = self.tma_unit.reserve(t0, bytes);
+        let b = self.l2.reserve(t0, bytes);
+        let c = self.hbm.reserve(t0, bytes * (1.0 - self.l2_hit));
+        let done = a.max(b).max(c);
+        let copy = self.data.is_some().then_some((rsrc, rdst));
+        self.push(
+            done,
+            EventKind::TmaDone {
+                exec: exec_id,
+                bar: Some(bar),
+                copy,
+                is_store: false,
+            },
+        );
+        self.yield_for(exec_id, m.tma_issue_cycles);
+    }
+
+    /// `CpAsyncLoad`: like a TMA load, but addresses are generated by
+    /// SIMT threads — the issue occupies the issuing role proportionally
+    /// to the transfer size.
+    fn issue_cp_async_load(
+        &mut self,
+        exec_id: usize,
+        rsrc: RSlice,
+        rdst: RSlice,
+        bar: usize,
+        bytes: f64,
+    ) {
+        let m = self.machine;
+        let issue = m.simt_issue_cycles + bytes / 512.0;
+        let t0 = self.now + issue;
+        let a = self.cp_unit.reserve(t0, bytes);
+        let b = self.l2.reserve(t0, bytes);
+        let c = self.hbm.reserve(t0, bytes * (1.0 - self.l2_hit));
+        let done = a.max(b).max(c);
+        let copy = self.data.is_some().then_some((rsrc, rdst));
+        self.push(
+            done,
+            EventKind::TmaDone {
+                exec: exec_id,
+                bar: Some(bar),
+                copy,
+                is_store: false,
+            },
+        );
+        self.yield_for(exec_id, issue);
+    }
+
+    /// `TmaStore`: stores write through L2 to HBM at full size.
+    fn issue_tma_store(&mut self, exec_id: usize, rsrc: RSlice, rdst: RSlice, bytes: f64) {
+        let m = self.machine;
+        let t0 = self.now + m.tma_latency;
+        let a = self.tma_unit.reserve(t0, bytes);
+        let b = self.l2.reserve(t0, bytes);
+        let c = self.hbm.reserve(t0, bytes);
+        let done = a.max(b).max(c);
+        let copy = self.data.is_some().then_some((rsrc, rdst));
+        self.execs[exec_id].outstanding_stores += 1;
+        self.push(
+            done,
+            EventKind::TmaDone {
+                exec: exec_id,
+                bar: None,
+                copy,
+                is_store: true,
+            },
+        );
+        self.yield_for(exec_id, m.tma_issue_cycles);
+    }
+
+    /// `Wgmma`: reserve the Tensor Core for `flops` and the
+    /// shared-memory port for the operands that stream from smem.
+    #[allow(clippy::too_many_arguments)]
+    fn issue_wgmma(
+        &mut self,
+        exec_id: usize,
+        ra: RSlice,
+        rb: RSlice,
+        racc: RSlice,
+        accumulate: bool,
+        transpose_b: bool,
+        flops: f64,
+        smem_bytes: f64,
+    ) {
+        let m = self.machine;
+        let t0 = self.now + m.wgmma_latency;
+        let mut done = self.tc_unit.reserve(t0, flops);
+        done = done.max(self.smem_unit.reserve(t0, smem_bytes));
+        let mma = self
+            .data
+            .is_some()
+            .then_some((ra, rb, racc, accumulate, transpose_b));
+        self.execs[exec_id].outstanding_wgmma += 1;
+        self.push(done, EventKind::WgmmaDone { exec: exec_id, mma });
+        self.yield_for(exec_id, m.wgmma_issue_cycles);
+    }
+
+    /// `Simt`: reserve the cost's units now; the data apply is deferred
+    /// to the retire event.
+    fn issue_simt(
+        &mut self,
+        exec_id: usize,
+        op: &'k SimtOp,
+        srcs: Vec<RSlice>,
+        dst: RSlice,
+        cost: &SimtCost,
+    ) {
+        let dur = self.simt_reserve(cost);
+        let work = if self.data.is_some() {
+            Work::Simt { op, srcs, dst }
+        } else {
+            Work::Advance
+        };
+        self.execs[exec_id].pending = Some(work);
+        self.push(self.now + dur, EventKind::Resume(exec_id));
+    }
+
+    /// Derive a SIMT operation's cost factors from its resolved slices
+    /// (walk frontend); the bytecode frontend computes the identical
+    /// value once at lowering time.
+    fn simt_cost_dyn(&self, op: &SimtOp, srcs: &[RSlice], dst: &RSlice) -> SimtCost {
         let elems: f64 = srcs
             .iter()
             .map(|s| (s.rows * s.cols) as f64)
             .fold((dst.rows * dst.cols) as f64, f64::max);
-        let t0 = self.now + m.simt_issue_cycles;
-        let mut done = self.simt_unit.reserve(t0, elems);
-        if op.uses_sfu() {
-            done = done.max(self.sfu_unit.reserve(t0, elems));
-        }
         let mut smem_bytes = 0.0;
         let mut gl_read = 0.0;
         let mut gl_write = 0.0;
@@ -849,17 +1125,81 @@ impl<'k> Engine<'k> {
             Space::Global => gl_write += self.slice_bytes(dst),
             Space::Register => {}
         }
-        if smem_bytes > 0.0 {
-            done = done.max(self.smem_unit.reserve(t0, smem_bytes));
+        SimtCost {
+            elems,
+            sfu: op.uses_sfu(),
+            smem_bytes,
+            gl_read,
+            gl_write,
         }
-        if gl_read + gl_write > 0.0 {
-            done = done.max(self.l2.reserve(t0, gl_read + gl_write));
+    }
+
+    /// Reserve the units a SIMT operation touches and return its
+    /// duration.
+    fn simt_reserve(&mut self, cost: &SimtCost) -> f64 {
+        let m = self.machine;
+        let t0 = self.now + m.simt_issue_cycles;
+        let mut done = self.simt_unit.reserve(t0, cost.elems);
+        if cost.sfu {
+            done = done.max(self.sfu_unit.reserve(t0, cost.elems));
+        }
+        if cost.smem_bytes > 0.0 {
+            done = done.max(self.smem_unit.reserve(t0, cost.smem_bytes));
+        }
+        if cost.gl_read + cost.gl_write > 0.0 {
+            done = done.max(self.l2.reserve(t0, cost.gl_read + cost.gl_write));
             done = done.max(
                 self.hbm
-                    .reserve(t0, gl_read * (1.0 - self.l2_hit) + gl_write),
+                    .reserve(t0, cost.gl_read * (1.0 - self.l2_hit) + cost.gl_write),
             );
         }
         done - self.now
+    }
+
+    /// `TmaStoreWait`: completes inline when no stores are outstanding.
+    fn step_tma_store_wait(&mut self, exec_id: usize) -> Result<bool, SimError> {
+        if self.execs[exec_id].outstanding_stores == 0 {
+            self.execs[exec_id].pc += 1;
+            Ok(false)
+        } else {
+            self.execs[exec_id].blocked = Some(Blocked::Stores);
+            Ok(true)
+        }
+    }
+
+    /// `MbarArrive`: signal the barrier, then yield the small issue cost.
+    fn step_mbar_arrive(&mut self, exec_id: usize, bar: usize) -> Result<bool, SimError> {
+        let cta = self.execs[exec_id].cta;
+        self.mbar_arrive(cta, bar);
+        self.yield_for(exec_id, 2.0);
+        Ok(true)
+    }
+
+    /// `MbarWait`: consumes a ready phase inline, else parks the
+    /// executor on the barrier's waiter list.
+    fn step_mbar_wait(&mut self, exec_id: usize, bar: usize) -> Result<bool, SimError> {
+        let cta = self.execs[exec_id].cta;
+        if self.ctas[cta].mbars[bar].phases > self.execs[exec_id].bar_tokens[bar] {
+            self.execs[exec_id].bar_tokens[bar] += 1;
+            self.execs[exec_id].pc += 1;
+            Ok(false)
+        } else {
+            self.ctas[cta].mbars[bar].waiters.push(exec_id);
+            self.execs[exec_id].blocked = Some(Blocked::Mbar(bar));
+            Ok(true)
+        }
+    }
+
+    /// `WgmmaWait`: completes inline once outstanding MMAs have drained
+    /// to the allowed depth.
+    fn step_wgmma_wait(&mut self, exec_id: usize, pending: usize) -> Result<bool, SimError> {
+        if self.execs[exec_id].outstanding_wgmma <= pending {
+            self.execs[exec_id].pc += 1;
+            Ok(false)
+        } else {
+            self.execs[exec_id].blocked = Some(Blocked::Wgmma(pending));
+            Ok(true)
+        }
     }
 
     fn slice_bytes(&self, s: &RSlice) -> f64 {
@@ -907,11 +1247,56 @@ impl<'k> Engine<'k> {
                 (f.rows, f.cols, 1)
             }
         };
-        if r.stage >= stages || r.row0 + r.rows > prows || r.col0 + r.cols > pcols {
+        if r.stage >= stages
+            || r.row0.checked_add(r.rows).is_none_or(|end| end > prows)
+            || r.col0.checked_add(r.cols).is_none_or(|end| end > pcols)
+        {
             return Err(SimError::OutOfBounds {
                 what: format!(
                     "slice of {:?}: stage {} origin ({},{}) extent ({}x{}) exceeds ({}x{} stages {})",
                     s.mem, r.stage, r.row0, r.col0, r.rows, r.cols, prows, pcols, stages
+                ),
+            });
+        }
+        Ok(r)
+    }
+
+    /// Resolve a lowered slice: run its index prelude, read the origin
+    /// scalars, and bounds-check against the extents baked in at
+    /// lowering time. Error messages match [`Engine::resolve`] exactly.
+    fn resolve_bc(&mut self, exec_id: usize, s: &BcSlice) -> Result<RSlice, SimError> {
+        bytecode::run_pre(&mut self.idx_regs, &self.execs[exec_id].env, &s.pre)
+            .map_err(|e| self.eval_err(exec_id, e))?;
+        let stage = bytecode::read_scalar(&self.idx_regs, &self.execs[exec_id].env, s.stage)
+            .map_err(|e| self.eval_err(exec_id, e))?;
+        let row0 = bytecode::read_scalar(&self.idx_regs, &self.execs[exec_id].env, s.row0)
+            .map_err(|e| self.eval_err(exec_id, e))?;
+        let col0 = bytecode::read_scalar(&self.idx_regs, &self.execs[exec_id].env, s.col0)
+            .map_err(|e| self.eval_err(exec_id, e))?;
+        if stage < 0 || row0 < 0 || col0 < 0 {
+            return Err(SimError::OutOfBounds {
+                what: format!(
+                    "negative slice origin ({stage},{row0},{col0}) of {:?}",
+                    s.mem
+                ),
+            });
+        }
+        let r = RSlice {
+            mem: s.mem,
+            stage: stage as usize,
+            row0: row0 as usize,
+            col0: col0 as usize,
+            rows: s.rows,
+            cols: s.cols,
+        };
+        if r.stage >= s.stages
+            || r.row0.checked_add(r.rows).is_none_or(|end| end > s.prows)
+            || r.col0.checked_add(r.cols).is_none_or(|end| end > s.pcols)
+        {
+            return Err(SimError::OutOfBounds {
+                what: format!(
+                    "slice of {:?}: stage {} origin ({},{}) extent ({}x{}) exceeds ({}x{} stages {})",
+                    s.mem, r.stage, r.row0, r.col0, r.rows, r.cols, s.prows, s.pcols, s.stages
                 ),
             });
         }

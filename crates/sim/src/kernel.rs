@@ -81,10 +81,14 @@ impl Kernel {
         self.grid[0] * self.grid[1] * self.grid[2]
     }
 
-    /// Shared-memory bytes used by one CTA.
+    /// Shared-memory bytes used by one CTA. Saturates on overflow so the
+    /// budget check in [`Kernel::validate`] fires instead of wrapping.
     #[must_use]
     pub fn smem_bytes(&self) -> usize {
-        self.smem.iter().map(SmemDecl::size_bytes).sum()
+        self.smem
+            .iter()
+            .map(SmemDecl::size_bytes)
+            .fold(0usize, usize::saturating_add)
     }
 
     /// Number of compute warpgroups.
@@ -110,12 +114,10 @@ impl Kernel {
     pub fn regs_per_thread(&self) -> usize {
         // Base cost covers addresses, indices and operand staging.
         const BASE_REGS: usize = 40;
-        BASE_REGS
-            + self
-                .frags
-                .iter()
-                .map(FragDecl::regs_per_thread)
-                .sum::<usize>()
+        self.frags
+            .iter()
+            .map(FragDecl::regs_per_thread)
+            .fold(BASE_REGS, usize::saturating_add)
     }
 
     /// Warps per CTA (4 per compute warpgroup, 1 for a DMA warp).
@@ -259,7 +261,9 @@ impl Kernel {
     }
 
     fn check_same_extent(&self, a: &Slice, b: &Slice) -> Result<(), KernelError> {
-        if a.rows * a.cols != b.rows * b.cols {
+        // Widen to u128 so two extents that wrap to the same usize in a
+        // release build still compare unequal.
+        if (a.rows as u128) * (a.cols as u128) != (b.rows as u128) * (b.cols as u128) {
             return Err(KernelError::CopyExtentMismatch {
                 src: (a.rows, a.cols),
                 dst: (b.rows, b.cols),
@@ -541,6 +545,26 @@ mod tests {
             rows: 128,
             cols: 512,
         };
+        assert!(matches!(
+            k.validate(&MachineConfig::test_gpu()),
+            Err(KernelError::RegistersExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn arithmetic_overflow_in_declarations_still_rejected() {
+        // Footprints that overflow usize saturate instead of wrapping, so
+        // the budget checks reject them with the same typed errors.
+        let mut k = minimal_kernel();
+        k.smem[0].rows = usize::MAX / 2;
+        k.smem[0].cols = 3;
+        assert!(matches!(
+            k.validate(&MachineConfig::test_gpu()),
+            Err(KernelError::SharedMemoryExceeded { .. })
+        ));
+        let mut k = minimal_kernel();
+        k.frags[0].rows = usize::MAX / 2;
+        k.frags[0].cols = 4;
         assert!(matches!(
             k.validate(&MachineConfig::test_gpu()),
             Err(KernelError::RegistersExceeded { .. })

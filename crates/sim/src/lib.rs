@@ -62,6 +62,7 @@
 
 pub(crate) mod apply;
 pub mod builder;
+pub mod bytecode;
 pub mod concurrent;
 pub mod engine;
 pub mod error;
@@ -75,6 +76,7 @@ pub mod par;
 pub mod report;
 
 pub use builder::KernelBuilder;
+pub use bytecode::Program;
 pub use concurrent::{Completion, ConcurrentEngine, ConcurrentReport, KernelProfile, KernelSlot};
 pub use error::SimError;
 pub use expr::{Cond, Env, Expr};
@@ -161,7 +163,53 @@ impl Simulator {
         kernel: &Kernel,
         params: Vec<Tensor>,
     ) -> Result<FunctionalRun, SimError> {
-        let engine = Engine::new(kernel, &self.machine, Mode::Functional, Some(params))?;
+        let program = bytecode::lower(kernel)?;
+        self.run_functional_lowered(kernel, &program, params)
+    }
+
+    /// [`Simulator::run_functional`] with a pre-lowered bytecode
+    /// [`Program`] (see [`bytecode::lower`]). The runtime lowers once per
+    /// compiled kernel and replays the program on every launch, skipping
+    /// the per-invocation IR walk; schedules and tensors are bit-identical
+    /// to the walk.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Simulator::run_functional`]; additionally
+    /// rejects a `program` lowered from a different kernel with
+    /// [`SimError::Internal`].
+    pub fn run_functional_lowered(
+        &self,
+        kernel: &Kernel,
+        program: &bytecode::Program,
+        params: Vec<Tensor>,
+    ) -> Result<FunctionalRun, SimError> {
+        let engine = Engine::new(
+            kernel,
+            &self.machine,
+            Mode::Functional,
+            Some(params),
+            Some(program),
+        )?;
+        Self::finish_functional(engine.run()?)
+    }
+
+    /// [`Simulator::run_functional`] through the per-invocation IR tree
+    /// walk (no bytecode), with the fast resolved-view data path. Kept as
+    /// the middle leg of the three-way differential suites and for the
+    /// benchmark harness's walk-vs-bytecode rows. Only available with the
+    /// `scalar-oracle` feature.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Simulator::run_functional`].
+    #[cfg(feature = "scalar-oracle")]
+    pub fn run_functional_walk(
+        &self,
+        kernel: &Kernel,
+        params: Vec<Tensor>,
+    ) -> Result<FunctionalRun, SimError> {
+        let engine = Engine::new(kernel, &self.machine, Mode::Functional, Some(params), None)?;
         Self::finish_functional(engine.run()?)
     }
 
@@ -180,7 +228,7 @@ impl Simulator {
         kernel: &Kernel,
         params: Vec<Tensor>,
     ) -> Result<FunctionalRun, SimError> {
-        let mut engine = Engine::new(kernel, &self.machine, Mode::Functional, Some(params))?;
+        let mut engine = Engine::new(kernel, &self.machine, Mode::Functional, Some(params), None)?;
         engine.set_scalar();
         Self::finish_functional(engine.run()?)
     }
@@ -206,7 +254,25 @@ impl Simulator {
     /// Returns [`SimError`] on validation failure, deadlock, or
     /// event-budget exhaustion.
     pub fn run_timing(&self, kernel: &Kernel) -> Result<TimingReport, SimError> {
-        let engine = Engine::new(kernel, &self.machine, Mode::Timing, None)?;
+        let program = bytecode::lower(kernel)?;
+        self.run_timing_lowered(kernel, &program)
+    }
+
+    /// [`Simulator::run_timing`] with a pre-lowered bytecode [`Program`]
+    /// (see [`bytecode::lower`]); the discrete-event schedule is
+    /// bit-identical to the walk's.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Simulator::run_timing`]; additionally rejects a
+    /// `program` lowered from a different kernel with
+    /// [`SimError::Internal`].
+    pub fn run_timing_lowered(
+        &self,
+        kernel: &Kernel,
+        program: &bytecode::Program,
+    ) -> Result<TimingReport, SimError> {
+        let engine = Engine::new(kernel, &self.machine, Mode::Timing, None, Some(program))?;
         let (report, _, _) = engine.run()?;
         Ok(report)
     }

@@ -30,10 +30,14 @@ pub struct ParamDecl {
 }
 
 impl ParamDecl {
-    /// Bytes occupied in global memory.
+    /// Bytes occupied in global memory. Saturates on overflow so a
+    /// hostile declaration reads as "too big" at validation instead of
+    /// wrapping to a small number in release builds.
     #[must_use]
     pub fn size_bytes(&self) -> usize {
-        self.rows * self.cols * self.dtype.size_bytes()
+        self.rows
+            .saturating_mul(self.cols)
+            .saturating_mul(self.dtype.size_bytes())
     }
 }
 
@@ -55,10 +59,15 @@ pub struct SmemDecl {
 }
 
 impl SmemDecl {
-    /// Total bytes across all stages.
+    /// Total bytes across all stages. Saturates on overflow so a
+    /// hostile declaration fails the shared-memory budget check instead
+    /// of wrapping past it in release builds.
     #[must_use]
     pub fn size_bytes(&self) -> usize {
-        self.rows * self.cols * self.dtype.size_bytes() * self.stages
+        self.rows
+            .saturating_mul(self.cols)
+            .saturating_mul(self.dtype.size_bytes())
+            .saturating_mul(self.stages)
     }
 }
 
@@ -75,9 +84,11 @@ pub struct FragDecl {
 
 impl FragDecl {
     /// 32-bit registers required per thread of the owning warpgroup.
+    /// Saturates on overflow so oversized fragments fail the register
+    /// budget check instead of wrapping under it in release builds.
     #[must_use]
     pub fn regs_per_thread(&self) -> usize {
-        (self.rows * self.cols).div_ceil(128)
+        self.rows.saturating_mul(self.cols).div_ceil(128)
     }
 }
 
@@ -250,6 +261,34 @@ mod tests {
             cols: 1,
         };
         assert_eq!(tiny.regs_per_thread(), 1);
+    }
+
+    #[test]
+    fn overflow_sized_declarations_saturate_instead_of_wrapping() {
+        // rows * cols overflows usize; the sizes must clamp to usize::MAX so
+        // budget checks in `Kernel::validate` reject rather than accept a
+        // wrapped-around small number.
+        let p = ParamDecl {
+            name: "huge".into(),
+            rows: usize::MAX / 2,
+            cols: 3,
+            dtype: DType::F32,
+        };
+        assert_eq!(p.size_bytes(), usize::MAX);
+        let s = SmemDecl {
+            name: "huge".into(),
+            rows: usize::MAX / 2,
+            cols: 3,
+            dtype: DType::F16,
+            stages: 2,
+        };
+        assert_eq!(s.size_bytes(), usize::MAX);
+        let f = FragDecl {
+            name: "huge".into(),
+            rows: usize::MAX / 2,
+            cols: 4,
+        };
+        assert_eq!(f.regs_per_thread(), usize::MAX.div_ceil(128));
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! Three-way bitwise differential over randomized kernels: the retained
+//! scalar reference interpreter, the fast resolved-view apply path driven
+//! by the IR tree walk, and the flat bytecode VM (the default path) must
+//! produce bit-identical tensors *and* bit-identical simulated cycles on
+//! the same kernel — across random shapes, dtypes, sub-slices, pipeline
+//! depths, and SIMT op mixes.
+//!
+//! Requires the `scalar-oracle` feature (the CI job
+//! `cargo test -p cypress-sim --features scalar-oracle` runs it; the
+//! workspace build enables the feature through the facade crate's
+//! dev-dependencies).
+#![cfg(feature = "scalar-oracle")]
+
+use cypress_sim::{
+    bytecode, BinOp, Cond, Expr, Instr, KernelBuilder, MachineConfig, RedOp, RoleKind, SimtOp,
+    Simulator, Slice, UnOp,
+};
+use cypress_tensor::{DType, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DTYPES: [DType; 3] = [DType::F16, DType::BF16, DType::F32];
+
+/// Build a random single-role kernel: a pipelined TMA load loop feeding a
+/// random SIMT op mix (map/zip/row-reduce/row-broadcast over random
+/// sub-slices of shared memory and fragments), a data-dependent `If`, and
+/// a final copy-out into a per-block band of the output parameter.
+fn random_kernel_and_params(seed: u64) -> (cypress_sim::Kernel, Vec<Tensor>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows = rng.gen_range(1usize..13);
+    let cols = rng.gen_range(1usize..13);
+    let trips = rng.gen_range(1i64..5);
+    let pipe = rng.gen_range(1usize..4);
+    let gx = rng.gen_range(1usize..3);
+    let dt_in = DTYPES[rng.gen_range(0usize..3)];
+    let dt_out = DTYPES[rng.gen_range(0usize..3)];
+
+    let mut b = KernelBuilder::new("differential", [gx, 1, 1]);
+    let src_rows = rows * trips as usize;
+    let pa = b.param("A", src_rows, cols, dt_in);
+    let po = b.param("O", rows * gx, cols, dt_out);
+    let s = b.smem("S", rows, cols, dt_in, pipe);
+    let f = b.frag("F", rows, cols);
+    let r = b.frag("R", rows, 1);
+    let bar = b.mbar(1);
+    let v = b.fresh_var();
+
+    // Random sub-slice of the fragment: both the op and its operands see
+    // an interior window, exercising resolved-view row striding.
+    let sub_rows = rng.gen_range(1usize..rows + 1);
+    let sub_cols = rng.gen_range(1usize..cols + 1);
+    let row0 = rng.gen_range(0usize..rows - sub_rows + 1);
+    let col0 = rng.gen_range(0usize..cols - sub_cols + 1);
+    let fsub = || {
+        Slice::frag(f)
+            .at(row0 as i64, col0 as i64)
+            .extent(sub_rows, sub_cols)
+    };
+    let rsub = || Slice::frag(r).at(row0 as i64, 0).extent(sub_rows, 1);
+    let stage = |vv: usize, p: usize| {
+        Slice::smem(s)
+            .stage(Expr::var(vv) % p as i64)
+            .at(row0 as i64, col0 as i64)
+            .extent(sub_rows, sub_cols)
+    };
+
+    let mut body = vec![
+        Instr::TmaLoad {
+            src: Slice::param(pa)
+                .at(Expr::var(v) * rows as i64, 0)
+                .extent(rows, cols),
+            dst: Slice::smem(s)
+                .stage(Expr::var(v) % pipe as i64)
+                .extent(rows, cols),
+            bar,
+        },
+        Instr::MbarWait { bar },
+        Instr::Simt(SimtOp::Copy {
+            src: Slice::smem(s)
+                .stage(Expr::var(v) % pipe as i64)
+                .extent(rows, cols),
+            dst: Slice::frag(f).extent(rows, cols),
+        }),
+    ];
+    for _ in 0..rng.gen_range(1usize..4) {
+        let op = match rng.gen_range(0usize..5) {
+            0 => SimtOp::Map {
+                op: [UnOp::Exp, UnOp::Neg, UnOp::Scale(0.5), UnOp::Recip][rng.gen_range(0usize..4)],
+                src: fsub(),
+                dst: fsub(),
+            },
+            1 => SimtOp::Zip {
+                op: [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Max][rng.gen_range(0usize..4)],
+                a: fsub(),
+                b: stage(v, pipe),
+                dst: fsub(),
+            },
+            2 => SimtOp::RowReduce {
+                op: [RedOp::Sum, RedOp::Max][rng.gen_range(0usize..2)],
+                src: fsub(),
+                dst: rsub(),
+                include_dst: rng.gen_bool(0.5),
+            },
+            3 => SimtOp::RowZip {
+                op: [BinOp::Add, BinOp::Max][rng.gen_range(0usize..2)],
+                src: fsub(),
+                row: rsub(),
+                dst: fsub(),
+            },
+            _ => SimtOp::Fill {
+                dst: rsub(),
+                value: rng.gen_range(-2.0f32..2.0),
+            },
+        };
+        // Half the ops run under a loop-variant branch so the bytecode
+        // Branch/Jump encoding is exercised, not just straight-line code.
+        if rng.gen_bool(0.5) {
+            body.push(Instr::If {
+                cond: Cond::Ge(Expr::var(v), Expr::lit(trips / 2)),
+                then_: vec![Instr::Simt(op)],
+                else_: vec![],
+            });
+        } else {
+            body.push(Instr::Simt(op));
+        }
+    }
+
+    b.role(
+        RoleKind::Compute(0),
+        vec![
+            Instr::Simt(SimtOp::Fill {
+                dst: Slice::frag(r).extent(rows, 1),
+                value: 0.0,
+            }),
+            Instr::Loop {
+                var: v,
+                count: Expr::lit(trips),
+                body,
+            },
+            Instr::Simt(SimtOp::Copy {
+                src: Slice::frag(f).extent(rows, cols),
+                dst: Slice::param(po)
+                    .at(Expr::block_x() * rows as i64, 0)
+                    .extent(rows, cols),
+            }),
+        ],
+    );
+    let kernel = b.build();
+
+    let a = Tensor::random(dt_in, &[src_rows, cols], &mut rng, -1.0, 1.0);
+    let o = Tensor::zeros(dt_out, &[rows * gx, cols]);
+    (kernel, vec![a, o])
+}
+
+/// Run a kernel through all three functional paths and assert the
+/// tensors and the simulated cycle count are bit-identical.
+fn assert_three_way(kernel: &cypress_sim::Kernel, params: Vec<Tensor>) {
+    let sim = Simulator::new(MachineConfig::test_gpu());
+    let byte = sim.run_functional(kernel, params.clone()).unwrap();
+    let walk = sim.run_functional_walk(kernel, params.clone()).unwrap();
+    let scalar = sim.run_functional_scalar(kernel, params.clone()).unwrap();
+    // The pre-lowered artifact path (what the runtime's kernel cache
+    // replays) must match the internal lowering exactly.
+    let program = bytecode::lower(kernel).unwrap();
+    let cached = sim
+        .run_functional_lowered(kernel, &program, params)
+        .unwrap();
+
+    for (which, other) in [("walk", &walk), ("scalar", &scalar), ("cached", &cached)] {
+        assert_eq!(
+            byte.report.cycles.to_bits(),
+            other.report.cycles.to_bits(),
+            "bytecode vs {which}: cycles diverge"
+        );
+        for (p, (x, y)) in byte.params.iter().zip(&other.params).enumerate() {
+            assert_eq!(x.shape(), y.shape(), "bytecode vs {which}: param {p} shape");
+            for (i, (a, b)) in x.data().iter().zip(y.data()).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "bytecode vs {which}: param {p} elem {i}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Scalar oracle, fast tree walk, and bytecode VM agree bitwise on
+    /// random kernels over random shapes, dtypes, and sub-slices.
+    #[test]
+    fn three_paths_agree_bitwise_on_random_kernels(seed in 0u64..1_000_000) {
+        let (kernel, params) = random_kernel_and_params(seed);
+        assert_three_way(&kernel, params);
+    }
+}

@@ -5,7 +5,12 @@
 
 use cypress::baselines::hand::{gemm_kernel, GemmSchedule};
 use cypress::core::compile::{CompilerOptions, CypressCompiler};
-use cypress::core::kernels::{attention, gemm};
+use cypress::core::front::mapping::MappingSpec;
+use cypress::core::front::task::TaskRegistry;
+use cypress::core::kernels::{
+    attention, batched, chain, dual_gemm, gemm, gemm_reduction, reduction,
+};
+use cypress::core::passes::depan::EntryArg;
 use cypress::sim::{MachineConfig, Simulator};
 use cypress::tensor::{DType, Tensor};
 use rand::rngs::StdRng;
@@ -110,6 +115,114 @@ fn fast_functional_path_matches_scalar_oracle_on_compiled_kernels() {
     {
         assert_eq!(a.to_bits(), b.to_bits(), "attention out elem {i}");
     }
+}
+
+/// Build every entry parameter from its [`EntryArg`] descriptor: random
+/// data in the declared dtype/shape, seeded per kernel so the three
+/// paths see identical bits.
+fn random_params(args: &[EntryArg], rng: &mut StdRng) -> Vec<Tensor> {
+    args.iter()
+        .map(|a| Tensor::random(a.dtype, &[a.rows, a.cols], rng, -1.0, 1.0))
+        .collect()
+}
+
+/// Compile and run one kernel through all three functional paths —
+/// scalar reference interpreter, fast-apply tree walk, bytecode VM —
+/// and require bit-identical tensors and cycles.
+fn assert_three_way(
+    name: &str,
+    built: (TaskRegistry, MappingSpec, Vec<EntryArg>),
+    machine: &MachineConfig,
+    seed: u64,
+) {
+    let (reg, mapping, args) = built;
+    let compiler = CypressCompiler::new(CompilerOptions {
+        machine: machine.clone(),
+        ..Default::default()
+    });
+    let compiled = compiler.compile(&reg, &mapping, name, &args).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let params = random_params(&args, &mut rng);
+
+    let sim = Simulator::new(machine.clone());
+    let byte = sim
+        .run_functional(&compiled.kernel, params.clone())
+        .unwrap();
+    let walk = sim
+        .run_functional_walk(&compiled.kernel, params.clone())
+        .unwrap();
+    let scalar = sim
+        .run_functional_scalar(&compiled.kernel, params.clone())
+        .unwrap();
+    // The compiler's own cached lowering (what the runtime replays on
+    // every launch) must agree with the internal lowering too.
+    let cached = sim
+        .run_functional_lowered(&compiled.kernel, &compiled.lowered, params)
+        .unwrap();
+
+    for (which, other) in [("walk", &walk), ("scalar", &scalar), ("cached", &cached)] {
+        assert_eq!(
+            byte.report.cycles.to_bits(),
+            other.report.cycles.to_bits(),
+            "{name}: bytecode vs {which} cycles diverge"
+        );
+        for (p, (x, y)) in byte.params.iter().zip(&other.params).enumerate() {
+            assert_eq!(x.shape(), y.shape());
+            for (i, (a, b)) in x.data().iter().zip(y.data()).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{name}: bytecode vs {which}, param {p} elem {i}"
+                );
+            }
+        }
+    }
+}
+
+/// Scalar oracle, fast-apply tree walk, and bytecode VM agree bitwise on
+/// all five paper kernels plus the fused chained-GEMM and
+/// GEMM+Reduction kernels.
+#[test]
+fn three_paths_agree_bitwise_on_paper_kernels() {
+    let machine = MachineConfig::test_gpu();
+    let (m, n, k) = (128, 64, 96);
+    assert_three_way("gemm", gemm::build(m, n, k, &machine).unwrap(), &machine, 1);
+    assert_three_way(
+        "dual",
+        dual_gemm::build(64, 64, 64, &machine).unwrap(),
+        &machine,
+        2,
+    );
+    assert_three_way(
+        "batched",
+        batched::build(2, 64, 64, 64, &machine).unwrap(),
+        &machine,
+        3,
+    );
+    assert_three_way(
+        "reduce",
+        reduction::build(128, 96, &machine).unwrap(),
+        &machine,
+        4,
+    );
+    assert_three_way(
+        "fa",
+        attention::build(attention::Algorithm::Fa2, 2, 128, 64, &machine).unwrap(),
+        &machine,
+        5,
+    );
+    assert_three_way(
+        "chain",
+        chain::build(64, 64, 64, 64, &machine).unwrap(),
+        &machine,
+        6,
+    );
+    assert_three_way(
+        "gr",
+        gemm_reduction::build(64, 64, 64, &machine).unwrap(),
+        &machine,
+        7,
+    );
 }
 
 #[test]
