@@ -20,9 +20,22 @@ use cypress_sim::{Kernel, MachineConfig, Simulator};
 
 /// Pick the fastest kernel among `candidates` by timing simulation —
 /// the stand-in for a vendor library's autotuner.
+///
+/// Constructs one [`Simulator`] for the whole sweep; callers timing
+/// many shapes should build the simulator once themselves and use
+/// [`autotune_with`].
 #[must_use]
 pub fn autotune(machine: &MachineConfig, candidates: Vec<Kernel>) -> Kernel {
-    let sim = Simulator::new(machine.clone());
+    autotune_with(&Simulator::new(machine.clone()), candidates)
+}
+
+/// [`autotune`] over a caller-owned [`Simulator`]: every candidate is
+/// timed through the same simulator instance, so a sweep over many
+/// shapes (or a bench loop) pays for simulator setup exactly once.
+/// Ties in simulated cycles keep the earliest candidate, making the
+/// winner deterministic in candidate order.
+#[must_use]
+pub fn autotune_with(sim: &Simulator, candidates: Vec<Kernel>) -> Kernel {
     candidates
         .into_iter()
         .filter_map(|k| {
@@ -37,11 +50,19 @@ pub fn autotune(machine: &MachineConfig, candidates: Vec<Kernel>) -> Kernel {
 /// cuBLAS-class GEMM baselines.
 pub mod cublas {
     use super::hand::{gemm_kernel, GemmSchedule};
-    use cypress_sim::{Kernel, MachineConfig};
+    use cypress_sim::{Kernel, MachineConfig, Simulator};
 
     /// Autotuned FP16 GEMM.
     #[must_use]
     pub fn gemm(m: usize, n: usize, k: usize, machine: &MachineConfig) -> Kernel {
+        gemm_with(m, n, k, &Simulator::new(machine.clone()))
+    }
+
+    /// [`gemm`] timed through a caller-owned simulator — a loop over
+    /// many GEMM shapes shares one [`Simulator`] across all its
+    /// autotuning sweeps.
+    #[must_use]
+    pub fn gemm_with(m: usize, n: usize, k: usize, sim: &Simulator) -> Kernel {
         let mut cands = Vec::new();
         for (tm, tn, wgs) in [
             (128, 256, 2),
@@ -61,7 +82,7 @@ pub mod cublas {
             };
             cands.push(gemm_kernel("cublas_gemm", 1, m, n, k, s));
         }
-        super::autotune(machine, cands)
+        super::autotune_with(sim, cands)
     }
 
     /// Batched GEMM (fixed heuristic tile — the library covers many batch
@@ -184,11 +205,19 @@ pub mod fa3 {
 /// cuDNN-class fused attention (autotuned expert kernel).
 pub mod cudnn {
     use super::hand::{attention_kernel, AttentionSchedule};
-    use cypress_sim::{Kernel, MachineConfig};
+    use cypress_sim::{Kernel, MachineConfig, Simulator};
 
     /// Autotuned fused attention.
     #[must_use]
     pub fn attention(heads: usize, seq: usize, d: usize, machine: &MachineConfig) -> Kernel {
+        attention_with(heads, seq, d, &Simulator::new(machine.clone()))
+    }
+
+    /// [`attention`] timed through a caller-owned simulator — shares
+    /// one [`Simulator`] across a sweep of attention shapes.
+    #[must_use]
+    pub fn attention_with(heads: usize, seq: usize, d: usize, sim: &Simulator) -> Kernel {
+        let machine = sim.machine();
         let mut cands = Vec::new();
         for (bc, pingpong) in [(64, true), (128, true), (128, false)] {
             if !seq.is_multiple_of(2 * bc) {
@@ -212,6 +241,6 @@ pub mod cudnn {
                 s,
             ));
         }
-        super::autotune(machine, cands)
+        super::autotune_with(sim, cands)
     }
 }

@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use cypress_core::kernels::gemm;
 use cypress_core::kernels::space::Shape;
-use cypress_runtime::{MappingPolicy, Program, Session};
+use cypress_runtime::{MappingPolicy, Program, Session, TunerBudget};
 use cypress_sim::MachineConfig;
 use std::sync::Arc;
 
@@ -50,9 +50,24 @@ fn bench(c: &mut Criterion) {
         })
     });
 
-    // Warm: the tuning table answers without touching the compiler.
     let mut warm = Session::new(machine.clone()).with_mapping_policy(MappingPolicy::Autotune);
     let tuned = warm.autotune(&program).expect("space candidates compile");
+
+    // Cold, guided: the analytical cost model ranks the space first and
+    // only the predicted top half is compiled and timed
+    // (`TunerBudget::TopK`; the winner stays within 5% of exhaustive —
+    // gated in `check_figures`).
+    let top_k = (tuned.candidates / 2).max(1);
+    g.bench_function(format!("gemm_512_cold_sweep_guided_top{top_k}"), |b| {
+        b.iter(|| {
+            let mut session = Session::new(machine.clone()).with_parallelism(1);
+            session
+                .autotune_with(&program, TunerBudget::TopK(top_k))
+                .expect("guided candidates compile")
+        })
+    });
+
+    // Warm: the tuning table answers without touching the compiler.
     g.bench_function("gemm_512_table_hit", |b| {
         b.iter(|| warm.autotune(&program).expect("served from the table"))
     });

@@ -21,7 +21,7 @@ const EXPECTED: [(&str, usize); 9] = [
     ("14_attention", 24),      // 4 seqs x 6 systems
     ("graph_overlap", 6),      // 3 sizes x {serial, 8 streams}
     ("fig_fusion", 12),        // 3 sizes x 2 workloads x {unfused, fused}
-    ("fig_autotune", 20),      // 5 paper kernels x 2 sizes x {hand, tuned}
+    ("fig_autotune", 50),      // 5 paper kernels x 2 sizes x {hand, tuned, guided, 2 timed counts}
     ("fig_functional", 7), // {GEMM, attention, fan-out graph} x {fast/parallel, scalar/serial} + GEMM bytecode
 ];
 
@@ -50,6 +50,11 @@ const FUNCTIONAL_GATES: [(&str, &str, f64); 4] = [
 
 /// The fused workloads of the fusion figure.
 const FUSION_WORKLOADS: [&str; 2] = ["Chained GEMM", "GEMM+Reduction pair"];
+
+/// Minimum `guided / autotuned` throughput ratio of the autotune
+/// figure: the cost-model-guided sweep times only the predicted top
+/// half, so its winner may trail the exhaustive winner by at most 5%.
+const GUIDED_QUALITY_FLOOR: f64 = 0.95;
 
 /// The five paper kernels of the autotune figure.
 const AUTOTUNE_KERNELS: [&str; 5] = [
@@ -115,6 +120,24 @@ fn check_autotune(json: &str) -> Result<(), String> {
                      ({tuned:.3} vs hand-tuned {hand:.3} TFLOP/s) — the tuner must never \
                      lose, the hand-tuned mapping is one of its candidates",
                     tuned / hand
+                ));
+            }
+            let guided = find("guided")?;
+            if guided < GUIDED_QUALITY_FLOOR * tuned {
+                return Err(format!(
+                    "fig_autotune: `{kernel}` at size {size} has guided_quality {:.4} < \
+                     {GUIDED_QUALITY_FLOOR} ({guided:.3} vs autotuned {tuned:.3} TFLOP/s) — \
+                     the cost model's top half no longer contains a near-best candidate",
+                    guided / tuned
+                ));
+            }
+            let timed_guided = find("candidates timed (guided)")?;
+            let timed_exhaustive = find("candidates timed (exhaustive)")?;
+            if timed_guided >= timed_exhaustive {
+                return Err(format!(
+                    "fig_autotune: `{kernel}` at size {size} timed {timed_guided:.0} candidates \
+                     under the guided budget but {timed_exhaustive:.0} exhaustively — the guided \
+                     sweep must simulate strictly fewer candidates"
                 ));
             }
         }
@@ -292,18 +315,20 @@ mod tests {
             if figure == "fig_autotune" {
                 for size in [512, 4096] {
                     for kernel in AUTOTUNE_KERNELS {
-                        rows.push(row_with_system(
-                            figure,
-                            &format!("{kernel} hand-tuned"),
-                            size,
-                            "100.0",
-                        ));
-                        rows.push(row_with_system(
-                            figure,
-                            &format!("{kernel} autotuned"),
-                            size,
-                            "110.0",
-                        ));
+                        for (suffix, tflops) in [
+                            ("hand-tuned", "100.0"),
+                            ("autotuned", "110.0"),
+                            ("guided", "110.0"),
+                            ("candidates timed (guided)", "6.0"),
+                            ("candidates timed (exhaustive)", "12.0"),
+                        ] {
+                            rows.push(row_with_system(
+                                figure,
+                                &format!("{kernel} {suffix}"),
+                                size,
+                                tflops,
+                            ));
+                        }
                     }
                 }
             } else if figure == "fig_fusion" {
@@ -352,7 +377,43 @@ mod tests {
 
     #[test]
     fn complete_file_passes() {
-        assert_eq!(check(&full_file(&[])), Ok(99));
+        assert_eq!(check(&full_file(&[])), Ok(129));
+    }
+
+    #[test]
+    fn guided_quality_below_floor_fails() {
+        // 0.90x of the exhaustive winner: below the 0.95 gate.
+        let json = full_file(&[]).replacen(
+            "\"system\": \"gemm guided\", \"size\": 4096, \"tflops\": 110.0",
+            "\"system\": \"gemm guided\", \"size\": 4096, \"tflops\": 99.0",
+            1,
+        );
+        let err = check(&json).unwrap_err();
+        assert!(err.contains("guided_quality"), "{err}");
+        assert!(err.contains("`gemm`"), "{err}");
+    }
+
+    #[test]
+    fn guided_quality_at_floor_passes() {
+        let json = full_file(&[]).replacen(
+            "\"system\": \"gemm guided\", \"size\": 4096, \"tflops\": 110.0",
+            "\"system\": \"gemm guided\", \"size\": 4096, \"tflops\": 104.5",
+            1,
+        );
+        assert!(check(&json).is_ok());
+    }
+
+    #[test]
+    fn guided_timing_as_many_candidates_fails() {
+        // Equal counts mean the guided sweep saved nothing.
+        let json = full_file(&[]).replacen(
+            "\"system\": \"dual_gemm candidates timed (guided)\", \"size\": 512, \"tflops\": 6.0",
+            "\"system\": \"dual_gemm candidates timed (guided)\", \"size\": 512, \"tflops\": 12.0",
+            1,
+        );
+        let err = check(&json).unwrap_err();
+        assert!(err.contains("strictly fewer"), "{err}");
+        assert!(err.contains("`dual_gemm`"), "{err}");
     }
 
     #[test]

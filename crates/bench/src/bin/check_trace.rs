@@ -3,8 +3,12 @@
 //! the `cypress_graph` metadata event, contain at least one span, keep
 //! its timestamps monotone (the exporter sorts by start time), keep
 //! every span inside the declared makespan, and only use stream ids the
-//! metadata declares. A broken exporter fails the build instead of
-//! shipping a file Perfetto rejects.
+//! metadata declares. Host-side spans (`cat == "host"` — compile
+//! passes and tuner ranking from `chrome_json_with_host`) run on a
+//! wall-clock timeline, so they are only checked for finite
+//! non-negative bounds, not against the stream/makespan invariants.
+//! A broken exporter fails the build instead of shipping a file
+//! Perfetto rejects.
 //!
 //! Run with `cargo run --release -p cypress-bench --bin check_trace --
 //! <trace.json>` (after `cargo run --example graph_overlap <trace.json>`
@@ -32,8 +36,23 @@ fn check(json: &str) -> Result<String, String> {
     if trace.spans.is_empty() {
         return Err("trace has no spans".to_string());
     }
+    let mut hosts = 0usize;
     let mut prev = f64::NEG_INFINITY;
     for (i, span) in trace.spans.iter().enumerate() {
+        if !span.ts.is_finite() || span.ts < 0.0 || !span.dur.is_finite() || span.dur < 0.0 {
+            return Err(format!(
+                "span {i} `{}`: ts {} dur {} — both must be finite and non-negative",
+                span.name, span.ts, span.dur
+            ));
+        }
+        // Host-side spans (compile passes, tuner ranking — see
+        // `TraceSink::chrome_json_with_host`) live on a separate
+        // nanosecond timeline: exempt from the stream/makespan/monotone
+        // checks, like `EventClass::Host` in determinism comparisons.
+        if span.cat == "host" {
+            hosts += 1;
+            continue;
+        }
         if span.ts < prev {
             return Err(format!(
                 "span {i} `{}`: ts {} < previous span's ts {} — timestamps must be monotone",
@@ -41,12 +60,6 @@ fn check(json: &str) -> Result<String, String> {
             ));
         }
         prev = span.ts;
-        if !span.ts.is_finite() || span.ts < 0.0 || !span.dur.is_finite() || span.dur < 0.0 {
-            return Err(format!(
-                "span {i} `{}`: ts {} dur {} — both must be finite and non-negative",
-                span.name, span.ts, span.dur
-            ));
-        }
         if span.tid >= streams {
             return Err(format!(
                 "span {i} `{}`: stream id {} but metadata declares {streams} streams",
@@ -66,8 +79,8 @@ fn check(json: &str) -> Result<String, String> {
         }
     }
     Ok(format!(
-        "{} spans on {streams} streams, makespan {makespan} cycles",
-        trace.spans.len()
+        "{} spans on {streams} streams ({hosts} host), makespan {makespan} cycles",
+        trace.spans.len() - hosts
     ))
 }
 
@@ -160,6 +173,45 @@ mod tests {
         assert!(check(&json)
             .unwrap_err()
             .contains("past the declared makespan"));
+    }
+
+    fn host_span(name: &str, ts: f64, dur: f64) -> String {
+        format!(
+            "{{\"name\":\"{name}\",\"cat\":\"host\",\"ph\":\"X\",\
+             \"ts\":{ts},\"dur\":{dur},\"pid\":0,\"tid\":0,\"args\":{{\"unit\":\"ns\"}}}}"
+        )
+    }
+
+    #[test]
+    fn host_spans_are_exempt_from_stream_invariants() {
+        // The host timeline restarts at 0 after the node spans and may
+        // outlast the makespan — both fine for `cat == "host"`.
+        let json = trace(
+            META,
+            &[
+                &span("a", 0.0, 600.0, 0),
+                &span("b", 100.0, 900.0, 1),
+                &host_span("compile:lower", 0.0, 5000.0),
+                &host_span("rank:gemm", 5000.0, 42.0),
+            ],
+        );
+        let summary = check(&json).unwrap();
+        assert!(summary.contains("2 spans"), "{summary}");
+        assert!(summary.contains("2 host"), "{summary}");
+    }
+
+    #[test]
+    fn host_spans_still_need_finite_bounds() {
+        let json = trace(
+            META,
+            &[
+                &span("a", 0.0, 600.0, 0),
+                &host_span("rank:gemm", -1.0, 7.0),
+            ],
+        );
+        assert!(check(&json)
+            .unwrap_err()
+            .contains("finite and non-negative"));
     }
 
     #[test]

@@ -7,10 +7,11 @@
 //! Run with `cargo run --release -p cypress-bench --bin figures`.
 
 use cypress_bench::{
-    autotune_entries, fig13a, fig13b, fig13c, fig13d, fig14, fig_autotune, fig_functional,
-    fig_fusion, fig_graph_overlap, overlap_concurrent_system, ratio, Row, AUTOTUNE_HAND_SYSTEM,
-    AUTOTUNE_SIZES, AUTOTUNE_TUNED_SYSTEM, FUNCTIONAL_FAN_OUT, FUNCTIONAL_SIZE, FUSION_SIZES,
-    GEMM_SIZES, OVERLAP_SERIAL_SYSTEM, OVERLAP_SIZES, OVERLAP_WIDTH, SEQ_LENS,
+    autotune_entries, fig13a, fig13b, fig13c, fig13d, fig14, fig_autotune_with_times,
+    fig_functional, fig_fusion, fig_graph_overlap, overlap_concurrent_system, ratio, Row,
+    AUTOTUNE_GUIDED_SYSTEM, AUTOTUNE_HAND_SYSTEM, AUTOTUNE_SIZES, AUTOTUNE_TIMED_EXHAUSTIVE_SYSTEM,
+    AUTOTUNE_TIMED_GUIDED_SYSTEM, AUTOTUNE_TUNED_SYSTEM, FUNCTIONAL_FAN_OUT, FUNCTIONAL_SIZE,
+    FUSION_SIZES, GEMM_SIZES, OVERLAP_SERIAL_SYSTEM, OVERLAP_SIZES, OVERLAP_WIDTH, SEQ_LENS,
 };
 use cypress_sim::MachineConfig;
 
@@ -38,6 +39,14 @@ fn rows_to_json(figures: &[(&str, &[Row])], machine: &MachineConfig) -> String {
     }
     out.push_str("\n  ]\n}\n");
     out
+}
+
+/// One row's value (the autotune count rows carry counts, not TFLOP/s).
+fn find(rows: &[Row], system: &str, size: usize) -> f64 {
+    rows.iter()
+        .find(|r| r.system == system && r.size == size)
+        .map(|r| r.tflops)
+        .unwrap_or(f64::NAN)
 }
 
 fn print_rows(title: &str, rows: &[Row]) {
@@ -159,20 +168,44 @@ fn main() {
         );
     }
 
-    let t = fig_autotune(&machine);
-    print_rows("Mapping autotune: hand-tuned H100 vs tuned", &t);
+    let (t, sweep_times) = fig_autotune_with_times(&machine);
+    print_rows("Mapping autotune: hand-tuned H100 vs tuned vs guided", &t);
     for size in AUTOTUNE_SIZES {
         for (name, _, _, _) in autotune_entries(size) {
             println!(
-                "  {name} @ {size}: autotuned/hand-tuned = {:.2}x (>= 1.00 by construction; gated in CI)",
+                "  {name} @ {size}: autotuned/hand-tuned = {:.2}x (>= 1.00 by construction; gated in CI), \
+                 guided/autotuned = {:.2}x (gated >= 0.95), candidates timed {:.0} vs {:.0} (gated <)",
                 ratio(
                     &t,
                     &format!("{name} {AUTOTUNE_TUNED_SYSTEM}"),
                     &format!("{name} {AUTOTUNE_HAND_SYSTEM}"),
                     size
-                )
+                ),
+                ratio(
+                    &t,
+                    &format!("{name} {AUTOTUNE_GUIDED_SYSTEM}"),
+                    &format!("{name} {AUTOTUNE_TUNED_SYSTEM}"),
+                    size
+                ),
+                find(&t, &format!("{name} {AUTOTUNE_TIMED_GUIDED_SYSTEM}"), size),
+                find(
+                    &t,
+                    &format!("{name} {AUTOTUNE_TIMED_EXHAUSTIVE_SYSTEM}"),
+                    size
+                ),
             );
         }
+    }
+    println!("\n  cold-sweep wall time (host-measured, not part of BENCH_figures.json):");
+    for st in &sweep_times {
+        println!(
+            "  {:<16} @ {:>5}: exhaustive {:>7.1} ms, guided {:>7.1} ms ({:.2}x)",
+            st.name,
+            st.size,
+            st.exhaustive_s * 1e3,
+            st.guided_s * 1e3,
+            st.exhaustive_s / st.guided_s
+        );
     }
 
     let fun = fig_functional(&machine);

@@ -9,7 +9,9 @@ use cypress_core::kernels::space::{MappingSpace, Shape};
 use cypress_core::kernels::{
     attention, batched, chain, dual_gemm, gemm, gemm_reduction, reduction,
 };
-use cypress_runtime::{Binding, FusionPolicy, Program, SchedulePolicy, Session, TaskGraph};
+use cypress_runtime::{
+    Binding, FusionPolicy, Program, SchedulePolicy, Session, TaskGraph, TunerBudget,
+};
 use cypress_sim::{Kernel, MachineConfig, Simulator};
 use std::sync::Arc;
 
@@ -61,6 +63,7 @@ pub const HEAD_DIM: usize = 128;
 #[must_use]
 pub fn fig13a(machine: &MachineConfig) -> Vec<Row> {
     let mut rows = Vec::new();
+    let sim = Simulator::new(machine.clone());
     for size in GEMM_SIZES {
         let fl = gemm::flops(size, size, size);
         let (reg, mapping, args) =
@@ -77,7 +80,7 @@ pub fn fig13a(machine: &MachineConfig) -> Vec<Row> {
             size,
             tflops: measure(machine, &tr, fl),
         });
-        let cb = cublas::gemm(size, size, size, machine);
+        let cb = cublas::gemm_with(size, size, size, &sim);
         rows.push(Row {
             system: "cuBLAS".into(),
             size,
@@ -170,6 +173,7 @@ pub fn fig13d(machine: &MachineConfig) -> Vec<Row> {
 #[must_use]
 pub fn fig14(machine: &MachineConfig) -> Vec<Row> {
     let mut rows = Vec::new();
+    let sim = Simulator::new(machine.clone());
     for seq in SEQ_LENS {
         let fl = attention::flops(HEADS, seq, HEAD_DIM);
         for (name, alg) in [
@@ -203,7 +207,7 @@ pub fn fig14(machine: &MachineConfig) -> Vec<Row> {
             size: seq,
             tflops: measure(machine, &f3, fl),
         });
-        let cd = cudnn::attention(HEADS, seq, HEAD_DIM, machine);
+        let cd = cudnn::attention_with(HEADS, seq, HEAD_DIM, &sim);
         rows.push(Row {
             system: "cuDNN".into(),
             size: seq,
@@ -448,24 +452,74 @@ pub fn autotune_entries(size: usize) -> Vec<(&'static str, Arc<dyn MappingSpace>
 
 /// Suffix of the hand-tuned series in [`fig_autotune`] rows.
 pub const AUTOTUNE_HAND_SYSTEM: &str = "hand-tuned";
-/// Suffix of the autotuned series in [`fig_autotune`] rows.
+/// Suffix of the autotuned (exhaustive-sweep) series in
+/// [`fig_autotune`] rows.
 pub const AUTOTUNE_TUNED_SYSTEM: &str = "autotuned";
+/// Suffix of the cost-model-guided series in [`fig_autotune`] rows
+/// (`TunerBudget::TopK(candidates / 2)` on a cold table).
+pub const AUTOTUNE_GUIDED_SYSTEM: &str = "guided";
+/// Suffix of the guided sweep's timed-candidate-count series. These
+/// rows reuse the `tflops` value slot for a **count**, not a
+/// throughput — `check_figures` gates it against the exhaustive count.
+pub const AUTOTUNE_TIMED_GUIDED_SYSTEM: &str = "candidates timed (guided)";
+/// Suffix of the exhaustive sweep's timed-candidate-count series (see
+/// [`AUTOTUNE_TIMED_GUIDED_SYSTEM`]).
+pub const AUTOTUNE_TIMED_EXHAUSTIVE_SYSTEM: &str = "candidates timed (exhaustive)";
+
+/// Wall time of one kernel's exhaustive and guided cold sweeps — the
+/// host-measured side of the autotune figure. Kept out of
+/// `BENCH_figures.json` (which regenerates bit-identically in CI) and
+/// printed by the `figures` binary instead.
+#[derive(Debug, Clone)]
+pub struct SweepTime {
+    /// Kernel name (matches [`autotune_entries`]).
+    pub name: String,
+    /// Problem size.
+    pub size: usize,
+    /// Exhaustive cold-sweep wall time, in seconds.
+    pub exhaustive_s: f64,
+    /// Guided (`TopK(candidates / 2)`) cold-sweep wall time, in seconds.
+    pub guided_s: f64,
+}
 
 /// The autotune figure: for each paper kernel at each
-/// [`AUTOTUNE_SIZES`] shape, the hand-tuned H100 mapping's throughput
-/// next to the mapping the simulator-driven tuner picked from the
-/// kernel's `MappingSpace`. The tuned row can never lose — the
-/// hand-tuned mapping is one of the candidates — and `check_figures`
-/// gates `tuned >= hand` in CI.
+/// [`AUTOTUNE_SIZES`] shape, the hand-tuned H100 mapping's throughput,
+/// the mapping the exhaustive simulator-driven tuner picked from the
+/// kernel's `MappingSpace`, the winner of a cost-model-guided sweep
+/// that times only the predicted top half ([`TunerBudget::TopK`]), and
+/// the number of candidates each sweep actually simulated. The tuned
+/// row can never lose — the hand-tuned mapping is one of the
+/// candidates — and `check_figures` gates `tuned >= hand`,
+/// `guided >= 0.95 x tuned`, and `timed(guided) < timed(exhaustive)`
+/// in CI. Alongside the rows, returns each sweep's wall time for the
+/// `figures` stdout report.
 #[must_use]
-pub fn fig_autotune(machine: &MachineConfig) -> Vec<Row> {
+pub fn fig_autotune_with_times(machine: &MachineConfig) -> (Vec<Row>, Vec<SweepTime>) {
     let mut session = Session::new(machine.clone());
     let mut rows = Vec::new();
+    let mut times = Vec::new();
     for size in AUTOTUNE_SIZES {
         for (name, space, shape, fl) in autotune_entries(size) {
             let program = Program::from_space(space, shape, machine)
                 .expect("paper kernels build at the hand-tuned default");
+            let t0 = std::time::Instant::now();
+            let before = session.metrics().tuner.candidates_timed;
             let tuned = session.autotune(&program).expect("paper kernels autotune");
+            let exhaustive_s = t0.elapsed().as_secs_f64();
+            let exhaustive_timed = session.metrics().tuner.candidates_timed - before;
+
+            // The guided sweep runs cold (fresh session, empty table)
+            // under a half-size budget, so the comparison is cold sweep
+            // vs cold sweep.
+            let mut guided_session = Session::new(machine.clone());
+            let top_k = (tuned.candidates / 2).max(1);
+            let t0 = std::time::Instant::now();
+            let guided = guided_session
+                .autotune_with(&program, TunerBudget::TopK(top_k))
+                .expect("paper kernels autotune under a guided budget");
+            let guided_s = t0.elapsed().as_secs_f64();
+            let guided_timed = guided_session.metrics().tuner.candidates_timed;
+
             let tflops_at = |cycles: f64| {
                 let seconds = machine.cycles_to_seconds(cycles);
                 fl / seconds / 1e12
@@ -480,9 +534,36 @@ pub fn fig_autotune(machine: &MachineConfig) -> Vec<Row> {
                 size,
                 tflops: tflops_at(tuned.tuned_cycles),
             });
+            rows.push(Row {
+                system: format!("{name} {AUTOTUNE_GUIDED_SYSTEM}"),
+                size,
+                tflops: tflops_at(guided.tuned_cycles),
+            });
+            rows.push(Row {
+                system: format!("{name} {AUTOTUNE_TIMED_GUIDED_SYSTEM}"),
+                size,
+                tflops: guided_timed as f64,
+            });
+            rows.push(Row {
+                system: format!("{name} {AUTOTUNE_TIMED_EXHAUSTIVE_SYSTEM}"),
+                size,
+                tflops: exhaustive_timed as f64,
+            });
+            times.push(SweepTime {
+                name: name.to_string(),
+                size,
+                exhaustive_s,
+                guided_s,
+            });
         }
     }
-    rows
+    (rows, times)
+}
+
+/// [`fig_autotune_with_times`] without the wall-clock sweep times.
+#[must_use]
+pub fn fig_autotune(machine: &MachineConfig) -> Vec<Row> {
+    fig_autotune_with_times(machine).0
 }
 
 /// Problem size of the functional data-path figure (`M = N = K`, and the

@@ -1,0 +1,75 @@
+//! Smoke test for the two autotuners the evaluation leans on: the
+//! baseline (vendor-library stand-in) sweep in `cypress-baselines` and
+//! the runtime's space tuner, both on GEMM 512 on the paper's H100.
+//!
+//! The baseline sweep must be invariant to sharing one [`Simulator`]
+//! across candidates (the `autotune_with` path the figures use), and
+//! the two tuners' winners must land in the same performance regime —
+//! they time different schedule encodings of the same computation
+//! through the same simulator.
+
+use cypress_baselines::{autotune, autotune_with, cublas, hand};
+use cypress_core::kernels::gemm;
+use cypress_core::Shape;
+use cypress_runtime::{Program, Session};
+use cypress_sim::{MachineConfig, Simulator};
+use std::sync::Arc;
+
+const N: usize = 512;
+
+/// The cuBLAS-style candidate list at 512^3 (mirrors `cublas::gemm`).
+fn cublas_candidates() -> Vec<cypress_sim::Kernel> {
+    [
+        (128, 256, 2),
+        (256, 128, 2),
+        (128, 128, 2),
+        (128, 128, 1),
+        (64, 256, 1),
+    ]
+    .into_iter()
+    .map(|(tm, tn, wgs)| {
+        let s = hand::GemmSchedule {
+            tm,
+            tn,
+            wgs,
+            ..hand::GemmSchedule::expert()
+        };
+        hand::gemm_kernel("cublas_gemm", 1, N, N, N, s)
+    })
+    .collect()
+}
+
+#[test]
+fn baseline_autotune_shares_one_simulator_and_tracks_the_runtime_tuner() {
+    let machine = MachineConfig::h100_sxm5();
+    let sim = Simulator::new(machine.clone());
+
+    // Sharing a simulator across candidates must not change the winner.
+    let owned = autotune(&machine, cublas_candidates());
+    let shared = autotune_with(&sim, cublas_candidates());
+    let owned_cycles = sim.run_timing(&owned).unwrap().cycles;
+    let shared_cycles = sim.run_timing(&shared).unwrap().cycles;
+    assert_eq!(
+        owned_cycles, shared_cycles,
+        "winner depends on simulator sharing"
+    );
+
+    // The public entry point goes through the shared-simulator path.
+    let public = cublas::gemm_with(N, N, N, &sim);
+    assert_eq!(sim.run_timing(&public).unwrap().cycles, shared_cycles);
+
+    // The runtime tuner sweeps the paper's GEMM mapping space on the
+    // same shape; its winner and the baseline's must be in the same
+    // regime (same simulator, same computation, different schedules).
+    let program =
+        Program::from_space(Arc::new(gemm::GemmSpace), Shape::of(&[N, N, N]), &machine).unwrap();
+    let mut session = Session::new(machine);
+    let tuned = session.autotune(&program).unwrap();
+    assert!(tuned.tuned_cycles > 0.0);
+    let ratio = tuned.tuned_cycles / shared_cycles;
+    assert!(
+        (0.2..=5.0).contains(&ratio),
+        "tuner winner {} vs baseline winner {shared_cycles} cycles (ratio {ratio})",
+        tuned.tuned_cycles
+    );
+}

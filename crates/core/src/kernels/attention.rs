@@ -203,6 +203,23 @@ impl MappingSpace for AttentionSpace {
             cfg.as_attention("fa")?,
         )
     }
+
+    /// The entry name `"fa"` covers both algorithms, but their staged
+    /// footprints differ (FA3 keeps two K/V pairs in flight), so the
+    /// space passes the algorithm to the cost model explicitly.
+    fn estimate(
+        &self,
+        machine: &MachineConfig,
+        shape: &Shape,
+        cfg: &MappingConfig,
+    ) -> Option<crate::kernels::cost::CostEstimate> {
+        crate::kernels::cost::estimate_attention(
+            shape,
+            cfg,
+            machine,
+            matches!(self.algorithm, Algorithm::Fa3),
+        )
+    }
 }
 
 /// Algorithmic FLOPs of forward attention (Fig. 14's convention):

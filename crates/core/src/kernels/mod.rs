@@ -6,6 +6,7 @@ pub mod attention;
 pub mod batched;
 pub mod chain;
 pub(crate) mod common;
+pub mod cost;
 pub mod dual_gemm;
 pub mod gemm;
 pub mod gemm_reduction;

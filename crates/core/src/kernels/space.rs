@@ -231,6 +231,22 @@ pub trait MappingSpace: fmt::Debug + Send + Sync {
         shape: &Shape,
         cfg: &MappingConfig,
     ) -> Result<(TaskRegistry, MappingSpec, Vec<EntryArg>), CompileError>;
+
+    /// Analytically predict the cost of one candidate (see
+    /// [`crate::kernels::cost`]): what a guided tuner ranks by before
+    /// paying the simulator. The default dispatches on
+    /// [`MappingSpace::entry`]; spaces whose footprint the entry name
+    /// alone cannot determine (FA2 vs FA3 attention) override it.
+    /// `None` means the point is unpriceable — a guided sweep falls
+    /// back to the exhaustive one.
+    fn estimate(
+        &self,
+        machine: &MachineConfig,
+        shape: &Shape,
+        cfg: &MappingConfig,
+    ) -> Option<crate::kernels::cost::CostEstimate> {
+        crate::kernels::cost::estimate(self.entry(), shape, cfg, machine)
+    }
 }
 
 // ---------------------------------------------------------------------------

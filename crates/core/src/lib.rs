@@ -55,5 +55,6 @@ pub use front::{
     ArgExpr, LeafFn, MappingSpec, MemLevel, ParamSig, Privilege, ProcLevel, SExpr, Stmt,
     TaskMapping, TaskRegistry, TaskVariant, VariantKind,
 };
+pub use kernels::cost::{CostEstimate, COST_MODEL_VERSION};
 pub use kernels::space::{MappingConfig, MappingSpace, Shape};
 pub use passes::depan::EntryArg;

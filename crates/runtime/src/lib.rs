@@ -130,4 +130,4 @@ pub use telemetry::{
     ChromeSpan, ChromeTrace, Event, EventClass, MetricsRegistry, MetricsSnapshot, NoopRecorder,
     Recorder, TraceLog, TraceSink,
 };
-pub use tuner::{TunedMapping, TunerStats, TuningKey, TuningTable};
+pub use tuner::{TunedMapping, TunerBudget, TunerStats, TuningKey, TuningTable};

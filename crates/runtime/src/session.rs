@@ -46,8 +46,8 @@ use crate::pool::{BufferPool, PoolStats};
 use crate::program::Program;
 use crate::report::GraphReport;
 use crate::telemetry::{Event, MetricsRegistry, MetricsSnapshot, NoopRecorder, Recorder};
-use crate::tuner::{key_for, TunedMapping, TuningKey, TuningTable};
-use cypress_core::{Compiled, CompilerOptions, CypressCompiler};
+use crate::tuner::{key_for, TunedMapping, TunerBudget, TuningKey, TuningTable};
+use cypress_core::{Compiled, CompilerOptions, CypressCompiler, COST_MODEL_VERSION};
 use cypress_sim::{MachineConfig, Simulator, TimingReport};
 use cypress_tensor::Tensor;
 use std::collections::{HashMap, HashSet};
@@ -105,6 +105,18 @@ pub enum MappingPolicy {
     /// encounter, then served from the session's [`TuningTable`]);
     /// unbound programs fall back to their own mapping.
     Autotune,
+    /// Like [`MappingPolicy::Autotune`], but sweeps run under
+    /// [`TunerBudget::TopK`]`(top_k)`: every candidate is priced by the
+    /// analytical cost model (see [`cypress_core::kernels::cost`]), and
+    /// only the `top_k` best-predicted — plus a transferred neighbor
+    /// winner, when the [`TuningTable`] knows one — are compiled and
+    /// timed. With `top_k >= candidates.len()` this is bit-identical to
+    /// [`MappingPolicy::Autotune`]; tensors are bitwise identical under
+    /// every policy regardless.
+    Guided {
+        /// Best-predicted candidates to compile and time per sweep.
+        top_k: usize,
+    },
 }
 
 /// A task graph compiled once by [`Session::compile_graph`] — fusion
@@ -468,6 +480,35 @@ impl Session {
     /// skipped — a space's `validate` is a cheap estimate, the compiler
     /// is the authority. Simulation failures still propagate.
     pub fn autotune(&mut self, program: &Program) -> Result<TunedMapping, RuntimeError> {
+        self.autotune_with(program, TunerBudget::Exhaustive)
+    }
+
+    /// [`Session::autotune`] under an explicit [`TunerBudget`].
+    ///
+    /// [`TunerBudget::Exhaustive`] is exactly [`Session::autotune`].
+    /// Under [`TunerBudget::TopK`]`(k)` the sweep first prices every
+    /// candidate with the analytical cost model and keeps only the `k`
+    /// best-predicted (deterministic total order: predicted cycles by
+    /// `total_cmp`, then the encoded config as tie break; unpriceable
+    /// candidates are never pruned). If the session's [`TuningTable`]
+    /// holds a winner for the *same kernel and machine at a neighboring
+    /// shape* ([`TuningTable::nearest_neighbor`]), that winner is added
+    /// to the timed set as a transfer seed — under `TopK(0)` it is the
+    /// *only* candidate timed, so warm fleets re-tune new shapes at the
+    /// cost of one simulation. The kept candidates then flow through
+    /// the same serial or parallel sweep machinery in enumeration
+    /// order, so `TopK(k >= candidates.len())` reproduces the
+    /// exhaustive sweep bit for bit — same winner, same kernel-cache
+    /// traffic, same `TunerCandidate` telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Session::autotune`].
+    pub fn autotune_with(
+        &mut self,
+        program: &Program,
+        budget: TunerBudget,
+    ) -> Result<TunedMapping, RuntimeError> {
         let Some(binding) = program.space.clone() else {
             return Err(RuntimeError::NoMappingSpace {
                 entry: program.entry.clone(),
@@ -522,6 +563,31 @@ impl Session {
         }
 
         let total = candidates.len();
+        // Guided budgets shrink the candidate list *before* the sweep;
+        // the survivors stay in enumeration order, so the sweep below
+        // (and every tie break after it) is shared verbatim with the
+        // exhaustive path.
+        let candidates = match budget {
+            TunerBudget::Exhaustive => candidates,
+            TunerBudget::TopK(k) => {
+                let started = std::time::Instant::now();
+                let (kept, pruned, transferred) =
+                    self.rank_candidates(&binding, &key, candidates, k);
+                self.tuning
+                    .note_ranking(total as u64, pruned as u64, transferred);
+                if self.recorder.enabled() {
+                    self.recorder.record(Event::TunerRanked {
+                        entry: program.entry.clone(),
+                        shape: binding.shape.to_string(),
+                        ranked: total,
+                        pruned,
+                        transferred,
+                        host_ns: started.elapsed().as_nanos() as u64,
+                    });
+                }
+                kept
+            }
+        };
         // Both sweeps produce `(cycles, config)` in candidate order with
         // bit-identical values, so everything downstream — the tie break,
         // the stats bump, the emitted events — is shared.
@@ -578,11 +644,25 @@ impl Session {
         // winner as the baseline: speedup 1.0, never a below-1.0 ratio
         // against a mapping that cannot run.
         let default_cycles = default_cycles.unwrap_or(tuned_cycles);
+        // Record the model's prediction for the winner on *every*
+        // budget — exhaustive sweeps included — so a guided sweep with
+        // `top_k >= candidates.len()` produces a bit-identical entry.
+        let predicted = binding
+            .space
+            .estimate(&machine, &binding.shape, &config)
+            .map(|e| e.cycles);
         let tuned = TunedMapping {
+            entry: binding.space.entry().to_string(),
             config,
             default_cycles,
             tuned_cycles,
+            predicted_cycles: predicted.unwrap_or(0.0),
             candidates: total,
+            model_version: if predicted.is_some() {
+                COST_MODEL_VERSION
+            } else {
+                0
+            },
         };
         self.tuning.insert(key, tuned.clone());
         if self.recorder.enabled() {
@@ -597,6 +677,84 @@ impl Session {
             });
         }
         Ok(tuned)
+    }
+
+    /// The guided tuner's selection pass: price every candidate with
+    /// the analytical cost model, keep the `k` best-predicted plus the
+    /// transfer seed, and return `(kept in enumeration order, pruned
+    /// count, transferred)`.
+    ///
+    /// Ranking is a deterministic total order — predicted cycles by
+    /// `total_cmp`, ties broken by the encoded config — and unpriceable
+    /// candidates (`estimate` returned `None`) sort ahead of every
+    /// priced one, so a kernel the model does not understand is never
+    /// pruned on its account. The transfer seed is the winner of the
+    /// nearest tuned neighbor shape, admitted only when it is also one
+    /// of *this* shape's enumerated candidates (which keeps, e.g., an
+    /// FA3 winner from seeding an FA2 sweep); if the budget is already
+    /// full it replaces the worst-ranked survivor.
+    fn rank_candidates(
+        &self,
+        binding: &crate::program::SpaceBinding,
+        key: &TuningKey,
+        candidates: Vec<cypress_core::MappingConfig>,
+        k: usize,
+    ) -> (Vec<cypress_core::MappingConfig>, usize, bool) {
+        let machine = self.machine();
+        let total = candidates.len();
+        let priced: Vec<Option<f64>> = candidates
+            .iter()
+            .map(|cfg| {
+                binding
+                    .space
+                    .estimate(machine, &binding.shape, cfg)
+                    .map(|e| e.cycles)
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..total).collect();
+        order.sort_by(|&a, &b| match (priced[a], priced[b]) {
+            (None, None) => candidates[a].encode().cmp(&candidates[b].encode()),
+            (None, Some(_)) => std::cmp::Ordering::Less,
+            (Some(_), None) => std::cmp::Ordering::Greater,
+            (Some(x), Some(y)) => x
+                .total_cmp(&y)
+                .then_with(|| candidates[a].encode().cmp(&candidates[b].encode())),
+        });
+        let keep = k.min(total);
+        let mut selected = vec![false; total];
+        for &i in order.iter().take(keep) {
+            selected[i] = true;
+        }
+        let neighbor = self
+            .tuning
+            .nearest_neighbor(binding.space.entry(), key.machine, &key.shape)
+            .map(|(_, t)| t.config)
+            .filter(|c| candidates.contains(c));
+        let transferred = neighbor.is_some();
+        if let Some(seed) = neighbor {
+            let i = candidates
+                .iter()
+                .position(|c| *c == seed)
+                .expect("seed filtered to enumerated candidates");
+            if !selected[i] {
+                if keep > 0 {
+                    selected[order[keep - 1]] = false;
+                }
+                selected[i] = true;
+            }
+        }
+        // A zero budget with no transfer seed still times the single
+        // best-predicted candidate: a sweep must produce a winner.
+        if !selected.iter().any(|&s| s) {
+            selected[order[0]] = true;
+        }
+        let kept: Vec<cypress_core::MappingConfig> = candidates
+            .into_iter()
+            .zip(&selected)
+            .filter_map(|(cfg, &s)| s.then_some(cfg))
+            .collect();
+        let pruned = total - kept.len();
+        (kept, pruned, transferred)
     }
 
     /// Compile (via the cache) and solo-time one candidate of a space.
@@ -760,7 +918,12 @@ impl Session {
     /// program whose space has no valid candidate on this machine (e.g.
     /// built for a different machine) falls back to its own mapping.
     fn node_launch(&mut self, program: &Program) -> Result<NodeLaunch, RuntimeError> {
-        if self.mapping_policy == MappingPolicy::Autotune {
+        let budget = match self.mapping_policy {
+            MappingPolicy::Default => None,
+            MappingPolicy::Autotune => Some(TunerBudget::Exhaustive),
+            MappingPolicy::Guided { top_k } => Some(TunerBudget::TopK(top_k)),
+        };
+        if let Some(budget) = budget {
             if let Some(binding) = program.space.clone() {
                 let key = key_for(program, &binding.shape, self.machine());
                 if let Some(hit) = self.tuned_launches.get(&key) {
@@ -771,7 +934,7 @@ impl Session {
                 // so only the *untunability* of the key is memoized; the
                 // launch itself routes through the per-program compile.
                 if !self.untunable.contains(&key) {
-                    match self.autotune(program) {
+                    match self.autotune_with(program, budget) {
                         Ok(tuned) => {
                             let (registry, mapping, args) =
                                 binding.space.build(&binding.shape, &tuned.config)?;

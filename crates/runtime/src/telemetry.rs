@@ -207,6 +207,24 @@ pub enum Event {
         /// Wall-clock nanoseconds the pass took.
         host_ns: u64,
     },
+    /// A guided sweep's analytical ranking pass resolved
+    /// ([`EventClass::Host`], like [`Event::CompilePass`]: its
+    /// `host_ns` is wall-clock, so it is filtered from determinism
+    /// checks).
+    TunerRanked {
+        /// Entry task of the tuned program.
+        entry: String,
+        /// Problem shape (`d0xd1x...`).
+        shape: String,
+        /// Candidates priced by the cost model.
+        ranked: usize,
+        /// Candidates dropped before compiling or timing.
+        pruned: usize,
+        /// `true` when a neighboring shape's winner seeded the sweep.
+        transferred: bool,
+        /// Wall-clock nanoseconds the ranking pass took.
+        host_ns: u64,
+    },
 }
 
 impl Event {
@@ -225,7 +243,7 @@ impl Event {
             Event::WaveScheduled { .. } | Event::PoolAcquire { .. } | Event::PoolRelease { .. } => {
                 EventClass::Exec
             }
-            Event::CompilePass { .. } => EventClass::Host,
+            Event::CompilePass { .. } | Event::TunerRanked { .. } => EventClass::Host,
         }
     }
 }
@@ -420,11 +438,15 @@ impl fmt::Display for MetricsSnapshot {
         )?;
         writeln!(
             f,
-            "tuner   lookups {} | hits {} | sweeps {} | candidates timed {} | sweep replays {}",
+            "tuner   lookups {} | hits {} | sweeps {} | candidates timed {} | ranked {} | \
+             pruned {} | transferred {} | sweep replays {}",
             self.tuner.lookups,
             self.tuner.hits,
             self.tuner.sweeps,
             self.tuner.candidates_timed,
+            self.tuner.ranked,
+            self.tuner.pruned,
+            self.tuner.transferred,
             self.sweep_replays
         )?;
         writeln!(
@@ -521,6 +543,59 @@ impl TraceSink {
                 json_num(t.report.achieved_tflops),
                 fused,
             ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// [`TraceSink::chrome_json`] plus the trace's
+    /// [`EventClass::Host`] events — compile passes and guided-tuner
+    /// ranking passes — appended as `cat:"host"` `"X"` spans.
+    ///
+    /// Host spans measure wall-clock nanoseconds on a synthetic
+    /// timeline of their own (each starts where the previous host span
+    /// ended), not sim cycles: they are observability, deliberately
+    /// excluded from determinism checks the way
+    /// [`Event::CompilePass`]'s `host_ns` already is. Consumers
+    /// checking monotonicity, stream bounds, or makespan containment
+    /// must filter on `cat != "host"` (as `check_trace` does).
+    #[must_use]
+    pub fn chrome_json_with_host(report: &GraphReport, events: &[Event]) -> String {
+        let mut out = Self::chrome_json(report);
+        out.truncate(out.len() - "]}".len());
+        let mut ts = 0.0;
+        for event in events {
+            let (name, host_ns, extra) = match event {
+                Event::CompilePass { pass, host_ns } => {
+                    (format!("compile:{pass}"), *host_ns, String::new())
+                }
+                Event::TunerRanked {
+                    entry,
+                    shape,
+                    ranked,
+                    pruned,
+                    transferred,
+                    host_ns,
+                } => (
+                    format!("rank:{entry}"),
+                    *host_ns,
+                    format!(
+                        ",\"shape\":{},\"ranked\":{ranked},\"pruned\":{pruned},\
+                         \"transferred\":{transferred}",
+                        json_str(shape)
+                    ),
+                ),
+                _ => continue,
+            };
+            out.push(',');
+            out.push_str(&format!(
+                "{{\"name\":{},\"cat\":\"host\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":0,\"tid\":0,\"args\":{{\"unit\":\"ns\"{extra}}}}}",
+                json_str(&name),
+                json_num(ts),
+                json_num(host_ns as f64),
+            ));
+            ts += host_ns as f64;
         }
         out.push_str("]}");
         out

@@ -20,7 +20,7 @@
 use crate::error::RuntimeError;
 use crate::program::Program;
 use cypress_core::fingerprint::Fnv64;
-use cypress_core::{MappingConfig, Shape};
+use cypress_core::{MappingConfig, Shape, COST_MODEL_VERSION};
 use cypress_sim::MachineConfig;
 use std::cell::Cell;
 use std::collections::BTreeMap;
@@ -40,6 +40,15 @@ pub struct TunerStats {
     pub sweeps: u64,
     /// Candidates compiled and timed across all sweeps.
     pub candidates_timed: u64,
+    /// Candidates ranked by the analytical cost model across all guided
+    /// sweeps (see [`cypress_core::kernels::cost`]).
+    pub ranked: u64,
+    /// Candidates the cost model pruned — ranked but never compiled or
+    /// timed because they fell outside the sweep's top-k budget.
+    pub pruned: u64,
+    /// Sweeps seeded from a neighboring shape's winner (see
+    /// [`TuningTable::nearest_neighbor`]).
+    pub transferred: u64,
 }
 
 /// What a [`TuningTable`] entry is keyed by: the computation (not its
@@ -60,6 +69,12 @@ pub struct TuningKey {
 /// The outcome of autotuning one computation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TunedMapping {
+    /// The kernel entry name the winner was tuned for (`"gemm"`,
+    /// `"fa"`, ...). Keys fingerprint the whole computation — argument
+    /// shapes included — so this is what lets
+    /// [`TuningTable::nearest_neighbor`] relate entries tuned at
+    /// *different* shapes of the same kernel.
+    pub entry: String,
     /// The winning mapping point.
     pub config: MappingConfig,
     /// Simulated solo cycles of the hand-tuned default mapping.
@@ -67,8 +82,14 @@ pub struct TunedMapping {
     /// Simulated solo cycles of the winner (always `<= default_cycles`:
     /// the default is one of the candidates).
     pub tuned_cycles: f64,
+    /// The cost model's predicted cycles for the winner, `0.0` when the
+    /// winner was unpriceable (see `model_version`).
+    pub predicted_cycles: f64,
     /// Candidates evaluated.
     pub candidates: usize,
+    /// [`COST_MODEL_VERSION`] of the model that produced
+    /// `predicted_cycles`, or `0` when the winner was not priced.
+    pub model_version: u32,
 }
 
 impl TunedMapping {
@@ -104,8 +125,31 @@ impl PartialEq for TuningTable {
     }
 }
 
+/// How much simulator time an autotune sweep may spend (see
+/// `Session::autotune` in this crate). The exhaustive budget reproduces
+/// the classic sweep bit for bit; a top-k budget ranks candidates with
+/// the analytical cost model first and pays the simulator only for the
+/// best-predicted `k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TunerBudget {
+    /// Compile and time every candidate (the PR-7 behavior).
+    #[default]
+    Exhaustive,
+    /// Rank all candidates analytically, then compile and time only the
+    /// `k` best-predicted (plus a transferred neighbor winner, when one
+    /// exists). `TopK(0)` times only the transferred seed — or the
+    /// single best-predicted candidate when no neighbor is known.
+    ///
+    /// `TopK(k)` with `k >= candidates.len()` is bit-identical to
+    /// [`TunerBudget::Exhaustive`]: same winner, same kernel-cache
+    /// traffic, same telemetry.
+    TopK(usize),
+}
+
 /// Header line of the serialized format; bump on layout changes.
-const HEADER: &str = "cypress-tuning-v1";
+/// `v1` lacked the entry name, predicted cycles, and model version;
+/// v1 files are rejected with a typed header error.
+const HEADER: &str = "cypress-tuning-v2";
 
 impl TuningTable {
     /// An empty table.
@@ -153,9 +197,66 @@ impl TuningTable {
         self.stats.set(stats);
     }
 
+    /// Count one analytical ranking pass: `ranked` candidates priced,
+    /// `pruned` of them dropped before timing, plus whether the sweep
+    /// was seeded from a neighboring shape's winner.
+    pub(crate) fn note_ranking(&self, ranked: u64, pruned: u64, transferred: bool) {
+        let mut stats = self.stats.get();
+        stats.ranked += ranked;
+        stats.pruned += pruned;
+        stats.transferred += u64::from(transferred);
+        self.stats.set(stats);
+    }
+
     /// Record (or replace) the winner for `key`.
     pub fn insert(&mut self, key: TuningKey, tuned: TunedMapping) {
         self.entries.insert(key, tuned);
+    }
+
+    /// The tuned entry for the same kernel and machine at the *nearest
+    /// neighboring shape* — how an untuned shape borrows a tuned one's
+    /// winner as a transfer seed.
+    ///
+    /// Candidates must match `entry` and `machine`, have a shape of the
+    /// same rank, and not be `shape` itself. Distance between shapes
+    /// `a` and `b` is `Σᵢ (max(aᵢ,bᵢ) / min(aᵢ,bᵢ) − 1)` — a relative
+    /// measure, so 512→1024 is as near as 2048→4096 and zero only for
+    /// identical shapes. It is computed with plain `f64` division (no
+    /// transcendentals), so the choice is bit-stable across platforms;
+    /// ties keep the first entry in canonical [`TuningKey`] order.
+    #[must_use]
+    pub fn nearest_neighbor(
+        &self,
+        entry: &str,
+        machine: u64,
+        shape: &[usize],
+    ) -> Option<(&TuningKey, &TunedMapping)> {
+        let distance = |other: &[usize]| -> f64 {
+            other
+                .iter()
+                .zip(shape)
+                .map(|(&a, &b)| {
+                    let (lo, hi) = (a.min(b).max(1) as f64, a.max(b) as f64);
+                    hi / lo - 1.0
+                })
+                .sum()
+        };
+        let mut best: Option<(&TuningKey, &TunedMapping, f64)> = None;
+        for (key, tuned) in &self.entries {
+            if key.machine != machine
+                || tuned.entry != entry
+                || key.shape.len() != shape.len()
+                || key.shape == shape
+            {
+                continue;
+            }
+            let d = distance(&key.shape);
+            // Strict `<`: ties keep the earliest (canonical-order) key.
+            if best.is_none_or(|(_, _, b)| d < b) {
+                best = Some((key, tuned, d));
+            }
+        }
+        best.map(|(k, t, _)| (k, t))
     }
 
     /// Iterate entries in canonical (key) order.
@@ -170,7 +271,7 @@ impl TuningTable {
 
     /// Serialize to the canonical text format: a header line, then one
     /// entry per line —
-    /// `<computation:016x> <machine:016x> <shape d0xd1x...> <config> <default_cycles> <tuned_cycles> <candidates>`.
+    /// `<computation:016x> <machine:016x> <shape d0xd1x...> <entry> <config> <default_cycles> <tuned_cycles> <predicted_cycles> <candidates> <model_version>`.
     /// `f64` cycles print in Rust's shortest round-trip form, so
     /// [`TuningTable::from_text`] reproduces them bit for bit.
     #[must_use]
@@ -180,13 +281,16 @@ impl TuningTable {
         for (key, tuned) in &self.entries {
             let shape = Shape(key.shape.clone());
             out.push_str(&format!(
-                "{:016x} {:016x} {shape} {} {} {} {}\n",
+                "{:016x} {:016x} {shape} {} {} {} {} {} {} {}\n",
                 key.computation,
                 key.machine,
+                tuned.entry,
                 tuned.config.encode(),
                 tuned.default_cycles,
                 tuned.tuned_cycles,
+                tuned.predicted_cycles,
                 tuned.candidates,
+                tuned.model_version,
             ));
         }
         out
@@ -195,15 +299,20 @@ impl TuningTable {
     /// Parse the format produced by [`TuningTable::to_text`].
     ///
     /// Parsing is strict: every line after the header must be a
-    /// well-formed 7-field entry with a key not seen before. A table
+    /// well-formed 10-field entry with a key not seen before. A table
     /// that parses is therefore exactly the table that was saved — no
     /// entry can be silently shadowed by a duplicate line, and no
     /// half-corrupted line can be silently dropped.
     ///
     /// # Errors
     ///
-    /// Returns [`RuntimeError::BadTuningTable`] on a wrong header, a
-    /// malformed or blank entry line, or a duplicate key.
+    /// Returns [`RuntimeError::BadTuningTable`] on a wrong header
+    /// (including the retired `cypress-tuning-v1`), a malformed or
+    /// blank entry line, a duplicate key, or an entry whose
+    /// `model_version` is newer than this build's
+    /// [`COST_MODEL_VERSION`] — predictions from a future model must
+    /// not be silently reinterpreted. Every entry error names its line
+    /// number.
     pub fn from_text(text: &str) -> Result<Self, RuntimeError> {
         let bad = |reason: String| RuntimeError::BadTuningTable { reason };
         let mut lines = text.lines();
@@ -222,11 +331,11 @@ impl TuningTable {
                 )));
             }
             let fields: Vec<&str> = line.split_whitespace().collect();
-            let [comp, machine, shape, config, default_cycles, tuned_cycles, candidates] =
+            let [comp, machine, shape, entry, config, default_cycles, tuned_cycles, predicted_cycles, candidates, model_version] =
                 fields.as_slice()
             else {
                 return Err(bad(format!(
-                    "line {}: expected 7 fields, found {}",
+                    "line {}: expected 10 fields, found {}",
                     i + 2,
                     fields.len()
                 )));
@@ -264,15 +373,28 @@ impl TuningTable {
                     Shape(key.shape.clone()),
                 )));
             }
+            let model_version: u32 = model_version
+                .parse()
+                .map_err(|e| bad(format!("line {}: bad model version: {e}", i + 2)))?;
+            if model_version > COST_MODEL_VERSION {
+                return Err(bad(format!(
+                    "line {}: cost-model version {model_version} is newer than this \
+                     build's {COST_MODEL_VERSION}; re-tune or upgrade",
+                    i + 2
+                )));
+            }
             table.insert(
                 key,
                 TunedMapping {
+                    entry: (*entry).to_string(),
                     config,
                     default_cycles: parse_f64(default_cycles, "default cycles")?,
                     tuned_cycles: parse_f64(tuned_cycles, "tuned cycles")?,
+                    predicted_cycles: parse_f64(predicted_cycles, "predicted cycles")?,
                     candidates: candidates
                         .parse()
                         .map_err(|e| bad(format!("line {}: bad candidate count: {e}", i + 2)))?,
+                    model_version,
                 },
             );
         }
@@ -361,10 +483,13 @@ mod tests {
                 machine: 0x1234,
             },
             TunedMapping {
+                entry: "gemm".into(),
                 config: MappingConfig::Gemm(GemmConfig::h100()),
                 default_cycles: 123456.75,
                 tuned_cycles: 98765.0625,
+                predicted_cycles: 101010.5,
                 candidates: 36,
+                model_version: COST_MODEL_VERSION,
             },
         );
         t.insert(
@@ -374,10 +499,13 @@ mod tests {
                 machine: 0x1234,
             },
             TunedMapping {
+                entry: "bgemm".into(),
                 config: MappingConfig::Gemm(GemmConfig::test()),
                 default_cycles: 10.0,
                 tuned_cycles: 10.0,
+                predicted_cycles: 0.0,
                 candidates: 12,
+                model_version: 0,
             },
         );
         t
@@ -471,6 +599,8 @@ mod tests {
                         pipeline: rng.gen_range(1usize..8),
                     })
                 };
+                let entries = ["gemm", "bgemm", "dual", "gr", "fa"];
+                let model_version = rng.gen_range(0u32..COST_MODEL_VERSION + 1);
                 table.insert(
                     TuningKey {
                         computation: rng.next_u64(),
@@ -478,10 +608,17 @@ mod tests {
                         machine: rng.next_u64(),
                     },
                     TunedMapping {
+                        entry: entries[rng.gen_range(0usize..entries.len())].into(),
                         config,
                         default_cycles: finite(&mut rng),
                         tuned_cycles: finite(&mut rng),
+                        predicted_cycles: if model_version == 0 {
+                            0.0
+                        } else {
+                            finite(&mut rng)
+                        },
                         candidates: rng.gen_range(1usize..100),
+                        model_version,
                     },
                 );
             }
@@ -513,12 +650,82 @@ mod tests {
     #[test]
     fn speedup_reads_the_cycle_ratio() {
         let tuned = TunedMapping {
+            entry: "gemm".into(),
             config: MappingConfig::Gemm(GemmConfig::test()),
             default_cycles: 200.0,
             tuned_cycles: 100.0,
+            predicted_cycles: 90.0,
             candidates: 4,
+            model_version: COST_MODEL_VERSION,
         };
         assert!((tuned.speedup() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn newer_model_versions_are_line_numbered_errors() {
+        let mut text = sample_table().to_text();
+        // Bump the last field (model version) of the final entry past
+        // this build's version.
+        let future = COST_MODEL_VERSION + 1;
+        let cut = text.trim_end().rsplit_once(' ').unwrap().0;
+        text = format!("{cut} {future}\n");
+        let err = TuningTable::from_text(&text).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("line 3") && msg.contains(&format!("version {future}")),
+            "unexpected error: {msg}"
+        );
+        // Version 0 (no prediction) and the current version both load.
+        assert!(TuningTable::from_text(&sample_table().to_text()).is_ok());
+    }
+
+    #[test]
+    fn v1_tables_are_rejected_by_header() {
+        let v1 = "cypress-tuning-v1\n\
+                  000000000000002a 0000000000000007 64x64x64 gemm:64:64:32:1:1:0 10 9 12\n";
+        let err = TuningTable::from_text(v1).unwrap_err();
+        assert!(
+            err.to_string().contains("cypress-tuning-v2"),
+            "header error must name the expected version: {err}"
+        );
+    }
+
+    #[test]
+    fn nearest_neighbor_prefers_relative_distance() {
+        let mut t = TuningTable::new();
+        let tuned = |entry: &str, cycles: f64| TunedMapping {
+            entry: entry.into(),
+            config: MappingConfig::Gemm(GemmConfig::test()),
+            default_cycles: cycles,
+            tuned_cycles: cycles,
+            predicted_cycles: 0.0,
+            candidates: 1,
+            model_version: 0,
+        };
+        let key = |shape: &[usize], machine: u64| TuningKey {
+            computation: shape.iter().sum::<usize>() as u64,
+            shape: shape.to_vec(),
+            machine,
+        };
+        t.insert(key(&[512, 512, 512], 7), tuned("gemm", 1.0));
+        t.insert(key(&[4096, 4096, 4096], 7), tuned("gemm", 2.0));
+        t.insert(key(&[1024, 1024, 1024], 9), tuned("gemm", 3.0));
+        t.insert(key(&[2048, 2048, 2048], 7), tuned("dual", 4.0));
+        t.insert(key(&[8, 2048, 128], 7), tuned("fa", 5.0));
+
+        // Relative distance: 2048^3 is nearer to 4096^3 than to 512^3.
+        let (k, m) = t.nearest_neighbor("gemm", 7, &[2048, 2048, 2048]).unwrap();
+        assert_eq!(k.shape, vec![4096, 4096, 4096]);
+        assert_eq!(m.entry, "gemm");
+        // The exact shape never matches itself; other entries/machines
+        // and other ranks are invisible.
+        let (k, _) = t.nearest_neighbor("gemm", 7, &[512, 512, 512]).unwrap();
+        assert_eq!(k.shape, vec![4096, 4096, 4096]);
+        assert!(t.nearest_neighbor("gemm", 8, &[512, 512, 512]).is_none());
+        assert!(t.nearest_neighbor("gr", 7, &[512, 512, 512]).is_none());
+        assert!(t.nearest_neighbor("gemm", 7, &[512, 512]).is_none());
+        let (k, _) = t.nearest_neighbor("fa", 7, &[8, 4096, 128]).unwrap();
+        assert_eq!(k.shape, vec![8, 2048, 128]);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use cypress_core::kernels::{dual_gemm, gemm};
 use cypress_runtime::telemetry::TraceLog;
 use cypress_runtime::{
     Binding, Event, EventClass, FusionPolicy, NodeId, Program, SchedulePolicy, Session, TaskGraph,
-    TraceSink,
+    TraceSink, TunerBudget,
 };
 use cypress_sim::MachineConfig;
 use cypress_tensor::{DType, Tensor};
@@ -372,4 +372,77 @@ fn apply_bytes_are_invariant_across_policies_and_parallelism() {
             "parallelism {parallelism}, policy {policy:?}"
         );
     }
+}
+
+/// A guided sweep records its ranking as a `Host`-class
+/// [`Event::TunerRanked`] whose counters agree with the metrics
+/// snapshot (and show up in its Display form), and
+/// [`TraceSink::chrome_json_with_host`] exports the ranking on the
+/// separate `cat == "host"` timeline next to the graph spans.
+#[test]
+fn guided_ranking_is_a_host_span_with_counters() {
+    let machine = MachineConfig::test_gpu();
+    let program =
+        Program::from_space(Arc::new(gemm::GemmSpace), Shape::of(&[D, D, D]), &machine).unwrap();
+
+    // Ranking is wall-clock host time: like `CompilePass`, its event is
+    // `Host`-class and needs the explicit opt-in.
+    let log = TraceLog::new().with_host();
+    let mut session = Session::new(machine.clone()).with_recorder(log.clone());
+    let tuned = session
+        .autotune_with(&program, TunerBudget::TopK(1))
+        .unwrap();
+    assert!(tuned.candidates >= 1);
+
+    let ranked: Vec<(usize, usize, bool)> = log
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            Event::TunerRanked {
+                ranked,
+                pruned,
+                transferred,
+                ..
+            } => {
+                assert_eq!(e.class(), EventClass::Host, "ranking is host time");
+                Some((*ranked, *pruned, *transferred))
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(ranked.len(), 1, "one sweep, one ranking");
+    let (r, p, t) = ranked[0];
+    assert_eq!(r, tuned.candidates, "every candidate is ranked");
+    assert!(!t, "nothing to transfer from an empty table");
+
+    let m = session.metrics();
+    assert_eq!(m.tuner.ranked, r as u64, "{m}");
+    assert_eq!(m.tuner.pruned, p as u64, "{m}");
+    assert_eq!(m.tuner.transferred, 0, "{m}");
+    assert_eq!(p as u64 + m.tuner.candidates_timed, r as u64, "{m}");
+    let text = m.to_string();
+    for field in ["ranked", "pruned", "transferred"] {
+        assert!(text.contains(field), "{text}");
+    }
+
+    // Export a graph timeline with the host events appended: the graph
+    // spans are untouched and the ranking rides on the host timeline.
+    let (graph, _) = chain_graph(&machine);
+    let report = session.launch_timing(&graph).unwrap();
+    let json = TraceSink::chrome_json_with_host(&report, &log.events());
+    let trace = TraceSink::parse_chrome_json(&json).unwrap();
+    let (host, graph_spans): (Vec<_>, Vec<_>) = trace.spans.iter().partition(|s| s.cat == "host");
+    assert_eq!(graph_spans.len(), report.nodes.len());
+    assert!(
+        host.iter().any(|s| s.name == "rank:gemm"),
+        "host spans: {:?}",
+        host.iter().map(|s| &s.name).collect::<Vec<_>>()
+    );
+    for span in host {
+        assert_eq!(span.tid, 0);
+        assert!(span.ts >= 0.0 && span.dur >= 0.0);
+    }
+    // The plain exporter stays host-free for determinism comparisons.
+    let plain = TraceSink::parse_chrome_json(&TraceSink::chrome_json(&report)).unwrap();
+    assert!(plain.spans.iter().all(|s| s.cat != "host"));
 }

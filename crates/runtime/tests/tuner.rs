@@ -512,10 +512,13 @@ fn import_tuning_invalidates_memoized_launches() {
     table.insert(
         key,
         cypress_runtime::TunedMapping {
+            entry: own.entry.clone(),
             config: default_cfg,
             default_cycles: own.default_cycles,
             tuned_cycles: own.default_cycles,
+            predicted_cycles: 0.0,
             candidates: own.candidates,
+            model_version: 0,
         },
     );
     session.import_tuning(table);
@@ -568,13 +571,16 @@ fn corrupted_table_entries_are_revalidated_and_retuned() {
     forged.insert(
         key,
         cypress_runtime::TunedMapping {
+            entry: "gemm".into(),
             config: cypress_core::MappingConfig::Gemm(GemmConfig {
                 v: 100, // does not divide N=128
                 ..GemmConfig::test()
             }),
             default_cycles: 1.0,
             tuned_cycles: 1.0,
+            predicted_cycles: 0.0,
             candidates: 1,
+            model_version: 0,
         },
     );
 
@@ -586,4 +592,197 @@ fn corrupted_table_entries_are_revalidated_and_retuned() {
     assert_eq!(retuned, honest, "re-tune must reproduce the honest winner");
     let report = session.run_timing(&program).unwrap();
     assert!((report.cycles - honest.tuned_cycles).abs() < 1e-9);
+}
+
+/// One guided-vs-exhaustive comparison: returns (exhaustive result,
+/// exhaustive cache stats) from a fresh serial session.
+fn tune_exhaustive(
+    machine: &MachineConfig,
+    program: &Program,
+) -> (cypress_runtime::TunedMapping, cypress_runtime::CacheStats) {
+    let mut session = Session::new(machine.clone());
+    let tuned = session.autotune(program).unwrap();
+    (tuned, session.cache_stats())
+}
+
+proptest::proptest! {
+    /// The guided-tuning contract, over all five paper kernels at
+    /// seeded random shapes:
+    ///
+    /// 1. a guided sweep with `top_k >= candidates.len()` is
+    ///    bit-identical to the exhaustive sweep — same `TunedMapping`
+    ///    (prediction fields included) and same kernel-cache traffic;
+    /// 2. a half-budget guided sweep times at most half the candidates
+    ///    (plus nothing else: fresh sessions have no transfer seed) and
+    ///    its winner's measured cycles are within 5% of the exhaustive
+    ///    winner's;
+    /// 3. cost ranking is deterministic: two sessions running the same
+    ///    guided sweep agree on the result and on every tuner counter.
+    #[test]
+    fn guided_sweeps_track_exhaustive_sweeps(seed in 0u64..1_000_000) {
+        use cypress_runtime::TunerBudget;
+        let machine = MachineConfig::test_gpu();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spaces = paper_spaces();
+        let space = &spaces[(seed % spaces.len() as u64) as usize];
+        let shape = random_shape(space.as_ref(), &mut rng);
+        let Ok(program) = Program::from_space(Arc::clone(space), shape.clone(), &machine) else {
+            return; // default invalid at this shape: nothing to tune against
+        };
+        let total = space.candidates(&machine, &shape).len();
+        if total == 0 {
+            return;
+        }
+        let (exhaustive, exhaustive_cache) = tune_exhaustive(&machine, &program);
+
+        // (1) full-budget guided == exhaustive, bit for bit.
+        let mut full = Session::new(machine.clone());
+        let got = full.autotune_with(&program, TunerBudget::TopK(total)).unwrap();
+        proptest::prop_assert_eq!(&got, &exhaustive, "{} {}: full-budget guided diverged", space.entry(), &shape);
+        proptest::prop_assert_eq!(
+            full.cache_stats(),
+            exhaustive_cache,
+            "{} {}: full-budget guided cache traffic diverged",
+            space.entry(),
+            &shape
+        );
+        let stats = full.tuning_table().stats();
+        proptest::prop_assert_eq!(stats.ranked as usize, total);
+        proptest::prop_assert_eq!(stats.pruned, 0, "a covering budget must prune nothing");
+
+        // (2) half-budget guided: halved timing cost, near-best winner.
+        let half = total.div_ceil(2);
+        let mut guided = Session::new(machine.clone());
+        let winner = guided.autotune_with(&program, TunerBudget::TopK(half)).unwrap();
+        let stats = guided.tuning_table().stats();
+        proptest::prop_assert!(
+            stats.candidates_timed as usize <= half,
+            "{} {}: guided timed {} of {} candidates (budget {})",
+            space.entry(),
+            &shape,
+            stats.candidates_timed,
+            total,
+            half
+        );
+        proptest::prop_assert_eq!(stats.pruned as usize + stats.candidates_timed as usize, total);
+        proptest::prop_assert!(
+            winner.tuned_cycles <= exhaustive.tuned_cycles * 1.05,
+            "{} {}: guided winner {} cycles vs exhaustive {} (ratio {:.4})",
+            space.entry(),
+            &shape,
+            winner.tuned_cycles,
+            exhaustive.tuned_cycles,
+            winner.tuned_cycles / exhaustive.tuned_cycles
+        );
+
+        // (3) ranking determinism across sessions.
+        let mut again = Session::new(machine.clone());
+        let rewinner = again.autotune_with(&program, TunerBudget::TopK(half)).unwrap();
+        proptest::prop_assert_eq!(&rewinner, &winner, "{} {}: guided sweep is nondeterministic", space.entry(), &shape);
+        proptest::prop_assert_eq!(again.tuning_table().stats(), guided.tuning_table().stats());
+    }
+}
+
+#[test]
+fn transfer_tuning_seeds_neighboring_shapes() {
+    use cypress_runtime::TunerBudget;
+    let machine = MachineConfig::test_gpu();
+    let tuned_at = Shape::of(&[128, 128, 128]);
+    let untuned = Shape::of(&[192, 192, 192]);
+    let donor = Program::from_space(Arc::new(gemm::GemmSpace), tuned_at, &machine).unwrap();
+    let target = Program::from_space(Arc::new(gemm::GemmSpace), untuned.clone(), &machine).unwrap();
+
+    // Tune the donor shape exhaustively, then ask for the neighbor under
+    // a zero budget: the sweep must time exactly one candidate — the
+    // transferred winner — and count the transfer.
+    let mut session = Session::new(machine.clone());
+    let donor_win = session.autotune(&donor).unwrap();
+    let timed_before = session.tuning_table().stats().candidates_timed;
+    let transferred = session
+        .autotune_with(&target, TunerBudget::TopK(0))
+        .unwrap();
+    let stats = session.tuning_table().stats();
+    assert_eq!(
+        stats.candidates_timed - timed_before,
+        1,
+        "zero-budget transfer must time exactly the seeded winner"
+    );
+    assert_eq!(stats.transferred, 1);
+    assert_eq!(
+        transferred.config, donor_win.config,
+        "the neighbor's winner is the only candidate in a zero-budget sweep"
+    );
+
+    // Without a neighbor, a zero budget still times one candidate (the
+    // best-predicted), and no transfer is counted.
+    let mut cold = Session::new(machine);
+    let lone = cold.autotune_with(&target, TunerBudget::TopK(0)).unwrap();
+    let cold_stats = cold.tuning_table().stats();
+    assert_eq!(cold_stats.candidates_timed, 1);
+    assert_eq!(cold_stats.transferred, 0);
+    assert!(
+        target
+            .space
+            .as_ref()
+            .map(|b| b
+                .space
+                .candidates(&cold.machine().clone(), &untuned)
+                .contains(&lone.config))
+            .unwrap_or(false),
+        "the zero-budget winner must be an enumerated candidate"
+    );
+}
+
+#[test]
+fn guided_policy_tensors_match_default_and_autotune_bitwise() {
+    let machine = MachineConfig::test_gpu();
+    let mut rng = StdRng::seed_from_u64(0x6D1D);
+    let program = Program::from_space(
+        Arc::new(gemm::GemmSpace),
+        Shape::of(&[128, 128, 128]),
+        &machine,
+    )
+    .unwrap();
+    let mut graph = cypress_runtime::TaskGraph::new();
+    graph
+        .add_node(
+            "g",
+            program,
+            vec![
+                Binding::Zeros,
+                Binding::external("A"),
+                Binding::external("B"),
+            ],
+        )
+        .unwrap();
+    let inputs: HashMap<String, Tensor> = [
+        (
+            "A".to_string(),
+            Tensor::random(DType::F16, &[128, 128], &mut rng, -0.5, 0.5),
+        ),
+        (
+            "B".to_string(),
+            Tensor::random(DType::F16, &[128, 128], &mut rng, -0.5, 0.5),
+        ),
+    ]
+    .into();
+    let mut results = Vec::new();
+    for policy in [
+        MappingPolicy::Default,
+        MappingPolicy::Autotune,
+        MappingPolicy::Guided { top_k: 3 },
+    ] {
+        let mut session = Session::new(machine.clone()).with_mapping_policy(policy);
+        let run = session.launch_functional(&graph, &inputs).unwrap();
+        results.push(run);
+    }
+    let want = results[0].tensor_of("g", 0).unwrap();
+    for (i, got) in results.iter().enumerate().skip(1) {
+        let g = got.tensor_of("g", 0).unwrap();
+        assert_eq!(
+            g.data(),
+            want.data(),
+            "policy #{i} diverged from Default bitwise"
+        );
+    }
 }

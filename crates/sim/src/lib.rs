@@ -82,7 +82,7 @@ pub use error::SimError;
 pub use expr::{Cond, Env, Expr};
 pub use instr::{BinOp, Instr, RedOp, SimtOp, UnOp};
 pub use kernel::{Kernel, KernelError, MbarDecl, Role, RoleKind, StaticTotals};
-pub use machine::MachineConfig;
+pub use machine::{CostConstants, MachineConfig};
 pub use mem::{FragDecl, MemRef, ParamDecl, Slice, SmemDecl, Space};
 pub use report::{ApplyBytes, TimingReport};
 
