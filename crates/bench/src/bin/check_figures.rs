@@ -13,13 +13,14 @@
 use std::process::ExitCode;
 
 /// `(figure id, expected row count)` — sizes x systems per figure.
-const EXPECTED: [(&str, usize); 9] = [
+const EXPECTED: [(&str, usize); 10] = [
     ("13a_gemm", 9),           // 3 sizes x {Cypress, Triton, cuBLAS}
     ("13b_batched_gemm", 9),   // 3 sizes x {Cypress, Triton, cuBLAS}
     ("13c_dual_gemm", 6),      // 3 sizes x {Cypress, Triton}
     ("13d_gemm_reduction", 6), // 3 sizes x {Cypress, Triton}
     ("14_attention", 24),      // 4 seqs x 6 systems
     ("graph_overlap", 6),      // 3 sizes x {serial, 8 streams}
+    ("fig_multi_gpu", 12),     // 3 sizes x {1, 2, 4 devices, comm overlap}
     ("fig_fusion", 12),        // 3 sizes x 2 workloads x {unfused, fused}
     ("fig_autotune", 50),      // 5 paper kernels x 2 sizes x {hand, tuned, guided, 2 timed counts}
     ("fig_functional", 7), // {GEMM, attention, fan-out graph} x {fast/parallel, scalar/serial} + GEMM bytecode
@@ -50,6 +51,17 @@ const FUNCTIONAL_GATES: [(&str, &str, f64); 4] = [
 
 /// The fused workloads of the fusion figure.
 const FUSION_WORKLOADS: [&str; 2] = ["Chained GEMM", "GEMM+Reduction pair"];
+
+/// The sharded series of the multi-GPU figure (labels from
+/// `cypress_bench::multi_gpu_system`).
+const MULTI_GPU_SYSTEMS: [&str; 3] = [
+    "Sharded (1 device)",
+    "Sharded (2 devices)",
+    "Sharded (4 devices)",
+];
+
+/// The comm-overlap series of the multi-GPU figure.
+const MULTI_GPU_OVERLAP: &str = "Comm overlap (2 devices)";
 
 /// Minimum `guided / autotuned` throughput ratio of the autotune
 /// figure: the cost-model-guided sweep times only the predicted top
@@ -140,6 +152,45 @@ fn check_autotune(json: &str) -> Result<(), String> {
                      sweep must simulate strictly fewer candidates"
                 ));
             }
+        }
+    }
+    Ok(())
+}
+
+/// The multi-GPU gate: at every measured size the 2-device shard
+/// strictly beats the 1-device control on the 8-wide fan-out graph (the
+/// roots are independent, so splitting them across devices must shorten
+/// the makespan), and the comm-overlap series stays a valid fraction.
+fn check_multi_gpu(json: &str) -> Result<(), String> {
+    let rows = figure_rows(json, "fig_multi_gpu");
+    let sizes: std::collections::BTreeSet<u64> = rows.iter().map(|(_, s, _)| *s).collect();
+    if sizes.is_empty() {
+        return Err("fig_multi_gpu: no rows found".to_string());
+    }
+    for &size in &sizes {
+        let find = |system: &str| {
+            rows.iter()
+                .find(|(s, sz, _)| s == system && *sz == size)
+                .map(|(_, _, t)| *t)
+                .ok_or_else(|| format!("fig_multi_gpu: missing series `{system}` at size {size}"))
+        };
+        let [one, two, four] = MULTI_GPU_SYSTEMS.map(&find);
+        let (one, two) = (one?, two?);
+        four?;
+        if two <= one {
+            return Err(format!(
+                "fig_multi_gpu: `{}` at size {size} does not beat `{}` \
+                 ({two:.3} vs {one:.3} TFLOP/s, gate: strictly greater) — sharding the \
+                 independent fan-out across two devices must shorten the makespan",
+                MULTI_GPU_SYSTEMS[1], MULTI_GPU_SYSTEMS[0]
+            ));
+        }
+        let overlap = find(MULTI_GPU_OVERLAP)?;
+        if overlap > 1.0 {
+            return Err(format!(
+                "fig_multi_gpu: `{MULTI_GPU_OVERLAP}` at size {size} is {overlap:.3} — \
+                 the hidden fraction of transfer cycles cannot exceed 1"
+            ));
         }
     }
     Ok(())
@@ -267,6 +318,7 @@ fn check(json: &str) -> Result<usize, String> {
         return Err(format!("{rows} rows but {values} tflops values"));
     }
     check_autotune(json)?;
+    check_multi_gpu(json)?;
     check_fusion(json)?;
     check_functional(json)?;
     Ok(rows)
@@ -348,6 +400,17 @@ mod tests {
                         ));
                     }
                 }
+            } else if figure == "fig_multi_gpu" {
+                for size in [256, 512, 1024] {
+                    for (system, tflops) in [
+                        ("Sharded (1 device)", "50.0"),
+                        ("Sharded (2 devices)", "90.0"),
+                        ("Sharded (4 devices)", "150.0"),
+                        ("Comm overlap (2 devices)", "0.8"),
+                    ] {
+                        rows.push(row_with_system(figure, system, size, tflops));
+                    }
+                }
             } else if figure == "fig_functional" {
                 // One row per distinct system ("GEMM functional (fast)"
                 // appears in two gates); values satisfy every gate:
@@ -377,7 +440,47 @@ mod tests {
 
     #[test]
     fn complete_file_passes() {
-        assert_eq!(check(&full_file(&[])), Ok(129));
+        assert_eq!(check(&full_file(&[])), Ok(141));
+    }
+
+    #[test]
+    fn two_device_shard_not_beating_one_fails() {
+        // A tie is already a failure: the gate is strictly greater.
+        let json = full_file(&[]).replacen(
+            "\"system\": \"Sharded (2 devices)\", \"size\": 512, \"tflops\": 90.0",
+            "\"system\": \"Sharded (2 devices)\", \"size\": 512, \"tflops\": 50.0",
+            1,
+        );
+        let err = check(&json).unwrap_err();
+        assert!(err.contains("Sharded (2 devices)"), "{err}");
+        assert!(err.contains("512"), "{err}");
+        assert!(err.contains("strictly greater"), "{err}");
+    }
+
+    #[test]
+    fn comm_overlap_above_one_fails() {
+        let json = full_file(&[]).replacen(
+            "\"system\": \"Comm overlap (2 devices)\", \"size\": 1024, \"tflops\": 0.8",
+            "\"system\": \"Comm overlap (2 devices)\", \"size\": 1024, \"tflops\": 1.2",
+            1,
+        );
+        let err = check(&json).unwrap_err();
+        assert!(err.contains("Comm overlap"), "{err}");
+        assert!(err.contains("cannot exceed 1"), "{err}");
+    }
+
+    #[test]
+    fn missing_multi_gpu_series_fails() {
+        let json = full_file(&[]).replacen(
+            "\"system\": \"Sharded (4 devices)\", \"size\": 256",
+            "\"system\": \"Sharded (5 devices)\", \"size\": 256",
+            1,
+        );
+        let err = check(&json).unwrap_err();
+        assert!(
+            err.contains("missing series `Sharded (4 devices)`"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -25,8 +25,14 @@ fn check(json: &str) -> Result<String, String> {
     let makespan = trace
         .makespan
         .ok_or("missing `cypress_graph` metadata: no makespan")?;
+    // Traces from before the multi-device exporter carry no `devices`
+    // key; they are single-device by construction.
+    let devices = trace.devices.unwrap_or(1);
     if streams == 0 {
         return Err("metadata declares 0 streams".to_string());
+    }
+    if devices == 0 {
+        return Err("metadata declares 0 devices".to_string());
     }
     if !makespan.is_finite() || makespan <= 0.0 {
         return Err(format!(
@@ -60,10 +66,15 @@ fn check(json: &str) -> Result<String, String> {
             ));
         }
         prev = span.ts;
-        if span.tid >= streams {
+        // The exporter bands tids per device: `tid = device * streams +
+        // stream`, so a valid tid lives in `0..devices * streams`.
+        if span.tid >= devices * streams {
             return Err(format!(
-                "span {i} `{}`: stream id {} but metadata declares {streams} streams",
-                span.name, span.tid
+                "span {i} `{}`: lane id {} but metadata declares {devices} device(s) x \
+                 {streams} streams ({} lanes)",
+                span.name,
+                span.tid,
+                devices * streams
             ));
         }
         // The exporter emits exact sim cycles; tolerate only rounding in
@@ -79,7 +90,8 @@ fn check(json: &str) -> Result<String, String> {
         }
     }
     Ok(format!(
-        "{} spans on {streams} streams ({hosts} host), makespan {makespan} cycles",
+        "{} spans on {devices} device(s) x {streams} streams ({hosts} host), \
+         makespan {makespan} cycles",
         trace.spans.len() - hosts
     ))
 }
@@ -164,7 +176,39 @@ mod tests {
     fn out_of_range_stream_fails() {
         let json = trace(META, &[&span("a", 0.0, 100.0, 7)]);
         let err = check(&json).unwrap_err();
-        assert!(err.contains("stream id 7"), "{err}");
+        assert!(err.contains("lane id 7"), "{err}");
+        assert!(err.contains("1 device(s) x 2 streams"), "{err}");
+    }
+
+    const MULTI_META: &str = "{\"name\":\"cypress_graph\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+                              \"args\":{\"streams\":2,\"devices\":2,\"makespan\":1000,\
+                              \"unit\":\"cycles\"}}";
+
+    #[test]
+    fn device_banded_lanes_pass() {
+        // tid 3 = device 1, stream 1 — out of range for a 1-device
+        // trace but valid once the metadata declares 2 devices.
+        let json = trace(
+            MULTI_META,
+            &[&span("a", 0.0, 600.0, 0), &span("xfer:b", 100.0, 900.0, 3)],
+        );
+        let summary = check(&json).unwrap();
+        assert!(summary.contains("2 device(s) x 2 streams"), "{summary}");
+    }
+
+    #[test]
+    fn lane_past_device_band_fails() {
+        let json = trace(MULTI_META, &[&span("a", 0.0, 100.0, 4)]);
+        let err = check(&json).unwrap_err();
+        assert!(err.contains("lane id 4"), "{err}");
+        assert!(err.contains("4 lanes"), "{err}");
+    }
+
+    #[test]
+    fn zero_devices_fails() {
+        let meta = MULTI_META.replace("\"devices\":2", "\"devices\":0");
+        let json = trace(&meta, &[&span("a", 0.0, 100.0, 0)]);
+        assert!(check(&json).unwrap_err().contains("0 devices"));
     }
 
     #[test]

@@ -8,10 +8,12 @@
 
 use cypress_bench::{
     autotune_entries, fig13a, fig13b, fig13c, fig13d, fig14, fig_autotune_with_times,
-    fig_functional, fig_fusion, fig_graph_overlap, overlap_concurrent_system, ratio, Row,
-    AUTOTUNE_GUIDED_SYSTEM, AUTOTUNE_HAND_SYSTEM, AUTOTUNE_SIZES, AUTOTUNE_TIMED_EXHAUSTIVE_SYSTEM,
-    AUTOTUNE_TIMED_GUIDED_SYSTEM, AUTOTUNE_TUNED_SYSTEM, FUNCTIONAL_FAN_OUT, FUNCTIONAL_SIZE,
-    FUSION_SIZES, GEMM_SIZES, OVERLAP_SERIAL_SYSTEM, OVERLAP_SIZES, OVERLAP_WIDTH, SEQ_LENS,
+    fig_functional, fig_fusion, fig_graph_overlap, fig_multi_gpu, multi_gpu_system,
+    overlap_concurrent_system, ratio, Row, AUTOTUNE_GUIDED_SYSTEM, AUTOTUNE_HAND_SYSTEM,
+    AUTOTUNE_SIZES, AUTOTUNE_TIMED_EXHAUSTIVE_SYSTEM, AUTOTUNE_TIMED_GUIDED_SYSTEM,
+    AUTOTUNE_TUNED_SYSTEM, FUNCTIONAL_FAN_OUT, FUNCTIONAL_SIZE, FUSION_SIZES, GEMM_SIZES,
+    MULTI_GPU_OVERLAP_SYSTEM, MULTI_GPU_SIZES, OVERLAP_SERIAL_SYSTEM, OVERLAP_SIZES, OVERLAP_WIDTH,
+    SEQ_LENS,
 };
 use cypress_sim::MachineConfig;
 
@@ -149,6 +151,21 @@ fn main() {
         );
     }
 
+    let mg = fig_multi_gpu(&machine);
+    print_rows(
+        &format!("Multi-GPU: {OVERLAP_WIDTH} independent GEMMs sharded across 1/2/4 devices"),
+        &mg,
+    );
+    for s in MULTI_GPU_SIZES {
+        println!(
+            "  size {s}: 2 devices / 1 device = {:.2}x, 4 devices / 1 device = {:.2}x makespan \
+             speedup (2 > 1 gated in CI), comm hidden under compute = {:.0}%",
+            ratio(&mg, &multi_gpu_system(2), &multi_gpu_system(1), s),
+            ratio(&mg, &multi_gpu_system(4), &multi_gpu_system(1), s),
+            100.0 * find(&mg, MULTI_GPU_OVERLAP_SYSTEM, s)
+        );
+    }
+
     let fu = fig_fusion(&machine);
     print_rows(
         "Graph fusion: producer->consumer pairs, unfused vs FusionPolicy::Auto",
@@ -251,6 +268,7 @@ fn main() {
             ("13d_gemm_reduction", &d),
             ("14_attention", &f),
             ("graph_overlap", &g),
+            ("fig_multi_gpu", &mg),
             ("fig_fusion", &fu),
             ("fig_autotune", &t),
             // Host-measured rows; excluded from the bit-identical

@@ -10,7 +10,8 @@ use cypress_core::kernels::{
     attention, batched, chain, dual_gemm, gemm, gemm_reduction, reduction,
 };
 use cypress_runtime::{
-    Binding, FusionPolicy, Program, SchedulePolicy, Session, TaskGraph, TunerBudget,
+    Binding, FusionPolicy, PlacementPolicy, Program, SchedulePolicy, Session, TaskGraph,
+    TunerBudget,
 };
 use cypress_sim::{Kernel, MachineConfig, Simulator};
 use std::sync::Arc;
@@ -282,6 +283,153 @@ pub fn fig_graph_overlap(machine: &MachineConfig) -> Vec<Row> {
             system: overlap_concurrent_system(),
             size,
             tflops: conc.tflops_for(fl),
+        });
+    }
+    rows
+}
+
+/// Device counts of the multi-GPU figure (powers of two behind
+/// NVLink-class all-to-all links; 1 is the single-device control).
+pub const MULTI_GPU_DEVICES: [usize; 3] = [1, 2, 4];
+
+/// Problem sizes of the multi-GPU figure: the device-filling regime
+/// where eight concurrent GEMMs oversubscribe one simulated H100, so
+/// spreading them across devices shortens the makespan (below ~1024 the
+/// fan-out fits on one device and every placement ties).
+pub const MULTI_GPU_SIZES: [usize; 3] = [1024, 2048, 4096];
+
+/// Row label of the sharded graph-overlap series at `devices` devices.
+#[must_use]
+pub fn multi_gpu_system(devices: usize) -> String {
+    let plural = if devices == 1 { "" } else { "s" };
+    format!("Sharded ({devices} device{plural})")
+}
+
+/// Row label of the comm-vs-compute overlap series (fraction of link
+/// transfer cycles hidden under concurrent compute, 2-device shard).
+pub const MULTI_GPU_OVERLAP_SYSTEM: &str = "Comm overlap (2 devices)";
+
+/// A two-layer graph forcing cross-device traffic under round-robin
+/// root placement: `width` independent GEMM producers feed `width / 2`
+/// consumers, each reading a producer pair `(2j, 2j + 1)` that lands on
+/// different devices whenever the shard uses more than one. Producer
+/// pairs deepen geometrically in K (`size / 2^(pairs - 1 - j)` up to
+/// `size`), so early pairs retire while late pairs still compute and
+/// their cross-device transfers have compute to hide under.
+#[must_use]
+pub fn multi_gpu_comm_graph(width: usize, size: usize, machine: &MachineConfig) -> TaskGraph {
+    let join = Program::from_parts(
+        gemm::build(size, size, size, machine).expect("paper kernel builds"),
+        "gemm",
+    );
+    let pairs = width / 2;
+    let mut graph = TaskGraph::new();
+    let mut producers = Vec::new();
+    for i in 0..width {
+        let k = (size >> (pairs - 1 - i / 2)).max(64);
+        let program = Program::from_parts(
+            gemm::build(size, size, k, machine).expect("paper kernel builds"),
+            "gemm",
+        );
+        producers.push(
+            graph
+                .add_node(
+                    &format!("gemm{i}"),
+                    program,
+                    vec![
+                        Binding::Zeros,
+                        Binding::External(format!("A{i}")),
+                        Binding::External(format!("B{i}")),
+                    ],
+                )
+                .expect("independent nodes always insert"),
+        );
+    }
+    for j in 0..pairs {
+        graph
+            .add_node(
+                &format!("join{j}"),
+                join.clone(),
+                vec![
+                    Binding::Zeros,
+                    Binding::output(producers[2 * j], 0),
+                    Binding::output(producers[2 * j + 1], 0),
+                ],
+            )
+            .expect("consumer nodes always insert");
+    }
+    graph
+}
+
+/// Fraction of transfer-node cycles in `report` that overlap at least
+/// one compute node's span (transfer nodes are the `xfer:`-prefixed
+/// nodes the graph sharder inserts). `NaN` when the report has no
+/// transfers.
+#[must_use]
+pub fn comm_overlap_ratio(report: &cypress_runtime::GraphReport) -> f64 {
+    let is_xfer = |n: &cypress_runtime::NodeTiming| n.node.starts_with("xfer:");
+    let mut total = 0.0;
+    let mut hidden = 0.0;
+    for xfer in report.nodes.iter().filter(|n| is_xfer(n)) {
+        total += xfer.end - xfer.start;
+        // Merge the compute intervals clipped to this transfer's span;
+        // completion order is not start order, so sort before sweeping.
+        let mut clips: Vec<(f64, f64)> = report
+            .nodes
+            .iter()
+            .filter(|n| !is_xfer(n))
+            .map(|n| (n.start.max(xfer.start), n.end.min(xfer.end)))
+            .filter(|(s, e)| e > s)
+            .collect();
+        clips.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut cursor = xfer.start;
+        for (s, e) in clips {
+            let s = s.max(cursor);
+            if e > s {
+                hidden += e - s;
+                cursor = e;
+            }
+        }
+    }
+    hidden / total
+}
+
+/// Multi-GPU figure: the 8-wide fan-out graph sharded across 1/2/4
+/// simulated devices ([`PlacementPolicy::Sharded`], concurrent
+/// streams), plus the fraction of cross-device transfer cycles the
+/// 2-device schedule hides under compute on [`multi_gpu_comm_graph`].
+/// `check_figures` gates 2 devices strictly beating 1 at every size and
+/// the overlap ratio staying a valid fraction.
+#[must_use]
+pub fn fig_multi_gpu(machine: &MachineConfig) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for size in MULTI_GPU_SIZES {
+        let graph = overlap_graph(OVERLAP_WIDTH, size, machine);
+        let fl = OVERLAP_WIDTH as f64 * gemm::flops(size, size, size);
+        for devices in MULTI_GPU_DEVICES {
+            let mut session = Session::new(machine.clone())
+                .with_placement_policy(PlacementPolicy::Sharded { devices })
+                .with_policy(SchedulePolicy::Concurrent {
+                    streams: OVERLAP_WIDTH,
+                });
+            let report = session.launch_timing(&graph).expect("graph times");
+            rows.push(Row {
+                system: multi_gpu_system(devices),
+                size,
+                tflops: report.tflops_for(fl),
+            });
+        }
+        let comm = multi_gpu_comm_graph(OVERLAP_WIDTH, size, machine);
+        let mut session = Session::new(machine.clone())
+            .with_placement_policy(PlacementPolicy::Sharded { devices: 2 })
+            .with_policy(SchedulePolicy::Concurrent {
+                streams: OVERLAP_WIDTH,
+            });
+        let report = session.launch_timing(&comm).expect("comm graph times");
+        rows.push(Row {
+            system: MULTI_GPU_OVERLAP_SYSTEM.into(),
+            size,
+            tflops: comm_overlap_ratio(&report),
         });
     }
     rows

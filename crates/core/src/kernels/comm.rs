@@ -1,0 +1,880 @@
+//! Communication kernels: tensor transfer (exchange), halo exchange,
+//! and all-reduce — first-class Cypress kernels for multi-device
+//! execution.
+//!
+//! A sharded task graph (see `cypress-runtime`'s placement policy) moves
+//! tensors between devices with explicit graph nodes, and those nodes
+//! compile, cache, tune, and execute like any paper kernel:
+//!
+//! - [`TransferSpace`] (`xfer`): `Y[m,n] = X[m,n]`, a tiled
+//!   global→shared→register→shared→global copy. This is the kernel the
+//!   runtime's graph sharder inserts on every cross-device edge; on the
+//!   timing side its solo cost is replaced by the link-derived transfer
+//!   time (`cypress_sim::topology::Link::transfer_cycles`), while the
+//!   functional side runs the compiled copy so tensors stay bitwise
+//!   identical to an unsharded run.
+//! - [`HaloSpace`] (`halo`): the same copy under its own entry name,
+//!   sized to a boundary band (`[halo_rows, n]`). Stencil-style sharding
+//!   exchanges only the halo rows instead of whole operands.
+//! - [`AllReduceSpace`] (`allred`): `Y = X0 + X1 + … + X{w-1}`, the
+//!   per-device combine step of a w-way reduction. Inputs accumulate in
+//!   ascending order in unrounded f32 register fragments, so the sum is
+//!   bitwise identical at every tiling — the same transparency argument
+//!   as the paper kernels' spaces.
+//!
+//! Each space enumerates only functionally transparent dimensions (the
+//! `V` column tile), prices candidates with an explicit
+//! [`CostEstimate`] override (bandwidth-bound, no tensor-core term),
+//! and validates shared-memory budgets with typed errors.
+
+use crate::error::CompileError;
+use crate::front::ast::{LeafFn, Privilege, SExpr, Stmt};
+use crate::front::machine::{MemLevel, ProcLevel};
+use crate::front::mapping::{MappingSpec, TaskMapping};
+use crate::front::task::{TaskRegistry, TaskVariant, VariantKind};
+use crate::kernels::common::{self, p, piece, t, v};
+use crate::kernels::cost::CostEstimate;
+use crate::kernels::gemm::GemmConfig;
+use crate::kernels::space::{MappingConfig, MappingSpace, Shape};
+use crate::passes::depan::EntryArg;
+use cypress_sim::{CostConstants, MachineConfig};
+use cypress_tensor::DType;
+
+/// f16 element size in bytes.
+const ELEM: usize = 2;
+
+/// Bytes one `[rows, cols]` f16 tensor occupies — what a transfer of it
+/// moves across a link.
+#[must_use]
+pub fn tensor_bytes(rows: usize, cols: usize) -> f64 {
+    rows as f64 * cols as f64 * ELEM as f64
+}
+
+/// Algorithmic FLOPs of a `ways`-input all-reduce: one add per element
+/// per extra input.
+#[must_use]
+pub fn all_reduce_flops(ways: usize, m: usize, n: usize) -> f64 {
+    (ways.saturating_sub(1) * m * n) as f64
+}
+
+// ---------------------------------------------------------------------------
+// Shared program construction.
+// ---------------------------------------------------------------------------
+
+/// Register the `radd` accumulate tree: `T += X` per block tile, rows
+/// split across warpgroups, `X` staged through shared memory. The
+/// elementwise analogue of the reduction kernel's `rstep`.
+fn register_accumulate(reg: &mut TaskRegistry, task: &str) -> Result<(), CompileError> {
+    let params = vec![p("T", Privilege::ReadWrite), p("X", Privilege::Read)];
+    reg.register(TaskVariant {
+        task: task.into(),
+        name: format!("{task}_tile"),
+        kind: VariantKind::Inner,
+        params: params.clone(),
+        body: vec![
+            Stmt::Tunable { name: "WGS".into() },
+            Stmt::Let {
+                name: "M".into(),
+                value: SExpr::shape("T", 0),
+            },
+            Stmt::Let {
+                name: "N".into(),
+                value: SExpr::shape("T", 1),
+            },
+            Stmt::PartitionBlocks {
+                name: "Tp".into(),
+                tensor: "T".into(),
+                tile_rows: v("M") / v("WGS"),
+                tile_cols: v("N"),
+            },
+            Stmt::PartitionBlocks {
+                name: "Xp".into(),
+                tensor: "X".into(),
+                tile_rows: v("M") / v("WGS"),
+                tile_cols: v("N"),
+            },
+            Stmt::PRange {
+                vars: vec!["w".into()],
+                extents: vec![v("WGS")],
+                body: vec![Stmt::Launch {
+                    task: task.into(),
+                    args: vec![
+                        piece("Tp", vec![v("w"), SExpr::lit(0)]),
+                        piece("Xp", vec![v("w"), SExpr::lit(0)]),
+                    ],
+                }],
+            },
+        ],
+    })?;
+    reg.register(TaskVariant {
+        task: task.into(),
+        name: format!("{task}_leaf"),
+        kind: VariantKind::Leaf,
+        params,
+        body: vec![Stmt::CallExternal {
+            f: LeafFn::AddExt,
+            args: vec![t("T"), t("X"), t("T")],
+        }],
+    })
+}
+
+/// Mapping instances for an accumulate tree rooted at the BLOCK level:
+/// `X` staged in shared memory, `T` held in register fragments.
+fn accumulate_mappings(task: &str, wgs: i64) -> Vec<TaskMapping> {
+    vec![
+        TaskMapping::new(
+            &format!("{task}_tile"),
+            &format!("{task}_tile"),
+            ProcLevel::Block,
+            vec![MemLevel::None, MemLevel::Shared],
+        )
+        .tunable("WGS", wgs)
+        .calls(&[&format!("{task}_leaf")]),
+        TaskMapping::new(
+            &format!("{task}_leaf"),
+            &format!("{task}_leaf"),
+            ProcLevel::Warpgroup,
+            vec![MemLevel::Register, MemLevel::Shared],
+        ),
+    ]
+}
+
+/// Mapping instances for an inbound copy tree (`register_vec_store`'s
+/// task shape with the memory placement reversed): the *source* is
+/// staged through shared memory and the destination lands in register
+/// fragments.
+fn vec_load_mappings(task: &str, wgs: i64) -> Vec<TaskMapping> {
+    vec![
+        TaskMapping::new(
+            &format!("{task}_tile"),
+            &format!("{task}_tile"),
+            ProcLevel::Block,
+            vec![MemLevel::Shared, MemLevel::None],
+        )
+        .tunable("WGS", wgs)
+        .calls(&[&format!("{task}_leaf")]),
+        TaskMapping::new(
+            &format!("{task}_leaf"),
+            &format!("{task}_leaf"),
+            ProcLevel::Warpgroup,
+            vec![MemLevel::Shared, MemLevel::Register],
+        ),
+    ]
+}
+
+/// Build the transfer program for `Y[m,n] = X[m,n]` under the entry
+/// task name `task` (`"xfer"` or `"halo"`).
+fn build_copy(
+    task: &str,
+    m: usize,
+    n: usize,
+    cfg: GemmConfig,
+) -> Result<(TaskRegistry, MappingSpec, Vec<EntryArg>), CompileError> {
+    let mut reg = TaskRegistry::new();
+    // Inbound X → T copy and outbound T → Y copy share the vec-store
+    // task shape; only the mapping's memory placement differs.
+    common::register_vec_store(&mut reg, "xin")?;
+    common::register_vec_store(&mut reg, "xout")?;
+
+    let params = vec![p("Y", Privilege::Write), p("X", Privilege::Read)];
+    reg.register(TaskVariant {
+        task: task.into(),
+        name: format!("{task}_host"),
+        kind: VariantKind::Inner,
+        params: params.clone(),
+        body: vec![
+            Stmt::Tunable { name: "U".into() },
+            Stmt::Tunable { name: "V".into() },
+            Stmt::Let {
+                name: "M".into(),
+                value: SExpr::shape("Y", 0),
+            },
+            Stmt::Let {
+                name: "N".into(),
+                value: SExpr::shape("Y", 1),
+            },
+            Stmt::PartitionBlocks {
+                name: "Yp".into(),
+                tensor: "Y".into(),
+                tile_rows: v("U"),
+                tile_cols: v("V"),
+            },
+            Stmt::PartitionBlocks {
+                name: "Xp".into(),
+                tensor: "X".into(),
+                tile_rows: v("U"),
+                tile_cols: v("V"),
+            },
+            Stmt::PRange {
+                vars: vec!["i".into(), "j".into()],
+                extents: vec![v("M") / v("U"), v("N") / v("V")],
+                body: vec![Stmt::Launch {
+                    task: task.into(),
+                    args: vec![
+                        piece("Yp", vec![v("i"), v("j")]),
+                        piece("Xp", vec![v("i"), v("j")]),
+                    ],
+                }],
+            },
+        ],
+    })?;
+    reg.register(TaskVariant {
+        task: task.into(),
+        name: format!("{task}_block"),
+        kind: VariantKind::Inner,
+        params,
+        body: vec![
+            Stmt::Let {
+                name: "M".into(),
+                value: SExpr::shape("Y", 0),
+            },
+            Stmt::Let {
+                name: "N".into(),
+                value: SExpr::shape("Y", 1),
+            },
+            Stmt::MakeTensor {
+                name: "T".into(),
+                rows: v("M"),
+                cols: v("N"),
+                dtype: DType::F16,
+            },
+            Stmt::Launch {
+                task: "xin".into(),
+                args: vec![t("X"), t("T")],
+            },
+            Stmt::Launch {
+                task: "xout".into(),
+                args: vec![t("T"), t("Y")],
+            },
+        ],
+    })?;
+
+    let g2 = vec![MemLevel::Global; 2];
+    let mut instances = vec![
+        TaskMapping::new(
+            &format!("{task}_host"),
+            &format!("{task}_host"),
+            ProcLevel::Host,
+            g2.clone(),
+        )
+        .tunable("U", cfg.u as i64)
+        .tunable("V", cfg.v as i64)
+        .calls(&[&format!("{task}_block")])
+        .entrypoint(),
+        TaskMapping::new(
+            &format!("{task}_block"),
+            &format!("{task}_block"),
+            ProcLevel::Block,
+            g2,
+        )
+        .calls(&["xin_tile", "xout_tile"]),
+    ];
+    instances.extend(vec_load_mappings("xin", cfg.wgs as i64));
+    instances.extend(common::vec_store_mappings("xout", cfg.wgs as i64));
+    let mapping = MappingSpec::new(instances)?;
+
+    let args = vec![
+        EntryArg {
+            name: "Y".into(),
+            rows: m,
+            cols: n,
+            dtype: DType::F16,
+        },
+        EntryArg {
+            name: "X".into(),
+            rows: m,
+            cols: n,
+            dtype: DType::F16,
+        },
+    ];
+    Ok((reg, mapping, args))
+}
+
+/// Shared validation for the copy-family spaces (`xfer`, `halo`):
+/// divisibility, warpgroup row split, and the two staged tiles
+/// (inbound `X` + outbound `Y`) against the shared-memory budget.
+fn validate_copy(
+    kernel: &str,
+    machine: &MachineConfig,
+    m: usize,
+    n: usize,
+    cfg: &GemmConfig,
+    staged_tiles: usize,
+) -> Result<(), CompileError> {
+    if cfg.wgs == 0 || cfg.pipeline == 0 {
+        return Err(CompileError::Unsupported(format!(
+            "`{kernel}` mapping needs wgs >= 1 and pipeline >= 1"
+        )));
+    }
+    if cfg.u == 0 || !cfg.u.is_multiple_of(cfg.wgs) {
+        return Err(CompileError::Partition(format!(
+            "`{kernel}` block tile rows {} must split across {} warpgroups",
+            cfg.u, cfg.wgs
+        )));
+    }
+    for (dim, name, tile, tname) in [(m, "M", cfg.u, "U"), (n, "N", cfg.v, "V")] {
+        if tile == 0 || dim % tile != 0 {
+            return Err(CompileError::Partition(format!(
+                "`{kernel}` tile {tname}={tile} does not divide {name}={dim}"
+            )));
+        }
+    }
+    let required = staged_tiles * cfg.u * cfg.v * ELEM;
+    if required > machine.smem_per_sm {
+        return Err(CompileError::OutOfSharedMemory {
+            required,
+            limit: machine.smem_per_sm,
+        });
+    }
+    Ok(())
+}
+
+/// The copy-family candidate grid: the column tile `V` is the one
+/// functionally transparent dimension worth enumerating (rows are
+/// pinned to the warpgroup split, and the copy has no K loop, so
+/// pipeline depth and warp specialization change nothing). Deterministic
+/// fixed walk order, filtered through the space's `validate`.
+fn copy_candidates(
+    space: &dyn MappingSpace,
+    machine: &MachineConfig,
+    shape: &Shape,
+) -> Vec<MappingConfig> {
+    let MappingConfig::Gemm(default) = space.default_for(machine) else {
+        return Vec::new();
+    };
+    let mut v_choices = vec![64usize, 128, 256];
+    if !v_choices.contains(&default.v) {
+        v_choices.push(default.v);
+    }
+    let mut out = Vec::new();
+    for &vv in &v_choices {
+        let cfg = MappingConfig::Gemm(GemmConfig { v: vv, ..default });
+        if space.validate(machine, shape, &cfg).is_ok() {
+            out.push(cfg);
+        }
+    }
+    out
+}
+
+/// Analytical price of a bandwidth-bound communication kernel: no
+/// tensor-core term, HBM traffic of `inputs + 1` tensor passes, per-CTA
+/// launch overhead amortized over waves. Deterministic pure arithmetic,
+/// like [`crate::kernels::cost::estimate`].
+fn comm_estimate(
+    m: usize,
+    n: usize,
+    inputs: usize,
+    cfg: &MappingConfig,
+    machine: &MachineConfig,
+) -> Option<CostEstimate> {
+    let c = match cfg {
+        MappingConfig::Gemm(c) => *c,
+        MappingConfig::Attention(_) => return None,
+    };
+    if c.u == 0 || c.v == 0 || !m.is_multiple_of(c.u) || !n.is_multiple_of(c.v) {
+        return None;
+    }
+    let ctas = (m / c.u).checked_mul(n / c.v)?.max(1);
+    let active_sms = ctas.min(machine.sms).max(1);
+    let waves = ctas.div_ceil(active_sms);
+    // Every input streams in once, the output streams out once; an
+    // elementwise copy has no reuse, so every load is an HBM load.
+    let hbm_bytes = tensor_bytes(m, n) * (inputs as f64 + 1.0);
+    let constants = CostConstants::for_machine(machine);
+    let mem = hbm_bytes / (machine.hbm_bytes_per_cycle * constants.mem_efficiency);
+    let serial = waves as f64 * (machine.cta_launch_cycles + constants.cta_overhead_cycles);
+    Some(CostEstimate {
+        ctas,
+        occupancy: 1,
+        waves,
+        hbm_bytes,
+        wgmma_flops: 0.0,
+        overlap: 0.0,
+        cycles: machine.kernel_launch_cycles + mem + serial,
+    })
+}
+
+/// The copy-family default mapping: the machine's hand-tuned GEMM point
+/// (its `U`/`V`/`WGS` are exactly the tile/warpgroup split the copy
+/// trees need).
+fn copy_default(machine: &MachineConfig) -> MappingConfig {
+    MappingConfig::Gemm(GemmConfig::for_machine(machine))
+}
+
+// ---------------------------------------------------------------------------
+// Transfer (tensor exchange).
+// ---------------------------------------------------------------------------
+
+/// The transfer mapping space: shape `[m, n]` for `Y[m,n] = X[m,n]`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TransferSpace;
+
+impl MappingSpace for TransferSpace {
+    fn entry(&self) -> &'static str {
+        "xfer"
+    }
+
+    fn default_for(&self, machine: &MachineConfig) -> MappingConfig {
+        copy_default(machine)
+    }
+
+    fn validate(
+        &self,
+        machine: &MachineConfig,
+        shape: &Shape,
+        cfg: &MappingConfig,
+    ) -> Result<(), CompileError> {
+        let [m, n] = shape.expect_dims::<2>("xfer")?;
+        validate_copy("xfer", machine, m, n, &cfg.as_gemm("xfer")?, 2)
+    }
+
+    fn candidates(&self, machine: &MachineConfig, shape: &Shape) -> Vec<MappingConfig> {
+        copy_candidates(self, machine, shape)
+    }
+
+    fn build(
+        &self,
+        shape: &Shape,
+        cfg: &MappingConfig,
+    ) -> Result<(TaskRegistry, MappingSpec, Vec<EntryArg>), CompileError> {
+        let [m, n] = shape.expect_dims::<2>("xfer")?;
+        build_copy("xfer", m, n, cfg.as_gemm("xfer")?)
+    }
+
+    fn estimate(
+        &self,
+        machine: &MachineConfig,
+        shape: &Shape,
+        cfg: &MappingConfig,
+    ) -> Option<CostEstimate> {
+        let [m, n] = shape.expect_dims::<2>("xfer").ok()?;
+        comm_estimate(m, n, 1, cfg, machine)
+    }
+}
+
+/// Build the transfer program `Y[m,n] = X[m,n]` with the default
+/// mapping for `machine`.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] when the default mapping is invalid for
+/// this machine/shape combination.
+pub fn build_transfer(
+    m: usize,
+    n: usize,
+    machine: &MachineConfig,
+) -> Result<(TaskRegistry, MappingSpec, Vec<EntryArg>), CompileError> {
+    let shape = Shape::of(&[m, n]);
+    let cfg = TransferSpace.default_for(machine);
+    TransferSpace.validate(machine, &shape, &cfg)?;
+    TransferSpace.build(&shape, &cfg)
+}
+
+// ---------------------------------------------------------------------------
+// Halo exchange.
+// ---------------------------------------------------------------------------
+
+/// The halo-exchange mapping space: shape `[halo_rows, n]`, the
+/// boundary band one stencil shard sends a neighbor. The program is the
+/// transfer copy under its own entry name, so halo nodes cache and
+/// report separately from bulk tensor exchanges.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HaloSpace;
+
+impl MappingSpace for HaloSpace {
+    fn entry(&self) -> &'static str {
+        "halo"
+    }
+
+    fn default_for(&self, machine: &MachineConfig) -> MappingConfig {
+        // Halo bands are a handful of rows: one warpgroup-row tile keeps
+        // `U` dividing even a single-block-row band.
+        let MappingConfig::Gemm(c) = copy_default(machine) else {
+            unreachable!("copy_default always returns a GEMM point");
+        };
+        MappingConfig::Gemm(GemmConfig {
+            u: 64.min(c.u),
+            wgs: 1,
+            ..c
+        })
+    }
+
+    fn validate(
+        &self,
+        machine: &MachineConfig,
+        shape: &Shape,
+        cfg: &MappingConfig,
+    ) -> Result<(), CompileError> {
+        let [m, n] = shape.expect_dims::<2>("halo")?;
+        validate_copy("halo", machine, m, n, &cfg.as_gemm("halo")?, 2)
+    }
+
+    fn candidates(&self, machine: &MachineConfig, shape: &Shape) -> Vec<MappingConfig> {
+        copy_candidates(self, machine, shape)
+    }
+
+    fn build(
+        &self,
+        shape: &Shape,
+        cfg: &MappingConfig,
+    ) -> Result<(TaskRegistry, MappingSpec, Vec<EntryArg>), CompileError> {
+        let [m, n] = shape.expect_dims::<2>("halo")?;
+        build_copy("halo", m, n, cfg.as_gemm("halo")?)
+    }
+
+    fn estimate(
+        &self,
+        machine: &MachineConfig,
+        shape: &Shape,
+        cfg: &MappingConfig,
+    ) -> Option<CostEstimate> {
+        let [m, n] = shape.expect_dims::<2>("halo").ok()?;
+        comm_estimate(m, n, 1, cfg, machine)
+    }
+}
+
+/// Build the halo-exchange program for a `[halo_rows, n]` boundary band
+/// with the default mapping for `machine`.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] when the default mapping is invalid for
+/// this machine/shape combination.
+pub fn build_halo(
+    halo_rows: usize,
+    n: usize,
+    machine: &MachineConfig,
+) -> Result<(TaskRegistry, MappingSpec, Vec<EntryArg>), CompileError> {
+    let shape = Shape::of(&[halo_rows, n]);
+    let cfg = HaloSpace.default_for(machine);
+    HaloSpace.validate(machine, &shape, &cfg)?;
+    HaloSpace.build(&shape, &cfg)
+}
+
+// ---------------------------------------------------------------------------
+// All-reduce.
+// ---------------------------------------------------------------------------
+
+/// The all-reduce mapping space: shape `[ways, m, n]` for
+/// `Y[m,n] = X0 + X1 + … + X{ways-1}`, the combine step of a `ways`-way
+/// reduction. Inputs accumulate in ascending index order per element in
+/// unrounded f32 register fragments, so every candidate tiling computes
+/// bitwise-identical sums.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllReduceSpace;
+
+impl MappingSpace for AllReduceSpace {
+    fn entry(&self) -> &'static str {
+        "allred"
+    }
+
+    fn default_for(&self, machine: &MachineConfig) -> MappingConfig {
+        copy_default(machine)
+    }
+
+    fn validate(
+        &self,
+        machine: &MachineConfig,
+        shape: &Shape,
+        cfg: &MappingConfig,
+    ) -> Result<(), CompileError> {
+        let [ways, m, n] = shape.expect_dims::<3>("allred")?;
+        if ways < 2 {
+            return Err(CompileError::Unsupported(format!(
+                "`allred` needs at least 2 inputs, got {ways}"
+            )));
+        }
+        // Staged at once: one inbound input tile, the accumulator's
+        // outbound staging, and one radd-staged tile.
+        validate_copy("allred", machine, m, n, &cfg.as_gemm("allred")?, 3)
+    }
+
+    fn candidates(&self, machine: &MachineConfig, shape: &Shape) -> Vec<MappingConfig> {
+        copy_candidates(self, machine, shape)
+    }
+
+    fn build(
+        &self,
+        shape: &Shape,
+        cfg: &MappingConfig,
+    ) -> Result<(TaskRegistry, MappingSpec, Vec<EntryArg>), CompileError> {
+        let [ways, m, n] = shape.expect_dims::<3>("allred")?;
+        if ways < 2 {
+            return Err(CompileError::Unsupported(format!(
+                "`allred` needs at least 2 inputs, got {ways}"
+            )));
+        }
+        build_all_reduce_with(ways, m, n, cfg.as_gemm("allred")?)
+    }
+
+    fn estimate(
+        &self,
+        machine: &MachineConfig,
+        shape: &Shape,
+        cfg: &MappingConfig,
+    ) -> Option<CostEstimate> {
+        let [ways, m, n] = shape.expect_dims::<3>("allred").ok()?;
+        comm_estimate(m, n, ways, cfg, machine)
+    }
+}
+
+/// Build the all-reduce program `Y = X0 + … + X{ways-1}` with the
+/// default mapping for `machine`.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] when `ways < 2` or the default mapping is
+/// invalid for this machine/shape combination.
+pub fn build_all_reduce(
+    ways: usize,
+    m: usize,
+    n: usize,
+    machine: &MachineConfig,
+) -> Result<(TaskRegistry, MappingSpec, Vec<EntryArg>), CompileError> {
+    let shape = Shape::of(&[ways, m, n]);
+    let cfg = AllReduceSpace.default_for(machine);
+    AllReduceSpace.validate(machine, &shape, &cfg)?;
+    AllReduceSpace.build(&shape, &cfg)
+}
+
+/// Build the all-reduce program with an explicit mapping configuration.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] on malformed trees or indivisible tilings.
+pub fn build_all_reduce_with(
+    ways: usize,
+    m: usize,
+    n: usize,
+    cfg: GemmConfig,
+) -> Result<(TaskRegistry, MappingSpec, Vec<EntryArg>), CompileError> {
+    let mut reg = TaskRegistry::new();
+    common::register_vec_store(&mut reg, "xin")?;
+    common::register_vec_store(&mut reg, "xout")?;
+    register_accumulate(&mut reg, "radd")?;
+
+    let mut params = vec![p("Y", Privilege::Write)];
+    for i in 0..ways {
+        params.push(p(&format!("X{i}"), Privilege::Read));
+    }
+
+    let mut host_body = vec![
+        Stmt::Tunable { name: "U".into() },
+        Stmt::Tunable { name: "V".into() },
+        Stmt::Let {
+            name: "M".into(),
+            value: SExpr::shape("Y", 0),
+        },
+        Stmt::Let {
+            name: "N".into(),
+            value: SExpr::shape("Y", 1),
+        },
+        Stmt::PartitionBlocks {
+            name: "Yp".into(),
+            tensor: "Y".into(),
+            tile_rows: v("U"),
+            tile_cols: v("V"),
+        },
+    ];
+    for i in 0..ways {
+        host_body.push(Stmt::PartitionBlocks {
+            name: format!("X{i}p"),
+            tensor: format!("X{i}"),
+            tile_rows: v("U"),
+            tile_cols: v("V"),
+        });
+    }
+    let mut launch_args = vec![piece("Yp", vec![v("i"), v("j")])];
+    for i in 0..ways {
+        launch_args.push(piece(&format!("X{i}p"), vec![v("i"), v("j")]));
+    }
+    host_body.push(Stmt::PRange {
+        vars: vec!["i".into(), "j".into()],
+        extents: vec![v("M") / v("U"), v("N") / v("V")],
+        body: vec![Stmt::Launch {
+            task: "allred".into(),
+            args: launch_args,
+        }],
+    });
+    reg.register(TaskVariant {
+        task: "allred".into(),
+        name: "allred_host".into(),
+        kind: VariantKind::Inner,
+        params: params.clone(),
+        body: host_body,
+    })?;
+
+    // Block level: seed the accumulator from X0, fold the remaining
+    // inputs in ascending order, stage the result out. The fixed fold
+    // order makes the sum independent of the tiling.
+    let mut block_body = vec![
+        Stmt::Let {
+            name: "M".into(),
+            value: SExpr::shape("Y", 0),
+        },
+        Stmt::Let {
+            name: "N".into(),
+            value: SExpr::shape("Y", 1),
+        },
+        Stmt::MakeTensor {
+            name: "T".into(),
+            rows: v("M"),
+            cols: v("N"),
+            dtype: DType::F16,
+        },
+        Stmt::Launch {
+            task: "xin".into(),
+            args: vec![t("X0"), t("T")],
+        },
+    ];
+    for i in 1..ways {
+        block_body.push(Stmt::Launch {
+            task: "radd".into(),
+            args: vec![t("T"), t(&format!("X{i}"))],
+        });
+    }
+    block_body.push(Stmt::Launch {
+        task: "xout".into(),
+        args: vec![t("T"), t("Y")],
+    });
+    reg.register(TaskVariant {
+        task: "allred".into(),
+        name: "allred_block".into(),
+        kind: VariantKind::Inner,
+        params,
+        body: block_body,
+    })?;
+
+    let gn = vec![MemLevel::Global; ways + 1];
+    let mut instances = vec![
+        TaskMapping::new("allred_host", "allred_host", ProcLevel::Host, gn.clone())
+            .tunable("U", cfg.u as i64)
+            .tunable("V", cfg.v as i64)
+            .calls(&["allred_block"])
+            .entrypoint(),
+        TaskMapping::new("allred_block", "allred_block", ProcLevel::Block, gn).calls(&[
+            "xin_tile",
+            "radd_tile",
+            "xout_tile",
+        ]),
+    ];
+    instances.extend(vec_load_mappings("xin", cfg.wgs as i64));
+    instances.extend(accumulate_mappings("radd", cfg.wgs as i64));
+    instances.extend(common::vec_store_mappings("xout", cfg.wgs as i64));
+    let mapping = MappingSpec::new(instances)?;
+
+    let mut args = vec![EntryArg {
+        name: "Y".into(),
+        rows: m,
+        cols: n,
+        dtype: DType::F16,
+    }];
+    for i in 0..ways {
+        args.push(EntryArg {
+            name: format!("X{i}"),
+            rows: m,
+            cols: n,
+            dtype: DType::F16,
+        });
+    }
+    Ok((reg, mapping, args))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_builds_and_validates() {
+        let machine = MachineConfig::test_gpu();
+        let (reg, mapping, args) = build_transfer(128, 128, &machine).unwrap();
+        assert!(reg.variant("xfer_host").is_ok());
+        assert_eq!(mapping.entry().instance, "xfer_host");
+        assert_eq!(args.len(), 2);
+        let err = build_transfer(100, 128, &machine);
+        assert!(matches!(err, Err(CompileError::Partition(_))), "{err:?}");
+    }
+
+    #[test]
+    fn halo_handles_thin_bands() {
+        let machine = MachineConfig::test_gpu();
+        let (reg, mapping, args) = build_halo(64, 256, &machine).unwrap();
+        assert!(reg.variant("halo_host").is_ok());
+        assert_eq!(mapping.entry().instance, "halo_host");
+        assert_eq!(args[0].rows, 64);
+        assert_eq!(args[0].cols, 256);
+    }
+
+    #[test]
+    fn all_reduce_builds_for_two_and_four_ways() {
+        let machine = MachineConfig::test_gpu();
+        for ways in [2usize, 4] {
+            let (reg, mapping, args) = build_all_reduce(ways, 128, 128, &machine).unwrap();
+            assert!(reg.variant("allred_host").is_ok());
+            assert_eq!(mapping.entry().instance, "allred_host");
+            assert_eq!(args.len(), ways + 1);
+        }
+        assert!(matches!(
+            build_all_reduce(1, 128, 128, &machine),
+            Err(CompileError::Unsupported(_))
+        ));
+        assert_eq!(all_reduce_flops(4, 8, 8), 192.0);
+    }
+
+    #[test]
+    fn spaces_enumerate_deterministic_valid_candidates() {
+        let machine = MachineConfig::h100_sxm5();
+        for (space, shape) in [
+            (
+                &TransferSpace as &dyn MappingSpace,
+                Shape::of(&[1024, 1024]),
+            ),
+            (&HaloSpace as &dyn MappingSpace, Shape::of(&[64, 1024])),
+            (
+                &AllReduceSpace as &dyn MappingSpace,
+                Shape::of(&[2, 1024, 1024]),
+            ),
+        ] {
+            let cands = space.candidates(&machine, &shape);
+            assert!(!cands.is_empty(), "{} has candidates", space.entry());
+            assert_eq!(cands, space.candidates(&machine, &shape));
+            for c in &cands {
+                assert!(space.validate(&machine, &shape, c).is_ok());
+            }
+            let default = space.default_for(&machine);
+            assert!(space.validate(&machine, &shape, &default).is_ok());
+        }
+    }
+
+    #[test]
+    fn comm_estimates_are_finite_and_bandwidth_bound() {
+        let machine = MachineConfig::h100_sxm5();
+        let shape = Shape::of(&[1024, 1024]);
+        let cfg = TransferSpace.default_for(&machine);
+        let est = TransferSpace.estimate(&machine, &shape, &cfg).unwrap();
+        assert!(est.cycles.is_finite() && est.cycles > 0.0);
+        assert_eq!(est.wgmma_flops, 0.0);
+        assert!((est.hbm_bytes - 2.0 * tensor_bytes(1024, 1024)).abs() < 1e-9);
+        // A 4-way all-reduce moves more bytes than a transfer.
+        let ar = AllReduceSpace
+            .estimate(&machine, &Shape::of(&[4, 1024, 1024]), &cfg)
+            .unwrap();
+        assert!(ar.hbm_bytes > est.hbm_bytes);
+    }
+
+    #[test]
+    fn transfer_mapping_space_smem_budget_is_typed() {
+        // A tile too large for the test GPU's 64 KiB shared memory.
+        let machine = MachineConfig::test_gpu();
+        let cfg = MappingConfig::Gemm(GemmConfig {
+            u: 256,
+            v: 256,
+            ..GemmConfig::test()
+        });
+        let err = TransferSpace.validate(&machine, &Shape::of(&[256, 256]), &cfg);
+        assert!(
+            matches!(err, Err(CompileError::OutOfSharedMemory { .. })),
+            "{err:?}"
+        );
+    }
+}

@@ -5,6 +5,7 @@
 pub mod attention;
 pub mod batched;
 pub mod chain;
+pub mod comm;
 pub(crate) mod common;
 pub mod cost;
 pub mod dual_gemm;

@@ -3,7 +3,7 @@
 //! host reference oracle.
 
 use cypress_core::compile::{CompilerOptions, CypressCompiler};
-use cypress_core::kernels::{attention, batched, dual_gemm, gemm, gemm_reduction};
+use cypress_core::kernels::{attention, batched, comm, dual_gemm, gemm, gemm_reduction};
 use cypress_sim::{MachineConfig, Simulator};
 use cypress_tensor::{tensor::reference, DType, Tensor};
 use rand::rngs::StdRng;
@@ -153,6 +153,55 @@ fn attention_case(alg: attention::Algorithm, heads: usize, seq: usize, d: usize)
         let err = got.relative_error(&want).unwrap();
         assert!(err < 3e-2, "head {h}: relative error {err}");
     }
+}
+
+#[test]
+fn transfer_is_a_bitwise_copy() {
+    let machine = MachineConfig::test_gpu();
+    let (m, n) = (128, 192);
+    let (reg, mapping, args) = comm::build_transfer(m, n, &machine).unwrap();
+    let mut rng = StdRng::seed_from_u64(25);
+    let x = Tensor::random(DType::F16, &[m, n], &mut rng, -1.0, 1.0);
+    let y = Tensor::zeros(DType::F16, &[m, n]);
+
+    let out = compile_and_run(&reg, &mapping, "xfer", &args, vec![y, x.clone()]);
+    assert_eq!(out[0].data(), x.data(), "transfer must copy bitwise");
+}
+
+#[test]
+fn halo_is_a_bitwise_copy_of_the_band() {
+    let machine = MachineConfig::test_gpu();
+    let (rows, n) = (64, 256);
+    let (reg, mapping, args) = comm::build_halo(rows, n, &machine).unwrap();
+    let mut rng = StdRng::seed_from_u64(26);
+    let x = Tensor::random(DType::F16, &[rows, n], &mut rng, -1.0, 1.0);
+    let y = Tensor::zeros(DType::F16, &[rows, n]);
+
+    let out = compile_and_run(&reg, &mapping, "halo", &args, vec![y, x.clone()]);
+    assert_eq!(out[0].data(), x.data(), "halo exchange must copy bitwise");
+}
+
+#[test]
+fn all_reduce_matches_elementwise_sum() {
+    let machine = MachineConfig::test_gpu();
+    let (ways, m, n) = (3, 64, 64);
+    let (reg, mapping, args) = comm::build_all_reduce(ways, m, n, &machine).unwrap();
+    let mut rng = StdRng::seed_from_u64(27);
+    let xs: Vec<Tensor> = (0..ways)
+        .map(|_| Tensor::random(DType::F16, &[m, n], &mut rng, -1.0, 1.0))
+        .collect();
+    let y = Tensor::zeros(DType::F16, &[m, n]);
+
+    let mut want = Tensor::zeros(DType::F16, &[m, n]);
+    for i in 0..m * n {
+        let s: f32 = xs.iter().map(|x| x.data()[i]).sum();
+        want.data_mut()[i] = DType::F16.quantize(s);
+    }
+
+    let mut params = vec![y];
+    params.extend(xs);
+    let out = compile_and_run(&reg, &mapping, "allred", &args, params);
+    assert_eq!(out[0].data(), want.data(), "all-reduce must sum exactly");
 }
 
 #[test]

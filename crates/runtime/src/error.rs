@@ -95,6 +95,13 @@ pub enum RuntimeError {
         /// What was wrong.
         reason: String,
     },
+    /// A sharded launch's device topology was rejected: the topology
+    /// failed its own validation, or a cross-device edge connects two
+    /// devices with no link between them.
+    BadTopology {
+        /// What was wrong.
+        what: String,
+    },
     /// A runtime invariant was violated (a bug in the runtime itself,
     /// not in the caller's graph) — surfaced as a typed error instead
     /// of a panic so long-lived serving sessions degrade gracefully.
@@ -151,6 +158,9 @@ impl fmt::Display for RuntimeError {
             ),
             RuntimeError::BadTuningTable { reason } => {
                 write!(f, "bad tuning table: {reason}")
+            }
+            RuntimeError::BadTopology { what } => {
+                write!(f, "bad device topology: {what}")
             }
             RuntimeError::Internal { what } => {
                 write!(f, "runtime invariant violated: {what}")

@@ -33,7 +33,7 @@ use crate::session::SchedulePolicy;
 use crate::telemetry::{Event, Recorder};
 use cypress_core::Compiled;
 use cypress_sim::concurrent::{ConcurrentEngine, KernelProfile};
-use cypress_sim::{ApplyBytes, MachineConfig, Simulator, TimingReport};
+use cypress_sim::{ApplyBytes, MachineConfig, Simulator, TimingReport, Topology};
 use cypress_tensor::Tensor;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -52,6 +52,61 @@ pub(crate) struct NodeLaunch {
     /// Original node names this launch replaced when it came from the
     /// fusion rewriter (empty for ordinary nodes).
     pub replaced: Vec<String>,
+    /// Device this launch runs on (0 unless the graph was sharded).
+    pub device: usize,
+    /// The link transfer this launch performs when it is a
+    /// sharder-inserted communication node (`None` for compute nodes).
+    pub comm: Option<CommLaunch>,
+}
+
+/// A communication launch's link accounting: the concurrent scheduler
+/// charges it to this link's bandwidth instead of any device's SMs, and
+/// both timing paths price it with [`cypress_sim::Link::transfer_cycles`]
+/// so serial and concurrent schedules agree on its cost.
+#[derive(Debug, Clone)]
+pub(crate) struct CommLaunch {
+    /// Index into the topology's links.
+    pub link: usize,
+    /// Bytes moved across the link.
+    pub bytes: f64,
+}
+
+/// The link-derived [`TimingReport`] of a communication launch: a
+/// transfer is priced by its link (launch overhead + latency + bytes at
+/// link bandwidth), not by simulating the copy kernel on an SM — the
+/// copy kernel still runs for real in functional mode, this report only
+/// feeds the timeline.
+fn comm_report(
+    kernel: &str,
+    comm: &CommLaunch,
+    topology: &Topology,
+    machine: &MachineConfig,
+) -> TimingReport {
+    let cycles = match topology.links.get(comm.link) {
+        Some(link) => link.transfer_cycles(comm.bytes, machine),
+        // No links in the topology (a degenerate sharded launch on one
+        // device): the transfer collapses to its launch overhead.
+        None => machine.kernel_launch_cycles,
+    };
+    TimingReport {
+        kernel: kernel.to_string(),
+        cycles,
+        seconds: machine.cycles_to_seconds(cycles),
+        tc_flops: 0.0,
+        simt_flops: 0.0,
+        achieved_tflops: 0.0,
+        tc_utilization: 0.0,
+        tma_utilization: 0.0,
+        simt_utilization: 0.0,
+        ctas: 0,
+        simulated_ctas: 0,
+        active_sms: 0,
+        ctas_per_sm: 0,
+        load_bytes: comm.bytes,
+        store_bytes: comm.bytes,
+        l2_hit: 0.0,
+        events: 1,
+    }
 }
 
 /// The result of a functional graph launch: final parameter tensors of
@@ -267,6 +322,7 @@ impl EdgeBuffers {
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_functional(
     simulator: &Simulator,
+    topology: &Topology,
     graph: &TaskGraph,
     launches: &[NodeLaunch],
     inputs: &HashMap<String, Tensor>,
@@ -351,7 +407,7 @@ pub(crate) fn run_functional(
         }
     }
 
-    let reports: Vec<TimingReport> = reports
+    let mut reports: Vec<TimingReport> = reports
         .into_iter()
         .map(|r| {
             r.ok_or_else(|| RuntimeError::Internal {
@@ -361,7 +417,26 @@ pub(crate) fn run_functional(
             })
         })
         .collect::<Result<_, _>>()?;
-    let report = assemble_report(simulator.machine(), graph, launches, &reports, policy);
+    // Communication launches are priced by their link, not by the solo
+    // simulation of the copy kernel (which already moved the data above).
+    for (i, launch) in launches.iter().enumerate() {
+        if let Some(comm) = &launch.comm {
+            reports[i] = comm_report(
+                &launch.compiled.kernel.name,
+                comm,
+                topology,
+                simulator.machine(),
+            );
+        }
+    }
+    let report = assemble_report(
+        simulator.machine(),
+        topology,
+        graph,
+        launches,
+        &reports,
+        policy,
+    );
     record_graph_events(graph, launches, &reports, &report, recorder);
     Ok(GraphRun {
         names: graph.nodes().iter().map(|n| n.name.clone()).collect(),
@@ -399,19 +474,21 @@ fn record_graph_events(
     }
 }
 
-/// Re-address a fused graph's [`GraphRun`] to the *original* graph: the
-/// result's node ids and names are the original ones, each parameter's
-/// tensor pulled from wherever the fusion plan placed its buffer, while
-/// the timing report keeps the fused launches (with their `replaced`
-/// annotations) so the timeline shows what actually ran.
+/// Re-address a rewritten graph's [`GraphRun`] to the *original* graph:
+/// the result's node ids and names are the original ones, each
+/// parameter's tensor pulled from wherever `target` placed its buffer
+/// (a [`crate::fuse::FusionPlan::target`] or
+/// [`crate::shard::ShardPlan::target`]), while the timing report keeps
+/// the rewritten launches (with their `replaced` annotations) so the
+/// timeline shows what actually ran.
 pub(crate) fn remap_run(
     run: GraphRun,
     original: &TaskGraph,
-    plan: &crate::fuse::FusionPlan,
+    target: &dyn Fn(usize, usize) -> Option<(usize, usize)>,
 ) -> GraphRun {
     // Clone rather than move: several original slots can share one
-    // fused buffer (two fused members reading the same operand).
-    let fused_results = run.results;
+    // rewritten buffer (two fused members reading the same operand).
+    let rewritten_results = run.results;
     let results = original
         .nodes()
         .iter()
@@ -419,8 +496,8 @@ pub(crate) fn remap_run(
         .map(|(i, node)| {
             let params: Vec<Option<Tensor>> = (0..node.program.args.len())
                 .map(|p| {
-                    let (fi, fp) = plan.target(i, p)?;
-                    fused_results.get(fi)?.as_ref()?.get(fp)?.clone()
+                    let (fi, fp) = target(i, p)?;
+                    rewritten_results.get(fi)?.as_ref()?.get(fp)?.clone()
                 })
                 .collect();
             params.iter().any(Option::is_some).then_some(params)
@@ -437,6 +514,7 @@ pub(crate) fn remap_run(
 /// `launches` is indexed by `NodeId::index()` (one entry per graph node).
 pub(crate) fn run_timing(
     simulator: &Simulator,
+    topology: &Topology,
     graph: &TaskGraph,
     launches: &[NodeLaunch],
     policy: SchedulePolicy,
@@ -444,10 +522,20 @@ pub(crate) fn run_timing(
 ) -> Result<GraphReport, RuntimeError> {
     // Solo-time each node once per distinct compiled kernel: graphs that
     // repeat a program (the cache hands back the identical `Arc`) pay for
-    // one simulation, not one per node.
+    // one simulation, not one per node. Communication launches skip the
+    // simulator entirely — their cost is link-derived.
     let mut by_kernel: HashMap<*const Compiled, TimingReport> = HashMap::new();
     let mut reports = Vec::with_capacity(graph.len());
     for launch in launches {
+        if let Some(comm) = &launch.comm {
+            reports.push(comm_report(
+                &launch.compiled.kernel.name,
+                comm,
+                topology,
+                simulator.machine(),
+            ));
+            continue;
+        }
         let key = Arc::as_ptr(&launch.compiled);
         let report = match by_kernel.get(&key) {
             Some(r) => r.clone(),
@@ -460,7 +548,14 @@ pub(crate) fn run_timing(
         };
         reports.push(report);
     }
-    let report = assemble_report(simulator.machine(), graph, launches, &reports, policy);
+    let report = assemble_report(
+        simulator.machine(),
+        topology,
+        graph,
+        launches,
+        &reports,
+        policy,
+    );
     record_graph_events(graph, launches, &reports, &report, recorder);
     Ok(report)
 }
@@ -469,6 +564,7 @@ pub(crate) fn run_timing(
 /// `NodeId::index()`) under `policy`.
 fn assemble_report(
     machine: &MachineConfig,
+    topology: &Topology,
     graph: &TaskGraph,
     launches: &[NodeLaunch],
     reports: &[TimingReport],
@@ -478,7 +574,7 @@ fn assemble_report(
     let (nodes, makespan) = match policy {
         SchedulePolicy::Serial => schedule_serial(graph, launches, &schedule, reports),
         SchedulePolicy::Concurrent { .. } => {
-            schedule_concurrent(machine, graph, launches, reports, policy.streams())
+            schedule_concurrent(topology, graph, launches, reports, policy.streams())
         }
     };
     GraphReport {
@@ -487,6 +583,7 @@ fn assemble_report(
         seconds: machine.cycles_to_seconds(makespan),
         critical_path: critical_path(graph, &schedule, reports),
         streams: policy.streams(),
+        devices: topology.device_count(),
     }
 }
 
@@ -522,6 +619,7 @@ fn schedule_serial(
         cursor += report.cycles;
         nodes.push(NodeTiming {
             node: graph.nodes()[id.index()].name.clone(),
+            device: launches[id.index()].device,
             stream: 0,
             start,
             end: cursor,
@@ -534,43 +632,63 @@ fn schedule_serial(
     (nodes, cursor)
 }
 
-/// Ready-queue scheduling onto `streams` simulated streams: independent
-/// nodes launch as soon as a stream is free, co-resident launches contend
-/// for the machine through the fluid [`ConcurrentEngine`], and dependents
-/// are released as upstream launches retire. Ready nodes and free streams
-/// are both taken lowest-id-first.
+/// Ready-queue scheduling onto `streams` simulated streams *per device*:
+/// independent nodes launch as soon as a stream on their device is free,
+/// co-resident launches contend for their own device's SMs/L2/HBM
+/// through the fluid [`ConcurrentEngine`] (kernels on different devices
+/// only meet on links), and communication launches draw on their link's
+/// bandwidth instead. Dependents are released as upstream launches
+/// retire. Ready nodes and free streams are both taken lowest-id-first;
+/// at one device this reduces bit-for-bit to the single-device
+/// scheduler.
 fn schedule_concurrent(
-    machine: &MachineConfig,
+    topology: &Topology,
     graph: &TaskGraph,
     launches: &[NodeLaunch],
     reports: &[TimingReport],
     streams: usize,
 ) -> (Vec<NodeTiming>, f64) {
     let n = graph.len();
+    let machine = &topology.devices[0];
     let profiles: Vec<KernelProfile> = reports
         .iter()
         .map(|r| KernelProfile::from_report(r, machine))
         .collect();
     let (mut indegree, consumers) = graph.dependency_edges();
     let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
-    let mut free: Vec<usize> = (0..streams).collect();
+    let mut free: Vec<Vec<usize>> = vec![(0..streams).collect(); topology.device_count()];
     let mut stream_of = vec![0usize; n];
-    let mut engine = ConcurrentEngine::new(machine);
+    let mut engine = ConcurrentEngine::with_topology(topology);
     let mut nodes = Vec::with_capacity(n);
     let mut makespan = 0.0f64;
     while nodes.len() < n {
-        while !ready.is_empty() && !free.is_empty() {
-            let next = *ready.iter().min().expect("ready is non-empty");
+        while let Some(&next) = ready
+            .iter()
+            .filter(|&&i| !free[launches[i].device].is_empty())
+            .min()
+        {
             ready.retain(|&x| x != next);
-            let stream = free.remove(0);
+            let device = launches[next].device;
+            let stream = free[device].remove(0);
             stream_of[next] = stream;
-            engine.launch(next, &profiles[next]);
+            match &launches[next].comm {
+                Some(comm) => {
+                    // The link-derived solo cycles were already folded
+                    // into this node's report; the demand is the rate a
+                    // solo transfer sustains, so an uncontended link
+                    // reproduces them exactly.
+                    let cycles = reports[next].cycles;
+                    engine.launch_transfer(next, comm.link, cycles, comm.bytes / cycles.max(1.0));
+                }
+                None => engine.launch_on(next, device, &profiles[next]),
+            }
         }
         let done = engine
             .advance()
             .expect("a DAG always has a runnable node while incomplete");
-        let idx = free.partition_point(|&s| s < stream_of[done.id]);
-        free.insert(idx, stream_of[done.id]);
+        let device = launches[done.id].device;
+        let idx = free[device].partition_point(|&s| s < stream_of[done.id]);
+        free[device].insert(idx, stream_of[done.id]);
         // `ConcurrentEngine::advance` completions are time-ordered (the
         // engine only moves forward); the makespan still folds with
         // `max` so a violation could never silently shrink it.
@@ -582,6 +700,7 @@ fn schedule_concurrent(
         makespan = makespan.max(done.end);
         nodes.push(NodeTiming {
             node: graph.nodes()[done.id].name.clone(),
+            device,
             stream: stream_of[done.id],
             start: done.start,
             end: done.end,

@@ -47,6 +47,16 @@
 //!   and timeline change, and every fused launch's
 //!   [`NodeTiming::replaced`] names the original nodes (see the
 //!   [`fuse`] docs).
+//! - a [`PlacementPolicy`] on the session enabling **multi-device
+//!   sharded execution** ([`PlacementPolicy::Sharded`]): the graph is
+//!   partitioned across N simulated devices connected by NVLink-class
+//!   links (see [`cypress_sim::Topology`]), every cross-device edge
+//!   becomes an explicit transfer kernel charged to its link, and the
+//!   concurrent scheduler overlaps communication with compute. Tensors
+//!   are bitwise identical across placement policies and device counts,
+//!   and `Sharded { devices: 1 }` is exactly
+//!   [`PlacementPolicy::SingleDevice`], timeline included (see the
+//!   [`shard`] docs);
 //! - **host-side parallelism** on the session
 //!   ([`Session::set_parallelism`], default = available cores): the
 //!   functional executor runs each ready wave of nodes on a scoped
@@ -113,6 +123,7 @@ pub mod pool;
 pub mod program;
 pub mod report;
 pub mod session;
+pub mod shard;
 pub mod telemetry;
 pub mod tuner;
 
@@ -126,6 +137,7 @@ pub use pool::{BufferPool, PoolStats};
 pub use program::{Program, SpaceBinding};
 pub use report::{GraphReport, NodeTiming};
 pub use session::{CompiledGraph, MappingPolicy, SchedulePolicy, Session};
+pub use shard::{PlacementPolicy, ShardPlan, ShardTransfer};
 pub use telemetry::{
     ChromeSpan, ChromeTrace, Event, EventClass, MetricsRegistry, MetricsSnapshot, NoopRecorder,
     Recorder, TraceLog, TraceSink,

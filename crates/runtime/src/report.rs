@@ -25,8 +25,12 @@ use cypress_sim::TimingReport;
 pub struct NodeTiming {
     /// The node's display name.
     pub node: String,
-    /// Simulated stream the node was assigned to (0 under the serial
-    /// policy).
+    /// Simulated device the node ran on (0 under
+    /// [`crate::PlacementPolicy::SingleDevice`]; transfer nodes report
+    /// their destination device).
+    pub device: usize,
+    /// Simulated stream the node was assigned to on its device (0 under
+    /// the serial policy).
     pub stream: usize,
     /// Launch cycle, relative to the graph launch.
     pub start: f64,
@@ -67,9 +71,12 @@ pub struct GraphReport {
     pub seconds: f64,
     /// Longest dependency chain of solo node makespans, in cycles.
     pub critical_path: f64,
-    /// Streams the schedule was allowed to use (1 under the serial
-    /// policy).
+    /// Streams the schedule was allowed to use per device (1 under the
+    /// serial policy).
     pub streams: usize,
+    /// Devices the schedule placed nodes on (1 under
+    /// [`crate::PlacementPolicy::SingleDevice`]).
+    pub devices: usize,
 }
 
 impl GraphReport {
@@ -189,8 +196,8 @@ impl GraphReport {
             };
             let _ = writeln!(
                 out,
-                "{:<24} s{} [{:>12.0}, {:>12.0}) {:>14.0} cycles ({:>5.1}%)  {:>8.1} TFLOP/s achieved{mapping}{fused}",
-                node, stream, start, end, n.report.cycles, share, n.report.achieved_tflops
+                "{:<24} d{}/s{} [{:>12.0}, {:>12.0}) {:>14.0} cycles ({:>5.1}%)  {:>8.1} TFLOP/s achieved{mapping}{fused}",
+                node, n.device, stream, start, end, n.report.cycles, share, n.report.achieved_tflops
             );
         }
         let _ = writeln!(
@@ -215,7 +222,7 @@ impl GraphReport {
     pub fn breakdown_csv(&self) -> String {
         use std::fmt::Write;
         let mut out = String::from(
-            "node,stream,start,end,cycles,share_pct,achieved_tflops,mapping,tuned_speedup,fused\n",
+            "node,device,stream,start,end,cycles,share_pct,achieved_tflops,mapping,tuned_speedup,fused\n",
         );
         let total = self.makespan.max(1.0);
         for (ev, n) in self.trace_events().iter().zip(&self.nodes) {
@@ -230,8 +237,9 @@ impl GraphReport {
             };
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{}",
                 csv_field(node),
+                n.device,
                 stream,
                 start,
                 end,
@@ -263,6 +271,7 @@ mod tests {
     fn node(name: &str, stream: usize, start: f64, cycles: f64) -> NodeTiming {
         NodeTiming {
             node: name.into(),
+            device: 0,
             stream,
             start,
             end: start + cycles,
@@ -298,6 +307,7 @@ mod tests {
             seconds: 1000.0 / 1e9,
             critical_path: 1000.0,
             streams: 2,
+            devices: 1,
         }
     }
 
@@ -315,7 +325,7 @@ mod tests {
     #[test]
     fn breakdown_shows_streams_and_makespan() {
         let text = overlapped().breakdown();
-        assert!(text.contains("s1"), "{text}");
+        assert!(text.contains("d0/s1"), "{text}");
         assert!(text.contains("critical path"), "{text}");
         assert!(text.contains("1.80x overlap"), "{text}");
     }
@@ -342,10 +352,10 @@ mod tests {
         assert_eq!(lines.len(), 3, "{csv}");
         assert_eq!(
             lines[0],
-            "node,stream,start,end,cycles,share_pct,achieved_tflops,mapping,tuned_speedup,fused"
+            "node,device,stream,start,end,cycles,share_pct,achieved_tflops,mapping,tuned_speedup,fused"
         );
-        assert_eq!(lines[1], "a,0,0,1000,1000,100,1,default,1,");
-        assert_eq!(lines[2], "b,1,0,800,800,80,1,default,1,");
+        assert_eq!(lines[1], "a,0,0,0,1000,1000,100,1,default,1,");
+        assert_eq!(lines[2], "b,0,1,0,800,800,80,1,default,1,");
     }
 
     #[test]

@@ -35,20 +35,33 @@
 //! patterns collapse into the paper's fused kernels when the simulator
 //! confirms the fused launch wins, with results re-addressed to the
 //! caller's node ids and bitwise identical either way.
+//!
+//! A fourth axis, the session's [`PlacementPolicy`], chooses *where*
+//! the launches run. [`PlacementPolicy::SingleDevice`] (the default)
+//! keeps everything on one simulated device.
+//! [`PlacementPolicy::Sharded`] partitions the (possibly fused) graph
+//! across N simulated devices connected by NVLink-class links (see
+//! [`cypress_sim::Topology`] and [`crate::shard`]): every cross-device
+//! edge becomes an explicit transfer kernel charged to its link, the
+//! concurrent scheduler overlaps communication with compute, and
+//! results are re-addressed to the caller's node ids — bitwise
+//! identical at every device count. `Sharded { devices: 1 }` is
+//! exactly `SingleDevice`, timeline included.
 
 use crate::cache::{CacheStats, KernelCache};
 use crate::error::RuntimeError;
 use crate::executor;
-use crate::executor::{GraphRun, NodeLaunch};
+use crate::executor::{CommLaunch, GraphRun, NodeLaunch};
 use crate::fuse::{self, FusionPlan, FusionPolicy};
 use crate::graph::TaskGraph;
 use crate::pool::{BufferPool, PoolStats};
 use crate::program::Program;
 use crate::report::GraphReport;
+use crate::shard::{self, PlacementPolicy, ShardPlan};
 use crate::telemetry::{Event, MetricsRegistry, MetricsSnapshot, NoopRecorder, Recorder};
 use crate::tuner::{key_for, TunedMapping, TunerBudget, TuningKey, TuningTable};
 use cypress_core::{Compiled, CompilerOptions, CypressCompiler, COST_MODEL_VERSION};
-use cypress_sim::{MachineConfig, Simulator, TimingReport};
+use cypress_sim::{MachineConfig, Simulator, TimingReport, Topology};
 use cypress_tensor::Tensor;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -142,15 +155,26 @@ pub struct CompiledGraph {
     graph: TaskGraph,
     /// The fusion rewrite, when the session's policy rewrote the graph.
     plan: Option<FusionPlan>,
-    /// One launch per executed node — of the fused graph when `plan` is
-    /// set, of `graph` otherwise.
+    /// The shard rewrite, when the session's placement policy
+    /// partitioned the (possibly fused) graph across devices.
+    shard: Option<ShardPlan>,
+    /// The device topology frozen at compile time, so launches replay
+    /// against the same links the shard plan was made for.
+    topology: Topology,
+    /// One launch per executed node — of the sharded graph when `shard`
+    /// is set, of the fused graph when `plan` is, of `graph` otherwise.
     launches: Vec<NodeLaunch>,
 }
 
 impl CompiledGraph {
-    /// The graph that actually executes: the fused rewrite if one fired.
+    /// The graph that actually executes: the sharded rewrite of the
+    /// fused rewrite, whichever of the two fired.
     fn exec_graph(&self) -> &TaskGraph {
-        self.plan.as_ref().map_or(&self.graph, |p| &p.graph)
+        self.shard
+            .as_ref()
+            .map(|s| &s.graph)
+            .or_else(|| self.plan.as_ref().map(|p| &p.graph))
+            .unwrap_or(&self.graph)
     }
 
     /// The graph this handle was compiled from (the caller's addressing).
@@ -171,6 +195,13 @@ impl CompiledGraph {
     pub fn is_fused(&self) -> bool {
         self.plan.is_some()
     }
+
+    /// Whether the session's placement policy sharded this graph across
+    /// devices.
+    #[must_use]
+    pub fn is_sharded(&self) -> bool {
+        self.shard.is_some()
+    }
 }
 
 /// A long-lived runtime for compiling and launching task graphs.
@@ -183,6 +214,7 @@ pub struct Session {
     policy: SchedulePolicy,
     mapping_policy: MappingPolicy,
     fusion_policy: FusionPolicy,
+    placement_policy: PlacementPolicy,
     tuning: TuningTable,
     /// Compiled winners per tuning key, so warm `Autotune` launches skip
     /// the space builder entirely.
@@ -230,6 +262,7 @@ impl Session {
             policy: SchedulePolicy::default(),
             mapping_policy: MappingPolicy::default(),
             fusion_policy: FusionPolicy::default(),
+            placement_policy: PlacementPolicy::default(),
             tuning: TuningTable::new(),
             tuned_launches: HashMap::new(),
             untunable: HashSet::new(),
@@ -302,6 +335,30 @@ impl Session {
     #[must_use]
     pub fn with_fusion_policy(mut self, policy: FusionPolicy) -> Self {
         self.fusion_policy = policy;
+        self
+    }
+
+    /// The placement policy graph launches currently use.
+    #[must_use]
+    pub fn placement_policy(&self) -> PlacementPolicy {
+        self.placement_policy
+    }
+
+    /// Change how subsequent graph launches are placed onto simulated
+    /// devices (see [`crate::shard`]).
+    /// [`PlacementPolicy::SingleDevice`] keeps everything on one
+    /// device; [`PlacementPolicy::Sharded`] partitions each graph
+    /// across N devices connected by NVLink-class links, inserting
+    /// explicit transfer kernels on cross-device edges — functional
+    /// results stay bitwise identical at every device count.
+    pub fn set_placement_policy(&mut self, policy: PlacementPolicy) {
+        self.placement_policy = policy;
+    }
+
+    /// Builder-style [`Session::set_placement_policy`].
+    #[must_use]
+    pub fn with_placement_policy(mut self, policy: PlacementPolicy) -> Self {
+        self.placement_policy = policy;
         self
     }
 
@@ -956,6 +1013,8 @@ impl Session {
                                 mapping: mapping_label,
                                 tuned_speedup: tuned.speedup(),
                                 replaced: Vec::new(),
+                                device: 0,
+                                comm: None,
                             };
                             self.tuned_launches.insert(key, launch.clone());
                             return Ok(launch);
@@ -975,6 +1034,8 @@ impl Session {
             mapping: "default".to_string(),
             tuned_speedup: 1.0,
             replaced: Vec::new(),
+            device: 0,
+            comm: None,
         })
     }
 
@@ -1033,6 +1094,75 @@ impl Session {
         Ok(launches)
     }
 
+    /// The device topology the session's [`PlacementPolicy`] implies:
+    /// one device for [`PlacementPolicy::SingleDevice`], an all-pairs
+    /// NVLink mesh for [`PlacementPolicy::Sharded`]
+    /// ([`Topology::nvlink`] at one device *is* the single-device
+    /// topology, which keeps `Sharded { devices: 1 }` bit-identical).
+    fn topology(&self) -> Topology {
+        Topology::nvlink(self.machine(), self.placement_policy.devices())
+    }
+
+    /// Shard `graph` across `topology`'s devices under the session's
+    /// [`PlacementPolicy`]: `None` below two devices (placement is the
+    /// identity there), otherwise the [`ShardPlan`] with its telemetry
+    /// (one [`Event::ShardAssigned`] per sharded-graph node, one
+    /// [`Event::LinkTransfer`] per inserted transfer) and the comm
+    /// counters bumped.
+    fn shard_plan(
+        &mut self,
+        graph: &TaskGraph,
+        topology: &Topology,
+    ) -> Result<Option<ShardPlan>, RuntimeError> {
+        if self.placement_policy.devices() < 2 {
+            return Ok(None);
+        }
+        let plan = shard::plan(graph, topology)?;
+        self.metrics.comm_launches += plan.transfers.len() as u64;
+        self.metrics.link_bytes += plan.transfers.iter().map(|t| t.bytes).sum::<f64>() as u64;
+        if self.recorder.enabled() {
+            for (i, node) in plan.graph.nodes().iter().enumerate() {
+                self.recorder.record(Event::ShardAssigned {
+                    node: node.name.clone(),
+                    device: plan.device(i),
+                });
+            }
+            for t in &plan.transfers {
+                self.recorder.record(Event::LinkTransfer {
+                    link: t.link,
+                    src: t.src,
+                    dst: t.dst,
+                    bytes: t.bytes,
+                });
+            }
+        }
+        Ok(Some(plan))
+    }
+
+    /// Compile the launches of a sharded graph: each launch carries its
+    /// device, transfer nodes carry their link accounting, and (when a
+    /// fusion plan preceded the shard) fused nodes keep their
+    /// `replaced` annotations via the shard's origin map.
+    fn compile_shard(
+        &mut self,
+        shard: &ShardPlan,
+        plan: Option<&FusionPlan>,
+    ) -> Result<Vec<NodeLaunch>, RuntimeError> {
+        let mut launches = self.compile_nodes(&shard.graph)?;
+        let replaced = plan.map(FusionPlan::replaced_by_node);
+        for (i, launch) in launches.iter_mut().enumerate() {
+            launch.device = shard.device(i);
+            launch.comm = shard.transfer_of(i).map(|t| CommLaunch {
+                link: t.link,
+                bytes: t.bytes,
+            });
+            if let (Some(rep), Some(origin)) = (&replaced, shard.origin(i)) {
+                launch.replaced = rep[origin].clone();
+            }
+        }
+        Ok(launches)
+    }
+
     /// Launch `graph` functionally: real data flows along the graph's
     /// tensor-buffer edges, `inputs` supplies the `External` bindings, and
     /// the result holds every retained node's final tensors plus the
@@ -1059,25 +1189,20 @@ impl Session {
                 mode: "functional",
             });
         }
-        if let Some(plan) = self.fusion_plan(graph)? {
-            let launches = self.compile_plan(&plan)?;
-            let run = executor::run_functional(
-                &self.simulator,
-                &plan.graph,
-                &launches,
-                inputs,
-                &mut self.pool,
-                self.policy,
-                self.parallelism,
-                self.recorder.as_mut(),
-            )?;
-            self.metrics.apply_bytes.merge(run.apply_bytes);
-            return Ok(executor::remap_run(run, graph, &plan));
-        }
-        let launches = self.compile_nodes(graph)?;
+        let topology = self.topology();
+        let plan = self.fusion_plan(graph)?;
+        let fused_graph = plan.as_ref().map_or(graph, |p| &p.graph);
+        let shard = self.shard_plan(fused_graph, &topology)?;
+        let launches = match (&shard, &plan) {
+            (Some(s), p) => self.compile_shard(s, p.as_ref())?,
+            (None, Some(p)) => self.compile_plan(p)?,
+            (None, None) => self.compile_nodes(graph)?,
+        };
+        let exec_graph = shard.as_ref().map_or(fused_graph, |s| &s.graph);
         let run = executor::run_functional(
             &self.simulator,
-            graph,
+            &topology,
+            exec_graph,
             &launches,
             inputs,
             &mut self.pool,
@@ -1086,7 +1211,14 @@ impl Session {
             self.recorder.as_mut(),
         )?;
         self.metrics.apply_bytes.merge(run.apply_bytes);
-        Ok(run)
+        let run = match &shard {
+            Some(s) => executor::remap_run(run, fused_graph, &|i, p| s.target(i, p)),
+            None => run,
+        };
+        Ok(match &plan {
+            Some(p) => executor::remap_run(run, graph, &|i, q| p.target(i, q)),
+            None => run,
+        })
     }
 
     /// Compile `graph` once into a reusable [`CompiledGraph`] handle:
@@ -1102,14 +1234,20 @@ impl Session {
     /// Returns [`RuntimeError`] on compile failure or when the fusion
     /// gate's timing simulation fails.
     pub fn compile_graph(&mut self, graph: &TaskGraph) -> Result<CompiledGraph, RuntimeError> {
+        let topology = self.topology();
         let plan = self.fusion_plan(graph)?;
-        let launches = match &plan {
-            Some(plan) => self.compile_plan(plan)?,
-            None => self.compile_nodes(graph)?,
+        let fused_graph = plan.as_ref().map_or(graph, |p| &p.graph);
+        let shard = self.shard_plan(fused_graph, &topology)?;
+        let launches = match (&shard, &plan) {
+            (Some(s), p) => self.compile_shard(s, p.as_ref())?,
+            (None, Some(p)) => self.compile_plan(p)?,
+            (None, None) => self.compile_nodes(graph)?,
         };
         Ok(CompiledGraph {
             graph: graph.clone(),
             plan,
+            shard,
+            topology,
             launches,
         })
     }
@@ -1136,6 +1274,7 @@ impl Session {
         }
         let run = executor::run_functional(
             &self.simulator,
+            &compiled.topology,
             compiled.exec_graph(),
             &compiled.launches,
             inputs,
@@ -1145,8 +1284,13 @@ impl Session {
             self.recorder.as_mut(),
         )?;
         self.metrics.apply_bytes.merge(run.apply_bytes);
+        let fused_graph = compiled.plan.as_ref().map_or(&compiled.graph, |p| &p.graph);
+        let run = match &compiled.shard {
+            Some(s) => executor::remap_run(run, fused_graph, &|i, p| s.target(i, p)),
+            None => run,
+        };
         Ok(match &compiled.plan {
-            Some(plan) => executor::remap_run(run, &compiled.graph, plan),
+            Some(p) => executor::remap_run(run, &compiled.graph, &|i, q| p.target(i, q)),
             None => run,
         })
     }
@@ -1170,20 +1314,20 @@ impl Session {
                 mode: "timing",
             });
         }
-        if let Some(plan) = self.fusion_plan(graph)? {
-            let launches = self.compile_plan(&plan)?;
-            return executor::run_timing(
-                &self.simulator,
-                &plan.graph,
-                &launches,
-                self.policy,
-                self.recorder.as_mut(),
-            );
-        }
-        let launches = self.compile_nodes(graph)?;
+        let topology = self.topology();
+        let plan = self.fusion_plan(graph)?;
+        let fused_graph = plan.as_ref().map_or(graph, |p| &p.graph);
+        let shard = self.shard_plan(fused_graph, &topology)?;
+        let launches = match (&shard, &plan) {
+            (Some(s), p) => self.compile_shard(s, p.as_ref())?,
+            (None, Some(p)) => self.compile_plan(p)?,
+            (None, None) => self.compile_nodes(graph)?,
+        };
+        let exec_graph = shard.as_ref().map_or(fused_graph, |s| &s.graph);
         executor::run_timing(
             &self.simulator,
-            graph,
+            &topology,
+            exec_graph,
             &launches,
             self.policy,
             self.recorder.as_mut(),

@@ -171,6 +171,28 @@ pub enum Event {
         /// Retire cycle relative to graph launch.
         end: f64,
     },
+    /// The graph sharder assigned a node to a simulated device
+    /// (emitted only under [`crate::PlacementPolicy::Sharded`] with two
+    /// or more devices, in ascending node-id order of the sharded
+    /// graph).
+    ShardAssigned {
+        /// Node name in the sharded graph (transfer nodes included).
+        node: String,
+        /// Zero-based device the node was placed on.
+        device: usize,
+    },
+    /// The sharder materialized a cross-device edge as an explicit
+    /// transfer kernel charged to a topology link.
+    LinkTransfer {
+        /// Index of the link in [`cypress_sim::Topology::links`].
+        link: usize,
+        /// Producing device.
+        src: usize,
+        /// Consuming device.
+        dst: usize,
+        /// Payload bytes moved across the link.
+        bytes: f64,
+    },
     /// The wave executor scheduled one ready wave of nodes (absent under
     /// the serial walk, which has no waves).
     WaveScheduled {
@@ -238,7 +260,9 @@ impl Event {
             | Event::CacheLookup { .. }
             | Event::TunerSweep { .. }
             | Event::TunerCandidate { .. }
-            | Event::NodeExecuted { .. } => EventClass::Flow,
+            | Event::NodeExecuted { .. }
+            | Event::ShardAssigned { .. }
+            | Event::LinkTransfer { .. } => EventClass::Flow,
             Event::NodeSpan { .. } => EventClass::Schedule,
             Event::WaveScheduled { .. } | Event::PoolAcquire { .. } | Event::PoolRelease { .. } => {
                 EventClass::Exec
@@ -374,6 +398,11 @@ pub struct MetricsRegistry {
     /// traffic the sweep re-issued to keep counters bit-identical to
     /// the serial sweep.
     pub sweep_replays: u64,
+    /// Transfer kernels the graph sharder inserted across every launch
+    /// of this session (one per cross-device edge after deduplication).
+    pub comm_launches: u64,
+    /// Payload bytes those transfers moved across topology links.
+    pub link_bytes: u64,
     /// Per-dtype bytes the functional `apply` path moved across every
     /// launch of this session.
     pub apply_bytes: ApplyBytes,
@@ -396,6 +425,8 @@ impl MetricsRegistry {
             fusion_applied: self.fusion_applied,
             fusion_declined: self.fusion_declined,
             sweep_replays: self.sweep_replays,
+            comm_launches: self.comm_launches,
+            link_bytes: self.link_bytes,
             apply_bytes: self.apply_bytes,
         }
     }
@@ -420,6 +451,10 @@ pub struct MetricsSnapshot {
     pub fusion_declined: u64,
     /// Parallel-sweep cache replays.
     pub sweep_replays: u64,
+    /// Transfer kernels inserted by the graph sharder.
+    pub comm_launches: u64,
+    /// Payload bytes moved across topology links by those transfers.
+    pub link_bytes: u64,
     /// Per-dtype functional apply bytes.
     pub apply_bytes: ApplyBytes,
 }
@@ -454,6 +489,11 @@ impl fmt::Display for MetricsSnapshot {
             "fusion  applied {} | declined {}",
             self.fusion_applied, self.fusion_declined
         )?;
+        writeln!(
+            f,
+            "comm    launches {} | link bytes {}",
+            self.comm_launches, self.link_bytes
+        )?;
         write!(f, "apply   {}", self.apply_bytes)
     }
 }
@@ -475,7 +515,9 @@ pub struct ChromeSpan {
     pub dur: f64,
     /// Process id (always 0 for graph traces).
     pub pid: u64,
-    /// Thread id — the simulated stream.
+    /// Thread id — `device * streams + stream`, so each device's
+    /// streams group into a contiguous track band (plain `stream` on a
+    /// single-device report).
     pub tid: usize,
 }
 
@@ -484,6 +526,9 @@ pub struct ChromeSpan {
 pub struct ChromeTrace {
     /// Stream count declared by the `cypress_graph` metadata event.
     pub streams: Option<usize>,
+    /// Device count declared by the metadata event (`None` for traces
+    /// written before multi-device support; readers treat that as 1).
+    pub devices: Option<usize>,
     /// Makespan (cycles) declared by the metadata event.
     pub makespan: Option<f64>,
     /// All `"X"` events, in file order (sorted by `ts` on export).
@@ -502,9 +547,11 @@ impl TraceSink {
     /// Render `report` as Chrome-trace-event JSON.
     ///
     /// One `"X"` (complete) event per node — `ts`/`dur` in **sim
-    /// cycles**, `tid` = simulated stream — sorted by start time so
-    /// timestamps are monotone, preceded by one `"M"` metadata event
-    /// (`cypress_graph`) declaring the stream count and makespan. The
+    /// cycles**, `tid` = `device * streams + stream` (so each device's
+    /// streams render as a contiguous track band; plain `stream` on a
+    /// single-device report) — sorted by start time so timestamps are
+    /// monotone, preceded by one `"M"` metadata event (`cypress_graph`)
+    /// declaring the stream count, device count, and makespan. The
     /// output loads directly in Perfetto or `chrome://tracing`.
     #[must_use]
     pub fn chrome_json(report: &GraphReport) -> String {
@@ -518,8 +565,9 @@ impl TraceSink {
         let mut out = String::from("{\"traceEvents\":[");
         out.push_str(&format!(
             "{{\"name\":\"cypress_graph\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
-             \"args\":{{\"streams\":{},\"makespan\":{},\"unit\":\"cycles\"}}}}",
+             \"args\":{{\"streams\":{},\"devices\":{},\"makespan\":{},\"unit\":\"cycles\"}}}}",
             report.streams,
+            report.devices.max(1),
             json_num(report.makespan)
         ));
         for t in spans {
@@ -536,7 +584,7 @@ impl TraceSink {
                 json_str(&t.node),
                 json_num(t.start),
                 json_num(t.end - t.start),
-                t.stream,
+                t.device * report.streams + t.stream,
                 json_str(&t.report.kernel),
                 json_str(&t.mapping),
                 json_num(t.report.cycles),
@@ -616,6 +664,7 @@ impl TraceSink {
         };
         let mut trace = ChromeTrace {
             streams: None,
+            devices: None,
             makespan: None,
             spans: Vec::new(),
         };
@@ -630,6 +679,10 @@ impl TraceSink {
                         .and_then(|a| a.get("streams"))
                         .and_then(JsonValue::as_f64)
                         .map(|s| s as usize);
+                    trace.devices = args
+                        .and_then(|a| a.get("devices"))
+                        .and_then(JsonValue::as_f64)
+                        .map(|d| d as usize);
                     trace.makespan = args
                         .and_then(|a| a.get("makespan"))
                         .and_then(JsonValue::as_f64);

@@ -32,6 +32,7 @@
 
 use crate::machine::MachineConfig;
 use crate::report::TimingReport;
+use crate::topology::Topology;
 
 /// Resource demands of one kernel, derived from its solo timing run.
 ///
@@ -88,12 +89,45 @@ struct Active {
     start: f64,
     /// Remaining solo-equivalent cycles of work.
     remaining: f64,
+    /// Device the kernel computes on (compute kernels), or the device
+    /// that issued the transfer (link kernels — it pays no compute
+    /// resources there, the field only documents provenance).
+    device: usize,
+    /// `Some(link)` for a communication kernel: it draws only on that
+    /// link's bandwidth, never on any device's SM/HBM/L2.
+    link: Option<usize>,
+    /// Bytes per cycle the kernel pulls on its link (communication
+    /// kernels only).
+    link_demand: f64,
     sm: f64,
     hbm: f64,
     l2: f64,
 }
 
-/// Fluid timing model of kernels sharing one device.
+/// Per-device resource capacities.
+#[derive(Debug, Clone)]
+struct DeviceCaps {
+    sms: f64,
+    hbm: f64,
+    l2: f64,
+}
+
+impl DeviceCaps {
+    fn of(machine: &MachineConfig) -> Self {
+        DeviceCaps {
+            sms: machine.sms as f64,
+            hbm: machine.hbm_bytes_per_cycle,
+            l2: machine.l2_bytes_per_cycle,
+        }
+    }
+}
+
+/// Fluid timing model of kernels sharing one device — or, built with
+/// [`ConcurrentEngine::with_topology`], several devices behind shared
+/// links. Compute kernels on different devices contend only for their
+/// own device's SMs/HBM/L2; communication kernels
+/// ([`ConcurrentEngine::launch_transfer`]) draw only on their link's
+/// bandwidth, split proportionally when several transfers share it.
 ///
 /// Drive it by [`ConcurrentEngine::launch`]ing kernels (each launch
 /// starts at the engine's current time) and calling
@@ -103,21 +137,32 @@ struct Active {
 /// launches everything at time zero.
 #[derive(Debug)]
 pub struct ConcurrentEngine {
-    sms: f64,
-    hbm: f64,
-    l2: f64,
+    devices: Vec<DeviceCaps>,
+    /// Bandwidth capacity per link, bytes per cycle.
+    links: Vec<f64>,
     now: f64,
     active: Vec<Active>,
 }
 
 impl ConcurrentEngine {
-    /// An idle device at cycle 0.
+    /// An idle single device at cycle 0.
     #[must_use]
     pub fn new(machine: &MachineConfig) -> Self {
         ConcurrentEngine {
-            sms: machine.sms as f64,
-            hbm: machine.hbm_bytes_per_cycle,
-            l2: machine.l2_bytes_per_cycle,
+            devices: vec![DeviceCaps::of(machine)],
+            links: Vec::new(),
+            now: 0.0,
+            active: Vec::new(),
+        }
+    }
+
+    /// An idle multi-device machine at cycle 0. A one-device topology is
+    /// bit-identical to [`ConcurrentEngine::new`] on that device.
+    #[must_use]
+    pub fn with_topology(topology: &Topology) -> Self {
+        ConcurrentEngine {
+            devices: topology.devices.iter().map(DeviceCaps::of).collect(),
+            links: topology.links.iter().map(|l| l.bytes_per_cycle).collect(),
             now: 0.0,
             active: Vec::new(),
         }
@@ -135,49 +180,141 @@ impl ConcurrentEngine {
         self.active.len()
     }
 
-    /// Admit a kernel at the current time. `id` is echoed back in its
-    /// [`Completion`].
+    /// Number of devices the engine models.
+    #[must_use]
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Admit a kernel on device 0 at the current time. `id` is echoed
+    /// back in its [`Completion`].
     pub fn launch(&mut self, id: usize, profile: &KernelProfile) {
+        self.launch_on(id, 0, profile);
+    }
+
+    /// Admit a compute kernel on `device` at the current time (out of
+    /// range clamps to the last device — callers validate their topology
+    /// before launching).
+    pub fn launch_on(&mut self, id: usize, device: usize, profile: &KernelProfile) {
+        let device = device.min(self.devices.len().saturating_sub(1));
         self.active.push(Active {
             id,
             start: self.now,
             remaining: profile.cycles,
+            device,
+            link: None,
+            link_demand: 0.0,
             sm: profile.sm_demand,
             hbm: profile.hbm_demand,
             l2: profile.l2_demand,
         });
     }
 
+    /// Admit a communication kernel on `link` at the current time:
+    /// `cycles` of solo transfer time drawing `demand` bytes per cycle
+    /// on the link (and nothing on any device). Out-of-range links clamp
+    /// like [`ConcurrentEngine::launch_on`]; an engine with no links
+    /// runs the transfer unthrottled (solo time only).
+    pub fn launch_transfer(&mut self, id: usize, link: usize, cycles: f64, demand: f64) {
+        let link = if self.links.is_empty() {
+            None
+        } else {
+            Some(link.min(self.links.len() - 1))
+        };
+        self.active.push(Active {
+            id,
+            start: self.now,
+            remaining: cycles,
+            device: 0,
+            link,
+            link_demand: demand,
+            sm: 0.0,
+            hbm: 0.0,
+            l2: 0.0,
+        });
+    }
+
     /// Per-kernel progress rates (solo-cycles per wall-cycle) for the
     /// current active set: the minimum of the kernel's proportional
-    /// shares of SMs, HBM, and L2. Kernels with no demand on a resource
-    /// are not throttled by it.
+    /// shares of its own device's SMs, HBM, and L2 — or, for a
+    /// communication kernel, its proportional share of its link's
+    /// bandwidth. Kernels with no demand on a resource are not throttled
+    /// by it; kernels on different devices never throttle each other.
     fn rates(&self) -> Vec<f64> {
-        let sm_sum: f64 = self.active.iter().map(|a| a.sm).sum();
-        let hbm_sum: f64 = self.active.iter().map(|a| a.hbm).sum();
-        let l2_sum: f64 = self.active.iter().map(|a| a.l2).sum();
-        let sm_scale = (self.sms / sm_sum).min(1.0);
-        let hbm_scale = if hbm_sum > self.hbm {
-            self.hbm / hbm_sum
-        } else {
-            1.0
-        };
-        let l2_scale = if l2_sum > self.l2 {
-            self.l2 / l2_sum
-        } else {
-            1.0
-        };
+        let nd = self.devices.len();
+        let mut sm_sum = vec![0.0f64; nd];
+        let mut hbm_sum = vec![0.0f64; nd];
+        let mut l2_sum = vec![0.0f64; nd];
+        let mut link_sum = vec![0.0f64; self.links.len()];
+        // Accumulate in insertion order, exactly the order the
+        // single-device `sum()` used — sums stay bit-identical.
+        for a in &self.active {
+            match a.link {
+                Some(l) => link_sum[l] += a.link_demand,
+                None => {
+                    sm_sum[a.device] += a.sm;
+                    hbm_sum[a.device] += a.hbm;
+                    l2_sum[a.device] += a.l2;
+                }
+            }
+        }
+        let sm_scale: Vec<f64> = self
+            .devices
+            .iter()
+            .enumerate()
+            .map(|(d, caps)| (caps.sms / sm_sum[d]).min(1.0))
+            .collect();
+        let hbm_scale: Vec<f64> = self
+            .devices
+            .iter()
+            .enumerate()
+            .map(|(d, caps)| {
+                if hbm_sum[d] > caps.hbm {
+                    caps.hbm / hbm_sum[d]
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        let l2_scale: Vec<f64> = self
+            .devices
+            .iter()
+            .enumerate()
+            .map(|(d, caps)| {
+                if l2_sum[d] > caps.l2 {
+                    caps.l2 / l2_sum[d]
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        let link_scale: Vec<f64> = self
+            .links
+            .iter()
+            .enumerate()
+            .map(|(l, &cap)| {
+                if link_sum[l] > cap {
+                    cap / link_sum[l]
+                } else {
+                    1.0
+                }
+            })
+            .collect();
         self.active
             .iter()
-            .map(|a| {
-                let mut r = sm_scale;
-                if a.hbm > 0.0 {
-                    r = r.min(hbm_scale);
+            .map(|a| match a.link {
+                Some(l) => link_scale[l],
+                None => {
+                    let d = a.device;
+                    let mut r = sm_scale[d];
+                    if a.hbm > 0.0 {
+                        r = r.min(hbm_scale[d]);
+                    }
+                    if a.l2 > 0.0 {
+                        r = r.min(l2_scale[d]);
+                    }
+                    r
                 }
-                if a.l2 > 0.0 {
-                    r = r.min(l2_scale);
-                }
-                r
             })
             .collect()
     }
@@ -305,6 +442,74 @@ mod tests {
         let second = e.advance().unwrap();
         assert_eq!(first.id, 0, "ties retire lowest id first");
         assert!((second.end - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn devices_do_not_contend_with_each_other() {
+        // Two full-device kernels serialize on one device but overlap
+        // perfectly when placed on different devices of a 2-GPU topology.
+        let topo = crate::topology::Topology::nvlink(&machine4(), 2);
+        let mut e = ConcurrentEngine::with_topology(&topo);
+        assert_eq!(e.device_count(), 2);
+        e.launch_on(0, 0, &profile("a", 1000.0, 4.0, 0.0));
+        e.launch_on(1, 1, &profile("b", 1000.0, 4.0, 0.0));
+        let first = e.advance().unwrap();
+        let second = e.advance().unwrap();
+        assert_eq!((first.id, first.end), (0, 1000.0));
+        assert_eq!((second.id, second.end), (1, 1000.0));
+    }
+
+    #[test]
+    fn one_device_topology_matches_single_device_engine() {
+        let topo = crate::topology::Topology::single(machine4());
+        let mut multi = ConcurrentEngine::with_topology(&topo);
+        let mut single = ConcurrentEngine::new(&machine4());
+        for e in [&mut multi, &mut single] {
+            e.launch(0, &profile("a", 1000.0, 4.0, 64.0));
+            e.launch(1, &profile("b", 700.0, 2.0, 32.0));
+            e.launch(2, &profile("c", 300.0, 1.0, 8.0));
+        }
+        loop {
+            let (a, b) = (multi.advance(), single.advance());
+            assert_eq!(a, b, "bit-identical completions");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn transfers_share_link_bandwidth_proportionally() {
+        let topo = crate::topology::Topology::nvlink(&machine4(), 2);
+        let cap = topo.links[0].bytes_per_cycle;
+        let mut e = ConcurrentEngine::with_topology(&topo);
+        // Two transfers each demanding the full link: both stretch 2x.
+        e.launch_transfer(0, 0, 1000.0, cap);
+        e.launch_transfer(1, 0, 1000.0, cap);
+        // A compute kernel is untouched by the link fight.
+        e.launch_on(2, 0, &profile("alu", 1000.0, 1.0, 0.0));
+        let first = e.advance().unwrap();
+        assert_eq!((first.id, first.end), (2, 1000.0));
+        let second = e.advance().unwrap();
+        assert_eq!(second.id, 0, "ties retire lowest id first");
+        assert!((second.end - 2000.0).abs() < 1e-9, "end {}", second.end);
+        let third = e.advance().unwrap();
+        assert!((third.end - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfers_on_distinct_links_do_not_contend() {
+        let topo = crate::topology::Topology::nvlink(&machine4(), 4);
+        let cap = topo.links[0].bytes_per_cycle;
+        let mut e = ConcurrentEngine::with_topology(&topo);
+        let l01 = topo.link_between(0, 1).unwrap();
+        let l23 = topo.link_between(2, 3).unwrap();
+        e.launch_transfer(0, l01, 1000.0, cap);
+        e.launch_transfer(1, l23, 1000.0, cap);
+        let first = e.advance().unwrap();
+        let second = e.advance().unwrap();
+        assert_eq!(first.end, 1000.0);
+        assert_eq!(second.end, 1000.0);
     }
 
     #[test]

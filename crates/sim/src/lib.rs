@@ -74,6 +74,7 @@ pub mod machine;
 pub mod mem;
 pub mod par;
 pub mod report;
+pub mod topology;
 
 pub use builder::KernelBuilder;
 pub use bytecode::Program;
@@ -85,6 +86,7 @@ pub use kernel::{Kernel, KernelError, MbarDecl, Role, RoleKind, StaticTotals};
 pub use machine::{CostConstants, MachineConfig};
 pub use mem::{FragDecl, MemRef, ParamDecl, Slice, SmemDecl, Space};
 pub use report::{ApplyBytes, TimingReport};
+pub use topology::{nvlink_bytes_per_cycle, Link, Topology};
 
 use cypress_tensor::Tensor;
 use engine::{Engine, Mode};
