@@ -13,17 +13,18 @@
 use std::process::ExitCode;
 
 /// `(figure id, expected row count)` — sizes x systems per figure.
-const EXPECTED: [(&str, usize); 10] = [
-    ("13a_gemm", 9),           // 3 sizes x {Cypress, Triton, cuBLAS}
-    ("13b_batched_gemm", 9),   // 3 sizes x {Cypress, Triton, cuBLAS}
-    ("13c_dual_gemm", 6),      // 3 sizes x {Cypress, Triton}
-    ("13d_gemm_reduction", 6), // 3 sizes x {Cypress, Triton}
-    ("14_attention", 24),      // 4 seqs x 6 systems
-    ("graph_overlap", 6),      // 3 sizes x {serial, 8 streams}
-    ("fig_multi_gpu", 12),     // 3 sizes x {1, 2, 4 devices, comm overlap}
-    ("fig_fusion", 12),        // 3 sizes x 2 workloads x {unfused, fused}
-    ("fig_autotune", 50),      // 5 paper kernels x 2 sizes x {hand, tuned, guided, 2 timed counts}
+const EXPECTED: [(&str, usize); 11] = [
+    ("13a_gemm", 9),             // 3 sizes x {Cypress, Triton, cuBLAS}
+    ("13b_batched_gemm", 9),     // 3 sizes x {Cypress, Triton, cuBLAS}
+    ("13c_dual_gemm", 6),        // 3 sizes x {Cypress, Triton}
+    ("13d_gemm_reduction", 6),   // 3 sizes x {Cypress, Triton}
+    ("14_attention", 24),        // 4 seqs x 6 systems
+    ("graph_overlap", 6),        // 3 sizes x {serial, 8 streams}
+    ("fig_multi_gpu", 12),       // 3 sizes x {1, 2, 4 devices, comm overlap}
+    ("fig_fusion", 12),          // 3 sizes x 2 workloads x {unfused, fused}
+    ("fig_autotune", 50), // 5 paper kernels x 2 sizes x {hand, tuned, guided, 2 timed counts}
     ("fig_functional", 7), // {GEMM, attention, fan-out graph} x {fast/parallel, scalar/serial} + GEMM bytecode
+    ("fig_fault_tolerance", 11), // 3 device counts x 3 transient rates + device loss at 2 and 4
 ];
 
 /// The functional data-path gates: `(winner, loser, minimum ratio)` per
@@ -76,6 +77,73 @@ const AUTOTUNE_KERNELS: [&str; 5] = [
     "gemm_reduction",
     "attention_fa3",
 ];
+
+/// Ceiling on every fault-tolerance recovery ratio: retrying a couple
+/// of transients or losing one of the devices halfway may cost up to —
+/// but never reach — this factor of the clean makespan.
+const FAULT_OVERHEAD_CEILING: f64 = 4.0;
+
+/// Row label of the fault figure's transient-retry series (mirrors
+/// `cypress_bench::fault_retry_system`).
+fn fault_retry_label(devices: usize, transients: usize) -> String {
+    let dev = if devices == 1 { "device" } else { "devices" };
+    let tr = if transients == 1 {
+        "transient"
+    } else {
+        "transients"
+    };
+    format!("Retry ({devices} {dev}, {transients} {tr})")
+}
+
+/// The fault-tolerance gate: the zero-fault control costs *exactly*
+/// nothing (the fault machinery must be bit-free when no fault fires),
+/// transient retries cost something but stay bounded, and device-loss
+/// recovery completes within the overhead ceiling.
+fn check_fault_tolerance(json: &str) -> Result<(), String> {
+    let rows = figure_rows(json, "fig_fault_tolerance");
+    if rows.is_empty() {
+        return Err("fig_fault_tolerance: no rows found".to_string());
+    }
+    let find = |system: &str| {
+        rows.iter()
+            .find(|(s, _, _)| s == system)
+            .map(|(_, _, t)| *t)
+            .ok_or_else(|| format!("fig_fault_tolerance: missing series `{system}`"))
+    };
+    for devices in [1usize, 2, 4] {
+        for transients in [0usize, 1, 2] {
+            let label = fault_retry_label(devices, transients);
+            let v = find(&label)?;
+            if transients == 0 {
+                if v != 1.0 {
+                    return Err(format!(
+                        "fig_fault_tolerance: `{label}` is {v:.3} (gate: exactly 1.0) — \
+                         an attached-but-silent fault plan must not change the schedule \
+                         by a single bit"
+                    ));
+                }
+            } else if v <= 1.0 || v > FAULT_OVERHEAD_CEILING {
+                return Err(format!(
+                    "fig_fault_tolerance: `{label}` is {v:.3} (gate: within \
+                     (1.0, {FAULT_OVERHEAD_CEILING:.1}]) — a retried transient must cost \
+                     something and recovery must stay bounded"
+                ));
+            }
+        }
+        if devices > 1 {
+            let label = format!("Device loss ({devices} devices)");
+            let v = find(&label)?;
+            if !(1.0..FAULT_OVERHEAD_CEILING).contains(&v) {
+                return Err(format!(
+                    "fig_fault_tolerance: `{label}` is {v:.3} (gate: within \
+                     [1.0, {FAULT_OVERHEAD_CEILING:.1})) — re-sharding onto survivors \
+                     must complete without blowing the overhead ceiling"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
 
 /// Extract `(system, size, tflops)` triples of one figure's rows.
 fn figure_rows(json: &str, figure: &str) -> Vec<(String, u64, f64)> {
@@ -321,6 +389,7 @@ fn check(json: &str) -> Result<usize, String> {
     check_multi_gpu(json)?;
     check_fusion(json)?;
     check_functional(json)?;
+    check_fault_tolerance(json)?;
     Ok(rows)
 }
 
@@ -411,6 +480,25 @@ mod tests {
                         rows.push(row_with_system(figure, system, size, tflops));
                     }
                 }
+            } else if figure == "fig_fault_tolerance" {
+                for devices in [1usize, 2, 4] {
+                    for (transients, tflops) in [(0, "1.000"), (1, "1.150"), (2, "1.300")] {
+                        rows.push(row_with_system(
+                            figure,
+                            &super::fault_retry_label(devices, transients),
+                            1024,
+                            tflops,
+                        ));
+                    }
+                    if devices > 1 {
+                        rows.push(row_with_system(
+                            figure,
+                            &format!("Device loss ({devices} devices)"),
+                            1024,
+                            "1.800",
+                        ));
+                    }
+                }
             } else if figure == "fig_functional" {
                 // One row per distinct system ("GEMM functional (fast)"
                 // appears in two gates); values satisfy every gate:
@@ -440,7 +528,46 @@ mod tests {
 
     #[test]
     fn complete_file_passes() {
-        assert_eq!(check(&full_file(&[])), Ok(141));
+        assert_eq!(check(&full_file(&[])), Ok(152));
+    }
+
+    #[test]
+    fn nonfree_zero_fault_control_fails() {
+        // 1.001: a silent fault plan that perturbs the schedule at all.
+        let json = full_file(&[]).replacen(
+            "\"system\": \"Retry (2 devices, 0 transients)\", \"size\": 1024, \"tflops\": 1.000",
+            "\"system\": \"Retry (2 devices, 0 transients)\", \"size\": 1024, \"tflops\": 1.001",
+            1,
+        );
+        let err = check(&json).unwrap_err();
+        assert!(err.contains("Retry (2 devices, 0 transients)"), "{err}");
+        assert!(err.contains("exactly 1.0"), "{err}");
+    }
+
+    #[test]
+    fn free_transient_retry_fails() {
+        // A retried transient consumes its failed attempt's cycles, so
+        // a ratio of exactly 1.0 means the fault never fired.
+        let json = full_file(&[]).replacen(
+            "\"system\": \"Retry (1 device, 1 transient)\", \"size\": 1024, \"tflops\": 1.150",
+            "\"system\": \"Retry (1 device, 1 transient)\", \"size\": 1024, \"tflops\": 1.000",
+            1,
+        );
+        let err = check(&json).unwrap_err();
+        assert!(err.contains("Retry (1 device, 1 transient)"), "{err}");
+        assert!(err.contains("must cost something"), "{err}");
+    }
+
+    #[test]
+    fn unbounded_device_loss_recovery_fails() {
+        let json = full_file(&[]).replacen(
+            "\"system\": \"Device loss (4 devices)\", \"size\": 1024, \"tflops\": 1.800",
+            "\"system\": \"Device loss (4 devices)\", \"size\": 1024, \"tflops\": 4.500",
+            1,
+        );
+        let err = check(&json).unwrap_err();
+        assert!(err.contains("Device loss (4 devices)"), "{err}");
+        assert!(err.contains("overhead ceiling"), "{err}");
     }
 
     #[test]

@@ -89,9 +89,43 @@ fn check(json: &str) -> Result<String, String> {
             ));
         }
     }
+    // Fault-recovery spans: every failed attempt (`retry:X`) must be
+    // followed by the re-execution that retired `X`, and a re-shard
+    // boundary (`reshard:dN`) only makes sense when the trace has a
+    // surviving device to re-plan onto.
+    let mut recoveries = 0usize;
+    for span in trace.spans.iter().filter(|s| s.cat != "host") {
+        if let Some(node) = span.name.strip_prefix("retry:") {
+            recoveries += 1;
+            let reran = trace
+                .spans
+                .iter()
+                .any(|other| other.cat != "host" && other.name == node && other.ts >= span.ts);
+            if !reran {
+                return Err(format!(
+                    "span `{}`: no successful `{node}` span at or after ts {} — every \
+                     retried attempt must be followed by the re-execution that retired it",
+                    span.name, span.ts
+                ));
+            }
+        }
+        if span.name.starts_with("reshard:") {
+            recoveries += 1;
+            if devices < 2 {
+                return Err(format!(
+                    "span `{}` on a {devices}-device trace — evicting a device \
+                     requires at least one survivor to re-shard onto",
+                    span.name
+                ));
+            }
+        }
+        if span.name.starts_with("xfer:recover:") {
+            recoveries += 1;
+        }
+    }
     Ok(format!(
-        "{} spans on {devices} device(s) x {streams} streams ({hosts} host), \
-         makespan {makespan} cycles",
+        "{} spans on {devices} device(s) x {streams} streams ({hosts} host, \
+         {recoveries} recovery), makespan {makespan} cycles",
         trace.spans.len() - hosts
     ))
 }
@@ -261,5 +295,56 @@ mod tests {
     #[test]
     fn malformed_json_fails() {
         assert!(check("{\"traceEvents\":").is_err());
+    }
+
+    #[test]
+    fn retry_followed_by_rerun_passes_and_is_counted() {
+        let json = trace(
+            MULTI_META,
+            &[
+                &span("retry:a", 0.0, 300.0, 0),
+                &span("reshard:d1", 300.0, 0.0, 2),
+                &span("a", 300.0, 500.0, 0),
+                &span("xfer:recover:b.0->d0", 400.0, 100.0, 0),
+            ],
+        );
+        let summary = check(&json).unwrap();
+        assert!(summary.contains("3 recovery"), "{summary}");
+    }
+
+    #[test]
+    fn retry_without_rerun_fails() {
+        let json = trace(
+            META,
+            &[&span("retry:a", 0.0, 300.0, 0), &span("b", 300.0, 500.0, 1)],
+        );
+        let err = check(&json).unwrap_err();
+        assert!(err.contains("retry:a"), "{err}");
+        assert!(err.contains("re-execution"), "{err}");
+    }
+
+    #[test]
+    fn rerun_before_the_failed_attempt_fails() {
+        // A successful `a` span strictly before the failed attempt
+        // cannot be the retry's re-execution.
+        let json = trace(
+            META,
+            &[&span("a", 0.0, 100.0, 0), &span("retry:a", 200.0, 300.0, 0)],
+        );
+        assert!(check(&json).unwrap_err().contains("re-execution"));
+    }
+
+    #[test]
+    fn reshard_on_a_single_device_trace_fails() {
+        let json = trace(
+            META,
+            &[
+                &span("a", 0.0, 100.0, 0),
+                &span("reshard:d0", 100.0, 0.0, 0),
+            ],
+        );
+        let err = check(&json).unwrap_err();
+        assert!(err.contains("reshard:d0"), "{err}");
+        assert!(err.contains("survivor"), "{err}");
     }
 }

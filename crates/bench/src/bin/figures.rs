@@ -7,11 +7,12 @@
 //! Run with `cargo run --release -p cypress-bench --bin figures`.
 
 use cypress_bench::{
-    autotune_entries, fig13a, fig13b, fig13c, fig13d, fig14, fig_autotune_with_times,
-    fig_functional, fig_fusion, fig_graph_overlap, fig_multi_gpu, multi_gpu_system,
-    overlap_concurrent_system, ratio, Row, AUTOTUNE_GUIDED_SYSTEM, AUTOTUNE_HAND_SYSTEM,
-    AUTOTUNE_SIZES, AUTOTUNE_TIMED_EXHAUSTIVE_SYSTEM, AUTOTUNE_TIMED_GUIDED_SYSTEM,
-    AUTOTUNE_TUNED_SYSTEM, FUNCTIONAL_FAN_OUT, FUNCTIONAL_SIZE, FUSION_SIZES, GEMM_SIZES,
+    autotune_entries, fault_loss_system, fault_retry_system, fig13a, fig13b, fig13c, fig13d, fig14,
+    fig_autotune_with_times, fig_fault_tolerance, fig_functional, fig_fusion, fig_graph_overlap,
+    fig_multi_gpu, multi_gpu_system, overlap_concurrent_system, ratio, Row, AUTOTUNE_GUIDED_SYSTEM,
+    AUTOTUNE_HAND_SYSTEM, AUTOTUNE_SIZES, AUTOTUNE_TIMED_EXHAUSTIVE_SYSTEM,
+    AUTOTUNE_TIMED_GUIDED_SYSTEM, AUTOTUNE_TUNED_SYSTEM, FAULT_DEVICES, FAULT_SIZE,
+    FAULT_TRANSIENTS, FUNCTIONAL_FAN_OUT, FUNCTIONAL_SIZE, FUSION_SIZES, GEMM_SIZES,
     MULTI_GPU_OVERLAP_SYSTEM, MULTI_GPU_SIZES, OVERLAP_SERIAL_SYSTEM, OVERLAP_SIZES, OVERLAP_WIDTH,
     SEQ_LENS,
 };
@@ -225,6 +226,33 @@ fn main() {
         );
     }
 
+    let ft = fig_fault_tolerance(&machine);
+    println!("\n=== Fault tolerance: recovery overhead (faulted/clean makespan ratio) ===");
+    for r in &ft {
+        println!("  {:<28} {:>8.3}x", r.system, r.tflops);
+    }
+    for devices in FAULT_DEVICES {
+        let retry: Vec<String> = FAULT_TRANSIENTS
+            .iter()
+            .map(|&t| {
+                format!(
+                    "{t} transient = {:.3}x",
+                    find(&ft, &fault_retry_system(devices, t), FAULT_SIZE)
+                )
+            })
+            .collect();
+        if devices > 1 {
+            println!(
+                "  {devices} devices: {} | device loss at 50% = {:.3}x (zero-fault == 1.000 and \
+                 loss < 4x gated in CI)",
+                retry.join(", "),
+                find(&ft, &fault_loss_system(devices), FAULT_SIZE)
+            );
+        } else {
+            println!("  {devices} device:  {}", retry.join(", "));
+        }
+    }
+
     let fun = fig_functional(&machine);
     println!("\n=== Functional data path (host-measured, Melem/s and graphs/s) ===");
     for r in &fun {
@@ -271,6 +299,7 @@ fn main() {
             ("fig_multi_gpu", &mg),
             ("fig_fusion", &fu),
             ("fig_autotune", &t),
+            ("fig_fault_tolerance", &ft),
             // Host-measured rows; excluded from the bit-identical
             // regeneration check in CI (see the workflow's sync step).
             ("fig_functional", &fun),

@@ -10,8 +10,8 @@ use cypress_core::kernels::{
     attention, batched, chain, dual_gemm, gemm, gemm_reduction, reduction,
 };
 use cypress_runtime::{
-    Binding, FusionPolicy, PlacementPolicy, Program, SchedulePolicy, Session, TaskGraph,
-    TunerBudget,
+    Binding, FaultPlan, FaultPolicy, FusionPolicy, PlacementPolicy, Program, SchedulePolicy,
+    Session, TaskGraph, TunerBudget,
 };
 use cypress_sim::{Kernel, MachineConfig, Simulator};
 use std::sync::Arc;
@@ -881,6 +881,98 @@ pub fn fig_functional(machine: &MachineConfig) -> Vec<Row> {
         size,
         tflops: 1.0 / parallel,
     });
+    rows
+}
+
+/// Problem size of the fault-tolerance figure (the device-filling
+/// regime of [`MULTI_GPU_SIZES`], where losing a device actually
+/// costs).
+pub const FAULT_SIZE: usize = 1024;
+/// Device counts of the fault-tolerance figure (1 is the
+/// single-device retry control; the loss rows need survivors, so they
+/// run at 2 and 4 only).
+pub const FAULT_DEVICES: [usize; 3] = [1, 2, 4];
+/// Transient-fault counts per retry row (0 is the zero-fault control —
+/// gated to cost *exactly* nothing).
+pub const FAULT_TRANSIENTS: [usize; 3] = [0, 1, 2];
+
+/// Row label of the transient-retry series at `devices` devices with
+/// `transients` injected faults.
+#[must_use]
+pub fn fault_retry_system(devices: usize, transients: usize) -> String {
+    let dev = if devices == 1 { "device" } else { "devices" };
+    let tr = if transients == 1 {
+        "transient"
+    } else {
+        "transients"
+    };
+    format!("Retry ({devices} {dev}, {transients} {tr})")
+}
+
+/// Row label of the device-loss recovery series at `devices` devices.
+#[must_use]
+pub fn fault_loss_system(devices: usize) -> String {
+    format!("Device loss ({devices} devices)")
+}
+
+/// The fault-tolerance figure: recovery overhead of the 8-wide fan-out
+/// graph under [`cypress_runtime::FaultPolicy::Retry`]. Row values are
+/// the **makespan ratio** of the faulted run over the fault-free run
+/// (1.0 = free recovery; higher = overhead), not a throughput. Three
+/// regimes per device count: a zero-fault control (gated to exactly
+/// 1.0 — the fault machinery is bit-free when nothing fires), 1–2
+/// transient kernel faults retried in place, and — at 2 and 4 devices
+/// — a permanent device loss at half the clean makespan, recovered by
+/// degraded re-sharding onto the survivors. `check_figures` gates
+/// every ratio's bounds and `figures` regenerates the rows
+/// bit-identically in CI.
+#[must_use]
+pub fn fig_fault_tolerance(machine: &MachineConfig) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let size = FAULT_SIZE;
+    let graph = overlap_graph(OVERLAP_WIDTH, size, machine);
+    for devices in FAULT_DEVICES {
+        let mut session = Session::new(machine.clone())
+            .with_placement_policy(PlacementPolicy::Sharded { devices })
+            .with_policy(SchedulePolicy::Concurrent {
+                streams: OVERLAP_WIDTH,
+            });
+        let clean = session.launch_timing(&graph).expect("graph times").makespan;
+        session.set_fault_policy(FaultPolicy::Retry {
+            max_attempts: 3,
+            backoff: 0.0,
+        });
+        for transients in FAULT_TRANSIENTS {
+            let mut plan = FaultPlan::new();
+            for launch in 0..transients {
+                plan = plan.with_transient(0, launch as u64);
+            }
+            session.set_fault_plan(Some(plan));
+            let faulted = session
+                .launch_timing(&graph)
+                .expect("transient faults recover under Retry")
+                .makespan;
+            rows.push(Row {
+                system: fault_retry_system(devices, transients),
+                size,
+                tflops: faulted / clean,
+            });
+        }
+        if devices > 1 {
+            session.set_fault_plan(Some(
+                FaultPlan::new().with_device_loss(devices - 1, clean * 0.5),
+            ));
+            let faulted = session
+                .launch_timing(&graph)
+                .expect("device loss recovers by re-sharding onto survivors")
+                .makespan;
+            rows.push(Row {
+                system: fault_loss_system(devices),
+                size,
+                tflops: faulted / clean,
+            });
+        }
+    }
     rows
 }
 

@@ -102,6 +102,47 @@ pub enum RuntimeError {
         /// What was wrong.
         what: String,
     },
+    /// A node failed under the fault policy: a transient injected fault
+    /// under [`crate::FaultPolicy::FailFast`], or a node whose retry
+    /// budget ran out under [`crate::FaultPolicy::Retry`]. Carries the
+    /// partial [`crate::GraphReport`] so callers can see how far the
+    /// schedule got.
+    NodeFailed {
+        /// The failed node's name.
+        node: String,
+        /// The device the failing attempt ran on.
+        device: usize,
+        /// Attempts consumed (1 under `FailFast`).
+        attempts: u32,
+        /// The partial timing report up to the failure.
+        report: Box<crate::GraphReport>,
+    },
+    /// A simulated device was lost permanently and the fault policy
+    /// could not (or was not allowed to) recover: `FailFast`, or no
+    /// surviving device to re-shard onto. Carries the partial
+    /// [`crate::GraphReport`].
+    DeviceLost {
+        /// The dead device.
+        device: usize,
+        /// The cycle it died at.
+        cycle: f64,
+        /// The partial timing report up to the loss.
+        report: Box<crate::GraphReport>,
+    },
+    /// A per-node or whole-graph deadline expired mid-schedule (see
+    /// [`crate::Session::set_node_deadline`] /
+    /// [`crate::Session::set_graph_deadline`]). Carries the partial
+    /// [`crate::GraphReport`].
+    DeadlineExceeded {
+        /// What missed the deadline: a node name, or `"graph"`.
+        what: String,
+        /// The deadline, in cycles.
+        deadline: f64,
+        /// The cycle the deadline was discovered blown at.
+        at: f64,
+        /// The partial timing report up to the deadline.
+        report: Box<crate::GraphReport>,
+    },
     /// A runtime invariant was violated (a bug in the runtime itself,
     /// not in the caller's graph) — surfaced as a typed error instead
     /// of a panic so long-lived serving sessions degrade gracefully.
@@ -162,6 +203,24 @@ impl fmt::Display for RuntimeError {
             RuntimeError::BadTopology { what } => {
                 write!(f, "bad device topology: {what}")
             }
+            RuntimeError::NodeFailed {
+                node,
+                device,
+                attempts,
+                ..
+            } => write!(
+                f,
+                "node `{node}` failed on device {device} after {attempts} attempt(s)"
+            ),
+            RuntimeError::DeviceLost { device, cycle, .. } => {
+                write!(f, "device {device} lost at cycle {cycle} and not recovered")
+            }
+            RuntimeError::DeadlineExceeded {
+                what, deadline, at, ..
+            } => write!(
+                f,
+                "deadline of {deadline} cycles for `{what}` exceeded at cycle {at}"
+            ),
             RuntimeError::Internal { what } => {
                 write!(f, "runtime invariant violated: {what}")
             }

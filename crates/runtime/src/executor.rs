@@ -28,15 +28,87 @@
 use crate::error::RuntimeError;
 use crate::graph::{Binding, NodeId, TaskGraph};
 use crate::pool::BufferPool;
-use crate::report::{GraphReport, NodeTiming};
-use crate::session::SchedulePolicy;
+use crate::report::{GraphReport, NodeTiming, Recovery};
+use crate::session::{FaultPolicy, SchedulePolicy};
 use crate::telemetry::{Event, Recorder};
+use cypress_core::kernels::comm;
 use cypress_core::Compiled;
-use cypress_sim::concurrent::{ConcurrentEngine, KernelProfile};
-use cypress_sim::{ApplyBytes, MachineConfig, Simulator, TimingReport, Topology};
+use cypress_sim::concurrent::{ConcurrentEngine, EngineStep, KernelProfile, LaunchOutcome};
+use cypress_sim::{ApplyBytes, FaultPlan, MachineConfig, Simulator, TimingReport, Topology};
 use cypress_tensor::Tensor;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+
+/// The fault-handling settings one graph launch runs under: the
+/// session's injected [`FaultPlan`], its [`FaultPolicy`], and the
+/// optional per-node / whole-graph deadlines. An inactive context (no
+/// plan, no deadlines — the default) leaves every schedule bit-identical
+/// to the pre-fault runtime.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FaultContext {
+    /// Faults to inject into the concurrent engine (`None` or an empty
+    /// plan injects nothing).
+    pub plan: Option<FaultPlan>,
+    /// How the scheduler reacts to injected faults.
+    pub policy: FaultPolicy,
+    /// Max cycles from a node's first launch to its successful
+    /// retirement before the schedule aborts with
+    /// [`RuntimeError::DeadlineExceeded`].
+    pub node_deadline: Option<f64>,
+    /// Max makespan in cycles before the schedule aborts.
+    pub graph_deadline: Option<f64>,
+}
+
+impl FaultContext {
+    /// A context that injects nothing and checks nothing.
+    pub(crate) fn inactive() -> Self {
+        FaultContext::default()
+    }
+
+    /// `true` when the context carries faults to inject (a non-empty
+    /// plan) — what routes a serial-policy launch through the engine.
+    fn has_plan(&self) -> bool {
+        self.plan.as_ref().is_some_and(|p| !p.is_empty())
+    }
+}
+
+/// How a fault-aware schedule ended early (converted to a typed
+/// [`RuntimeError`] carrying the partial report by `assemble_report`).
+enum FaultAbort {
+    NodeFailed {
+        node: String,
+        device: usize,
+        attempts: u32,
+    },
+    DeviceLost {
+        device: usize,
+        cycle: f64,
+    },
+    Deadline {
+        what: String,
+        deadline: f64,
+        at: f64,
+    },
+}
+
+/// What the fault-aware concurrent scheduler produced.
+struct Sched {
+    nodes: Vec<NodeTiming>,
+    makespan: f64,
+    recovery: Recovery,
+    events: Vec<Event>,
+    abort: Option<FaultAbort>,
+}
+
+/// A synthetic transfer the fault layer inserted after a device loss to
+/// drain a stranded buffer onto a surviving device. Lives only inside
+/// one schedule; its id is `graph.len() + index`.
+struct RecoveryXfer {
+    name: String,
+    link: usize,
+    demand: f64,
+    report: TimingReport,
+}
 
 /// One node's compiled kernel plus the mapping annotation the session
 /// chose for it (the label and its solo speedup over the default
@@ -329,6 +401,7 @@ pub(crate) fn run_functional(
     pool: &mut BufferPool,
     policy: SchedulePolicy,
     parallelism: usize,
+    fault: &FaultContext,
     recorder: &mut dyn Recorder,
 ) -> Result<GraphRun, RuntimeError> {
     let mut edges = EdgeBuffers::new(graph);
@@ -429,14 +502,30 @@ pub(crate) fn run_functional(
             );
         }
     }
-    let report = assemble_report(
+    let report = match assemble_report(
         simulator.machine(),
         topology,
         graph,
         launches,
         &reports,
         policy,
-    );
+        fault,
+        recorder,
+    ) {
+        Ok(report) => report,
+        Err(e) => {
+            // The schedule aborted (fail-fast fault, exhausted retry
+            // budget, blown deadline): every buffer the functional walk
+            // produced goes back into the pool so a long-lived session
+            // leaks nothing across failed launches.
+            for slot in edges.slots.drain(..).flatten() {
+                for t in slot.into_iter().flatten() {
+                    pool.release(t);
+                }
+            }
+            return Err(e);
+        }
+    };
     record_graph_events(graph, launches, &reports, &report, recorder);
     Ok(GraphRun {
         names: graph.nodes().iter().map(|n| n.name.clone()).collect(),
@@ -518,6 +607,7 @@ pub(crate) fn run_timing(
     graph: &TaskGraph,
     launches: &[NodeLaunch],
     policy: SchedulePolicy,
+    fault: &FaultContext,
     recorder: &mut dyn Recorder,
 ) -> Result<GraphReport, RuntimeError> {
     // Solo-time each node once per distinct compiled kernel: graphs that
@@ -555,13 +645,20 @@ pub(crate) fn run_timing(
         launches,
         &reports,
         policy,
-    );
+        fault,
+        recorder,
+    )?;
     record_graph_events(graph, launches, &reports, &report, recorder);
     Ok(report)
 }
 
 /// Assemble the whole-graph report from per-node solo reports (indexed by
-/// `NodeId::index()`) under `policy`.
+/// `NodeId::index()`) under `policy`, injecting and recovering from the
+/// fault context's plan. A schedule that ended early — a fail-fast
+/// fault, an exhausted retry budget, a device loss with no survivor, a
+/// blown deadline — comes back as the matching typed [`RuntimeError`]
+/// carrying the partial report.
+#[allow(clippy::too_many_arguments)]
 fn assemble_report(
     machine: &MachineConfig,
     topology: &Topology,
@@ -569,21 +666,113 @@ fn assemble_report(
     launches: &[NodeLaunch],
     reports: &[TimingReport],
     policy: SchedulePolicy,
-) -> GraphReport {
+    fault: &FaultContext,
+    recorder: &mut dyn Recorder,
+) -> Result<GraphReport, RuntimeError> {
     let schedule = graph.schedule();
-    let (nodes, makespan) = match policy {
-        SchedulePolicy::Serial => schedule_serial(graph, launches, &schedule, reports),
-        SchedulePolicy::Concurrent { .. } => {
-            schedule_concurrent(topology, graph, launches, reports, policy.streams())
+    // A non-empty fault plan routes even serial-policy launches through
+    // the engine (with one stream per device) — the serial walk has no
+    // notion of in-flight launches to kill or retry. With an empty plan
+    // the serial walk runs untouched, bit for bit.
+    let use_engine = matches!(policy, SchedulePolicy::Concurrent { .. }) || fault.has_plan();
+    let (nodes, makespan, recovery, events, abort) = if use_engine {
+        let sched =
+            schedule_concurrent(topology, graph, launches, reports, policy.streams(), fault)?;
+        let mut recovery = sched.recovery;
+        if recovery.faults > 0 && sched.abort.is_none() {
+            // Recovery overhead: the faulted makespan over a clean run
+            // of the same launches through the same engine (same policy,
+            // same streams), so the delta isolates the faults.
+            let clean = schedule_concurrent(
+                topology,
+                graph,
+                launches,
+                reports,
+                policy.streams(),
+                &FaultContext::inactive(),
+            )?;
+            recovery.overhead_cycles = sched.makespan - clean.makespan;
         }
+        (
+            sched.nodes,
+            sched.makespan,
+            recovery,
+            sched.events,
+            sched.abort,
+        )
+    } else {
+        let (mut nodes, mut makespan) = schedule_serial(graph, launches, &schedule, reports);
+        // The serial walk can still miss deadlines; check post hoc so
+        // the walk itself stays byte-identical to the pre-fault runtime.
+        // Like the engine path, the report is truncated at the first
+        // offending span so the error carries a genuinely partial
+        // timeline.
+        let mut abort = None;
+        if let Some(nd) = fault.node_deadline {
+            if let Some(pos) = nodes.iter().position(|t| t.end - t.start > nd) {
+                let at = nodes[pos].end;
+                abort = Some(FaultAbort::Deadline {
+                    what: nodes[pos].node.clone(),
+                    deadline: nd,
+                    at,
+                });
+                nodes.truncate(pos + 1);
+                makespan = at;
+            }
+        }
+        if abort.is_none() {
+            if let Some(gd) = fault.graph_deadline {
+                if let Some(pos) = nodes.iter().position(|t| t.end > gd) {
+                    let at = nodes[pos].end;
+                    abort = Some(FaultAbort::Deadline {
+                        what: "graph".to_string(),
+                        deadline: gd,
+                        at,
+                    });
+                    nodes.truncate(pos + 1);
+                    makespan = at;
+                }
+            }
+        }
+        (nodes, makespan, Recovery::default(), Vec::new(), abort)
     };
-    GraphReport {
+    if recorder.enabled() {
+        for ev in &events {
+            recorder.record(ev.clone());
+        }
+    }
+    let report = GraphReport {
         nodes,
         makespan,
         seconds: machine.cycles_to_seconds(makespan),
         critical_path: critical_path(graph, &schedule, reports),
         streams: policy.streams(),
         devices: topology.device_count(),
+        recovery,
+    };
+    match abort {
+        None => Ok(report),
+        Some(FaultAbort::NodeFailed {
+            node,
+            device,
+            attempts,
+        }) => Err(RuntimeError::NodeFailed {
+            node,
+            device,
+            attempts,
+            report: Box::new(report),
+        }),
+        Some(FaultAbort::DeviceLost { device, cycle }) => Err(RuntimeError::DeviceLost {
+            device,
+            cycle,
+            report: Box::new(report),
+        }),
+        Some(FaultAbort::Deadline { what, deadline, at }) => Err(RuntimeError::DeadlineExceeded {
+            what,
+            deadline,
+            at,
+            report: Box::new(report),
+        }),
     }
 }
 
@@ -632,6 +821,74 @@ fn schedule_serial(
     (nodes, cursor)
 }
 
+/// Price a transfer from `src` to `dst`: over the connecting link when
+/// one exists, collapsing to launch overhead (and zero link demand) when
+/// the endpoints are co-located or unlinked. Returns the link index to
+/// charge, the fluid demand, and the link-derived [`TimingReport`].
+fn route_transfer(
+    kernel: &str,
+    bytes: f64,
+    src: usize,
+    dst: usize,
+    topology: &Topology,
+    machine: &MachineConfig,
+) -> (usize, f64, TimingReport) {
+    match topology.link_between(src, dst) {
+        Some(link) if src != dst => {
+            let report = comm_report(kernel, &CommLaunch { link, bytes }, topology, machine);
+            let demand = bytes / report.cycles.max(1.0);
+            (link, demand, report)
+        }
+        // Co-located after a re-shard glue (or no link): the copy
+        // collapses to its launch overhead and draws no link bandwidth.
+        _ => {
+            let report = comm_report(
+                kernel,
+                &CommLaunch {
+                    link: usize::MAX,
+                    bytes,
+                },
+                topology,
+                machine,
+            );
+            (0, 0.0, report)
+        }
+    }
+}
+
+/// The producing node behind a communication launch (its single
+/// `Output` binding), if any.
+fn producer_of(graph: &TaskGraph, node: usize) -> Option<usize> {
+    graph.nodes()[node].bindings.iter().find_map(|b| match b {
+        Binding::Output { node: src, .. } => Some(src.index()),
+        _ => None,
+    })
+}
+
+/// The zero-cost [`TimingReport`] behind a schedule marker span (the
+/// `reshard:` boundary the fault layer draws on the timeline).
+fn marker_report(kernel: &str) -> TimingReport {
+    TimingReport {
+        kernel: kernel.to_string(),
+        cycles: 0.0,
+        seconds: 0.0,
+        tc_flops: 0.0,
+        simt_flops: 0.0,
+        achieved_tflops: 0.0,
+        tc_utilization: 0.0,
+        tma_utilization: 0.0,
+        simt_utilization: 0.0,
+        ctas: 0,
+        simulated_ctas: 0,
+        active_sms: 0,
+        ctas_per_sm: 0,
+        load_bytes: 0.0,
+        store_bytes: 0.0,
+        l2_hit: 0.0,
+        events: 0,
+    }
+}
+
 /// Ready-queue scheduling onto `streams` simulated streams *per device*:
 /// independent nodes launch as soon as a stream on their device is free,
 /// co-resident launches contend for their own device's SMs/L2/HBM
@@ -641,55 +898,306 @@ fn schedule_serial(
 /// retire. Ready nodes and free streams are both taken lowest-id-first;
 /// at one device this reduces bit-for-bit to the single-device
 /// scheduler.
+///
+/// With an active [`FaultContext`] the same loop also absorbs injected
+/// faults: transient launch failures show up as `retry:`-prefixed spans
+/// and re-execute under [`FaultPolicy::Retry`] (after an optional
+/// backoff window); a permanent device loss evicts the device, re-plans
+/// its unexecuted nodes onto the survivors
+/// (see [`crate::shard::replan`]), re-routes pending transfers, and
+/// inserts synthetic `xfer:recover:` transfers that drain stranded
+/// buffers over the links. With an inactive context every branch below
+/// reduces to the pre-fault scheduler, bit for bit.
+#[allow(clippy::too_many_lines)]
 fn schedule_concurrent(
     topology: &Topology,
     graph: &TaskGraph,
     launches: &[NodeLaunch],
     reports: &[TimingReport],
     streams: usize,
-) -> (Vec<NodeTiming>, f64) {
+    fault: &FaultContext,
+) -> Result<Sched, RuntimeError> {
     let n = graph.len();
     let machine = &topology.devices[0];
     let profiles: Vec<KernelProfile> = reports
         .iter()
         .map(|r| KernelProfile::from_report(r, machine))
         .collect();
-    let (mut indegree, consumers) = graph.dependency_edges();
+    let (mut indegree, mut consumers) = graph.dependency_edges();
     let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
     let mut free: Vec<Vec<usize>> = vec![(0..streams).collect(); topology.device_count()];
     let mut stream_of = vec![0usize; n];
+    // Where each node runs *now* — starts at the shard plan's placement,
+    // rewritten by degraded re-sharding after a device loss.
+    let mut device_of: Vec<usize> = launches.iter().map(|l| l.device).collect();
+    // Device each launch actually went to: streams are freed on the
+    // launch device even if the node was re-planned while in flight.
+    let mut launched_on = device_of.clone();
     let mut engine = ConcurrentEngine::with_topology(topology);
-    let mut nodes = Vec::with_capacity(n);
+    if fault.has_plan() {
+        if let Some(plan) = &fault.plan {
+            engine = engine.with_fault_plan(plan.clone());
+        }
+    }
+    let mut nodes: Vec<NodeTiming> = Vec::with_capacity(n);
     let mut makespan = 0.0f64;
-    while nodes.len() < n {
+    let mut completed = vec![false; n];
+    let mut completed_real = 0usize;
+    let mut attempts = vec![0u32; n];
+    let mut first_start = vec![0.0f64; n];
+    // Nodes whose relaunch is held back by a retry backoff window.
+    let mut deferred: HashMap<usize, f64> = HashMap::new();
+    let mut dead = vec![false; topology.device_count()];
+    // Synthetic recovery transfers (ids `n..`) and the edges they cover.
+    let mut xfers: Vec<RecoveryXfer> = Vec::new();
+    let mut xfer_by_key: HashMap<(usize, usize, usize), usize> = HashMap::new();
+    let mut xfer_links: HashSet<(usize, usize)> = HashSet::new();
+    // Communication launches re-routed by a re-shard: node id ->
+    // (link, demand, rebuilt link-derived report).
+    let mut comm_route: HashMap<usize, (usize, f64, TimingReport)> = HashMap::new();
+    let mut recovery = Recovery::default();
+    let mut events: Vec<Event> = Vec::new();
+    let mut abort: Option<FaultAbort> = None;
+
+    'run: while completed_real < n {
         while let Some(&next) = ready
             .iter()
-            .filter(|&&i| !free[launches[i].device].is_empty())
+            .filter(|&&i| {
+                !free[device_of[i]].is_empty()
+                    && deferred.get(&i).is_none_or(|&t| engine.now() >= t)
+            })
             .min()
         {
             ready.retain(|&x| x != next);
-            let device = launches[next].device;
+            deferred.remove(&next);
+            let device = device_of[next];
             let stream = free[device].remove(0);
             stream_of[next] = stream;
-            match &launches[next].comm {
-                Some(comm) => {
-                    // The link-derived solo cycles were already folded
-                    // into this node's report; the demand is the rate a
-                    // solo transfer sustains, so an uncontended link
-                    // reproduces them exactly.
-                    let cycles = reports[next].cycles;
-                    engine.launch_transfer(next, comm.link, cycles, comm.bytes / cycles.max(1.0));
+            launched_on[next] = device;
+            if next >= n {
+                let x = &xfers[next - n];
+                engine.launch_transfer(next, x.link, x.report.cycles, x.demand);
+            } else {
+                if attempts[next] == 0 {
+                    first_start[next] = engine.now();
                 }
-                None => engine.launch_on(next, device, &profiles[next]),
+                attempts[next] += 1;
+                match &launches[next].comm {
+                    Some(comm) => match comm_route.get(&next) {
+                        Some((link, demand, report)) => {
+                            engine.launch_transfer(next, *link, report.cycles, *demand);
+                        }
+                        None => {
+                            // The link-derived solo cycles were already
+                            // folded into this node's report; the demand
+                            // is the rate a solo transfer sustains, so an
+                            // uncontended link reproduces them exactly.
+                            let cycles = reports[next].cycles;
+                            engine.launch_transfer(
+                                next,
+                                comm.link,
+                                cycles,
+                                comm.bytes / cycles.max(1.0),
+                            );
+                        }
+                    },
+                    None => engine.launch_on(next, device, &profiles[next]),
+                }
             }
         }
-        let done = engine
-            .advance()
-            .expect("a DAG always has a runnable node while incomplete");
-        let device = launches[done.id].device;
+        let step = match engine.step() {
+            Some(step) => step,
+            None => {
+                // Idle engine with work left: a retry backoff may be
+                // holding everything back — skip the clock to its
+                // release. Anything else is a scheduler bug, surfaced
+                // typed instead of panicking.
+                let release = ready
+                    .iter()
+                    .filter_map(|i| deferred.get(i).copied())
+                    .min_by(f64::total_cmp);
+                match release {
+                    Some(t) => {
+                        engine.skip_to(t);
+                        continue 'run;
+                    }
+                    None => {
+                        return Err(RuntimeError::Internal {
+                            what: "concurrent scheduler stalled: engine idle with incomplete \
+                                   nodes and nothing ready to launch"
+                                .into(),
+                        })
+                    }
+                }
+            }
+        };
+        let (done, outcome) = match step {
+            EngineStep::Retired {
+                completion,
+                outcome,
+            } => (completion, outcome),
+            EngineStep::DeviceEvicted {
+                device: dead_dev,
+                at,
+            } => {
+                dead[dead_dev] = true;
+                makespan = makespan.max(at);
+                recovery.faults += 1;
+                recovery.evicted_devices.push(dead_dev);
+                events.push(Event::FaultInjected {
+                    node: "device".to_string(),
+                    device: dead_dev,
+                    kind: "device_loss",
+                    at,
+                });
+                events.push(Event::DeviceEvicted {
+                    device: dead_dev,
+                    at,
+                });
+                let survivors: Vec<usize> =
+                    (0..topology.device_count()).filter(|&d| !dead[d]).collect();
+                if matches!(fault.policy, FaultPolicy::FailFast) || survivors.is_empty() {
+                    abort = Some(FaultAbort::DeviceLost {
+                        device: dead_dev,
+                        cycle: at,
+                    });
+                    break 'run;
+                }
+                // Zero-length marker span: where the timeline re-shards.
+                let marker = format!("reshard:d{dead_dev}");
+                nodes.push(NodeTiming {
+                    node: marker.clone(),
+                    device: dead_dev,
+                    stream: 0,
+                    start: at,
+                    end: at,
+                    mapping: "default".to_string(),
+                    tuned_speedup: 1.0,
+                    replaced: Vec::new(),
+                    report: marker_report(&marker),
+                });
+                // 1. Re-place stranded compute nodes onto the survivors.
+                let moved: Vec<usize> = (0..n)
+                    .filter(|&i| {
+                        !completed[i] && device_of[i] == dead_dev && launches[i].comm.is_none()
+                    })
+                    .collect();
+                let mut moved_names = crate::shard::replan(
+                    graph,
+                    &mut device_of,
+                    &moved,
+                    &survivors,
+                    topology.device_count(),
+                );
+                // 2. Stranded communication nodes glue to their first
+                //    incomplete consumer's device; every pending
+                //    transfer's route is then recomputed against the new
+                //    placement.
+                for i in 0..n {
+                    if completed[i] || launches[i].comm.is_none() {
+                        continue;
+                    }
+                    if device_of[i] == dead_dev {
+                        let follow = consumers[i]
+                            .iter()
+                            .copied()
+                            .filter(|&c| c < n && !completed[c])
+                            .min();
+                        device_of[i] = follow.map_or(survivors[0], |c| device_of[c]);
+                        moved_names.push(graph.nodes()[i].name.clone());
+                    }
+                    let src = producer_of(graph, i).map_or(device_of[i], |p| device_of[p]);
+                    let route = route_transfer(
+                        &launches[i].compiled.kernel.name,
+                        launches[i].comm.as_ref().map_or(0.0, |c| c.bytes),
+                        src,
+                        device_of[i],
+                        topology,
+                        machine,
+                    );
+                    comm_route.insert(i, route);
+                }
+                // 3. Cover every now-cross-device edge into an incomplete
+                //    compute node with a recovery transfer that drains
+                //    the producer's buffer onto the consumer's device.
+                //    Idempotent across evictions: one transfer per
+                //    (producer, param, destination), one extra dependency
+                //    per covered consumer.
+                let before = xfers.len();
+                for c in 0..n {
+                    if completed[c] || launches[c].comm.is_some() {
+                        continue;
+                    }
+                    for b in &graph.nodes()[c].bindings {
+                        let Binding::Output { node: src, param } = b else {
+                            continue;
+                        };
+                        let (p, param) = (src.index(), *param);
+                        if device_of[p] == device_of[c] {
+                            continue;
+                        }
+                        let dst = device_of[c];
+                        let key = (p, param, dst);
+                        let xid = match xfer_by_key.get(&key).copied() {
+                            Some(x) => x,
+                            None => {
+                                let x = n + xfers.len();
+                                let pname = &graph.nodes()[p].name;
+                                let name = format!("xfer:recover:{pname}.{param}->d{dst}");
+                                let arg = &graph.nodes()[p].program.args[param];
+                                let bytes = comm::tensor_bytes(arg.rows, arg.cols);
+                                let (link, demand, report) = route_transfer(
+                                    &name,
+                                    bytes,
+                                    device_of[p],
+                                    dst,
+                                    topology,
+                                    machine,
+                                );
+                                xfers.push(RecoveryXfer {
+                                    name,
+                                    link,
+                                    demand,
+                                    report,
+                                });
+                                device_of.push(dst);
+                                launched_on.push(dst);
+                                stream_of.push(0);
+                                completed.push(false);
+                                consumers.push(Vec::new());
+                                indegree.push(usize::from(!completed[p]));
+                                if completed[p] {
+                                    ready.push(x);
+                                } else {
+                                    consumers[p].push(x);
+                                }
+                                xfer_by_key.insert(key, x);
+                                x
+                            }
+                        };
+                        if completed[xid] {
+                            continue; // buffer already drained to `dst`
+                        }
+                        if xfer_links.insert((xid, c)) {
+                            indegree[c] += 1;
+                            ready.retain(|&r| r != c);
+                            consumers[xid].push(c);
+                        }
+                    }
+                }
+                recovery.resharded_nodes.extend(moved_names.iter().cloned());
+                events.push(Event::Resharded {
+                    device: dead_dev,
+                    nodes: moved_names,
+                    recovery_transfers: xfers.len() - before,
+                });
+                continue 'run;
+            }
+        };
+        let device = launched_on[done.id];
         let idx = free[device].partition_point(|&s| s < stream_of[done.id]);
         free[device].insert(idx, stream_of[done.id]);
-        // `ConcurrentEngine::advance` completions are time-ordered (the
+        // `ConcurrentEngine::step` completions are time-ordered (the
         // engine only moves forward); the makespan still folds with
         // `max` so a violation could never silently shrink it.
         debug_assert!(
@@ -698,23 +1206,154 @@ fn schedule_concurrent(
             done.end
         );
         makespan = makespan.max(done.end);
-        nodes.push(NodeTiming {
-            node: graph.nodes()[done.id].name.clone(),
-            device,
-            stream: stream_of[done.id],
-            start: done.start,
-            end: done.end,
-            mapping: launches[done.id].mapping.clone(),
-            tuned_speedup: launches[done.id].tuned_speedup,
-            replaced: launches[done.id].replaced.clone(),
-            report: reports[done.id].clone(),
-        });
-        for &c in &consumers[done.id] {
-            indegree[c] -= 1;
-            if indegree[c] == 0 {
-                ready.push(c);
+        match outcome {
+            LaunchOutcome::Completed => {
+                if done.id >= n {
+                    let x = &xfers[done.id - n];
+                    nodes.push(NodeTiming {
+                        node: x.name.clone(),
+                        device,
+                        stream: stream_of[done.id],
+                        start: done.start,
+                        end: done.end,
+                        mapping: "default".to_string(),
+                        tuned_speedup: 1.0,
+                        replaced: Vec::new(),
+                        report: x.report.clone(),
+                    });
+                } else {
+                    let report = match comm_route.get(&done.id) {
+                        Some((_, _, r)) => r.clone(),
+                        None => reports[done.id].clone(),
+                    };
+                    nodes.push(NodeTiming {
+                        node: graph.nodes()[done.id].name.clone(),
+                        device,
+                        stream: stream_of[done.id],
+                        start: done.start,
+                        end: done.end,
+                        mapping: launches[done.id].mapping.clone(),
+                        tuned_speedup: launches[done.id].tuned_speedup,
+                        replaced: launches[done.id].replaced.clone(),
+                        report,
+                    });
+                }
+                completed[done.id] = true;
+                if done.id < n {
+                    completed_real += 1;
+                }
+                for &c in &consumers[done.id] {
+                    indegree[c] -= 1;
+                    if indegree[c] == 0 {
+                        ready.push(c);
+                    }
+                }
+                if done.id < n {
+                    if let Some(nd) = fault.node_deadline {
+                        if done.end - first_start[done.id] > nd {
+                            abort = Some(FaultAbort::Deadline {
+                                what: graph.nodes()[done.id].name.clone(),
+                                deadline: nd,
+                                at: done.end,
+                            });
+                            break 'run;
+                        }
+                    }
+                }
+            }
+            LaunchOutcome::TransientFault | LaunchOutcome::DeviceLost => {
+                if done.id >= n {
+                    return Err(RuntimeError::Internal {
+                        what: "a recovery transfer reported a fault outcome".into(),
+                    });
+                }
+                let name = graph.nodes()[done.id].name.clone();
+                let report = match comm_route.get(&done.id) {
+                    Some((_, _, r)) => r.clone(),
+                    None => reports[done.id].clone(),
+                };
+                nodes.push(NodeTiming {
+                    node: format!("retry:{name}"),
+                    device,
+                    stream: stream_of[done.id],
+                    start: done.start,
+                    end: done.end,
+                    mapping: launches[done.id].mapping.clone(),
+                    tuned_speedup: launches[done.id].tuned_speedup,
+                    replaced: launches[done.id].replaced.clone(),
+                    report,
+                });
+                if outcome == LaunchOutcome::TransientFault {
+                    recovery.faults += 1;
+                    events.push(Event::FaultInjected {
+                        node: name.clone(),
+                        device,
+                        kind: "transient",
+                        at: done.end,
+                    });
+                }
+                match fault.policy {
+                    FaultPolicy::FailFast => {
+                        abort = Some(if outcome == LaunchOutcome::DeviceLost {
+                            FaultAbort::DeviceLost {
+                                device,
+                                cycle: done.end,
+                            }
+                        } else {
+                            FaultAbort::NodeFailed {
+                                node: name,
+                                device,
+                                attempts: attempts[done.id],
+                            }
+                        });
+                        break 'run;
+                    }
+                    FaultPolicy::Retry {
+                        max_attempts,
+                        backoff,
+                    } => {
+                        if outcome == LaunchOutcome::TransientFault
+                            && attempts[done.id] >= max_attempts.max(1)
+                        {
+                            abort = Some(FaultAbort::NodeFailed {
+                                node: name,
+                                device,
+                                attempts: attempts[done.id],
+                            });
+                            break 'run;
+                        }
+                        recovery.retries += 1;
+                        events.push(Event::NodeRetried {
+                            node: name,
+                            device: device_of[done.id],
+                            attempt: attempts[done.id] + 1,
+                        });
+                        if outcome == LaunchOutcome::TransientFault && backoff > 0.0 {
+                            deferred.insert(done.id, done.end + backoff);
+                        }
+                        if indegree[done.id] == 0 {
+                            ready.push(done.id);
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(gd) = fault.graph_deadline {
+            if done.end > gd {
+                abort = Some(FaultAbort::Deadline {
+                    what: "graph".to_string(),
+                    deadline: gd,
+                    at: done.end,
+                });
+                break 'run;
             }
         }
     }
-    (nodes, makespan)
+    Ok(Sched {
+        nodes,
+        makespan,
+        recovery,
+        events,
+        abort,
+    })
 }

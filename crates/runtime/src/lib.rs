@@ -74,6 +74,22 @@
 //!   with [`TraceSink::chrome_json`]. With no recorder attached (the
 //!   default) nothing is constructed and every result is byte-identical
 //!   to a session without the telemetry layer.
+//! - **fault-tolerant execution** ([`FaultPolicy`]): attach a seeded
+//!   deterministic [`FaultPlan`] ([`Session::set_fault_plan`]) injecting
+//!   transient kernel faults, permanent device losses, and slowdown
+//!   windows into the simulated machine. Under the default
+//!   [`FaultPolicy::FailFast`] any fault surfaces as a typed
+//!   [`RuntimeError`] carrying a partial [`GraphReport`]; under
+//!   [`FaultPolicy::Retry`] transient faults re-execute the node (with
+//!   optional backoff and per-node / whole-graph deadlines,
+//!   [`Session::set_node_deadline`] / [`Session::set_graph_deadline`])
+//!   and a permanent device loss triggers **degraded re-sharding**: the
+//!   unexecuted frontier is re-planned onto the surviving devices,
+//!   recovery transfers re-route stranded buffers, and the run completes
+//!   with tensors bitwise identical to the fault-free run. Every
+//!   recovery action is visible in [`GraphReport::recovery`], the
+//!   timeline (`retry:`/`reshard:`/`xfer:recover:` spans), and the
+//!   telemetry counters.
 //!
 //! # Example: GEMM → GEMM as one graph
 //!
@@ -128,15 +144,15 @@ pub mod telemetry;
 pub mod tuner;
 
 pub use cache::{CacheStats, KernelCache};
-pub use cypress_sim::ApplyBytes;
+pub use cypress_sim::{ApplyBytes, Fault, FaultPlan};
 pub use error::RuntimeError;
 pub use executor::GraphRun;
 pub use fuse::{FusionDecline, FusionPolicy, FusionRewrite};
 pub use graph::{Binding, Node, NodeId, TaskGraph};
 pub use pool::{BufferPool, PoolStats};
 pub use program::{Program, SpaceBinding};
-pub use report::{GraphReport, NodeTiming};
-pub use session::{CompiledGraph, MappingPolicy, SchedulePolicy, Session};
+pub use report::{GraphReport, NodeTiming, Recovery};
+pub use session::{CompiledGraph, FaultPolicy, MappingPolicy, SchedulePolicy, Session};
 pub use shard::{PlacementPolicy, ShardPlan, ShardTransfer};
 pub use telemetry::{
     ChromeSpan, ChromeTrace, Event, EventClass, MetricsRegistry, MetricsSnapshot, NoopRecorder,

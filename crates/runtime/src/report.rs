@@ -55,6 +55,29 @@ pub struct NodeTiming {
     pub report: TimingReport,
 }
 
+/// What the fault layer did during one graph execution.
+///
+/// All-zero (the [`Default`]) for a fault-free run — including every run
+/// under [`crate::FaultPolicy::FailFast`], which never recovers. Under
+/// [`crate::FaultPolicy::Retry`] the counters record the injected faults
+/// the schedule absorbed, and [`Recovery::overhead_cycles`] is the
+/// makespan paid over the fault-free schedule of the same graph.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Recovery {
+    /// Injected faults the schedule observed (transient + device loss).
+    pub faults: u64,
+    /// Node attempts re-executed after a transient fault.
+    pub retries: u64,
+    /// Devices permanently lost mid-run, in eviction order.
+    pub evicted_devices: Vec<usize>,
+    /// Nodes re-planned onto surviving devices after an eviction, in
+    /// re-plan order (includes re-routed pending transfers).
+    pub resharded_nodes: Vec<String>,
+    /// Makespan paid over the fault-free schedule, in cycles (0.0 when
+    /// nothing faulted).
+    pub overhead_cycles: f64,
+}
+
 /// Timing of a whole graph execution, with per-node stream timeline.
 ///
 /// Nodes appear in completion order (for the serial policy that is the
@@ -77,6 +100,8 @@ pub struct GraphReport {
     /// Devices the schedule placed nodes on (1 under
     /// [`crate::PlacementPolicy::SingleDevice`]).
     pub devices: usize,
+    /// What the fault layer did (all-zero for a fault-free run).
+    pub recovery: Recovery,
 }
 
 impl GraphReport {
@@ -308,6 +333,7 @@ mod tests {
             critical_path: 1000.0,
             streams: 2,
             devices: 1,
+            recovery: Recovery::default(),
         }
     }
 

@@ -56,12 +56,12 @@ use crate::fuse::{self, FusionPlan, FusionPolicy};
 use crate::graph::TaskGraph;
 use crate::pool::{BufferPool, PoolStats};
 use crate::program::Program;
-use crate::report::GraphReport;
+use crate::report::{GraphReport, Recovery};
 use crate::shard::{self, PlacementPolicy, ShardPlan};
 use crate::telemetry::{Event, MetricsRegistry, MetricsSnapshot, NoopRecorder, Recorder};
 use crate::tuner::{key_for, TunedMapping, TunerBudget, TuningKey, TuningTable};
 use cypress_core::{Compiled, CompilerOptions, CypressCompiler, COST_MODEL_VERSION};
-use cypress_sim::{MachineConfig, Simulator, TimingReport, Topology};
+use cypress_sim::{FaultPlan, MachineConfig, Simulator, TimingReport, Topology};
 use cypress_tensor::Tensor;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -129,6 +129,44 @@ pub enum MappingPolicy {
     Guided {
         /// Best-predicted candidates to compile and time per sweep.
         top_k: usize,
+    },
+}
+
+/// How a [`Session`] reacts to injected faults during a graph launch —
+/// the fifth policy axis, layered on the [`cypress_sim::FaultPlan`]
+/// attached with [`Session::set_fault_plan`].
+///
+/// The policy lives entirely in the *timing* domain: functional tensors
+/// are computed along the deterministic topological data path before
+/// the schedule is simulated, so a launch that completes under
+/// [`FaultPolicy::Retry`] returns tensors bitwise identical to the
+/// fault-free run. With no fault plan attached both policies are
+/// bit-identical to each other and to the pre-fault runtime, timeline
+/// included.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum FaultPolicy {
+    /// The first injected fault aborts the launch with a typed error —
+    /// [`RuntimeError::NodeFailed`] for a transient kernel fault,
+    /// [`RuntimeError::DeviceLost`] for a permanent device loss — each
+    /// carrying the partial [`GraphReport`].
+    #[default]
+    FailFast,
+    /// Transient faults re-execute the node (visible as
+    /// `retry:`-prefixed spans in the timeline) after an optional
+    /// backoff window; a permanent device loss evicts the device and
+    /// the run degrades onto the survivors — unexecuted nodes re-shard
+    /// (see [`crate::shard`]), stranded buffers drain over the links as
+    /// `xfer:recover:` spans — and the launch completes with
+    /// bitwise-identical tensors and a populated
+    /// [`GraphReport::recovery`] section.
+    Retry {
+        /// Total launches one node may consume before the graph launch
+        /// aborts with [`RuntimeError::NodeFailed`] (clamped to at
+        /// least 1).
+        max_attempts: u32,
+        /// Cycles to wait before re-launching a transiently failed node
+        /// (`0.0` retries immediately).
+        backoff: f64,
     },
 }
 
@@ -215,6 +253,16 @@ pub struct Session {
     mapping_policy: MappingPolicy,
     fusion_policy: FusionPolicy,
     placement_policy: PlacementPolicy,
+    fault_policy: FaultPolicy,
+    /// Faults subsequent launches inject into the timing schedule
+    /// (see [`Session::set_fault_plan`]); `None` injects nothing.
+    fault_plan: Option<FaultPlan>,
+    /// Per-node completion bound in cycles (see
+    /// [`Session::set_node_deadline`]).
+    node_deadline: Option<f64>,
+    /// Whole-graph makespan bound in cycles (see
+    /// [`Session::set_graph_deadline`]).
+    graph_deadline: Option<f64>,
     tuning: TuningTable,
     /// Compiled winners per tuning key, so warm `Autotune` launches skip
     /// the space builder entirely.
@@ -263,6 +311,10 @@ impl Session {
             mapping_policy: MappingPolicy::default(),
             fusion_policy: FusionPolicy::default(),
             placement_policy: PlacementPolicy::default(),
+            fault_policy: FaultPolicy::default(),
+            fault_plan: None,
+            node_deadline: None,
+            graph_deadline: None,
             tuning: TuningTable::new(),
             tuned_launches: HashMap::new(),
             untunable: HashSet::new(),
@@ -359,6 +411,92 @@ impl Session {
     #[must_use]
     pub fn with_placement_policy(mut self, policy: PlacementPolicy) -> Self {
         self.placement_policy = policy;
+        self
+    }
+
+    /// The fault policy graph launches currently use.
+    #[must_use]
+    pub fn fault_policy(&self) -> FaultPolicy {
+        self.fault_policy
+    }
+
+    /// Change how subsequent graph launches react to injected faults
+    /// (see [`FaultPolicy`]). Inert until a fault plan is attached with
+    /// [`Session::set_fault_plan`].
+    pub fn set_fault_policy(&mut self, policy: FaultPolicy) {
+        self.fault_policy = policy;
+    }
+
+    /// Builder-style [`Session::set_fault_policy`].
+    #[must_use]
+    pub fn with_fault_policy(mut self, policy: FaultPolicy) -> Self {
+        self.fault_policy = policy;
+        self
+    }
+
+    /// The fault plan subsequent graph launches inject, if any.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Attach a deterministic [`FaultPlan`] that subsequent graph
+    /// launches inject into their timing schedule (`None` detaches).
+    /// An empty plan injects nothing and leaves every schedule
+    /// bit-identical to a plan-free launch, timeline included. A
+    /// non-empty plan routes even [`SchedulePolicy::Serial`] launches
+    /// through the concurrent engine (at one stream per device) — the
+    /// serial walk has no notion of in-flight launches to kill or
+    /// retry.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan;
+    }
+
+    /// Builder-style [`Session::set_fault_plan`].
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// The per-node completion deadline in cycles, if set.
+    #[must_use]
+    pub fn node_deadline(&self) -> Option<f64> {
+        self.node_deadline
+    }
+
+    /// Bound the cycles from a node's first launch to its successful
+    /// retirement: a node that exceeds the bound aborts the graph
+    /// launch with [`RuntimeError::DeadlineExceeded`] carrying the
+    /// partial report (`None` removes the bound).
+    pub fn set_node_deadline(&mut self, deadline: Option<f64>) {
+        self.node_deadline = deadline;
+    }
+
+    /// Builder-style [`Session::set_node_deadline`].
+    #[must_use]
+    pub fn with_node_deadline(mut self, deadline: f64) -> Self {
+        self.node_deadline = Some(deadline);
+        self
+    }
+
+    /// The whole-graph makespan deadline in cycles, if set.
+    #[must_use]
+    pub fn graph_deadline(&self) -> Option<f64> {
+        self.graph_deadline
+    }
+
+    /// Bound the whole schedule's makespan: a launch whose timeline
+    /// passes the bound aborts with [`RuntimeError::DeadlineExceeded`]
+    /// carrying the partial report (`None` removes the bound).
+    pub fn set_graph_deadline(&mut self, deadline: Option<f64>) {
+        self.graph_deadline = deadline;
+    }
+
+    /// Builder-style [`Session::set_graph_deadline`].
+    #[must_use]
+    pub fn with_graph_deadline(mut self, deadline: f64) -> Self {
+        self.graph_deadline = Some(deadline);
         self
     }
 
@@ -1163,6 +1301,25 @@ impl Session {
         Ok(launches)
     }
 
+    /// The executor-facing bundle of the session's fault axes.
+    fn fault_context(&self) -> executor::FaultContext {
+        executor::FaultContext {
+            plan: self.fault_plan.clone(),
+            policy: self.fault_policy,
+            node_deadline: self.node_deadline,
+            graph_deadline: self.graph_deadline,
+        }
+    }
+
+    /// Fold one launch's [`Recovery`] section into the session metrics
+    /// (all-zero sections — every fault-free launch — are free).
+    fn note_recovery(&mut self, recovery: &Recovery) {
+        self.metrics.faults_injected += recovery.faults;
+        self.metrics.retries += recovery.retries;
+        self.metrics.devices_evicted += recovery.evicted_devices.len() as u64;
+        self.metrics.nodes_resharded += recovery.resharded_nodes.len() as u64;
+    }
+
     /// Launch `graph` functionally: real data flows along the graph's
     /// tensor-buffer edges, `inputs` supplies the `External` bindings, and
     /// the result holds every retained node's final tensors plus the
@@ -1199,7 +1356,8 @@ impl Session {
             (None, None) => self.compile_nodes(graph)?,
         };
         let exec_graph = shard.as_ref().map_or(fused_graph, |s| &s.graph);
-        let run = executor::run_functional(
+        let fault = self.fault_context();
+        let run = match executor::run_functional(
             &self.simulator,
             &topology,
             exec_graph,
@@ -1208,8 +1366,18 @@ impl Session {
             &mut self.pool,
             self.policy,
             self.parallelism,
+            &fault,
             self.recorder.as_mut(),
-        )?;
+        ) {
+            Ok(run) => run,
+            Err(e) => {
+                if let Some(r) = recovery_of(&e) {
+                    self.note_recovery(r);
+                }
+                return Err(e);
+            }
+        };
+        self.note_recovery(&run.report.recovery);
         self.metrics.apply_bytes.merge(run.apply_bytes);
         let run = match &shard {
             Some(s) => executor::remap_run(run, fused_graph, &|i, p| s.target(i, p)),
@@ -1272,7 +1440,8 @@ impl Session {
                 mode: "functional",
             });
         }
-        let run = executor::run_functional(
+        let fault = self.fault_context();
+        let run = match executor::run_functional(
             &self.simulator,
             &compiled.topology,
             compiled.exec_graph(),
@@ -1281,8 +1450,18 @@ impl Session {
             &mut self.pool,
             self.policy,
             self.parallelism,
+            &fault,
             self.recorder.as_mut(),
-        )?;
+        ) {
+            Ok(run) => run,
+            Err(e) => {
+                if let Some(r) = recovery_of(&e) {
+                    self.note_recovery(r);
+                }
+                return Err(e);
+            }
+        };
+        self.note_recovery(&run.report.recovery);
         self.metrics.apply_bytes.merge(run.apply_bytes);
         let fused_graph = compiled.plan.as_ref().map_or(&compiled.graph, |p| &p.graph);
         let run = match &compiled.shard {
@@ -1324,14 +1503,26 @@ impl Session {
             (None, None) => self.compile_nodes(graph)?,
         };
         let exec_graph = shard.as_ref().map_or(fused_graph, |s| &s.graph);
-        executor::run_timing(
+        let fault = self.fault_context();
+        let report = match executor::run_timing(
             &self.simulator,
             &topology,
             exec_graph,
             &launches,
             self.policy,
+            &fault,
             self.recorder.as_mut(),
-        )
+        ) {
+            Ok(report) => report,
+            Err(e) => {
+                if let Some(r) = recovery_of(&e) {
+                    self.note_recovery(r);
+                }
+                return Err(e);
+            }
+        };
+        self.note_recovery(&report.recovery);
+        Ok(report)
     }
 
     /// Compile (with caching) and functionally run a single program —
@@ -1389,6 +1580,18 @@ impl Session {
         self.tuned_launches.clear();
         self.solo_cycles.clear();
         self.pool.clear();
+    }
+}
+
+/// The [`Recovery`] section inside a fault-carrying error's partial
+/// report, if the error carries one — how failed launches still feed
+/// the session's fault metrics.
+fn recovery_of(e: &RuntimeError) -> Option<&Recovery> {
+    match e {
+        RuntimeError::NodeFailed { report, .. }
+        | RuntimeError::DeviceLost { report, .. }
+        | RuntimeError::DeadlineExceeded { report, .. } => Some(&report.recovery),
+        _ => None,
     }
 }
 

@@ -184,6 +184,72 @@ fn place(graph: &TaskGraph, devices: usize) -> Vec<usize> {
     device
 }
 
+/// Re-place `moved` — incomplete nodes stranded on a lost device — onto
+/// the `survivors`, mirroring [`place`]'s heaviest-input heuristic
+/// against the *current* assignment in `device_of` (which the fault
+/// layer rewrites in place). Nodes are re-placed in id order: each
+/// follows the survivor holding the most of its producer bytes, ties
+/// broken toward the least-loaded survivor, then the lowest device id;
+/// nodes with no surviving-producer bytes go to the least-loaded
+/// survivor. `devices` is the topology's device count (dead ones
+/// included), so load is tracked per physical device. Returns the moved
+/// nodes' names in re-plan order. Deterministic: same inputs, same
+/// placement.
+pub(crate) fn replan(
+    graph: &TaskGraph,
+    device_of: &mut [usize],
+    moved: &[usize],
+    survivors: &[usize],
+    devices: usize,
+) -> Vec<String> {
+    let mut load = vec![0.0f64; devices];
+    for i in 0..graph.len() {
+        if let Some(&d) = device_of.get(i) {
+            if let Some(slot) = load.get_mut(d) {
+                *slot += node_bytes(graph, i);
+            }
+        }
+    }
+    let mut names = Vec::with_capacity(moved.len());
+    for &i in moved {
+        let node = &graph.nodes()[i];
+        let mut in_bytes = vec![0.0f64; devices];
+        let mut has_edge = false;
+        for b in &node.bindings {
+            if let Binding::Output { node: src, param } = b {
+                let sdev = device_of[src.index()];
+                if survivors.contains(&sdev) {
+                    has_edge = true;
+                    let arg = &graph.nodes()[src.index()].program.args[*param];
+                    in_bytes[sdev] += comm::tensor_bytes(arg.rows, arg.cols);
+                }
+            }
+        }
+        let dev = if has_edge {
+            survivors
+                .iter()
+                .copied()
+                .max_by(|&a, &b| {
+                    in_bytes[a]
+                        .total_cmp(&in_bytes[b])
+                        .then(load[b].total_cmp(&load[a]))
+                        .then(b.cmp(&a))
+                })
+                .unwrap_or(0)
+        } else {
+            survivors
+                .iter()
+                .copied()
+                .max_by(|&a, &b| load[b].total_cmp(&load[a]).then(b.cmp(&a)))
+                .unwrap_or(0)
+        };
+        device_of[i] = dev;
+        load[dev] += node_bytes(graph, i);
+        names.push(node.name.clone());
+    }
+    names
+}
+
 /// Shard `graph` across the devices of `topology`: place every node,
 /// then rebuild the graph with an explicit transfer node on every
 /// cross-device tensor-buffer edge (one per distinct

@@ -221,6 +221,46 @@ pub enum Event {
         /// Parked buffers the pool's capacity bound evicted as a result.
         evictions: u64,
     },
+    /// The fault layer observed an injected fault: a transient kernel
+    /// fault, or the moment a permanent device loss fired.
+    FaultInjected {
+        /// The node whose launch faulted (`"device"` for a device-loss
+        /// firing with no launch in flight).
+        node: String,
+        /// The device the fault fired on.
+        device: usize,
+        /// `"transient"` or `"device_loss"`.
+        kind: &'static str,
+        /// Sim cycle (relative to graph launch) the fault surfaced at.
+        at: f64,
+    },
+    /// The retry policy re-executed a node after a transient fault.
+    NodeRetried {
+        /// The retried node's name.
+        node: String,
+        /// The device the retry launched on.
+        device: usize,
+        /// 1-based attempt number of the *new* launch (2 for the first
+        /// retry).
+        attempt: u32,
+    },
+    /// A device was permanently lost and removed from the schedule.
+    DeviceEvicted {
+        /// The dead device.
+        device: usize,
+        /// Sim cycle (relative to graph launch) it died at.
+        at: f64,
+    },
+    /// The fault layer re-planned the unexecuted frontier onto the
+    /// surviving devices after a device loss.
+    Resharded {
+        /// The evicted device the re-plan recovered from.
+        device: usize,
+        /// Nodes moved to surviving devices, in re-plan order.
+        nodes: Vec<String>,
+        /// Recovery transfers inserted for stranded buffers.
+        recovery_transfers: usize,
+    },
     /// Host wall-clock time one compiler pass took on a cache miss (the
     /// [`EventClass::Host`] event; see [`TraceLog::with_host`]).
     CompilePass {
@@ -263,7 +303,11 @@ impl Event {
             | Event::NodeExecuted { .. }
             | Event::ShardAssigned { .. }
             | Event::LinkTransfer { .. } => EventClass::Flow,
-            Event::NodeSpan { .. } => EventClass::Schedule,
+            Event::NodeSpan { .. }
+            | Event::FaultInjected { .. }
+            | Event::NodeRetried { .. }
+            | Event::DeviceEvicted { .. }
+            | Event::Resharded { .. } => EventClass::Schedule,
             Event::WaveScheduled { .. } | Event::PoolAcquire { .. } | Event::PoolRelease { .. } => {
                 EventClass::Exec
             }
@@ -406,6 +450,14 @@ pub struct MetricsRegistry {
     /// Per-dtype bytes the functional `apply` path moved across every
     /// launch of this session.
     pub apply_bytes: ApplyBytes,
+    /// Injected faults the fault layer observed across every launch.
+    pub faults_injected: u64,
+    /// Node attempts re-executed after transient faults.
+    pub retries: u64,
+    /// Devices permanently lost and evicted from schedules.
+    pub devices_evicted: u64,
+    /// Nodes re-planned onto surviving devices after evictions.
+    pub nodes_resharded: u64,
 }
 
 impl MetricsRegistry {
@@ -428,6 +480,10 @@ impl MetricsRegistry {
             comm_launches: self.comm_launches,
             link_bytes: self.link_bytes,
             apply_bytes: self.apply_bytes,
+            faults_injected: self.faults_injected,
+            retries: self.retries,
+            devices_evicted: self.devices_evicted,
+            nodes_resharded: self.nodes_resharded,
         }
     }
 }
@@ -457,6 +513,14 @@ pub struct MetricsSnapshot {
     pub link_bytes: u64,
     /// Per-dtype functional apply bytes.
     pub apply_bytes: ApplyBytes,
+    /// Injected faults observed (see [`MetricsRegistry`]).
+    pub faults_injected: u64,
+    /// Node attempts re-executed after transient faults.
+    pub retries: u64,
+    /// Devices permanently lost and evicted.
+    pub devices_evicted: u64,
+    /// Nodes re-planned after device evictions.
+    pub nodes_resharded: u64,
 }
 
 impl fmt::Display for MetricsSnapshot {
@@ -493,6 +557,11 @@ impl fmt::Display for MetricsSnapshot {
             f,
             "comm    launches {} | link bytes {}",
             self.comm_launches, self.link_bytes
+        )?;
+        writeln!(
+            f,
+            "fault   injected {} | retries {} | evicted {} | resharded {}",
+            self.faults_injected, self.retries, self.devices_evicted, self.nodes_resharded
         )?;
         write!(f, "apply   {}", self.apply_bytes)
     }

@@ -202,6 +202,45 @@ fn pool_reuse_is_counted_across_repeated_launches() {
     assert_eq!(after.reused, before.reused);
 }
 
+/// A failed launch leaks nothing: under `FailFast` a firing fault plan
+/// returns a typed error and every in-flight buffer — including the
+/// sink's undelivered result params — is parked back in the pool,
+/// leaving the session warm for the next launch.
+#[test]
+fn failed_launch_reclaims_every_in_flight_buffer() {
+    use cypress_runtime::{FaultPlan, RuntimeError};
+    let machine = MachineConfig::test_gpu();
+    let (graph, _, s) = diamond(&machine, false);
+    let ins = inputs(7);
+
+    let mut clean = Session::new(machine.clone());
+    clean.launch_functional(&graph, &ins).unwrap();
+    let ok = clean.pool_stats();
+
+    let mut session = Session::new(machine).with_fault_plan(FaultPlan::new().with_transient(0, 0));
+    let err = session.launch_functional(&graph, &ins).unwrap_err();
+    assert!(matches!(err, RuntimeError::NodeFailed { .. }), "{err}");
+    let failed = session.pool_stats();
+    assert_eq!(failed.acquired, ok.acquired, "same functional traffic");
+    assert_eq!(
+        failed.free,
+        ok.free + 4,
+        "the sink's four undelivered params are parked too"
+    );
+
+    // The pool really is warm: dropping the plan, the next launch
+    // succeeds and serves every `Zeros` acquisition from the pool.
+    session.set_fault_plan(None);
+    let run = session.launch_functional(&graph, &ins).unwrap();
+    let warm = session.pool_stats();
+    assert_eq!(
+        warm.reused,
+        failed.reused + 4,
+        "all Zeros served from the reclaimed buffers"
+    );
+    assert!(run.tensor(s, 0).is_some());
+}
+
 #[test]
 fn bounded_pool_never_exceeds_its_cap_across_a_randomized_sweep() {
     use rand::Rng;

@@ -296,7 +296,7 @@ fn metrics_snapshot_unifies_the_counters() {
         m.apply_bytes.f16 + m.apply_bytes.bf16 + m.apply_bytes.f32
     );
     let text = m.to_string();
-    for section in ["cache", "pool", "tuner", "fusion", "apply"] {
+    for section in ["cache", "pool", "tuner", "fusion", "fault", "apply"] {
         assert!(text.contains(section), "{text}");
     }
 }
@@ -371,6 +371,107 @@ fn apply_bytes_are_invariant_across_policies_and_parallelism() {
             want,
             "parallelism {parallelism}, policy {policy:?}"
         );
+    }
+}
+
+/// Fault recovery is fully observable: a transient fault plus a
+/// mid-run device loss under `Retry` bump all four fault counters in
+/// the unified snapshot (agreeing with the report's recovery summary),
+/// and the recorder stream carries each recovery decision as a
+/// `Schedule`-class event.
+#[test]
+fn fault_recovery_metrics_and_events_flow_through_the_session() {
+    use cypress_runtime::{FaultPlan, FaultPolicy, PlacementPolicy};
+    let machine = MachineConfig::test_gpu();
+    let gemm_p = Program::from_parts(gemm::build(D, D, D, &machine).unwrap(), "gemm");
+    let mut graph = TaskGraph::new();
+    for i in 0..8 {
+        graph
+            .add_node(
+                &format!("g{i}"),
+                gemm_p.clone(),
+                vec![
+                    Binding::Zeros,
+                    Binding::External(format!("A{i}")),
+                    Binding::External(format!("B{i}")),
+                ],
+            )
+            .unwrap();
+    }
+    let mut clean = Session::new(machine.clone())
+        .with_placement_policy(PlacementPolicy::Sharded { devices: 2 })
+        .with_policy(SchedulePolicy::Concurrent { streams: 2 });
+    let makespan = clean.launch_timing(&graph).unwrap().makespan;
+
+    let log = TraceLog::new();
+    let mut session = Session::new(machine)
+        .with_placement_policy(PlacementPolicy::Sharded { devices: 2 })
+        .with_policy(SchedulePolicy::Concurrent { streams: 2 })
+        .with_fault_policy(FaultPolicy::Retry {
+            max_attempts: 3,
+            backoff: 0.0,
+        })
+        .with_fault_plan(
+            FaultPlan::new()
+                .with_transient(0, 0)
+                .with_device_loss(1, makespan * 0.5),
+        )
+        .with_recorder(log.clone());
+    let report = session.launch_timing(&graph).unwrap();
+
+    let m = session.metrics();
+    assert_eq!(m.faults_injected, 2, "one transient + one device loss: {m}");
+    assert!(m.retries >= 1, "{m}");
+    assert_eq!(m.devices_evicted, 1, "{m}");
+    assert_eq!(
+        m.nodes_resharded,
+        report.recovery.resharded_nodes.len() as u64,
+        "{m}"
+    );
+    assert!(m.nodes_resharded >= 1, "{m}");
+    assert_eq!(m.retries, report.recovery.retries, "{m}");
+    let text = m.to_string();
+    assert!(text.contains("injected"), "{text}");
+
+    let events = log.events();
+    let injected: Vec<(&String, usize, &str)> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::FaultInjected {
+                node, device, kind, ..
+            } => {
+                assert_eq!(e.class(), EventClass::Schedule);
+                Some((node, *device, *kind))
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(injected.len(), 2, "{injected:?}");
+    assert!(injected
+        .iter()
+        .any(|(_, d, k)| *d == 0 && *k == "transient"));
+    assert!(injected
+        .iter()
+        .any(|(_, d, k)| *d == 1 && *k == "device_loss"));
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, Event::NodeRetried { attempt, .. } if *attempt >= 2)),
+        "a retried node records its attempt number"
+    );
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, Event::DeviceEvicted { device: 1, .. })));
+    let resharded: Vec<&Event> = events
+        .iter()
+        .filter(|e| matches!(e, Event::Resharded { .. }))
+        .collect();
+    match resharded.as_slice() {
+        [Event::Resharded { device, nodes, .. }] => {
+            assert_eq!(*device, 1);
+            assert_eq!(nodes, &report.recovery.resharded_nodes);
+        }
+        other => panic!("expected exactly one Resharded event, got {other:?}"),
     }
 }
 

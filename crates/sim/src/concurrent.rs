@@ -30,9 +30,11 @@
 //! of `k` co-resident kernels gets at least a `1/k` share of every
 //! resource), so the concurrent makespan never exceeds the serial sum.
 
+use crate::fault::FaultPlan;
 use crate::machine::MachineConfig;
 use crate::report::TimingReport;
 use crate::topology::Topology;
+use std::collections::VecDeque;
 
 /// Resource demands of one kernel, derived from its solo timing run.
 ///
@@ -83,6 +85,44 @@ pub struct Completion {
     pub end: f64,
 }
 
+/// How a launch left the engine (see [`ConcurrentEngine::step`]).
+/// Without a [`FaultPlan`] every launch completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaunchOutcome {
+    /// The launch ran to completion.
+    Completed,
+    /// The launch was scheduled to fault once
+    /// ([`crate::Fault::Transient`]): it consumed its full duration and
+    /// then failed. A re-execution is a later launch index and succeeds.
+    TransientFault,
+    /// The launch's device failed permanently underneath it
+    /// ([`crate::Fault::DeviceLoss`]); its interval ends at the loss
+    /// cycle.
+    DeviceLost,
+}
+
+/// One observable event from [`ConcurrentEngine::step`]: either a
+/// launch retiring (with its [`LaunchOutcome`]) or a device dying.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineStep {
+    /// A launch left the engine.
+    Retired {
+        /// The launch's interval.
+        completion: Completion,
+        /// How it ended.
+        outcome: LaunchOutcome,
+    },
+    /// A [`crate::Fault::DeviceLoss`] fired. Emitted once per dead
+    /// device, *before* the casualty `Retired` events of the launches
+    /// it killed, so a scheduler can re-plan at the exact loss cycle.
+    DeviceEvicted {
+        /// The device that died.
+        device: usize,
+        /// The cycle it died at.
+        at: f64,
+    },
+}
+
 #[derive(Debug, Clone)]
 struct Active {
     id: usize,
@@ -102,6 +142,9 @@ struct Active {
     sm: f64,
     hbm: f64,
     l2: f64,
+    /// Scheduled to fault once when it retires (see
+    /// [`crate::Fault::Transient`]).
+    transient: bool,
 }
 
 /// Per-device resource capacities.
@@ -142,6 +185,17 @@ pub struct ConcurrentEngine {
     links: Vec<f64>,
     now: f64,
     active: Vec<Active>,
+    /// Injected faults; `None` (the default) is bit-identical to the
+    /// pre-fault engine.
+    fault_plan: Option<FaultPlan>,
+    /// Compute launches seen so far, per device (transient-fault
+    /// matching).
+    launch_counts: Vec<u64>,
+    /// Loss cycle of each device that already died.
+    lost: Vec<Option<f64>>,
+    /// Steps produced but not yet handed out (eviction markers and
+    /// their casualties).
+    pending: VecDeque<EngineStep>,
 }
 
 impl ConcurrentEngine {
@@ -153,6 +207,10 @@ impl ConcurrentEngine {
             links: Vec::new(),
             now: 0.0,
             active: Vec::new(),
+            fault_plan: None,
+            launch_counts: vec![0],
+            lost: vec![None],
+            pending: VecDeque::new(),
         }
     }
 
@@ -160,18 +218,59 @@ impl ConcurrentEngine {
     /// bit-identical to [`ConcurrentEngine::new`] on that device.
     #[must_use]
     pub fn with_topology(topology: &Topology) -> Self {
+        let n = topology.devices.len();
         ConcurrentEngine {
             devices: topology.devices.iter().map(DeviceCaps::of).collect(),
             links: topology.links.iter().map(|l| l.bytes_per_cycle).collect(),
             now: 0.0,
             active: Vec::new(),
+            fault_plan: None,
+            launch_counts: vec![0; n],
+            lost: vec![None; n],
+            pending: VecDeque::new(),
         }
+    }
+
+    /// Attach a [`FaultPlan`]. An empty plan leaves every completion
+    /// bit-identical to an engine without one; a non-empty plan makes
+    /// [`ConcurrentEngine::step`] surface faults as typed outcomes.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// The attached fault plan, if any.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// The cycle `device` died at, once its [`crate::Fault::DeviceLoss`]
+    /// has fired (`None` while it is healthy or before the loss cycle is
+    /// reached).
+    #[must_use]
+    pub fn device_lost(&self, device: usize) -> Option<f64> {
+        self.lost.get(device).copied().flatten()
     }
 
     /// Current simulated time in cycles.
     #[must_use]
     pub fn now(&self) -> f64 {
         self.now
+    }
+
+    /// Advance the clock to `t` while the engine is idle (no active
+    /// launches) — how a scheduler models waiting out a retry backoff.
+    /// Device losses whose cycle the skip crosses still fire (their
+    /// [`EngineStep::DeviceEvicted`] markers surface on the next
+    /// [`ConcurrentEngine::step`]). A no-op when launches are in flight
+    /// or `t` is in the past.
+    pub fn skip_to(&mut self, t: f64) {
+        if self.active.is_empty() && t > self.now {
+            self.now = t;
+            self.process_due_losses();
+        }
     }
 
     /// Number of co-resident kernels.
@@ -197,6 +296,25 @@ impl ConcurrentEngine {
     /// before launching).
     pub fn launch_on(&mut self, id: usize, device: usize, profile: &KernelProfile) {
         let device = device.min(self.devices.len().saturating_sub(1));
+        let launch_index = self.launch_counts[device];
+        self.launch_counts[device] += 1;
+        if self.lost[device].is_some() {
+            // Launching onto a dead device fails immediately: a
+            // zero-length interval with a typed outcome, never a panic.
+            self.pending.push_back(EngineStep::Retired {
+                completion: Completion {
+                    id,
+                    start: self.now,
+                    end: self.now,
+                },
+                outcome: LaunchOutcome::DeviceLost,
+            });
+            return;
+        }
+        let transient = self
+            .fault_plan
+            .as_ref()
+            .is_some_and(|p| p.transient_hits(device, launch_index));
         self.active.push(Active {
             id,
             start: self.now,
@@ -207,6 +325,7 @@ impl ConcurrentEngine {
             sm: profile.sm_demand,
             hbm: profile.hbm_demand,
             l2: profile.l2_demand,
+            transient,
         });
     }
 
@@ -231,6 +350,7 @@ impl ConcurrentEngine {
             sm: 0.0,
             hbm: 0.0,
             l2: 0.0,
+            transient: false,
         });
     }
 
@@ -303,7 +423,10 @@ impl ConcurrentEngine {
         self.active
             .iter()
             .map(|a| match a.link {
-                Some(l) => link_scale[l],
+                Some(l) => match &self.fault_plan {
+                    Some(plan) => link_scale[l] * plan.link_factor(l, self.now),
+                    None => link_scale[l],
+                },
                 None => {
                     let d = a.device;
                     let mut r = sm_scale[d];
@@ -313,39 +436,140 @@ impl ConcurrentEngine {
                     if a.l2 > 0.0 {
                         r = r.min(l2_scale[d]);
                     }
-                    r
+                    match &self.fault_plan {
+                        Some(plan) => r * plan.slowdown_factor(d, self.now),
+                        None => r,
+                    }
                 }
             })
             .collect()
     }
 
+    /// Fire every [`crate::Fault::DeviceLoss`] whose cycle has been
+    /// reached: queue an eviction marker, then kill the launches in
+    /// flight on the dead device (their intervals end at the current
+    /// cycle). Returns `true` when anything fired.
+    fn process_due_losses(&mut self) -> bool {
+        let Some(plan) = self.fault_plan.clone() else {
+            return false;
+        };
+        let mut fired = false;
+        for device in 0..self.devices.len() {
+            if self.lost[device].is_some() {
+                continue;
+            }
+            let Some(at) = plan.device_loss_at(device) else {
+                continue;
+            };
+            if at > self.now {
+                continue;
+            }
+            self.lost[device] = Some(at);
+            fired = true;
+            self.pending
+                .push_back(EngineStep::DeviceEvicted { device, at });
+            let mut survivors = Vec::with_capacity(self.active.len());
+            for a in self.active.drain(..) {
+                if a.link.is_none() && a.device == device {
+                    self.pending.push_back(EngineStep::Retired {
+                        completion: Completion {
+                            id: a.id,
+                            start: a.start,
+                            end: self.now,
+                        },
+                        outcome: LaunchOutcome::DeviceLost,
+                    });
+                } else {
+                    survivors.push(a);
+                }
+            }
+            self.active = survivors;
+        }
+        fired
+    }
+
+    /// Advance to the next observable event: a launch retiring (with
+    /// its [`LaunchOutcome`]) or a device dying. Returns `None` when
+    /// nothing is active or queued. Without a fault plan this is
+    /// exactly [`ConcurrentEngine::advance`] wrapped in
+    /// [`EngineStep::Retired`] / [`LaunchOutcome::Completed`], bit for
+    /// bit.
+    pub fn step(&mut self) -> Option<EngineStep> {
+        if let Some(s) = self.pending.pop_front() {
+            return Some(s);
+        }
+        loop {
+            if self.process_due_losses() {
+                if let Some(s) = self.pending.pop_front() {
+                    return Some(s);
+                }
+            }
+            if self.active.is_empty() {
+                return None;
+            }
+            let rates = self.rates();
+            let mut win = 0;
+            let mut win_dt = self.active[0].remaining / rates[0];
+            for (i, (a, r)) in self.active.iter().zip(&rates).enumerate().skip(1) {
+                let dt = a.remaining / r;
+                if dt < win_dt || (dt == win_dt && a.id < self.active[win].id) {
+                    win = i;
+                    win_dt = dt;
+                }
+            }
+            // Clip the fluid window at the next fault boundary (a device
+            // loss, or a slowdown/degradation window opening or closing)
+            // so rate changes integrate exactly. No plan, no boundaries —
+            // and the legacy arithmetic below runs unchanged.
+            if let Some(boundary) = self
+                .fault_plan
+                .as_ref()
+                .and_then(|p| p.next_boundary(self.now))
+            {
+                if self.now + win_dt > boundary {
+                    let dt = boundary - self.now;
+                    self.now = boundary;
+                    for (a, r) in self.active.iter_mut().zip(&rates) {
+                        a.remaining = (a.remaining - dt * r).max(0.0);
+                    }
+                    continue;
+                }
+            }
+            self.now += win_dt;
+            for (a, r) in self.active.iter_mut().zip(&rates) {
+                a.remaining = (a.remaining - win_dt * r).max(0.0);
+            }
+            let done = self.active.remove(win);
+            let outcome = if done.transient {
+                LaunchOutcome::TransientFault
+            } else {
+                LaunchOutcome::Completed
+            };
+            return Some(EngineStep::Retired {
+                completion: Completion {
+                    id: done.id,
+                    start: done.start,
+                    end: self.now,
+                },
+                outcome,
+            });
+        }
+    }
+
     /// Advance time to the next kernel completion and retire it. Returns
     /// `None` when no kernel is active. Ties complete lowest-id-first,
-    /// one per call, so completion order is deterministic.
+    /// one per call, so completion order is deterministic. Eviction
+    /// markers are skipped and faulted outcomes are collapsed into plain
+    /// completions — fault-aware schedulers should drive
+    /// [`ConcurrentEngine::step`] instead.
     pub fn advance(&mut self) -> Option<Completion> {
-        if self.active.is_empty() {
-            return None;
-        }
-        let rates = self.rates();
-        let mut win = 0;
-        let mut win_dt = self.active[0].remaining / rates[0];
-        for (i, (a, r)) in self.active.iter().zip(&rates).enumerate().skip(1) {
-            let dt = a.remaining / r;
-            if dt < win_dt || (dt == win_dt && a.id < self.active[win].id) {
-                win = i;
-                win_dt = dt;
+        loop {
+            match self.step() {
+                Some(EngineStep::Retired { completion, .. }) => return Some(completion),
+                Some(EngineStep::DeviceEvicted { .. }) => {}
+                None => return None,
             }
         }
-        self.now += win_dt;
-        for (a, r) in self.active.iter_mut().zip(&rates) {
-            a.remaining = (a.remaining - win_dt * r).max(0.0);
-        }
-        let done = self.active.remove(win);
-        Some(Completion {
-            id: done.id,
-            start: done.start,
-            end: self.now,
-        })
     }
 }
 
@@ -510,6 +734,133 @@ mod tests {
         let second = e.advance().unwrap();
         assert_eq!(first.end, 1000.0);
         assert_eq!(second.end, 1000.0);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical() {
+        let mut plain = ConcurrentEngine::new(&machine4());
+        let mut faulted = ConcurrentEngine::new(&machine4()).with_fault_plan(FaultPlan::new());
+        for e in [&mut plain, &mut faulted] {
+            e.launch(0, &profile("a", 1000.0, 4.0, 64.0));
+            e.launch(1, &profile("b", 700.0, 2.0, 32.0));
+            e.launch(2, &profile("c", 300.0, 1.0, 8.0));
+        }
+        loop {
+            let (a, b) = (plain.advance(), faulted.advance());
+            assert_eq!(a, b, "bit-identical completions");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn transient_faults_surface_as_typed_outcomes() {
+        let plan = FaultPlan::new().with_transient(0, 1);
+        let mut e = ConcurrentEngine::new(&machine4()).with_fault_plan(plan);
+        e.launch(0, &profile("a", 300.0, 1.0, 0.0)); // launch 0: clean
+        e.launch(1, &profile("b", 600.0, 1.0, 0.0)); // launch 1: faults once
+        match e.step().unwrap() {
+            EngineStep::Retired {
+                completion,
+                outcome,
+            } => {
+                assert_eq!((completion.id, outcome), (0, LaunchOutcome::Completed));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match e.step().unwrap() {
+            EngineStep::Retired {
+                completion,
+                outcome,
+            } => {
+                assert_eq!((completion.id, outcome), (1, LaunchOutcome::TransientFault));
+                assert_eq!(completion.end, 600.0, "a transient burns its full duration");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The retry is launch index 2 on device 0: it succeeds.
+        e.launch(2, &profile("b'", 600.0, 1.0, 0.0));
+        match e.step().unwrap() {
+            EngineStep::Retired { outcome, .. } => assert_eq!(outcome, LaunchOutcome::Completed),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn device_loss_kills_in_flight_launches_at_the_loss_cycle() {
+        let topo = crate::topology::Topology::nvlink(&machine4(), 2);
+        let plan = FaultPlan::new().with_device_loss(1, 400.0);
+        let mut e = ConcurrentEngine::with_topology(&topo).with_fault_plan(plan);
+        e.launch_on(0, 0, &profile("safe", 1000.0, 1.0, 0.0));
+        e.launch_on(1, 1, &profile("doomed", 1000.0, 1.0, 0.0));
+        match e.step().unwrap() {
+            EngineStep::DeviceEvicted { device, at } => assert_eq!((device, at), (1, 400.0)),
+            other => panic!("the eviction marker comes first, got {other:?}"),
+        }
+        match e.step().unwrap() {
+            EngineStep::Retired {
+                completion,
+                outcome,
+            } => {
+                assert_eq!((completion.id, outcome), (1, LaunchOutcome::DeviceLost));
+                assert_eq!(completion.end, 400.0, "killed at the loss cycle");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(e.device_lost(1), Some(400.0));
+        assert_eq!(e.device_lost(0), None);
+        // The surviving kernel still completes on time.
+        match e.step().unwrap() {
+            EngineStep::Retired {
+                completion,
+                outcome,
+            } => {
+                assert_eq!((completion.id, outcome), (0, LaunchOutcome::Completed));
+                assert_eq!(completion.end, 1000.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Launching onto the dead device fails immediately, typed.
+        e.launch_on(9, 1, &profile("late", 100.0, 1.0, 0.0));
+        match e.step().unwrap() {
+            EngineStep::Retired {
+                completion,
+                outcome,
+            } => {
+                assert_eq!((completion.id, outcome), (9, LaunchOutcome::DeviceLost));
+                assert_eq!(completion.start, completion.end);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slowdown_windows_stretch_exactly() {
+        // 1000 solo cycles, with cycles [0, 500) at half speed: 500
+        // wall cycles buy 250 solo cycles, the remaining 750 run at
+        // full rate, so the kernel retires at 1250.
+        let plan = FaultPlan::new().with_slowdown(0, 0.0, 500.0, 0.5);
+        let mut e = ConcurrentEngine::new(&machine4()).with_fault_plan(plan);
+        e.launch(0, &profile("slow", 1000.0, 1.0, 0.0));
+        let c = e.advance().unwrap();
+        assert!((c.end - 1250.0).abs() < 1e-9, "end {}", c.end);
+    }
+
+    #[test]
+    fn link_degradation_stretches_transfers_only() {
+        let topo = crate::topology::Topology::nvlink(&machine4(), 2);
+        let cap = topo.links[0].bytes_per_cycle;
+        // The link runs at quarter bandwidth forever (window far past
+        // the transfer): 1000 solo cycles become 4000.
+        let plan = FaultPlan::new().with_link_degraded(0, 0.0, 1e9, 0.25);
+        let mut e = ConcurrentEngine::with_topology(&topo).with_fault_plan(plan);
+        e.launch_transfer(0, 0, 1000.0, cap);
+        e.launch_on(1, 0, &profile("alu", 1000.0, 1.0, 0.0));
+        let first = e.advance().unwrap();
+        assert_eq!((first.id, first.end), (1, 1000.0), "compute untouched");
+        let second = e.advance().unwrap();
+        assert!((second.end - 4000.0).abs() < 1e-6, "end {}", second.end);
     }
 
     #[test]

@@ -1,0 +1,353 @@
+//! Seeded, deterministic fault injection for the concurrent engine.
+//!
+//! A [`FaultPlan`] is a pure description of what goes wrong during a
+//! simulated multi-device run — which device dies and when, which launch
+//! on which device fails transiently, which cycle windows run slow,
+//! which links degrade. Attach one to a
+//! [`crate::ConcurrentEngine::with_fault_plan`] and faulted launches
+//! surface as typed [`crate::LaunchOutcome`]s instead of silent
+//! successes; the runtime layers retry and re-sharding policies on top.
+//!
+//! Everything here is deterministic: a plan is a plain value, the seeded
+//! constructor ([`FaultPlan::seeded`]) derives its faults from a
+//! splitmix64 stream, and the engine consumes the plan without any
+//! host-side entropy. The same plan against the same launch sequence
+//! always produces the same fault timeline — which is what makes retry
+//! bitwise-safe and replay debugging possible.
+
+/// One injectable fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Device `device` fails permanently at cycle `at`: every launch
+    /// in flight on it at that cycle is killed with
+    /// [`crate::LaunchOutcome::DeviceLost`], and later launches on it
+    /// fail immediately. The device's *memory* stays drainable (the
+    /// fail-stop model covers compute, not HBM), so a recovery layer
+    /// can still move stranded buffers off over the links.
+    DeviceLoss {
+        /// The device that dies.
+        device: usize,
+        /// The cycle it dies at.
+        at: f64,
+    },
+    /// The `launch`-th compute launch (0-based, counted per device) on
+    /// `device` fails once with [`crate::LaunchOutcome::TransientFault`]
+    /// after consuming its full duration — a crashed kernel whose
+    /// re-execution (a later launch index) succeeds.
+    Transient {
+        /// The device the faulty launch runs on.
+        device: usize,
+        /// The per-device launch index that faults.
+        launch: u64,
+    },
+    /// Device `device` runs at `factor` of its normal throughput for
+    /// cycles in `[from, until)`. `factor` must be in `(0, 1]`.
+    Slowdown {
+        /// The slowed device.
+        device: usize,
+        /// First slowed cycle.
+        from: f64,
+        /// First cycle back at full speed.
+        until: f64,
+        /// Throughput multiplier in `(0, 1]`.
+        factor: f64,
+    },
+    /// Link `link` carries `factor` of its normal bandwidth for cycles
+    /// in `[from, until)`. `factor` must be in `(0, 1]`; a heavily
+    /// degraded link models a partial partition that heals at `until`.
+    LinkDegraded {
+        /// Index into [`crate::Topology::links`].
+        link: usize,
+        /// First degraded cycle.
+        from: f64,
+        /// First cycle back at full bandwidth.
+        until: f64,
+        /// Bandwidth multiplier in `(0, 1]`.
+        factor: f64,
+    },
+}
+
+/// A deterministic schedule of injectable faults (see the module docs).
+///
+/// Build one fluently:
+///
+/// ```
+/// use cypress_sim::FaultPlan;
+/// let plan = FaultPlan::new()
+///     .with_transient(0, 1)          // second launch on device 0 fails once
+///     .with_device_loss(1, 5_000.0); // device 1 dies at cycle 5000
+/// assert_eq!(plan.faults().len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan: attaching it changes nothing, bit for bit.
+    #[must_use]
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Add a permanent device loss (see [`Fault::DeviceLoss`]).
+    #[must_use]
+    pub fn with_device_loss(mut self, device: usize, at: f64) -> Self {
+        self.faults.push(Fault::DeviceLoss {
+            device,
+            at: at.max(0.0),
+        });
+        self
+    }
+
+    /// Add a one-shot transient kernel fault (see [`Fault::Transient`]).
+    #[must_use]
+    pub fn with_transient(mut self, device: usize, launch: u64) -> Self {
+        self.faults.push(Fault::Transient { device, launch });
+        self
+    }
+
+    /// Add a device slowdown window (see [`Fault::Slowdown`]). The
+    /// factor is clamped into `(0, 1]` and the window normalized so
+    /// `from <= until`.
+    #[must_use]
+    pub fn with_slowdown(mut self, device: usize, from: f64, until: f64, factor: f64) -> Self {
+        let (from, until) = if from <= until {
+            (from, until)
+        } else {
+            (until, from)
+        };
+        self.faults.push(Fault::Slowdown {
+            device,
+            from: from.max(0.0),
+            until: until.max(0.0),
+            factor: factor.clamp(f64::MIN_POSITIVE, 1.0),
+        });
+        self
+    }
+
+    /// Add a link degradation window (see [`Fault::LinkDegraded`]).
+    /// The factor is clamped into `(0, 1]` and the window normalized.
+    #[must_use]
+    pub fn with_link_degraded(mut self, link: usize, from: f64, until: f64, factor: f64) -> Self {
+        let (from, until) = if from <= until {
+            (from, until)
+        } else {
+            (until, from)
+        };
+        self.faults.push(Fault::LinkDegraded {
+            link,
+            from: from.max(0.0),
+            until: until.max(0.0),
+            factor: factor.clamp(f64::MIN_POSITIVE, 1.0),
+        });
+        self
+    }
+
+    /// A seeded random plan of `count` transient faults spread over
+    /// `devices` devices at small launch indices (0..8) — the shape the
+    /// property suites sweep. Deterministic: same seed, same plan.
+    #[must_use]
+    pub fn seeded(seed: u64, devices: usize, count: usize) -> Self {
+        let devices = devices.max(1);
+        let mut state = seed;
+        let mut plan = FaultPlan::new();
+        for _ in 0..count {
+            let a = splitmix64(&mut state);
+            let b = splitmix64(&mut state);
+            plan = plan.with_transient((a % devices as u64) as usize, b % 8);
+        }
+        plan
+    }
+
+    /// The scheduled faults, in insertion order.
+    #[must_use]
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// `true` when the plan schedules nothing — the engine then behaves
+    /// bit-identically to one without a plan.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The cycle `device` permanently fails at, if the plan kills it
+    /// (the earliest such cycle when several entries target it).
+    #[must_use]
+    pub fn device_loss_at(&self, device: usize) -> Option<f64> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::DeviceLoss { device: d, at } if *d == device => Some(*at),
+                _ => None,
+            })
+            .min_by(f64::total_cmp)
+    }
+
+    /// `true` when the plan's `launch`-th compute launch on `device`
+    /// is scheduled to fault transiently.
+    #[must_use]
+    pub(crate) fn transient_hits(&self, device: usize, launch: u64) -> bool {
+        self.faults.iter().any(|f| {
+            matches!(f, Fault::Transient { device: d, launch: l } if *d == device && *l == launch)
+        })
+    }
+
+    /// Throughput multiplier for `device` at cycle `now` (1.0 outside
+    /// every slowdown window; overlapping windows multiply).
+    #[must_use]
+    pub fn slowdown_factor(&self, device: usize, now: f64) -> f64 {
+        let mut factor = 1.0;
+        for f in &self.faults {
+            if let Fault::Slowdown {
+                device: d,
+                from,
+                until,
+                factor: x,
+            } = f
+            {
+                if *d == device && now >= *from && now < *until {
+                    factor *= x;
+                }
+            }
+        }
+        factor
+    }
+
+    /// Bandwidth multiplier for `link` at cycle `now` (1.0 outside
+    /// every degradation window; overlapping windows multiply).
+    #[must_use]
+    pub fn link_factor(&self, link: usize, now: f64) -> f64 {
+        let mut factor = 1.0;
+        for f in &self.faults {
+            if let Fault::LinkDegraded {
+                link: l,
+                from,
+                until,
+                factor: x,
+            } = f
+            {
+                if *l == link && now >= *from && now < *until {
+                    factor *= x;
+                }
+            }
+        }
+        factor
+    }
+
+    /// The next cycle strictly after `now` at which the plan changes the
+    /// machine — a device dies, or a slowdown/degradation window opens
+    /// or closes. The engine clips its fluid windows at these
+    /// boundaries so rate changes integrate exactly.
+    #[must_use]
+    pub fn next_boundary(&self, now: f64) -> Option<f64> {
+        let mut next: Option<f64> = None;
+        let mut consider = |t: f64| {
+            if t > now && next.is_none_or(|n| t < n) {
+                next = Some(t);
+            }
+        };
+        for f in &self.faults {
+            match f {
+                Fault::DeviceLoss { at, .. } => consider(*at),
+                Fault::Slowdown { from, until, .. } | Fault::LinkDegraded { from, until, .. } => {
+                    consider(*from);
+                    consider(*until);
+                }
+                Fault::Transient { .. } => {}
+            }
+        }
+        next
+    }
+}
+
+/// One step of the splitmix64 stream — the deterministic entropy source
+/// behind [`FaultPlan::seeded`] (the sim crate carries no `rand`).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan.device_loss_at(0), None);
+        assert_eq!(plan.slowdown_factor(0, 100.0), 1.0);
+        assert_eq!(plan.link_factor(0, 100.0), 1.0);
+        assert_eq!(plan.next_boundary(0.0), None);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let a = FaultPlan::seeded(7, 4, 3);
+        let b = FaultPlan::seeded(7, 4, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.faults().len(), 3);
+        assert_ne!(a, FaultPlan::seeded(8, 4, 3), "different seeds differ");
+        for f in a.faults() {
+            match f {
+                Fault::Transient { device, launch } => {
+                    assert!(*device < 4 && *launch < 8);
+                }
+                other => panic!("seeded plans are transient-only, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn windows_report_factors_and_boundaries() {
+        let plan = FaultPlan::new()
+            .with_slowdown(1, 100.0, 200.0, 0.5)
+            .with_link_degraded(0, 150.0, 250.0, 0.25)
+            .with_device_loss(2, 300.0);
+        assert_eq!(plan.slowdown_factor(1, 99.0), 1.0);
+        assert_eq!(plan.slowdown_factor(1, 100.0), 0.5);
+        assert_eq!(plan.slowdown_factor(1, 200.0), 1.0);
+        assert_eq!(
+            plan.slowdown_factor(0, 150.0),
+            1.0,
+            "other devices full speed"
+        );
+        assert_eq!(plan.link_factor(0, 200.0), 0.25);
+        assert_eq!(plan.device_loss_at(2), Some(300.0));
+        assert_eq!(plan.next_boundary(0.0), Some(100.0));
+        assert_eq!(plan.next_boundary(100.0), Some(150.0));
+        assert_eq!(plan.next_boundary(250.0), Some(300.0));
+        assert_eq!(plan.next_boundary(300.0), None);
+    }
+
+    #[test]
+    fn builders_normalize_degenerate_inputs() {
+        let plan = FaultPlan::new().with_slowdown(0, 200.0, 100.0, 7.0);
+        match &plan.faults()[0] {
+            Fault::Slowdown {
+                from,
+                until,
+                factor,
+                ..
+            } => {
+                assert_eq!((*from, *until), (100.0, 200.0), "window normalized");
+                assert_eq!(*factor, 1.0, "factor clamped into (0, 1]");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transient_hits_match_exact_indices() {
+        let plan = FaultPlan::new().with_transient(1, 2);
+        assert!(plan.transient_hits(1, 2));
+        assert!(!plan.transient_hits(1, 3));
+        assert!(!plan.transient_hits(0, 2));
+    }
+}

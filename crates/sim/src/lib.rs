@@ -67,6 +67,7 @@ pub mod concurrent;
 pub mod engine;
 pub mod error;
 pub mod expr;
+pub mod fault;
 pub mod flatten;
 pub mod instr;
 pub mod kernel;
@@ -78,9 +79,13 @@ pub mod topology;
 
 pub use builder::KernelBuilder;
 pub use bytecode::Program;
-pub use concurrent::{Completion, ConcurrentEngine, ConcurrentReport, KernelProfile, KernelSlot};
+pub use concurrent::{
+    Completion, ConcurrentEngine, ConcurrentReport, EngineStep, KernelProfile, KernelSlot,
+    LaunchOutcome,
+};
 pub use error::SimError;
 pub use expr::{Cond, Env, Expr};
+pub use fault::{Fault, FaultPlan};
 pub use instr::{BinOp, Instr, RedOp, SimtOp, UnOp};
 pub use kernel::{Kernel, KernelError, MbarDecl, Role, RoleKind, StaticTotals};
 pub use machine::{CostConstants, MachineConfig};
